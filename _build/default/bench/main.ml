@@ -1,0 +1,176 @@
+(* Benchmark harness: regenerates the paper's experimental evaluation
+   (Section 6).
+
+   The paper's evaluation consists of one table (Table 2) plus one
+   in-text result; Figures 1-4 are algorithm/automaton diagrams, which
+   are regenerated as DOT files by `holistic dot` (see bin/).
+
+   Sections:
+   1. Table 2 - per (TA, property): TA size, #schemas, average schema
+      length, wall-clock verification time.  The naive-consensus rows
+      run under an explicit budget and abort, which is this
+      reproduction's analogue of the paper's ">24h on 64 cores".
+   2. The in-text counterexample: Inv1_0 under the broken resilience
+      condition n > 2t, with generation time (paper: ~4 s).
+   3. Bechamel micro-benchmarks of the components (ablations).
+
+   Usage: dune exec bench/main.exe [-- --quick] [-- --naive-budget S] *)
+
+let quick = Array.exists (( = ) "--quick") Sys.argv
+
+let naive_budget =
+  let rec find i =
+    if i + 1 >= Array.length Sys.argv then None
+    else if Sys.argv.(i) = "--naive-budget" then Some (float_of_string Sys.argv.(i + 1))
+    else find (i + 1)
+  in
+  match find 0 with Some b -> b | None -> if quick then 5.0 else 60.0
+
+(* ------------------------------------------------------------------ *)
+(* Section 1: Table 2 (see lib/report).                                 *)
+
+let table2 () =
+  print_endline "== Table 2: parameterized verification of the blockchain consensus ==";
+  print_endline "   (every property is checked for all n > 3t, t >= f >= 0)";
+  print_newline ();
+  let rows = Report.table2 ~quick ~naive_budget () in
+  Report.print_text stdout rows;
+  print_newline ();
+  (* Also emit machine-readable copies next to the build tree. *)
+  let write path contents =
+    let oc = open_out path in
+    output_string oc contents;
+    close_out oc;
+    Printf.printf "(wrote %s)\n" path
+  in
+  write "table2.md" (Report.to_markdown rows);
+  write "table2.csv" (Report.to_csv rows);
+  print_newline ()
+
+(* ------------------------------------------------------------------ *)
+(* Section 2: the broken-resilience counterexample (paper: ~4 s).       *)
+
+let counterexample () =
+  print_endline "== In-text result: counterexample to Inv1_0 when the resilience";
+  print_endline "   condition is weakened to n > 2t (paper reports ~4 s) ==";
+  let t0 = Unix.gettimeofday () in
+  let r =
+    Holistic.Checker.verify Models.Simplified_ta.automaton_broken_resilience
+      Models.Simplified_ta.inv1_0
+  in
+  (match r.outcome with
+   | Holistic.Checker.Violated w ->
+     Printf.printf
+       "found in %.2fs with parameters %s (disagreement: D0 and D1 both reached)\n"
+       (Unix.gettimeofday () -. t0)
+       (String.concat ", "
+          (List.map (fun (p, v) -> Printf.sprintf "%s=%d" p v) w.Holistic.Witness.params))
+   | _ -> print_endline "UNEXPECTED: no counterexample found");
+  print_newline ()
+
+(* ------------------------------------------------------------------ *)
+(* Section 3: Bechamel micro-benchmarks.                                *)
+
+let micro () =
+  print_endline "== Micro-benchmarks (Bechamel; one Test per component) ==";
+  let open Bechamel in
+  let bv = Models.Bv_ta.automaton in
+  let bv_u = Holistic.Universe.build bv in
+  let spec = List.hd Models.Bv_ta.table2_specs in
+  let deep_schema =
+    let result = ref [] in
+    ignore
+      (Holistic.Schema.enumerate bv_u spec ~on_schema:(fun s ->
+           if List.length s = 4 then begin
+             result := s;
+             false
+           end
+           else true));
+    !result
+  in
+  let encoded = Holistic.Encode.encode bv_u spec deep_schema in
+  let tests =
+    [
+      Test.make ~name:"universe-build(bv)"
+        (Staged.stage (fun () -> ignore (Holistic.Universe.build bv)));
+      Test.make ~name:"schema-enumeration(bv)"
+        (Staged.stage (fun () -> ignore (Holistic.Schema.count bv_u spec ~limit:10_000)));
+      Test.make ~name:"encode-deep-schema(bv)"
+        (Staged.stage (fun () -> ignore (Holistic.Encode.encode bv_u spec deep_schema)));
+      Test.make ~name:"lia-solve-deep-schema(bv)"
+        (Staged.stage (fun () -> ignore (Smt.Lia.solve encoded.Holistic.Encode.atoms)));
+      Test.make ~name:"verify(BV-Just0)"
+        (Staged.stage (fun () ->
+             ignore (Holistic.Checker.verify_with_universe bv_u spec)));
+      Test.make ~name:"explicit-check(bv,n=4)"
+        (Staged.stage (fun () ->
+             ignore (Explicit.check bv spec [ ("n", 4); ("t", 1); ("f", 1) ])));
+      Test.make ~name:"dbft-simulation(n=4)"
+        (Staged.stage (fun () ->
+             ignore
+               (Dbft.Runner.run
+                  (Dbft.Runner.config ~n:4 ~t:1 ~inputs:[ 0; 1; 0 ]
+                     ~byzantine:[ (3, Dbft.Byzantine.Equivocate) ]
+                     ~scheduler:(Simnet.Scheduler.random ~seed:1) ()))));
+    ]
+  in
+  let cfg =
+    Benchmark.cfg ~limit:2000 ~quota:(Time.second (if quick then 0.25 else 1.0)) ()
+  in
+  let instance = Toolkit.Instance.monotonic_clock in
+  List.iter
+    (fun test ->
+      let results = Benchmark.all cfg [ instance ] test in
+      let ols = Analyze.ols ~bootstrap:0 ~r_square:false ~predictors:[| Measure.run |] in
+      let stats = Analyze.all ols instance results in
+      Hashtbl.iter
+        (fun name ols ->
+          let estimate =
+            match Analyze.OLS.estimates ols with
+            | Some [ e ] -> Printf.sprintf "%12.0f ns/run" e
+            | _ -> "n/a"
+          in
+          Printf.printf "%-32s %s\n%!" name estimate)
+        stats)
+    tests;
+  print_newline ()
+
+(* ------------------------------------------------------------------ *)
+(* Section 4: pruning ablation — how much the guard implication order
+   and producibility pruning shrink the schema enumeration (the design
+   choices of DESIGN.md).  Enumeration only, no solving. *)
+
+let ablation () =
+  print_endline "== Ablation: schema enumeration with pruning disabled ==";
+  let count ~limit ta spec ~imp ~prod =
+    let u = Holistic.Universe.build ~use_implication_order:imp ~use_producibility:prod ta in
+    match Holistic.Schema.count u spec ~limit with
+    | `Exactly n -> string_of_int n
+    | `More_than n -> Printf.sprintf ">%d" n
+  in
+  let line ?(limit = 200_000) label ta spec =
+    let count = count ~limit in
+    Printf.printf "%-28s both: %-8s no-implication: %-8s no-producibility: %-9s neither: %s\n%!"
+      label
+      (count ta spec ~imp:true ~prod:true)
+      (count ta spec ~imp:false ~prod:true)
+      (count ta spec ~imp:true ~prod:false)
+      (count ta spec ~imp:false ~prod:false)
+  in
+  line "bv-broadcast / BV-Just0" Models.Bv_ta.automaton (List.hd Models.Bv_ta.table2_specs);
+  line "simplified / Inv2_0" Models.Simplified_ta.automaton Models.Simplified_ta.inv2_0;
+  if not quick then
+    line ~limit:100_000 "naive / Inv2_0" Models.Naive_ta.automaton Models.Naive_ta.inv2_0;
+  print_newline ()
+
+let () =
+  Printf.printf
+    "Reproduction of 'Holistic Verification of Blockchain Consensus' (DISC 2022)\n";
+  Printf.printf "mode: %s; naive-TA budget: %.0fs\n\n"
+    (if quick then "quick" else "full")
+    naive_budget;
+  table2 ();
+  counterexample ();
+  micro ();
+  ablation ();
+  print_endline "done."

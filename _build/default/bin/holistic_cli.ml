@@ -1,0 +1,255 @@
+(* Command-line interface to the reproduction: inspect the threshold
+   automata, verify properties (parameterized or explicit-state), export
+   the automata as DOT (Figures 2-4), and run the executable DBFT
+   consensus on the simulated network. *)
+
+open Cmdliner
+
+type model = Bv | Naive | Simplified | BenOr
+
+let automaton_of ?(broken = false) = function
+  | Bv -> Models.Bv_ta.automaton
+  | Naive -> Models.Naive_ta.automaton
+  | Simplified ->
+    if broken then Models.Simplified_ta.automaton_broken_resilience
+    else Models.Simplified_ta.automaton
+  | BenOr -> Models.Ben_or.automaton
+
+let specs_of = function
+  | Bv -> Models.Bv_ta.all_specs
+  | Naive -> Models.Naive_ta.table2_specs
+  | Simplified -> Models.Simplified_ta.all_specs
+  | BenOr -> Models.Ben_or.all_specs
+
+let model_conv =
+  let parse = function
+    | "bv" | "bv-broadcast" -> Ok Bv
+    | "naive" -> Ok Naive
+    | "simplified" -> Ok Simplified
+    | "benor" | "ben-or" -> Ok BenOr
+    | s ->
+      Error (`Msg (Printf.sprintf "unknown model %S (expected bv|naive|simplified|benor)" s))
+  in
+  let print fmt m =
+    Format.pp_print_string fmt
+      (match m with
+       | Bv -> "bv"
+       | Naive -> "naive"
+       | Simplified -> "simplified"
+       | BenOr -> "benor")
+  in
+  Arg.conv (parse, print)
+
+let model_arg =
+  Arg.(required & pos 0 (some model_conv) None & info [] ~docv:"MODEL"
+         ~doc:"Threshold automaton: bv, naive, simplified or benor.")
+
+let spec_arg =
+  Arg.(value & opt (some string) None & info [ "spec" ] ~docv:"NAME"
+         ~doc:"Property name (default: all properties of the model).")
+
+let find_specs model spec_name =
+  let all = specs_of model in
+  match spec_name with
+  | None -> all
+  | Some n -> (
+    match List.find_opt (fun (s : Ta.Spec.t) -> s.name = n) all with
+    | Some s -> [ s ]
+    | None ->
+      failwith
+        (Printf.sprintf "unknown property %S; available: %s" n
+           (String.concat ", " (List.map (fun (s : Ta.Spec.t) -> s.name) all))))
+
+(* --- info ---------------------------------------------------------- *)
+
+let info_cmd =
+  let run model =
+    let ta = automaton_of model in
+    Format.printf "automaton %s: %a@." ta.Ta.Automaton.name Ta.Automaton.pp_stats
+      (Ta.Automaton.stats ta);
+    Format.printf "parameters: %s; shared: %s@."
+      (String.concat ", " ta.params)
+      (String.concat ", " ta.shared);
+    Format.printf "locations: %s@." (String.concat ", " ta.locations);
+    Format.printf "properties:@.";
+    List.iter (fun s -> Format.printf "  %a@." Ta.Spec.pp s) (specs_of model)
+  in
+  Cmd.v (Cmd.info "info" ~doc:"Show an automaton's structure and properties.")
+    Term.(const run $ model_arg)
+
+(* --- verify -------------------------------------------------------- *)
+
+let verify_cmd =
+  let broken =
+    Arg.(value & flag & info [ "broken-resilience" ]
+           ~doc:"Weaken the resilience condition to n > 2t (simplified model only) to \
+                 regenerate the paper's counterexample.")
+  in
+  let max_schemas =
+    Arg.(value & opt int 100_000 & info [ "max-schemas" ] ~docv:"N"
+           ~doc:"Abort after this many schemas.")
+  in
+  let budget =
+    Arg.(value & opt (some float) None & info [ "time-budget" ] ~docv:"SECONDS"
+           ~doc:"Abort after this much wall-clock time per property.")
+  in
+  let run model spec_name broken max_schemas budget =
+    let ta = automaton_of ~broken model in
+    let limits =
+      { Holistic.Checker.default_limits with max_schemas; time_budget = budget }
+    in
+    let u = Holistic.Universe.build ta in
+    List.iter
+      (fun spec ->
+        let r = Holistic.Checker.verify_with_universe ~limits u spec in
+        Format.printf "%a@." Holistic.Checker.pp_result r)
+      (find_specs model spec_name)
+  in
+  Cmd.v
+    (Cmd.info "verify"
+       ~doc:"Verify properties for all parameters n > 3t, t >= f >= 0 (the paper's \
+             parameterized model checking).")
+    Term.(const run $ model_arg $ spec_arg $ broken $ max_schemas $ budget)
+
+(* --- explicit ------------------------------------------------------ *)
+
+let explicit_cmd =
+  let p name default doc = Arg.(value & opt int default & info [ name ] ~doc) in
+  let run model spec_name n t f =
+    let ta = automaton_of model in
+    let params = [ ("n", n); ("t", t); ("f", f) ] in
+    List.iter
+      (fun spec ->
+        let out = Explicit.check ta spec params in
+        Format.printf "%-14s %a@." spec.Ta.Spec.name Explicit.pp_outcome out)
+      (find_specs model spec_name)
+  in
+  Cmd.v
+    (Cmd.info "explicit"
+       ~doc:"Explicit-state checking for fixed parameters (the Apalache/TLC-style \
+             baseline the paper contrasts with).")
+    Term.(const run $ model_arg $ spec_arg $ p "n" 4 "processes" $ p "t" 1 "fault bound"
+          $ p "f" 1 "actual faults")
+
+(* --- dot ----------------------------------------------------------- *)
+
+let dot_cmd =
+  let output =
+    Arg.(value & opt (some string) None & info [ "o"; "output" ] ~docv:"FILE"
+           ~doc:"Output file (default: stdout).")
+  in
+  let format =
+    Arg.(value & opt string "dot" & info [ "format" ] ~docv:"FMT"
+           ~doc:"Export format: dot (Graphviz) or bymc (ByMC skeleton).")
+  in
+  let run model output format =
+    let ta = automaton_of model in
+    let render =
+      match format with
+      | "dot" -> Ta.Dot.render
+      | "bymc" -> Ta.Bymc.render
+      | f -> failwith ("unknown format " ^ f)
+    in
+    match output with
+    | None -> print_string (render ta)
+    | Some path ->
+      let oc = open_out path in
+      output_string oc (render ta);
+      close_out oc;
+      Printf.printf "wrote %s\n" path
+  in
+  Cmd.v
+    (Cmd.info "dot"
+       ~doc:"Export an automaton as Graphviz DOT (regenerates Figures 2-4) or as a ByMC \
+             skeleton.")
+    Term.(const run $ model_arg $ output $ format)
+
+(* --- simulate ------------------------------------------------------ *)
+
+let simulate_cmd =
+  let n = Arg.(value & opt int 4 & info [ "n" ] ~doc:"number of processes") in
+  let t = Arg.(value & opt int 1 & info [ "t" ] ~doc:"fault bound") in
+  let seed = Arg.(value & opt int 1 & info [ "seed" ] ~doc:"scheduler seed") in
+  let inputs =
+    Arg.(value & opt (list int) [ 0; 1; 0 ] & info [ "inputs" ] ~docv:"BITS"
+           ~doc:"comma-separated inputs of the correct processes")
+  in
+  let byz =
+    Arg.(value & opt (some string) (Some "equivocate")
+         & info [ "byzantine" ] ~docv:"STRATEGY"
+             ~doc:"byzantine strategy for the last process: none, silent, equivocate, noise")
+  in
+  let run n t seed inputs byz =
+    let byzantine =
+      match byz with
+      | None | Some "none" -> []
+      | Some "silent" -> [ (n - 1, Dbft.Byzantine.Silent) ]
+      | Some "equivocate" -> [ (n - 1, Dbft.Byzantine.Equivocate) ]
+      | Some "noise" -> [ (n - 1, Dbft.Byzantine.Noise seed) ]
+      | Some s -> failwith ("unknown strategy " ^ s)
+    in
+    let report =
+      Dbft.Runner.run
+        (Dbft.Runner.config ~n ~t ~inputs ~byzantine
+           ~scheduler:(Simnet.Scheduler.random ~seed) ())
+    in
+    Format.printf "%a@." Dbft.Runner.pp_report report
+  in
+  Cmd.v
+    (Cmd.info "simulate"
+       ~doc:"Run the executable DBFT binary consensus on the simulated asynchronous \
+             network.")
+    Term.(const run $ n $ t $ seed $ inputs $ byz)
+
+(* --- lemma7 -------------------------------------------------------- *)
+
+let lemma7_cmd =
+  let rounds = Arg.(value & opt int 10 & info [ "rounds" ] ~doc:"rounds to run") in
+  let fair = Arg.(value & flag & info [ "fair" ] ~doc:"use a fair random scheduler instead") in
+  let run rounds fair =
+    let cfg = Dbft.Lemma7.config ~max_round:rounds in
+    let cfg =
+      if fair then { cfg with scheduler = Simnet.Scheduler.random ~seed:5 } else cfg
+    in
+    let report = Dbft.Runner.run cfg in
+    Format.printf "%a@." Dbft.Runner.pp_report report;
+    if (not fair) && report.Dbft.Runner.decisions = [] then
+      Format.printf
+        "no decision in %d rounds: the Lemma 7 adversary defeats the algorithm without \
+         the fairness assumption@."
+        rounds
+  in
+  Cmd.v
+    (Cmd.info "lemma7"
+       ~doc:"Run the paper's Appendix B non-termination adversary (Lemma 7).")
+    Term.(const run $ rounds $ fair)
+
+
+(* --- table2 -------------------------------------------------------- *)
+
+let table2_cmd =
+  let quick = Arg.(value & flag & info [ "quick" ] ~doc:"Skip the slowest rows.") in
+  let budget =
+    Arg.(value & opt float 60.0 & info [ "naive-budget" ] ~docv:"SECONDS"
+           ~doc:"Time budget per naive-consensus row before aborting.")
+  in
+  let format =
+    Arg.(value & opt string "text" & info [ "format" ] ~docv:"FMT"
+           ~doc:"Output format: text, markdown or csv.")
+  in
+  let run quick budget format =
+    let rows = Report.table2 ~quick ~naive_budget:budget () in
+    match format with
+    | "text" -> Report.print_text stdout rows
+    | "markdown" | "md" -> print_string (Report.to_markdown rows)
+    | "csv" -> print_string (Report.to_csv rows)
+    | f -> failwith ("unknown format " ^ f)
+  in
+  Cmd.v
+    (Cmd.info "table2" ~doc:"Regenerate the paper's Table 2 (also see bench/main.exe).")
+    Term.(const run $ quick $ budget $ format)
+
+let () =
+  let doc = "Holistic verification of the Red Belly blockchain consensus (reproduction)" in
+  exit (Cmd.eval (Cmd.group (Cmd.info "holistic" ~doc)
+                    [ info_cmd; verify_cmd; explicit_cmd; dot_cmd; simulate_cmd; lemma7_cmd; table2_cmd ]))

@@ -1,0 +1,1 @@
+examples/broken_resilience.ml: Explicit Format Holistic List Models Unix

@@ -1,0 +1,1 @@
+examples/broken_resilience.mli:

@@ -1,0 +1,1 @@
+examples/evoting.ml: Dbft List Printf Simnet String

@@ -1,0 +1,1 @@
+examples/fairness_demo.ml: Dbft Format List Simnet String

@@ -1,0 +1,1 @@
+examples/quickstart.ml: Explicit Format Holistic Ta

@@ -1,0 +1,1 @@
+examples/receive_elimination.mli:

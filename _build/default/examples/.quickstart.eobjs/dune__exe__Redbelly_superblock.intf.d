@@ -1,0 +1,1 @@
+examples/redbelly_superblock.mli:

@@ -1,0 +1,1 @@
+examples/verify_consensus.ml: Array Format Holistic List Models Sys

@@ -1,0 +1,1 @@
+examples/verify_consensus.mli:

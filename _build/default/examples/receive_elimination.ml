@@ -1,0 +1,61 @@
+(* The modelling step of Section 3.1: replacing local receive counters by
+   global send counters via Presburger quantifier elimination.
+
+   The pseudocode guard is "received v from at least t+1 distinct
+   processes".  With b correct senders (the shared variable) and up to f
+   Byzantine processes free to send anything, the receptions rcvd at a
+   correct process satisfy 0 <= rcvd <= b + f.  The guard is realizable
+   iff
+
+       exists rcvd. 0 <= rcvd <= b + f  /\  rcvd >= t+1
+
+   and Cooper's algorithm eliminates rcvd, yielding the threshold
+   automaton guard b >= t+1-f used throughout Figures 2-4.
+
+   Run with: dune exec examples/receive_elimination.exe *)
+
+module P = Presburger
+module T = Presburger.Term
+module B = Numbers.Bigint
+
+let () =
+  let rcvd = T.var "rcvd" and b = T.var "b" and t = T.var "t" and f = T.var "f" in
+  let guard =
+    P.Exists
+      ( "rcvd",
+        P.And
+          [
+            P.ge rcvd (T.const 0);
+            P.le rcvd (T.add b f);
+            P.ge rcvd (T.add t (T.const 1));
+          ] )
+  in
+  Format.printf "pseudocode guard:@.  %s@.@." (P.to_string guard);
+  let eliminated = P.eliminate guard in
+  Format.printf "after quantifier elimination:@.  %s@.@." (P.to_string eliminated);
+  (* Prove, again with Cooper, that the eliminated guard is equivalent to
+     the b >= t+1-f guard of the threshold automata, for all admissible
+     parameters (t >= f >= 0, b >= 0). *)
+  let ta_guard = P.ge b (T.sub (T.add t (T.const 1)) f) in
+  let admissible =
+    P.And [ P.ge (T.var "t") (T.var "f"); P.ge (T.var "f") (T.const 0); P.ge b (T.const 0) ]
+  in
+  let equivalence =
+    P.Forall
+      ( "b",
+        P.Forall
+          ( "t",
+            P.Forall
+              ( "f",
+                P.Or
+                  [
+                    P.Not admissible;
+                    P.And
+                      [
+                        P.Or [ P.Not eliminated; ta_guard ];
+                        P.Or [ P.Not ta_guard; eliminated ];
+                      ];
+                  ] ) ) )
+  in
+  Format.printf "equivalent to the TA guard  b >= t+1-f  for all parameters: %b@."
+    (P.is_valid equivalence)

@@ -1,0 +1,42 @@
+(* The Red Belly Blockchain construction the verified consensus serves
+   (paper, Section 1; [20]): block creation by vector ("superblock")
+   consensus.  Each participant proposes a batch of transactions;
+   proposals are disseminated by Byzantine reliable broadcast and n
+   parallel instances of the verified DBFT binary consensus decide which
+   batches enter the block.  The superblock aggregates every accepted
+   batch — this is what makes Red Belly scale: all proposers contribute,
+   instead of one leader.
+
+   Run with: dune exec examples/redbelly_superblock.exe *)
+
+let show label cfg =
+  Printf.printf "-- %s --\n%!" label;
+  let r = Dbft.Vector.run cfg in
+  Format.printf "%a@.@." Dbft.Vector.pp_report r;
+  assert (r.Dbft.Vector.agreement && r.Dbft.Vector.integrity)
+
+let () =
+  print_endline "Red Belly superblock consensus";
+  print_endline "==============================";
+  print_newline ();
+  (* Four validators, all honest: all four batches enter the block
+     (or at least n - t of them, depending on message timing). *)
+  show "4 honest validators"
+    (Dbft.Vector.config ~n:4 ~t:1
+       ~proposals:
+         [ (0, "tx[a7,b2]"); (1, "tx[c9]"); (2, "tx[d1,d2,d3]"); (3, "tx[e5]") ]
+       ~seed:42 ());
+  (* One validator is malicious and equivocates its batch: reliable
+     broadcast prevents correct validators from adopting different
+     contents, and the batch is excluded from the block. *)
+  show "3 honest + 1 equivocating validator"
+    (Dbft.Vector.config ~n:4 ~t:1
+       ~proposals:[ (0, "tx[f4]"); (1, "tx[g8,g9]"); (2, "tx[h0]") ]
+       ~byzantine:[ 3 ] ~seed:43 ());
+  (* A bigger committee: seven validators, two Byzantine. *)
+  show "5 honest + 2 byzantine validators (n = 7, t = 2)"
+    (Dbft.Vector.config ~n:7 ~t:2
+       ~proposals:
+         [ (0, "tx[i1]"); (1, "tx[j2]"); (2, "tx[k3]"); (3, "tx[l4]"); (4, "tx[m5]") ]
+       ~byzantine:[ 5; 6 ] ~seed:44 ());
+  print_endline "every run produced one agreed superblock with genuine batches only."

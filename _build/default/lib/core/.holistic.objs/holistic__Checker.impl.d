@@ -1,0 +1,1 @@
+lib/core/checker.ml: Encode Format List Printf Schema Smt Ta Universe Unix Witness

@@ -1,0 +1,1 @@
+lib/core/eltl.ml: List Option Printf String Ta

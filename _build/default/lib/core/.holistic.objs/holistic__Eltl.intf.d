@@ -1,0 +1,1 @@
+lib/core/eltl.mli: Ta

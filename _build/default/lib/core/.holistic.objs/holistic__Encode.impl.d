@@ -1,0 +1,1 @@
+lib/core/encode.ml: Array Hashtbl List Numbers Obs Schema Smt Ta Universe

@@ -1,0 +1,1 @@
+lib/core/encode.mli: Schema Smt Ta Universe

@@ -1,0 +1,1 @@
+lib/core/universe.ml: Array Fun Hashtbl Lazy List Numbers Smt Ta

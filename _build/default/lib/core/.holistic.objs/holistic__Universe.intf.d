@@ -1,0 +1,1 @@
+lib/core/universe.mli: Ta

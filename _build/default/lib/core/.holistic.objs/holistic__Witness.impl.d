@@ -1,0 +1,1 @@
+lib/core/witness.ml: Encode Format Hashtbl List Numbers Printf Schema Ta Universe

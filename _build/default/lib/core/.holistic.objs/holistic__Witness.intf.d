@@ -1,0 +1,1 @@
+lib/core/witness.mli: Encode Format Numbers Schema Ta Universe

@@ -1,0 +1,135 @@
+module A = Ta.Automaton
+
+type limits = { max_schemas : int; time_budget : float option; lia_max_steps : int }
+
+let default_limits = { max_schemas = 100_000; time_budget = None; lia_max_steps = 200_000 }
+
+type outcome = Holds | Violated of Witness.t | Aborted of string
+
+type stats = { schemas_checked : int; slots_total : int; time : float }
+
+type result = { spec : Ta.Spec.t; outcome : outcome; stats : stats }
+
+(* Locations whose joint emptiness the liveness target asserts: the
+   counter terms of the final condition with positive coefficients. *)
+let target_locations (spec : Ta.Spec.t) =
+  List.concat_map
+    (fun (a : Ta.Cond.atom) ->
+      List.filter_map
+        (fun (term, c) ->
+          match term with Ta.Cond.Counter l when c > 0 -> Some l | _ -> None)
+        a.terms)
+    spec.final_cond
+  |> List.sort_uniq compare
+
+let precheck ta (spec : Ta.Spec.t) =
+  let fail fmt = Printf.ksprintf invalid_arg fmt in
+  if not (A.is_dag ta) then
+    fail "Checker: automaton %s is not a DAG (ignoring self-loops); the schema method does not apply"
+      ta.name;
+  if spec.kind = `Safety && spec.observations = [] then
+    fail "Checker: safety spec %s has no observations (nothing to refute)" spec.name;
+  if spec.require_stable then begin
+    if spec.never_enter <> [] then
+      fail "Checker: liveness spec %s cannot use never_enter premises" spec.name;
+    let locs = target_locations spec in
+    if not (A.absorbing_when_empty ta locs) then
+      fail
+        "Checker: liveness spec %s: the target location set is not absorbing; end-of-run evaluation would be unsound"
+        spec.name
+  end
+
+(* Decide [atoms /\ (one cube per branch entry)] by depth-first case
+   analysis over the factored justice branches; every path is a plain
+   LIA conjunction. *)
+let solve_schema ~limits (encoded : Encode.encoded) =
+  let rec go atoms branches =
+    match branches with
+    | [] -> (
+      match Smt.Lia.solve ~max_steps:limits.lia_max_steps atoms with
+      | Smt.Lia.Sat m -> `Sat m
+      | Smt.Lia.Unsat -> `Unsat
+      | Smt.Lia.Unknown -> `Unknown)
+    | alternatives :: rest ->
+      let rec try_alts = function
+        | [] -> `Unsat
+        | cube :: others -> (
+          match go (cube @ atoms) rest with
+          | `Sat m -> `Sat m
+          | `Unknown -> `Unknown
+          | `Unsat -> try_alts others)
+      in
+      try_alts alternatives
+  in
+  (* The conjunctive part is usually already unsatisfiable; only then
+     expand the justice case-split product. *)
+  match go encoded.atoms [] with
+  | `Unsat -> `Unsat
+  | `Unknown -> `Unknown
+  | `Sat m -> if encoded.branches = [] then `Sat m else go encoded.atoms encoded.branches
+
+let verify_with_universe ?(limits = default_limits) u (spec : Ta.Spec.t) =
+  let ta = Universe.automaton u in
+  precheck ta spec;
+  let t0 = Unix.gettimeofday () in
+  let schemas = ref 0 in
+  let slots = ref 0 in
+  let found = ref None in
+  let aborted = ref None in
+  let complete =
+    Schema.enumerate u spec ~on_schema:(fun schema ->
+        let elapsed = Unix.gettimeofday () -. t0 in
+        if !schemas >= limits.max_schemas then begin
+          aborted := Some (Printf.sprintf "schema budget exceeded (> %d schemas)" !schemas);
+          false
+        end
+        else
+          match limits.time_budget with
+          | Some budget when elapsed > budget ->
+            aborted :=
+              Some
+                (Printf.sprintf "time budget exceeded (> %.0f s, %d schemas checked)" budget
+                   !schemas);
+            false
+          | _ -> (
+            incr schemas;
+            let encoded = Encode.encode u spec schema in
+            slots := !slots + encoded.n_slots;
+            match solve_schema ~limits encoded with
+            | `Unsat -> true
+            | `Sat model ->
+              found := Some (Witness.of_model u spec schema encoded model);
+              false
+            | `Unknown ->
+              aborted := Some "solver returned unknown (branch-and-bound budget)";
+              false))
+  in
+  let stats =
+    { schemas_checked = !schemas; slots_total = !slots; time = Unix.gettimeofday () -. t0 }
+  in
+  let outcome =
+    match (!found, !aborted, complete) with
+    | Some w, _, _ -> Violated w
+    | None, Some reason, _ -> Aborted reason
+    | None, None, true -> Holds
+    | None, None, false -> Aborted "enumeration stopped unexpectedly"
+  in
+  { spec; outcome; stats }
+
+let verify ?limits ta spec = verify_with_universe ?limits (Universe.build ta) spec
+
+let pp_result fmt r =
+  let avg =
+    if r.stats.schemas_checked = 0 then 0.0
+    else float_of_int r.stats.slots_total /. float_of_int r.stats.schemas_checked
+  in
+  match r.outcome with
+  | Holds ->
+    Format.fprintf fmt "%-12s holds   (%d schemas, avg length %.0f, %.2f s)" r.spec.name
+      r.stats.schemas_checked avg r.stats.time
+  | Violated w ->
+    Format.fprintf fmt "%-12s VIOLATED (%d schemas, %.2f s)@,%a" r.spec.name
+      r.stats.schemas_checked r.stats.time Witness.pp w
+  | Aborted reason ->
+    Format.fprintf fmt "%-12s aborted: %s (%d schemas, %.2f s)" r.spec.name reason
+      r.stats.schemas_checked r.stats.time

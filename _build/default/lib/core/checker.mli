@@ -1,0 +1,45 @@
+(** The parameterized model checker: verifies a temporal property of a
+    threshold automaton for {e all} parameter valuations admitted by the
+    resilience condition, by enumerating schemas ({!Schema}) and
+    discharging one linear-integer-arithmetic query per schema
+    ({!Encode}).
+
+    Soundness/completeness requires the structural properties validated
+    by {!precheck}: monotone guards (guaranteed by the {!Ta.Guard}
+    constructors), DAG-shaped locations, and — for liveness — an
+    absorbing violation target.  All three automata of the paper
+    qualify. *)
+
+type limits = {
+  max_schemas : int;  (** abort the enumeration beyond this many schemas *)
+  time_budget : float option;  (** wall-clock seconds; [None] = unlimited *)
+  lia_max_steps : int;  (** branch-and-bound budget per query *)
+}
+
+val default_limits : limits
+
+type outcome =
+  | Holds  (** every schema query is unsatisfiable: the property is verified for all parameters *)
+  | Violated of Witness.t
+  | Aborted of string  (** budget exhausted (the paper's ">24h" rows) *)
+
+type stats = {
+  schemas_checked : int;
+  slots_total : int;  (** sum of schema lengths (rule slots) *)
+  time : float;  (** wall-clock seconds *)
+}
+
+type result = { spec : Ta.Spec.t; outcome : outcome; stats : stats }
+
+(** [precheck ta spec] validates the structural preconditions.
+    @raise Invalid_argument when they fail. *)
+val precheck : Ta.Automaton.t -> Ta.Spec.t -> unit
+
+(** [verify ?limits ta spec]. *)
+val verify : ?limits:limits -> Ta.Automaton.t -> Ta.Spec.t -> result
+
+(** [verify_with_universe ?limits u spec] reuses a prebuilt universe
+    (cheaper when checking several specs of one automaton). *)
+val verify_with_universe : ?limits:limits -> Universe.t -> Ta.Spec.t -> result
+
+val pp_result : Format.formatter -> result -> unit

@@ -1,0 +1,119 @@
+module C = Ta.Cond
+
+type t =
+  | Prop of Ta.Cond.t
+  | Not of t
+  | And of t list
+  | Implies of t * t
+  | Always of t
+  | Eventually of t
+
+exception Unsupported of string
+
+let unsupported fmt = Printf.ksprintf (fun s -> raise (Unsupported s)) fmt
+
+let prop c = Prop c
+let always f = Always f
+let eventually f = Eventually f
+let implies a b = Implies (a, b)
+let conj fs = And fs
+let not_ f = Not f
+
+let rec to_string = function
+  | Prop c -> C.to_string c
+  | Not f -> "!(" ^ to_string f ^ ")"
+  | And fs -> "(" ^ String.concat " /\\ " (List.map to_string fs) ^ ")"
+  | Implies (a, b) -> "(" ^ to_string a ^ " => " ^ to_string b ^ ")"
+  | Always f -> "[](" ^ to_string f ^ ")"
+  | Eventually f -> "<>(" ^ to_string f ^ ")"
+
+(* [empty_locations c] recognizes a conjunction of kappa[l] = 0 atoms and
+   returns the locations. *)
+let empty_locations (c : C.t) =
+  let loc_of (a : C.atom) =
+    match (a.rel, a.terms, a.const) with
+    | C.Eq, [ (C.Counter l, 1) ], 0 -> Some l
+    | _ -> None
+  in
+  let locs = List.map loc_of c in
+  if List.for_all Option.is_some locs then Some (List.map Option.get locs) else None
+
+(* Negation of a state condition, where expressible as one condition:
+   a single integer atom, or a conjunction of location-emptiness atoms
+   (whose negation is a single counter-sum atom). *)
+let negate_cond (c : C.t) : C.t =
+  match empty_locations c with
+  | Some locs -> C.some_nonempty locs
+  | None -> (
+    match c with
+    | [ ({ rel = C.Ge; _ } as a) ] -> [ { a with rel = C.Le; const = a.const + 1 } ]
+    | [ ({ rel = C.Le; _ } as a) ] -> [ { a with rel = C.Ge; const = a.const - 1 } ]
+    | [ { rel = C.Eq; terms; const = 0 } ]
+      when List.for_all (fun (t, coef) -> coef > 0 && match t with C.Counter _ -> true | _ -> false) terms ->
+      (* Over non-negative counters, not(sum = 0) is sum >= 1. *)
+      [ { C.rel = C.Ge; terms; const = -1 } ]
+    | _ ->
+      unsupported "cannot negate condition %s within the fragment" (C.to_string c))
+
+let flatten_conj f =
+  let rec go acc = function
+    | And fs -> List.fold_left go acc fs
+    | f -> f :: acc
+  in
+  List.rev (go [] f)
+
+type premises = {
+  mutable init : C.t;
+  mutable never_enter : string list;
+  mutable observations : (string * C.t) list;
+}
+
+let add_premise (automaton : Ta.Automaton.t) ps = function
+  | Prop c -> ps.init <- C.conj [ ps.init; c ]
+  | Always (Prop c) -> (
+    match empty_locations c with
+    | Some locs ->
+      List.iter
+        (fun l ->
+          if not (List.mem l automaton.locations) then
+            unsupported "premise mentions unknown location %s" l)
+        locs;
+      ps.never_enter <- ps.never_enter @ locs
+    | None ->
+      unsupported "only [](kappa[L] = 0) premises are supported, got [](%s)"
+        (C.to_string c))
+  | Eventually (Prop c) ->
+    ps.observations <- ps.observations @ [ (C.to_string c, c) ]
+  | f -> unsupported "unsupported premise %s" (to_string f)
+
+let compile ~automaton ~name f =
+  let ltl = to_string f in
+  let premises, conclusion =
+    match f with Implies (p, c) -> (flatten_conj p, c) | _ -> ([], f)
+  in
+  let ps = { init = C.tt; never_enter = []; observations = [] } in
+  List.iter (add_premise automaton ps) premises;
+  let safety bad =
+    Ta.Spec.invariant ~name ~ltl ~init:ps.init ~never_enter:ps.never_enter
+      ~bad:(ps.observations @ bad) ()
+  in
+  let liveness ?(extra_obs = []) target =
+    if ps.never_enter <> [] then
+      unsupported "liveness formulas cannot use [](kappa[L] = 0) premises";
+    match empty_locations target with
+    | None ->
+      unsupported "liveness target must be a conjunction of emptiness propositions"
+    | Some locs ->
+      if not (Ta.Automaton.absorbing_when_empty automaton locs) then
+        unsupported "liveness target %s is not absorbing" (C.to_string target);
+      Ta.Spec.liveness ~name ~ltl ~init:ps.init
+        ~observations:(ps.observations @ extra_obs)
+        ~target_violated:(C.some_nonempty locs) ()
+  in
+  match conclusion with
+  | Always (Prop q) -> safety [ ("violation of " ^ C.to_string q, negate_cond q) ]
+  | Always (Not (Prop q)) -> safety [ (C.to_string q, q) ]
+  | Eventually (Prop target) -> liveness target
+  | Always (Implies (Prop g, Eventually (Prop target))) ->
+    liveness ~extra_obs:[ (C.to_string g, g) ] target
+  | f -> unsupported "unsupported conclusion %s" (to_string f)

@@ -1,0 +1,53 @@
+(** Linear temporal logic over threshold-automaton configurations, and
+    its compilation into the violation patterns checked by {!Checker}.
+
+    This is the fragment used by the paper (Section 2): atomic
+    propositions are state conditions ({!Ta.Cond}) — emptiness of
+    locations and threshold evaluations — combined with boolean
+    connectives and the temporal operators [always] and [eventually].
+    Formulas are evaluated over the infinite runs of the counter system;
+    liveness formulas are checked under the fairness assumptions carried
+    by the automaton (rule fairness and justice constraints).
+
+    [compile] recognizes the shapes that the schema-based checker can
+    decide and produces the equivalent {!Ta.Spec.t}; it rejects formulas
+    outside the fragment with an explanatory [Unsupported] exception.
+
+    Supported shapes (after normalization):
+    - [P => always Q], [always Q], and conjunctions thereof (safety);
+    - [eventually A => always Q] (safety with an eventuality premise);
+    - [always (G => eventually T)] and [eventually A => eventually T]
+      and plain [eventually T] (liveness), where [T] is a conjunction of
+      location-emptiness propositions whose location set is absorbing.
+
+    Premises [P] may be state conditions on the initial configuration or
+    [always empty(L)] for locations without initial population. *)
+
+type t =
+  | Prop of Ta.Cond.t
+  | Not of t
+  | And of t list
+  | Implies of t * t
+  | Always of t
+  | Eventually of t
+
+exception Unsupported of string
+
+(** [prop c], [always f], [eventually f], [implies a b], [conj fs],
+    [not_ f] — constructors. *)
+val prop : Ta.Cond.t -> t
+
+val always : t -> t
+val eventually : t -> t
+val implies : t -> t -> t
+val conj : t list -> t
+val not_ : t -> t
+
+(** [compile ~automaton ~name f] translates [f] into a checkable spec.
+    [automaton] is needed to validate premises (a location with
+    [always empty] must have no incoming rules or be handled via
+    [never_enter]) and to render the formula.
+    @raise Unsupported when [f] falls outside the fragment. *)
+val compile : automaton:Ta.Automaton.t -> name:string -> t -> Ta.Spec.t
+
+val to_string : t -> string

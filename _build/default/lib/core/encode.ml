@@ -1,0 +1,238 @@
+module A = Ta.Automaton
+module G = Ta.Guard
+module Q = Numbers.Rational
+module L = Smt.Linexpr
+
+type var_kind =
+  | Param of string
+  | Init_counter of string
+  | Factor of int * string
+
+type encoded = {
+  vars : (int * var_kind) list;
+  n_slots : int;
+  atoms : Smt.Atom.t list;
+  branches : Smt.Atom.t list list list;
+      (* Factored justice case-splits: for each entry, at least one of the
+         alternative cubes (conjunctions of atoms) must hold in addition
+         to [atoms].  Empty for safety specs and for liveness schemas
+         whose final context decides every justice condition. *)
+}
+
+type state = {
+  mutable counters : (string * L.t) list;
+  mutable shared : (string * L.t) list;
+  mutable entered : (string * L.t) list;
+      (* kappa0 plus total inflow: "was this location ever populated" *)
+}
+
+let get assoc name =
+  match List.assoc_opt name assoc with
+  | Some e -> e
+  | None -> invalid_arg ("Encode: unknown name " ^ name)
+
+let set assoc name e = (name, e) :: List.remove_assoc name assoc
+
+let encode u (spec : Ta.Spec.t) (schema : Schema.t) =
+  let ta = Universe.automaton u in
+  let next_var = ref 0 in
+  let vars = ref [] in
+  let fresh kind =
+    let v = !next_var in
+    incr next_var;
+    vars := (v, kind) :: !vars;
+    v
+  in
+  let atoms = ref [] in
+  let branches = ref [] in
+  let assert_atom a = atoms := a :: !atoms in
+  let param_vars = List.map (fun p -> (p, fresh (Param p))) ta.params in
+  let pexpr (e : Ta.Pexpr.t) =
+    L.of_int_terms (List.map (fun (p, c) -> (c, List.assoc p param_vars)) e.coeffs) e.const
+  in
+  (* Resilience and non-negative parameters. *)
+  List.iter (fun e -> assert_atom (Smt.Atom.ge (pexpr e) L.zero)) ta.resilience;
+  List.iter (fun (_, v) -> assert_atom (Smt.Atom.ge (L.var v) L.zero)) param_vars;
+  (* Initial configuration. *)
+  let blocked l = List.mem l spec.never_enter in
+  let init_counters =
+    List.map
+      (fun l ->
+        if List.mem l ta.initial && not (blocked l) then begin
+          let v = fresh (Init_counter l) in
+          assert_atom (Smt.Atom.ge (L.var v) L.zero);
+          (l, L.var v)
+        end
+        else (l, L.zero))
+      ta.locations
+  in
+  let st =
+    {
+      counters = init_counters;
+      shared = List.map (fun x -> (x, L.zero)) ta.shared;
+      entered = init_counters;
+    }
+  in
+  let population =
+    List.fold_left
+      (fun acc l -> L.add acc (get st.counters l))
+      L.zero ta.initial
+  in
+  assert_atom (Smt.Atom.eq population (pexpr ta.population));
+  (* State condition -> atoms. *)
+  let cond_atoms (c : Ta.Cond.t) =
+    List.map
+      (fun (a : Ta.Cond.atom) ->
+        let expr =
+          List.fold_left
+            (fun acc (term, coef) ->
+              let e =
+                match term with
+                | Ta.Cond.Counter l -> get st.counters l
+                | Ta.Cond.Shared x -> get st.shared x
+                | Ta.Cond.Param p -> L.var (List.assoc p param_vars)
+              in
+              L.add acc (L.scale (Q.of_int coef) e))
+            (L.of_int a.const) a.terms
+        in
+        match a.rel with
+        | Ta.Cond.Ge -> Smt.Atom.ge expr L.zero
+        | Ta.Cond.Le -> Smt.Atom.le expr L.zero
+        | Ta.Cond.Eq -> Smt.Atom.eq expr L.zero)
+      c
+  in
+  List.iter assert_atom (cond_atoms spec.init);
+  let guard_lhs (a : G.atom) =
+    List.fold_left
+      (fun acc (x, c) -> L.add acc (L.scale (Q.of_int c) (get st.shared x)))
+      L.zero a.shared
+  in
+  let guard_true_atom (a : G.atom) = Smt.Atom.ge (guard_lhs a) (pexpr a.bound) in
+  let guard_false_atom (a : G.atom) = Smt.Atom.lt (guard_lhs a) (pexpr a.bound) in
+  let observations = Array.of_list (List.map snd spec.observations) in
+  let n_slots = ref 0 in
+  let rule_allowed (r : A.rule) = not (blocked r.target) in
+  let run_segment seg ctx =
+    List.iter
+      (fun (r : A.rule) ->
+        (* A rule whose source counter is the zero expression cannot move
+           anyone: skip the slot (keeps the queries small in early
+           segments, where most locations are provably empty). *)
+        if rule_allowed r && not (L.equal (get st.counters r.source) L.zero) then begin
+          incr n_slots;
+          let d = L.var (fresh (Factor (seg, r.name))) in
+          assert_atom (Smt.Atom.ge d L.zero);
+          let src = L.sub (get st.counters r.source) d in
+          assert_atom (Smt.Atom.ge src L.zero);
+          st.counters <- set st.counters r.source src;
+          st.counters <- set st.counters r.target (L.add (get st.counters r.target) d);
+          st.entered <- set st.entered r.target (L.add (get st.entered r.target) d);
+          List.iter
+            (fun (x, c) ->
+              st.shared <- set st.shared x (L.add (get st.shared x) (L.scale (Q.of_int c) d)))
+            r.update
+        end)
+      (Universe.enabled_rules u ctx)
+  in
+  (* No pinning between events: two guards may become true at the same
+     instant, so asserting "still-locked guards are false" at interior
+     boundaries would exclude real runs (incompleteness).  A rule only
+     fires in segments after its guard's unlock event, whose truth is
+     asserted, so soundness is unaffected. *)
+  let pin ctx =
+    List.iter
+      (fun g ->
+        if ctx land (1 lsl g) = 0 then assert_atom (guard_false_atom (Universe.atom u g)))
+      (Universe.ids u)
+  in
+  (* Walk the schema. *)
+  let seg = ref 0 in
+  let ctx = ref 0 in
+  List.iter
+    (fun (ev : Schema.event) ->
+      run_segment !seg !ctx;
+      incr seg;
+      match ev with
+      | Schema.Unlock g ->
+        ctx := !ctx lor (1 lsl g);
+        assert_atom (guard_true_atom (Universe.atom u g))
+      | Schema.Observe i -> List.iter assert_atom (cond_atoms observations.(i)))
+    schema;
+  (* Trailing segment: rules of the final context fire before the final
+     state is inspected. *)
+  run_segment !seg !ctx;
+  (* For a fair fixpoint, the still-locked guards must be false in the
+     final configuration (a run in which one of them turns true is
+     covered by the schema that unlocks it). *)
+  if spec.require_stable then pin !ctx;
+  (* Cut-point-free observations, on the complete run / final state. *)
+  Array.iter
+    (fun obs ->
+      match Obs.classify obs with
+      | Obs.Cut_point -> () (* handled by an Observe event *)
+      | Obs.Monotone_end -> List.iter assert_atom (cond_atoms obs)
+      | Obs.Ever_entered ->
+        List.iter
+          (fun (a : Ta.Cond.atom) ->
+            let expr =
+              List.fold_left
+                (fun acc (term, coef) ->
+                  match term with
+                  | Ta.Cond.Counter l ->
+                    L.add acc (L.scale (Q.of_int coef) (get st.entered l))
+                  | Ta.Cond.Shared _ | Ta.Cond.Param _ -> assert false)
+                (L.of_int a.const) a.terms
+            in
+            assert_atom (Smt.Atom.ge expr L.zero))
+          obs)
+    observations;
+  if spec.require_stable then begin
+    List.iter
+      (fun (r : A.rule) ->
+        let enabled =
+          List.for_all (fun g -> !ctx land (1 lsl g) <> 0) (Universe.guard_ids u r.guard)
+        in
+        if r.fairness = A.Fair && enabled && rule_allowed r then
+          assert_atom (Smt.Atom.eq (get st.counters r.source) L.zero))
+      ta.rules;
+    (* Justice constraints: kappa[loc] = 0 or the unless-condition fails.
+       The final context decides most unless-atoms (a locked guard it
+       implies pins it false — clause satisfied; an unlocked guard that
+       implies it pins it true — the disjunct vanishes).  Clauses that
+       remain undecided are factored per location into a binary
+       case-split handled by the checker. *)
+    let undecided = Hashtbl.create 8 in
+    List.iter
+      (fun (j : A.justice) ->
+        let statuses =
+          List.map (fun a -> (a, Universe.justice_atom_status u !ctx a)) j.unless
+        in
+        if not (List.exists (fun (_, s) -> s = `False) statuses) then begin
+          match List.filter (fun (_, s) -> s = `Unknown) statuses with
+          | [] -> assert_atom (Smt.Atom.eq (get st.counters j.loc) L.zero)
+          | unknown ->
+            let prev =
+              match Hashtbl.find_opt undecided j.loc with Some l -> l | None -> []
+            in
+            Hashtbl.replace undecided j.loc (List.map fst unknown :: prev)
+        end)
+      ta.justice;
+    Hashtbl.iter
+      (fun loc clauses ->
+        (* (k=0 \/ D1) /\ ... /\ (k=0 \/ Dm)  <=>  k=0 \/ (D1 /\ ... /\ Dm),
+           with each Di a disjunction of negated unless-atoms; expand the
+           conjunction of disjunctions into alternative cubes. *)
+        let cubes =
+          List.fold_left
+            (fun acc clause ->
+              List.concat_map
+                (fun cube -> List.map (fun a -> guard_false_atom a :: cube) clause)
+                acc)
+            [ [] ] clauses
+        in
+        let empty_cube = [ Smt.Atom.eq (get st.counters loc) L.zero ] in
+        branches := (empty_cube :: cubes) :: !branches)
+      undecided
+  end;
+  List.iter assert_atom (cond_atoms spec.final_cond);
+  { vars = List.rev !vars; n_slots = !n_slots; atoms = List.rev !atoms; branches = !branches }

@@ -1,0 +1,25 @@
+(** Encoding of one schema as a linear-arithmetic satisfiability query.
+
+    The query is satisfiable iff some run of the counter system follows
+    the schema and exhibits the spec's violation pattern (see
+    {!Ta.Spec}).  Variables: the parameters, the initial counters of the
+    initial locations, and one acceleration factor per (segment, enabled
+    rule) slot. *)
+
+type var_kind =
+  | Param of string
+  | Init_counter of string
+  | Factor of int * string  (** segment index, rule name *)
+
+type encoded = {
+  vars : (int * var_kind) list;  (** SMT variable id -> meaning *)
+  n_slots : int;  (** number of rule slots: the schema "length" *)
+  atoms : Smt.Atom.t list;  (** the conjunctive part of the query *)
+  branches : Smt.Atom.t list list list;
+      (** factored justice case-splits: for each entry, at least one of
+          the alternative cubes (conjunctions of atoms) must hold in
+          addition to [atoms]; empty for safety specs and for liveness
+          schemas whose final context decides every justice condition *)
+}
+
+val encode : Universe.t -> Ta.Spec.t -> Schema.t -> encoded

@@ -1,0 +1,25 @@
+type t = Ever_entered | Monotone_end | Cut_point
+
+let classify (c : Ta.Cond.t) =
+  match c with
+  | [ { Ta.Cond.terms; const = -1; rel = Ta.Cond.Ge } ]
+    when terms <> []
+         && List.for_all
+              (fun (term, coef) ->
+                match term with Ta.Cond.Counter _ -> coef > 0 | _ -> false)
+              terms ->
+    Ever_entered
+  | [ { Ta.Cond.terms; const = _; rel = Ta.Cond.Ge } ]
+    when terms <> []
+         && List.for_all
+              (fun (term, coef) ->
+                match term with
+                | Ta.Cond.Shared _ -> coef > 0
+                | Ta.Cond.Param _ -> true
+                | Ta.Cond.Counter _ -> false)
+              terms
+         && List.exists
+              (fun (term, _) -> match term with Ta.Cond.Shared _ -> true | _ -> false)
+              terms ->
+    Monotone_end
+  | _ -> Cut_point

@@ -1,0 +1,25 @@
+(** Classification of eventuality observations.
+
+    A naive encoding gives every eventuality its own cut-point in the
+    schema, multiplying the enumeration by the number of placements.  Two
+    common shapes admit an exact cut-point-free encoding:
+
+    - {b Ever-entered}: [sum c_i * kappa\[l_i\] >= 1] with positive
+      coefficients.  Over non-negative counters this says "some l_i was
+      ever populated", which holds along the run iff
+      [sum c_i * (kappa0\[l_i\] + total inflow into l_i) >= 1] — a single
+      constraint on the complete run.
+    - {b Monotone-end}: [sum c_i * x_i >= bound(params)] over shared
+      variables with positive coefficients.  Shared variables only grow,
+      so the eventuality holds iff the condition holds in the final
+      configuration.
+
+    Anything else falls back to an explicit cut-point ([Cut_point]),
+    handled by enumerating its position in the schema. *)
+
+type t =
+  | Ever_entered
+  | Monotone_end
+  | Cut_point
+
+val classify : Ta.Cond.t -> t

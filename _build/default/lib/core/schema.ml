@@ -1,0 +1,57 @@
+type event = Unlock of Universe.guard_id | Observe of int
+
+type t = event list
+
+exception Stop
+
+(* Observation indices that need explicit cut-points; the other shapes
+   are encoded on the final state (see Obs). *)
+let cut_point_indices (spec : Ta.Spec.t) =
+  List.concat
+    (List.mapi
+       (fun i (_, c) -> if Obs.classify c = Obs.Cut_point then [ i ] else [])
+       spec.observations)
+
+let enumerate u (spec : Ta.Spec.t) ~on_schema =
+  let cut_obs = cut_point_indices spec in
+  let full = List.fold_left (fun acc i -> acc lor (1 lsl i)) 0 cut_obs in
+  let emit rev_events =
+    if not (on_schema (List.rev rev_events)) then raise Stop
+  in
+  let rec go ctx obs_mask rev_events =
+    (* Every node with a complete cut-point set is a schema: the run may
+       end (safety) or stabilize (liveness) in any context. *)
+    if obs_mask = full then emit rev_events;
+    List.iter
+      (fun i ->
+        if obs_mask land (1 lsl i) = 0 then
+          go ctx (obs_mask lor (1 lsl i)) (Observe i :: rev_events))
+      cut_obs;
+    List.iter
+      (fun g -> go (ctx lor (1 lsl g)) obs_mask (Unlock g :: rev_events))
+      (Universe.unlock_candidates u ctx)
+  in
+  match go 0 0 [] with () -> true | exception Stop -> false
+
+let count u spec ~limit =
+  let n = ref 0 in
+  let complete =
+    enumerate u spec ~on_schema:(fun _ ->
+        incr n;
+        !n < limit)
+  in
+  if complete then `Exactly !n else `More_than !n
+
+let pp u (spec : Ta.Spec.t) fmt schema =
+  let obs_name i = fst (List.nth spec.observations i) in
+  Format.fprintf fmt "@[<hov 2>";
+  if schema = [] then Format.fprintf fmt "(empty: initial context only)";
+  List.iteri
+    (fun i ev ->
+      if i > 0 then Format.fprintf fmt " ;@ ";
+      match ev with
+      | Unlock g ->
+        Format.fprintf fmt "unlock{%s}" (Ta.Guard.atom_to_string (Universe.atom u g))
+      | Observe i -> Format.fprintf fmt "observe{%s}" (obs_name i))
+    schema;
+  Format.fprintf fmt "@]"

@@ -1,0 +1,26 @@
+(** Schemas: the finite summaries of infinite families of runs that the
+    checker enumerates (POPL'17).  A schema interleaves guard-unlock
+    events with observation events; between two events lies a {e segment}
+    in which the rules enabled by the current context fire, accelerated,
+    in topological order. *)
+
+type event =
+  | Unlock of Universe.guard_id
+  | Observe of int  (** index into the spec's observation list *)
+
+type t = event list
+
+(** [enumerate u spec ~on_schema] drives a DFS over admissible schemas,
+    calling [on_schema] for each.  [on_schema] returns [true] to continue
+    the enumeration, [false] to abort it.  Returns [true] when the
+    enumeration ran to completion.
+
+    For safety specs, a schema is emitted when its last event completes
+    the observation set; for liveness specs, every node with a complete
+    observation set is emitted (the run may stabilize in any context). *)
+val enumerate : Universe.t -> Ta.Spec.t -> on_schema:(t -> bool) -> bool
+
+(** [count u spec ~limit] counts schemas, up to [limit]. *)
+val count : Universe.t -> Ta.Spec.t -> limit:int -> [ `Exactly of int | `More_than of int ]
+
+val pp : Universe.t -> Ta.Spec.t -> Format.formatter -> t -> unit

@@ -1,0 +1,99 @@
+module A = Ta.Automaton
+module B = Numbers.Bigint
+
+type step = {
+  rule : string;
+  factor : int;
+  counters : (string * int) list;
+  shared : (string * int) list;
+}
+
+type t = {
+  spec_name : string;
+  schema : string;
+  params : (string * int) list;
+  init_counters : (string * int) list;
+  steps : step list;
+}
+
+let of_model u (spec : Ta.Spec.t) schema (encoded : Encode.encoded) model =
+  let ta = Universe.automaton u in
+  let value v =
+    match List.assoc_opt v model with
+    | Some b -> B.to_int_exn b
+    | None -> 0
+  in
+  let params = ref [] in
+  let init_counters = ref [] in
+  let factors = ref [] in
+  List.iter
+    (fun (v, kind) ->
+      match (kind : Encode.var_kind) with
+      | Encode.Param p -> params := (p, value v) :: !params
+      | Encode.Init_counter l -> init_counters := (l, value v) :: !init_counters
+      | Encode.Factor (seg, rule) -> factors := (seg, rule, value v) :: !factors)
+    encoded.vars;
+  let params = List.rev !params in
+  let init_counters = List.rev !init_counters in
+  (* Replay, checking non-negativity as we go. *)
+  let counters = Hashtbl.create 16 in
+  let shared = Hashtbl.create 16 in
+  List.iter (fun l -> Hashtbl.replace counters l 0) ta.locations;
+  List.iter (fun (l, v) -> Hashtbl.replace counters l v) init_counters;
+  List.iter (fun x -> Hashtbl.replace shared x 0) ta.shared;
+  let snapshot table keys = List.map (fun k -> (k, Hashtbl.find table k)) keys in
+  let steps = ref [] in
+  List.iter
+    (fun (_, rule_name, factor) ->
+      if factor > 0 then begin
+        let r = A.find_rule ta rule_name in
+        let src = Hashtbl.find counters r.source in
+        if src < factor then
+          failwith
+            (Printf.sprintf "Witness.of_model: negative counter replaying %s" rule_name);
+        Hashtbl.replace counters r.source (src - factor);
+        Hashtbl.replace counters r.target (Hashtbl.find counters r.target + factor);
+        List.iter
+          (fun (x, c) -> Hashtbl.replace shared x (Hashtbl.find shared x + (c * factor)))
+          r.update;
+        steps :=
+          {
+            rule = rule_name;
+            factor;
+            counters = snapshot counters ta.locations;
+            shared = snapshot shared ta.shared;
+          }
+          :: !steps
+      end)
+    (List.rev !factors);
+  {
+    spec_name = spec.name;
+    schema = Format.asprintf "%a" (Schema.pp u spec) schema;
+    params;
+    init_counters;
+    steps = List.rev !steps;
+  }
+
+let pp_binding fmt (name, v) = Format.fprintf fmt "%s=%d" name v
+
+let pp_nonzero fmt bindings =
+  let nz = List.filter (fun (_, v) -> v <> 0) bindings in
+  if nz = [] then Format.pp_print_string fmt "(all zero)"
+  else
+    Format.pp_print_list
+      ~pp_sep:(fun fmt () -> Format.pp_print_string fmt ", ")
+      pp_binding fmt nz
+
+let pp fmt w =
+  Format.fprintf fmt "@[<v 2>counterexample to %s:@," w.spec_name;
+  Format.fprintf fmt "parameters: %a@,"
+    (Format.pp_print_list ~pp_sep:(fun fmt () -> Format.pp_print_string fmt ", ") pp_binding)
+    w.params;
+  Format.fprintf fmt "schema: %s@," w.schema;
+  Format.fprintf fmt "initial: %a@," pp_nonzero w.init_counters;
+  List.iter
+    (fun s ->
+      Format.fprintf fmt "%s x%d -> locations: %a | shared: %a@," s.rule s.factor
+        pp_nonzero s.counters pp_nonzero s.shared)
+    w.steps;
+  Format.fprintf fmt "@]"

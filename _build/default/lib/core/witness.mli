@@ -1,0 +1,31 @@
+(** Counterexample reconstruction: turns a satisfying assignment of a
+    schema query back into concrete parameters and an (accelerated) run
+    of the counter system. *)
+
+type step = {
+  rule : string;
+  factor : int;
+  counters : (string * int) list;  (** configuration after the step *)
+  shared : (string * int) list;
+}
+
+type t = {
+  spec_name : string;
+  schema : string;  (** rendered schema *)
+  params : (string * int) list;
+  init_counters : (string * int) list;
+  steps : step list;  (** only steps with a positive factor *)
+}
+
+(** [of_model u spec schema encoded model] replays the model.  Also
+    re-validates internally that counters stay non-negative.
+    @raise Failure if the model does not replay (a checker bug). *)
+val of_model :
+  Universe.t ->
+  Ta.Spec.t ->
+  Schema.t ->
+  Encode.encoded ->
+  (int * Numbers.Bigint.t) list ->
+  t
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,1 @@
+lib/dbft/byzantine.ml: Hashtbl List Message Random Simnet Vset

@@ -1,0 +1,1 @@
+lib/dbft/byzantine.mli: Message Simnet

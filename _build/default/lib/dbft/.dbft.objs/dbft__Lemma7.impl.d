@@ -1,0 +1,1 @@
+lib/dbft/lemma7.ml: Byzantine List Message Runner Simnet Vset

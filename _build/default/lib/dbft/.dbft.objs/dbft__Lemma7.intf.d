@@ -1,0 +1,1 @@
+lib/dbft/lemma7.mli: Byzantine Message Runner Simnet

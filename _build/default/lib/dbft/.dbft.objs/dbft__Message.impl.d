@@ -1,0 +1,1 @@
+lib/dbft/message.ml: Printf Vset

@@ -1,0 +1,1 @@
+lib/dbft/message.mli: Vset

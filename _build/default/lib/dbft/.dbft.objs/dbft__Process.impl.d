@@ -1,0 +1,1 @@
+lib/dbft/process.ml: Array Hashtbl Int List Message Set Simnet Vset

@@ -1,0 +1,1 @@
+lib/dbft/process.mli: Message Simnet Vset

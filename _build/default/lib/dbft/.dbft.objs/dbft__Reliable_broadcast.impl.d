@@ -1,0 +1,1 @@
+lib/dbft/reliable_broadcast.ml: Hashtbl Int Printf Set Simnet

@@ -1,0 +1,1 @@
+lib/dbft/reliable_broadcast.mli: Simnet

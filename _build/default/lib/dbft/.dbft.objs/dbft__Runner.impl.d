@@ -1,0 +1,1 @@
+lib/dbft/runner.ml: Byzantine Format Fun List Message Process Simnet

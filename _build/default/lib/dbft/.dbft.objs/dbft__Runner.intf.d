@@ -1,0 +1,1 @@
+lib/dbft/runner.mli: Byzantine Format Message Simnet

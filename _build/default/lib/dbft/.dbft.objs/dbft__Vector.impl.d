@@ -1,0 +1,1 @@
+lib/dbft/vector.ml: Array Byzantine Format Fun Hashtbl Lazy List Message Printf Process Random Reliable_broadcast Simnet String

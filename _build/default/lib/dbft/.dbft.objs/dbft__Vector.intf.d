@@ -1,0 +1,1 @@
+lib/dbft/vector.mli: Format

@@ -1,0 +1,1 @@
+lib/dbft/vset.mli:

@@ -1,0 +1,57 @@
+module Net = Simnet.Network
+
+type strategy =
+  | Silent
+  | Equivocate
+  | Noise of int
+  | Scripted of (round:int -> (int * Message.t) list)
+
+type t = {
+  id : int;
+  n : int;
+  strategy : strategy;
+  net : Message.t Net.t;
+  seen_rounds : (int, unit) Hashtbl.t;
+  rng : Random.State.t;
+}
+
+let create ~id ~n strategy net =
+  let seed = match strategy with Noise s -> s | _ -> 0 in
+  {
+    id;
+    n;
+    strategy;
+    net;
+    seen_rounds = Hashtbl.create 8;
+    rng = Random.State.make [| seed; id |];
+  }
+
+let id b = b.id
+
+let act_on_round b round =
+  if not (Hashtbl.mem b.seen_rounds round) then begin
+    Hashtbl.replace b.seen_rounds round ();
+    match b.strategy with
+    | Silent -> ()
+    | Equivocate ->
+      for dest = 0 to b.n - 1 do
+        if dest <> b.id then begin
+          let v = if 2 * dest < b.n then 0 else 1 in
+          Net.send b.net ~src:b.id ~dest (Message.Bv { round; value = v });
+          Net.send b.net ~src:b.id ~dest (Message.Aux { round; values = Vset.singleton v })
+        end
+      done
+    | Noise _ ->
+      for dest = 0 to b.n - 1 do
+        if dest <> b.id then begin
+          Net.send b.net ~src:b.id ~dest
+            (Message.Bv { round; value = Random.State.int b.rng 2 });
+          let values = Vset.of_list (List.filter (fun _ -> Random.State.bool b.rng) [ 0; 1 ]) in
+          Net.send b.net ~src:b.id ~dest (Message.Aux { round; values })
+        end
+      done
+    | Scripted f ->
+      List.iter (fun (dest, msg) -> Net.send b.net ~src:b.id ~dest msg) (f ~round)
+  end
+
+let handle b ~src:_ msg = act_on_round b (Message.round msg)

@@ -1,0 +1,26 @@
+(** Byzantine process behaviours.
+
+    A Byzantine process reacts to the messages it receives (it cannot see
+    more than the network delivers to it) and may send {e arbitrary}
+    messages, including different values to different destinations
+    (equivocation).  Strategies are deterministic given their seed so
+    that failing runs are reproducible. *)
+
+type strategy =
+  | Silent  (** sends nothing: a crashed process *)
+  | Equivocate
+      (** on each round, sends BV(v) and AUX({v}) with a different v to
+          each half of the processes *)
+  | Noise of int  (** seeded: random BV values and AUX sets per round and
+                      destination, including empty and two-element sets *)
+  | Scripted of (round:int -> (int * Message.t) list)
+      (** custom per-round sends as [(destination, message)] pairs,
+          emitted the first time the process observes that round *)
+
+type t
+
+val create : id:int -> n:int -> strategy -> Message.t Simnet.Network.t -> t
+val id : t -> int
+
+(** [handle b ~src msg] lets the Byzantine process react to a delivery. *)
+val handle : t -> src:int -> Message.t -> unit

@@ -1,0 +1,84 @@
+let byzantine_id = 3
+
+(* Round 0 has w = 0: processes a1 = 0 and a2 = 1 hold v = 1, c = 2
+   holds w = 0. *)
+let inputs = [ 1; 1; 0 ]
+
+(* (a1, a2, c) -> (c, a2, a1) each round, starting from (0, 1, 2). *)
+let roles ~round = if round mod 2 = 0 then (0, 1, 2) else (2, 1, 0)
+
+let strategy =
+  Byzantine.Scripted
+    (fun ~round ->
+      let a1, a2, c = roles ~round in
+      let w = round mod 2 in
+      let v = 1 - w in
+      [
+        (* Make a1 and a2 bv-deliver v first (with a1, a2 they form
+           2t+1 = 3 distinct senders). *)
+        (a1, Message.Bv { round; value = v });
+        (a2, Message.Bv { round; value = v });
+        (* Make a2 and c bv-deliver w (with c and a2's echo). *)
+        (a2, Message.Bv { round; value = w });
+        (c, Message.Bv { round; value = w });
+        (* Aux messages steering the qualifiers sets: a1 sees {v} three
+           times and keeps v; a2 and c see mixed sets and adopt w. *)
+        (a1, Message.Aux { round; values = Vset.singleton v });
+        (a2, Message.Aux { round; values = Vset.singleton w });
+        (c, Message.Aux { round; values = Vset.singleton w });
+      ])
+
+(* Delivery phases within round r (see the proof of Lemma 7):
+   0: everything addressed to the Byzantine process (triggers its sends);
+   1: BV(v) into {a1, a2} from {a1, a2, b}      — first deliveries of v;
+   2: BV(w) into {a2, c} from {c, b, a2}        — a2 echoes, both deliver w;
+   3: BV(v) into {c} from {a1, a2, c}           — c echoes, delivers v;
+   4: AUX into a1 from {a1, a2, b}              — a1 keeps v;
+   5: AUX into a2 from {a1, a2, b}              — a2 adopts w;
+   6: AUX into c from {a1, c, b}                — c adopts w;
+   9: everything else (delivered once the round's script is done, when
+      every correct process has advanced: the stale messages are
+      discarded by communication-closedness). *)
+let phase (p : Message.t Simnet.Network.pending) =
+  let round = Message.round p.msg in
+  let a1, a2, c = roles ~round in
+  let b = byzantine_id in
+  let w = round mod 2 in
+  let v = 1 - w in
+  let ph =
+    if p.dest = b then 0
+    else
+      match p.msg with
+      | Message.Bv { value; _ } when value = v && (p.dest = a1 || p.dest = a2)
+                                     && List.mem p.src [ a1; a2; b ] -> 1
+      | Message.Bv { value; _ } when value = w && (p.dest = a2 || p.dest = c)
+                                     && List.mem p.src [ c; b; a2 ] -> 2
+      | Message.Bv { value; _ } when value = v && p.dest = c
+                                     && List.mem p.src [ a1; a2; c ] -> 3
+      | Message.Aux _ when p.dest = a1 && List.mem p.src [ a1; a2; b ] -> 4
+      | Message.Aux _ when p.dest = a2 && List.mem p.src [ a1; a2; b ] -> 5
+      | Message.Aux _ when p.dest = c && List.mem p.src [ a1; c; b ] -> 6
+      | Message.Bv _ | Message.Aux _ -> 9
+  in
+  (round * 100) + ph
+
+let scheduler () =
+  Simnet.Scheduler.Custom
+    (fun pending ->
+      match pending with
+      | [] -> None
+      | first :: rest ->
+        let best =
+          List.fold_left
+            (fun best p ->
+              let bp = phase best and pp = phase p in
+              if pp < bp || (pp = bp && p.Simnet.Network.seq < best.Simnet.Network.seq)
+              then p
+              else best)
+            first rest
+        in
+        Some best)
+
+let config ~max_round =
+  Runner.config ~n:4 ~t:1 ~inputs ~byzantine:[ (byzantine_id, strategy) ]
+    ~scheduler:(scheduler ()) ~max_round ()

@@ -1,0 +1,32 @@
+(** The non-termination adversary of the paper's Lemma 7 (Appendix B):
+    with [n = 4] and [f = 1], a Byzantine process and an adversarial
+    delivery schedule keep the correct estimates in the pattern
+    "two processes hold [1 - (r mod 2)], one holds [r mod 2]" forever, so
+    no correct process ever decides.  This is the execution showing that
+    Algorithm 1 needs the fairness assumption (Definition 3) to
+    terminate.
+
+    Roles per round: [a1] and [a2] hold the doomed majority value
+    [v = 1 - (r mod 2)]; [c] holds [w = r mod 2].  At the end of the
+    round [a1] keeps [v], while [a2] and [c] adopt [w]; the roles rotate
+    [(a1, a2, c) -> (c, a2, a1)]. *)
+
+(** Process ids: correct = 0, 1, 2; Byzantine = 3. *)
+val byzantine_id : int
+
+(** Inputs for the correct processes 0, 1, 2 (round 0 has [w = 0], so the
+    majority holds 1). *)
+val inputs : int list
+
+(** [roles ~round] is [(a1, a2, c)]. *)
+val roles : round:int -> int * int * int
+
+(** The Byzantine strategy: equivocates BV values and AUX sets exactly as
+    in the proof of Lemma 7. *)
+val strategy : Byzantine.strategy
+
+(** The adversarial delivery schedule. *)
+val scheduler : unit -> Message.t Simnet.Scheduler.t
+
+(** [config ~max_round] assembles the full runner configuration. *)
+val config : max_round:int -> Runner.config

@@ -1,0 +1,9 @@
+type t =
+  | Bv of { round : int; value : int }
+  | Aux of { round : int; values : Vset.t }
+
+let round = function Bv { round; _ } -> round | Aux { round; _ } -> round
+
+let to_string = function
+  | Bv { round; value } -> Printf.sprintf "BV(r=%d, %d)" round value
+  | Aux { round; values } -> Printf.sprintf "AUX(r=%d, %s)" round (Vset.to_string values)

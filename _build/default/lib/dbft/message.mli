@@ -1,0 +1,11 @@
+(** Wire messages of the DBFT binary consensus (Algorithm 1): BV messages
+    of the inner binary-value broadcast (Fig. 1) and AUX messages carrying
+    a contestants snapshot.  Every message is tagged with its round —
+    the algorithm is communication-closed (paper, Section 2). *)
+
+type t =
+  | Bv of { round : int; value : int }
+  | Aux of { round : int; values : Vset.t }
+
+val round : t -> int
+val to_string : t -> string

@@ -1,0 +1,157 @@
+module Net = Simnet.Network
+
+module ISet = Set.Make (Int)
+
+type round_state = {
+  mutable bv_senders : ISet.t array;  (* senders of BV(v), indexed by v *)
+  mutable echoed : bool array;  (* v already (re)broadcast *)
+  mutable contestants : Vset.t;
+  mutable aux_sent : bool;
+  mutable favorites : (int * Vset.t) list;  (* reverse arrival order *)
+}
+
+type t = {
+  id : int;
+  n : int;
+  t_bound : int;
+  net : Message.t Net.t;
+  mutable est : int;
+  mutable round : int;
+  mutable started : bool;
+  mutable decided : (int * int) option;
+  mutable decisions : (int * int) list;
+  mutable max_round : int;
+  rounds : (int, round_state) Hashtbl.t;
+}
+
+let fresh_round () =
+  {
+    bv_senders = [| ISet.empty; ISet.empty |];
+    echoed = [| false; false |];
+    contestants = Vset.empty;
+    aux_sent = false;
+    favorites = [];
+  }
+
+let round_state p r =
+  match Hashtbl.find_opt p.rounds r with
+  | Some rs -> rs
+  | None ->
+    let rs = fresh_round () in
+    Hashtbl.replace p.rounds r rs;
+    rs
+
+let create ~id ~n ~t ~input net =
+  if input <> 0 && input <> 1 then invalid_arg "Process.create: binary input expected";
+  {
+    id;
+    n;
+    t_bound = t;
+    net;
+    est = input;
+    round = 0;
+    started = false;
+    decided = None;
+    decisions = [];
+    max_round = max_int;
+    rounds = Hashtbl.create 8;
+  }
+
+let id p = p.id
+let round p = p.round
+let estimate p = p.est
+let decision p = p.decided
+let decisions p = List.rev p.decisions
+let contestants p r = (round_state p r).contestants
+let set_max_round p r = p.max_round <- r
+
+let decide p v =
+  p.decisions <- (v, p.round) :: p.decisions;
+  if p.decided = None then p.decided <- Some (v, p.round)
+
+(* Begin the current round: bv-broadcast(est) (Fig. 1, line 2). *)
+let begin_round p =
+  let rs = round_state p p.round in
+  rs.echoed.(p.est) <- true;
+  Net.broadcast p.net ~src:p.id (Message.Bv { round = p.round; value = p.est })
+
+(* Qualifying favorites, oldest first: non-empty aux sets included in the
+   contestants set (Algorithm 1, line 9). *)
+let qualifying rs =
+  List.rev rs.favorites
+  |> List.filter (fun (_, vs) -> (not (Vset.is_empty vs)) && Vset.subset vs rs.contestants)
+
+(* Run every enabled action of the current round to quiescence. *)
+let rec progress p =
+  if p.round <= p.max_round then begin
+    let rs = round_state p p.round in
+    let changed = ref false in
+    (* Fig. 1, lines 4-5: echo a value received from t+1 distinct processes. *)
+    List.iter
+      (fun v ->
+        if (not rs.echoed.(v)) && ISet.cardinal rs.bv_senders.(v) >= p.t_bound + 1 then begin
+          rs.echoed.(v) <- true;
+          Net.broadcast p.net ~src:p.id (Message.Bv { round = p.round; value = v });
+          changed := true
+        end)
+      [ 0; 1 ];
+    (* Fig. 1, lines 6-7: deliver a value received from 2t+1 distinct
+       processes. *)
+    List.iter
+      (fun v ->
+        if
+          (not (Vset.mem v rs.contestants))
+          && ISet.cardinal rs.bv_senders.(v) >= (2 * p.t_bound) + 1
+        then begin
+          rs.contestants <- Vset.add v rs.contestants;
+          changed := true
+        end)
+      [ 0; 1 ];
+    (* Algorithm 1, lines 7-8: broadcast the aux message once contestants
+       is non-empty. *)
+    if (not rs.aux_sent) && not (Vset.is_empty rs.contestants) then begin
+      rs.aux_sent <- true;
+      Net.broadcast p.net ~src:p.id (Message.Aux { round = p.round; values = rs.contestants });
+      changed := true
+    end;
+    (* Algorithm 1, lines 9-13. *)
+    let quals = qualifying rs in
+    if rs.aux_sent && List.length quals >= p.n - p.t_bound then begin
+      let chosen = List.filteri (fun i _ -> i < p.n - p.t_bound) quals in
+      let qualifiers =
+        List.fold_left (fun acc (_, vs) -> Vset.union acc vs) Vset.empty chosen
+      in
+      (match Vset.is_singleton qualifiers with
+       | Some v ->
+         p.est <- v;
+         if v = p.round mod 2 then decide p v
+       | None -> p.est <- p.round mod 2);
+      p.round <- p.round + 1;
+      if p.round <= p.max_round then begin
+        begin_round p;
+        progress p
+      end
+    end
+    else if !changed then progress p
+  end
+
+let start p =
+  if not p.started then begin
+    p.started <- true;
+    begin_round p;
+    progress p
+  end
+
+let handle p ~src msg =
+  let r = Message.round msg in
+  if r >= p.round && r <= p.max_round then begin
+    let rs = round_state p r in
+    (match msg with
+     | Message.Bv { value; _ } ->
+       if value = 0 || value = 1 then
+         rs.bv_senders.(value) <- ISet.add src rs.bv_senders.(value)
+     | Message.Aux { values; _ } ->
+       if not (List.mem_assoc src rs.favorites) then
+         rs.favorites <- (src, values) :: rs.favorites);
+    if r = p.round then progress p
+  end

@@ -1,0 +1,42 @@
+(** A correct process running the DBFT binary Byzantine consensus
+    (Algorithm 1) with the embedded binary-value broadcast (Fig. 1).
+
+    The process is reactive: {!handle} consumes one delivered message and
+    performs every enabled action (echo, bv-deliver, aux broadcast, round
+    completion).  Messages from future rounds are buffered, messages from
+    past rounds discarded (communication-closedness). *)
+
+type t
+
+(** [create ~id ~n ~t ~input net] makes a process with input value
+    [input] in [{0, 1}].  The process does not send anything until
+    {!start}. *)
+val create : id:int -> n:int -> t:int -> input:int -> Message.t Simnet.Network.t -> t
+
+(** [start p] begins round 0: bv-broadcasts the input value. *)
+val start : t -> unit
+
+(** [handle p ~src msg] processes one delivery. *)
+val handle : t -> src:int -> Message.t -> unit
+
+val id : t -> int
+
+(** [round p] is the current round number. *)
+val round : t -> int
+
+(** [estimate p] is the current estimate. *)
+val estimate : t -> int
+
+(** [decision p] is the first decided value with its round, if any. *)
+val decision : t -> (int * int) option
+
+(** [decisions p] lists every [decide] invocation (Algorithm 1 may decide
+    in several rounds; only the first matters). *)
+val decisions : t -> (int * int) list
+
+(** [contestants p r] is the contestants set of round [r] (for tests). *)
+val contestants : t -> int -> Vset.t
+
+(** [set_max_round p r] stops the process from starting rounds beyond
+    [r] (so that runs without decisions terminate). *)
+val set_max_round : t -> int -> unit

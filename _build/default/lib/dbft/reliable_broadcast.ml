@@ -1,0 +1,110 @@
+module Net = Simnet.Network
+module ISet = Set.Make (Int)
+
+type msg =
+  | Init of { origin : int; value : string }
+  | Echo of { origin : int; value : string }
+  | Ready of { origin : int; value : string }
+
+let msg_to_string = function
+  | Init { origin; value } -> Printf.sprintf "INIT(%d, %s)" origin value
+  | Echo { origin; value } -> Printf.sprintf "ECHO(%d, %s)" origin value
+  | Ready { origin; value } -> Printf.sprintf "READY(%d, %s)" origin value
+
+(* Per-origin instance state. *)
+type instance = {
+  mutable echoed : bool;
+  mutable ready_sent : bool;
+  mutable value_delivered : string option;
+  echo_senders : (string, ISet.t) Hashtbl.t;
+  ready_senders : (string, ISet.t) Hashtbl.t;
+}
+
+type t = {
+  id : int;
+  n : int;
+  t_bound : int;
+  net : msg Net.t;
+  on_deliver : origin:int -> value:string -> unit;
+  instances : (int, instance) Hashtbl.t;
+}
+
+let create ~id ~n ~t ~on_deliver net =
+  { id; n; t_bound = t; net; on_deliver; instances = Hashtbl.create 8 }
+
+let instance rb origin =
+  match Hashtbl.find_opt rb.instances origin with
+  | Some i -> i
+  | None ->
+    let i =
+      {
+        echoed = false;
+        ready_sent = false;
+        value_delivered = None;
+        echo_senders = Hashtbl.create 4;
+        ready_senders = Hashtbl.create 4;
+      }
+    in
+    Hashtbl.replace rb.instances origin i;
+    i
+
+let broadcast rb value =
+  Net.broadcast rb.net ~src:rb.id (Init { origin = rb.id; value })
+
+let add table value src =
+  let set = match Hashtbl.find_opt table value with Some s -> s | None -> ISet.empty in
+  let set = ISet.add src set in
+  Hashtbl.replace table value set;
+  ISet.cardinal set
+
+let count table value =
+  match Hashtbl.find_opt table value with Some s -> ISet.cardinal s | None -> 0
+
+let rec progress rb origin inst =
+  Hashtbl.iter
+    (fun value _ ->
+      (* 2t+1 echoes, or t+1 readies, justify sending READY. *)
+      if
+        (not inst.ready_sent)
+        && (count inst.echo_senders value >= (2 * rb.t_bound) + 1
+           || count inst.ready_senders value >= rb.t_bound + 1)
+      then begin
+        inst.ready_sent <- true;
+        Net.broadcast rb.net ~src:rb.id (Ready { origin; value });
+        progress rb origin inst
+      end;
+      (* 2t+1 readies deliver. *)
+      if inst.value_delivered = None && count inst.ready_senders value >= (2 * rb.t_bound) + 1
+      then begin
+        inst.value_delivered <- Some value;
+        rb.on_deliver ~origin ~value
+      end)
+    (let merged = Hashtbl.create 8 in
+     Hashtbl.iter (fun v _ -> Hashtbl.replace merged v ()) inst.echo_senders;
+     Hashtbl.iter (fun v _ -> Hashtbl.replace merged v ()) inst.ready_senders;
+     merged)
+
+let handle rb ~src msg =
+  match msg with
+  | Init { origin; value } ->
+    (* Only the origin itself may initiate; echo the first init. *)
+    if src = origin then begin
+      let inst = instance rb origin in
+      if not inst.echoed then begin
+        inst.echoed <- true;
+        Net.broadcast rb.net ~src:rb.id (Echo { origin; value })
+      end
+    end
+  | Echo { origin; value } ->
+    let inst = instance rb origin in
+    ignore (add inst.echo_senders value src);
+    progress rb origin inst
+  | Ready { origin; value } ->
+    let inst = instance rb origin in
+    ignore (add inst.ready_senders value src);
+    progress rb origin inst
+
+let delivered rb origin =
+  match Hashtbl.find_opt rb.instances origin with
+  | Some i -> i.value_delivered
+  | None -> None

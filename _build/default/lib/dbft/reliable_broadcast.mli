@@ -1,0 +1,41 @@
+(** Byzantine reliable broadcast (Bracha-style), the classic component
+    the paper lists among the building blocks of blockchain consensus
+    (Section 7; [50] is its binary-value variant).
+
+    Guarantees with n > 3t: if a correct origin broadcasts v, every
+    correct process delivers (origin, v) [validity]; no two correct
+    processes deliver different values for the same origin [consistency];
+    if any correct process delivers, every correct process eventually
+    delivers [totality].
+
+    Used by {!Vector} to disseminate proposals so that equivocating
+    Byzantine proposers cannot make correct processes adopt different
+    proposal contents. *)
+
+type msg =
+  | Init of { origin : int; value : string }
+  | Echo of { origin : int; value : string }
+  | Ready of { origin : int; value : string }
+
+val msg_to_string : msg -> string
+
+(** One process's endpoint.  [on_deliver origin value] is invoked at most
+    once per origin. *)
+type t
+
+val create :
+  id:int ->
+  n:int ->
+  t:int ->
+  on_deliver:(origin:int -> value:string -> unit) ->
+  msg Simnet.Network.t ->
+  t
+
+(** [broadcast rb value] starts reliably broadcasting [value] with this
+    process as origin. *)
+val broadcast : t -> string -> unit
+
+val handle : t -> src:int -> msg -> unit
+
+(** [delivered rb origin] is the delivered value for [origin], if any. *)
+val delivered : t -> int -> string option

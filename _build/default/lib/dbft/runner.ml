@@ -1,0 +1,95 @@
+module Net = Simnet.Network
+
+type config = {
+  n : int;
+  t : int;
+  inputs : int list;
+  byzantine : (int * Byzantine.strategy) list;
+  scheduler : Message.t Simnet.Scheduler.t;
+  max_round : int;
+  max_steps : int;
+}
+
+type report = {
+  decisions : (int * int * int) list;
+  rounds_reached : (int * int) list;
+  steps : int;
+  all_decided : bool;
+  agreement : bool;
+  validity : bool;
+}
+
+let config ~n ~t ~inputs ?(byzantine = []) ?(scheduler = Simnet.Scheduler.random ~seed:1)
+    ?(max_round = 30) ?(max_steps = 200_000) () =
+  { n; t; inputs; byzantine; scheduler; max_round; max_steps }
+
+type participant = Correct of Process.t | Byz of Byzantine.t
+
+let run cfg =
+  let byz_ids = List.map fst cfg.byzantine in
+  if List.length (List.sort_uniq compare byz_ids) <> List.length byz_ids then
+    invalid_arg "Runner.run: duplicate byzantine ids";
+  List.iter
+    (fun i -> if i < 0 || i >= cfg.n then invalid_arg "Runner.run: byzantine id out of range")
+    byz_ids;
+  let correct_ids =
+    List.filter (fun i -> not (List.mem i byz_ids)) (List.init cfg.n Fun.id)
+  in
+  if List.length cfg.inputs <> List.length correct_ids then
+    invalid_arg "Runner.run: need exactly one input per correct process";
+  let net = Net.create ~n:cfg.n in
+  let correct_inputs = List.combine correct_ids cfg.inputs in
+  let participants =
+    List.map
+      (fun i ->
+        match List.assoc_opt i cfg.byzantine with
+        | Some strategy -> Byz (Byzantine.create ~id:i ~n:cfg.n strategy net)
+        | None ->
+          let input = List.assoc i correct_inputs in
+          let p = Process.create ~id:i ~n:cfg.n ~t:cfg.t ~input net in
+          Process.set_max_round p cfg.max_round;
+          Correct p)
+      (List.init cfg.n Fun.id)
+  in
+  let correct =
+    List.filter_map (function Correct p -> Some p | Byz _ -> None) participants
+  in
+  List.iter Process.start correct;
+  let steps = ref 0 in
+  let all_decided () = List.for_all (fun p -> Process.decision p <> None) correct in
+  let continue () =
+    Net.pending_count net > 0 && !steps < cfg.max_steps && not (all_decided ())
+  in
+  while continue () do
+    let p = Simnet.Scheduler.pick cfg.scheduler (Net.pending net) in
+    let { Net.src; dest; msg; _ } = Net.deliver net p in
+    incr steps;
+    match List.nth participants dest with
+    | Correct proc -> Process.handle proc ~src msg
+    | Byz b -> Byzantine.handle b ~src msg
+  done;
+  let decisions =
+    List.filter_map
+      (fun p ->
+        match Process.decision p with
+        | Some (v, r) -> Some (Process.id p, v, r)
+        | None -> None)
+      correct
+  in
+  let decided_values = List.sort_uniq compare (List.map (fun (_, v, _) -> v) decisions) in
+  {
+    decisions;
+    rounds_reached = List.map (fun p -> (Process.id p, Process.round p)) correct;
+    steps = !steps;
+    all_decided = all_decided ();
+    agreement = List.length decided_values <= 1;
+    validity = List.for_all (fun v -> List.mem v cfg.inputs) decided_values;
+  }
+
+let pp_report fmt r =
+  Format.fprintf fmt "@[<v 2>run: %d deliveries@," r.steps;
+  List.iter
+    (fun (p, v, rd) -> Format.fprintf fmt "p%d decided %d in round %d@," p v rd)
+    r.decisions;
+  Format.fprintf fmt "all decided: %b; agreement: %b; validity: %b@]" r.all_decided
+    r.agreement r.validity

@@ -1,0 +1,35 @@
+(** Orchestration of consensus runs over the simulated network, with
+    property monitors for the three consensus properties (paper,
+    Section 2): Termination, Agreement, Validity. *)
+
+type config = {
+  n : int;
+  t : int;
+  inputs : int list;  (** one input per correct process, in id order *)
+  byzantine : (int * Byzantine.strategy) list;  (** id -> strategy *)
+  scheduler : Message.t Simnet.Scheduler.t;
+  max_round : int;  (** correct processes stop after this round *)
+  max_steps : int;  (** delivery budget *)
+}
+
+type report = {
+  decisions : (int * int * int) list;  (** process, value, round of first decision *)
+  rounds_reached : (int * int) list;  (** process, final round *)
+  steps : int;  (** deliveries performed *)
+  all_decided : bool;
+  agreement : bool;  (** no two correct processes decided differently *)
+  validity : bool;  (** every decided value was some correct process's input *)
+}
+
+(** [run config] executes until every correct process decided (and the
+    network quiesced) or the budget is exhausted.
+    @raise Invalid_argument on inconsistent configuration. *)
+val run : config -> report
+
+(** [default_config ~n ~t ~inputs ~seed] — random fair scheduler, no
+    Byzantine processes (ids [n - length inputs] past the correct ones
+    are implied Byzantine and silent if [inputs] is shorter than [n]). *)
+val config : n:int -> t:int -> inputs:int list -> ?byzantine:(int * Byzantine.strategy) list
+  -> ?scheduler:Message.t Simnet.Scheduler.t -> ?max_round:int -> ?max_steps:int -> unit -> config
+
+val pp_report : Format.formatter -> report -> unit

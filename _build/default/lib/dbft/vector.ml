@@ -1,0 +1,219 @@
+module Net = Simnet.Network
+module Rb = Reliable_broadcast
+
+type config = {
+  n : int;
+  t : int;
+  proposals : (int * string) list;
+  byzantine : int list;
+  seed : int;
+  max_steps : int;
+}
+
+let config ~n ~t ~proposals ?(byzantine = []) ?(seed = 1) ?(max_steps = 500_000) () =
+  { n; t; proposals; byzantine; seed; max_steps }
+
+type report = {
+  superblocks : (int * (int * string) list) list;
+  steps : int;
+  all_decided : bool;
+  agreement : bool;
+  integrity : bool;
+}
+
+(* Per-correct-process vector-consensus state. *)
+type vstate = {
+  id : int;
+  rb : Rb.t;
+  proposals_seen : string option array;
+  binary : Process.t option array;
+  buffers : (int * Message.t) list array;  (* reverse order *)
+  mutable delivered_count : int;
+  mutable zero_phase : bool;  (* voting 0 in all unjoined instances *)
+}
+
+let run cfg =
+  List.iter
+    (fun b -> if b < 0 || b >= cfg.n then invalid_arg "Vector.run: byzantine id out of range")
+    cfg.byzantine;
+  let correct_ids =
+    List.filter (fun i -> not (List.mem i cfg.byzantine)) (List.init cfg.n Fun.id)
+  in
+  List.iter
+    (fun i ->
+      if not (List.mem_assoc i cfg.proposals) then
+        invalid_arg (Printf.sprintf "Vector.run: missing proposal for correct process %d" i))
+    correct_ids;
+  let rb_net : Rb.msg Net.t = Net.create ~n:cfg.n in
+  let bin_nets = Array.init cfg.n (fun _ -> (Net.create ~n:cfg.n : Message.t Net.t)) in
+  let rng = Random.State.make [| cfg.seed |] in
+  (* Byzantine participants: equivocate proposals at the broadcast layer
+     and run the equivocating strategy inside every binary instance. *)
+  let byz_binary =
+    List.map
+      (fun b ->
+        (b, Array.init cfg.n (fun j -> Byzantine.create ~id:b ~n:cfg.n Byzantine.Equivocate bin_nets.(j))))
+      cfg.byzantine
+  in
+  let byz_rb_triggered = Hashtbl.create 4 in
+  let byz_rb_act b =
+    if not (Hashtbl.mem byz_rb_triggered b) then begin
+      Hashtbl.replace byz_rb_triggered b ();
+      for dest = 0 to cfg.n - 1 do
+        let value = if 2 * dest < cfg.n then "equivocation-A" else "equivocation-B" in
+        Net.send rb_net ~src:b ~dest (Rb.Init { origin = b; value })
+      done
+    end
+  in
+  (* Correct participants. *)
+  let states = Hashtbl.create 8 in
+  let start_instance st j input =
+    if st.binary.(j) = None then begin
+      let p = Process.create ~id:st.id ~n:cfg.n ~t:cfg.t ~input bin_nets.(j) in
+      Process.set_max_round p 60;
+      st.binary.(j) <- Some p;
+      Process.start p;
+      List.iter (fun (src, msg) -> Process.handle p ~src msg) (List.rev st.buffers.(j));
+      st.buffers.(j) <- []
+    end
+  in
+  let enter_zero_phase st =
+    if (not st.zero_phase) && st.delivered_count >= cfg.n - cfg.t then begin
+      st.zero_phase <- true;
+      for j = 0 to cfg.n - 1 do
+        start_instance st j 0
+      done
+    end
+  in
+  List.iter
+    (fun i ->
+      let rec st =
+        lazy
+          {
+            id = i;
+            rb =
+              Rb.create ~id:i ~n:cfg.n ~t:cfg.t rb_net ~on_deliver:(fun ~origin ~value ->
+                  let st = Lazy.force st in
+                  if st.proposals_seen.(origin) = None then begin
+                    st.proposals_seen.(origin) <- Some value;
+                    st.delivered_count <- st.delivered_count + 1;
+                    start_instance st origin 1;
+                    enter_zero_phase st
+                  end);
+            proposals_seen = Array.make cfg.n None;
+            binary = Array.make cfg.n None;
+            buffers = Array.make cfg.n [];
+            delivered_count = 0;
+            zero_phase = false;
+          }
+      in
+      Hashtbl.replace states i (Lazy.force st))
+    correct_ids;
+  (* Everyone broadcasts its proposal. *)
+  List.iter
+    (fun i ->
+      let st = Hashtbl.find states i in
+      Rb.broadcast st.rb (List.assoc i cfg.proposals))
+    correct_ids;
+  (* A process is done when every instance decided and every 1-decision
+     has a delivered proposal. *)
+  let superblock st =
+    let rec go j acc =
+      if j = cfg.n then Some (List.rev acc)
+      else
+        match st.binary.(j) with
+        | None -> None
+        | Some p -> (
+          match Process.decision p with
+          | None -> None
+          | Some (0, _) -> go (j + 1) acc
+          | Some (1, _) -> (
+            match st.proposals_seen.(j) with
+            | Some v -> go (j + 1) ((j, v) :: acc)
+            | None -> None)
+          | Some _ -> None)
+    in
+    go 0 []
+  in
+  let all_done () =
+    List.for_all (fun i -> superblock (Hashtbl.find states i) <> None) correct_ids
+  in
+  (* Unified scheduler over the n+1 networks: uniform over all pending
+     messages. *)
+  let steps = ref 0 in
+  let deliver_one () =
+    let rb_pending = Net.pending_count rb_net in
+    let totals =
+      rb_pending + Array.fold_left (fun acc net -> acc + Net.pending_count net) 0 bin_nets
+    in
+    if totals = 0 then false
+    else begin
+      let pick = Random.State.int rng totals in
+      incr steps;
+      if pick < rb_pending then begin
+        let pending = Net.pending rb_net in
+        let p = List.nth pending (Random.State.int rng (List.length pending)) in
+        let { Net.src; dest; msg; _ } = Net.deliver rb_net p in
+        (match Hashtbl.find_opt states dest with
+         | Some st -> Rb.handle st.rb ~src msg
+         | None -> byz_rb_act dest);
+        true
+      end
+      else begin
+        (* Locate the binary network owning the picked message. *)
+        let rec locate j remaining =
+          let c = Net.pending_count bin_nets.(j) in
+          if remaining < c then j else locate (j + 1) (remaining - c)
+        in
+        let j = locate 0 (pick - rb_pending) in
+        let pending = Net.pending bin_nets.(j) in
+        let p = List.nth pending (Random.State.int rng (List.length pending)) in
+        let { Net.src; dest; msg; _ } = Net.deliver bin_nets.(j) p in
+        (match Hashtbl.find_opt states dest with
+         | Some st -> (
+           match st.binary.(j) with
+           | Some proc -> Process.handle proc ~src msg
+           | None -> st.buffers.(j) <- (src, msg) :: st.buffers.(j))
+         | None -> Byzantine.handle (List.assoc dest byz_binary).(j) ~src msg);
+        true
+      end
+    end
+  in
+  while (not (all_done ())) && !steps < cfg.max_steps && deliver_one () do
+    ()
+  done;
+  let superblocks =
+    List.map
+      (fun i ->
+        let st = Hashtbl.find states i in
+        (i, match superblock st with Some sb -> sb | None -> []))
+      correct_ids
+  in
+  let decided = all_done () in
+  let blocks = List.map snd superblocks in
+  let agreement =
+    match blocks with [] -> true | b :: rest -> List.for_all (( = ) b) rest
+  in
+  let integrity =
+    List.for_all
+      (fun (_, sb) ->
+        List.for_all
+          (fun (j, v) ->
+            match List.assoc_opt j cfg.proposals with
+            | Some actual when List.mem j correct_ids -> v = actual
+            | _ -> true)
+          sb)
+      superblocks
+  in
+  { superblocks; steps = !steps; all_decided = decided; agreement; integrity }
+
+let pp_report fmt r =
+  Format.fprintf fmt "@[<v 2>vector consensus: %d deliveries@," r.steps;
+  List.iter
+    (fun (i, sb) ->
+      Format.fprintf fmt "p%d superblock: {%s}@," i
+        (String.concat "; "
+           (List.map (fun (j, v) -> Printf.sprintf "%d:%s" j v) sb)))
+    r.superblocks;
+  Format.fprintf fmt "all decided: %b; agreement: %b; integrity: %b@]" r.all_decided
+    r.agreement r.integrity

@@ -1,0 +1,44 @@
+(** Vector ("superblock") consensus: the Red Belly Blockchain
+    construction the paper's consensus serves (Section 1; [20]).
+
+    Every process proposes a value (a transaction batch); proposals are
+    disseminated with {!Reliable_broadcast} and [n] parallel instances of
+    the DBFT binary consensus decide, per proposer, whether its proposal
+    enters the superblock.  A process votes 1 for instance [j] once it
+    has reliably delivered proposal [j]; once it has delivered [n - t]
+    proposals it votes 0 in every instance it has not joined yet, which
+    guarantees that all instances terminate.
+
+    Guarantees (inherited from the verified binary consensus plus
+    reliable broadcast): all correct processes output the same
+    superblock; every included proposal of a correct proposer is its
+    actual proposal; the superblock of a fair run is non-empty when all
+    proposers are correct. *)
+
+type config = {
+  n : int;
+  t : int;
+  proposals : (int * string) list;  (** proposals of correct processes, by id *)
+  byzantine : int list;  (** ids of (proposal-equivocating) Byzantine processes *)
+  seed : int;
+  max_steps : int;
+}
+
+val config :
+  n:int -> t:int -> proposals:(int * string) list -> ?byzantine:int list -> ?seed:int ->
+  ?max_steps:int -> unit -> config
+
+type report = {
+  superblocks : (int * (int * string) list) list;
+      (** per correct process: the decided superblock (proposer, value) *)
+  steps : int;
+  all_decided : bool;
+  agreement : bool;  (** all superblocks equal *)
+  integrity : bool;
+      (** every included proposal of a correct proposer matches what it
+          proposed *)
+}
+
+val run : config -> report
+
+val pp_report : Format.formatter -> report -> unit

@@ -1,0 +1,24 @@
+type t = int (* bit 0: value 0; bit 1: value 1 *)
+
+let empty = 0
+
+let check v =
+  if v <> 0 && v <> 1 then invalid_arg "Vset: binary values only";
+  v
+
+let singleton v = 1 lsl check v
+let both = 3
+let add v s = s lor singleton v
+let mem v s = s land singleton v <> 0
+let union = ( lor )
+let subset a b = a land lnot b = 0
+let is_empty s = s = 0
+
+let is_singleton = function 1 -> Some 0 | 2 -> Some 1 | _ -> None
+
+let to_list s = List.filter (fun v -> mem v s) [ 0; 1 ]
+let of_list l = List.fold_left (fun s v -> add v s) empty l
+let equal = Int.equal
+
+let to_string s =
+  "{" ^ String.concat "," (List.map string_of_int (to_list s)) ^ "}"

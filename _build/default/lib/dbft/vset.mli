@@ -1,0 +1,18 @@
+(** Sets of binary values, i.e. subsets of [{0, 1}], as used for the
+    [contestants] and [qualifiers] sets of Algorithm 1. *)
+
+type t
+
+val empty : t
+val singleton : int -> t
+val both : t
+val add : int -> t -> t
+val mem : int -> t -> bool
+val union : t -> t -> t
+val subset : t -> t -> bool
+val is_empty : t -> bool
+val is_singleton : t -> int option
+val to_list : t -> int list
+val of_list : int list -> t
+val equal : t -> t -> bool
+val to_string : t -> string

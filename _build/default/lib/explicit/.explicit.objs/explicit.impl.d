@@ -1,0 +1,1 @@
+lib/explicit/explicit.ml: Multiround Oneround

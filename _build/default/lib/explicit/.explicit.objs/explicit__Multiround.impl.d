@@ -1,0 +1,1 @@
+lib/explicit/multiround.ml: Array Fun Hashtbl List Queue Ta

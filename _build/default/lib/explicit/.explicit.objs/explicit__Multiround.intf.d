@@ -1,0 +1,1 @@
+lib/explicit/multiround.mli: Ta

@@ -1,0 +1,1 @@
+lib/explicit/oneround.ml: Array Format Fun Hashtbl List Printf Queue String Ta

@@ -1,0 +1,1 @@
+lib/explicit/oneround.mli: Format Ta

@@ -1,0 +1,6 @@
+(** Explicit-state model checking for fixed parameters: {!Oneround} for
+    single-round counter systems (re-exported at the top level) and
+    {!Multiround} for unrolled multi-round systems (Appendix A). *)
+
+include Oneround
+module Multiround = Multiround

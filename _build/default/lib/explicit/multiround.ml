@@ -1,0 +1,156 @@
+module A = Ta.Automaton
+
+type params = (string * int) list
+
+type outcome = Holds | Violated of { states : int }
+
+(* State: counters and shared variables for each unrolled round, plus a
+   mask of "watch" location sets that have ever been populated. *)
+type state = { k : int array array; s : int array array; mask : int }
+
+let explore (ta : A.t) ~rounds ~params ~init_filter ~watches ~is_bad =
+  let param p =
+    match List.assoc_opt p params with
+    | Some v -> v
+    | None -> invalid_arg ("Multiround: missing parameter " ^ p)
+  in
+  List.iter
+    (fun e ->
+      if Ta.Pexpr.eval param e < 0 then
+        invalid_arg "Multiround: resilience condition violated")
+    ta.resilience;
+  let locs = Array.of_list ta.locations in
+  let nloc = Array.length locs in
+  let loc_index = Hashtbl.create 16 in
+  Array.iteri (fun i l -> Hashtbl.replace loc_index l i) locs;
+  let shared = Array.of_list ta.shared in
+  let nshared = Array.length shared in
+  let shared_index = Hashtbl.create 16 in
+  Array.iteri (fun i x -> Hashtbl.replace shared_index x i) shared;
+  let population = Ta.Pexpr.eval param ta.population in
+  let watches = Array.of_list watches in
+  let extend_mask st =
+    let mask = ref st.mask in
+    Array.iteri
+      (fun i locset ->
+        if !mask land (1 lsl i) = 0 then begin
+          let hit =
+            List.exists
+              (fun l ->
+                let li = Hashtbl.find loc_index l in
+                Array.exists (fun kr -> kr.(li) > 0) st.k)
+              locset
+          in
+          if hit then mask := !mask lor (1 lsl i)
+        end)
+      watches;
+    { st with mask = !mask }
+  in
+  let guard_holds st r g =
+    Ta.Guard.holds ~shared:(fun x -> st.s.(r).(Hashtbl.find shared_index x)) ~params:param g
+  in
+  (* Initial states: distributions over round-0 initial locations. *)
+  let rec distributions total slots =
+    if slots = 0 then if total = 0 then [ [] ] else []
+    else
+      List.concat_map
+        (fun h -> List.map (fun tl -> h :: tl) (distributions (total - h) (slots - 1)))
+        (List.init (total + 1) Fun.id)
+  in
+  let initials =
+    distributions population (List.length ta.initial)
+    |> List.filter_map (fun dist ->
+           let k = Array.init rounds (fun _ -> Array.make nloc 0) in
+           List.iter2
+             (fun l v -> k.(0).(Hashtbl.find loc_index l) <- v)
+             ta.initial dist;
+           let st =
+             { k; s = Array.init rounds (fun _ -> Array.make nshared 0); mask = 0 }
+           in
+           if init_filter st (fun r l -> st.k.(r).(Hashtbl.find loc_index l)) then
+             Some (extend_mask st)
+           else None)
+  in
+  let key st =
+    (Array.to_list (Array.map Array.to_list st.k),
+     Array.to_list (Array.map Array.to_list st.s),
+     st.mask)
+  in
+  let visited = Hashtbl.create 4096 in
+  let queue = Queue.create () in
+  let push st =
+    let ky = key st in
+    if not (Hashtbl.mem visited ky) then begin
+      Hashtbl.replace visited ky ();
+      Queue.add st queue
+    end
+  in
+  List.iter push initials;
+  let found = ref false in
+  while (not (Queue.is_empty queue)) && not !found do
+    let st = Queue.pop queue in
+    if is_bad st then found := true
+    else begin
+      for r = 0 to rounds - 1 do
+        (* Ordinary rules of round r. *)
+        List.iter
+          (fun (rule : A.rule) ->
+            let src = Hashtbl.find loc_index rule.source in
+            if st.k.(r).(src) > 0 && guard_holds st r rule.guard then begin
+              let k = Array.map Array.copy st.k in
+              let s = Array.map Array.copy st.s in
+              k.(r).(src) <- k.(r).(src) - 1;
+              let tgt = Hashtbl.find loc_index rule.target in
+              k.(r).(tgt) <- k.(r).(tgt) + 1;
+              List.iter
+                (fun (x, c) ->
+                  let i = Hashtbl.find shared_index x in
+                  s.(r).(i) <- s.(r).(i) + c)
+                rule.update;
+              push (extend_mask { k; s; mask = st.mask })
+            end)
+          ta.rules;
+        (* Round-switch rules into round r+1. *)
+        if r + 1 < rounds then
+          List.iter
+            (fun (from_l, to_l) ->
+              let src = Hashtbl.find loc_index from_l in
+              if st.k.(r).(src) > 0 then begin
+                let k = Array.map Array.copy st.k in
+                k.(r).(src) <- k.(r).(src) - 1;
+                let tgt = Hashtbl.find loc_index to_l in
+                k.(r + 1).(tgt) <- k.(r + 1).(tgt) + 1;
+                push (extend_mask { k; s = st.s; mask = st.mask })
+              end)
+            ta.round_switch
+      done
+    end
+  done;
+  (!found, Hashtbl.length visited)
+
+let agreement ta ~decide0 ~decide1 ~rounds params =
+  let found, states =
+    explore ta ~rounds ~params
+      ~init_filter:(fun _ _ -> true)
+      ~watches:[ [ decide0 ]; [ decide1 ] ]
+      ~is_bad:(fun st -> st.mask = 3)
+  in
+  if found then Violated { states } else Holds
+
+let validity ta ~forbidden_initial ~decide ~rounds params =
+  let found, states =
+    explore ta ~rounds ~params
+      ~init_filter:(fun _ count -> count 0 forbidden_initial = 0)
+      ~watches:[ [ decide ] ]
+      ~is_bad:(fun st -> st.mask = 1)
+  in
+  if found then Violated { states } else Holds
+
+let reachable_states ta ~rounds params =
+  let _, states =
+    explore ta ~rounds ~params
+      ~init_filter:(fun _ _ -> true)
+      ~watches:[]
+      ~is_bad:(fun _ -> false)
+  in
+  states

@@ -1,0 +1,36 @@
+(** Explicit-state checking of {e multi-round} counter systems for fixed
+    parameters: the round-switch rules connect the end-of-round locations
+    to the start of the next round (dotted edges of Figs. 3 and 4).
+
+    The paper checks one-round invariants (Inv1, Inv2) with the
+    parameterized checker and derives the cross-round properties
+    Agreement and Validity by the reduction of Appendix A / [10,
+    Prop. 2].  This module validates that derivation independently for
+    small parameters by exploring the unrolled multi-round system
+    directly. *)
+
+type params = (string * int) list
+
+type outcome = Holds | Violated of { states : int }
+
+(** [agreement ta ~decide0 ~decide1 ~rounds params] explores [rounds]
+    unrolled copies of [ta] and reports whether some execution populates
+    both decision locations (in any pair of rounds) — i.e. whether
+    Agreement can be violated within the bound. *)
+val agreement :
+  Ta.Automaton.t -> decide0:string -> decide1:string -> rounds:int -> params -> outcome
+
+(** [validity ta ~forbidden_initial ~decide ~rounds params] restricts
+    initial states to those with no process in [forbidden_initial] and
+    reports whether [decide] is ever populated — i.e. whether Validity
+    can be violated within the bound. *)
+val validity :
+  Ta.Automaton.t ->
+  forbidden_initial:string ->
+  decide:string ->
+  rounds:int ->
+  params ->
+  outcome
+
+(** [reachable_states ta ~rounds params] — size diagnostic. *)
+val reachable_states : Ta.Automaton.t -> rounds:int -> params -> int

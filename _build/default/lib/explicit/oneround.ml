@@ -1,0 +1,190 @@
+module A = Ta.Automaton
+
+type params = (string * int) list
+
+type config = { counters : (string * int) list; shared : (string * int) list }
+
+type outcome =
+  | Holds
+  | Violated of { params : params; trace : (string option * config) list }
+
+(* Internal dense state: location counters, shared values, observation
+   mask. *)
+type state = { k : int array; s : int array; mask : int }
+
+let check_params (ta : A.t) (params : params) =
+  let lookup p =
+    match List.assoc_opt p params with
+    | Some v -> v
+    | None -> invalid_arg (Printf.sprintf "Explicit.check: missing parameter %S" p)
+  in
+  List.iter (fun p -> ignore (lookup p)) ta.params;
+  List.iter
+    (fun e ->
+      if Ta.Pexpr.eval lookup e < 0 then
+        invalid_arg
+          (Printf.sprintf "Explicit.check: resilience violated: %s >= 0 fails for given parameters"
+             (Ta.Pexpr.to_string e)))
+    ta.resilience;
+  lookup
+
+(* Enumerate all ways to distribute [total] processes over [slots]
+   positions. *)
+let rec distributions total slots =
+  if slots = 0 then if total = 0 then [ [] ] else []
+  else
+    List.concat_map
+      (fun head -> List.map (fun tl -> head :: tl) (distributions (total - head) (slots - 1)))
+      (List.init (total + 1) Fun.id)
+
+let run (ta : A.t) (spec : Ta.Spec.t) (params : params) ~count_only =
+  let param = check_params ta params in
+  let locs = Array.of_list ta.locations in
+  let nloc = Array.length locs in
+  let loc_index = Hashtbl.create 16 in
+  Array.iteri (fun i l -> Hashtbl.replace loc_index l i) locs;
+  let shared = Array.of_list ta.shared in
+  let nshared = Array.length shared in
+  let shared_index = Hashtbl.create 16 in
+  Array.iteri (fun i x -> Hashtbl.replace shared_index x i) shared;
+  let population = Ta.Pexpr.eval param ta.population in
+  let observations = Array.of_list (List.map snd spec.observations) in
+  let nobs = Array.length observations in
+  let full_mask = (1 lsl nobs) - 1 in
+  let cond_holds st cond =
+    Ta.Cond.holds
+      ~counter:(fun l -> st.k.(Hashtbl.find loc_index l))
+      ~shared:(fun x -> st.s.(Hashtbl.find shared_index x))
+      ~params:param cond
+  in
+  let guard_holds st g =
+    Ta.Guard.holds ~shared:(fun x -> st.s.(Hashtbl.find shared_index x)) ~params:param g
+  in
+  (* Greedily mark every observation that holds in the configuration. *)
+  let extend_mask st =
+    let mask = ref st.mask in
+    for i = 0 to nobs - 1 do
+      if !mask land (1 lsl i) = 0 && cond_holds st observations.(i) then
+        mask := !mask lor (1 lsl i)
+    done;
+    { st with mask = !mask }
+  in
+  let blocked l = List.mem l spec.never_enter in
+  let rules =
+    List.filter (fun (r : A.rule) -> not (blocked r.target)) ta.rules
+    |> Array.of_list
+  in
+  (* A configuration is a fair fixpoint when no Fair rule is enabled with
+     a non-empty source and all justice constraints hold. *)
+  let stable st =
+    Array.for_all
+      (fun (r : A.rule) ->
+        r.fairness = A.Unfair
+        || st.k.(Hashtbl.find loc_index r.source) = 0
+        || not (guard_holds st r.guard))
+      rules
+    && List.for_all
+         (fun (j : A.justice) ->
+           st.k.(Hashtbl.find loc_index j.loc) = 0 || not (guard_holds st j.unless))
+         ta.justice
+  in
+  let violating st =
+    spec.observations = [] || st.mask = full_mask
+  in
+  let is_violation st =
+    violating st && cond_holds st spec.final_cond
+    && ((not spec.require_stable) || stable st)
+  in
+  (* Initial states: all admissible distributions over initial locations. *)
+  let init_slots = List.filter (fun l -> not (blocked l)) ta.initial in
+  let initials =
+    distributions population (List.length init_slots)
+    |> List.filter_map (fun dist ->
+           let k = Array.make nloc 0 in
+           List.iter2 (fun l v -> k.(Hashtbl.find loc_index l) <- v) init_slots dist;
+           let st = { k; s = Array.make nshared 0; mask = 0 } in
+           if cond_holds st spec.init then Some (extend_mask st) else None)
+  in
+  let key st = (Array.to_list st.k, Array.to_list st.s, st.mask) in
+  let visited = Hashtbl.create 4096 in
+  let queue = Queue.create () in
+  let pred = Hashtbl.create 4096 in
+  List.iter
+    (fun st ->
+      let ky = key st in
+      if not (Hashtbl.mem visited ky) then begin
+        Hashtbl.replace visited ky ();
+        Hashtbl.replace pred ky None;
+        Queue.add st queue
+      end)
+    initials;
+  let found = ref None in
+  while (not (Queue.is_empty queue)) && (!found = None || count_only) do
+    let st = Queue.pop queue in
+    if is_violation st && !found = None then found := Some st
+    else
+      Array.iter
+        (fun (r : A.rule) ->
+          let src = Hashtbl.find loc_index r.source in
+          if st.k.(src) > 0 && guard_holds st r.guard then begin
+            let k = Array.copy st.k in
+            let s = Array.copy st.s in
+            k.(src) <- k.(src) - 1;
+            let tgt = Hashtbl.find loc_index r.target in
+            k.(tgt) <- k.(tgt) + 1;
+            List.iter
+              (fun (x, c) ->
+                let i = Hashtbl.find shared_index x in
+                s.(i) <- s.(i) + c)
+              r.update;
+            let st' = extend_mask { k; s; mask = st.mask } in
+            let ky = key st' in
+            if not (Hashtbl.mem visited ky) then begin
+              Hashtbl.replace visited ky ();
+              Hashtbl.replace pred ky (Some (r.name, key st));
+              Queue.add st' queue
+            end
+          end)
+        rules
+  done;
+  let config_of_key (ks, ss, _) =
+    {
+      counters = List.mapi (fun i v -> (locs.(i), v)) ks;
+      shared = List.mapi (fun i v -> (shared.(i), v)) ss;
+    }
+  in
+  let outcome =
+    match !found with
+    | None -> Holds
+    | Some st ->
+      let rec unroll ky acc =
+        match Hashtbl.find pred ky with
+        | None -> (None, config_of_key ky) :: acc
+        | Some (rname, prev) -> unroll prev ((Some rname, config_of_key ky) :: acc)
+      in
+      Violated { params; trace = unroll (key st) [] }
+  in
+  (outcome, Hashtbl.length visited)
+
+let check ta spec params = fst (run ta spec params ~count_only:false)
+
+let trivial_spec : Ta.Spec.t =
+  {
+    name = "reachability";
+    kind = `Safety;
+    ltl = "true";
+    init = Ta.Cond.tt;
+    never_enter = [];
+    observations = [ ("unreachable", Ta.Cond.sum_ge [] 1) ];
+    final_cond = Ta.Cond.tt;
+    require_stable = false;
+  }
+
+let reachable_count ta params = snd (run ta trivial_spec params ~count_only:true)
+
+let pp_outcome fmt = function
+  | Holds -> Format.pp_print_string fmt "holds"
+  | Violated { params; trace } ->
+    Format.fprintf fmt "violated with %s in %d steps"
+      (String.concat ", " (List.map (fun (p, v) -> Printf.sprintf "%s=%d" p v) params))
+      (List.length trace - 1)

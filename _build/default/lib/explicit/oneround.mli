@@ -1,0 +1,37 @@
+(** Explicit-state model checking of threshold-automaton counter systems
+    for {e fixed} parameter values.
+
+    This is the "fixed parameters" baseline the paper contrasts with
+    (Apalache/TLC-style checking, Section 7), and the test oracle for the
+    parameterized checker: for small [n], the two must agree.
+
+    The counter system of a one-round TA with DAG-shaped locations and
+    non-negative updates is finite and convergent (every rule strictly
+    advances a process), so all maximal runs stabilize; the search is a
+    plain BFS over configurations extended with an observation mask. *)
+
+type params = (string * int) list
+
+type config = {
+  counters : (string * int) list;
+  shared : (string * int) list;
+}
+
+type outcome =
+  | Holds
+  | Violated of { params : params; trace : (string option * config) list }
+      (** The trace lists configurations from the initial one; each step
+          is tagged with the rule that produced it ([None] for the
+          initial configuration). *)
+
+(** [check ta spec params] decides [spec] on [Sys(ta)] instantiated with
+    [params].
+    @raise Invalid_argument when [params] misses a parameter or violates
+    the automaton's resilience condition. *)
+val check : Ta.Automaton.t -> Ta.Spec.t -> params -> outcome
+
+(** [reachable_count ta params] is the number of reachable configurations
+    — a size diagnostic used in reports and tests. *)
+val reachable_count : Ta.Automaton.t -> params -> int
+
+val pp_outcome : Format.formatter -> outcome -> unit

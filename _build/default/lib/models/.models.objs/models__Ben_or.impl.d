@@ -1,0 +1,1 @@
+lib/models/ben_or.ml: Params Ta

@@ -1,0 +1,1 @@
+lib/models/bv_ta.ml: List Params Printf Ta

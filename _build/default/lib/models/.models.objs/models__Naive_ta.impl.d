@@ -1,0 +1,1 @@
+lib/models/naive_ta.ml: List Params Ta

@@ -1,0 +1,1 @@
+lib/models/params.ml: Ta

@@ -1,0 +1,1 @@
+lib/models/simplified_ta.ml: List Params Ta

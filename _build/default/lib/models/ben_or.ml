@@ -1,0 +1,126 @@
+(* One round of Ben-Or's randomized binary consensus [8], the classic
+   target of the threshold-automata verification line the paper builds on
+   ([10]; Section 7).  Included to show the checker generalizes beyond
+   the paper's three automata; it also exercises guards with coefficient
+   2 (the (n+t)/2 supermajority) and conjunctive guards.
+
+   Round structure:
+   - phase 1: broadcast R(est); on n-t R-messages, send P(v, D) if more
+     than (n+t)/2 of them carried v, else P(?);
+   - phase 2: on n-t P-messages: decide v on t+1 D-votes for v; adopt v
+     on at least one D-vote; otherwise flip a coin.
+
+   Locations: Vv (input v) -> Wv (R sent) -> SPv / SPQ (P(v,D) / P(?)
+   sent) -> Dv (decided v) | Ev (adopted v) | C (coin).
+
+   Shared: s0, s1 count R-messages, p0, p1, pq count P-messages from
+   correct processes; Byzantine contributions are discounted in the
+   guards as usual (Section 3.1).
+
+   Monotone over-approximation: our guards are lower thresholds only, so
+   the conditions "no supermajority" (for P(?)) and "no D-vote" (for the
+   coin) are dropped, and the priority of deciding over adopting is
+   relaxed.  The modelled transition relation strictly contains
+   Ben-Or's, hence any SAFETY property verified here holds for the real
+   round.  (Precise Ben-Or automata need falling guards, which the
+   schema checker here does not support; see [64].) *)
+
+module A = Ta.Automaton
+module G = Ta.Guard
+module C = Ta.Cond
+module S = Ta.Spec
+module Pexpr = Ta.Pexpr
+
+let locations = [ "V0"; "V1"; "W0"; "W1"; "SP0"; "SP1"; "SPQ"; "D0"; "D1"; "E0"; "E1"; "CN" ]
+
+(* Phase-1 quorum: received n - t messages, f of them possibly Byzantine. *)
+let r_quorum = G.ge [ ("s0", 1); ("s1", 1) ] Params.ntf
+
+(* Supermajority for v: 2 * received_v > n + t, i.e. with f Byzantine
+   contributions 2*s_v >= n + t + 1 - 2f. *)
+let supermajority v =
+  G.ge
+    [ ("s" ^ v, 2) ]
+    (Pexpr.of_terms [ ("n", 1); ("t", 1); ("f", -2) ] 1)
+
+(* Phase-2 quorum. *)
+let p_quorum = G.ge [ ("p0", 1); ("p1", 1); ("pq", 1) ] Params.ntf
+
+(* t+1 D-votes for v / at least one D-vote for v. *)
+let d_votes v = G.ge1 ("p" ^ v) Params.t1f
+let some_d_vote v = G.ge1 ("p" ^ v) (Pexpr.of_terms [ ("f", -1) ] 1)
+
+let rule = A.rule
+
+let automaton =
+  A.make ~name:"ben_or_round" ~params:Params.names
+    ~shared:[ "s0"; "s1"; "p0"; "p1"; "pq" ] ~locations ~initial:[ "V0"; "V1" ]
+    ~resilience:Params.resilience ~population:Params.population
+    ~rules:
+      [
+        rule "b1" ~source:"V0" ~target:"W0" ~update:[ ("s0", 1) ];
+        rule "b2" ~source:"V1" ~target:"W1" ~update:[ ("s1", 1) ];
+        (* Phase 1 -> phase 2 sends; the supermajority guards include the
+           quorum (they imply enough messages only together with it, so
+           both are required). *)
+        rule "b3" ~source:"W0" ~target:"SP0" ~guard:(r_quorum @ supermajority "0")
+          ~update:[ ("p0", 1) ];
+        rule "b4" ~source:"W0" ~target:"SP1" ~guard:(r_quorum @ supermajority "1")
+          ~update:[ ("p1", 1) ];
+        rule "b5" ~source:"W0" ~target:"SPQ" ~guard:r_quorum ~update:[ ("pq", 1) ];
+        rule "b6" ~source:"W1" ~target:"SP0" ~guard:(r_quorum @ supermajority "0")
+          ~update:[ ("p0", 1) ];
+        rule "b7" ~source:"W1" ~target:"SP1" ~guard:(r_quorum @ supermajority "1")
+          ~update:[ ("p1", 1) ];
+        rule "b8" ~source:"W1" ~target:"SPQ" ~guard:r_quorum ~update:[ ("pq", 1) ];
+        (* Phase 2 outcomes, from each sending location. *)
+        rule "b9" ~source:"SP0" ~target:"D0" ~guard:(p_quorum @ d_votes "0");
+        rule "b10" ~source:"SP0" ~target:"D1" ~guard:(p_quorum @ d_votes "1");
+        rule "b11" ~source:"SP0" ~target:"E0" ~guard:(p_quorum @ some_d_vote "0");
+        rule "b12" ~source:"SP0" ~target:"E1" ~guard:(p_quorum @ some_d_vote "1");
+        rule "b13" ~source:"SP0" ~target:"CN" ~guard:p_quorum;
+        rule "b14" ~source:"SP1" ~target:"D0" ~guard:(p_quorum @ d_votes "0");
+        rule "b15" ~source:"SP1" ~target:"D1" ~guard:(p_quorum @ d_votes "1");
+        rule "b16" ~source:"SP1" ~target:"E0" ~guard:(p_quorum @ some_d_vote "0");
+        rule "b17" ~source:"SP1" ~target:"E1" ~guard:(p_quorum @ some_d_vote "1");
+        rule "b18" ~source:"SP1" ~target:"CN" ~guard:p_quorum;
+        rule "b19" ~source:"SPQ" ~target:"D0" ~guard:(p_quorum @ d_votes "0");
+        rule "b20" ~source:"SPQ" ~target:"D1" ~guard:(p_quorum @ d_votes "1");
+        rule "b21" ~source:"SPQ" ~target:"E0" ~guard:(p_quorum @ some_d_vote "0");
+        rule "b22" ~source:"SPQ" ~target:"E1" ~guard:(p_quorum @ some_d_vote "1");
+        rule "b23" ~source:"SPQ" ~target:"CN" ~guard:p_quorum;
+      ]
+    ()
+
+(* No two correct processes decide differently in a round. *)
+let agreement =
+  S.invariant ~name:"BenOr-Agree" ~ltl:"<>(k[D0] != 0) => [](k[D1] = 0)"
+    ~bad:
+      [
+        ("a process decides 0", C.counter_ge "D0" 1);
+        ("a process decides 1", C.counter_ge "D1" 1);
+      ]
+    ()
+
+(* A decided value cannot appear from nowhere: with no process proposing
+   1, nobody decides 1 (even though a Byzantine D-vote may still flip an
+   estimate — deciding needs t+1 votes). *)
+let no_decision_from_nowhere =
+  S.invariant ~name:"BenOr-Valid-D" ~ltl:"[](k[V1] = 0) => [](k[D1] = 0)"
+    ~init:(C.empty "V1")
+    ~bad:[ ("1 decided", C.counter_ge "D1" 1) ]
+    ()
+
+(* Deciding v requires a supermajority for v in phase 1: the two
+   supermajorities are incompatible, so the P(v,D) senders are
+   unanimous. *)
+let unanimous_d_votes =
+  S.invariant ~name:"BenOr-OneProp" ~ltl:"[](p0 = 0 \\/ p1 = 0)"
+    ~bad:
+      [
+        ("P(0,D) sent", C.shared_ge [ ("p0", 1) ] (Pexpr.const 1));
+        ("P(1,D) sent", C.shared_ge [ ("p1", 1) ] (Pexpr.const 1));
+      ]
+    ()
+
+let all_specs = [ agreement; no_decision_from_nowhere; unanimous_d_votes ]

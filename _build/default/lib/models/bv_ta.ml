@@ -1,0 +1,96 @@
+(* The binary value broadcast threshold automaton (paper, Fig. 2) and its
+   four properties (Section 3.2).
+
+   Locations (Table 1): Vv = initial with value v; Bv = broadcast v,
+   nothing delivered; B01 = broadcast both, nothing delivered; Cv =
+   delivered v, broadcast only v; CBv = delivered v, broadcast both;
+   C01 = delivered both.  Shared variables b0, b1 count the BV messages
+   sent by correct processes. *)
+
+module A = Ta.Automaton
+module G = Ta.Guard
+module C = Ta.Cond
+module S = Ta.Spec
+
+let locations = [ "V0"; "V1"; "B0"; "B1"; "B01"; "C0"; "C1"; "CB0"; "CB1"; "C01" ]
+
+let rule = A.rule
+
+let automaton =
+  A.make ~name:"bv_broadcast" ~params:Params.names ~shared:[ "b0"; "b1" ]
+    ~locations ~initial:[ "V0"; "V1" ] ~resilience:Params.resilience
+    ~population:Params.population
+    ~rules:
+      [
+        rule "r1" ~source:"V0" ~target:"B0" ~update:[ ("b0", 1) ];
+        rule "r2" ~source:"V1" ~target:"B1" ~update:[ ("b1", 1) ];
+        rule "r3" ~source:"B0" ~target:"C0" ~guard:(G.ge1 "b0" Params.t2f);
+        rule "r4" ~source:"B0" ~target:"B01" ~guard:(G.ge1 "b1" Params.t1f)
+          ~update:[ ("b1", 1) ];
+        rule "r5" ~source:"B1" ~target:"B01" ~guard:(G.ge1 "b0" Params.t1f)
+          ~update:[ ("b0", 1) ];
+        rule "r6" ~source:"B1" ~target:"C1" ~guard:(G.ge1 "b1" Params.t2f);
+        rule "r7" ~source:"C0" ~target:"CB0" ~guard:(G.ge1 "b1" Params.t1f)
+          ~update:[ ("b1", 1) ];
+        rule "r8" ~source:"B01" ~target:"CB0" ~guard:(G.ge1 "b0" Params.t2f);
+        rule "r9" ~source:"CB0" ~target:"C01" ~guard:(G.ge1 "b1" Params.t2f);
+        rule "r10" ~source:"C1" ~target:"CB1" ~guard:(G.ge1 "b0" Params.t1f)
+          ~update:[ ("b0", 1) ];
+        rule "r11" ~source:"B01" ~target:"CB1" ~guard:(G.ge1 "b1" Params.t2f);
+        rule "r12" ~source:"CB1" ~target:"C01" ~guard:(G.ge1 "b0" Params.t2f);
+      ]
+    ~self_loops:7 ()
+
+(* Locations of a process that has not (yet) delivered value v. *)
+let locs_missing v =
+  let other = [ "C" ^ v; "CB" ^ v ] in
+  List.filter (fun l -> not (List.mem l (other @ [ "C01" ]))) locations
+
+(* Locations where v has been delivered (v in contestants). *)
+let locs_delivered v = [ "C" ^ v; "CB" ^ v; "C01" ]
+
+(* BV-Justification: if no correct process bv-broadcasts v, no correct
+   process delivers v. *)
+let just v =
+  S.invariant
+    ~name:("BV-Just" ^ v)
+    ~ltl:
+      (Printf.sprintf "k[V%s] = 0 => [](k[C%s] = 0 /\\ k[CB%s] = 0 /\\ k[C01] = 0)" v v v)
+    ~init:(C.empty ("V" ^ v))
+    ~bad:[ ("some process delivered " ^ v, C.some_nonempty (locs_delivered v)) ]
+    ()
+
+(* BV-Obligation: if at least t+1 correct processes broadcast v, v is
+   eventually delivered by every correct process. *)
+let obl v =
+  S.liveness
+    ~name:("BV-Obl" ^ v)
+    ~ltl:(Printf.sprintf "[](b%s >= t+1 => <>(all correct processes delivered %s))" v v)
+    ~observations:[ (Printf.sprintf "b%s >= t+1" v, C.shared_ge [ ("b" ^ v, 1) ] Params.t1) ]
+    ~target_violated:(C.some_nonempty (locs_missing v))
+    ()
+
+(* BV-Uniformity: if some correct process delivers v, every correct
+   process eventually delivers v. *)
+let unif v =
+  S.liveness
+    ~name:("BV-Unif" ^ v)
+    ~ltl:
+      (Printf.sprintf "<>(some process delivered %s) => <>(all processes delivered %s)" v v)
+    ~observations:
+      [ (Printf.sprintf "some process delivered %s" v, C.some_nonempty (locs_delivered v)) ]
+    ~target_violated:(C.some_nonempty (locs_missing v))
+    ()
+
+(* BV-Termination: eventually every correct process delivers some value. *)
+let term =
+  S.liveness ~name:"BV-Term"
+    ~ltl:"<>(k[V0] = 0 /\\ k[V1] = 0 /\\ k[B0] = 0 /\\ k[B1] = 0 /\\ k[B01] = 0)"
+    ~target_violated:(C.some_nonempty [ "V0"; "V1"; "B0"; "B1"; "B01" ])
+    ()
+
+(* The properties in Table 2 order (the paper reports the v = 0 variants;
+   the v = 1 variants are symmetric and also exported). *)
+let table2_specs = [ just "0"; obl "0"; unif "0"; term ]
+
+let all_specs = [ just "0"; just "1"; obl "0"; obl "1"; unif "0"; unif "1"; term ]

@@ -1,0 +1,111 @@
+(* The naive threshold automaton of the DBFT Byzantine consensus (paper,
+   Fig. 3 and Table 3): the full bv-broadcast automaton of Fig. 2 is
+   embedded twice (once per round of a superround), with the decision
+   layer of Algorithm 1 on top.
+
+   Aux variables a0/a1 count the auxiliary messages broadcast by correct
+   processes upon their first bv-delivery (Algorithm 1, line 8): a
+   process delivering v first broadcasts the singleton {v}.
+
+   This automaton is what the paper could NOT verify: 14 unique guards
+   make the schema space explode (Table 2 reports >24h / >100,000
+   schemas).  We keep it for exactly that experiment. *)
+
+module A = Ta.Automaton
+module G = Ta.Guard
+module C = Ta.Cond
+module S = Ta.Spec
+
+let bv_locs sfx =
+  List.map (fun l -> l ^ sfx)
+    [ "V0"; "V1"; "B0"; "B1"; "B01"; "C0"; "C1"; "CB0"; "CB1"; "C01" ]
+
+let first_half = bv_locs "" @ [ "E0"; "E1"; "D1" ]
+let second_half = bv_locs "x" @ [ "E0x"; "E1x"; "D0" ]
+let locations = first_half @ second_half
+let finals = [ "D0"; "E0x"; "E1x" ]
+let interior = List.filter (fun l -> not (List.mem l finals)) locations
+
+let rule = A.rule
+
+(* One half of the automaton.  [decide0]/[decide1]/[mixed] are the
+   decision-layer targets for qualifiers {0}, {1} and {0,1}. *)
+let half_rules sfx ~decide0 ~decide1 ~mixed =
+  let l name = name ^ sfx in
+  let v name = name ^ sfx in
+  let r name = "r" ^ name ^ sfx in
+  [
+    (* bv-broadcast part (Fig. 2), with aux increments on first delivery. *)
+    rule (r "1") ~source:(l "V0") ~target:(l "B0") ~update:[ (v "b0", 1) ];
+    rule (r "2") ~source:(l "V1") ~target:(l "B1") ~update:[ (v "b1", 1) ];
+    rule (r "3") ~source:(l "B0") ~target:(l "C0")
+      ~guard:(G.ge1 (v "b0") Params.t2f) ~update:[ (v "a0", 1) ];
+    rule (r "4") ~source:(l "B0") ~target:(l "B01")
+      ~guard:(G.ge1 (v "b1") Params.t1f) ~update:[ (v "b1", 1) ];
+    rule (r "5") ~source:(l "B1") ~target:(l "B01")
+      ~guard:(G.ge1 (v "b0") Params.t1f) ~update:[ (v "b0", 1) ];
+    rule (r "6") ~source:(l "B1") ~target:(l "C1")
+      ~guard:(G.ge1 (v "b1") Params.t2f) ~update:[ (v "a1", 1) ];
+    rule (r "7") ~source:(l "C0") ~target:(l "CB0")
+      ~guard:(G.ge1 (v "b1") Params.t1f) ~update:[ (v "b1", 1) ];
+    rule (r "8") ~source:(l "B01") ~target:(l "CB0")
+      ~guard:(G.ge1 (v "b0") Params.t2f) ~update:[ (v "a0", 1) ];
+    rule (r "9") ~source:(l "CB0") ~target:(l "C01")
+      ~guard:(G.ge1 (v "b1") Params.t2f);
+    rule (r "10") ~source:(l "C1") ~target:(l "CB1")
+      ~guard:(G.ge1 (v "b0") Params.t1f) ~update:[ (v "b0", 1) ];
+    rule (r "11") ~source:(l "B01") ~target:(l "CB1")
+      ~guard:(G.ge1 (v "b1") Params.t2f) ~update:[ (v "a1", 1) ];
+    rule (r "12") ~source:(l "CB1") ~target:(l "C01")
+      ~guard:(G.ge1 (v "b0") Params.t2f);
+    (* Decision layer (Algorithm 1, lines 9-13). *)
+    rule (r "13") ~source:(l "C0") ~target:decide0 ~guard:(G.ge1 (v "a0") Params.ntf);
+    rule (r "14") ~source:(l "CB0") ~target:decide0 ~guard:(G.ge1 (v "a0") Params.ntf);
+    rule (r "15") ~source:(l "C1") ~target:decide1 ~guard:(G.ge1 (v "a1") Params.ntf);
+    rule (r "16") ~source:(l "CB1") ~target:decide1 ~guard:(G.ge1 (v "a1") Params.ntf);
+    rule (r "17") ~source:(l "C01") ~target:decide0 ~guard:(G.ge1 (v "a0") Params.ntf);
+    rule (r "18") ~source:(l "C01") ~target:mixed
+      ~guard:(G.ge [ (v "a0", 1); (v "a1", 1) ] Params.ntf);
+    rule (r "19") ~source:(l "C01") ~target:decide1 ~guard:(G.ge1 (v "a1") Params.ntf);
+  ]
+
+let shared =
+  [ "b0"; "b1"; "a0"; "a1"; "b0x"; "b1x"; "a0x"; "a1x" ]
+
+let automaton =
+  A.make ~name:"naive_consensus" ~params:Params.names ~shared ~locations
+    ~initial:[ "V0"; "V1" ] ~resilience:Params.resilience
+    ~population:Params.population
+    ~rules:
+      (half_rules "" ~decide0:"E0" ~decide1:"D1" ~mixed:"E1"
+      @ [
+          rule "r20" ~source:"E0" ~target:"V0x";
+          rule "r21" ~source:"E1" ~target:"V1x";
+          rule "r22" ~source:"D1" ~target:"V1x";
+        ]
+      @ half_rules "x" ~decide0:"D0" ~decide1:"E1x" ~mixed:"E0x")
+    ~round_switch:[ ("D0", "V0"); ("E0x", "V0"); ("E1x", "V1") ]
+    ~self_loops:4 ()
+
+(* The same three properties the paper attempted on the naive TA. *)
+let inv1_0 =
+  S.invariant ~name:"Inv1_0" ~ltl:"<>(k[D0] != 0) => [](k[D1] = 0 /\\ k[E1x] = 0)"
+    ~bad:
+      [
+        ("a process decides 0", C.counter_ge "D0" 1);
+        ("a process decides 1 or keeps estimate 1", C.some_nonempty [ "D1"; "E1x" ]);
+      ]
+    ()
+
+let inv2_0 =
+  S.invariant ~name:"Inv2_0" ~ltl:"[](k[V0] = 0) => [](k[D0] = 0 /\\ k[E0x] = 0)"
+    ~init:(C.empty "V0")
+    ~bad:[ ("0 decided or kept", C.some_nonempty [ "D0"; "E0x" ]) ]
+    ()
+
+let sround_term =
+  S.liveness ~name:"SRound-Term" ~ltl:"<>(only D0, E0x, E1x are non-empty)"
+    ~target_violated:(C.some_nonempty interior)
+    ()
+
+let table2_specs = [ inv1_0; inv2_0; sround_term ]

@@ -1,0 +1,42 @@
+(* Shared parameter setup for all three threshold automata of the paper:
+   n processes, at most t < n/3 Byzantine, f <= t actually faulty. *)
+
+module Pexpr = Ta.Pexpr
+
+let n = Pexpr.param "n"
+let t = Pexpr.param "t"
+let f = Pexpr.param "f"
+let names = [ "n"; "t"; "f" ]
+
+(* t + 1 - f : a message from t+1 distinct processes, discounting the f
+   messages Byzantine processes may contribute (paper, Section 3.1). *)
+let t1f = Pexpr.of_terms [ ("t", 1); ("f", -1) ] 1
+
+(* 2t + 1 - f *)
+let t2f = Pexpr.of_terms [ ("t", 2); ("f", -1) ] 1
+
+(* n - t - f *)
+let ntf = Pexpr.of_terms [ ("n", 1); ("t", -1); ("f", -1) ] 0
+
+(* t + 1 (threshold on messages from correct processes only) *)
+let t1 = Pexpr.of_terms [ ("t", 1) ] 1
+
+(* Resilience condition n > 3t /\ t >= f >= 0, as e >= 0 constraints. *)
+let resilience =
+  [
+    Pexpr.of_terms [ ("n", 1); ("t", -3) ] (-1);
+    Pexpr.of_terms [ ("t", 1); ("f", -1) ] 0;
+    Pexpr.of_terms [ ("f", 1) ] 0;
+  ]
+
+(* Broken resilience n > 2t (tolerating too many Byzantine processes):
+   used to regenerate the paper's counterexample to Inv1_0. *)
+let broken_resilience =
+  [
+    Pexpr.of_terms [ ("n", 1); ("t", -2) ] (-1);
+    Pexpr.of_terms [ ("t", 1); ("f", -1) ] 0;
+    Pexpr.of_terms [ ("f", 1) ] 0;
+  ]
+
+(* Number of correct processes modelled by the automaton. *)
+let population = Pexpr.of_terms [ ("n", 1); ("f", -1) ] 0

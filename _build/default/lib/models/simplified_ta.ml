@@ -1,0 +1,192 @@
+(* The simplified threshold automaton of the DBFT Byzantine consensus
+   (paper, Fig. 4), obtained by replacing the inner bv-broadcast with a
+   gadget that captures its verified properties.
+
+   One round of this TA is a superround: round 2R-1 (odd, deciding 1)
+   followed by round 2R (even, deciding 0).  First-half locations are
+   unsuffixed, second-half locations carry an "x" suffix (following the
+   ByMC specification of Appendix F).
+
+   Gadget semantics per half:
+   - Vv --(bvb_v++)--> M : the process invokes bv-broadcast with value v;
+   - M --(bvb_v >= 1 |-> aux_v++)--> Mv : the process bv-delivers v first
+     (possible only if some correct process broadcast v: this bakes
+     BV-Justification into the structure) and broadcasts its aux message;
+   - Mv --(bvb_w >= 1)--> M01 : the other value w is delivered later;
+   - decision layer: aux thresholds n-t-f pick the qualifiers set:
+     first half  {1}->D1 (decide), {0}->E0, {0,1}->E1;
+     second half {0}->D0 (decide), {1}->E1x, {0,1}->E0x.
+
+   The remaining bv-broadcast properties become justice constraints
+   (Appendix F): BV-Termination empties M; BV-Obligation forces Mv to
+   M01 once bvb_w >= t+1; BV-Uniformity forces Mv to M01 once aux_w >= 1. *)
+
+module A = Ta.Automaton
+module G = Ta.Guard
+module C = Ta.Cond
+module S = Ta.Spec
+module Pexpr = Ta.Pexpr
+
+let first_half = [ "V0"; "V1"; "M"; "M0"; "M1"; "M01"; "E0"; "E1"; "D1" ]
+let second_half = [ "V0x"; "V1x"; "Mx"; "M0x"; "M1x"; "M01x"; "E0x"; "E1x"; "D0" ]
+let locations = first_half @ second_half
+let finals = [ "D0"; "E0x"; "E1x" ]
+let interior = List.filter (fun l -> not (List.mem l finals)) locations
+
+let rule = A.rule
+
+(* Rules of one half; [sfx] is "" or "x"; [decide] and [est0] and [est1]
+   are the targets for qualifiers {parity}, {1 - parity}, {0, 1}. *)
+let half_rules sfx ~decide0 ~decide1 ~mixed =
+  let l name = name ^ sfx in
+  let v name = name ^ sfx in
+  [
+    rule ("s1" ^ sfx) ~source:(l "V0") ~target:(l "M") ~update:[ (v "bvb0", 1) ];
+    rule ("s2" ^ sfx) ~source:(l "V1") ~target:(l "M") ~update:[ (v "bvb1", 1) ];
+    rule ("s3" ^ sfx) ~source:(l "M") ~target:(l "M0")
+      ~guard:(G.ge1 (v "bvb0") (Pexpr.const 1))
+      ~update:[ (v "aux0", 1) ] ~fairness:A.Unfair;
+    rule ("s4" ^ sfx) ~source:(l "M") ~target:(l "M1")
+      ~guard:(G.ge1 (v "bvb1") (Pexpr.const 1))
+      ~update:[ (v "aux1", 1) ] ~fairness:A.Unfair;
+    rule ("s5" ^ sfx) ~source:(l "M0") ~target:decide0
+      ~guard:(G.ge1 (v "aux0") Params.ntf);
+    rule ("s6" ^ sfx) ~source:(l "M0") ~target:(l "M01")
+      ~guard:(G.ge1 (v "bvb1") (Pexpr.const 1))
+      ~fairness:A.Unfair;
+    rule ("s7" ^ sfx) ~source:(l "M1") ~target:(l "M01")
+      ~guard:(G.ge1 (v "bvb0") (Pexpr.const 1))
+      ~fairness:A.Unfair;
+    rule ("s8" ^ sfx) ~source:(l "M1") ~target:decide1
+      ~guard:(G.ge1 (v "aux1") Params.ntf);
+    rule ("s9" ^ sfx) ~source:(l "M01") ~target:decide0
+      ~guard:(G.ge1 (v "aux0") Params.ntf);
+    rule ("s10" ^ sfx) ~source:(l "M01") ~target:mixed
+      ~guard:(G.ge [ (v "aux0", 1); (v "aux1", 1) ] Params.ntf);
+    rule ("s11" ^ sfx) ~source:(l "M01") ~target:decide1
+      ~guard:(G.ge1 (v "aux1") Params.ntf);
+  ]
+
+(* Justice constraints of one half (Appendix F). *)
+let half_justice sfx =
+  let l name = name ^ sfx in
+  let v name = name ^ sfx in
+  [
+    (* BV-Termination: eventually every process delivers something. *)
+    { A.loc = l "M"; unless = G.tt };
+    (* BV-Obligation: t+1 correct broadcasts of w force delivery of w. *)
+    { A.loc = l "M0"; unless = G.ge1 (v "bvb1") Params.t1 };
+    { A.loc = l "M1"; unless = G.ge1 (v "bvb0") Params.t1 };
+    (* BV-Uniformity: one delivery of w forces delivery of w everywhere. *)
+    { A.loc = l "M0"; unless = G.ge1 (v "aux1") (Pexpr.const 1) };
+    { A.loc = l "M1"; unless = G.ge1 (v "aux0") (Pexpr.const 1) };
+  ]
+
+let shared =
+  [ "bvb0"; "bvb1"; "aux0"; "aux1"; "bvb0x"; "bvb1x"; "aux0x"; "aux1x" ]
+
+let make_with_resilience ~name resilience =
+  A.make ~name ~params:Params.names ~shared ~locations ~initial:[ "V0"; "V1" ]
+    ~resilience ~population:Params.population
+    ~rules:
+      ((* First half: odd round, parity 1: qualifiers {1} decides. *)
+       half_rules "" ~decide0:"E0" ~decide1:"D1" ~mixed:"E1"
+      @ [
+          (* Round switch inside the superround (solid rules s12-s14). *)
+          rule "s12" ~source:"E0" ~target:"V0x";
+          rule "s13" ~source:"E1" ~target:"V1x";
+          rule "s14" ~source:"D1" ~target:"V1x";
+        ]
+      (* Second half: even round, parity 0: qualifiers {0} decides. *)
+      @ half_rules "x" ~decide0:"D0" ~decide1:"E1x" ~mixed:"E0x")
+    ~justice:(half_justice "" @ half_justice "x")
+    ~round_switch:[ ("D0", "V0"); ("E0x", "V0"); ("E1x", "V1") ]
+    ~self_loops:12 ()
+
+let automaton = make_with_resilience ~name:"simplified_consensus" Params.resilience
+
+(* Same automaton under the broken resilience condition n > 2t, used to
+   regenerate the paper's counterexample to Inv1_0 (Section 6). *)
+let automaton_broken_resilience =
+  make_with_resilience ~name:"simplified_consensus_broken" Params.broken_resilience
+
+(* ------------------------------------------------------------------ *)
+(* Specifications (Section 5 and Appendix F).                           *)
+
+(* Inv1_v: <>(k[Dv] <> 0) => [](k[D(1-v)] = 0 /\ k[E(1-v)x] = 0).
+   Agreement follows from Inv1_0 /\ Inv1_1 (paper, Section 5.1). *)
+let inv1_0 =
+  S.invariant ~name:"Inv1_0" ~ltl:"<>(k[D0] != 0) => [](k[D1] = 0 /\\ k[E1x] = 0)"
+    ~bad:
+      [
+        ("a process decides 0", C.counter_ge "D0" 1);
+        ("a process decides 1 or keeps estimate 1", C.some_nonempty [ "D1"; "E1x" ]);
+      ]
+    ()
+
+let inv1_1 =
+  S.invariant ~name:"Inv1_1" ~ltl:"<>(k[D1] != 0) => [](k[D0] = 0 /\\ k[E0x] = 0)"
+    ~bad:
+      [
+        ("a process decides 1", C.counter_ge "D1" 1);
+        ("a process decides 0 or keeps estimate 0", C.some_nonempty [ "D0"; "E0x" ]);
+      ]
+    ()
+
+(* Inv2_v: [](k[Vv] = 0) => [](k[Dv] = 0 /\ k[Evx] = 0).
+   Validity follows from Inv2_0 /\ Inv2_1.  Vv is initial and has no
+   incoming rule in the one-round automaton, so the premise is a
+   constraint on the initial configuration. *)
+let inv2_0 =
+  S.invariant ~name:"Inv2_0" ~ltl:"[](k[V0] = 0) => [](k[D0] = 0 /\\ k[E0x] = 0)"
+    ~init:(C.empty "V0")
+    ~bad:[ ("0 decided or kept", C.some_nonempty [ "D0"; "E0x" ]) ]
+    ()
+
+let inv2_1 =
+  S.invariant ~name:"Inv2_1" ~ltl:"[](k[V1] = 0) => [](k[D1] = 0 /\\ k[E1x] = 0)"
+    ~init:(C.empty "V1")
+    ~bad:[ ("1 decided or kept", C.some_nonempty [ "D1"; "E1x" ]) ]
+    ()
+
+(* Dec: if no process starts the superround with value v, every process
+   decides 1-v in it. *)
+let dec_0 =
+  S.invariant ~name:"Dec_0" ~ltl:"[](k[V0] = 0) => [](k[E0] = 0 /\\ k[E1] = 0)"
+    ~init:(C.empty "V0")
+    ~bad:[ ("some process fails to decide 1", C.some_nonempty [ "E0"; "E1" ]) ]
+    ()
+
+let dec_1 =
+  S.invariant ~name:"Dec_1" ~ltl:"[](k[V1] = 0) => [](k[E0x] = 0 /\\ k[E1x] = 0)"
+    ~init:(C.empty "V1")
+    ~bad:[ ("some process fails to decide 0", C.some_nonempty [ "E0x"; "E1x" ]) ]
+    ()
+
+(* Good: a (r mod 2)-good bv-broadcast round forces progress (Corollary 5
+   feeds the premise; Theorem 6 combines Good with Dec). *)
+let good_0 =
+  S.invariant ~name:"Good_0" ~ltl:"[](k[M0] = 0) => [](k[D0] = 0 /\\ k[E0x] = 0)"
+    ~never_enter:[ "M0" ]
+    ~bad:[ ("0 decided or kept", C.some_nonempty [ "D0"; "E0x" ]) ]
+    ()
+
+let good_1 =
+  S.invariant ~name:"Good_1" ~ltl:"[](k[M1x] = 0) => [](k[E1x] = 0)"
+    ~never_enter:[ "M1x" ]
+    ~bad:[ ("estimate 1 kept", C.some_nonempty [ "E1x" ]) ]
+    ()
+
+(* SRoundTerm: every superround eventually terminates — all processes end
+   in D0, E0x or E1x (under the fairness premises, which the checker
+   derives from rule fairness and the justice constraints). *)
+let sround_term =
+  S.liveness ~name:"SRound-Term"
+    ~ltl:"<>(only D0, E0x, E1x are non-empty)"
+    ~target_violated:(C.some_nonempty interior)
+    ()
+
+let table2_specs = [ inv1_0; inv2_0; sround_term; good_0; dec_0 ]
+
+let all_specs =
+  [ inv1_0; inv1_1; inv2_0; inv2_1; dec_0; dec_1; good_0; good_1; sround_term ]

@@ -1,0 +1,1 @@
+lib/numbers/bigint.mli: Format

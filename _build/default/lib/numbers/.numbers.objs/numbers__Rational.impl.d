@@ -1,0 +1,1 @@
+lib/numbers/rational.ml: Bigint Format Stdlib String

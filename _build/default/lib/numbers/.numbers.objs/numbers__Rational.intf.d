@@ -1,0 +1,1 @@
+lib/numbers/rational.mli: Bigint Format

@@ -1,0 +1,74 @@
+(** Exact rational numbers over {!Bigint}.
+
+    Values are kept normalized: the denominator is positive and coprime
+    with the numerator; zero is represented as [0/1]. *)
+
+type t = private { num : Bigint.t; den : Bigint.t }
+
+val zero : t
+val one : t
+val minus_one : t
+
+(** [make num den] normalizes [num/den].
+    @raise Division_by_zero when [den] is zero. *)
+val make : Bigint.t -> Bigint.t -> t
+
+val of_bigint : Bigint.t -> t
+val of_int : int -> t
+
+(** [of_ints num den] is [make (of_int num) (of_int den)]. *)
+val of_ints : int -> int -> t
+
+val num : t -> Bigint.t
+val den : t -> Bigint.t
+
+val sign : t -> int
+val is_zero : t -> bool
+
+(** [is_integer q] is [true] when the denominator is one. *)
+val is_integer : t -> bool
+
+val equal : t -> t -> bool
+val compare : t -> t -> int
+val min : t -> t -> t
+val max : t -> t -> t
+
+val neg : t -> t
+val abs : t -> t
+val add : t -> t -> t
+val sub : t -> t -> t
+val mul : t -> t -> t
+
+(** @raise Division_by_zero when dividing by zero. *)
+val div : t -> t -> t
+
+val inv : t -> t
+
+(** [floor q] is the greatest integer [<= q]. *)
+val floor : t -> Bigint.t
+
+(** [ceil q] is the least integer [>= q]. *)
+val ceil : t -> Bigint.t
+
+(** [to_bigint q] is the numerator when [q] is an integer.
+    @raise Failure otherwise. *)
+val to_bigint : t -> Bigint.t
+
+val to_string : t -> string
+val pp : Format.formatter -> t -> unit
+
+(** Approximate conversion for reporting only. *)
+val to_float : t -> float
+
+module Infix : sig
+  val ( + ) : t -> t -> t
+  val ( - ) : t -> t -> t
+  val ( * ) : t -> t -> t
+  val ( / ) : t -> t -> t
+  val ( ~- ) : t -> t
+  val ( = ) : t -> t -> bool
+  val ( < ) : t -> t -> bool
+  val ( <= ) : t -> t -> bool
+  val ( > ) : t -> t -> bool
+  val ( >= ) : t -> t -> bool
+end

@@ -1,0 +1,119 @@
+type row = {
+  ta_name : string;
+  size : string;
+  property : string;
+  schemas : string;
+  avg_len : string;
+  time : string;
+  verdict : string;
+  paper : string;
+}
+
+let row_of_result ~ta_label ~size ~paper (r : Holistic.Checker.result) =
+  let avg =
+    if r.stats.schemas_checked = 0 then 0.0
+    else float_of_int r.stats.slots_total /. float_of_int r.stats.schemas_checked
+  in
+  let verdict, schemas, time =
+    match r.outcome with
+    | Holistic.Checker.Holds ->
+      ("holds", string_of_int r.stats.schemas_checked, Printf.sprintf "%.2fs" r.stats.time)
+    | Holistic.Checker.Violated _ ->
+      ("VIOLATED", string_of_int r.stats.schemas_checked, Printf.sprintf "%.2fs" r.stats.time)
+    | Holistic.Checker.Aborted _ ->
+      ( "aborted",
+        Printf.sprintf ">%d" r.stats.schemas_checked,
+        Printf.sprintf ">%.0fs" r.stats.time )
+  in
+  {
+    ta_name = ta_label;
+    size;
+    property = r.spec.name;
+    schemas;
+    avg_len = Printf.sprintf "%.0f" avg;
+    time;
+    verdict;
+    paper;
+  }
+
+let size_string ta =
+  let s = Ta.Automaton.stats ta in
+  Printf.sprintf "%dg/%dloc/%drules" s.n_guards s.n_locations s.n_rules
+
+let paper_times =
+  [
+    ("BV-Just0", "5.61s"); ("BV-Obl0", "6.87s"); ("BV-Unif0", "27.64s");
+    ("BV-Term", "6.75s"); ("Inv1_0", "4.68s"); ("Inv2_0", "4.56s");
+    ("SRound-Term", "4.13s"); ("Good_0", "4.55s"); ("Dec_0", "4.62s");
+  ]
+
+let paper_time ~naive spec_name =
+  if naive then ">24h"
+  else match List.assoc_opt spec_name paper_times with Some t -> t | None -> "-"
+
+let bv_rows () =
+  let ta = Models.Bv_ta.automaton in
+  let u = Holistic.Universe.build ta in
+  List.map
+    (fun spec ->
+      let r = Holistic.Checker.verify_with_universe u spec in
+      row_of_result ~ta_label:"bv-broadcast (Fig 2)" ~size:(size_string ta)
+        ~paper:(paper_time ~naive:false spec.Ta.Spec.name) r)
+    Models.Bv_ta.table2_specs
+
+let naive_rows ~budget =
+  let ta = Models.Naive_ta.automaton in
+  let limits =
+    { Holistic.Checker.default_limits with max_schemas = 100_000; time_budget = Some budget }
+  in
+  List.map
+    (fun spec ->
+      let r = Holistic.Checker.verify ~limits ta spec in
+      row_of_result ~ta_label:"naive consensus (Fig 3)" ~size:(size_string ta)
+        ~paper:(paper_time ~naive:true spec.Ta.Spec.name) r)
+    Models.Naive_ta.table2_specs
+
+let simplified_rows ?(specs = Models.Simplified_ta.table2_specs) () =
+  let ta = Models.Simplified_ta.automaton in
+  let u = Holistic.Universe.build ta in
+  List.map
+    (fun spec ->
+      let r = Holistic.Checker.verify_with_universe u spec in
+      row_of_result ~ta_label:"simplified (Fig 4)" ~size:(size_string ta)
+        ~paper:(paper_time ~naive:false spec.Ta.Spec.name) r)
+    specs
+
+let table2 ~quick ~naive_budget () =
+  bv_rows ()
+  @ naive_rows ~budget:naive_budget
+  @ simplified_rows
+      ?specs:(if quick then Some [ Models.Simplified_ta.inv2_0; Models.Simplified_ta.good_0 ] else None)
+      ()
+
+let columns =
+  [ "TA"; "Size"; "Property"; "#schemas"; "Avg len"; "Time"; "Verdict"; "Paper time" ]
+
+let cells r =
+  [ r.ta_name; r.size; r.property; r.schemas; r.avg_len; r.time; r.verdict; r.paper ]
+
+let print_text oc rows =
+  let fmt = format_of_string "%-24s %-22s %-13s %-9s %-8s %-8s %-9s %s\n" in
+  (match columns with
+   | [ a; b; c; d; e; f; g; h ] -> Printf.fprintf oc fmt a b c d e f g h
+   | _ -> assert false);
+  Printf.fprintf oc "%s\n" (String.make 108 '-');
+  List.iter
+    (fun r ->
+      match cells r with
+      | [ a; b; c; d; e; f; g; h ] -> Printf.fprintf oc fmt a b c d e f g h
+      | _ -> assert false)
+    rows
+
+let to_markdown rows =
+  let line cs = "| " ^ String.concat " | " cs ^ " |\n" in
+  line columns
+  ^ line (List.map (fun _ -> "---") columns)
+  ^ String.concat "" (List.map (fun r -> line (cells r)) rows)
+
+let to_csv rows =
+  String.concat "\n" (List.map (String.concat ",") (columns :: List.map cells rows)) ^ "\n"

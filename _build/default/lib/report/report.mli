@@ -1,0 +1,39 @@
+(** Generation of the paper's Table 2 (Section 6): one row per
+    (threshold automaton, property) with size, schema count, average
+    schema length, wall-clock time and verdict, next to the paper's
+    reported time.  Shared by the benchmark harness and the CLI. *)
+
+type row = {
+  ta_name : string;
+  size : string;  (** "Ng/Lloc/Rrules" *)
+  property : string;
+  schemas : string;
+  avg_len : string;
+  time : string;
+  verdict : string;
+  paper : string;  (** the paper's reported time for this row *)
+}
+
+(** [row_of_result ~ta_label ~size ~paper result]. *)
+val row_of_result :
+  ta_label:string -> size:string -> paper:string -> Holistic.Checker.result -> row
+
+val size_string : Ta.Automaton.t -> string
+
+(** [bv_rows ()] — the four bv-broadcast rows (fast). *)
+val bv_rows : unit -> row list
+
+(** [naive_rows ~budget] — the three naive-consensus rows, each aborted
+    after [budget] seconds (the paper's ">24h" analogue). *)
+val naive_rows : budget:float -> row list
+
+(** [simplified_rows ?specs ()] — the simplified-consensus rows
+    (defaults to the five properties of Table 2; ~70 s total). *)
+val simplified_rows : ?specs:Ta.Spec.t list -> unit -> row list
+
+(** [table2 ~quick ~naive_budget ()] — all rows. *)
+val table2 : quick:bool -> naive_budget:float -> unit -> row list
+
+val print_text : out_channel -> row list -> unit
+val to_markdown : row list -> string
+val to_csv : row list -> string

@@ -1,0 +1,1 @@
+lib/simnet/scheduler.ml: List Network Random

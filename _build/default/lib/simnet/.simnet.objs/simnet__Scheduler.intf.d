@@ -1,0 +1,1 @@
+lib/simnet/scheduler.mli: Network Random

@@ -1,0 +1,35 @@
+type 'msg pending = { src : int; dest : int; msg : 'msg; seq : int }
+
+type 'msg t = {
+  n : int;
+  mutable queue : 'msg pending list;  (* newest first *)
+  mutable next_seq : int;
+  mutable delivered : int;
+}
+
+let create ~n = { n; queue = []; next_seq = 0; delivered = 0 }
+
+let size net = net.n
+
+let send net ~src ~dest msg =
+  if dest < 0 || dest >= net.n then invalid_arg "Network.send: bad destination";
+  net.queue <- { src; dest; msg; seq = net.next_seq } :: net.queue;
+  net.next_seq <- net.next_seq + 1
+
+let broadcast net ~src msg =
+  for dest = 0 to net.n - 1 do
+    send net ~src ~dest msg
+  done
+
+let pending net = List.rev net.queue
+
+let pending_count net = List.length net.queue
+
+let deliver net p =
+  let found = List.exists (fun q -> q.seq = p.seq) net.queue in
+  if not found then invalid_arg "Network.deliver: not pending";
+  net.queue <- List.filter (fun q -> q.seq <> p.seq) net.queue;
+  net.delivered <- net.delivered + 1;
+  p
+
+let delivered_count net = net.delivered

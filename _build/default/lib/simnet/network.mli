@@ -1,0 +1,34 @@
+(** A discrete-event simulator of an asynchronous reliable fully
+    connected point-to-point network (paper, Section 2): there is no
+    bound on message delay, but every message sent to a correct process
+    is eventually delivered.  At each step exactly one pending message is
+    delivered; the {!Scheduler} chooses which, which models the
+    adversary's control over asynchrony. *)
+
+type 'msg t
+
+(** A pending delivery. *)
+type 'msg pending = { src : int; dest : int; msg : 'msg; seq : int }
+
+(** [create ~n] builds a network for processes [0 .. n-1] with no pending
+    messages. *)
+val create : n:int -> 'msg t
+
+val size : 'msg t -> int
+
+(** [send net ~src ~dest msg] enqueues a message. *)
+val send : 'msg t -> src:int -> dest:int -> 'msg -> unit
+
+(** [broadcast net ~src msg] sends to every process, including [src]
+    itself (the pseudocode's [broadcast] primitive). *)
+val broadcast : 'msg t -> src:int -> 'msg -> unit
+
+val pending : 'msg t -> 'msg pending list
+val pending_count : 'msg t -> int
+
+(** [deliver net p] removes pending delivery [p] and returns it.
+    @raise Invalid_argument if [p] is not pending. *)
+val deliver : 'msg t -> 'msg pending -> 'msg pending
+
+(** [delivered_count net] counts deliveries so far. *)
+val delivered_count : 'msg t -> int

@@ -1,0 +1,24 @@
+type 'msg t =
+  | Fifo
+  | Random of Random.State.t
+  | Custom of ('msg Network.pending list -> 'msg Network.pending option)
+
+let random ~seed = Random (Random.State.make [| seed |])
+
+let oldest pending =
+  match pending with
+  | [] -> invalid_arg "Scheduler.pick: no pending messages"
+  | p :: rest ->
+    List.fold_left
+      (fun (best : _ Network.pending) (q : _ Network.pending) ->
+        if q.seq < best.seq then q else best)
+      p rest
+
+let pick sched pending =
+  match pending with
+  | [] -> invalid_arg "Scheduler.pick: no pending messages"
+  | _ -> (
+    match sched with
+    | Fifo -> oldest pending
+    | Random st -> List.nth pending (Random.State.int st (List.length pending))
+    | Custom f -> ( match f pending with Some p -> p | None -> oldest pending))

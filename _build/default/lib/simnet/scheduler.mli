@@ -1,0 +1,21 @@
+(** Delivery schedulers: the adversary's control over asynchrony.
+
+    A scheduler picks the next pending message to deliver.  The [Random]
+    and [Fifo] schedulers are fair (every pending message is eventually
+    delivered); a [Custom] scheduler may implement adversarial delivery
+    orders such as the non-termination schedule of the paper's
+    Appendix B. *)
+
+type 'msg t =
+  | Fifo  (** deliver in send order: a synchronous-looking schedule *)
+  | Random of Random.State.t
+      (** uniformly random pending message: fair with probability 1 *)
+  | Custom of ('msg Network.pending list -> 'msg Network.pending option)
+      (** returns the delivery to perform, or [None] to fall back to the
+          oldest pending message (keeps custom schedulers fair by
+          default) *)
+
+val random : seed:int -> 'msg t
+
+(** [pick sched pending] chooses from a non-empty list. *)
+val pick : 'msg t -> 'msg Network.pending list -> 'msg Network.pending

@@ -1,0 +1,1 @@
+lib/smt/atom.ml: Delta Format Linexpr Numbers Printf Stdlib

@@ -1,0 +1,1 @@
+lib/smt/atom.mli: Delta Format Linexpr Numbers

@@ -1,0 +1,1 @@
+lib/smt/delta.ml: Format Numbers Printf

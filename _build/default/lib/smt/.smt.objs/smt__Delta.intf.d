@@ -1,0 +1,1 @@
+lib/smt/delta.mli: Format Numbers

@@ -1,0 +1,1 @@
+lib/smt/formula.ml: Atom Format Linexpr List String

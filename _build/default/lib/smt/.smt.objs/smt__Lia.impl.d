@@ -1,0 +1,1 @@
+lib/smt/lia.ml: Atom Hashtbl Linexpr List Numbers Simplex

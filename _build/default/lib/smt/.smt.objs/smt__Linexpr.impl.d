@@ -1,0 +1,1 @@
+lib/smt/linexpr.ml: Buffer Delta Format Int List Map Numbers

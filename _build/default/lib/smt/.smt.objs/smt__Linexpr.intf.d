@@ -1,0 +1,1 @@
+lib/smt/linexpr.mli: Delta Format Numbers

@@ -1,0 +1,1 @@
+lib/smt/solver.ml: Atom Formula Hashtbl Lia Linexpr List Numbers Sat

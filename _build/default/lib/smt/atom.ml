@@ -1,0 +1,56 @@
+module Q = Numbers.Rational
+
+type rel = Le | Lt | Eq
+
+type t = { expr : Linexpr.t; rel : rel }
+
+let le a b = { expr = Linexpr.sub a b; rel = Le }
+let lt a b = { expr = Linexpr.sub a b; rel = Lt }
+let ge a b = le b a
+let gt a b = lt b a
+let eq a b = { expr = Linexpr.sub a b; rel = Eq }
+
+let negate a =
+  match a.rel with
+  | Le -> { expr = Linexpr.neg a.expr; rel = Lt } (* not (e <= 0)  <=>  -e < 0 *)
+  | Lt -> { expr = Linexpr.neg a.expr; rel = Le }
+  | Eq -> invalid_arg "Atom.negate: cannot negate an equality into one atom"
+
+let holds assign a =
+  let v = Linexpr.eval assign a.expr in
+  match a.rel with
+  | Le -> Q.sign v <= 0
+  | Lt -> Q.sign v < 0
+  | Eq -> Q.is_zero v
+
+let holds_delta assign a =
+  let v = Linexpr.eval_delta assign a.expr in
+  match a.rel with
+  | Le -> Delta.compare v Delta.zero <= 0
+  | Lt -> Delta.compare v Delta.zero < 0
+  | Eq -> Delta.equal v Delta.zero
+
+let trivial a =
+  if Linexpr.is_const a.expr then begin
+    let v = Linexpr.constant a.expr in
+    Some
+      (match a.rel with
+       | Le -> Q.sign v <= 0
+       | Lt -> Q.sign v < 0
+       | Eq -> Q.is_zero v)
+  end
+  else None
+
+let vars a = Linexpr.vars a.expr
+
+let compare a b =
+  let c = Stdlib.compare a.rel b.rel in
+  if c <> 0 then c else Linexpr.compare a.expr b.expr
+
+let equal a b = compare a b = 0
+
+let to_string ?names a =
+  let rel = match a.rel with Le -> "<=" | Lt -> "<" | Eq -> "=" in
+  Printf.sprintf "%s %s 0" (Linexpr.to_string ?names a.expr) rel
+
+let pp ?names fmt a = Format.pp_print_string fmt (to_string ?names a)

@@ -1,0 +1,38 @@
+(** Atomic linear constraints.  An atom constrains a linear expression
+    against zero: [e <= 0], [e < 0], or [e = 0]. *)
+
+module Q := Numbers.Rational
+
+type rel = Le | Lt | Eq
+
+type t = { expr : Linexpr.t; rel : rel }
+
+(** {1 Smart constructors} — [a ⋈ b] normalized to [a - b ⋈ 0]. *)
+
+val le : Linexpr.t -> Linexpr.t -> t
+val lt : Linexpr.t -> Linexpr.t -> t
+val ge : Linexpr.t -> Linexpr.t -> t
+val gt : Linexpr.t -> Linexpr.t -> t
+val eq : Linexpr.t -> Linexpr.t -> t
+
+(** [negate a] is an atom equivalent to the negation of [a] for [Le] and
+    [Lt]; for [Eq] it raises (negated equalities are disjunctions; use
+    {!Formula.not_}).
+    @raise Invalid_argument on [Eq]. *)
+val negate : t -> t
+
+(** [holds assign a] evaluates [a] under a rational assignment. *)
+val holds : (int -> Q.t) -> t -> bool
+
+(** [holds_delta assign a] evaluates [a] under a delta-rational
+    assignment. *)
+val holds_delta : (int -> Delta.t) -> t -> bool
+
+(** [trivial a] is [Some b] when [a] has a constant expression. *)
+val trivial : t -> bool option
+
+val vars : t -> int list
+val equal : t -> t -> bool
+val compare : t -> t -> int
+val pp : ?names:(int -> string) -> Format.formatter -> t -> unit
+val to_string : ?names:(int -> string) -> t -> string

@@ -1,0 +1,24 @@
+module Q = Numbers.Rational
+
+type t = { r : Q.t; d : Q.t }
+
+let zero = { r = Q.zero; d = Q.zero }
+let of_rational r = { r; d = Q.zero }
+let make r d = { r; d }
+let add a b = { r = Q.add a.r b.r; d = Q.add a.d b.d }
+let sub a b = { r = Q.sub a.r b.r; d = Q.sub a.d b.d }
+let neg a = { r = Q.neg a.r; d = Q.neg a.d }
+let scale q a = { r = Q.mul q a.r; d = Q.mul q a.d }
+
+let compare a b =
+  let c = Q.compare a.r b.r in
+  if c <> 0 then c else Q.compare a.d b.d
+
+let equal a b = compare a b = 0
+let is_rational a = Q.is_zero a.d
+
+let to_string a =
+  if Q.is_zero a.d then Q.to_string a.r
+  else Printf.sprintf "%s + %s*delta" (Q.to_string a.r) (Q.to_string a.d)
+
+let pp fmt a = Format.pp_print_string fmt (to_string a)

@@ -1,0 +1,29 @@
+(** Delta-rationals: values of the form [r + k*delta] where [delta] is a
+    positive infinitesimal.  The simplex procedure uses them to represent
+    strict bounds exactly (e.g. [x < c] becomes [x <= c - delta]). *)
+
+type t = { r : Numbers.Rational.t; d : Numbers.Rational.t }
+
+val zero : t
+
+(** [of_rational r] is [r + 0*delta]. *)
+val of_rational : Numbers.Rational.t -> t
+
+(** [make r d] is [r + d*delta]. *)
+val make : Numbers.Rational.t -> Numbers.Rational.t -> t
+
+val add : t -> t -> t
+val sub : t -> t -> t
+val neg : t -> t
+
+(** [scale q x] multiplies both components by the rational [q]. *)
+val scale : Numbers.Rational.t -> t -> t
+
+(** Lexicographic comparison, sound for any sufficiently small positive
+    delta. *)
+val compare : t -> t -> int
+
+val equal : t -> t -> bool
+val is_rational : t -> bool
+val pp : Format.formatter -> t -> unit
+val to_string : t -> string

@@ -1,0 +1,120 @@
+type t =
+  | True
+  | False
+  | Atom of Atom.t
+  | Not of t
+  | And of t list
+  | Or of t list
+
+let tt = True
+let ff = False
+
+let atom a = match Atom.trivial a with Some true -> True | Some false -> False | None -> Atom a
+
+let not_ = function
+  | True -> False
+  | False -> True
+  | Not f -> f
+  | f -> Not f
+
+let conj fs =
+  let rec gather acc = function
+    | [] -> Some (List.rev acc)
+    | True :: rest -> gather acc rest
+    | False :: _ -> None
+    | And gs :: rest -> gather acc (gs @ rest)
+    | f :: rest -> gather (f :: acc) rest
+  in
+  match gather [] fs with
+  | None -> False
+  | Some [] -> True
+  | Some [ f ] -> f
+  | Some fs -> And fs
+
+let disj fs =
+  let rec gather acc = function
+    | [] -> Some (List.rev acc)
+    | False :: rest -> gather acc rest
+    | True :: _ -> None
+    | Or gs :: rest -> gather acc (gs @ rest)
+    | f :: rest -> gather (f :: acc) rest
+  in
+  match gather [] fs with
+  | None -> True
+  | Some [] -> False
+  | Some [ f ] -> f
+  | Some fs -> Or fs
+
+let implies a b = disj [ not_ a; b ]
+let iff a b = conj [ implies a b; implies b a ]
+
+let rec atoms = function
+  | True | False -> []
+  | Atom a -> [ a ]
+  | Not f -> atoms f
+  | And fs | Or fs -> List.concat_map atoms fs
+
+let vars f =
+  atoms f |> List.concat_map Atom.vars |> List.sort_uniq compare
+
+let rec eval assign = function
+  | True -> true
+  | False -> false
+  | Atom a -> Atom.holds assign a
+  | Not f -> not (eval assign f)
+  | And fs -> List.for_all (eval assign) fs
+  | Or fs -> List.exists (eval assign) fs
+
+let negate_atom (a : Atom.t) =
+  match a.rel with
+  | Atom.Le | Atom.Lt -> atom (Atom.negate a)
+  | Atom.Eq ->
+    (* not (e = 0)  <=>  e < 0 \/ -e < 0 *)
+    disj
+      [
+        atom { a with rel = Atom.Lt };
+        atom { Atom.expr = Linexpr.neg a.expr; rel = Atom.Lt };
+      ]
+
+let rec nnf = function
+  | True -> True
+  | False -> False
+  | Atom a -> atom a
+  | And fs -> conj (List.map nnf fs)
+  | Or fs -> disj (List.map nnf fs)
+  | Not f -> nnf_neg f
+
+and nnf_neg = function
+  | True -> False
+  | False -> True
+  | Atom a -> negate_atom a
+  | Not f -> nnf f
+  | And fs -> disj (List.map nnf_neg fs)
+  | Or fs -> conj (List.map nnf_neg fs)
+
+let dnf f =
+  (* Cross-product expansion over the NNF. *)
+  let rec go = function
+    | True -> [ [] ]
+    | False -> []
+    | Atom a -> [ [ a ] ]
+    | Or fs -> List.concat_map go fs
+    | And fs ->
+      List.fold_left
+        (fun acc g ->
+          let cubes = go g in
+          List.concat_map (fun c -> List.map (fun c' -> c @ c') cubes) acc)
+        [ [] ] fs
+    | Not _ -> assert false
+  in
+  go (nnf f)
+
+let rec to_string ?names = function
+  | True -> "true"
+  | False -> "false"
+  | Atom a -> Atom.to_string ?names a
+  | Not f -> "!(" ^ to_string ?names f ^ ")"
+  | And fs -> "(" ^ String.concat " /\\ " (List.map (to_string ?names) fs) ^ ")"
+  | Or fs -> "(" ^ String.concat " \\/ " (List.map (to_string ?names) fs) ^ ")"
+
+let pp ?names fmt f = Format.pp_print_string fmt (to_string ?names f)

@@ -1,0 +1,41 @@
+(** Boolean combinations of linear atoms. *)
+
+module Q := Numbers.Rational
+
+type t =
+  | True
+  | False
+  | Atom of Atom.t
+  | Not of t
+  | And of t list
+  | Or of t list
+
+(** {1 Smart constructors} — simplify trivial cases. *)
+
+val tt : t
+val ff : t
+val atom : Atom.t -> t
+val not_ : t -> t
+val conj : t list -> t
+val disj : t list -> t
+val implies : t -> t -> t
+val iff : t -> t -> t
+
+val atoms : t -> Atom.t list
+val vars : t -> int list
+
+(** [eval assign f] evaluates under a rational assignment. *)
+val eval : (int -> Q.t) -> t -> bool
+
+(** [nnf f] pushes negations to atoms.  Negated equalities become
+    disjunctions of strict inequalities. *)
+val nnf : t -> t
+
+(** [dnf f] converts to disjunctive normal form: a list of conjunctions
+    of atoms (an empty outer list is [False]; an empty inner list is
+    [True]).  Exponential in the worst case — intended for the small
+    formulas produced by property compilation. *)
+val dnf : t -> Atom.t list list
+
+val pp : ?names:(int -> string) -> Format.formatter -> t -> unit
+val to_string : ?names:(int -> string) -> t -> string

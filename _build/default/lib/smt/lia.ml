@@ -1,0 +1,141 @@
+module B = Numbers.Bigint
+module Q = Numbers.Rational
+
+type result = Sat of (int * B.t) list | Unsat | Unknown
+
+exception Budget
+exception Infeasible
+
+(* Normalize to integer coefficients and non-strict relations. *)
+let normalize (a : Atom.t) : Atom.t =
+  let expr = Linexpr.scale_to_integers a.expr in
+  match a.rel with
+  | Atom.Lt -> { Atom.expr = Linexpr.add_const Q.one expr; rel = Atom.Le }
+  | Atom.Le | Atom.Eq -> { a with expr }
+
+(* GCD-based tightening of an integral atom.  For [a . x + k <= 0] with
+   g = gcd of the variable coefficients, the atom is equivalent over the
+   integers to [a/g . x + ceil(k/g) <= 0]; for equalities, g must divide
+   k or the atom is infeasible.
+   @raise Infeasible when an equality has a divisibility conflict. *)
+let tighten (a : Atom.t) : Atom.t =
+  let coeffs = Linexpr.terms a.expr in
+  if coeffs = [] then a
+  else begin
+    let g =
+      List.fold_left (fun acc (c, _) -> B.gcd acc (Q.to_bigint c)) B.zero coeffs
+    in
+    if B.equal g B.one then a
+    else begin
+      let k = Q.to_bigint (Linexpr.constant a.expr) in
+      match a.rel with
+      | Atom.Eq ->
+        if not (B.is_zero (B.rem k g)) then raise Infeasible;
+        { a with expr = Linexpr.scale (Q.make B.one g) a.expr }
+      | Atom.Le ->
+        let terms = List.map (fun (c, v) -> (Q.make (Q.to_bigint c) g, v)) coeffs in
+        { a with expr = Linexpr.of_terms terms (Q.of_bigint (B.cdiv k g)) }
+      | Atom.Lt -> assert false
+    end
+  end
+
+(* Find an equality with a +-1 coefficient on some variable and return
+   (x, e) such that the equality is equivalent to [x = e]. *)
+let solvable_equality (a : Atom.t) =
+  match a.rel with
+  | Atom.Le | Atom.Lt -> None
+  | Atom.Eq ->
+    let rec pick = function
+      | [] -> None
+      | (c, x) :: rest ->
+        if Q.equal (Q.abs c) Q.one then begin
+          (* c*x + rest = 0  =>  x = -(rest)/c *)
+          let rest_expr = Linexpr.add_term (Q.neg c) x a.expr in
+          Some (x, Linexpr.scale (Q.neg (Q.inv c)) rest_expr)
+        end
+        else pick rest
+    in
+    pick (Linexpr.terms a.expr)
+
+(* Preprocess a conjunction: tighten, then repeatedly eliminate solvable
+   equalities by substitution.  Returns the reduced atoms and the list of
+   bindings (in elimination order) for model reconstruction.
+   @raise Infeasible on a trivially false atom. *)
+let preprocess atoms =
+  let simplify atoms =
+    List.filter_map
+      (fun a ->
+        let a = tighten a in
+        match Atom.trivial a with
+        | Some true -> None
+        | Some false -> raise Infeasible
+        | None -> Some a)
+      atoms
+  in
+  let rec eliminate atoms bindings =
+    let atoms = simplify atoms in
+    match List.find_map solvable_equality atoms with
+    | None -> (atoms, List.rev bindings)
+    | Some (x, e) ->
+      let atoms =
+        List.map (fun (a : Atom.t) -> { a with expr = Linexpr.subst x e a.expr }) atoms
+      in
+      eliminate atoms ((x, e) :: bindings)
+  in
+  eliminate atoms []
+
+let fractional q = not (Q.is_integer q)
+
+let solve ?(max_steps = 20_000) atoms =
+  match
+    let atoms = List.map normalize atoms in
+    let all_vars = List.concat_map Atom.vars atoms |> List.sort_uniq compare in
+    let reduced, bindings = preprocess atoms in
+    let steps = ref max_steps in
+    let rec branch atoms depth =
+      if !steps <= 0 || depth > 600 then raise Budget;
+      decr steps;
+      match Simplex.solve atoms with
+      | Simplex.Unsat -> None
+      | Simplex.Sat model -> (
+        match List.find_opt (fun (_, q) -> fractional q) model with
+        | None -> Some model
+        | Some (v, q) ->
+          let f = Q.floor q in
+          let low =
+            { Atom.expr = Linexpr.sub (Linexpr.var v) (Linexpr.const (Q.of_bigint f));
+              rel = Atom.Le }
+          in
+          let high =
+            { Atom.expr =
+                Linexpr.sub (Linexpr.const (Q.of_bigint (B.succ f))) (Linexpr.var v);
+              rel = Atom.Le }
+          in
+          (match branch (low :: atoms) (depth + 1) with
+           | Some m -> Some m
+           | None -> branch (high :: atoms) (depth + 1)))
+    in
+    match branch reduced 0 with
+    | None -> Unsat
+    | Some model ->
+      (* Reconstruct eliminated variables in reverse elimination order,
+         then fill any variable that vanished entirely with zero. *)
+      let value = Hashtbl.create 16 in
+      List.iter (fun (v, q) -> Hashtbl.replace value v q) model;
+      let lookup v = match Hashtbl.find_opt value v with Some q -> q | None -> Q.zero in
+      List.iter
+        (fun (x, e) -> Hashtbl.replace value x (Linexpr.eval lookup e))
+        (List.rev bindings);
+      Sat (List.map (fun v -> (v, Q.to_bigint (lookup v))) all_vars)
+  with
+  | result -> result
+  | exception Infeasible -> Unsat
+  | exception Budget -> Unknown
+
+let check_model atoms model =
+  let assign v =
+    match List.assoc_opt v model with
+    | Some b -> Q.of_bigint b
+    | None -> Q.zero
+  in
+  List.for_all (Atom.holds assign) atoms

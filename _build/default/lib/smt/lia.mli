@@ -1,0 +1,22 @@
+(** Decision procedure for conjunctions of linear integer arithmetic
+    atoms (QF_LIA): simplex relaxation plus branch-and-bound.
+
+    Every variable is interpreted over the integers.  Strict inequalities
+    are first normalized away ([e < 0] with integral coefficients becomes
+    [e + 1 <= 0]), so the relaxation never needs infinitesimals. *)
+
+module B := Numbers.Bigint
+
+type result =
+  | Sat of (int * B.t) list  (** integral model for every input variable *)
+  | Unsat
+  | Unknown  (** branch-and-bound budget exhausted *)
+
+(** [solve ?max_steps atoms] decides the conjunction of [atoms] over the
+    integers.  [max_steps] bounds the number of simplex calls
+    (default 20000). *)
+val solve : ?max_steps:int -> Atom.t list -> result
+
+(** [check_model atoms model] re-evaluates all atoms under an integral
+    model; used for internal sanity checking and by tests. *)
+val check_model : Atom.t list -> (int * B.t) list -> bool

@@ -1,0 +1,112 @@
+module Q = Numbers.Rational
+module B = Numbers.Bigint
+module IntMap = Map.Make (Int)
+
+type t = { coeffs : Q.t IntMap.t; const : Q.t }
+
+let zero = { coeffs = IntMap.empty; const = Q.zero }
+let const k = { coeffs = IntMap.empty; const = k }
+let of_int n = const (Q.of_int n)
+
+let term c x =
+  if Q.is_zero c then zero else { coeffs = IntMap.singleton x c; const = Q.zero }
+
+let var x = term Q.one x
+
+let add_term c x e =
+  let update = function
+    | None -> if Q.is_zero c then None else Some c
+    | Some c0 ->
+      let c' = Q.add c0 c in
+      if Q.is_zero c' then None else Some c'
+  in
+  { e with coeffs = IntMap.update x update e.coeffs }
+
+let add_const k e = { e with const = Q.add e.const k }
+
+let of_terms terms k =
+  List.fold_left (fun e (c, x) -> add_term c x e) (const k) terms
+
+let of_int_terms terms k =
+  of_terms (List.map (fun (c, x) -> (Q.of_int c, x)) terms) (Q.of_int k)
+
+let add a b =
+  let coeffs =
+    IntMap.union
+      (fun _ c1 c2 ->
+        let c = Q.add c1 c2 in
+        if Q.is_zero c then None else Some c)
+      a.coeffs b.coeffs
+  in
+  { coeffs; const = Q.add a.const b.const }
+
+let scale q e =
+  if Q.is_zero q then zero
+  else { coeffs = IntMap.map (Q.mul q) e.coeffs; const = Q.mul q e.const }
+
+let neg e = scale Q.minus_one e
+let sub a b = add a (neg b)
+
+let coeff x e = match IntMap.find_opt x e.coeffs with Some c -> c | None -> Q.zero
+let constant e = e.const
+let terms e = IntMap.fold (fun x c acc -> (c, x) :: acc) e.coeffs [] |> List.rev
+let vars e = IntMap.fold (fun x _ acc -> x :: acc) e.coeffs [] |> List.rev
+let is_const e = IntMap.is_empty e.coeffs
+
+let eval assign e =
+  IntMap.fold (fun x c acc -> Q.add acc (Q.mul c (assign x))) e.coeffs e.const
+
+let eval_delta assign e =
+  IntMap.fold
+    (fun x c acc -> Delta.add acc (Delta.scale c (assign x)))
+    e.coeffs
+    (Delta.of_rational e.const)
+
+let scale_to_integers e =
+  let denominators =
+    IntMap.fold (fun _ c acc -> Q.den c :: acc) e.coeffs [ Q.den e.const ]
+  in
+  let l = List.fold_left B.lcm B.one denominators in
+  scale (Q.of_bigint l) e
+
+let compare a b =
+  let c = Q.compare a.const b.const in
+  if c <> 0 then c else IntMap.compare Q.compare a.coeffs b.coeffs
+
+let equal a b = compare a b = 0
+
+let to_string ?(names = fun i -> "x" ^ string_of_int i) e =
+  let buf = Buffer.create 32 in
+  let first = ref true in
+  let add_part sgn body =
+    if !first then begin
+      if sgn < 0 then Buffer.add_char buf '-';
+      first := false
+    end
+    else Buffer.add_string buf (if sgn < 0 then " - " else " + ");
+    Buffer.add_string buf body
+  in
+  IntMap.iter
+    (fun x c ->
+      let a = Q.abs c in
+      let body =
+        if Q.equal a Q.one then names x else Q.to_string a ^ "*" ^ names x
+      in
+      add_part (Q.sign c) body)
+    e.coeffs;
+  if not (Q.is_zero e.const) || !first then
+    add_part (Q.sign e.const) (Q.to_string (Q.abs e.const));
+  Buffer.contents buf
+
+let pp ?names fmt e = Format.pp_print_string fmt (to_string ?names e)
+
+let map_vars f e =
+  {
+    e with
+    coeffs = IntMap.fold (fun x c acc -> IntMap.add (f x) c acc) e.coeffs IntMap.empty;
+  }
+
+let subst x by e =
+  match IntMap.find_opt x e.coeffs with
+  | None -> e
+  | Some c -> add { e with coeffs = IntMap.remove x e.coeffs } (scale c by)

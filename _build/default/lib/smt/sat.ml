@@ -1,0 +1,82 @@
+type literal = int
+type clause = literal list
+
+type result = Sat of (int -> bool) | Unsat
+
+module IntMap = Map.Make (Int)
+
+exception Found of bool IntMap.t
+
+(* Simplify clauses under a partial assignment extension [lit := true].
+   Returns [None] when an empty clause appears. *)
+let assign_lit lit clauses =
+  let rec go acc = function
+    | [] -> Some acc
+    | clause :: rest ->
+      if List.mem lit clause then go acc rest
+      else begin
+        let clause' = List.filter (fun l -> l <> -lit) clause in
+        if clause' = [] then None else go (clause' :: acc) rest
+      end
+  in
+  go [] clauses
+
+let rec unit_propagate assignment clauses =
+  match List.find_opt (function [ _ ] -> true | _ -> false) clauses with
+  | Some [ lit ] -> (
+    let assignment = IntMap.add (abs lit) (lit > 0) assignment in
+    match assign_lit lit clauses with
+    | None -> None
+    | Some clauses -> unit_propagate assignment clauses)
+  | _ -> Some (assignment, clauses)
+
+let rec dpll assignment clauses on_model =
+  match unit_propagate assignment clauses with
+  | None -> ()
+  | Some (assignment, clauses) -> (
+    match clauses with
+    | [] -> on_model assignment
+    | (lit :: _) :: _ ->
+      let v = abs lit in
+      let try_branch value =
+        let l = if value then v else -v in
+        match assign_lit l clauses with
+        | None -> ()
+        | Some clauses' -> dpll (IntMap.add v value assignment) clauses' on_model
+      in
+      try_branch true;
+      try_branch false
+    | [] :: _ -> assert false)
+
+let solve clauses =
+  if List.exists (( = ) []) clauses then Unsat
+  else
+    match dpll IntMap.empty clauses (fun m -> raise (Found m)) with
+    | () -> Unsat
+    | exception Found m ->
+      Sat (fun v -> match IntMap.find_opt v m with Some b -> b | None -> false)
+
+let solve_all ?limit clauses =
+  if List.exists (( = ) []) clauses then []
+  else begin
+    let models = ref [] in
+    let count = ref 0 in
+    let all_vars =
+      List.concat_map (List.map abs) clauses |> List.sort_uniq compare
+    in
+    (try
+       dpll IntMap.empty clauses (fun m ->
+           (* Expand unassigned variables into all completions would be
+              exponential; report only assigned-true variables, treating
+              unassigned as false (a valid completion). *)
+           let trues =
+             List.filter
+               (fun v -> match IntMap.find_opt v m with Some b -> b | None -> false)
+               all_vars
+           in
+           models := trues :: !models;
+           incr count;
+           match limit with Some l when !count >= l -> raise Exit | _ -> ())
+     with Exit -> ());
+    List.rev !models
+  end

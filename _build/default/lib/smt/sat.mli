@@ -1,0 +1,21 @@
+(** A small DPLL SAT solver over clause lists.
+
+    Literals are non-zero integers; [-v] is the negation of variable [v]
+    (DIMACS convention).  Intended for the modest boolean abstractions
+    produced by {!Solver}; not a competitive CDCL engine. *)
+
+type literal = int
+type clause = literal list
+
+type result =
+  | Sat of (int -> bool)  (** total assignment (unconstrained vars: false) *)
+  | Unsat
+
+(** [solve clauses] decides satisfiability of the conjunction of
+    [clauses].  The empty clause is unsatisfiable; an empty clause list
+    is satisfiable. *)
+val solve : clause list -> result
+
+(** [solve_all ?limit clauses] enumerates up to [limit] (default
+    unlimited) satisfying assignments, as lists of true variables. *)
+val solve_all : ?limit:int -> clause list -> int list list

@@ -1,0 +1,20 @@
+(** Decision procedure for conjunctions of linear rational arithmetic
+    atoms (QF_LRA), in the style of Dutertre and de Moura's general
+    simplex.  Strict inequalities are handled exactly with
+    delta-rationals ({!Delta}). *)
+
+module Q := Numbers.Rational
+
+type result =
+  | Sat of (int * Q.t) list
+      (** A satisfying rational assignment for every variable occurring in
+          the input (with a concrete small positive value substituted for
+          delta). *)
+  | Unsat
+
+(** [solve atoms] decides the conjunction of [atoms] over the rationals. *)
+val solve : Atom.t list -> result
+
+(** [solve_delta atoms] is like {!solve} but exposes the delta-rational
+    assignment directly. *)
+val solve_delta : Atom.t list -> (int * Delta.t) list option

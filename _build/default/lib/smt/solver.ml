@@ -1,0 +1,104 @@
+module B = Numbers.Bigint
+
+type result = Sat of (int * B.t) list | Unsat | Unknown
+
+(* Rewrite equalities into conjunctions of inequalities so that every
+   remaining atom has an atomic negation. *)
+let rec split_eq (f : Formula.t) : Formula.t =
+  match f with
+  | True | False -> f
+  | Atom a -> (
+    match a.rel with
+    | Atom.Eq ->
+      Formula.conj
+        [
+          Formula.atom { a with rel = Atom.Le };
+          Formula.atom { Atom.expr = Linexpr.neg a.expr; rel = Atom.Le };
+        ]
+    | Atom.Le | Atom.Lt -> Formula.atom a)
+  | Not g -> Formula.not_ (split_eq g)
+  | And gs -> Formula.conj (List.map split_eq gs)
+  | Or gs -> Formula.disj (List.map split_eq gs)
+
+(* Tseitin-style CNF over a table mapping boolean variables to atoms.
+   Returns (clauses, root literal, atom table). *)
+let abstract f =
+  let atom_ids = Hashtbl.create 16 in
+  let atoms_rev = Hashtbl.create 16 in
+  let next = ref 0 in
+  let fresh () = incr next; !next in
+  let atom_var a =
+    match Hashtbl.find_opt atom_ids a with
+    | Some v -> v
+    | None ->
+      let v = fresh () in
+      Hashtbl.replace atom_ids a v;
+      Hashtbl.replace atoms_rev v a;
+      v
+  in
+  let clauses = ref [] in
+  let emit c = clauses := c :: !clauses in
+  let rec go (f : Formula.t) : int =
+    match f with
+    | True ->
+      let v = fresh () in
+      emit [ v ];
+      v
+    | False ->
+      let v = fresh () in
+      emit [ -v ];
+      v
+    | Atom a -> atom_var a
+    | Not g ->
+      let vg = go g in
+      let v = fresh () in
+      emit [ -v; -vg ];
+      emit [ v; vg ];
+      v
+    | And gs ->
+      let vs = List.map go gs in
+      let v = fresh () in
+      List.iter (fun vi -> emit [ -v; vi ]) vs;
+      emit (v :: List.map (fun vi -> -vi) vs);
+      v
+    | Or gs ->
+      let vs = List.map go gs in
+      let v = fresh () in
+      List.iter (fun vi -> emit [ v; -vi ]) vs;
+      emit (-v :: vs);
+      v
+  in
+  let root = go f in
+  (List.rev !clauses, root, atoms_rev)
+
+let solve ?max_steps f =
+  let f = split_eq f in
+  match f with
+  | Formula.True -> Sat []
+  | Formula.False -> Unsat
+  | _ ->
+    let clauses, root, atoms_rev = abstract f in
+    let base = [ root ] :: clauses in
+    let atom_vars = Hashtbl.fold (fun v _ acc -> v :: acc) atoms_rev [] in
+    let rec loop blocking budget =
+      if budget <= 0 then Unknown
+      else
+        match Sat.solve (blocking @ base) with
+        | Sat.Unsat -> Unsat
+        | Sat.Sat assign -> (
+          let theory_atoms, used_lits =
+            List.fold_left
+              (fun (atoms, lits) v ->
+                let a = Hashtbl.find atoms_rev v in
+                if assign v then (a :: atoms, v :: lits)
+                else (Atom.negate a :: atoms, -v :: lits))
+              ([], []) atom_vars
+          in
+          match Lia.solve ?max_steps theory_atoms with
+          | Lia.Sat model -> Sat model
+          | Lia.Unknown -> Unknown
+          | Lia.Unsat ->
+            (* Block this boolean assignment to the theory atoms. *)
+            loop (List.map (fun l -> -l) used_lits :: blocking) (budget - 1))
+    in
+    loop [] 4096

@@ -1,0 +1,17 @@
+(** DPLL(T) solver for boolean combinations of linear integer atoms:
+    a boolean abstraction handled by {!Sat} with theory checks delegated
+    to {!Lia}.
+
+    This is the general entry point; the model-checker's schema queries
+    are pure conjunctions and call {!Lia} directly. *)
+
+module B := Numbers.Bigint
+
+type result =
+  | Sat of (int * B.t) list
+  | Unsat
+  | Unknown
+
+(** [solve ?max_steps f] decides [f] with all variables ranging over the
+    integers. *)
+val solve : ?max_steps:int -> Formula.t -> result

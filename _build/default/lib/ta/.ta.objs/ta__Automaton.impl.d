@@ -1,0 +1,1 @@
+lib/ta/automaton.ml: Format Guard Hashtbl List Pexpr Printf Queue Stdlib

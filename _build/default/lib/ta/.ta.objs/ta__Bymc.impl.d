@@ -1,0 +1,1 @@
+lib/ta/bymc.ml: Automaton Buffer Fun Guard List Pexpr Printf String

@@ -1,0 +1,1 @@
+lib/ta/bymc.mli: Automaton

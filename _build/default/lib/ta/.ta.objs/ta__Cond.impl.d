@@ -1,0 +1,1 @@
+lib/ta/cond.ml: Buffer Format Guard List Pexpr Stdlib String

@@ -1,0 +1,1 @@
+lib/ta/cond.mli: Format Guard Pexpr

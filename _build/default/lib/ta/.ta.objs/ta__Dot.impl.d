@@ -1,0 +1,1 @@
+lib/ta/dot.ml: Automaton Buffer Fun Guard List Printf String

@@ -1,0 +1,1 @@
+lib/ta/dot.mli: Automaton

@@ -1,0 +1,1 @@
+lib/ta/guard.ml: Format List Pexpr Printf Stdlib String

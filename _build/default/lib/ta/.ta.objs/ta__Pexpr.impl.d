@@ -1,0 +1,1 @@
+lib/ta/pexpr.ml: Buffer Format Hashtbl List Stdlib

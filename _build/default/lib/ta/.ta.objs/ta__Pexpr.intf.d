@@ -1,0 +1,1 @@
+lib/ta/pexpr.mli: Format

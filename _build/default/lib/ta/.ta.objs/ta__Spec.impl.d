@@ -1,0 +1,1 @@
+lib/ta/spec.ml: Cond Format

@@ -1,0 +1,1 @@
+lib/ta/spec.mli: Cond Format

@@ -1,0 +1,188 @@
+type fairness = Fair | Unfair
+
+type rule = {
+  name : string;
+  source : string;
+  target : string;
+  guard : Guard.t;
+  update : (string * int) list;
+  fairness : fairness;
+}
+
+type justice = { loc : string; unless : Guard.t }
+
+type t = {
+  name : string;
+  params : string list;
+  shared : string list;
+  locations : string list;
+  initial : string list;
+  resilience : Pexpr.t list;
+  population : Pexpr.t;
+  rules : rule list;
+  justice : justice list;
+  round_switch : (string * string) list;
+  self_loops : int;
+}
+
+let rule ?(guard = Guard.tt) ?(update = []) ?(fairness = Fair) name ~source ~target =
+  { name; source; target; guard; update; fairness }
+
+let validate ta =
+  let fail fmt = Printf.ksprintf invalid_arg fmt in
+  let check_distinct what xs =
+    let sorted = List.sort Stdlib.compare xs in
+    let rec dup = function
+      | a :: b :: _ when a = b -> Some a
+      | _ :: rest -> dup rest
+      | [] -> None
+    in
+    match dup sorted with
+    | Some d -> fail "Automaton %s: duplicate %s %S" ta.name what d
+    | None -> ()
+  in
+  check_distinct "location" ta.locations;
+  check_distinct "shared variable" ta.shared;
+  check_distinct "parameter" ta.params;
+  check_distinct "rule name" (List.map (fun (r : rule) -> r.name) ta.rules);
+  let known_loc l = List.mem l ta.locations in
+  let known_shared x = List.mem x ta.shared in
+  let known_param p = List.mem p ta.params in
+  List.iter
+    (fun l -> if not (known_loc l) then fail "Automaton %s: unknown initial location %S" ta.name l)
+    ta.initial;
+  let check_pexpr what (e : Pexpr.t) =
+    List.iter
+      (fun p ->
+        if not (known_param p) then
+          fail "Automaton %s: unknown parameter %S in %s" ta.name p what)
+      (Pexpr.params e)
+  in
+  List.iter (check_pexpr "resilience") ta.resilience;
+  check_pexpr "population" ta.population;
+  let check_guard what (g : Guard.t) =
+    List.iter
+      (fun (a : Guard.atom) ->
+        List.iter
+          (fun (x, c) ->
+            if not (known_shared x) then
+              fail "Automaton %s: unknown shared variable %S in %s" ta.name x what;
+            if c <= 0 then
+              fail "Automaton %s: non-positive guard coefficient in %s" ta.name what)
+          a.shared;
+        check_pexpr what a.bound)
+      g
+  in
+  List.iter
+    (fun r ->
+      if not (known_loc r.source) then
+        fail "Automaton %s: rule %s has unknown source %S" ta.name r.name r.source;
+      if not (known_loc r.target) then
+        fail "Automaton %s: rule %s has unknown target %S" ta.name r.name r.target;
+      if r.source = r.target then
+        fail "Automaton %s: rule %s is a self-loop; use the self_loops count instead"
+          ta.name r.name;
+      check_guard ("rule " ^ r.name) r.guard;
+      List.iter
+        (fun (x, c) ->
+          if not (known_shared x) then
+            fail "Automaton %s: rule %s updates unknown variable %S" ta.name r.name x;
+          if c < 0 then
+            fail "Automaton %s: rule %s has a negative update (monotonicity violated)"
+              ta.name r.name)
+        r.update)
+    ta.rules;
+  List.iter
+    (fun j ->
+      if not (known_loc j.loc) then
+        fail "Automaton %s: justice constraint on unknown location %S" ta.name j.loc;
+      check_guard "justice" j.unless)
+    ta.justice;
+  List.iter
+    (fun (a, b) ->
+      if not (known_loc a && known_loc b) then
+        fail "Automaton %s: round switch on unknown location" ta.name)
+    ta.round_switch;
+  ta
+
+let make ~name ~params ~shared ~locations ~initial ~resilience ~population ~rules
+    ?(justice = []) ?(round_switch = []) ?(self_loops = 0) () =
+  validate
+    {
+      name;
+      params;
+      shared;
+      locations;
+      initial;
+      resilience;
+      population;
+      rules;
+      justice;
+      round_switch;
+      self_loops;
+    }
+
+let unique_guard_atoms ta =
+  List.concat_map (fun r -> r.guard) ta.rules
+  |> List.sort_uniq Guard.atom_compare
+
+let rules_into ta loc = List.filter (fun r -> r.target = loc) ta.rules
+let rules_from ta loc = List.filter (fun r -> r.source = loc) ta.rules
+
+let sinks ta =
+  List.filter (fun l -> rules_from ta l = []) ta.locations
+
+(* Kahn's algorithm on the location graph. *)
+let topological_locations ta =
+  let indegree = Hashtbl.create 16 in
+  List.iter (fun l -> Hashtbl.replace indegree l 0) ta.locations;
+  List.iter
+    (fun r -> Hashtbl.replace indegree r.target (Hashtbl.find indegree r.target + 1))
+    ta.rules;
+  let queue = Queue.create () in
+  List.iter (fun l -> if Hashtbl.find indegree l = 0 then Queue.add l queue) ta.locations;
+  let order = ref [] in
+  while not (Queue.is_empty queue) do
+    let l = Queue.pop queue in
+    order := l :: !order;
+    List.iter
+      (fun r ->
+        let d = Hashtbl.find indegree r.target - 1 in
+        Hashtbl.replace indegree r.target d;
+        if d = 0 then Queue.add r.target queue)
+      (rules_from ta l)
+  done;
+  let order = List.rev !order in
+  if List.length order = List.length ta.locations then Some order else None
+
+let is_dag ta = topological_locations ta <> None
+
+let topological_rule_order ta =
+  match topological_locations ta with
+  | None -> invalid_arg (Printf.sprintf "Automaton %s is not a DAG" ta.name)
+  | Some locs ->
+    let rank = Hashtbl.create 16 in
+    List.iteri (fun i l -> Hashtbl.replace rank l i) locs;
+    List.stable_sort
+      (fun r1 r2 -> compare (Hashtbl.find rank r1.source) (Hashtbl.find rank r2.source))
+      ta.rules
+
+let absorbing_when_empty ta locs =
+  List.for_all
+    (fun r -> (not (List.mem r.target locs)) || List.mem r.source locs)
+    ta.rules
+
+type stats = { n_guards : int; n_locations : int; n_rules : int }
+
+let stats ta =
+  {
+    n_guards = List.length (unique_guard_atoms ta);
+    n_locations = List.length ta.locations;
+    n_rules = List.length ta.rules + ta.self_loops;
+  }
+
+let pp_stats fmt s =
+  Format.fprintf fmt "%d unique guards, %d locations, %d rules" s.n_guards
+    s.n_locations s.n_rules
+
+let find_rule ta name = List.find (fun (r : rule) -> r.name = name) ta.rules

@@ -1,0 +1,118 @@
+(** Threshold automata (TA).
+
+    A TA describes one process of a fault-tolerant distributed algorithm:
+    locations are local states, rules are guarded transitions that may
+    increment shared (message-counter) variables, and parameters
+    ([n], [t], [f], ...) are constrained by a resilience condition.  The
+    semantics is the standard counter system: a configuration counts the
+    processes in each location plus the shared-variable values (see the
+    paper, Section 2). *)
+
+(** How a rule interacts with fairness assumptions. *)
+type fairness =
+  | Fair
+      (** Reliable communication: if the guard holds forever and the
+          source stays non-empty, the rule eventually fires.  In a fair
+          limit configuration: guard false or source empty. *)
+  | Unfair
+      (** Never forced (used for the bv-broadcast gadget rules whose
+          forcing conditions are the separate {!justice} entries). *)
+
+type rule = {
+  name : string;
+  source : string;
+  target : string;
+  guard : Guard.t;
+  update : (string * int) list;  (** non-negative shared increments *)
+  fairness : fairness;
+}
+
+(** An extra justice constraint: in any fair limit configuration,
+    location [loc] is empty or [unless] is false.  Used to import proven
+    properties of a verified component (paper, Appendix F: BV-Obligation,
+    BV-Uniformity, BV-Termination become justice constraints of the
+    simplified consensus TA). *)
+type justice = { loc : string; unless : Guard.t }
+
+type t = {
+  name : string;
+  params : string list;
+  shared : string list;
+  locations : string list;
+  initial : string list;
+  resilience : Pexpr.t list;  (** conjunction of [e >= 0] over parameters *)
+  population : Pexpr.t;  (** number of modelled (correct) processes, e.g. [n - f] *)
+  rules : rule list;
+  justice : justice list;
+  round_switch : (string * string) list;
+      (** multi-round TA only: end-of-round to start-of-next-round edges;
+          ignored by the one-round analyses (Appendix A reduction) *)
+  self_loops : int;  (** cosmetic self-loop count, for size reporting only *)
+}
+
+val rule :
+  ?guard:Guard.t ->
+  ?update:(string * int) list ->
+  ?fairness:fairness ->
+  string ->
+  source:string ->
+  target:string ->
+  rule
+
+(** [make ...] assembles and validates an automaton.
+    @raise Invalid_argument on malformed input (unknown location or
+    variable names, duplicate locations, negative updates). *)
+val make :
+  name:string ->
+  params:string list ->
+  shared:string list ->
+  locations:string list ->
+  initial:string list ->
+  resilience:Pexpr.t list ->
+  population:Pexpr.t ->
+  rules:rule list ->
+  ?justice:justice list ->
+  ?round_switch:(string * string) list ->
+  ?self_loops:int ->
+  unit ->
+  t
+
+(** {1 Structure} *)
+
+(** [unique_guard_atoms ta] lists the distinct guard atoms of all rules
+    (the "unique guards" count of the paper's Table 2). *)
+val unique_guard_atoms : t -> Guard.atom list
+
+(** [is_dag ta] checks that the location graph (ignoring self-loops and
+    round-switch edges) is acyclic — a precondition of the schema-based
+    checker. *)
+val is_dag : t -> bool
+
+(** [topological_rule_order ta] returns the rules sorted so that every
+    rule whose target feeds another rule's source comes first.
+    @raise Invalid_argument if the automaton is not a DAG. *)
+val topological_rule_order : t -> rule list
+
+(** [rules_into ta loc] / [rules_from ta loc]. *)
+val rules_into : t -> string -> rule list
+
+val rules_from : t -> string -> rule list
+
+(** [sinks ta] is the set of locations with no outgoing rule (ignoring
+    self-loops and round switches). *)
+val sinks : t -> string list
+
+(** [absorbing_when_empty ta locs] checks that once all of [locs] are
+    empty they stay empty: every rule with target in [locs] has its
+    source in [locs]. *)
+val absorbing_when_empty : t -> string list -> bool
+
+(** Size statistics, matching the columns of the paper's Table 2. *)
+type stats = { n_guards : int; n_locations : int; n_rules : int }
+
+val stats : t -> stats
+val pp_stats : Format.formatter -> stats -> unit
+
+(** [find_rule ta name].
+    @raise Not_found when absent. *)
+val find_rule : t -> string -> rule

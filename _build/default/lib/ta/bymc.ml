@@ -1,0 +1,75 @@
+let pexpr_str (e : Pexpr.t) =
+  let terms =
+    List.map
+      (fun (p, c) -> if c = 1 then p else Printf.sprintf "%d * %s" c p)
+      e.coeffs
+  in
+  let parts = terms @ (if e.const <> 0 || terms = [] then [ string_of_int e.const ] else []) in
+  String.concat " + " parts
+
+let guard_str (g : Guard.t) =
+  if g = [] then "true"
+  else
+    String.concat " && "
+      (List.map
+         (fun (a : Guard.atom) ->
+           let lhs =
+             String.concat " + "
+               (List.map
+                  (fun (x, c) -> if c = 1 then x else Printf.sprintf "%d * %s" c x)
+                  a.shared)
+           in
+           Printf.sprintf "%s >= %s" lhs (pexpr_str a.bound))
+         g)
+
+let render (ta : Automaton.t) =
+  let buf = Buffer.create 4096 in
+  let out fmt = Printf.ksprintf (Buffer.add_string buf) fmt in
+  out "/* generated from the OCaml model %s */\n" ta.name;
+  out "skel Proc {\n";
+  out "  local pc;\n";
+  out "  shared %s;\n" (String.concat ", " ta.shared);
+  out "  parameters %s;\n" (String.concat ", " ta.params);
+  out "  assumptions (0) {\n";
+  List.iter (fun e -> out "    %s >= 0;\n" (pexpr_str e)) ta.resilience;
+  out "  }\n\n";
+  out "  locations (0) {\n";
+  List.iteri (fun i l -> out "    loc%s: [%d];\n" l i) ta.locations;
+  out "  }\n\n";
+  out "  inits (0) {\n";
+  out "    (%s) == %s;\n"
+    (String.concat " + " (List.map (fun l -> "loc" ^ l) ta.initial))
+    (pexpr_str ta.population);
+  List.iter
+    (fun l -> if not (List.mem l ta.initial) then out "    loc%s == 0;\n" l)
+    ta.locations;
+  List.iter (fun x -> out "    %s == 0;\n" x) ta.shared;
+  out "  }\n\n";
+  out "  rules (0) {\n";
+  let emit_rule i source target guard update =
+    let updates =
+      List.map (fun (x, c) -> Printf.sprintf "%s' == %s + %d" x x c) update
+    in
+    let unchanged =
+      List.filter (fun x -> not (List.mem_assoc x update)) ta.shared
+      |> List.map (fun x -> Printf.sprintf "%s' == %s" x x)
+    in
+    out "  %d: loc%s -> loc%s\n      when (%s)\n      do { %s; };\n" i source target
+      guard
+      (String.concat "; " (updates @ unchanged))
+  in
+  List.iteri
+    (fun i (r : Automaton.rule) -> emit_rule i r.source r.target (guard_str r.guard) r.update)
+    ta.rules;
+  (* Explicit self-loops on sink locations, as in the paper's figures. *)
+  let sinks = Automaton.sinks ta in
+  List.iteri
+    (fun i l -> emit_rule (List.length ta.rules + i) l l "true" [])
+    (List.filteri (fun i _ -> i < ta.self_loops) (sinks @ ta.locations));
+  out "  }\n";
+  out "}\n";
+  Buffer.contents buf
+
+let write_file path ta =
+  let oc = open_out path in
+  Fun.protect ~finally:(fun () -> close_out oc) (fun () -> output_string oc (render ta))

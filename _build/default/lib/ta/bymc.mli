@@ -1,0 +1,13 @@
+(** Export of threshold automata in the input syntax of ByMC, the
+    Byzantine Model Checker the paper runs ([37, 39]).  This lets the
+    models defined here be cross-checked with the original tool outside
+    this sealed environment. *)
+
+(** [render ta] produces a ByMC threshold-automaton skeleton: parameters,
+    resilience assumptions, locations, initial constraints and guarded
+    rules.  Self-loops (which our representation only counts) are
+    emitted explicitly for the final locations so that the skeleton has
+    the same rule count as the paper reports. *)
+val render : Automaton.t -> string
+
+val write_file : string -> Automaton.t -> unit

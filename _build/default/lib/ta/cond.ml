@@ -1,0 +1,89 @@
+type term = Counter of string | Shared of string | Param of string
+
+type rel = Ge | Le | Eq
+
+type atom = { terms : (term * int) list; const : int; rel : rel }
+
+type t = atom list
+
+let tt = []
+
+let empty l = [ { terms = [ (Counter l, 1) ]; const = 0; rel = Eq } ]
+let all_empty locs = List.concat_map empty locs
+
+let sum_ge locs k =
+  [ { terms = List.map (fun l -> (Counter l, 1)) locs; const = -k; rel = Ge } ]
+
+let some_nonempty locs = sum_ge locs 1
+let counter_ge l k = sum_ge [ l ] k
+
+let pexpr_terms (e : Pexpr.t) = List.map (fun (p, c) -> (Param p, c)) e.coeffs
+
+let shared_ge coeffs bound =
+  [
+    {
+      terms = List.map (fun (x, c) -> (Shared x, c)) coeffs @ pexpr_terms (Pexpr.neg bound);
+      const = -bound.Pexpr.const;
+      rel = Ge;
+    };
+  ]
+
+let shared_lt coeffs bound =
+  [
+    {
+      terms = List.map (fun (x, c) -> (Shared x, c)) coeffs @ pexpr_terms (Pexpr.neg bound);
+      const = -bound.Pexpr.const + 1;
+      rel = Le;
+    };
+  ]
+
+let shared_eq0 x = [ { terms = [ (Shared x, 1) ]; const = 0; rel = Eq } ]
+
+let of_guard_atom (a : Guard.atom) = shared_ge a.shared a.bound
+let negate_guard_atom (a : Guard.atom) = shared_lt a.shared a.bound
+
+let conj = List.concat
+
+let holds ~counter ~shared ~params c =
+  let eval_term (t, coef) =
+    coef
+    * (match t with Counter l -> counter l | Shared x -> shared x | Param p -> params p)
+  in
+  List.for_all
+    (fun a ->
+      let v = List.fold_left (fun acc t -> acc + eval_term t) a.const a.terms in
+      match a.rel with Ge -> v >= 0 | Le -> v <= 0 | Eq -> v = 0)
+    c
+
+let term_to_string = function
+  | Counter l -> "k[" ^ l ^ "]"
+  | Shared x -> x
+  | Param p -> p
+
+let atom_to_string a =
+  let buf = Buffer.create 32 in
+  let first = ref true in
+  let part sgn body =
+    if !first then begin
+      if sgn < 0 then Buffer.add_char buf '-';
+      first := false
+    end
+    else Buffer.add_string buf (if sgn < 0 then " - " else " + ");
+    Buffer.add_string buf body
+  in
+  List.iter
+    (fun (t, c) ->
+      let a = abs c in
+      part (Stdlib.compare c 0)
+        (if a = 1 then term_to_string t else string_of_int a ^ "*" ^ term_to_string t))
+    a.terms;
+  if a.const <> 0 || !first then
+    part (Stdlib.compare a.const 0) (string_of_int (abs a.const));
+  Buffer.add_string buf (match a.rel with Ge -> " >= 0" | Le -> " <= 0" | Eq -> " = 0");
+  Buffer.contents buf
+
+let to_string = function
+  | [] -> "true"
+  | c -> String.concat " /\\ " (List.map atom_to_string c)
+
+let pp fmt c = Format.pp_print_string fmt (to_string c)

@@ -1,0 +1,64 @@
+(** State conditions: conjunctions of linear constraints over location
+    counters, shared variables and parameters of a configuration.  These
+    are the atomic propositions of the temporal specifications (paper,
+    Section 2): emptiness of locations and evaluations of threshold
+    expressions. *)
+
+type term =
+  | Counter of string  (** [kappa\[loc\]] *)
+  | Shared of string
+  | Param of string
+
+type rel = Ge | Le | Eq
+
+(** [sum terms + const  rel  0] *)
+type atom = { terms : (term * int) list; const : int; rel : rel }
+
+(** A condition: a conjunction of atoms; [[]] is [true]. *)
+type t = atom list
+
+val tt : t
+
+(** [empty l] is [kappa\[l\] = 0]. *)
+val empty : string -> t
+
+(** [all_empty locs] is the conjunction of [empty l]. *)
+val all_empty : string list -> t
+
+(** [sum_ge locs k] is [sum of kappa\[locs\] >= k]. *)
+val sum_ge : string list -> int -> t
+
+(** [some_nonempty locs] is [sum of kappa\[locs\] >= 1] — over
+    non-negative counters this is equivalent to the disjunction of
+    non-emptiness, expressed as a single linear atom. *)
+val some_nonempty : string list -> t
+
+(** [counter_ge l k] is [kappa\[l\] >= k]. *)
+val counter_ge : string -> int -> t
+
+(** [shared_ge coeffs bound] is [sum c_i*x_i >= bound(params)]. *)
+val shared_ge : (string * int) list -> Pexpr.t -> t
+
+(** [shared_lt coeffs bound] is [sum c_i*x_i < bound(params)] — encoded
+    as [<= bound - 1], valid over integers. *)
+val shared_lt : (string * int) list -> Pexpr.t -> t
+
+(** [shared_eq0 x] is [x = 0]. *)
+val shared_eq0 : string -> t
+
+(** [of_guard_atom a] converts a guard atom to a condition. *)
+val of_guard_atom : Guard.atom -> t
+
+(** [negate_guard_atom a] is the condition [a is false] (integer
+    semantics). *)
+val negate_guard_atom : Guard.atom -> t
+
+val conj : t list -> t
+
+(** [holds ~counter ~shared ~params c] evaluates under a concrete
+    configuration. *)
+val holds :
+  counter:(string -> int) -> shared:(string -> int) -> params:(string -> int) -> t -> bool
+
+val to_string : t -> string
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,49 @@
+let escape s =
+  String.concat "" (List.map (fun c -> if c = '"' then "\\\"" else String.make 1 c)
+                      (List.init (String.length s) (String.get s)))
+
+let render (ta : Automaton.t) =
+  let buf = Buffer.create 1024 in
+  Buffer.add_string buf (Printf.sprintf "digraph %S {\n" ta.name);
+  Buffer.add_string buf "  rankdir=LR;\n  node [shape=circle, fontsize=10];\n";
+  List.iter
+    (fun l ->
+      let shape = if List.mem l ta.initial then "doublecircle" else "circle" in
+      Buffer.add_string buf (Printf.sprintf "  %S [shape=%s];\n" (escape l) shape))
+    ta.locations;
+  List.iter
+    (fun (r : Automaton.rule) ->
+      let guard = if r.guard = [] then "" else Guard.to_string r.guard in
+      let update =
+        match r.update with
+        | [] -> ""
+        | up ->
+          String.concat ", "
+            (List.map
+               (fun (x, c) -> if c = 1 then x ^ "++" else x ^ " += " ^ string_of_int c)
+               up)
+      in
+      let label =
+        match (guard, update) with
+        | "", "" -> r.name
+        | g, "" -> Printf.sprintf "%s: %s" r.name g
+        | "", u -> Printf.sprintf "%s: %s" r.name u
+        | g, u -> Printf.sprintf "%s: %s -> %s" r.name g u
+      in
+      Buffer.add_string buf
+        (Printf.sprintf "  %S -> %S [label=%S, fontsize=8];\n" (escape r.source)
+           (escape r.target) (escape label)))
+    ta.rules;
+  List.iter
+    (fun (a, b) ->
+      Buffer.add_string buf
+        (Printf.sprintf "  %S -> %S [style=dotted];\n" (escape a) (escape b)))
+    ta.round_switch;
+  Buffer.add_string buf "}\n";
+  Buffer.contents buf
+
+let write_file path ta =
+  let oc = open_out path in
+  Fun.protect
+    ~finally:(fun () -> close_out oc)
+    (fun () -> output_string oc (render ta))

@@ -1,0 +1,10 @@
+(** Graphviz (DOT) export of threshold automata, for regenerating the
+    paper's Figures 2-4 as diagrams. *)
+
+(** [render ta] produces a DOT digraph: initial locations are drawn as
+    double circles, rules as labelled edges (guard and update), and
+    round-switch edges as dotted arrows. *)
+val render : Automaton.t -> string
+
+(** [write_file path ta]. *)
+val write_file : string -> Automaton.t -> unit

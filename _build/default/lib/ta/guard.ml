@@ -1,0 +1,44 @@
+type atom = { shared : (string * int) list; bound : Pexpr.t }
+
+type t = atom list
+
+let tt = []
+
+let ge shared bound =
+  List.iter
+    (fun (x, c) ->
+      if c <= 0 then
+        invalid_arg
+          (Printf.sprintf "Guard.ge: non-positive coefficient %d for %s" c x))
+    shared;
+  [ { shared = List.sort Stdlib.compare shared; bound } ]
+
+let ge1 x bound = ge [ (x, 1) ] bound
+
+let atom_compare a b =
+  let c = Stdlib.compare a.shared b.shared in
+  if c <> 0 then c else Pexpr.compare a.bound b.bound
+
+let atom_equal a b = atom_compare a b = 0
+
+let atom_to_string a =
+  let lhs =
+    String.concat " + "
+      (List.map
+         (fun (x, c) -> if c = 1 then x else string_of_int c ^ "*" ^ x)
+         a.shared)
+  in
+  let lhs = if lhs = "" then "0" else lhs in
+  lhs ^ " >= " ^ Pexpr.to_string a.bound
+
+let atom_holds ~shared ~params a =
+  let lhs = List.fold_left (fun acc (x, c) -> acc + (c * shared x)) 0 a.shared in
+  lhs >= Pexpr.eval params a.bound
+
+let holds ~shared ~params g = List.for_all (atom_holds ~shared ~params) g
+
+let to_string = function
+  | [] -> "true"
+  | g -> String.concat " /\\ " (List.map atom_to_string g)
+
+let pp fmt g = Format.pp_print_string fmt (to_string g)

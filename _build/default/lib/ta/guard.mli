@@ -1,0 +1,37 @@
+(** Threshold guards.
+
+    A guard atom is a lower-threshold comparison
+    [sum c_i * x_i >= bound(params)] with positive coefficients [c_i] over
+    shared variables.  Because the framework only allows non-negative
+    updates to shared variables, such guards are {e monotone}: once true
+    along a run, they stay true.  This is the structural property the
+    schema-based checker exploits (see DESIGN.md). *)
+
+type atom = {
+  shared : (string * int) list;  (** positive coefficients over shared variables *)
+  bound : Pexpr.t;
+}
+
+(** A guard: a conjunction of atoms.  The empty list is [true]. *)
+type t = atom list
+
+val tt : t
+
+(** [ge shared bound] builds a single-atom guard.
+    @raise Invalid_argument when a coefficient is not positive. *)
+val ge : (string * int) list -> Pexpr.t -> t
+
+(** [ge1 x bound] is [ge [(x, 1)] bound]. *)
+val ge1 : string -> Pexpr.t -> t
+
+val atom_equal : atom -> atom -> bool
+val atom_compare : atom -> atom -> int
+val atom_to_string : atom -> string
+
+(** [atom_holds ~shared ~params a] evaluates an atom under concrete
+    values. *)
+val atom_holds : shared:(string -> int) -> params:(string -> int) -> atom -> bool
+
+val holds : shared:(string -> int) -> params:(string -> int) -> t -> bool
+val to_string : t -> string
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,58 @@
+type t = { coeffs : (string * int) list; const : int }
+
+let normalize coeffs =
+  let table = Hashtbl.create 8 in
+  let order = ref [] in
+  List.iter
+    (fun (p, c) ->
+      match Hashtbl.find_opt table p with
+      | None ->
+        Hashtbl.replace table p c;
+        order := p :: !order
+      | Some c0 -> Hashtbl.replace table p (c0 + c))
+    coeffs;
+  List.rev !order
+  |> List.filter_map (fun p ->
+         let c = Hashtbl.find table p in
+         if c = 0 then None else Some (p, c))
+
+let of_terms coeffs const = { coeffs = normalize coeffs; const }
+let const c = of_terms [] c
+let param p = of_terms [ (p, 1) ] 0
+let add a b = of_terms (a.coeffs @ b.coeffs) (a.const + b.const)
+let scale k a = of_terms (List.map (fun (p, c) -> (p, k * c)) a.coeffs) (k * a.const)
+let neg a = scale (-1) a
+let sub a b = add a (neg b)
+
+let compare a b =
+  let c = Stdlib.compare a.const b.const in
+  if c <> 0 then c
+  else Stdlib.compare (List.sort Stdlib.compare a.coeffs) (List.sort Stdlib.compare b.coeffs)
+
+let equal a b = compare a b = 0
+
+let eval env e =
+  List.fold_left (fun acc (p, c) -> acc + (c * env p)) e.const e.coeffs
+
+let params e = List.map fst e.coeffs
+
+let to_string e =
+  let buf = Buffer.create 16 in
+  let first = ref true in
+  let part sgn body =
+    if !first then begin
+      if sgn < 0 then Buffer.add_char buf '-';
+      first := false
+    end
+    else Buffer.add_string buf (if sgn < 0 then " - " else " + ");
+    Buffer.add_string buf body
+  in
+  List.iter
+    (fun (p, c) ->
+      let a = abs c in
+      part (Stdlib.compare c 0) (if a = 1 then p else string_of_int a ^ "*" ^ p))
+    e.coeffs;
+  if e.const <> 0 || !first then part (Stdlib.compare e.const 0) (string_of_int (abs e.const));
+  Buffer.contents buf
+
+let pp fmt e = Format.pp_print_string fmt (to_string e)

@@ -1,0 +1,28 @@
+(** Linear expressions over the automaton's parameters (e.g. [n - 3t - 1])
+    with native-integer coefficients.  Used for guard thresholds and
+    resilience conditions. *)
+
+type t = { coeffs : (string * int) list; const : int }
+
+val const : int -> t
+
+(** [of_terms coeffs const] normalizes: merges repeated parameters and
+    drops zero coefficients. *)
+val of_terms : (string * int) list -> int -> t
+
+(** [param p] is the expression [1 * p]. *)
+val param : string -> t
+
+val add : t -> t -> t
+val sub : t -> t -> t
+val neg : t -> t
+val scale : int -> t -> t
+val equal : t -> t -> bool
+val compare : t -> t -> int
+
+(** [eval env e] evaluates with [env] giving parameter values. *)
+val eval : (string -> int) -> t -> int
+
+val params : t -> string list
+val to_string : t -> string
+val pp : Format.formatter -> t -> unit

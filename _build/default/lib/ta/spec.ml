@@ -1,0 +1,39 @@
+type t = {
+  name : string;
+  kind : [ `Safety | `Liveness ];
+  ltl : string;
+  init : Cond.t;
+  never_enter : string list;
+  observations : (string * Cond.t) list;
+  final_cond : Cond.t;
+  require_stable : bool;
+}
+
+let invariant ~name ~ltl ?(init = Cond.tt) ?(never_enter = []) ~bad () =
+  {
+    name;
+    kind = `Safety;
+    ltl;
+    init;
+    never_enter;
+    observations = bad;
+    final_cond = Cond.tt;
+    require_stable = false;
+  }
+
+let liveness ~name ~ltl ?(init = Cond.tt) ?(observations = []) ~target_violated () =
+  {
+    name;
+    kind = `Liveness;
+    ltl;
+    init;
+    never_enter = [];
+    observations;
+    final_cond = target_violated;
+    require_stable = true;
+  }
+
+let pp fmt s =
+  Format.fprintf fmt "%s [%s]: %s" s.name
+    (match s.kind with `Safety -> "safety" | `Liveness -> "liveness")
+    s.ltl

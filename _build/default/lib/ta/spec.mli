@@ -1,0 +1,60 @@
+(** Temporal specifications in the ELTL fragment used by the paper,
+    represented by their {e violation pattern}: the checkers (both the
+    parameterized one in [Holistic] and the explicit-state one in
+    [Explicit]) search for a run exhibiting the violation; the property
+    holds iff none exists.
+
+    A violation run must:
+    - start in a configuration satisfying [init] (premises such as
+      ["initially no process has value 0"], i.e. [kappa0\[V0\] = 0]);
+    - never populate the locations in [never_enter] (premises of the form
+      [always kappa\[L\] = 0]; sound because entering [L] is observable as
+      a rule firing — the checker forces all rules into [L] to have zero
+      factors and [L] to start empty);
+    - satisfy each condition in [observations] at {e some} point of the
+      run, in any order (the eventualities of the violated formula);
+    - end in a configuration satisfying [final_cond]; and
+    - if [require_stable], end in a {e fair fixpoint}: no [Fair] rule
+      enabled with a non-empty source, and every {!Automaton.justice}
+      constraint satisfied.  This encodes the premise side of liveness
+      properties (reliable communication and the proven bv-broadcast
+      properties; paper, Appendix F). *)
+
+type t = {
+  name : string;
+  kind : [ `Safety | `Liveness ];
+  ltl : string;  (** human-readable rendering of the verified formula *)
+  init : Cond.t;
+  never_enter : string list;
+  observations : (string * Cond.t) list;
+  final_cond : Cond.t;
+  require_stable : bool;
+}
+
+(** [invariant ~name ~ltl ?init ?never_enter ~bad ()] — a safety
+    property: no run satisfying the premises reaches all the [bad]
+    observations. *)
+val invariant :
+  name:string ->
+  ltl:string ->
+  ?init:Cond.t ->
+  ?never_enter:string list ->
+  bad:(string * Cond.t) list ->
+  unit ->
+  t
+
+(** [liveness ~name ~ltl ?init ?observations ~target_violated ()] — a
+    liveness property: no {e fair} run satisfying the premises stabilizes
+    with [target_violated] true.  [target_violated] must be the exact
+    negation of the property's target and the target must be absorbing
+    (checked by the callers; see DESIGN.md). *)
+val liveness :
+  name:string ->
+  ltl:string ->
+  ?init:Cond.t ->
+  ?observations:(string * Cond.t) list ->
+  target_violated:Cond.t ->
+  unit ->
+  t
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,1 @@
+test/test_bv_sim.ml: Alcotest Array Dbft Fun Hashtbl Int List Printf QCheck QCheck_alcotest Random Set Simnet

@@ -1,0 +1,1 @@
+test/test_crossval.ml: Alcotest Explicit Gen Holistic List Models Printf QCheck QCheck_alcotest String Ta

@@ -1,0 +1,1 @@
+test/test_dbft.ml: Alcotest Dbft List Printf QCheck QCheck_alcotest Simnet

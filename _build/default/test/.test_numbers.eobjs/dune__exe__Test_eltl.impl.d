@@ -1,0 +1,1 @@
+test/test_eltl.ml: Alcotest Fmt Holistic List Models String Ta

@@ -1,0 +1,1 @@
+test/test_holistic.ml: Alcotest Explicit Holistic Lazy List Models Option Printf Ta

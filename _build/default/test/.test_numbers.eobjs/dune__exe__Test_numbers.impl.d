@@ -1,0 +1,1 @@
+test/test_numbers.ml: Alcotest List Numbers Printf QCheck QCheck_alcotest

@@ -1,0 +1,1 @@
+test/test_presburger.ml: Alcotest List Numbers Presburger Printf QCheck QCheck_alcotest

@@ -1,0 +1,1 @@
+test/test_report.ml: Alcotest Holistic List Models Report String Ta

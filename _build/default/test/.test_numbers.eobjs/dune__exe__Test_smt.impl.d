@@ -1,0 +1,1 @@
+test/test_smt.ml: Alcotest Gen List Numbers Printf QCheck QCheck_alcotest Smt

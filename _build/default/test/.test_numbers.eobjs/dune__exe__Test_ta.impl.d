@@ -1,0 +1,1 @@
+test/test_ta.ml: Alcotest List Models Option String Ta

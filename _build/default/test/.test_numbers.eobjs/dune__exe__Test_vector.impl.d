@@ -1,0 +1,1 @@
+test/test_vector.ml: Alcotest Array Dbft List Printf QCheck QCheck_alcotest Random Simnet

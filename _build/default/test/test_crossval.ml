@@ -1,0 +1,204 @@
+(* Differential testing of the parameterized checker: generate random
+   monotone DAG threshold automata and compare the parameterized verdict
+   against the explicit-state checker.
+
+   - If the parameterized checker says a property HOLDS for all
+     parameters, the explicit checker must agree for every small n.
+   - If it produces a counterexample, the explicit checker must confirm
+     the violation at the witness parameters.
+
+   This exercises the whole pipeline (universe, schema enumeration,
+   encoding, LIA solving, witness reconstruction) against an independent
+   semantics. *)
+
+module A = Ta.Automaton
+module G = Ta.Guard
+module P = Ta.Pexpr
+module C = Ta.Cond
+module S = Ta.Spec
+
+let locations = [ "L0"; "L1"; "L2"; "L3" ]
+
+(* A small pool of guards keeps schema counts manageable. *)
+let guard_pool =
+  [
+    G.tt;
+    G.ge1 "x" (P.const 1);
+    G.ge1 "x" (P.const 2);
+    G.ge1 "y" (P.const 1);
+    G.ge [ ("x", 1); ("y", 1) ] (P.const 2);
+  ]
+
+let update_pool = [ []; [ ("x", 1) ]; [ ("y", 1) ] ]
+
+(* Encode a random automaton by a list of rule descriptors: for each
+   forward edge (i, j), whether it exists and which guard/update/fairness
+   it carries. *)
+type rule_desc = { src : int; dst : int; guard : int; update : int; fair : bool }
+
+let arb_ta =
+  let open QCheck in
+  let edges =
+    List.concat_map (fun i -> List.filter_map (fun j -> if j > i then Some (i, j) else None) [ 0; 1; 2; 3 ]) [ 0; 1; 2 ]
+  in
+  let arb_desc (src, dst) =
+    map
+      (fun (present, guard, update, fair) ->
+        if present then Some { src; dst; guard; update; fair } else None)
+      (tup4 bool (int_range 0 (List.length guard_pool - 1))
+         (int_range 0 (List.length update_pool - 1))
+         bool)
+  in
+  let rec sequence = function
+    | [] -> Gen.return []
+    | g :: gs -> Gen.map2 (fun x xs -> x :: xs) g (sequence gs)
+  in
+  let gens = List.map (fun e -> (arb_desc e).gen) edges in
+  make
+    ~print:(fun descs ->
+      String.concat ";"
+        (List.map
+           (function
+             | None -> "-"
+             | Some d ->
+               Printf.sprintf "%d->%d g%d u%d %s" d.src d.dst d.guard d.update
+                 (if d.fair then "F" else "U"))
+           descs))
+    (sequence gens)
+
+let build_ta descs =
+  let rules =
+    List.filteri (fun _ _ -> true) descs
+    |> List.concat_map (function
+         | None -> []
+         | Some d ->
+           [
+             A.rule
+               (Printf.sprintf "r%d%d" d.src d.dst)
+               ~source:(List.nth locations d.src) ~target:(List.nth locations d.dst)
+               ~guard:(List.nth guard_pool d.guard)
+               ~update:(List.nth update_pool d.update)
+               ~fairness:(if d.fair then A.Fair else A.Unfair);
+           ])
+  in
+  A.make ~name:"random" ~params:[ "n" ] ~shared:[ "x"; "y" ] ~locations
+    ~initial:[ "L0"; "L1" ]
+    ~resilience:[ P.of_terms [ ("n", 1) ] (-1) ]
+    ~population:(P.param "n") ~rules ()
+
+let reach_spec =
+  S.invariant ~name:"reach-L3" ~ltl:"<>(k[L3] != 0)"
+    ~bad:[ ("L3 reached", C.some_nonempty [ "L3" ]) ]
+    ()
+
+let reach2_spec =
+  S.invariant ~name:"reach-L3-twice" ~ltl:"<>(k[L3] >= 2)"
+    ~bad:[ ("two in L3", C.counter_ge "L3" 2) ]
+    ()
+
+let drain_spec =
+  S.liveness ~name:"drain" ~ltl:"<>(k[L0]=0 /\\ k[L1]=0 /\\ k[L2]=0)"
+    ~target_violated:(C.some_nonempty [ "L0"; "L1"; "L2" ])
+    ()
+
+let limits = { Holistic.Checker.default_limits with max_schemas = 20_000 }
+
+let consistent ta spec =
+  match (Holistic.Checker.verify ~limits ta spec).outcome with
+  | Holistic.Checker.Aborted _ -> QCheck.assume_fail ()
+  | Holistic.Checker.Holds ->
+    (* Explicit checking at small parameters must agree. *)
+    List.for_all
+      (fun n ->
+        match Explicit.check ta spec [ ("n", n) ] with
+        | Explicit.Holds -> true
+        | Explicit.Violated _ -> false)
+      [ 1; 2; 3; 4 ]
+  | Holistic.Checker.Violated w -> (
+    let n = List.assoc "n" w.Holistic.Witness.params in
+    (* Witnesses should be small for these automata; replay explicitly. *)
+    n <= 8
+    &&
+    match Explicit.check ta spec w.Holistic.Witness.params with
+    | Explicit.Violated _ -> true
+    | Explicit.Holds -> false)
+
+let prop name spec =
+  QCheck_alcotest.to_alcotest
+    (QCheck.Test.make ~name ~count:120 arb_ta (fun descs ->
+         let ta = build_ta descs in
+         consistent ta spec))
+
+(* ------------------------------------------------------------------ *)
+(* A second family with paper-style parameters n, t, f and threshold
+   guards over them, exercising the guard implication order and the
+   Byzantine-discounted thresholds. *)
+
+let byz_guard_pool =
+  [
+    G.tt;
+    G.ge1 "x" Models.Params.t1f;
+    G.ge1 "x" Models.Params.t2f;
+    G.ge1 "y" Models.Params.t1f;
+    G.ge [ ("x", 1); ("y", 1) ] Models.Params.ntf;
+  ]
+
+let build_byz_ta descs =
+  let rules =
+    List.concat_map
+      (function
+        | None -> []
+        | Some d ->
+          [
+            A.rule
+              (Printf.sprintf "r%d%d" d.src d.dst)
+              ~source:(List.nth locations d.src) ~target:(List.nth locations d.dst)
+              ~guard:(List.nth byz_guard_pool d.guard)
+              ~update:(List.nth update_pool d.update)
+              ~fairness:(if d.fair then A.Fair else A.Unfair);
+          ])
+      descs
+  in
+  A.make ~name:"random_byz" ~params:Models.Params.names ~shared:[ "x"; "y" ] ~locations
+    ~initial:[ "L0"; "L1" ] ~resilience:Models.Params.resilience
+    ~population:Models.Params.population ~rules ()
+
+let byz_consistent ta spec =
+  match (Holistic.Checker.verify ~limits ta spec).outcome with
+  | Holistic.Checker.Aborted _ -> QCheck.assume_fail ()
+  | Holistic.Checker.Holds ->
+    List.for_all
+      (fun params ->
+        match Explicit.check ta spec params with
+        | Explicit.Holds -> true
+        | Explicit.Violated _ -> false)
+      [ [ ("n", 4); ("t", 1); ("f", 1) ]; [ ("n", 4); ("t", 1); ("f", 0) ];
+        [ ("n", 5); ("t", 1); ("f", 1) ] ]
+  | Holistic.Checker.Violated w -> (
+    List.assoc "n" w.Holistic.Witness.params <= 10
+    &&
+    match Explicit.check ta spec w.Holistic.Witness.params with
+    | Explicit.Violated _ -> true
+    | Explicit.Holds -> false)
+
+let byz_prop name spec =
+  QCheck_alcotest.to_alcotest
+    (QCheck.Test.make ~name ~count:80 arb_ta (fun descs ->
+         let ta = build_byz_ta descs in
+         byz_consistent ta spec))
+
+let () =
+  Alcotest.run "crossval"
+    [
+      ( "parameterized-vs-explicit",
+        [
+          prop "reachability verdicts agree" reach_spec;
+          prop "counting verdicts agree" reach2_spec;
+          prop "liveness verdicts agree" drain_spec;
+        ] );
+      ( "byzantine-thresholds",
+        [
+          byz_prop "reachability verdicts agree (n,t,f guards)" reach_spec;
+          byz_prop "liveness verdicts agree (n,t,f guards)" drain_spec;
+        ] );
+    ]

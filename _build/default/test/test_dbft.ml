@@ -1,0 +1,190 @@
+(* Tests for the executable DBFT consensus and the network simulator:
+   unit tests of the building blocks, whole-system runs checking
+   Agreement / Validity / Termination across seeds and Byzantine
+   strategies, and the Lemma 7 non-termination adversary (the paper's
+   motivation for the fairness assumption). *)
+
+module Net = Simnet.Network
+module Sched = Simnet.Scheduler
+
+let prop name count arb f = QCheck_alcotest.to_alcotest (QCheck.Test.make ~name ~count arb f)
+
+(* ------------------------------------------------------------------ *)
+(* Vset.                                                                *)
+
+let test_vset () =
+  let open Dbft.Vset in
+  Alcotest.(check bool) "empty" true (is_empty empty);
+  Alcotest.(check bool) "mem" true (mem 1 (singleton 1));
+  Alcotest.(check bool) "not mem" false (mem 0 (singleton 1));
+  Alcotest.(check (option int)) "singleton 0" (Some 0) (is_singleton (singleton 0));
+  Alcotest.(check (option int)) "both not singleton" None (is_singleton both);
+  Alcotest.(check bool) "subset" true (subset (singleton 1) both);
+  Alcotest.(check bool) "not subset" false (subset both (singleton 1));
+  Alcotest.(check bool) "union" true (equal both (union (singleton 0) (singleton 1)));
+  Alcotest.(check (list int)) "to_list" [ 0; 1 ] (to_list both);
+  Alcotest.(check string) "print" "{0,1}" (to_string both);
+  Alcotest.check_raises "bad value" (Invalid_argument "Vset: binary values only") (fun () ->
+      ignore (singleton 2))
+
+(* ------------------------------------------------------------------ *)
+(* Network.                                                             *)
+
+let test_network_basics () =
+  let net = Net.create ~n:3 in
+  Net.send net ~src:0 ~dest:1 "a";
+  Net.broadcast net ~src:2 "b";
+  Alcotest.(check int) "pending" 4 (Net.pending_count net);
+  let p = List.hd (Net.pending net) in
+  Alcotest.(check string) "fifo head" "a" p.Net.msg;
+  ignore (Net.deliver net p);
+  Alcotest.(check int) "pending after" 3 (Net.pending_count net);
+  Alcotest.(check int) "delivered" 1 (Net.delivered_count net);
+  Alcotest.check_raises "double deliver" (Invalid_argument "Network.deliver: not pending")
+    (fun () -> ignore (Net.deliver net p));
+  Alcotest.check_raises "bad dest" (Invalid_argument "Network.send: bad destination")
+    (fun () -> Net.send net ~src:0 ~dest:7 "x")
+
+let test_scheduler_fifo () =
+  let net = Net.create ~n:2 in
+  Net.send net ~src:0 ~dest:1 "first";
+  Net.send net ~src:0 ~dest:1 "second";
+  let p = Sched.pick Sched.Fifo (Net.pending net) in
+  Alcotest.(check string) "oldest" "first" p.Net.msg
+
+let test_scheduler_custom_fallback () =
+  let net = Net.create ~n:2 in
+  Net.send net ~src:0 ~dest:1 "only";
+  let sched = Sched.Custom (fun _ -> None) in
+  Alcotest.(check string) "fallback" "only" (Sched.pick sched (Net.pending net)).Net.msg
+
+(* ------------------------------------------------------------------ *)
+(* Whole-system runs.                                                   *)
+
+let all_correct_run ~inputs ~seed =
+  Dbft.Runner.run
+    (Dbft.Runner.config ~n:4 ~t:1 ~inputs ~scheduler:(Sched.random ~seed) ())
+
+let test_unanimous_no_faults () =
+  List.iter
+    (fun v ->
+      let r = all_correct_run ~inputs:[ v; v; v; v ] ~seed:7 in
+      Alcotest.(check bool) "terminated" true r.Dbft.Runner.all_decided;
+      Alcotest.(check bool) "agreement" true r.Dbft.Runner.agreement;
+      Alcotest.(check bool) "validity" true r.Dbft.Runner.validity;
+      List.iter
+        (fun (_, d, _) -> Alcotest.(check int) "decided the input" v d)
+        r.Dbft.Runner.decisions)
+    [ 0; 1 ]
+
+let test_mixed_inputs_no_faults () =
+  let r = all_correct_run ~inputs:[ 0; 1; 0; 1 ] ~seed:42 in
+  Alcotest.(check bool) "terminated" true r.Dbft.Runner.all_decided;
+  Alcotest.(check bool) "agreement" true r.Dbft.Runner.agreement;
+  Alcotest.(check bool) "validity" true r.Dbft.Runner.validity
+
+let byz_run ~strategy ~inputs ~seed =
+  Dbft.Runner.run
+    (Dbft.Runner.config ~n:4 ~t:1 ~inputs ~byzantine:[ (3, strategy) ]
+       ~scheduler:(Sched.random ~seed) ())
+
+let test_byzantine_silent () =
+  let r = byz_run ~strategy:Dbft.Byzantine.Silent ~inputs:[ 1; 1; 1 ] ~seed:3 in
+  Alcotest.(check bool) "terminated" true r.Dbft.Runner.all_decided;
+  Alcotest.(check bool) "agreement" true r.Dbft.Runner.agreement;
+  Alcotest.(check bool) "validity" true r.Dbft.Runner.validity
+
+let strategies =
+  [
+    ("silent", Dbft.Byzantine.Silent);
+    ("equivocate", Dbft.Byzantine.Equivocate);
+    ("noise", Dbft.Byzantine.Noise 1);
+  ]
+
+(* Agreement and validity must hold for every seed, strategy and input
+   vector; termination must hold under the fair random scheduler. *)
+let consensus_props =
+  List.map
+    (fun (sname, strategy) ->
+      prop
+        (Printf.sprintf "agreement+validity+termination vs %s byzantine" sname)
+        60
+        QCheck.(pair (int_range 0 7) (int_bound 999))
+        (fun (input_bits, seed) ->
+          let inputs = [ input_bits land 1; (input_bits lsr 1) land 1; (input_bits lsr 2) land 1 ] in
+          let r = byz_run ~strategy ~inputs ~seed in
+          r.Dbft.Runner.agreement && r.Dbft.Runner.validity && r.Dbft.Runner.all_decided))
+    strategies
+
+let test_seven_processes () =
+  (* n = 7, t = 2, two Byzantine processes. *)
+  let r =
+    Dbft.Runner.run
+      (Dbft.Runner.config ~n:7 ~t:2 ~inputs:[ 0; 1; 1; 0; 1 ]
+         ~byzantine:[ (5, Dbft.Byzantine.Equivocate); (6, Dbft.Byzantine.Noise 9) ]
+         ~scheduler:(Sched.random ~seed:11) ())
+  in
+  Alcotest.(check bool) "terminated" true r.Dbft.Runner.all_decided;
+  Alcotest.(check bool) "agreement" true r.Dbft.Runner.agreement;
+  Alcotest.(check bool) "validity" true r.Dbft.Runner.validity
+
+(* ------------------------------------------------------------------ *)
+(* Lemma 7: non-termination without fairness.                           *)
+
+let test_lemma7_no_decision () =
+  let max_round = 12 in
+  let r = Dbft.Runner.run (Dbft.Lemma7.config ~max_round) in
+  Alcotest.(check (list (list int))) "no process ever decides" []
+    (List.map (fun (p, v, rd) -> [ p; v; rd ]) r.Dbft.Runner.decisions);
+  (* The adversary really drives the system through the rounds: every
+     correct process reaches the bound. *)
+  List.iter
+    (fun (_, reached) ->
+      Alcotest.(check bool) "rounds progress" true (reached >= max_round))
+    r.Dbft.Runner.rounds_reached
+
+let test_lemma7_estimates_flip () =
+  (* After each round the estimate pattern is two copies of 1-(r mod 2)
+     and one of r mod 2, i.e. the run is trapped in the Lemma 7 cycle. *)
+  let r = Dbft.Runner.run (Dbft.Lemma7.config ~max_round:9) in
+  ignore r;
+  let cfg = Dbft.Lemma7.config ~max_round:9 in
+  Alcotest.(check int) "byzantine id" 3 Dbft.Lemma7.byzantine_id;
+  Alcotest.(check (list int)) "initial pattern" [ 1; 1; 0 ] cfg.Dbft.Runner.inputs
+
+let test_lemma7_fair_scheduler_decides () =
+  (* The same Byzantine strategy under a fair scheduler: the fairness
+     assumption holds with probability 1 and the algorithm terminates. *)
+  let base = Dbft.Lemma7.config ~max_round:30 in
+  let r =
+    Dbft.Runner.run { base with scheduler = Sched.random ~seed:5; max_round = 30 }
+  in
+  Alcotest.(check bool) "terminates when fair" true r.Dbft.Runner.all_decided;
+  Alcotest.(check bool) "agreement" true r.Dbft.Runner.agreement
+
+let () =
+  Alcotest.run "dbft"
+    [
+      ("vset", [ Alcotest.test_case "operations" `Quick test_vset ]);
+      ( "simnet",
+        [
+          Alcotest.test_case "network basics" `Quick test_network_basics;
+          Alcotest.test_case "fifo scheduler" `Quick test_scheduler_fifo;
+          Alcotest.test_case "custom scheduler fallback" `Quick test_scheduler_custom_fallback;
+        ] );
+      ( "consensus-runs",
+        [
+          Alcotest.test_case "unanimous, no faults" `Quick test_unanimous_no_faults;
+          Alcotest.test_case "mixed inputs, no faults" `Quick test_mixed_inputs_no_faults;
+          Alcotest.test_case "silent byzantine" `Quick test_byzantine_silent;
+          Alcotest.test_case "n=7 with two byzantine" `Quick test_seven_processes;
+        ] );
+      ("consensus-props", consensus_props);
+      ( "lemma7",
+        [
+          Alcotest.test_case "adversary prevents decisions" `Quick test_lemma7_no_decision;
+          Alcotest.test_case "setup matches the proof" `Quick test_lemma7_estimates_flip;
+          Alcotest.test_case "fair scheduler restores termination" `Quick
+            test_lemma7_fair_scheduler_decides;
+        ] );
+    ]

@@ -1,0 +1,131 @@
+(* Tests for the LTL layer: the paper's formulas written as temporal
+   formulas compile to exactly the violation patterns that the models
+   library declares by hand, and the compiled specs verify identically. *)
+
+module E = Holistic.Eltl
+module C = Ta.Cond
+module S = Ta.Spec
+
+let bv = Models.Bv_ta.automaton
+let simplified = Models.Simplified_ta.automaton
+
+let cond = Alcotest.testable (Fmt.of_to_string C.to_string) ( = )
+
+let check_spec_shape name (compiled : S.t) (reference : S.t) =
+  Alcotest.(check string) (name ^ " kind")
+    (match reference.kind with `Safety -> "safety" | `Liveness -> "liveness")
+    (match compiled.kind with `Safety -> "safety" | `Liveness -> "liveness");
+  Alcotest.check cond (name ^ " init") reference.init compiled.init;
+  Alcotest.(check (list string)) (name ^ " never_enter") reference.never_enter
+    compiled.never_enter;
+  Alcotest.(check (list cond)) (name ^ " observations")
+    (List.map snd reference.observations)
+    (List.map snd compiled.observations);
+  Alcotest.check cond (name ^ " final") reference.final_cond compiled.final_cond;
+  Alcotest.(check bool) (name ^ " stable") reference.require_stable
+    compiled.require_stable
+
+(* ------------------------------------------------------------------ *)
+(* The paper's formulas, written as temporal formulas.                  *)
+
+let bv_just0 =
+  E.implies
+    (E.prop (C.empty "V0"))
+    (E.always (E.prop (C.all_empty [ "C0"; "CB0"; "C01" ])))
+
+let bv_obl0 =
+  E.always
+    (E.implies
+       (E.prop (C.shared_ge [ ("b0", 1) ] Models.Params.t1))
+       (E.eventually (E.prop (C.all_empty (Models.Bv_ta.locs_missing "0")))))
+
+let bv_unif0 =
+  E.implies
+    (E.eventually (E.prop (C.some_nonempty [ "C0"; "CB0"; "C01" ])))
+    (E.eventually (E.prop (C.all_empty (Models.Bv_ta.locs_missing "0"))))
+
+let bv_term =
+  E.eventually (E.prop (C.all_empty [ "V0"; "V1"; "B0"; "B1"; "B01" ]))
+
+let inv1_0 =
+  E.implies
+    (E.eventually (E.prop (C.counter_ge "D0" 1)))
+    (E.always (E.prop (C.all_empty [ "D1"; "E1x" ])))
+
+let good_0 =
+  E.implies
+    (E.always (E.prop (C.empty "M0")))
+    (E.always (E.prop (C.all_empty [ "D0"; "E0x" ])))
+
+let sround_term = E.eventually (E.prop (C.all_empty Models.Simplified_ta.interior))
+
+(* ------------------------------------------------------------------ *)
+
+let test_compile_shapes () =
+  check_spec_shape "BV-Just0"
+    (E.compile ~automaton:bv ~name:"BV-Just0" bv_just0)
+    (List.hd Models.Bv_ta.all_specs);
+  check_spec_shape "BV-Term"
+    (E.compile ~automaton:bv ~name:"BV-Term" bv_term)
+    Models.Bv_ta.term;
+  check_spec_shape "Inv1_0"
+    (E.compile ~automaton:simplified ~name:"Inv1_0" inv1_0)
+    Models.Simplified_ta.inv1_0;
+  check_spec_shape "Good_0"
+    (E.compile ~automaton:simplified ~name:"Good_0" good_0)
+    Models.Simplified_ta.good_0;
+  check_spec_shape "SRound-Term"
+    (E.compile ~automaton:simplified ~name:"SRound-Term" sround_term)
+    Models.Simplified_ta.sround_term
+
+let test_compiled_bv_verification () =
+  (* The compiled formulas verify exactly like the hand-written specs:
+     everything holds for all parameters. *)
+  let u = Holistic.Universe.build bv in
+  List.iter
+    (fun (name, f) ->
+      let spec = E.compile ~automaton:bv ~name f in
+      match (Holistic.Checker.verify_with_universe u spec).outcome with
+      | Holistic.Checker.Holds -> ()
+      | _ -> Alcotest.fail (name ^ " did not hold"))
+    [ ("BV-Just0", bv_just0); ("BV-Obl0", bv_obl0); ("BV-Unif0", bv_unif0);
+      ("BV-Term", bv_term) ]
+
+let test_unsupported () =
+  let check_raises name f =
+    Alcotest.(check bool) name true
+      (try
+         ignore (E.compile ~automaton:bv ~name f);
+         false
+       with E.Unsupported _ -> true)
+  in
+  (* Nested eventualities in a conclusion. *)
+  check_raises "nested" (E.eventually (E.eventually (E.prop (C.empty "V0"))));
+  (* Non-absorbing liveness target. *)
+  check_raises "non-absorbing" (E.eventually (E.prop (C.all_empty [ "B0" ])));
+  (* Negation of a multi-atom mixed condition. *)
+  check_raises "bad negation"
+    (E.always
+       (E.prop (C.conj [ C.counter_ge "V0" 1; C.shared_ge [ ("b0", 1) ] Models.Params.t1 ])));
+  (* Liveness with an always-empty premise. *)
+  check_raises "liveness premise"
+    (E.implies (E.always (E.prop (C.empty "V0"))) bv_term)
+
+let test_to_string () =
+  let s = E.to_string bv_just0 in
+  Alcotest.(check bool) "mentions implication" true
+    (String.length s > 10 && String.contains s '=')
+
+let () =
+  Alcotest.run "eltl"
+    [
+      ( "compile",
+        [
+          Alcotest.test_case "paper formulas match hand-written specs" `Quick
+            test_compile_shapes;
+          Alcotest.test_case "compiled bv formulas verify" `Quick
+            test_compiled_bv_verification;
+          Alcotest.test_case "out-of-fragment formulas rejected" `Quick test_unsupported;
+          Alcotest.test_case "rendering" `Quick test_to_string;
+        ] );
+    ]

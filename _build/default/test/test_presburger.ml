@@ -1,0 +1,177 @@
+(* Tests for Cooper's quantifier elimination, including the paper's
+   receive-variable elimination (Section 3.1) and randomized equivalence
+   checks of eliminated formulas against brute-force quantification. *)
+
+module P = Presburger
+module T = Presburger.Term
+module B = Numbers.Bigint
+
+let prop name count arb f = QCheck_alcotest.to_alcotest (QCheck.Test.make ~name ~count arb f)
+
+let env_of bindings x =
+  match List.assoc_opt x bindings with
+  | Some v -> B.of_int v
+  | None -> failwith ("unbound " ^ x)
+
+(* ------------------------------------------------------------------ *)
+(* Terms.                                                               *)
+
+let test_term_basics () =
+  let t = T.of_terms [ (2, "x"); (-1, "y"); (1, "x") ] 5 in
+  Alcotest.(check string) "print" "3*x - y + 5" (T.to_string t);
+  Alcotest.(check string) "coeff" "3" (B.to_string (T.coeff "x" t));
+  Alcotest.(check string) "eval" "10" (B.to_string (T.eval (env_of [ ("x", 2); ("y", 1) ]) t));
+  let z = T.sub t t in
+  Alcotest.(check string) "zero" "0" (T.to_string z)
+
+(* ------------------------------------------------------------------ *)
+(* Evaluation of quantifier-free formulas.                              *)
+
+let test_eval () =
+  let x = T.var "x" in
+  let f = P.And [ P.ge x (T.const 2); P.Divides (B.of_int 3, T.sub x (T.const 0)) ] in
+  Alcotest.(check bool) "x=3" true (P.eval (env_of [ ("x", 3) ]) f);
+  Alcotest.(check bool) "x=4" false (P.eval (env_of [ ("x", 4) ]) f);
+  Alcotest.(check bool) "x=0 fails ge" false (P.eval (env_of [ ("x", 0) ]) f);
+  Alcotest.(check bool) "negation" true (P.eval (env_of [ ("x", 4) ]) (P.Not f))
+
+(* ------------------------------------------------------------------ *)
+(* Closed-formula decisions.                                            *)
+
+let test_closed_formulas () =
+  let x = T.var "x" in
+  let cases =
+    [
+      (* exists x. 2x = 6 *)
+      (P.Exists ("x", P.eq (T.scale (B.of_int 2) x) (T.const 6)), true);
+      (* exists x. 2x = 7 *)
+      (P.Exists ("x", P.eq (T.scale (B.of_int 2) x) (T.const 7)), false);
+      (* forall x. exists y. y > x *)
+      (P.Forall ("x", P.Exists ("y", P.gt (T.var "y") x)), true);
+      (* exists x. x > 0 /\ x < 1 (no integer strictly between) *)
+      (P.Exists ("x", P.And [ P.gt x (T.const 0); P.lt x (T.const 1) ]), false);
+      (* exists x. x >= 0 /\ 3 | x /\ x < 3  — x = 0 *)
+      ( P.Exists
+          ("x", P.And [ P.ge x (T.const 0); P.Divides (B.of_int 3, x); P.lt x (T.const 3) ]),
+        true );
+      (* forall x. 2 | x \/ 2 | x+1 *)
+      ( P.Forall
+          ( "x",
+            P.Or
+              [ P.Divides (B.of_int 2, x); P.Divides (B.of_int 2, T.add x (T.const 1)) ] ),
+        true );
+      (* forall x. 2 | x *)
+      (P.Forall ("x", P.Divides (B.of_int 2, x)), false);
+      (* exists x. forall y. y <= x  — no maximal integer *)
+      (P.Exists ("x", P.Forall ("y", P.le (T.var "y") x)), false);
+    ]
+  in
+  List.iteri
+    (fun i (f, expected) ->
+      Alcotest.(check bool) (Printf.sprintf "case %d: %s" i (P.to_string f)) expected
+        (P.is_valid f))
+    cases
+
+(* ------------------------------------------------------------------ *)
+(* The paper's receive-variable elimination (Section 3.1):
+   exists rcvd. rcvd <= b + f /\ rcvd >= t+1   <=>   b >= t+1-f
+   (receptions are bounded by correct sends plus f Byzantine ones). *)
+
+let test_receive_elimination () =
+  let rcvd = T.var "rcvd" and b = T.var "b" and t = T.var "t" and f = T.var "f" in
+  let guard =
+    P.Exists
+      ( "rcvd",
+        P.And
+          [
+            P.le rcvd (T.add b f);
+            P.ge rcvd (T.add t (T.const 1));
+            P.ge rcvd (T.const 0);
+          ] )
+  in
+  let eliminated = P.eliminate guard in
+  Alcotest.(check bool) "quantifier-free" true
+    (match P.free_vars eliminated with vs -> not (List.mem "rcvd" vs));
+  let expected_env bv tv fv = P.eval (env_of [ ("b", bv); ("t", tv); ("f", fv) ]) in
+  for bv = 0 to 6 do
+    for tv = 0 to 2 do
+      for fv = 0 to tv do
+        let expect = bv >= tv + 1 - fv in
+        Alcotest.(check bool)
+          (Printf.sprintf "b=%d t=%d f=%d" bv tv fv)
+          expect
+          (expected_env bv tv fv eliminated)
+      done
+    done
+  done
+
+(* ------------------------------------------------------------------ *)
+(* Randomized: elimination agrees with brute-force quantification over
+   a box (sound on the box because the formulas' bounds confine the
+   witnesses there). *)
+
+let arb_qf_formula =
+  (* Random small formulas over x (quantified) and y (free). *)
+  let open QCheck in
+  let term =
+    map
+      (fun (cx, cy, k) -> T.of_terms [ (cx, "x"); (cy, "y") ] k)
+      (triple (int_range (-2) 2) (int_range (-2) 2) (int_range (-4) 4))
+  in
+  let atom =
+    map
+      (fun (t, kind) ->
+        match kind mod 3 with
+        | 0 -> P.Lt t
+        | 1 -> P.Eq t
+        | _ -> P.Divides (B.of_int 2, t))
+      (pair term (int_range 0 2))
+  in
+  map
+    (fun (a1, a2, a3, conj) -> if conj then P.And [ a1; P.Or [ a2; a3 ] ] else P.Or [ a1; P.And [ a2; a3 ] ])
+    (tup4 atom atom atom bool)
+
+let brute_exists f yv =
+  (* x in [-24, 24] is enough for coefficients <= 2 and constants <= 4
+     with |y| <= 4. *)
+  let found = ref false in
+  for xv = -24 to 24 do
+    if (not !found) && P.eval (env_of [ ("x", xv); ("y", yv) ]) f then found := true
+  done;
+  !found
+
+let presburger_props =
+  [
+    prop "exists-elimination agrees with brute force" 300
+      QCheck.(pair arb_qf_formula (int_range (-4) 4))
+      (fun (f, yv) ->
+        let eliminated = P.eliminate (P.Exists ("x", f)) in
+        (not (List.mem "x" (P.free_vars eliminated)))
+        &&
+        let via_qe = P.eval (env_of [ ("y", yv) ]) eliminated in
+        (* The window [-24, 24] provably contains a witness whenever one
+           exists, given the generator's coefficient and constant
+           bounds, so the comparison is exact. *)
+        let via_brute = brute_exists f yv in
+        via_qe = via_brute);
+    prop "elimination never loses models" 300
+      QCheck.(pair arb_qf_formula (int_range (-4) 4))
+      (fun (f, yv) ->
+        (* If some x in the window satisfies f, QE must say satisfiable. *)
+        let eliminated = P.eliminate (P.Exists ("x", f)) in
+        (not (brute_exists f yv)) || P.eval (env_of [ ("y", yv) ]) eliminated);
+  ]
+
+let () =
+  Alcotest.run "presburger"
+    [
+      ("term", [ Alcotest.test_case "basics" `Quick test_term_basics ]);
+      ("eval", [ Alcotest.test_case "quantifier-free" `Quick test_eval ]);
+      ( "cooper",
+        [
+          Alcotest.test_case "closed formulas" `Quick test_closed_formulas;
+          Alcotest.test_case "receive-variable elimination (paper 3.1)" `Quick
+            test_receive_elimination;
+        ] );
+      ("cooper-props", presburger_props);
+    ]

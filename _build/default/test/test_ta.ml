@@ -1,0 +1,249 @@
+(* Tests for the threshold-automata modelling layer: parameter
+   expressions, guards, automaton validation and structure, conditions,
+   DOT export, and the structural facts about the three paper models that
+   the checker's soundness relies on. *)
+
+module P = Ta.Pexpr
+module G = Ta.Guard
+module A = Ta.Automaton
+module C = Ta.Cond
+
+let penv = function "n" -> 7 | "t" -> 2 | "f" -> 1 | _ -> 0
+
+(* ------------------------------------------------------------------ *)
+(* Pexpr.                                                               *)
+
+let test_pexpr_normalize () =
+  let e = P.of_terms [ ("n", 1); ("t", -1); ("n", 2) ] 5 in
+  Alcotest.(check int) "eval" (21 - 2 + 5) (P.eval penv e);
+  Alcotest.(check string) "print" "3*n - t + 5" (P.to_string e);
+  let z = P.of_terms [ ("n", 1); ("n", -1) ] 0 in
+  Alcotest.(check string) "zero" "0" (P.to_string z);
+  Alcotest.(check (list string)) "params dropped" [] (P.params z)
+
+let test_pexpr_arith () =
+  let a = P.of_terms [ ("t", 2) ] 1 in
+  let b = P.of_terms [ ("f", -1) ] 0 in
+  Alcotest.(check int) "add" (4 + 1 - 1) (P.eval penv (P.add a b));
+  Alcotest.(check int) "sub" (4 + 1 + 1) (P.eval penv (P.sub a b));
+  Alcotest.(check int) "scale" (-10) (P.eval penv (P.scale (-2) a));
+  Alcotest.(check bool) "equal" true (P.equal (P.add a b) (P.of_terms [ ("f", -1); ("t", 2) ] 1))
+
+(* ------------------------------------------------------------------ *)
+(* Guard.                                                               *)
+
+let test_guard_holds () =
+  let g = G.ge [ ("b0", 1); ("b1", 2) ] (P.of_terms [ ("t", 1) ] 1) in
+  let shared = function "b0" -> 1 | "b1" -> 1 | _ -> 0 in
+  Alcotest.(check bool) "3 >= 3" true (G.holds ~shared ~params:penv g);
+  let shared0 = fun _ -> 0 in
+  Alcotest.(check bool) "0 >= 3" false (G.holds ~shared:shared0 ~params:penv g);
+  Alcotest.(check bool) "true guard" true (G.holds ~shared:shared0 ~params:penv G.tt)
+
+let test_guard_rejects_nonpositive () =
+  Alcotest.check_raises "zero coeff"
+    (Invalid_argument "Guard.ge: non-positive coefficient 0 for b0") (fun () ->
+      ignore (G.ge [ ("b0", 0) ] (P.const 1)))
+
+let test_guard_to_string () =
+  let g = G.ge1 "b0" (P.of_terms [ ("t", 2); ("f", -1) ] 1) in
+  Alcotest.(check string) "render" "b0 >= 2*t - f + 1" (G.to_string g)
+
+(* ------------------------------------------------------------------ *)
+(* Automaton validation and structure.                                  *)
+
+let tiny ?(rules = []) ?(initial = [ "A" ]) () =
+  A.make ~name:"tiny" ~params:[ "n" ] ~shared:[ "x" ] ~locations:[ "A"; "B"; "C" ]
+    ~initial ~resilience:[ P.param "n" ] ~population:(P.param "n") ~rules ()
+
+let test_automaton_validation () =
+  let r = A.rule "r1" ~source:"A" ~target:"B" ~update:[ ("x", 1) ] in
+  let ta = tiny ~rules:[ r ] () in
+  Alcotest.(check int) "rules" 1 (A.stats ta).A.n_rules;
+  Alcotest.check_raises "unknown source"
+    (Invalid_argument "Automaton tiny: rule bad has unknown source \"Z\"") (fun () ->
+      ignore (tiny ~rules:[ A.rule "bad" ~source:"Z" ~target:"B" ] ()));
+  Alcotest.check_raises "negative update"
+    (Invalid_argument "Automaton tiny: rule bad has a negative update (monotonicity violated)")
+    (fun () ->
+      ignore (tiny ~rules:[ A.rule "bad" ~source:"A" ~target:"B" ~update:[ ("x", -1) ] ] ()));
+  Alcotest.check_raises "self loop"
+    (Invalid_argument "Automaton tiny: rule bad is a self-loop; use the self_loops count instead")
+    (fun () -> ignore (tiny ~rules:[ A.rule "bad" ~source:"A" ~target:"A" ] ()))
+
+let test_automaton_dag () =
+  let ta =
+    tiny
+      ~rules:[ A.rule "r1" ~source:"A" ~target:"B"; A.rule "r2" ~source:"B" ~target:"C" ]
+      ()
+  in
+  Alcotest.(check bool) "dag" true (A.is_dag ta);
+  let cyclic =
+    tiny
+      ~rules:[ A.rule "r1" ~source:"A" ~target:"B"; A.rule "r2" ~source:"B" ~target:"A" ]
+      ()
+  in
+  Alcotest.(check bool) "cycle" false (A.is_dag cyclic);
+  Alcotest.check_raises "topo on cycle" (Invalid_argument "Automaton tiny is not a DAG")
+    (fun () -> ignore (A.topological_rule_order cyclic))
+
+let test_topological_order () =
+  let ta =
+    tiny
+      ~rules:
+        [
+          A.rule "bc" ~source:"B" ~target:"C";
+          A.rule "ab" ~source:"A" ~target:"B";
+          A.rule "ac" ~source:"A" ~target:"C";
+        ]
+      ()
+  in
+  let order = List.map (fun (r : A.rule) -> r.name) (A.topological_rule_order ta) in
+  let pos x = Option.get (List.find_index (( = ) x) order) in
+  Alcotest.(check bool) "ab before bc" true (pos "ab" < pos "bc");
+  Alcotest.(check bool) "ac before bc" true (pos "ac" < pos "bc")
+
+let test_sinks_absorbing () =
+  let ta =
+    tiny
+      ~rules:[ A.rule "r1" ~source:"A" ~target:"B"; A.rule "r2" ~source:"B" ~target:"C" ]
+      ()
+  in
+  Alcotest.(check (list string)) "sinks" [ "C" ] (A.sinks ta);
+  Alcotest.(check bool) "A,B absorbing" true (A.absorbing_when_empty ta [ "A"; "B" ]);
+  Alcotest.(check bool) "B alone not absorbing" false (A.absorbing_when_empty ta [ "B" ])
+
+(* ------------------------------------------------------------------ *)
+(* Cond.                                                                *)
+
+let test_cond_eval () =
+  let counter = function "A" -> 2 | "B" -> 0 | _ -> 0 in
+  let shared = function "x" -> 3 | _ -> 0 in
+  let holds c = C.holds ~counter ~shared ~params:penv c in
+  Alcotest.(check bool) "empty B" true (holds (C.empty "B"));
+  Alcotest.(check bool) "empty A" false (holds (C.empty "A"));
+  Alcotest.(check bool) "sum >= 2" true (holds (C.sum_ge [ "A"; "B" ] 2));
+  Alcotest.(check bool) "sum >= 3" false (holds (C.sum_ge [ "A"; "B" ] 3));
+  Alcotest.(check bool) "x >= t+1" true (holds (C.shared_ge [ ("x", 1) ] (P.of_terms [ ("t", 1) ] 1)));
+  Alcotest.(check bool) "x < t+1" false (holds (C.shared_lt [ ("x", 1) ] (P.of_terms [ ("t", 1) ] 1)));
+  Alcotest.(check bool) "x < t+2" true (holds (C.shared_lt [ ("x", 1) ] (P.of_terms [ ("t", 1) ] 2)));
+  Alcotest.(check bool) "conj" true (holds (C.conj [ C.empty "B"; C.counter_ge "A" 1 ]))
+
+let test_cond_guard_roundtrip () =
+  let atom = List.hd (G.ge1 "x" (P.of_terms [ ("t", 1) ] 1)) in
+  let eval shared_x c =
+    C.holds ~counter:(fun _ -> 0) ~shared:(fun _ -> shared_x) ~params:penv c
+  in
+  Alcotest.(check bool) "atom true" true (eval 3 (C.of_guard_atom atom));
+  Alcotest.(check bool) "atom false" false (eval 2 (C.of_guard_atom atom));
+  Alcotest.(check bool) "negation true" true (eval 2 (C.negate_guard_atom atom));
+  Alcotest.(check bool) "negation false" false (eval 3 (C.negate_guard_atom atom))
+
+(* ------------------------------------------------------------------ *)
+(* The paper models: sizes and structural preconditions.                *)
+
+let test_bv_model_structure () =
+  let ta = Models.Bv_ta.automaton in
+  let s = A.stats ta in
+  Alcotest.(check int) "guards" 4 s.A.n_guards;
+  Alcotest.(check int) "locations" 10 s.A.n_locations;
+  Alcotest.(check int) "rules (incl. self-loops)" 19 s.A.n_rules;
+  Alcotest.(check bool) "dag" true (A.is_dag ta);
+  (* The liveness targets are absorbing (checker precondition). *)
+  Alcotest.(check bool) "undelivered-0 set absorbing" true
+    (A.absorbing_when_empty ta (Models.Bv_ta.locs_missing "0"));
+  Alcotest.(check bool) "initial+broadcast set absorbing" true
+    (A.absorbing_when_empty ta [ "V0"; "V1"; "B0"; "B1"; "B01" ])
+
+let test_simplified_model_structure () =
+  let ta = Models.Simplified_ta.automaton in
+  let s = A.stats ta in
+  Alcotest.(check int) "guards" 10 s.A.n_guards;
+  Alcotest.(check int) "rules (incl. self-loops)" 37 s.A.n_rules;
+  Alcotest.(check bool) "dag" true (A.is_dag ta);
+  Alcotest.(check (list string)) "sinks" [ "E0x"; "E1x"; "D0" ] (A.sinks ta);
+  Alcotest.(check bool) "interior absorbing" true
+    (A.absorbing_when_empty ta Models.Simplified_ta.interior)
+
+let test_naive_model_structure () =
+  let ta = Models.Naive_ta.automaton in
+  let s = A.stats ta in
+  Alcotest.(check int) "guards" 14 s.A.n_guards;
+  Alcotest.(check bool) "dag" true (A.is_dag ta);
+  Alcotest.(check int) "locations" 26 s.A.n_locations;
+  Alcotest.(check bool) "interior absorbing" true
+    (A.absorbing_when_empty ta Models.Naive_ta.interior)
+
+let contains haystack needle =
+  let nh = String.length haystack and nn = String.length needle in
+  let rec go i = i + nn <= nh && (String.sub haystack i nn = needle || go (i + 1)) in
+  go 0
+
+let test_dot_export () =
+  let dot = Ta.Dot.render Models.Bv_ta.automaton in
+  Alcotest.(check bool) "digraph" true
+    (String.length dot > 100 && String.sub dot 0 7 = "digraph");
+  List.iter
+    (fun needle ->
+      Alcotest.(check bool) ("contains " ^ needle) true (contains dot needle))
+    [ "V0"; "C01"; "doublecircle"; "b0++" ]
+
+let test_bymc_export () =
+  let skel = Ta.Bymc.render Models.Bv_ta.automaton in
+  List.iter
+    (fun needle ->
+      Alcotest.(check bool) ("contains " ^ needle) true (contains skel needle))
+    [
+      "skel Proc";
+      "shared b0, b1";
+      "parameters n, t, f";
+      "n + -3 * t + -1 >= 0";
+      "locV0 -> locB0";
+      "b0' == b0 + 1";
+      "(locV0 + locV1) == n + -1 * f";
+    ];
+  (* Rule count (with self-loops) matches the Table 2 size column. *)
+  let rule_lines =
+    String.split_on_char '\n' skel
+    |> List.filter (fun l -> contains l "when (")
+  in
+  Alcotest.(check int) "19 rules" 19 (List.length rule_lines)
+
+let () =
+  Alcotest.run "ta"
+    [
+      ( "pexpr",
+        [
+          Alcotest.test_case "normalization" `Quick test_pexpr_normalize;
+          Alcotest.test_case "arithmetic" `Quick test_pexpr_arith;
+        ] );
+      ( "guard",
+        [
+          Alcotest.test_case "evaluation" `Quick test_guard_holds;
+          Alcotest.test_case "rejects non-positive coefficients" `Quick
+            test_guard_rejects_nonpositive;
+          Alcotest.test_case "rendering" `Quick test_guard_to_string;
+        ] );
+      ( "automaton",
+        [
+          Alcotest.test_case "validation" `Quick test_automaton_validation;
+          Alcotest.test_case "dag detection" `Quick test_automaton_dag;
+          Alcotest.test_case "topological order" `Quick test_topological_order;
+          Alcotest.test_case "sinks and absorbing sets" `Quick test_sinks_absorbing;
+        ] );
+      ( "cond",
+        [
+          Alcotest.test_case "evaluation" `Quick test_cond_eval;
+          Alcotest.test_case "guard conversion" `Quick test_cond_guard_roundtrip;
+        ] );
+      ( "models",
+        [
+          Alcotest.test_case "bv-broadcast structure (Table 2 size row)" `Quick
+            test_bv_model_structure;
+          Alcotest.test_case "simplified consensus structure" `Quick
+            test_simplified_model_structure;
+          Alcotest.test_case "naive consensus structure" `Quick test_naive_model_structure;
+          Alcotest.test_case "dot export" `Quick test_dot_export;
+          Alcotest.test_case "bymc export" `Quick test_bymc_export;
+        ] );
+    ]

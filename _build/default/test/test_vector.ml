@@ -1,0 +1,161 @@
+(* Tests for reliable broadcast and the Red Belly vector ("superblock")
+   consensus built on n parallel binary consensus instances. *)
+
+module Rb = Dbft.Reliable_broadcast
+module Net = Simnet.Network
+
+let prop name count arb f = QCheck_alcotest.to_alcotest (QCheck.Test.make ~name ~count arb f)
+
+(* ------------------------------------------------------------------ *)
+(* Reliable broadcast in isolation: drive it with a simple fair loop.   *)
+
+let run_rb ~n ~t ~byz_equivocate ~seed ~broadcasts =
+  let net : Rb.msg Net.t = Net.create ~n in
+  let delivered = Array.make_matrix n n None in
+  let endpoints =
+    Array.init n (fun i ->
+        Rb.create ~id:i ~n ~t net ~on_deliver:(fun ~origin ~value ->
+            delivered.(i).(origin) <- Some value))
+  in
+  List.iter (fun (i, v) -> Rb.broadcast endpoints.(i) v) broadcasts;
+  (* A Byzantine origin (id n-1) equivocating its init messages. *)
+  if byz_equivocate then
+    for dest = 0 to n - 1 do
+      let value = if 2 * dest < n then "evil-A" else "evil-B" in
+      Net.send net ~src:(n - 1) ~dest (Rb.Init { origin = n - 1; value })
+    done;
+  let rng = Random.State.make [| seed |] in
+  let steps = ref 0 in
+  while Net.pending_count net > 0 && !steps < 100_000 do
+    incr steps;
+    let pending = Net.pending net in
+    let p = List.nth pending (Random.State.int rng (List.length pending)) in
+    let { Net.src; dest; msg; _ } = Net.deliver net p in
+    if not (byz_equivocate && dest = n - 1) then Rb.handle endpoints.(dest) ~src msg
+  done;
+  delivered
+
+let test_rb_validity_totality () =
+  let delivered =
+    run_rb ~n:4 ~t:1 ~byz_equivocate:false ~seed:5
+      ~broadcasts:[ (0, "alpha"); (1, "beta"); (2, "gamma"); (3, "delta") ]
+  in
+  for origin = 0 to 3 do
+    for i = 0 to 3 do
+      Alcotest.(check (option string))
+        (Printf.sprintf "p%d delivers origin %d" i origin)
+        (Some (List.nth [ "alpha"; "beta"; "gamma"; "delta" ] origin))
+        delivered.(i).(origin)
+    done
+  done
+
+let test_rb_consistency_under_equivocation () =
+  let delivered =
+    run_rb ~n:4 ~t:1 ~byz_equivocate:true ~seed:9
+      ~broadcasts:[ (0, "alpha"); (1, "beta"); (2, "gamma") ]
+  in
+  (* Correct origins delivered everywhere. *)
+  for origin = 0 to 2 do
+    for i = 0 to 2 do
+      Alcotest.(check bool) "correct delivered" true (delivered.(i).(origin) <> None)
+    done
+  done;
+  (* The equivocating origin: correct processes never deliver two
+     different values (with a 2-2 split of echoes, nobody can gather
+     2t+1 = 3 echoes for either value, so typically nothing is
+     delivered; consistency is what matters). *)
+  let values =
+    List.filter_map (fun i -> delivered.(i).(3)) [ 0; 1; 2 ] |> List.sort_uniq compare
+  in
+  Alcotest.(check bool) "at most one value" true (List.length values <= 1)
+
+let rb_props =
+  [
+    prop "rb validity and consistency across seeds" 50 QCheck.(int_bound 9999) (fun seed ->
+        let delivered =
+          run_rb ~n:4 ~t:1 ~byz_equivocate:true ~seed
+            ~broadcasts:[ (0, "a"); (1, "b"); (2, "c") ]
+        in
+        (* All correct-origin proposals delivered consistently... *)
+        List.for_all
+          (fun origin ->
+            List.for_all
+              (fun i ->
+                delivered.(i).(origin) = Some (List.nth [ "a"; "b"; "c" ] origin))
+              [ 0; 1; 2 ])
+          [ 0; 1; 2 ]
+        (* ... and the Byzantine origin never splits the correct ones. *)
+        && List.length
+             (List.filter_map (fun i -> delivered.(i).(3)) [ 0; 1; 2 ]
+             |> List.sort_uniq compare)
+           <= 1);
+  ]
+
+(* ------------------------------------------------------------------ *)
+(* Vector consensus.                                                    *)
+
+let test_vector_all_correct () =
+  let r =
+    Dbft.Vector.run
+      (Dbft.Vector.config ~n:4 ~t:1
+         ~proposals:[ (0, "a"); (1, "b"); (2, "c"); (3, "d") ]
+         ~seed:3 ())
+  in
+  Alcotest.(check bool) "decided" true r.Dbft.Vector.all_decided;
+  Alcotest.(check bool) "agreement" true r.Dbft.Vector.agreement;
+  Alcotest.(check bool) "integrity" true r.Dbft.Vector.integrity;
+  (* At least n - t proposals make it into the superblock. *)
+  match r.Dbft.Vector.superblocks with
+  | (_, sb) :: _ -> Alcotest.(check bool) "size >= n-t" true (List.length sb >= 3)
+  | [] -> Alcotest.fail "no superblocks"
+
+let test_vector_byzantine_proposer () =
+  let r =
+    Dbft.Vector.run
+      (Dbft.Vector.config ~n:4 ~t:1
+         ~proposals:[ (0, "a"); (1, "b"); (2, "c") ]
+         ~byzantine:[ 3 ] ~seed:7 ())
+  in
+  Alcotest.(check bool) "decided" true r.Dbft.Vector.all_decided;
+  Alcotest.(check bool) "agreement" true r.Dbft.Vector.agreement;
+  Alcotest.(check bool) "integrity" true r.Dbft.Vector.integrity;
+  (* The equivocated proposal cannot enter the superblock with different
+     contents at different processes; with a 2-2 equivocation it is
+     simply excluded. *)
+  List.iter
+    (fun (_, sb) ->
+      Alcotest.(check bool) "no equivocation accepted" true
+        (not (List.exists (fun (j, _) -> j = 3) sb)))
+    r.Dbft.Vector.superblocks
+
+let vector_props =
+  [
+    prop "vector consensus agreement+integrity across seeds" 25 QCheck.(int_bound 9999)
+      (fun seed ->
+        let r =
+          Dbft.Vector.run
+            (Dbft.Vector.config ~n:4 ~t:1
+               ~proposals:[ (0, "a"); (1, "b"); (2, "c") ]
+               ~byzantine:[ 3 ] ~seed ())
+        in
+        r.Dbft.Vector.all_decided && r.Dbft.Vector.agreement && r.Dbft.Vector.integrity);
+  ]
+
+let () =
+  Alcotest.run "vector"
+    [
+      ( "reliable-broadcast",
+        [
+          Alcotest.test_case "validity and totality" `Quick test_rb_validity_totality;
+          Alcotest.test_case "consistency under equivocation" `Quick
+            test_rb_consistency_under_equivocation;
+        ] );
+      ("rb-props", rb_props);
+      ( "vector-consensus",
+        [
+          Alcotest.test_case "all-correct committee" `Quick test_vector_all_correct;
+          Alcotest.test_case "byzantine proposer excluded" `Quick
+            test_vector_byzantine_proposer;
+        ] );
+      ("vector-props", vector_props);
+    ]
