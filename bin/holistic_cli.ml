@@ -93,23 +93,35 @@ let verify_cmd =
     Arg.(value & opt (some float) None & info [ "time-budget" ] ~docv:"SECONDS"
            ~doc:"Abort after this much wall-clock time per property.")
   in
-  let run model spec_name broken max_schemas budget =
+  let jobs =
+    Arg.(value & opt int (Domain.recommended_domain_count ())
+         & info [ "j"; "jobs" ] ~docv:"N"
+             ~doc:"Worker domains discharging schema queries (1 = the sequential engine; \
+                   results are bit-identical either way).")
+  in
+  let worker_stats =
+    Arg.(value & flag & info [ "worker-stats" ]
+           ~doc:"Print per-worker utilisation after each property.")
+  in
+  let run model spec_name broken max_schemas budget jobs worker_stats =
     let ta = automaton_of ~broken model in
     let limits =
-      { Holistic.Checker.default_limits with max_schemas; time_budget = budget }
+      { Holistic.Checker.default_limits with max_schemas; time_budget = budget; jobs }
     in
     let u = Holistic.Universe.build ta in
     List.iter
       (fun spec ->
         let r = Holistic.Checker.verify_with_universe ~limits u spec in
-        Format.printf "%a@." Holistic.Checker.pp_result r)
+        Format.printf "%a@." Holistic.Checker.pp_result r;
+        if worker_stats then Format.printf "%a@?" Holistic.Checker.pp_worker_stats r)
       (find_specs model spec_name)
   in
   Cmd.v
     (Cmd.info "verify"
        ~doc:"Verify properties for all parameters n > 3t, t >= f >= 0 (the paper's \
              parameterized model checking).")
-    Term.(const run $ model_arg $ spec_arg $ broken $ max_schemas $ budget)
+    Term.(const run $ model_arg $ spec_arg $ broken $ max_schemas $ budget $ jobs
+          $ worker_stats)
 
 (* --- explicit ------------------------------------------------------ *)
 
@@ -237,8 +249,14 @@ let table2_cmd =
     Arg.(value & opt string "text" & info [ "format" ] ~docv:"FMT"
            ~doc:"Output format: text, markdown or csv.")
   in
-  let run quick budget format =
-    let rows = Report.table2 ~quick ~naive_budget:budget () in
+  let jobs =
+    Arg.(value & opt int (Domain.recommended_domain_count ())
+         & info [ "j"; "jobs" ] ~docv:"N"
+             ~doc:"Worker domains discharging schema queries (the rows are identical for \
+                   any N; only wall-clock changes).")
+  in
+  let run quick budget format jobs =
+    let rows = Report.table2 ~jobs ~quick ~naive_budget:budget () in
     match format with
     | "text" -> Report.print_text stdout rows
     | "markdown" | "md" -> print_string (Report.to_markdown rows)
@@ -247,7 +265,7 @@ let table2_cmd =
   in
   Cmd.v
     (Cmd.info "table2" ~doc:"Regenerate the paper's Table 2 (also see bench/main.exe).")
-    Term.(const run $ quick $ budget $ format)
+    Term.(const run $ quick $ budget $ format $ jobs)
 
 let () =
   let doc = "Holistic verification of the Red Belly blockchain consensus (reproduction)" in

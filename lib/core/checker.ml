@@ -1,12 +1,33 @@
 module A = Ta.Automaton
 
-type limits = { max_schemas : int; time_budget : float option; lia_max_steps : int }
+type limits = {
+  max_schemas : int;
+  time_budget : float option;
+  lia_max_steps : int;
+  jobs : int;
+}
 
-let default_limits = { max_schemas = 100_000; time_budget = None; lia_max_steps = 200_000 }
+let default_limits =
+  { max_schemas = 100_000; time_budget = None; lia_max_steps = 200_000; jobs = 1 }
 
 type outcome = Holds | Violated of Witness.t | Aborted of string
 
-type stats = { schemas_checked : int; slots_total : int; time : float }
+type worker_stat = {
+  worker_id : int;
+  schemas : int;
+  slots : int;
+  solver_steps : int;
+  busy_time : float;
+}
+
+type stats = {
+  schemas_checked : int;
+  slots_total : int;
+  solver_steps : int;
+  time : float;
+  jobs : int;
+  workers : worker_stat list;
+}
 
 type result = { spec : Ta.Spec.t; outcome : outcome; stats : stats }
 
@@ -42,11 +63,11 @@ let precheck ta (spec : Ta.Spec.t) =
 (* Decide [atoms /\ (one cube per branch entry)] by depth-first case
    analysis over the factored justice branches; every path is a plain
    LIA conjunction. *)
-let solve_schema ~limits (encoded : Encode.encoded) =
+let solve_schema ?steps ~limits (encoded : Encode.encoded) =
   let rec go atoms branches =
     match branches with
     | [] -> (
-      match Smt.Lia.solve ~max_steps:limits.lia_max_steps atoms with
+      match Smt.Lia.solve ?steps ~max_steps:limits.lia_max_steps atoms with
       | Smt.Lia.Sat m -> `Sat m
       | Smt.Lia.Unsat -> `Unsat
       | Smt.Lia.Unknown -> `Unknown)
@@ -68,44 +89,73 @@ let solve_schema ~limits (encoded : Encode.encoded) =
   | `Unknown -> `Unknown
   | `Sat m -> if encoded.branches = [] then `Sat m else go encoded.atoms encoded.branches
 
-let verify_with_universe ?(limits = default_limits) u (spec : Ta.Spec.t) =
-  let ta = Universe.automaton u in
-  precheck ta spec;
+let budget_messages ~max_schemas_hit ~schemas ~budget =
+  if max_schemas_hit then Printf.sprintf "schema budget exceeded (> %d schemas)" schemas
+  else
+    Printf.sprintf "time budget exceeded (> %.0f s, %d schemas checked)" budget schemas
+
+let unknown_message = "solver returned unknown (branch-and-bound budget)"
+
+(* ------------------------------------------------------------------- *)
+(* Sequential engine: the reference implementation the parallel engine
+   is pinned to (see test/test_parallel.ml). *)
+
+let verify_sequential ~limits u (spec : Ta.Spec.t) =
   let t0 = Unix.gettimeofday () in
   let schemas = ref 0 in
   let slots = ref 0 in
+  let steps = ref 0 in
+  let busy = ref 0.0 in
   let found = ref None in
   let aborted = ref None in
   let complete =
     Schema.enumerate u spec ~on_schema:(fun schema ->
         let elapsed = Unix.gettimeofday () -. t0 in
         if !schemas >= limits.max_schemas then begin
-          aborted := Some (Printf.sprintf "schema budget exceeded (> %d schemas)" !schemas);
+          aborted := Some (budget_messages ~max_schemas_hit:true ~schemas:!schemas ~budget:0.0);
           false
         end
         else
           match limits.time_budget with
           | Some budget when elapsed > budget ->
             aborted :=
-              Some
-                (Printf.sprintf "time budget exceeded (> %.0f s, %d schemas checked)" budget
-                   !schemas);
+              Some (budget_messages ~max_schemas_hit:false ~schemas:!schemas ~budget);
             false
           | _ -> (
             incr schemas;
+            let t1 = Unix.gettimeofday () in
             let encoded = Encode.encode u spec schema in
             slots := !slots + encoded.n_slots;
-            match solve_schema ~limits encoded with
+            let verdict = solve_schema ~steps ~limits encoded in
+            busy := !busy +. (Unix.gettimeofday () -. t1);
+            match verdict with
             | `Unsat -> true
             | `Sat model ->
               found := Some (Witness.of_model u spec schema encoded model);
               false
             | `Unknown ->
-              aborted := Some "solver returned unknown (branch-and-bound budget)";
+              aborted := Some unknown_message;
               false))
   in
+  let time = Unix.gettimeofday () -. t0 in
   let stats =
-    { schemas_checked = !schemas; slots_total = !slots; time = Unix.gettimeofday () -. t0 }
+    {
+      schemas_checked = !schemas;
+      slots_total = !slots;
+      solver_steps = !steps;
+      time;
+      jobs = 1;
+      workers =
+        [
+          {
+            worker_id = 0;
+            schemas = !schemas;
+            slots = !slots;
+            solver_steps = !steps;
+            busy_time = !busy;
+          };
+        ];
+    }
   in
   let outcome =
     match (!found, !aborted, complete) with
@@ -115,6 +165,111 @@ let verify_with_universe ?(limits = default_limits) u (spec : Ta.Spec.t) =
     | None, None, false -> Aborted "enumeration stopped unexpectedly"
   in
   { spec; outcome; stats }
+
+(* ------------------------------------------------------------------- *)
+(* Parallel engine: the producer runs the enumeration (and the budget
+   checks, so aborts stay deterministic) on the calling domain while
+   [limits.jobs] worker domains encode and solve.  Each schema is an
+   independent LIA query; the pool's first-stop-in-enumeration-order
+   contract makes outcomes, witnesses and schema counts bit-identical to
+   [verify_sequential] (time-budget aborts excepted: wall-clock is
+   inherently racy, sequentially too). *)
+
+type job_outcome = J_unsat | J_sat of Witness.t | J_unknown
+
+type job_result = { n_slots : int; job_steps : int; verdict : job_outcome }
+
+let verify_parallel ~limits u (spec : Ta.Spec.t) =
+  let t0 = Unix.gettimeofday () in
+  let emitted = ref 0 in
+  let aborted = ref None in
+  let produce ~push =
+    Schema.enumerate u spec ~on_schema:(fun schema ->
+        if !emitted >= limits.max_schemas then begin
+          aborted :=
+            Some (budget_messages ~max_schemas_hit:true ~schemas:!emitted ~budget:0.0);
+          false
+        end
+        else
+          match limits.time_budget with
+          | Some budget when Unix.gettimeofday () -. t0 > budget ->
+            aborted :=
+              Some (budget_messages ~max_schemas_hit:false ~schemas:!emitted ~budget);
+            false
+          | _ ->
+            if push schema then begin
+              incr emitted;
+              true
+            end
+            else false)
+  in
+  let work ~worker:_ _index schema =
+    let steps = ref 0 in
+    let encoded = Encode.encode u spec schema in
+    let verdict =
+      match solve_schema ~steps ~limits encoded with
+      | `Unsat -> J_unsat
+      | `Sat model -> J_sat (Witness.of_model u spec schema encoded model)
+      | `Unknown -> J_unknown
+    in
+    { n_slots = encoded.n_slots; job_steps = !steps; verdict }
+  in
+  let is_stop r = match r.verdict with J_unsat -> false | J_sat _ | J_unknown -> true in
+  let c = Pool.run ~jobs:limits.jobs ~produce ~work ~is_stop () in
+  (* Restrict to the jobs a sequential run would have executed: indices
+     up to (and including) the first stop. *)
+  let cut = match c.Pool.first_stop with Some i -> i | None -> max_int in
+  let counted = List.filter (fun (i, _, _) -> i <= cut) c.Pool.results in
+  let schemas_checked = match c.Pool.first_stop with Some i -> i + 1 | None -> !emitted in
+  let slots_total = List.fold_left (fun acc (_, _, r) -> acc + r.n_slots) 0 counted in
+  let solver_steps = List.fold_left (fun acc (_, _, r) -> acc + r.job_steps) 0 counted in
+  let workers =
+    List.init limits.jobs (fun wid ->
+        (* Utilisation is reported over everything a worker actually ran,
+           including work an earlier stop later made irrelevant. *)
+        let mine =
+          List.filter_map
+            (fun (_, w, r) -> if w = wid then Some r else None)
+            c.Pool.results
+        in
+        {
+          worker_id = wid;
+          schemas = List.length mine;
+          slots = List.fold_left (fun acc r -> acc + r.n_slots) 0 mine;
+          solver_steps = List.fold_left (fun acc r -> acc + r.job_steps) 0 mine;
+          busy_time = c.Pool.busy.(wid);
+        })
+  in
+  let outcome =
+    match c.Pool.first_stop with
+    | Some i -> (
+      match List.find (fun (j, _, _) -> j = i) counted with
+      | _, _, { verdict = J_sat w; _ } -> Violated w
+      | _, _, { verdict = J_unknown; _ } -> Aborted unknown_message
+      | _, _, { verdict = J_unsat; _ } -> assert false)
+    | None -> (
+      match (!aborted, c.Pool.completed) with
+      | Some reason, _ -> Aborted reason
+      | None, true -> Holds
+      | None, false -> Aborted "enumeration stopped unexpectedly")
+  in
+  let stats =
+    {
+      schemas_checked;
+      slots_total;
+      solver_steps;
+      time = Unix.gettimeofday () -. t0;
+      jobs = limits.jobs;
+      workers;
+    }
+  in
+  { spec; outcome; stats }
+
+let verify_with_universe ?(limits = default_limits) u (spec : Ta.Spec.t) =
+  let ta = Universe.automaton u in
+  precheck ta spec;
+  if limits.jobs <= 1 then verify_sequential ~limits u spec
+  else verify_parallel ~limits u spec
 
 let verify ?limits ta spec = verify_with_universe ?limits (Universe.build ta) spec
 
@@ -133,3 +288,12 @@ let pp_result fmt r =
   | Aborted reason ->
     Format.fprintf fmt "%-12s aborted: %s (%d schemas, %.2f s)" r.spec.name reason
       r.stats.schemas_checked r.stats.time
+
+let pp_worker_stats fmt r =
+  Format.fprintf fmt "@[<v>";
+  List.iter
+    (fun w ->
+      Format.fprintf fmt "worker %d: %d schemas, %d slots, %d solver steps, %.2f s busy@,"
+        w.worker_id w.schemas w.slots w.solver_steps w.busy_time)
+    r.stats.workers;
+  Format.fprintf fmt "@]"

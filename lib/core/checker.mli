@@ -8,12 +8,22 @@
     by {!precheck}: monotone guards (guaranteed by the {!Ta.Guard}
     constructors), DAG-shaped locations, and — for liveness — an
     absorbing violation target.  All three automata of the paper
-    qualify. *)
+    qualify.
+
+    With [limits.jobs > 1] the schema queries are discharged on that
+    many OCaml 5 worker domains ({!Pool}) while the enumeration runs as
+    a producer.  The first satisfiable/unknown schema {e in enumeration
+    order} still decides the result, so outcomes, witnesses and schema
+    counts are bit-identical to the sequential engine ([jobs = 1]); only
+    wall-clock time and the per-worker utilisation split differ.  (The
+    one necessarily racy case: a [time_budget] abort may land on a
+    different schema count — true of two sequential runs as well.) *)
 
 type limits = {
   max_schemas : int;  (** abort the enumeration beyond this many schemas *)
   time_budget : float option;  (** wall-clock seconds; [None] = unlimited *)
   lia_max_steps : int;  (** branch-and-bound budget per query *)
+  jobs : int;  (** worker domains; [1] = the sequential reference engine *)
 }
 
 val default_limits : limits
@@ -23,10 +33,25 @@ type outcome =
   | Violated of Witness.t
   | Aborted of string  (** budget exhausted (the paper's ">24h" rows) *)
 
+(** Per-worker utilisation.  Unlike the totals in {!stats}, these count
+    everything a worker actually executed — including schemas an earlier
+    stop later made irrelevant — so they reflect machine usage, not the
+    deterministic verification transcript. *)
+type worker_stat = {
+  worker_id : int;
+  schemas : int;
+  slots : int;
+  solver_steps : int;  (** simplex calls (branch-and-bound nodes) *)
+  busy_time : float;  (** wall-clock seconds encoding + solving *)
+}
+
 type stats = {
   schemas_checked : int;
   slots_total : int;  (** sum of schema lengths (rule slots) *)
+  solver_steps : int;  (** total simplex calls over the counted schemas *)
   time : float;  (** wall-clock seconds *)
+  jobs : int;  (** worker domains used *)
+  workers : worker_stat list;  (** one entry per worker (singleton when sequential) *)
 }
 
 type result = { spec : Ta.Spec.t; outcome : outcome; stats : stats }
@@ -43,3 +68,6 @@ val verify : ?limits:limits -> Ta.Automaton.t -> Ta.Spec.t -> result
 val verify_with_universe : ?limits:limits -> Universe.t -> Ta.Spec.t -> result
 
 val pp_result : Format.formatter -> result -> unit
+
+(** One line per worker: schemas, slots, solver steps, busy seconds. *)
+val pp_worker_stats : Format.formatter -> result -> unit

@@ -1,0 +1,131 @@
+type 'r completion = {
+  results : (int * int * 'r) list;
+  completed : bool;
+  first_stop : int option;
+  busy : float array;
+}
+
+(* All coordination state lives behind one mutex; [not_empty] wakes
+   workers waiting for jobs, [not_full] wakes the producer waiting for
+   queue space (or for the early-stop signal). *)
+type 'a state = {
+  mutex : Mutex.t;
+  not_empty : Condition.t;
+  not_full : Condition.t;
+  queue : (int * 'a) Queue.t;
+  capacity : int;
+  mutable next_index : int;  (* index the producer will assign next *)
+  mutable closed : bool;  (* the producer is done pushing *)
+  mutable stop_at : int;  (* lowest stopping index so far; max_int = none *)
+  mutable failure : exn option;  (* first worker exception, re-raised after the join *)
+}
+
+let run (type a r) ~jobs ?capacity ~(produce : push:(a -> bool) -> bool)
+    ~(work : worker:int -> int -> a -> r) ~(is_stop : r -> bool) () : r completion =
+  if jobs < 1 then invalid_arg "Pool.run: jobs must be >= 1";
+  let capacity =
+    match capacity with Some c -> max 1 c | None -> max 32 (4 * jobs)
+  in
+  let st =
+    {
+      mutex = Mutex.create ();
+      not_empty = Condition.create ();
+      not_full = Condition.create ();
+      queue = Queue.create ();
+      capacity;
+      next_index = 0;
+      closed = false;
+      stop_at = max_int;
+      failure = None;
+    }
+  in
+  (* Each slot is written by exactly one worker and read after the join:
+     no locking needed. *)
+  let results = Array.make jobs [] in
+  let busy = Array.make jobs 0.0 in
+  let worker wid =
+    let rec loop () =
+      Mutex.lock st.mutex;
+      while Queue.is_empty st.queue && not st.closed do
+        Condition.wait st.not_empty st.mutex
+      done;
+      if Queue.is_empty st.queue then Mutex.unlock st.mutex (* closed: exit *)
+      else begin
+        let i, item = Queue.pop st.queue in
+        Condition.signal st.not_full;
+        (* A job beyond an already-known stop can never influence the
+           outcome (the final stop index only decreases): skip it. *)
+        let relevant = i <= st.stop_at in
+        Mutex.unlock st.mutex;
+        if relevant then begin
+          let t0 = Unix.gettimeofday () in
+          match work ~worker:wid i item with
+          | r ->
+            busy.(wid) <- busy.(wid) +. (Unix.gettimeofday () -. t0);
+            results.(wid) <- (i, wid, r) :: results.(wid);
+            if is_stop r then begin
+              Mutex.lock st.mutex;
+              if i < st.stop_at then begin
+                st.stop_at <- i;
+                (* The producer may be blocked on a full queue. *)
+                Condition.broadcast st.not_full
+              end;
+              Mutex.unlock st.mutex
+            end
+          | exception e ->
+            (* Abort the whole run: cut the producer off, make every
+               remaining job irrelevant, and surface [e] after the join. *)
+            Mutex.lock st.mutex;
+            if st.failure = None then st.failure <- Some e;
+            st.stop_at <- -1;
+            Condition.broadcast st.not_full;
+            Mutex.unlock st.mutex
+        end;
+        loop ()
+      end
+    in
+    loop ()
+  in
+  let workers = Array.init jobs (fun wid -> Domain.spawn (fun () -> worker wid)) in
+  let push item =
+    Mutex.lock st.mutex;
+    while Queue.length st.queue >= st.capacity && st.stop_at >= st.next_index do
+      Condition.wait st.not_full st.mutex
+    done;
+    (* Every index after a stop is irrelevant: cut the producer off. *)
+    let accepted = st.stop_at >= st.next_index in
+    if accepted then begin
+      Queue.push (st.next_index, item) st.queue;
+      st.next_index <- st.next_index + 1;
+      Condition.signal st.not_empty
+    end;
+    Mutex.unlock st.mutex;
+    accepted
+  in
+  let completed =
+    match produce ~push with
+    | completed -> completed
+    | exception e ->
+      (* Unblock and join the workers before re-raising, or the domains
+         leak and the process hangs on exit. *)
+      Mutex.lock st.mutex;
+      st.closed <- true;
+      Condition.broadcast st.not_empty;
+      Mutex.unlock st.mutex;
+      Array.iter Domain.join workers;
+      raise e
+  in
+  Mutex.lock st.mutex;
+  st.closed <- true;
+  Condition.broadcast st.not_empty;
+  Mutex.unlock st.mutex;
+  Array.iter Domain.join workers;
+  (match st.failure with Some e -> raise e | None -> ());
+  let all = Array.fold_left (fun acc l -> List.rev_append l acc) [] results in
+  let first_stop =
+    List.fold_left
+      (fun acc (i, _, r) ->
+        if is_stop r then Some (match acc with Some j -> min i j | None -> i) else acc)
+      None all
+  in
+  { results = all; completed; first_stop; busy }

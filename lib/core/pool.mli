@@ -1,0 +1,50 @@
+(** A deterministic work pool over OCaml 5 domains.
+
+    [run] drains an indexed stream of jobs produced by a single producer
+    through [jobs] worker domains.  The producer fills a bounded queue
+    (so enumeration never races far ahead of the solvers); workers pop
+    jobs, apply [work], and record results tagged with the job index.
+
+    Determinism contract: the pool tracks the {e lowest} index whose
+    result satisfies [is_stop] — exactly the job at which a sequential
+    left-to-right execution would have stopped.  Every job with a smaller
+    index is guaranteed to be executed; jobs with larger indices may or
+    may not run (their results are reported but must be ignored by
+    callers that want sequential semantics).  Once a stop is known, the
+    producer is cut off and workers skip now-irrelevant jobs, giving the
+    early-exit behaviour of the sequential loop.
+
+    [work] runs concurrently on several domains: it must not touch
+    shared mutable state. *)
+
+type 'r completion = {
+  results : (int * int * 'r) list;
+      (** [(index, worker, result)] for every job that actually ran, in no
+          particular order.  For sequential semantics restrict to indices
+          [<= first_stop]. *)
+  completed : bool;
+      (** the producer ran to the natural end of its stream (it was not
+          cut off by an early stop) *)
+  first_stop : int option;
+      (** lowest job index whose result satisfies [is_stop], if any *)
+  busy : float array;
+      (** per-worker wall-clock seconds spent inside [work] *)
+}
+
+(** [run ~jobs ~produce ~work ~is_stop ()] spawns [jobs] worker domains,
+    then runs [produce ~push] on the calling domain.  [produce] must call
+    [push] once per job, in order, and stop as soon as [push] returns
+    [false] (the pool found an earlier stop and further jobs are
+    irrelevant); it returns whether its stream ended naturally.  [push]
+    blocks while the queue is full ([capacity], default
+    [max 32 (4 * jobs)]).
+
+    @raise Invalid_argument when [jobs < 1]. *)
+val run :
+  jobs:int ->
+  ?capacity:int ->
+  produce:(push:('a -> bool) -> bool) ->
+  work:(worker:int -> int -> 'a -> 'r) ->
+  is_stop:('r -> bool) ->
+  unit ->
+  'r completion

@@ -18,6 +18,8 @@ type t = {
   (* rules that increment a variable of the guard. *)
   producers : A.rule list array;
   topo_rules : A.rule list;
+  (* canonical atom key -> guard id; see [atom_key] *)
+  atom_index : ((string * int) list * (string * int) list * int, int) Hashtbl.t;
   rule_guard_ids : (string, int) Hashtbl.t;  (* rule name -> guard bitmask *)
   (* For each justice atom: guard ids it implies, guard ids implying it. *)
   justice_implies : (G.atom * int list * int list) list;
@@ -65,11 +67,27 @@ let unsat atoms =
   | Smt.Lia.Sat _ -> false
   | Smt.Lia.Unknown -> false (* conservative: assume satisfiable *)
 
+(* Structural key under which two atoms collide iff [G.atom_equal]: the
+   shared side is sorted by construction, the bound's coefficient list is
+   not ([Pexpr.compare] sorts on the fly), so sort it here. *)
+let atom_key (a : G.atom) =
+  (a.shared, List.sort Stdlib.compare a.bound.Ta.Pexpr.coeffs, a.bound.Ta.Pexpr.const)
+
+(* Contexts are bitmasks over guard ids in a 63-bit OCaml int; id 62
+   would shift into the sign bit. *)
+let max_guard_atoms = 62
+
 (* ------------------------------------------------------------------- *)
 
 let build ?(use_implication_order = true) ?(use_producibility = true) (ta : A.t) =
   let atoms = Array.of_list (A.unique_guard_atoms ta) in
   let n = Array.length atoms in
+  if n > max_guard_atoms then
+    invalid_arg
+      (Printf.sprintf
+         "Universe.build: automaton %s has %d guard atoms, but contexts are bitmasks in a \
+          63-bit integer supporting at most %d"
+         ta.name n max_guard_atoms);
   let intern = var_env ta in
   let base = base_atoms ta intern in
   let precede =
@@ -92,10 +110,9 @@ let build ?(use_implication_order = true) ?(use_producibility = true) (ta : A.t)
           (fun (r : A.rule) -> List.exists (fun (x, c) -> c > 0 && List.mem x vars) r.update)
           ta.rules)
   in
-  let guard_index a =
-    let rec go i = if G.atom_equal atoms.(i) a then i else go (i + 1) in
-    go 0
-  in
+  let atom_index = Hashtbl.create (2 * n) in
+  Array.iteri (fun i a -> Hashtbl.replace atom_index (atom_key a) i) atoms;
+  let guard_index a = Hashtbl.find atom_index (atom_key a) in
   let rule_guard_ids = Hashtbl.create 16 in
   List.iter
     (fun (r : A.rule) ->
@@ -126,6 +143,7 @@ let build ?(use_implication_order = true) ?(use_producibility = true) (ta : A.t)
     needs_producer;
     producers;
     topo_rules = A.topological_rule_order ta;
+    atom_index;
     rule_guard_ids;
     justice_implies;
   }
@@ -138,13 +156,9 @@ let ids u = List.init (size u) Fun.id
 let guard_ids u (g : G.t) =
   List.map
     (fun a ->
-      let rec go i =
-        if i >= Array.length u.atoms then
-          invalid_arg "Universe.guard_ids: atom not in universe"
-        else if G.atom_equal u.atoms.(i) a then i
-        else go (i + 1)
-      in
-      go 0)
+      match Hashtbl.find_opt u.atom_index (atom_key a) with
+      | Some i -> i
+      | None -> invalid_arg "Universe.guard_ids: atom not in universe")
     g
 
 let must_precede u g h = u.precede.(h).(g)

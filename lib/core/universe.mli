@@ -16,7 +16,11 @@ type t
 (** [build ta] computes the universe; runs one small LIA query per pair
     of guards.  The two pruning relations can be disabled individually
     for ablation studies (both remain sound to disable: they only shrink
-    the enumeration). *)
+    the enumeration).
+    @raise Invalid_argument when the automaton has more than 62 unique
+    guard atoms: enumeration contexts are bitmasks in a 63-bit OCaml
+    integer, and one more atom would silently overflow into the sign
+    bit. *)
 val build :
   ?use_implication_order:bool -> ?use_producibility:bool -> Ta.Automaton.t -> t
 

@@ -51,20 +51,22 @@ let paper_time ~naive spec_name =
   if naive then ">24h"
   else match List.assoc_opt spec_name paper_times with Some t -> t | None -> "-"
 
-let bv_rows () =
+let bv_rows ?(jobs = 1) () =
   let ta = Models.Bv_ta.automaton in
   let u = Holistic.Universe.build ta in
+  let limits = { Holistic.Checker.default_limits with jobs } in
   List.map
     (fun spec ->
-      let r = Holistic.Checker.verify_with_universe u spec in
+      let r = Holistic.Checker.verify_with_universe ~limits u spec in
       row_of_result ~ta_label:"bv-broadcast (Fig 2)" ~size:(size_string ta)
         ~paper:(paper_time ~naive:false spec.Ta.Spec.name) r)
     Models.Bv_ta.table2_specs
 
-let naive_rows ~budget =
+let naive_rows ?(jobs = 1) ~budget () =
   let ta = Models.Naive_ta.automaton in
   let limits =
-    { Holistic.Checker.default_limits with max_schemas = 100_000; time_budget = Some budget }
+    { Holistic.Checker.default_limits with max_schemas = 100_000; time_budget = Some budget;
+      jobs }
   in
   List.map
     (fun spec ->
@@ -73,20 +75,21 @@ let naive_rows ~budget =
         ~paper:(paper_time ~naive:true spec.Ta.Spec.name) r)
     Models.Naive_ta.table2_specs
 
-let simplified_rows ?(specs = Models.Simplified_ta.table2_specs) () =
+let simplified_rows ?(jobs = 1) ?(specs = Models.Simplified_ta.table2_specs) () =
   let ta = Models.Simplified_ta.automaton in
   let u = Holistic.Universe.build ta in
+  let limits = { Holistic.Checker.default_limits with jobs } in
   List.map
     (fun spec ->
-      let r = Holistic.Checker.verify_with_universe u spec in
+      let r = Holistic.Checker.verify_with_universe ~limits u spec in
       row_of_result ~ta_label:"simplified (Fig 4)" ~size:(size_string ta)
         ~paper:(paper_time ~naive:false spec.Ta.Spec.name) r)
     specs
 
-let table2 ~quick ~naive_budget () =
-  bv_rows ()
-  @ naive_rows ~budget:naive_budget
-  @ simplified_rows
+let table2 ?(jobs = 1) ~quick ~naive_budget () =
+  bv_rows ~jobs ()
+  @ naive_rows ~jobs ~budget:naive_budget ()
+  @ simplified_rows ~jobs
       ?specs:(if quick then Some [ Models.Simplified_ta.inv2_0; Models.Simplified_ta.good_0 ] else None)
       ()
 

@@ -20,19 +20,23 @@ val row_of_result :
 
 val size_string : Ta.Automaton.t -> string
 
-(** [bv_rows ()] — the four bv-broadcast rows (fast). *)
-val bv_rows : unit -> row list
+(** [jobs] (default 1) is the number of worker domains discharging the
+    schema queries; every row is identical for any value — only the
+    wall-clock column changes (see {!Holistic.Checker}). *)
 
-(** [naive_rows ~budget] — the three naive-consensus rows, each aborted
-    after [budget] seconds (the paper's ">24h" analogue). *)
-val naive_rows : budget:float -> row list
+(** [bv_rows ()] — the four bv-broadcast rows (fast). *)
+val bv_rows : ?jobs:int -> unit -> row list
+
+(** [naive_rows ~budget ()] — the three naive-consensus rows, each
+    aborted after [budget] seconds (the paper's ">24h" analogue). *)
+val naive_rows : ?jobs:int -> budget:float -> unit -> row list
 
 (** [simplified_rows ?specs ()] — the simplified-consensus rows
     (defaults to the five properties of Table 2; ~70 s total). *)
-val simplified_rows : ?specs:Ta.Spec.t list -> unit -> row list
+val simplified_rows : ?jobs:int -> ?specs:Ta.Spec.t list -> unit -> row list
 
 (** [table2 ~quick ~naive_budget ()] — all rows. *)
-val table2 : quick:bool -> naive_budget:float -> unit -> row list
+val table2 : ?jobs:int -> quick:bool -> naive_budget:float -> unit -> row list
 
 val print_text : out_channel -> row list -> unit
 val to_markdown : row list -> string

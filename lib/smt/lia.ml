@@ -86,15 +86,19 @@ let preprocess atoms =
 
 let fractional q = not (Q.is_integer q)
 
-let solve ?(max_steps = 20_000) atoms =
+let solve ?steps ?(max_steps = 20_000) atoms =
+  let budget = ref max_steps in
+  let finish result =
+    (match steps with Some r -> r := !r + (max_steps - !budget) | None -> ());
+    result
+  in
   match
     let atoms = List.map normalize atoms in
     let all_vars = List.concat_map Atom.vars atoms |> List.sort_uniq compare in
     let reduced, bindings = preprocess atoms in
-    let steps = ref max_steps in
     let rec branch atoms depth =
-      if !steps <= 0 || depth > 600 then raise Budget;
-      decr steps;
+      if !budget <= 0 || depth > 600 then raise Budget;
+      decr budget;
       match Simplex.solve atoms with
       | Simplex.Unsat -> None
       | Simplex.Sat model -> (
@@ -128,9 +132,9 @@ let solve ?(max_steps = 20_000) atoms =
         (List.rev bindings);
       Sat (List.map (fun v -> (v, Q.to_bigint (lookup v))) all_vars)
   with
-  | result -> result
-  | exception Infeasible -> Unsat
-  | exception Budget -> Unknown
+  | result -> finish result
+  | exception Infeasible -> finish Unsat
+  | exception Budget -> finish Unknown
 
 let check_model atoms model =
   let assign v =

@@ -12,10 +12,12 @@ type result =
   | Unsat
   | Unknown  (** branch-and-bound budget exhausted *)
 
-(** [solve ?max_steps atoms] decides the conjunction of [atoms] over the
-    integers.  [max_steps] bounds the number of simplex calls
-    (default 20000). *)
-val solve : ?max_steps:int -> Atom.t list -> result
+(** [solve ?steps ?max_steps atoms] decides the conjunction of [atoms]
+    over the integers.  [max_steps] bounds the number of simplex calls
+    (default 20000); when [steps] is given, the number of simplex calls
+    actually performed is added to it (a cheap effort counter for
+    utilisation reporting). *)
+val solve : ?steps:int ref -> ?max_steps:int -> Atom.t list -> result
 
 (** [check_model atoms model] re-evaluates all atoms under an integral
     model; used for internal sanity checking and by tests. *)

@@ -78,6 +78,41 @@ let test_universe_precedence_bv () =
   Alcotest.(check bool) "strong does not precede weak" false
     (Holistic.Universe.must_precede u strong weak)
 
+let test_universe_too_many_guards () =
+  (* Contexts are bitmasks in a 63-bit int: a 63rd guard atom would shift
+     into the sign bit, so [build] must refuse it loudly. *)
+  let wide n =
+    A.make ~name:"wide" ~params:[ "n" ] ~shared:[ "x" ] ~locations:[ "A"; "B" ]
+      ~initial:[ "A" ]
+      ~resilience:[ P.of_terms [ ("n", 1) ] (-1) ]
+      ~population:(P.param "n")
+      ~rules:
+        (List.init n (fun i ->
+             A.rule
+               (Printf.sprintf "t%d" i)
+               ~source:"A" ~target:"B"
+               ~guard:(G.ge1 "x" (P.const (i + 1)))))
+      ()
+  in
+  Alcotest.(check bool) "63 guard atoms rejected" true
+    (try
+       ignore (Holistic.Universe.build (wide 63));
+       false
+     with Invalid_argument msg ->
+       Alcotest.(check bool) "message names the overflow" true
+         (String.length msg > 0
+         && Option.is_some
+              (String.index_opt msg '6') (* mentions the 62-atom limit *));
+       true)
+
+let test_guard_ids_unknown_atom () =
+  let u = Holistic.Universe.build toy in
+  Alcotest.(check bool) "foreign atom rejected" true
+    (try
+       ignore (Holistic.Universe.guard_ids u (G.ge1 "x" (P.const 99)));
+       false
+     with Invalid_argument _ -> true)
+
 let test_schema_count_toy () =
   let spec =
     S.invariant ~name:"reach-C" ~ltl:"<>(k[C] != 0)"
@@ -459,6 +494,10 @@ let () =
           Alcotest.test_case "toy universe" `Quick test_universe_toy;
           Alcotest.test_case "producibility pruning" `Quick test_universe_producibility;
           Alcotest.test_case "bv threshold precedence" `Quick test_universe_precedence_bv;
+          Alcotest.test_case "guard-atom bitmask overflow rejected" `Quick
+            test_universe_too_many_guards;
+          Alcotest.test_case "guard_ids rejects foreign atoms" `Quick
+            test_guard_ids_unknown_atom;
         ] );
       ( "schema",
         [

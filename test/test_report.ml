@@ -10,7 +10,15 @@ let fake_result outcome : Holistic.Checker.result =
         ~bad:[ ("x", Ta.Cond.some_nonempty [ "V0" ]) ]
         ();
     outcome;
-    stats = { schemas_checked = 10; slots_total = 120; time = 1.25 };
+    stats =
+      {
+        schemas_checked = 10;
+        slots_total = 120;
+        solver_steps = 0;
+        time = 1.25;
+        jobs = 1;
+        workers = [];
+      };
   }
 
 let test_row_of_result () =

@@ -1,0 +1,87 @@
+(* Regression pinning of the reproduced Table 2 shape: the exact number
+   of schemas and the exact slot total (hence the reported average
+   schema length) per (threshold automaton, property), for the two
+   automata the paper verifies to completion.  A change to the guard
+   universe, the pruning relations, the enumeration order or the
+   encoding that alters the table now fails here instead of silently
+   rewriting the reproduced numbers.
+
+   Only enumeration + encoding run (no LIA solving), so the whole suite
+   costs seconds.  To regenerate the golden values after an intentional
+   change:
+
+     SHAPE_DUMP=1 dune exec test/test_table2_shape.exe *)
+
+module S = Ta.Spec
+
+let shape u spec =
+  let schemas = ref 0 in
+  let slots = ref 0 in
+  let complete =
+    Holistic.Schema.enumerate u spec ~on_schema:(fun schema ->
+        incr schemas;
+        slots := !slots + (Holistic.Encode.encode u spec schema).Holistic.Encode.n_slots;
+        true)
+  in
+  Alcotest.(check bool) (spec.S.name ^ ": enumeration complete") true complete;
+  (!schemas, !slots)
+
+(* Golden values; the displayed table average is slots / schemas. *)
+let expected_bv =
+  [
+    ("BV-Just0", (19, 318));
+    ("BV-Obl0", (19, 318));
+    ("BV-Unif0", (19, 318));
+    ("BV-Term", (19, 318));
+  ]
+
+let expected_simplified =
+  [
+    ("Inv1_0", (2116, 236190));
+    ("Inv2_0", (2116, 236190));
+    ("SRound-Term", (2116, 236190));
+    ("Good_0", (2116, 194108));
+    ("Dec_0", (2116, 236190));
+  ]
+
+let check_table ta specs expected () =
+  let u = Holistic.Universe.build ta in
+  if Sys.getenv_opt "SHAPE_DUMP" <> None then
+    List.iter
+      (fun (spec : S.t) ->
+        let schemas, slots = shape u spec in
+        Printf.printf "    (%S, (%d, %d));\n%!" spec.name schemas slots)
+      specs
+  else
+    List.iter
+      (fun (spec : S.t) ->
+        let schemas, slots = shape u spec in
+        let want_schemas, want_slots = List.assoc spec.name expected in
+        Alcotest.(check int) (spec.name ^ ": #schemas") want_schemas schemas;
+        Alcotest.(check int) (spec.name ^ ": slot total") want_slots slots)
+      specs
+
+(* The paper's qualitative contrast: the naive TA's enumeration must
+   still dwarf the simplified TA's by more than an order of magnitude.
+   Pinning its exact count would make every pruning improvement a
+   failure here, so only the blow-up ratio is asserted. *)
+let test_naive_blowup () =
+  let u = Holistic.Universe.build Models.Naive_ta.automaton in
+  match Holistic.Schema.count u Models.Naive_ta.inv1_0 ~limit:(10 * 2116) with
+  | `More_than _ -> ()
+  | `Exactly n ->
+    Alcotest.failf "naive enumeration no longer explodes (only %d schemas)" n
+
+let () =
+  Alcotest.run "table2-shape"
+    [
+      ( "rows",
+        [
+          Alcotest.test_case "bv-broadcast schema counts and lengths" `Quick
+            (check_table Models.Bv_ta.automaton Models.Bv_ta.table2_specs expected_bv);
+          Alcotest.test_case "simplified schema counts and lengths" `Quick
+            (check_table Models.Simplified_ta.automaton Models.Simplified_ta.table2_specs
+               expected_simplified);
+          Alcotest.test_case "naive enumeration still explodes" `Quick test_naive_blowup;
+        ] );
+    ]
