@@ -14,9 +14,11 @@
       condition n > 2t, with generation time (paper: ~4 s).
    3. Bechamel micro-benchmarks of the components (ablations).
 
-   Usage: dune exec bench/main.exe [-- --quick] [-- --naive-budget S] [-- --jobs N] *)
+   Usage: dune exec bench/main.exe [-- --quick] [-- --naive-budget S] [-- --jobs N]
+          [-- --slice] *)
 
 let quick = Array.exists (( = ) "--quick") Sys.argv
+let slice = Array.exists (( = ) "--slice") Sys.argv
 
 let flag_value name =
   let rec find i =
@@ -53,7 +55,7 @@ let table2 () =
   print_endline "== Table 2: parameterized verification of the blockchain consensus ==";
   print_endline "   (every property is checked for all n > 3t, t >= f >= 0)";
   print_newline ();
-  let rows = Report.table2 ~jobs ~quick ~naive_budget () in
+  let rows = Report.table2 ~jobs ~slice ~quick ~naive_budget () in
   Report.print_text stdout rows;
   print_newline ();
   (* Also emit machine-readable copies next to the build tree. *)
@@ -224,10 +226,11 @@ let ablation () =
 let () =
   Printf.printf
     "Reproduction of 'Holistic Verification of Blockchain Consensus' (DISC 2022)\n";
-  Printf.printf "mode: %s; naive-TA budget: %.0fs; jobs: %d (of %d recommended)\n\n"
+  Printf.printf "mode: %s; naive-TA budget: %.0fs; jobs: %d (of %d recommended)%s\n\n"
     (if quick then "quick" else "full")
     naive_budget jobs
-    (Domain.recommended_domain_count ());
+    (Domain.recommended_domain_count ())
+    (if slice then "; slicing enabled" else "");
   table2 ();
   counterexample ();
   speedup ();

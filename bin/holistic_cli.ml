@@ -60,6 +60,39 @@ let find_specs model spec_name =
         (Printf.sprintf "unknown property %S; available: %s" n
            (String.concat ", " (List.map (fun (s : Ta.Spec.t) -> s.name) all))))
 
+(* The resilience condition under which a model's justice constraints
+   were proven: the simplified TA imports bv-broadcast properties
+   established for n > 3t (Appendix F), so linting it under a weaker
+   resilience condition must fail (Analysis TA015).  Models without
+   justice constraints ignore this. *)
+let justice_assumption_of = function
+  | Simplified -> Models.Params.resilience
+  | Bv | Naive | BenOr -> []
+
+let lint_diagnostics ?broken model =
+  let ta = automaton_of ?broken model in
+  (ta, Analysis.run ~assume:(justice_assumption_of model) ~specs:(specs_of model) ta)
+
+(* Exit code of `lint`, and the gate for verify/table2: refuse
+   error-level models unless --force. *)
+let severity_code = function
+  | Some Analysis.Error -> 2
+  | Some Analysis.Warning -> 1
+  | Some Analysis.Info | None -> 0
+
+let gate ~force ?broken model =
+  let ta, diags = lint_diagnostics ?broken model in
+  match Analysis.errors diags with
+  | [] -> ()
+  | errs when force ->
+    List.iter (fun d -> Format.eprintf "%s: %a (ignored: --force)@." ta.Ta.Automaton.name Analysis.pp d) errs
+  | errs ->
+    List.iter (fun d -> Format.eprintf "%s: %a@." ta.Ta.Automaton.name Analysis.pp d) errs;
+    Format.eprintf
+      "%s: rejected by lint (%d error(s)); rerun with --force to verify anyway@."
+      ta.Ta.Automaton.name (List.length errs);
+    exit 2
+
 (* --- info ---------------------------------------------------------- *)
 
 let info_cmd =
@@ -103,8 +136,24 @@ let verify_cmd =
     Arg.(value & flag & info [ "worker-stats" ]
            ~doc:"Print per-worker utilisation after each property.")
   in
-  let run model spec_name broken max_schemas budget jobs worker_stats =
+  let slice =
+    Arg.(value & flag & info [ "slice" ]
+           ~doc:"Slice the automaton (drop dead rules and unreachable locations) before \
+                 building the schema universe; outcomes and witnesses are unchanged.")
+  in
+  let force =
+    Arg.(value & flag & info [ "force" ]
+           ~doc:"Verify even when the static analyzer reports error-level diagnostics.")
+  in
+  let run model spec_name broken max_schemas budget jobs worker_stats slice force =
+    gate ~force ~broken model;
     let ta = automaton_of ~broken model in
+    let specs = find_specs model spec_name in
+    let ta =
+      if slice then
+        fst (Analysis.slice ~keep:(List.concat_map Analysis.spec_locations specs) ta)
+      else ta
+    in
     let limits =
       { Holistic.Checker.default_limits with max_schemas; time_budget = budget; jobs }
     in
@@ -114,14 +163,14 @@ let verify_cmd =
         let r = Holistic.Checker.verify_with_universe ~limits u spec in
         Format.printf "%a@." Holistic.Checker.pp_result r;
         if worker_stats then Format.printf "%a@?" Holistic.Checker.pp_worker_stats r)
-      (find_specs model spec_name)
+      specs
   in
   Cmd.v
     (Cmd.info "verify"
        ~doc:"Verify properties for all parameters n > 3t, t >= f >= 0 (the paper's \
              parameterized model checking).")
     Term.(const run $ model_arg $ spec_arg $ broken $ max_schemas $ budget $ jobs
-          $ worker_stats)
+          $ worker_stats $ slice $ force)
 
 (* --- explicit ------------------------------------------------------ *)
 
@@ -255,8 +304,18 @@ let table2_cmd =
              ~doc:"Worker domains discharging schema queries (the rows are identical for \
                    any N; only wall-clock changes).")
   in
-  let run quick budget format jobs =
-    let rows = Report.table2 ~jobs ~quick ~naive_budget:budget () in
+  let slice =
+    Arg.(value & flag & info [ "slice" ]
+           ~doc:"Slice the automata before building the schema universes (rows are \
+                 unchanged; universes may shrink).")
+  in
+  let force =
+    Arg.(value & flag & info [ "force" ]
+           ~doc:"Run even when the static analyzer reports error-level diagnostics.")
+  in
+  let run quick budget format jobs slice force =
+    List.iter (gate ~force) [ Bv; Naive; Simplified ];
+    let rows = Report.table2 ~jobs ~slice ~quick ~naive_budget:budget () in
     match format with
     | "text" -> Report.print_text stdout rows
     | "markdown" | "md" -> print_string (Report.to_markdown rows)
@@ -265,9 +324,54 @@ let table2_cmd =
   in
   Cmd.v
     (Cmd.info "table2" ~doc:"Regenerate the paper's Table 2 (also see bench/main.exe).")
-    Term.(const run $ quick $ budget $ format $ jobs)
+    Term.(const run $ quick $ budget $ format $ jobs $ slice $ force)
+
+(* --- lint ----------------------------------------------------------- *)
+
+let lint_cmd =
+  let model_opt =
+    Arg.(value & pos 0 (some model_conv) None & info [] ~docv:"MODEL"
+           ~doc:"Threshold automaton to lint: bv, naive, simplified or benor (default: \
+                 all four).")
+  in
+  let broken =
+    Arg.(value & flag & info [ "broken-resilience" ]
+           ~doc:"Lint the simplified model under the weakened resilience condition \
+                 n > 2t (its imported justice constraints then fail TA015).")
+  in
+  let json =
+    Arg.(value & flag & info [ "json" ] ~doc:"Emit one JSON object per automaton.")
+  in
+  let run model_opt broken json =
+    let models = match model_opt with Some m -> [ m ] | None -> [ Bv; Naive; Simplified; BenOr ] in
+    let code =
+      List.fold_left
+        (fun acc model ->
+          let ta, diags = lint_diagnostics ~broken model in
+          let name = ta.Ta.Automaton.name in
+          if json then print_endline (Analysis.to_json ~ta_name:name diags)
+          else begin
+            let count s = List.length (List.filter (fun (d : Analysis.diagnostic) -> d.severity = s) diags) in
+            Format.printf "%s: %d error(s), %d warning(s)%s@." name
+              (count Analysis.Error) (count Analysis.Warning)
+              (if diags = [] then " — clean" else "");
+            List.iter (fun d -> Format.printf "  %a@." Analysis.pp d) diags
+          end;
+          max acc (severity_code (Analysis.max_severity diags)))
+        0 models
+    in
+    exit code
+  in
+  Cmd.v
+    (Cmd.info "lint"
+       ~doc:"Statically analyze an automaton and its properties: soundness preconditions \
+             of the schema method, resilience satisfiability, dead rules, unreachable \
+             locations, unused shared variables.  Exit code is the maximum severity \
+             (0 = clean/info, 1 = warning, 2 = error).")
+    Term.(const run $ model_opt $ broken $ json)
 
 let () =
   let doc = "Holistic verification of the Red Belly blockchain consensus (reproduction)" in
   exit (Cmd.eval (Cmd.group (Cmd.info "holistic" ~doc)
-                    [ info_cmd; verify_cmd; explicit_cmd; dot_cmd; simulate_cmd; lemma7_cmd; table2_cmd ]))
+                    [ info_cmd; lint_cmd; verify_cmd; explicit_cmd; dot_cmd; simulate_cmd;
+                      lemma7_cmd; table2_cmd ]))

@@ -1,0 +1,691 @@
+module A = Ta.Automaton
+module G = Ta.Guard
+module P = Ta.Pexpr
+module B = Numbers.Bigint
+module L = Smt.Linexpr
+
+type severity = Info | Warning | Error
+
+type subject =
+  | Automaton
+  | Location of string
+  | Rule of string
+  | Shared_var of string
+  | Spec of string
+  | Justice of string
+
+type diagnostic = {
+  code : string;
+  severity : severity;
+  subject : subject;
+  message : string;
+  hint : string option;
+}
+
+let diag ?hint code severity subject message = { code; severity; subject; message; hint }
+
+let severity_to_string = function
+  | Info -> "info"
+  | Warning -> "warning"
+  | Error -> "error"
+
+let subject_to_string = function
+  | Automaton -> "automaton"
+  | Location l -> "location " ^ l
+  | Rule r -> "rule " ^ r
+  | Shared_var x -> "shared " ^ x
+  | Spec s -> "spec " ^ s
+  | Justice l -> "justice on " ^ l
+
+(* [Info < Warning < Error] by constructor order. *)
+let max_severity = function
+  | [] -> None
+  | diags -> Some (List.fold_left (fun acc d -> max acc d.severity) Info diags)
+
+let errors = List.filter (fun d -> d.severity = Error)
+
+let pp fmt d =
+  Format.fprintf fmt "%s %s (%s): %s" d.code (severity_to_string d.severity)
+    (subject_to_string d.subject) d.message;
+  match d.hint with
+  | Some h -> Format.fprintf fmt " [fix: %s]" h
+  | None -> ()
+
+(* --- JSON ----------------------------------------------------------- *)
+
+let json_escape s =
+  let buf = Buffer.create (String.length s + 8) in
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string buf "\\\""
+      | '\\' -> Buffer.add_string buf "\\\\"
+      | '\n' -> Buffer.add_string buf "\\n"
+      | '\t' -> Buffer.add_string buf "\\t"
+      | c when Char.code c < 0x20 -> Buffer.add_string buf (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char buf c)
+    s;
+  Buffer.contents buf
+
+let subject_json = function
+  | Automaton -> ("automaton", None)
+  | Location l -> ("location", Some l)
+  | Rule r -> ("rule", Some r)
+  | Shared_var x -> ("shared", Some x)
+  | Spec s -> ("spec", Some s)
+  | Justice l -> ("justice", Some l)
+
+let diagnostic_json d =
+  let kind, name = subject_json d.subject in
+  let fields =
+    [
+      Printf.sprintf "\"code\":\"%s\"" d.code;
+      Printf.sprintf "\"severity\":\"%s\"" (severity_to_string d.severity);
+      Printf.sprintf "\"subject\":\"%s\"" kind;
+    ]
+    @ (match name with
+      | Some n -> [ Printf.sprintf "\"name\":\"%s\"" (json_escape n) ]
+      | None -> [])
+    @ [ Printf.sprintf "\"message\":\"%s\"" (json_escape d.message) ]
+    @
+    match d.hint with
+    | Some h -> [ Printf.sprintf "\"hint\":\"%s\"" (json_escape h) ]
+    | None -> []
+  in
+  "{" ^ String.concat "," fields ^ "}"
+
+let to_json ~ta_name diags =
+  let count s = List.length (List.filter (fun d -> d.severity = s) diags) in
+  Printf.sprintf "{\"automaton\":\"%s\",\"errors\":%d,\"warnings\":%d,\"diagnostics\":[%s]}"
+    (json_escape ta_name) (count Error) (count Warning)
+    (String.concat "," (List.map diagnostic_json diags))
+
+(* --- LIA environment (mirrors Universe's encoding) ------------------ *)
+
+type env = {
+  intern : string -> int;
+  name_of : int -> string option;
+}
+
+let var_env (ta : A.t) =
+  let table = Hashtbl.create 16 in
+  let names = Hashtbl.create 16 in
+  let next = ref 0 in
+  let intern name =
+    match Hashtbl.find_opt table name with
+    | Some i -> i
+    | None ->
+      let i = !next in
+      incr next;
+      Hashtbl.replace table name i;
+      Hashtbl.replace names i name;
+      i
+  in
+  List.iter (fun p -> ignore (intern ("p:" ^ p))) ta.params;
+  List.iter (fun x -> ignore (intern ("s:" ^ x))) ta.shared;
+  { intern; name_of = Hashtbl.find_opt names }
+
+let pexpr_linexpr env (e : P.t) =
+  L.of_int_terms (List.map (fun (p, c) -> (c, env.intern ("p:" ^ p))) e.coeffs) e.const
+
+let guard_lhs env (a : G.atom) =
+  L.of_int_terms (List.map (fun (x, c) -> (c, env.intern ("s:" ^ x))) a.shared) 0
+
+let guard_true env (a : G.atom) =
+  Smt.Atom.ge (guard_lhs env a) (pexpr_linexpr env a.bound)
+
+(* Resilience plus non-negative parameters; [with_shared] adds the
+   non-negativity of the shared variables (needed when guards appear). *)
+let base_atoms ?(with_shared = false) env (ta : A.t) =
+  let nonneg name = Smt.Atom.ge (L.var (env.intern name)) L.zero in
+  List.map (fun e -> Smt.Atom.ge (pexpr_linexpr env e) L.zero) ta.resilience
+  @ List.map (fun p -> nonneg ("p:" ^ p)) ta.params
+  @ if with_shared then List.map (fun x -> nonneg ("s:" ^ x)) ta.shared else []
+
+let definitely_unsat atoms =
+  match Smt.Lia.solve atoms with
+  | Smt.Lia.Unsat -> true
+  | Smt.Lia.Sat _ | Smt.Lia.Unknown -> false (* conservative *)
+
+(* Render the parameter part of a model, e.g. "n=5, t=2, f=0". *)
+let model_params env model =
+  List.filter_map
+    (fun (v, b) ->
+      match env.name_of v with
+      | Some name when String.length name > 2 && String.sub name 0 2 = "p:" ->
+        Some (Printf.sprintf "%s=%s" (String.sub name 2 (String.length name - 2)) (B.to_string b))
+      | _ -> None)
+    model
+  |> String.concat ", "
+
+(* --- TA001/TA002/TA003: names, monotonicity, updates ---------------- *)
+
+let check_names (ta : A.t) =
+  let out = ref [] in
+  let emit d = out := d :: !out in
+  let dup what subject xs =
+    let sorted = List.sort Stdlib.compare xs in
+    let rec dups = function
+      | a :: b :: rest when a = b -> a :: dups (List.filter (( <> ) a) rest)
+      | _ :: rest -> dups rest
+      | [] -> []
+    in
+    List.iter
+      (fun d ->
+        emit
+          (diag "TA001" Error (subject d)
+             (Printf.sprintf "duplicate %s %S" what d)
+             ~hint:"rename one of the duplicates"))
+      (dups sorted)
+  in
+  dup "location" (fun l -> Location l) ta.locations;
+  dup "shared variable" (fun x -> Shared_var x) ta.shared;
+  dup "parameter" (fun _ -> Automaton) ta.params;
+  dup "rule name" (fun r -> Rule r) (List.map (fun (r : A.rule) -> r.name) ta.rules);
+  let known_loc l = List.mem l ta.locations in
+  let known_shared x = List.mem x ta.shared in
+  let known_param p = List.mem p ta.params in
+  List.iter
+    (fun l ->
+      if not (known_loc l) then
+        emit
+          (diag "TA001" Error (Location l)
+             (Printf.sprintf "unknown initial location %S" l)
+             ~hint:"add it to locations or fix the spelling"))
+    ta.initial;
+  let check_pexpr subject what (e : P.t) =
+    List.iter
+      (fun p ->
+        if not (known_param p) then
+          emit (diag "TA001" Error subject (Printf.sprintf "unknown parameter %S in %s" p what)))
+      (P.params e)
+  in
+  List.iter (check_pexpr Automaton "the resilience condition") ta.resilience;
+  check_pexpr Automaton "the population expression" ta.population;
+  let check_guard subject what (g : G.t) =
+    List.iter
+      (fun (a : G.atom) ->
+        List.iter
+          (fun (x, c) ->
+            if not (known_shared x) then
+              emit
+                (diag "TA001" Error subject
+                   (Printf.sprintf "unknown shared variable %S in %s" x what));
+            if c <= 0 then
+              emit
+                (diag "TA002" Error subject
+                   (Printf.sprintf
+                      "non-monotone guard in %s: coefficient %d for %s (threshold guards \
+                       must be monotone lower bounds)"
+                      what c x)
+                   ~hint:"threshold automata only support positive guard coefficients"))
+          a.shared;
+        check_pexpr subject ("the guard of " ^ what) a.bound)
+      g
+  in
+  List.iter
+    (fun (r : A.rule) ->
+      let subject = Rule r.name in
+      if not (known_loc r.source) then
+        emit (diag "TA001" Error subject (Printf.sprintf "unknown source location %S" r.source));
+      if not (known_loc r.target) then
+        emit (diag "TA001" Error subject (Printf.sprintf "unknown target location %S" r.target));
+      check_guard subject ("rule " ^ r.name) r.guard;
+      List.iter
+        (fun (x, c) ->
+          if not (known_shared x) then
+            emit
+              (diag "TA001" Error subject (Printf.sprintf "updates unknown shared variable %S" x));
+          if c < 0 then
+            emit
+              (diag "TA003" Error subject
+                 (Printf.sprintf "negative update %d to %s breaks monotonicity" c x)
+                 ~hint:"shared variables are message counters and may only grow"))
+        r.update)
+    ta.rules;
+  List.iter
+    (fun (j : A.justice) ->
+      if not (known_loc j.loc) then
+        emit
+          (diag "TA001" Error (Justice j.loc)
+             (Printf.sprintf "justice constraint on unknown location %S" j.loc));
+      check_guard (Justice j.loc) "a justice constraint" j.unless)
+    ta.justice;
+  List.iter
+    (fun (a, b) ->
+      List.iter
+        (fun l ->
+          if not (known_loc l) then
+            emit
+              (diag "TA001" Error (Location l)
+                 (Printf.sprintf "round switch references unknown location %S" l)))
+        [ a; b ])
+    ta.round_switch;
+  List.rev !out
+
+(* --- TA004: DAG shape ----------------------------------------------- *)
+
+let check_dag (ta : A.t) =
+  if A.is_dag ta then []
+  else
+    (* Rerun Kahn's algorithm to name the locations stuck on a cycle. *)
+    let indegree = Hashtbl.create 16 in
+    List.iter (fun l -> Hashtbl.replace indegree l 0) ta.locations;
+    List.iter
+      (fun (r : A.rule) ->
+        Hashtbl.replace indegree r.target (Hashtbl.find indegree r.target + 1))
+      ta.rules;
+    let queue = Queue.create () in
+    List.iter (fun l -> if Hashtbl.find indegree l = 0 then Queue.add l queue) ta.locations;
+    while not (Queue.is_empty queue) do
+      let l = Queue.pop queue in
+      List.iter
+        (fun (r : A.rule) ->
+          let d = Hashtbl.find indegree r.target - 1 in
+          Hashtbl.replace indegree r.target d;
+          if d = 0 then Queue.add r.target queue)
+        (A.rules_from ta l)
+    done;
+    let cyclic = List.filter (fun l -> Hashtbl.find indegree l > 0) ta.locations in
+    [
+      diag "TA004" Error Automaton
+        (Printf.sprintf "the location graph is not a DAG; locations on a cycle: %s"
+           (String.concat ", " cyclic))
+        ~hint:
+          "model repeated behaviour with the self_loops count or round_switch edges; the \
+           schema method needs acyclic locations";
+    ]
+
+(* --- TA010: guard-atom budget --------------------------------------- *)
+
+(* Contexts are bitmasks over guard ids in a 63-bit OCaml int (see
+   Universe.max_guard_atoms); warn within [headroom] atoms of the limit. *)
+let max_guard_atoms = 62
+let atom_headroom = 10
+
+let check_atom_budget (ta : A.t) =
+  let n = List.length (A.unique_guard_atoms ta) in
+  if n > max_guard_atoms then
+    [
+      diag "TA010" Error Automaton
+        (Printf.sprintf "%d unique guard atoms exceed the %d-atom context-bitmask limit" n
+           max_guard_atoms)
+        ~hint:"merge guards or split the automaton; Universe.build will refuse this model";
+    ]
+  else if n > max_guard_atoms - atom_headroom then
+    [
+      diag "TA010" Warning Automaton
+        (Printf.sprintf "%d unique guard atoms approach the %d-atom context-bitmask limit"
+           n max_guard_atoms);
+    ]
+  else []
+
+let check_structure (ta : A.t) =
+  let names = check_names ta in
+  let dag = if names = [] then check_dag ta else [] in
+  names @ dag @ check_atom_budget ta
+
+(* --- TA011..TA014: spec-level sanity -------------------------------- *)
+
+let cond_locations (c : Ta.Cond.t) =
+  List.concat_map
+    (fun (a : Ta.Cond.atom) ->
+      List.filter_map
+        (fun (term, _) -> match term with Ta.Cond.Counter l -> Some l | _ -> None)
+        a.terms)
+    c
+
+let spec_locations (s : Ta.Spec.t) =
+  s.never_enter @ cond_locations s.init
+  @ List.concat_map (fun (_, c) -> cond_locations c) s.observations
+  @ cond_locations s.final_cond
+  |> List.sort_uniq Stdlib.compare
+
+(* Locations whose joint emptiness the liveness target asserts (same
+   convention as the checker): positive-coefficient counter terms of the
+   final condition. *)
+let target_locations (spec : Ta.Spec.t) =
+  List.concat_map
+    (fun (a : Ta.Cond.atom) ->
+      List.filter_map
+        (fun (term, c) ->
+          match term with Ta.Cond.Counter l when c > 0 -> Some l | _ -> None)
+        a.terms)
+    spec.final_cond
+  |> List.sort_uniq Stdlib.compare
+
+let check_spec (ta : A.t) (spec : Ta.Spec.t) =
+  let out = ref [] in
+  let emit d = out := d :: !out in
+  let subject = Spec spec.name in
+  let check_cond what (c : Ta.Cond.t) =
+    List.iter
+      (fun (a : Ta.Cond.atom) ->
+        List.iter
+          (fun (term, _) ->
+            let bad kind name known =
+              if not known then
+                emit
+                  (diag "TA011" Error subject
+                     (Printf.sprintf "unknown %s %S in %s" kind name what)
+                     ~hint:"fix the spelling or add it to the automaton")
+            in
+            match term with
+            | Ta.Cond.Counter l -> bad "location" l (List.mem l ta.locations)
+            | Ta.Cond.Shared x -> bad "shared variable" x (List.mem x ta.shared)
+            | Ta.Cond.Param p -> bad "parameter" p (List.mem p ta.params))
+          a.terms)
+      c
+  in
+  check_cond "the initial condition" spec.init;
+  List.iter (fun (label, c) -> check_cond (Printf.sprintf "observation %S" label) c) spec.observations;
+  check_cond "the final condition" spec.final_cond;
+  List.iter
+    (fun l ->
+      if not (List.mem l ta.locations) then
+        emit
+          (diag "TA011" Error subject
+             (Printf.sprintf "never_enter references unknown location %S" l)))
+    spec.never_enter;
+  if spec.kind = `Safety && spec.observations = [] then
+    emit
+      (diag "TA012" Error subject "safety spec has no observations (nothing to refute)"
+         ~hint:"add at least one bad observation");
+  if spec.require_stable then begin
+    if spec.never_enter <> [] then
+      emit
+        (diag "TA013" Error subject
+           "liveness spec cannot use never_enter premises"
+           ~hint:"encode the premise as an observation instead");
+    let locs = target_locations spec in
+    if List.for_all (fun l -> List.mem l ta.locations) locs
+       && not (A.absorbing_when_empty ta locs)
+    then
+      emit
+        (diag "TA014" Error subject
+           (Printf.sprintf
+              "the liveness target {%s} is not absorbing: some rule re-enters it, so \
+               end-of-run evaluation would be unsound"
+              (String.concat ", " locs))
+           ~hint:"make the target locations sinks of the violation region")
+  end;
+  List.rev !out
+
+(* --- TA009: unused shared variables --------------------------------- *)
+
+let guard_vars (g : G.t) = List.concat_map (fun (a : G.atom) -> List.map fst a.shared) g
+
+let cond_shared (c : Ta.Cond.t) =
+  List.concat_map
+    (fun (a : Ta.Cond.atom) ->
+      List.filter_map
+        (fun (term, _) -> match term with Ta.Cond.Shared x -> Some x | _ -> None)
+        a.terms)
+    c
+
+let check_unused_shared (ta : A.t) specs =
+  let read =
+    List.concat_map (fun (r : A.rule) -> guard_vars r.guard) ta.rules
+    @ List.concat_map (fun (j : A.justice) -> guard_vars j.unless) ta.justice
+    @ List.concat_map
+        (fun (s : Ta.Spec.t) ->
+          cond_shared s.init
+          @ List.concat_map (fun (_, c) -> cond_shared c) s.observations
+          @ cond_shared s.final_cond)
+        specs
+  in
+  let written =
+    List.concat_map
+      (fun (r : A.rule) -> List.filter_map (fun (x, c) -> if c > 0 then Some x else None) r.update)
+      ta.rules
+  in
+  List.filter_map
+    (fun x ->
+      if List.mem x read then None
+      else if List.mem x written then
+        Some
+          (diag "TA009" Warning (Shared_var x)
+             "incremented but never read by any guard, justice constraint or spec"
+             ~hint:"drop the variable or the updates to it")
+      else
+        Some
+          (diag "TA009" Warning (Shared_var x) "never read or written"
+             ~hint:"drop the variable"))
+    ta.shared
+
+(* --- TA005/TA006: resilience satisfiability and population ---------- *)
+
+let resilience_unsat env (ta : A.t) =
+  definitely_unsat (base_atoms env ta)
+
+let ta005 (ta : A.t) =
+  diag "TA005" Error Automaton
+    (Printf.sprintf "the resilience condition %s admits no parameter valuation"
+       (String.concat " /\\ "
+          (List.map (fun e -> P.to_string e ^ " >= 0") ta.resilience)))
+    ~hint:"the checker would vacuously report every property as holding"
+
+let check_population env (ta : A.t) =
+  match
+    Smt.Lia.solve
+      (Smt.Atom.le (pexpr_linexpr env ta.population) (L.of_int (-1)) :: base_atoms env ta)
+  with
+  | Smt.Lia.Sat model ->
+    [
+      diag "TA006" Error Automaton
+        (Printf.sprintf "the population %s can be negative under the resilience condition \
+                         (e.g. %s)"
+           (P.to_string ta.population) (model_params env model))
+        ~hint:"strengthen the resilience condition or fix the population expression";
+    ]
+  | Smt.Lia.Unsat | Smt.Lia.Unknown -> []
+
+(* --- TA015: imported justice assumptions ---------------------------- *)
+
+let check_justice_assumptions env (ta : A.t) assume =
+  if ta.justice = [] then []
+  else
+    List.filter_map
+      (fun (e : P.t) ->
+        match
+          Smt.Lia.solve
+            (Smt.Atom.le (pexpr_linexpr env e) (L.of_int (-1)) :: base_atoms env ta)
+        with
+        | Smt.Lia.Sat model ->
+          Some
+            (diag "TA015" Error Automaton
+               (Printf.sprintf
+                  "the justice constraints were imported under the assumption %s >= 0, \
+                   which the resilience condition does not entail (e.g. %s)"
+                  (P.to_string e) (model_params env model))
+               ~hint:
+                 "re-verify the imported component under this resilience condition, or \
+                  strengthen it")
+        | Smt.Lia.Unsat | Smt.Lia.Unknown -> None)
+      assume
+
+(* --- dead rules and unreachable locations (TA007/TA008) ------------- *)
+
+type dead_reason =
+  | Unreachable_source
+  | Unsat_guard
+  | Unproducible of G.atom
+
+type live_info = {
+  live : A.rule list;  (** in original order *)
+  reach : (string, unit) Hashtbl.t;
+  dead : (A.rule * dead_reason) list;  (** in original order *)
+  unreachable : string list;  (** in original order *)
+}
+
+(* Greatest fixpoint: start from all rules and repeatedly discard rules
+   whose source is unreachable (via the remaining rules plus the
+   round-switch edges, so multi-round semantics stays covered), whose
+   guard is unsatisfiable under the resilience condition, or one of
+   whose guard atoms has a necessarily positive threshold and no
+   remaining producer rule that increments its variables without itself
+   requiring the same atom.  Each discarded rule provably never fires:
+   initially its guard's variables are zero and only producer rules can
+   raise them, so by induction over run prefixes the guard never
+   becomes true (or the source counter never becomes positive). *)
+let live_analysis env (ta : A.t) =
+  let base = base_atoms ~with_shared:true env ta in
+  let guard_sat =
+    let cache = Hashtbl.create 16 in
+    fun (r : A.rule) ->
+      match Hashtbl.find_opt cache r.name with
+      | Some b -> b
+      | None ->
+        let b = not (definitely_unsat (List.map (guard_true env) r.guard @ base)) in
+        Hashtbl.add cache r.name b;
+        b
+  in
+  let needs_producer =
+    let cache = Hashtbl.create 16 in
+    fun (a : G.atom) ->
+      let key = (a.shared, List.sort Stdlib.compare a.bound.P.coeffs, a.bound.P.const) in
+      match Hashtbl.find_opt cache key with
+      | Some b -> b
+      | None ->
+        let b = definitely_unsat (Smt.Atom.le (pexpr_linexpr env a.bound) L.zero :: base) in
+        Hashtbl.add cache key b;
+        b
+  in
+  let increments (r : A.rule) (a : G.atom) =
+    List.exists (fun (x, c) -> c > 0 && List.mem_assoc x a.shared) r.update
+  in
+  let self_guarded (r : A.rule) (a : G.atom) = List.exists (G.atom_equal a) r.guard in
+  let reachable live =
+    let reach = Hashtbl.create 16 in
+    List.iter (fun l -> Hashtbl.replace reach l ()) ta.initial;
+    let changed = ref true in
+    while !changed do
+      changed := false;
+      let visit src dst =
+        if Hashtbl.mem reach src && not (Hashtbl.mem reach dst) then begin
+          Hashtbl.replace reach dst ();
+          changed := true
+        end
+      in
+      List.iter (fun (r : A.rule) -> visit r.source r.target) live;
+      List.iter (fun (a, b) -> visit a b) ta.round_switch
+    done;
+    reach
+  in
+  let producible live (a : G.atom) =
+    (not (needs_producer a))
+    || List.exists (fun r' -> increments r' a && not (self_guarded r' a)) live
+  in
+  let rec fixpoint live =
+    let reach = reachable live in
+    let live' =
+      List.filter
+        (fun (r : A.rule) ->
+          Hashtbl.mem reach r.source && guard_sat r
+          && List.for_all (producible live) r.guard)
+        live
+    in
+    if List.length live' = List.length live then (live, reach) else fixpoint live'
+  in
+  let live, reach = fixpoint ta.rules in
+  let live_names = List.map (fun (r : A.rule) -> r.name) live in
+  let dead =
+    List.filter_map
+      (fun (r : A.rule) ->
+        if List.mem r.name live_names then None
+        else
+          let reason =
+            if not (Hashtbl.mem reach r.source) then Unreachable_source
+            else if not (guard_sat r) then Unsat_guard
+            else
+              match List.find_opt (fun a -> not (producible live a)) r.guard with
+              | Some a -> Unproducible a
+              | None -> Unreachable_source (* unreachable via a dropped predecessor *)
+          in
+          Some (r, reason))
+      ta.rules
+  in
+  let unreachable = List.filter (fun l -> not (Hashtbl.mem reach l)) ta.locations in
+  { live; reach; dead; unreachable }
+
+let dead_rule_diag ((r : A.rule), reason) =
+  let message =
+    match reason with
+    | Unreachable_source ->
+      Printf.sprintf "can never fire: source %s is unreachable from the initial locations"
+        r.source
+    | Unsat_guard ->
+      Printf.sprintf "can never fire: guard %s is unsatisfiable under the resilience condition"
+        (G.to_string r.guard)
+    | Unproducible a ->
+      Printf.sprintf
+        "can never fire: guard atom %s has a necessarily positive threshold but no live \
+         rule increments %s"
+        (G.atom_to_string a)
+        (String.concat ", " (List.map fst a.shared))
+  in
+  diag "TA008" Warning (Rule r.name) message ~hint:"drop the rule, or fix its guard or source"
+
+let unreachable_diag l =
+  diag "TA007" Warning (Location l) "unreachable from the initial locations"
+    ~hint:"drop the location or add a rule reaching it"
+
+(* --- the full analysis ---------------------------------------------- *)
+
+let run ?(assume = []) ?(specs = []) (ta : A.t) =
+  let structural = check_structure ta in
+  let names_broken =
+    List.exists (fun d -> d.code = "TA001" || d.code = "TA002" || d.code = "TA003") structural
+  in
+  if names_broken then structural
+  else
+    let env = var_env ta in
+    let semantic =
+      if resilience_unsat env ta then [ ta005 ta ]
+      else
+        let info = live_analysis env ta in
+        check_population env ta
+        @ List.map unreachable_diag info.unreachable
+        @ List.map dead_rule_diag info.dead
+        @ check_justice_assumptions env ta assume
+    in
+    structural @ semantic @ check_unused_shared ta specs
+    @ List.concat_map (check_spec ta) specs
+
+(* --- slicing --------------------------------------------------------- *)
+
+let slice ?(keep = []) (ta : A.t) =
+  let env = var_env ta in
+  if resilience_unsat env ta then (ta, [ ta005 ta ])
+  else
+    let info = live_analysis env ta in
+    let keep_loc l = Hashtbl.mem info.reach l || List.mem l keep in
+    let dropped_locs = List.filter (fun l -> not (keep_loc l)) ta.locations in
+    if info.dead = [] && dropped_locs = [] then (ta, [])
+    else begin
+      let live_names = List.map (fun (r : A.rule) -> r.name) info.live in
+      let sliced =
+        {
+          ta with
+          locations = List.filter keep_loc ta.locations;
+          initial = List.filter keep_loc ta.initial;
+          rules = List.filter (fun (r : A.rule) -> List.mem r.name live_names) ta.rules;
+          justice = List.filter (fun (j : A.justice) -> keep_loc j.loc) ta.justice;
+          round_switch =
+            List.filter (fun (a, b) -> keep_loc a && keep_loc b) ta.round_switch;
+        }
+      in
+      let atoms_before = List.length (A.unique_guard_atoms ta) in
+      let atoms_after = List.length (A.unique_guard_atoms sliced) in
+      let summary =
+        diag "TA016" Info Automaton
+          (Printf.sprintf
+             "sliced: %d dead rules and %d unreachable locations removed; unique guard \
+              atoms %d -> %d"
+             (List.length info.dead) (List.length dropped_locs) atoms_before atoms_after)
+      in
+      ( sliced,
+        List.map unreachable_diag dropped_locs
+        @ List.map dead_rule_diag info.dead
+        @ [ summary ] )
+    end

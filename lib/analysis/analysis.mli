@@ -1,0 +1,118 @@
+(** Static soundness analysis and slicing for threshold automata.
+
+    The schema method (POPL'17) is sound and complete only under
+    structural assumptions: monotone lower-threshold guards,
+    non-negative shared updates, DAG-shaped locations, a satisfiable
+    resilience condition, and — for liveness — absorbing violation
+    targets.  This module checks those assumptions holistically over a
+    {!Ta.Automaton.t} and its {!Ta.Spec.t}s and reports structured
+    diagnostics with stable codes, instead of ad-hoc [invalid_arg]
+    strings scattered across constructors and the checker.
+
+    Diagnostic codes (see DESIGN.md for the full table):
+    - [TA001] (error) unknown or duplicate name reference
+    - [TA002] (error) non-monotone guard (non-positive coefficient)
+    - [TA003] (error) negative shared update
+    - [TA004] (error) location graph is not a DAG
+    - [TA005] (error) resilience condition unsatisfiable
+    - [TA006] (error) population may be negative under the resilience
+    - [TA007] (warning) location unreachable from the initial ones
+    - [TA008] (warning) dead rule (unreachable source, guard
+      unsatisfiable under the resilience condition, or a guard atom with
+      a necessarily positive threshold and no live producer)
+    - [TA009] (warning) shared variable never read by a guard, a
+      justice constraint or a spec
+    - [TA010] (warning/error) guard-atom count near/over the 62-atom
+      context-bitmask limit
+    - [TA011] (error) spec references an unknown name
+    - [TA012] (error) safety spec with no observations
+    - [TA013] (error) liveness spec with [never_enter] premises
+    - [TA014] (error) liveness target set not absorbing
+    - [TA015] (error) imported justice constraints assume a resilience
+      condition the automaton's does not entail
+    - [TA016] (info) slicing summary
+
+    The same analysis powers {!slice}, which removes provably dead rules
+    and unreachable locations before universe construction: fewer live
+    guard atoms means exponentially fewer contexts and schemas. *)
+
+type severity = Info | Warning | Error
+
+type subject =
+  | Automaton
+  | Location of string
+  | Rule of string
+  | Shared_var of string
+  | Spec of string
+  | Justice of string  (** the location the justice constraint is on *)
+
+type diagnostic = {
+  code : string;  (** stable, e.g. ["TA008"] *)
+  severity : severity;
+  subject : subject;
+  message : string;
+  hint : string option;  (** suggested fix *)
+}
+
+val severity_to_string : severity -> string
+val subject_to_string : subject -> string
+
+(** [max_severity diags] is [None] on an empty list. *)
+val max_severity : diagnostic list -> severity option
+
+val errors : diagnostic list -> diagnostic list
+val pp : Format.formatter -> diagnostic -> unit
+
+(** [to_json ~ta_name diags] renders one JSON object
+    [{"automaton", "errors", "warnings", "diagnostics": [...]}]. *)
+val to_json : ta_name:string -> diagnostic list -> string
+
+(** {1 Passes} *)
+
+(** [check_structure ta] — the cheap, solver-free passes: name
+    resolution and duplicates (TA001), guard monotonicity (TA002),
+    update non-negativity (TA003), DAG shape (TA004, skipped when names
+    are broken), and the guard-atom budget (TA010).  Safe on raw
+    automaton records that never went through {!Ta.Automaton.make}. *)
+val check_structure : Ta.Automaton.t -> diagnostic list
+
+(** [check_spec ta spec] — spec-level sanity: name resolution (TA011),
+    refutability (TA012), liveness shape (TA013) and absorbing targets
+    (TA014). *)
+val check_spec : Ta.Automaton.t -> Ta.Spec.t -> diagnostic list
+
+(** [run ?assume ?specs ta] — every pass.  When the structural name
+    checks fail the semantic (solver-backed) passes are skipped; when
+    the resilience condition is unsatisfiable (TA005) the passes that
+    reason modulo it are skipped.
+
+    [assume] states the resilience condition under which the automaton's
+    justice constraints were proven (e.g. the simplified consensus TA
+    imports bv-broadcast properties established for [n > 3t]); TA015
+    fires when the automaton's own resilience condition does not entail
+    it.  Ignored for automata without justice constraints. *)
+val run :
+  ?assume:Ta.Pexpr.t list ->
+  ?specs:Ta.Spec.t list ->
+  Ta.Automaton.t ->
+  diagnostic list
+
+(** {1 Slicing} *)
+
+(** Locations a spec's conditions and premises mention — pass them as
+    [keep] so slicing never drops a location the encoder must resolve. *)
+val spec_locations : Ta.Spec.t -> string list
+
+(** [slice ?keep ta] drops rules that provably can never fire (dead
+    rules, as in TA008) and locations unreachable from the initial ones,
+    together with the guard atoms only they referenced.  Removed rules
+    can never fire in any run, so every run of [ta] is a run of the
+    slice and vice versa: {!Holistic.Checker} outcomes and witnesses are
+    preserved.  Locations in [keep] are retained even when unreachable
+    (their counters stay constantly zero).  Returns the sliced automaton
+    and the removal diagnostics (TA007/TA008 plus a TA016 summary);
+    returns [ta] unchanged when nothing is removable or when the
+    resilience condition is unsatisfiable (TA005).
+
+    The input must be well-formed (as per {!Ta.Automaton.make}). *)
+val slice : ?keep:string list -> Ta.Automaton.t -> Ta.Automaton.t * diagnostic list

@@ -31,34 +31,15 @@ type stats = {
 
 type result = { spec : Ta.Spec.t; outcome : outcome; stats : stats }
 
-(* Locations whose joint emptiness the liveness target asserts: the
-   counter terms of the final condition with positive coefficients. *)
-let target_locations (spec : Ta.Spec.t) =
-  List.concat_map
-    (fun (a : Ta.Cond.atom) ->
-      List.filter_map
-        (fun (term, c) ->
-          match term with Ta.Cond.Counter l when c > 0 -> Some l | _ -> None)
-        a.terms)
-    spec.final_cond
-  |> List.sort_uniq compare
-
+(* The structural preconditions, delegated to the static analyzer: DAG
+   shape and name sanity (TA001-TA004), refutable safety specs (TA012),
+   liveness shape and absorbing targets (TA013/TA014), spec name
+   resolution (TA011).  Kept as a raising wrapper for backwards
+   compatibility with callers that expect Invalid_argument. *)
 let precheck ta (spec : Ta.Spec.t) =
-  let fail fmt = Printf.ksprintf invalid_arg fmt in
-  if not (A.is_dag ta) then
-    fail "Checker: automaton %s is not a DAG (ignoring self-loops); the schema method does not apply"
-      ta.name;
-  if spec.kind = `Safety && spec.observations = [] then
-    fail "Checker: safety spec %s has no observations (nothing to refute)" spec.name;
-  if spec.require_stable then begin
-    if spec.never_enter <> [] then
-      fail "Checker: liveness spec %s cannot use never_enter premises" spec.name;
-    let locs = target_locations spec in
-    if not (A.absorbing_when_empty ta locs) then
-      fail
-        "Checker: liveness spec %s: the target location set is not absorbing; end-of-run evaluation would be unsound"
-        spec.name
-  end
+  match Analysis.errors (Analysis.check_structure ta @ Analysis.check_spec ta spec) with
+  | [] -> ()
+  | d :: _ -> invalid_arg (Format.asprintf "Checker: %s: %a" ta.A.name Analysis.pp d)
 
 (* Decide [atoms /\ (one cube per branch entry)] by depth-first case
    analysis over the factored justice branches; every path is a plain
@@ -271,7 +252,11 @@ let verify_with_universe ?(limits = default_limits) u (spec : Ta.Spec.t) =
   if limits.jobs <= 1 then verify_sequential ~limits u spec
   else verify_parallel ~limits u spec
 
-let verify ?limits ta spec = verify_with_universe ?limits (Universe.build ta) spec
+let verify ?limits ?(slice = false) ta spec =
+  let ta =
+    if slice then fst (Analysis.slice ~keep:(Analysis.spec_locations spec) ta) else ta
+  in
+  verify_with_universe ?limits (Universe.build ta) spec
 
 let pp_result fmt r =
   let avg =

@@ -56,12 +56,17 @@ type stats = {
 
 type result = { spec : Ta.Spec.t; outcome : outcome; stats : stats }
 
-(** [precheck ta spec] validates the structural preconditions.
+(** [precheck ta spec] validates the structural preconditions, via the
+    error-level passes of {!Analysis}.
     @raise Invalid_argument when they fail. *)
 val precheck : Ta.Automaton.t -> Ta.Spec.t -> unit
 
-(** [verify ?limits ta spec]. *)
-val verify : ?limits:limits -> Ta.Automaton.t -> Ta.Spec.t -> result
+(** [verify ?limits ?slice ta spec].  With [~slice:true] the automaton
+    is first run through {!Analysis.slice} (keeping the locations the
+    spec mentions), so the universe is built over the live rules only —
+    outcome- and witness-preserving, with schema counts no larger than
+    the unsliced run. *)
+val verify : ?limits:limits -> ?slice:bool -> Ta.Automaton.t -> Ta.Spec.t -> result
 
 (** [verify_with_universe ?limits u spec] reuses a prebuilt universe
     (cheaper when checking several specs of one automaton). *)

@@ -51,8 +51,17 @@ let paper_time ~naive spec_name =
   if naive then ">24h"
   else match List.assoc_opt spec_name paper_times with Some t -> t | None -> "-"
 
-let bv_rows ?(jobs = 1) () =
-  let ta = Models.Bv_ta.automaton in
+(* With [slice] the automaton is run through Analysis.slice first,
+   keeping every location the row's specs mention; outcomes and
+   witnesses are unchanged, only the universe may shrink. *)
+let maybe_slice ~slice ~specs ta =
+  if slice then
+    Analysis.slice ~keep:(List.concat_map Analysis.spec_locations specs) ta |> fst
+  else ta
+
+let bv_rows ?(jobs = 1) ?(slice = false) () =
+  let specs = Models.Bv_ta.table2_specs in
+  let ta = maybe_slice ~slice ~specs Models.Bv_ta.automaton in
   let u = Holistic.Universe.build ta in
   let limits = { Holistic.Checker.default_limits with jobs } in
   List.map
@@ -60,10 +69,11 @@ let bv_rows ?(jobs = 1) () =
       let r = Holistic.Checker.verify_with_universe ~limits u spec in
       row_of_result ~ta_label:"bv-broadcast (Fig 2)" ~size:(size_string ta)
         ~paper:(paper_time ~naive:false spec.Ta.Spec.name) r)
-    Models.Bv_ta.table2_specs
+    specs
 
-let naive_rows ?(jobs = 1) ~budget () =
-  let ta = Models.Naive_ta.automaton in
+let naive_rows ?(jobs = 1) ?(slice = false) ~budget () =
+  let specs = Models.Naive_ta.table2_specs in
+  let ta = maybe_slice ~slice ~specs Models.Naive_ta.automaton in
   let limits =
     { Holistic.Checker.default_limits with max_schemas = 100_000; time_budget = Some budget;
       jobs }
@@ -73,10 +83,10 @@ let naive_rows ?(jobs = 1) ~budget () =
       let r = Holistic.Checker.verify ~limits ta spec in
       row_of_result ~ta_label:"naive consensus (Fig 3)" ~size:(size_string ta)
         ~paper:(paper_time ~naive:true spec.Ta.Spec.name) r)
-    Models.Naive_ta.table2_specs
+    specs
 
-let simplified_rows ?(jobs = 1) ?(specs = Models.Simplified_ta.table2_specs) () =
-  let ta = Models.Simplified_ta.automaton in
+let simplified_rows ?(jobs = 1) ?(slice = false) ?(specs = Models.Simplified_ta.table2_specs) () =
+  let ta = maybe_slice ~slice ~specs Models.Simplified_ta.automaton in
   let u = Holistic.Universe.build ta in
   let limits = { Holistic.Checker.default_limits with jobs } in
   List.map
@@ -86,10 +96,10 @@ let simplified_rows ?(jobs = 1) ?(specs = Models.Simplified_ta.table2_specs) () 
         ~paper:(paper_time ~naive:false spec.Ta.Spec.name) r)
     specs
 
-let table2 ?(jobs = 1) ~quick ~naive_budget () =
-  bv_rows ~jobs ()
-  @ naive_rows ~jobs ~budget:naive_budget ()
-  @ simplified_rows ~jobs
+let table2 ?(jobs = 1) ?(slice = false) ~quick ~naive_budget () =
+  bv_rows ~jobs ~slice ()
+  @ naive_rows ~jobs ~slice ~budget:naive_budget ()
+  @ simplified_rows ~jobs ~slice
       ?specs:(if quick then Some [ Models.Simplified_ta.inv2_0; Models.Simplified_ta.good_0 ] else None)
       ()
 

@@ -22,21 +22,24 @@ val size_string : Ta.Automaton.t -> string
 
 (** [jobs] (default 1) is the number of worker domains discharging the
     schema queries; every row is identical for any value — only the
-    wall-clock column changes (see {!Holistic.Checker}). *)
+    wall-clock column changes (see {!Holistic.Checker}).  [slice]
+    (default false) runs the automaton through {!Analysis.slice} first
+    (keeping the locations the row's specs mention): outcomes and
+    witnesses are unchanged, schema counts can only shrink. *)
 
 (** [bv_rows ()] — the four bv-broadcast rows (fast). *)
-val bv_rows : ?jobs:int -> unit -> row list
+val bv_rows : ?jobs:int -> ?slice:bool -> unit -> row list
 
 (** [naive_rows ~budget ()] — the three naive-consensus rows, each
     aborted after [budget] seconds (the paper's ">24h" analogue). *)
-val naive_rows : ?jobs:int -> budget:float -> unit -> row list
+val naive_rows : ?jobs:int -> ?slice:bool -> budget:float -> unit -> row list
 
 (** [simplified_rows ?specs ()] — the simplified-consensus rows
     (defaults to the five properties of Table 2; ~70 s total). *)
-val simplified_rows : ?jobs:int -> ?specs:Ta.Spec.t list -> unit -> row list
+val simplified_rows : ?jobs:int -> ?slice:bool -> ?specs:Ta.Spec.t list -> unit -> row list
 
 (** [table2 ~quick ~naive_budget ()] — all rows. *)
-val table2 : ?jobs:int -> quick:bool -> naive_budget:float -> unit -> row list
+val table2 : ?jobs:int -> ?slice:bool -> quick:bool -> naive_budget:float -> unit -> row list
 
 val print_text : out_channel -> row list -> unit
 val to_markdown : row list -> string

@@ -101,6 +101,7 @@ let solve ?steps ?(max_steps = 20_000) atoms =
       decr budget;
       match Simplex.solve atoms with
       | Simplex.Unsat -> None
+      | Simplex.Unknown -> raise Budget
       | Simplex.Sat model -> (
         match List.find_opt (fun (_, q) -> fractional q) model with
         | None -> Some model

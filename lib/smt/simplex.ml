@@ -1,7 +1,7 @@
 module Q = Numbers.Rational
 module IntMap = Map.Make (Int)
 
-type result = Sat of (int * Q.t) list | Unsat
+type result = Sat of (int * Q.t) list | Unsat | Unknown
 
 exception Conflict
 
@@ -270,14 +270,16 @@ let solve atoms =
   | Some deltas ->
     (* Concretize delta: start at 1 and halve until every atom holds. *)
     let rec concretize d tries =
-      if tries = 0 then failwith "Simplex.solve: could not concretize delta";
-      let assign v =
-        match List.assoc_opt v deltas with
-        | Some { Delta.r; d = k } -> Q.add r (Q.mul k d)
-        | None -> Q.zero
-      in
-      if List.for_all (Atom.holds assign) atoms then
-        List.map (fun (v, _) -> (v, assign v)) deltas
-      else concretize (Q.div d (Q.of_int 2)) (tries - 1)
+      if tries = 0 then Unknown
+      else begin
+        let assign v =
+          match List.assoc_opt v deltas with
+          | Some { Delta.r; d = k } -> Q.add r (Q.mul k d)
+          | None -> Q.zero
+        in
+        if List.for_all (Atom.holds assign) atoms then
+          Sat (List.map (fun (v, _) -> (v, assign v)) deltas)
+        else concretize (Q.div d (Q.of_int 2)) (tries - 1)
+      end
     in
-    Sat (concretize Q.one 4096)
+    concretize Q.one 4096

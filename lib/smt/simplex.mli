@@ -11,6 +11,11 @@ type result =
           the input (with a concrete small positive value substituted for
           delta). *)
   | Unsat
+  | Unknown
+      (** Delta concretization exhausted its halving budget — a typed
+          give-up instead of an exception, so one pathological query
+          cannot crash a multi-worker run (callers treat it like
+          {!Lia.Unknown}). *)
 
 (** [solve atoms] decides the conjunction of [atoms] over the rationals. *)
 val solve : Atom.t list -> result

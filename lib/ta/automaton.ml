@@ -185,4 +185,9 @@ let pp_stats fmt s =
   Format.fprintf fmt "%d unique guards, %d locations, %d rules" s.n_guards
     s.n_locations s.n_rules
 
-let find_rule ta name = List.find (fun (r : rule) -> r.name = name) ta.rules
+let find_rule ta name =
+  match List.find_opt (fun (r : rule) -> r.name = name) ta.rules with
+  | Some r -> r
+  | None ->
+    invalid_arg
+      (Printf.sprintf "Automaton.find_rule: automaton %s has no rule %S" ta.name name)

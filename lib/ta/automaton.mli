@@ -114,5 +114,6 @@ val stats : t -> stats
 val pp_stats : Format.formatter -> stats -> unit
 
 (** [find_rule ta name].
-    @raise Not_found when absent. *)
+    @raise Invalid_argument naming the automaton and the missing rule
+    when absent. *)
 val find_rule : t -> string -> rule

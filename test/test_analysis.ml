@@ -1,0 +1,458 @@
+(* Tests for the static analyzer and slicer (lib/analysis): a mutant
+   suite — for each diagnostic code one minimal automaton that trips
+   exactly that code, next to a clean twin that does not — plus
+   cross-validation that slicing preserves the parameterized checker's
+   outcomes and witnesses and the explicit-state small-parameter
+   semantics on the paper's models. *)
+
+module A = Ta.Automaton
+module G = Ta.Guard
+module C = Ta.Cond
+module S = Ta.Spec
+module P = Ta.Pexpr
+module An = Analysis
+
+let codes ds = List.sort_uniq compare (List.map (fun (d : An.diagnostic) -> d.code) ds)
+
+let check_codes name expected ds =
+  Alcotest.(check (list string)) name (List.sort_uniq compare expected) (codes ds)
+
+let contains s sub =
+  let n = String.length s and m = String.length sub in
+  let rec go i = i + m <= n && (String.sub s i m = sub || go (i + 1)) in
+  go 0
+
+(* A well-formed chain A --t1(x++)--> B --t2[x >= 1]--> C used as the
+   clean twin of most mutants. *)
+let mk ?(shared = [ "x" ]) ?(locations = [ "A"; "B"; "C" ])
+    ?(resilience = [ P.of_terms [ ("n", 1) ] (-1) ]) ?(population = P.param "n") ~rules () =
+  A.make ~name:"m" ~params:[ "n" ] ~shared ~locations ~initial:[ "A" ] ~resilience
+    ~population ~rules ()
+
+let chain =
+  mk
+    ~rules:
+      [
+        A.rule "t1" ~source:"A" ~target:"B" ~update:[ ("x", 1) ];
+        A.rule "t2" ~source:"B" ~target:"C" ~guard:(G.ge1 "x" (P.const 1));
+      ]
+    ()
+
+(* A raw automaton record bypassing [A.make], for the structural mutants
+   that [make] itself would reject (TA001-TA003). *)
+let raw ?(shared = [ "x" ]) ~rules () : A.t =
+  {
+    name = "raw";
+    params = [ "n" ];
+    shared;
+    locations = [ "A"; "B" ];
+    initial = [ "A" ];
+    resilience = [ P.of_terms [ ("n", 1) ] (-1) ];
+    population = P.param "n";
+    rules;
+    justice = [];
+    round_switch = [];
+    self_loops = 0;
+  }
+
+(* ------------------------------------------------------------------ *)
+(* Mutants: one per diagnostic code, each with a clean twin.            *)
+
+let test_clean_twin () = check_codes "chain is clean" [] (An.run chain)
+
+let test_ta001_unknown_name () =
+  check_codes "unknown source location" [ "TA001" ]
+    (An.run (raw ~shared:[] ~rules:[ A.rule "t" ~source:"Z" ~target:"B" ] ()));
+  check_codes "twin" []
+    (An.run (raw ~shared:[] ~rules:[ A.rule "t" ~source:"A" ~target:"B" ] ()))
+
+(* A raw twin where x is produced and read: fully clean. *)
+let raw_clean_rules guard update =
+  [
+    A.rule "p" ~source:"A" ~target:"B" ~update;
+    { (A.rule "g" ~source:"A" ~target:"B") with guard };
+  ]
+
+let test_ta002_non_monotone_guard () =
+  let atom coeff : G.atom = { shared = [ ("x", coeff) ]; bound = P.const 1 } in
+  let with_guard g = raw ~rules:(raw_clean_rules g [ ("x", 1) ]) () in
+  check_codes "zero coefficient" [ "TA002" ] (An.run (with_guard [ atom 0 ]));
+  check_codes "negative coefficient" [ "TA002" ] (An.run (with_guard [ atom (-1) ]));
+  check_codes "twin" [] (An.run (with_guard [ atom 1 ]))
+
+let test_ta003_negative_update () =
+  let with_update u = raw ~rules:(raw_clean_rules (G.ge1 "x" (P.const 1)) u) () in
+  check_codes "decrement" [ "TA003" ] (An.run (with_update [ ("x", -1) ]));
+  check_codes "twin" [] (An.run (with_update [ ("x", 1) ]))
+
+let test_ta004_cycle () =
+  let cyclic =
+    mk ~shared:[] ~locations:[ "A"; "B" ]
+      ~rules:[ A.rule "ab" ~source:"A" ~target:"B"; A.rule "ba" ~source:"B" ~target:"A" ]
+      ()
+  in
+  check_codes "cycle" [ "TA004" ] (An.run cyclic);
+  check_codes "twin" []
+    (An.run (mk ~shared:[] ~locations:[ "A"; "B" ] ~rules:[ A.rule "ab" ~source:"A" ~target:"B" ] ()))
+
+let test_ta005_resilience_unsat () =
+  (* -n - 1 >= 0 has no solution over n >= 0; the semantic passes that
+     reason modulo the resilience condition are skipped. *)
+  let m =
+    mk ~shared:[] ~locations:[ "A"; "B" ]
+      ~resilience:[ P.of_terms [ ("n", -1) ] (-1) ]
+      ~rules:[ A.rule "t" ~source:"A" ~target:"B" ] ()
+  in
+  check_codes "unsat resilience" [ "TA005" ] (An.run m)
+
+let test_ta006_negative_population () =
+  let m =
+    mk ~shared:[] ~locations:[ "A"; "B" ]
+      ~resilience:[ P.param "n" ]
+      ~population:(P.of_terms [ ("n", 1) ] (-5))
+      ~rules:[ A.rule "t" ~source:"A" ~target:"B" ] ()
+  in
+  check_codes "population may go negative" [ "TA006" ] (An.run m);
+  check_codes "twin" []
+    (An.run
+       (mk ~shared:[] ~locations:[ "A"; "B" ]
+          ~resilience:[ P.param "n" ]
+          ~rules:[ A.rule "t" ~source:"A" ~target:"B" ] ()))
+
+let test_ta007_unreachable_location () =
+  let m =
+    mk ~shared:[] ~locations:[ "A"; "B"; "Z" ] ~rules:[ A.rule "t" ~source:"A" ~target:"B" ] ()
+  in
+  let ds = An.run m in
+  check_codes "unreachable location" [ "TA007" ] ds;
+  Alcotest.(check bool) "subject is Z" true
+    (List.exists (fun (d : An.diagnostic) -> d.subject = An.Location "Z") ds)
+
+let test_ta008_unsat_guard () =
+  (* 0 >= 1 can never hold; a live sibling keeps C reachable so only the
+     dead rule is reported. *)
+  let m =
+    mk ~shared:[]
+      ~rules:
+        [
+          A.rule "t1" ~source:"A" ~target:"B";
+          A.rule "t2" ~source:"A" ~target:"C";
+          A.rule "dead" ~source:"B" ~target:"C" ~guard:(G.ge [] (P.const 1));
+        ]
+      ()
+  in
+  let ds = An.run m in
+  check_codes "unsatisfiable guard" [ "TA008" ] ds;
+  Alcotest.(check bool) "subject is the dead rule" true
+    (List.exists (fun (d : An.diagnostic) -> d.subject = An.Rule "dead") ds)
+
+let test_ta008_unproducible_guard () =
+  (* y is read but nothing increments it, so [y >= 1] can never unlock.
+     (Read-but-never-written is TA008 territory, not TA009.) *)
+  let m =
+    mk ~shared:[ "x"; "y" ]
+      ~rules:
+        [
+          A.rule "t1" ~source:"A" ~target:"B" ~update:[ ("x", 1) ];
+          A.rule "t2" ~source:"B" ~target:"C" ~guard:(G.ge1 "x" (P.const 1));
+          A.rule "dead" ~source:"A" ~target:"C" ~guard:(G.ge1 "y" (P.const 1));
+        ]
+      ()
+  in
+  check_codes "unproducible guard atom" [ "TA008" ] (An.run m)
+
+let test_ta009_unused_shared () =
+  (* y is written but never read; z is never touched at all. *)
+  let m =
+    mk ~shared:[ "x"; "y"; "z" ]
+      ~rules:
+        [
+          A.rule "t1" ~source:"A" ~target:"B" ~update:[ ("x", 1); ("y", 1) ];
+          A.rule "t2" ~source:"B" ~target:"C" ~guard:(G.ge1 "x" (P.const 1));
+        ]
+      ()
+  in
+  let ds = An.run m in
+  check_codes "unused shared variables" [ "TA009" ] ds;
+  Alcotest.(check int) "both y and z reported" 2 (List.length ds)
+
+let test_ta010_atom_budget () =
+  (* r0 produces x; n distinct atoms [x >= 1 .. x >= n] are all live. *)
+  let wide n =
+    mk ~locations:[ "A"; "B" ]
+      ~rules:
+        (A.rule "r0" ~source:"A" ~target:"B" ~update:[ ("x", 1) ]
+        :: List.init n (fun i ->
+               A.rule
+                 ("g" ^ string_of_int i)
+                 ~source:"A" ~target:"B"
+                 ~guard:(G.ge1 "x" (P.const (i + 1)))))
+      ()
+  in
+  check_codes "twin below the headroom" [] (An.run (wide 52));
+  let warn = An.run (wide 53) in
+  check_codes "headroom warning" [ "TA010" ] warn;
+  Alcotest.(check bool) "warning severity" true (An.max_severity warn = Some An.Warning);
+  let err = An.run (wide 63) in
+  check_codes "over the 62-atom limit" [ "TA010" ] err;
+  Alcotest.(check bool) "error severity" true (An.max_severity err = Some An.Error)
+
+let test_ta011_spec_unknown_name () =
+  let bad locs = S.invariant ~name:"s" ~ltl:"s" ~bad:[ ("b", C.some_nonempty locs) ] () in
+  check_codes "unknown location in spec" [ "TA011" ] (An.check_spec chain (bad [ "ZZZ" ]));
+  check_codes "twin" [] (An.check_spec chain (bad [ "C" ]))
+
+let test_ta012_irrefutable_safety () =
+  check_codes "no observations" [ "TA012" ]
+    (An.check_spec chain (S.invariant ~name:"s" ~ltl:"s" ~bad:[] ()))
+
+let test_ta013_liveness_never_enter () =
+  let live =
+    S.liveness ~name:"s" ~ltl:"s" ~target_violated:(C.some_nonempty [ "A"; "B" ]) ()
+  in
+  check_codes "twin" [] (An.check_spec chain live);
+  check_codes "liveness with never_enter" [ "TA013" ]
+    (An.check_spec chain { live with S.never_enter = [ "A" ] })
+
+let test_ta014_non_absorbing_target () =
+  (* Emptiness of {B} alone is not absorbing: t1 refills B from A. *)
+  let live target =
+    S.liveness ~name:"s" ~ltl:"s" ~target_violated:(C.some_nonempty target) ()
+  in
+  check_codes "non-absorbing target" [ "TA014" ] (An.check_spec chain (live [ "B" ]));
+  check_codes "twin" [] (An.check_spec chain (live [ "A"; "B" ]))
+
+let test_ta015_justice_assumption () =
+  (* The simplified TA imports bv-broadcast properties proven under
+     n > 3t as justice constraints; weakening its own resilience to
+     n > 2t (which is satisfiable, so TA005 cannot catch it) must be
+     flagged. *)
+  let assume = Models.Params.resilience in
+  check_codes "broken resilience rejected" [ "TA015" ]
+    (An.run ~assume Models.Simplified_ta.automaton_broken_resilience);
+  check_codes "twin" [] (An.run ~assume Models.Simplified_ta.automaton)
+
+(* ------------------------------------------------------------------ *)
+(* Every bundled model lints clean with its own specs.                  *)
+
+let test_paper_models_clean () =
+  check_codes "bv-broadcast" []
+    (An.run ~specs:Models.Bv_ta.all_specs Models.Bv_ta.automaton);
+  check_codes "naive consensus" []
+    (An.run ~specs:Models.Naive_ta.table2_specs Models.Naive_ta.automaton);
+  check_codes "simplified consensus" []
+    (An.run ~assume:Models.Params.resilience ~specs:Models.Simplified_ta.table2_specs
+       Models.Simplified_ta.automaton);
+  check_codes "ben-or" [] (An.run ~specs:Models.Ben_or.all_specs Models.Ben_or.automaton)
+
+(* ------------------------------------------------------------------ *)
+(* Satellite: find_rule raises a named Invalid_argument.                *)
+
+let test_find_rule () =
+  Alcotest.(check string) "found" "t1" (A.find_rule chain "t1").A.name;
+  match A.find_rule chain "nope" with
+  | _ -> Alcotest.fail "expected Invalid_argument"
+  | exception Invalid_argument msg ->
+    Alcotest.(check bool) "names the automaton" true (contains msg "m");
+    Alcotest.(check bool) "names the missing rule" true (contains msg "nope")
+
+(* ------------------------------------------------------------------ *)
+(* Slicing.                                                             *)
+
+let outcome_repr (r : Holistic.Checker.result) =
+  match r.outcome with
+  | Holistic.Checker.Holds -> "holds"
+  | Holistic.Checker.Violated w -> Format.asprintf "violated@\n%a" Holistic.Witness.pp w
+  | Holistic.Checker.Aborted reason -> "aborted: " ^ reason
+
+let keep_of specs = List.concat_map An.spec_locations specs
+
+(* The clean models slice to themselves, diagnostics-free. *)
+let test_slice_identity () =
+  List.iter
+    (fun (label, ta, specs) ->
+      let sliced, ds = An.slice ~keep:(keep_of specs) ta in
+      Alcotest.(check bool) (label ^ " unchanged") true (sliced = ta);
+      check_codes (label ^ " no removals") [] ds)
+    [
+      ("bv", Models.Bv_ta.automaton, Models.Bv_ta.all_specs);
+      ("naive", Models.Naive_ta.automaton, Models.Naive_ta.table2_specs);
+      ("simplified", Models.Simplified_ta.automaton, Models.Simplified_ta.table2_specs);
+      ( "broken",
+        Models.Simplified_ta.automaton_broken_resilience,
+        [ Models.Simplified_ta.inv1_0 ] );
+      ("benor", Models.Ben_or.automaton, Models.Ben_or.all_specs);
+    ]
+
+(* verify ~slice is bit-identical to verify on every bv spec. *)
+let test_slice_verify_bv () =
+  List.iter
+    (fun (spec : S.t) ->
+      let plain = Holistic.Checker.verify Models.Bv_ta.automaton spec in
+      let sliced = Holistic.Checker.verify ~slice:true Models.Bv_ta.automaton spec in
+      Alcotest.(check string) (spec.S.name ^ " outcome") (outcome_repr plain)
+        (outcome_repr sliced);
+      Alcotest.(check int) (spec.S.name ^ " schemas") plain.stats.schemas_checked
+        sliced.stats.schemas_checked;
+      Alcotest.(check int) (spec.S.name ^ " slots") plain.stats.slots_total
+        sliced.stats.slots_total)
+    Models.Bv_ta.all_specs
+
+(* A dead gadget: an unreachable location whose outgoing rule carries a
+   fresh satisfiable, producible guard atom.  Unsliced, the atom joins
+   the universe and inflates every context; slicing must restore the
+   pristine automaton exactly. *)
+let dead_gadget (ta : A.t) ~target ~var =
+  {
+    ta with
+    locations = ta.locations @ [ "ZZ" ];
+    rules = ta.rules @ [ A.rule "zz" ~source:"ZZ" ~target ~guard:(G.ge1 var (P.const 7)) ];
+  }
+
+let test_slice_mutant_restores_pristine () =
+  let pristine = Models.Simplified_ta.automaton in
+  let mutant = dead_gadget pristine ~target:"D1" ~var:"bvb0" in
+  let sliced, ds = An.slice ~keep:(keep_of Models.Simplified_ta.table2_specs) mutant in
+  Alcotest.(check bool) "slice of mutant = pristine" true (sliced = pristine);
+  check_codes "removal diagnostics" [ "TA007"; "TA008"; "TA016" ] ds
+
+let test_slice_mutant_schema_counts () =
+  let pristine = Models.Simplified_ta.automaton in
+  let mutant = dead_gadget pristine ~target:"D1" ~var:"bvb0" in
+  let sliced, _ = An.slice ~keep:(keep_of Models.Simplified_ta.table2_specs) mutant in
+  let count ta =
+    match
+      Holistic.Schema.count (Holistic.Universe.build ta) Models.Simplified_ta.inv2_0
+        ~limit:1_000_000
+    with
+    | `Exactly n -> n
+    | `More_than n -> n
+  in
+  let unsliced_n = count mutant and sliced_n = count sliced and pristine_n = count pristine in
+  Alcotest.(check bool) "strictly fewer schemas after slicing" true (sliced_n < unsliced_n);
+  Alcotest.(check int) "sliced matches pristine" pristine_n sliced_n
+
+(* Full verification of a bv mutant: same verdict, strictly fewer
+   schemas with --slice. *)
+let test_slice_mutant_verify_bv () =
+  let mutant = dead_gadget Models.Bv_ta.automaton ~target:"C01" ~var:"b0" in
+  let spec = List.hd Models.Bv_ta.table2_specs in
+  let plain = Holistic.Checker.verify mutant spec in
+  let sliced = Holistic.Checker.verify ~slice:true mutant spec in
+  Alcotest.(check string) "same outcome" (outcome_repr plain) (outcome_repr sliced);
+  Alcotest.(check bool) "strictly fewer schemas" true
+    (sliced.stats.schemas_checked < plain.stats.schemas_checked);
+  (* The sliced run is bit-identical to the pristine automaton's run. *)
+  let pristine = Holistic.Checker.verify Models.Bv_ta.automaton spec in
+  Alcotest.(check int) "pristine schema count" pristine.stats.schemas_checked
+    sliced.stats.schemas_checked
+
+(* Witness preservation on a violated property: slicing the broken
+   resilience mutant reproduces the pristine counterexample verbatim. *)
+let test_slice_preserves_witness () =
+  let pristine = Models.Simplified_ta.automaton_broken_resilience in
+  let mutant = dead_gadget pristine ~target:"D1" ~var:"bvb0" in
+  let spec = Models.Simplified_ta.inv1_0 in
+  let reference = Holistic.Checker.verify pristine spec in
+  let sliced = Holistic.Checker.verify ~slice:true mutant spec in
+  Alcotest.(check string) "witness bit-identical to pristine run" (outcome_repr reference)
+    (outcome_repr sliced);
+  let plain = Holistic.Checker.verify mutant spec in
+  (match plain.outcome with
+   | Holistic.Checker.Violated _ -> ()
+   | _ -> Alcotest.fail "mutant must still be violated unsliced")
+
+(* Explicit small-parameter semantics agree between mutant and slice on
+   every bv-broadcast and simplified-consensus spec. *)
+let explicit_name = function
+  | Explicit.Holds -> "holds"
+  | Explicit.Violated _ -> "violated"
+
+let test_slice_explicit_crossval () =
+  let params = [ ("n", 4); ("t", 1); ("f", 1) ] in
+  let crossval label (ta : A.t) ~target ~var specs keep =
+    let mutant = dead_gadget ta ~target ~var in
+    let sliced, _ = An.slice ~keep mutant in
+    List.iter
+      (fun (spec : S.t) ->
+        Alcotest.(check string)
+          (label ^ " " ^ spec.S.name)
+          (explicit_name (Explicit.check mutant spec params))
+          (explicit_name (Explicit.check sliced spec params)))
+      specs
+  in
+  crossval "bv" Models.Bv_ta.automaton ~target:"C01" ~var:"b0" Models.Bv_ta.all_specs
+    (keep_of Models.Bv_ta.all_specs);
+  crossval "simplified" Models.Simplified_ta.automaton ~target:"D1" ~var:"bvb0"
+    Models.Simplified_ta.table2_specs
+    (keep_of Models.Simplified_ta.table2_specs)
+
+(* Spec-referenced locations survive slicing even when unreachable, so
+   the encoder never meets an unknown name. *)
+let test_slice_keeps_spec_locations () =
+  let ta =
+    mk ~shared:[] ~locations:[ "A"; "B"; "Z" ] ~rules:[ A.rule "t" ~source:"A" ~target:"B" ] ()
+  in
+  let spec = S.invariant ~name:"z" ~ltl:"z" ~bad:[ ("b", C.some_nonempty [ "Z" ]) ] () in
+  let sliced, _ = An.slice ~keep:(An.spec_locations spec) ta in
+  Alcotest.(check bool) "Z kept" true (List.mem "Z" sliced.A.locations);
+  let plain = Holistic.Checker.verify ta spec in
+  let with_slice = Holistic.Checker.verify ~slice:true ta spec in
+  Alcotest.(check string) "outcome" (outcome_repr plain) (outcome_repr with_slice)
+
+(* ------------------------------------------------------------------ *)
+(* Rendering.                                                           *)
+
+let test_json () =
+  let j = An.to_json ~ta_name:"bv_broadcast" (An.run Models.Bv_ta.automaton) in
+  Alcotest.(check bool) "clean json" true
+    (contains j "\"errors\":0" && contains j "\"warnings\":0");
+  let j =
+    An.to_json ~ta_name:"x"
+      (An.run ~assume:Models.Params.resilience
+         Models.Simplified_ta.automaton_broken_resilience)
+  in
+  Alcotest.(check bool) "broken json mentions TA015" true (contains j "TA015")
+
+let () =
+  Alcotest.run "analysis"
+    [
+      ( "diagnostics",
+        [
+          Alcotest.test_case "clean twin" `Quick test_clean_twin;
+          Alcotest.test_case "TA001 unknown name" `Quick test_ta001_unknown_name;
+          Alcotest.test_case "TA002 non-monotone guard" `Quick test_ta002_non_monotone_guard;
+          Alcotest.test_case "TA003 negative update" `Quick test_ta003_negative_update;
+          Alcotest.test_case "TA004 cycle" `Quick test_ta004_cycle;
+          Alcotest.test_case "TA005 unsat resilience" `Quick test_ta005_resilience_unsat;
+          Alcotest.test_case "TA006 negative population" `Quick test_ta006_negative_population;
+          Alcotest.test_case "TA007 unreachable location" `Quick test_ta007_unreachable_location;
+          Alcotest.test_case "TA008 unsat guard" `Quick test_ta008_unsat_guard;
+          Alcotest.test_case "TA008 unproducible guard" `Quick test_ta008_unproducible_guard;
+          Alcotest.test_case "TA009 unused shared" `Quick test_ta009_unused_shared;
+          Alcotest.test_case "TA010 atom budget" `Quick test_ta010_atom_budget;
+          Alcotest.test_case "TA011 spec unknown name" `Quick test_ta011_spec_unknown_name;
+          Alcotest.test_case "TA012 irrefutable safety" `Quick test_ta012_irrefutable_safety;
+          Alcotest.test_case "TA013 liveness never_enter" `Quick test_ta013_liveness_never_enter;
+          Alcotest.test_case "TA014 non-absorbing target" `Quick test_ta014_non_absorbing_target;
+          Alcotest.test_case "TA015 justice assumption" `Quick test_ta015_justice_assumption;
+          Alcotest.test_case "paper models lint clean" `Quick test_paper_models_clean;
+          Alcotest.test_case "json rendering" `Quick test_json;
+        ] );
+      ( "find_rule",
+        [ Alcotest.test_case "named Invalid_argument" `Quick test_find_rule ] );
+      ( "slicing",
+        [
+          Alcotest.test_case "identity on clean models" `Quick test_slice_identity;
+          Alcotest.test_case "verify --slice bit-identical (bv)" `Quick test_slice_verify_bv;
+          Alcotest.test_case "mutant slices back to pristine" `Quick
+            test_slice_mutant_restores_pristine;
+          Alcotest.test_case "mutant schema counts shrink" `Quick
+            test_slice_mutant_schema_counts;
+          Alcotest.test_case "mutant full verify (bv)" `Quick test_slice_mutant_verify_bv;
+          Alcotest.test_case "witness preserved (broken resilience)" `Quick
+            test_slice_preserves_witness;
+          Alcotest.test_case "explicit crossval at n=4" `Quick test_slice_explicit_crossval;
+          Alcotest.test_case "spec locations kept" `Quick test_slice_keeps_spec_locations;
+        ] );
+    ]

@@ -54,6 +54,7 @@ let simplex_sat atoms =
     Alcotest.(check bool) "model satisfies atoms" true (List.for_all (A.holds assign) atoms);
     true
   | Smt.Simplex.Unsat -> false
+  | Smt.Simplex.Unknown -> Alcotest.fail "unexpected Simplex.Unknown"
 
 let test_simplex_feasible () =
   (* x >= 1, y >= 1, x + y <= 10 *)
@@ -232,7 +233,8 @@ let smt_props =
           List.for_all (A.holds assign) all
         | Smt.Simplex.Unsat ->
           (* Rational unsat must imply integer unsat. *)
-          not (brute_force_sat all));
+          not (brute_force_sat all)
+        | Smt.Simplex.Unknown -> false);
   ]
 
 (* ------------------------------------------------------------------ *)
