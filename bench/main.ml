@@ -12,25 +12,37 @@
       reproduction's analogue of the paper's ">24h on 64 cores".
    2. The in-text counterexample: Inv1_0 under the broken resilience
       condition n > 2t, with generation time (paper: ~4 s).
-   3. Bechamel micro-benchmarks of the components (ablations).
+   3. Incremental vs flat discharge: every bundled property solved by
+      both engines, verdict-compared, solver-step-compared, and written
+      as machine-readable JSON (BENCH_3.json; --bench-json PATH).
+   4. Bechamel micro-benchmarks of the components (ablations).
 
    Usage: dune exec bench/main.exe [-- --quick] [-- --naive-budget S] [-- --jobs N]
-          [-- --slice] *)
+          [-- --slice] [-- --no-incremental] [-- --bench-json PATH] *)
 
 let quick = Array.exists (( = ) "--quick") Sys.argv
 let slice = Array.exists (( = ) "--slice") Sys.argv
-
-let flag_value name =
-  let rec find i =
-    if i + 1 >= Array.length Sys.argv then None
-    else if Sys.argv.(i) = name then Some Sys.argv.(i + 1)
-    else find (i + 1)
-  in
-  find 0
+let incremental = not (Array.exists (( = ) "--no-incremental") Sys.argv)
 
 let usage_fail flag value expected =
   Printf.eprintf "bench: %s expects %s, got %S\n" flag expected value;
   exit 2
+
+(* Flag values live one slot after their flag.  Scanning starts at 1:
+   slot 0 is the executable path, which must never match a flag name. *)
+let flag_value name =
+  let rec find i =
+    if i >= Array.length Sys.argv then None
+    else if Sys.argv.(i) = name then
+      if i + 1 >= Array.length Sys.argv then
+        usage_fail name "<missing>" "a value after the flag"
+      else Some Sys.argv.(i + 1)
+    else find (i + 1)
+  in
+  find 1
+
+let bench_json_path =
+  match flag_value "--bench-json" with Some p -> p | None -> "BENCH_3.json"
 
 let naive_budget =
   match flag_value "--naive-budget" with
@@ -55,7 +67,7 @@ let table2 () =
   print_endline "== Table 2: parameterized verification of the blockchain consensus ==";
   print_endline "   (every property is checked for all n > 3t, t >= f >= 0)";
   print_newline ();
-  let rows = Report.table2 ~jobs ~slice ~quick ~naive_budget () in
+  let rows = Report.table2 ~jobs ~slice ~incremental ~quick ~naive_budget () in
   Report.print_text stdout rows;
   print_newline ();
   (* Also emit machine-readable copies next to the build tree. *)
@@ -126,6 +138,71 @@ let speedup () =
       (if same then "yes (same schemas, same slots)" else "NO — ENGINE BUG")
       (seq.stats.time /. par.stats.time)
   end;
+  print_newline ()
+
+(* ------------------------------------------------------------------ *)
+(* Section 2c: incremental vs flat schema discharge, per bundled
+   property, sequentially (jobs=1, so solver-step counts are
+   deterministic and comparable).  Verdicts, witnesses and schema
+   counts must agree; solver steps must not regress.  The records are
+   written as BENCH_3.json for CI's step-regression gate. *)
+
+let outcome_string (r : Holistic.Checker.result) =
+  match r.outcome with
+  | Holistic.Checker.Holds -> "holds"
+  | Holistic.Checker.Violated _ -> "violated"
+  | Holistic.Checker.Aborted _ -> "aborted"
+
+let json_of_run ~ta ~(r : Holistic.Checker.result) ~inc =
+  Printf.sprintf
+    {|    {"ta": %S, "property": %S, "incremental": %b, "outcome": %S, "schemas": %d, "skipped": %d, "subtrees_pruned": %d, "prefix_hits": %d, "solver_steps": %d, "slots": %d, "jobs": %d, "time": %.3f}|}
+    ta r.spec.Ta.Spec.name inc (outcome_string r) r.stats.schemas_checked
+    r.stats.schemas_skipped r.stats.subtrees_pruned r.stats.prefix_hits
+    r.stats.solver_steps r.stats.slots_total r.stats.jobs r.stats.time
+
+let incremental_comparison () =
+  print_endline "== Incremental vs flat schema discharge (jobs=1) ==";
+  let cases =
+    List.map (fun s -> ("bv", Models.Bv_ta.automaton, s)) Models.Bv_ta.table2_specs
+    @ List.map
+        (fun s -> ("simplified", Models.Simplified_ta.automaton, s))
+        (if quick then [ Models.Simplified_ta.inv2_0; Models.Simplified_ta.good_0 ]
+         else Models.Simplified_ta.table2_specs)
+  in
+  let records = ref [] in
+  Printf.printf "%-14s %-12s %10s %10s %7s %9s %8s %6s\n" "TA" "Property"
+    "steps-flat" "steps-inc" "ratio" "skipped" "pruned" "agree";
+  List.iter
+    (fun (ta_name, ta, spec) ->
+      let u = Holistic.Universe.build ta in
+      let run inc =
+        let limits = { Holistic.Checker.default_limits with jobs = 1; incremental = inc } in
+        Holistic.Checker.verify_with_universe ~limits u spec
+      in
+      let flat = run false in
+      let inc = run true in
+      records := json_of_run ~ta:ta_name ~r:flat ~inc:false :: !records;
+      records := json_of_run ~ta:ta_name ~r:inc ~inc:true :: !records;
+      let agree =
+        outcome_string flat = outcome_string inc
+        && flat.Holistic.Checker.stats.schemas_checked = inc.Holistic.Checker.stats.schemas_checked
+        && flat.stats.slots_total = inc.stats.slots_total
+      in
+      let ratio =
+        if inc.stats.solver_steps = 0 then Float.infinity
+        else float_of_int flat.stats.solver_steps /. float_of_int inc.stats.solver_steps
+      in
+      Printf.printf "%-14s %-12s %10d %10d %6.2fx %9d %8d %6s\n%!" ta_name
+        spec.Ta.Spec.name flat.stats.solver_steps inc.stats.solver_steps ratio
+        inc.stats.schemas_skipped inc.stats.subtrees_pruned
+        (if agree then "yes" else "NO!"))
+    cases;
+  let oc = open_out bench_json_path in
+  Printf.fprintf oc "{\n  \"jobs\": 1,\n  \"mode\": %S,\n  \"results\": [\n%s\n  ]\n}\n"
+    (if quick then "quick" else "full")
+    (String.concat ",\n" (List.rev !records));
+  close_out oc;
+  Printf.printf "(wrote %s)\n" bench_json_path;
   print_newline ()
 
 (* ------------------------------------------------------------------ *)
@@ -226,14 +303,16 @@ let ablation () =
 let () =
   Printf.printf
     "Reproduction of 'Holistic Verification of Blockchain Consensus' (DISC 2022)\n";
-  Printf.printf "mode: %s; naive-TA budget: %.0fs; jobs: %d (of %d recommended)%s\n\n"
+  Printf.printf "mode: %s; naive-TA budget: %.0fs; jobs: %d (of %d recommended)%s%s\n\n"
     (if quick then "quick" else "full")
     naive_budget jobs
     (Domain.recommended_domain_count ())
-    (if slice then "; slicing enabled" else "");
+    (if slice then "; slicing enabled" else "")
+    (if incremental then "" else "; incremental discharge disabled");
   table2 ();
   counterexample ();
   speedup ();
+  incremental_comparison ();
   micro ();
   ablation ();
   print_endline "done."

@@ -112,6 +112,22 @@ let info_cmd =
 
 (* --- verify -------------------------------------------------------- *)
 
+(* Shared by verify and table2: the incremental prefix-sharing engine is
+   the default; --no-incremental selects the flat one-query-per-schema
+   engines (outcomes are bit-identical, solver effort differs). *)
+let incremental_arg =
+  Arg.(value
+       & vflag true
+           [
+             ( true,
+               info [ "incremental" ]
+                 ~doc:"Discharge schemas incrementally along the enumeration tree, \
+                       pruning subtrees with unsatisfiable prefixes (default)." );
+             ( false,
+               info [ "no-incremental" ]
+                 ~doc:"Solve one self-contained query per schema (the flat engine)." );
+           ])
+
 let verify_cmd =
   let broken =
     Arg.(value & flag & info [ "broken-resilience" ]
@@ -145,7 +161,8 @@ let verify_cmd =
     Arg.(value & flag & info [ "force" ]
            ~doc:"Verify even when the static analyzer reports error-level diagnostics.")
   in
-  let run model spec_name broken max_schemas budget jobs worker_stats slice force =
+  let run model spec_name broken max_schemas budget jobs incremental worker_stats slice
+      force =
     gate ~force ~broken model;
     let ta = automaton_of ~broken model in
     let specs = find_specs model spec_name in
@@ -155,7 +172,8 @@ let verify_cmd =
       else ta
     in
     let limits =
-      { Holistic.Checker.default_limits with max_schemas; time_budget = budget; jobs }
+      { Holistic.Checker.default_limits with max_schemas; time_budget = budget; jobs;
+        incremental }
     in
     let u = Holistic.Universe.build ta in
     List.iter
@@ -170,7 +188,7 @@ let verify_cmd =
        ~doc:"Verify properties for all parameters n > 3t, t >= f >= 0 (the paper's \
              parameterized model checking).")
     Term.(const run $ model_arg $ spec_arg $ broken $ max_schemas $ budget $ jobs
-          $ worker_stats $ slice $ force)
+          $ incremental_arg $ worker_stats $ slice $ force)
 
 (* --- explicit ------------------------------------------------------ *)
 
@@ -313,9 +331,9 @@ let table2_cmd =
     Arg.(value & flag & info [ "force" ]
            ~doc:"Run even when the static analyzer reports error-level diagnostics.")
   in
-  let run quick budget format jobs slice force =
+  let run quick budget format jobs incremental slice force =
     List.iter (gate ~force) [ Bv; Naive; Simplified ];
-    let rows = Report.table2 ~jobs ~slice ~quick ~naive_budget:budget () in
+    let rows = Report.table2 ~jobs ~slice ~incremental ~quick ~naive_budget:budget () in
     match format with
     | "text" -> Report.print_text stdout rows
     | "markdown" | "md" -> print_string (Report.to_markdown rows)
@@ -324,7 +342,7 @@ let table2_cmd =
   in
   Cmd.v
     (Cmd.info "table2" ~doc:"Regenerate the paper's Table 2 (also see bench/main.exe).")
-    Term.(const run $ quick $ budget $ format $ jobs $ slice $ force)
+    Term.(const run $ quick $ budget $ format $ jobs $ incremental_arg $ slice $ force)
 
 (* --- lint ----------------------------------------------------------- *)
 

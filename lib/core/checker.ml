@@ -5,10 +5,17 @@ type limits = {
   time_budget : float option;
   lia_max_steps : int;
   jobs : int;
+  incremental : bool;
 }
 
 let default_limits =
-  { max_schemas = 100_000; time_budget = None; lia_max_steps = 200_000; jobs = 1 }
+  {
+    max_schemas = 100_000;
+    time_budget = None;
+    lia_max_steps = 200_000;
+    jobs = 1;
+    incremental = true;
+  }
 
 type outcome = Holds | Violated of Witness.t | Aborted of string
 
@@ -22,8 +29,13 @@ type worker_stat = {
 
 type stats = {
   schemas_checked : int;
+  schemas_skipped : int;
+  subtrees_pruned : int;
+  prefix_hits : int;
   slots_total : int;
   solver_steps : int;
+  encode_time : float;
+  solve_time : float;
   time : float;
   jobs : int;
   workers : worker_stat list;
@@ -78,15 +90,18 @@ let budget_messages ~max_schemas_hit ~schemas ~budget =
 let unknown_message = "solver returned unknown (branch-and-bound budget)"
 
 (* ------------------------------------------------------------------- *)
-(* Sequential engine: the reference implementation the parallel engine
-   is pinned to (see test/test_parallel.ml). *)
+(* Flat sequential engine: one self-contained query per schema.  The
+   reference implementation everything else is pinned to — the parallel
+   engine by test/test_parallel.ml, the incremental engines by
+   test/test_incremental.ml. *)
 
-let verify_sequential ~limits u (spec : Ta.Spec.t) =
+let verify_flat_sequential ~limits u (spec : Ta.Spec.t) =
   let t0 = Unix.gettimeofday () in
   let schemas = ref 0 in
   let slots = ref 0 in
   let steps = ref 0 in
-  let busy = ref 0.0 in
+  let encode_t = ref 0.0 in
+  let solve_t = ref 0.0 in
   let found = ref None in
   let aborted = ref None in
   let complete =
@@ -106,9 +121,11 @@ let verify_sequential ~limits u (spec : Ta.Spec.t) =
             incr schemas;
             let t1 = Unix.gettimeofday () in
             let encoded = Encode.encode u spec schema in
+            let t2 = Unix.gettimeofday () in
+            encode_t := !encode_t +. (t2 -. t1);
             slots := !slots + encoded.n_slots;
             let verdict = solve_schema ~steps ~limits encoded in
-            busy := !busy +. (Unix.gettimeofday () -. t1);
+            solve_t := !solve_t +. (Unix.gettimeofday () -. t2);
             match verdict with
             | `Unsat -> true
             | `Sat model ->
@@ -122,8 +139,13 @@ let verify_sequential ~limits u (spec : Ta.Spec.t) =
   let stats =
     {
       schemas_checked = !schemas;
+      schemas_skipped = 0;
+      subtrees_pruned = 0;
+      prefix_hits = 0;
       slots_total = !slots;
       solver_steps = !steps;
+      encode_time = !encode_t;
+      solve_time = !solve_t;
       time;
       jobs = 1;
       workers =
@@ -133,7 +155,7 @@ let verify_sequential ~limits u (spec : Ta.Spec.t) =
             schemas = !schemas;
             slots = !slots;
             solver_steps = !steps;
-            busy_time = !busy;
+            busy_time = !encode_t +. !solve_t;
           };
         ];
     }
@@ -148,19 +170,25 @@ let verify_sequential ~limits u (spec : Ta.Spec.t) =
   { spec; outcome; stats }
 
 (* ------------------------------------------------------------------- *)
-(* Parallel engine: the producer runs the enumeration (and the budget
-   checks, so aborts stay deterministic) on the calling domain while
-   [limits.jobs] worker domains encode and solve.  Each schema is an
-   independent LIA query; the pool's first-stop-in-enumeration-order
+(* Flat parallel engine: the producer runs the enumeration (and the
+   budget checks, so aborts stay deterministic) on the calling domain
+   while [limits.jobs] worker domains encode and solve.  Each schema is
+   an independent LIA query; the pool's first-stop-in-enumeration-order
    contract makes outcomes, witnesses and schema counts bit-identical to
-   [verify_sequential] (time-budget aborts excepted: wall-clock is
+   [verify_flat_sequential] (time-budget aborts excepted: wall-clock is
    inherently racy, sequentially too). *)
 
 type job_outcome = J_unsat | J_sat of Witness.t | J_unknown
 
-type job_result = { n_slots : int; job_steps : int; verdict : job_outcome }
+type job_result = {
+  n_slots : int;
+  job_steps : int;
+  j_encode_t : float;
+  j_solve_t : float;
+  verdict : job_outcome;
+}
 
-let verify_parallel ~limits u (spec : Ta.Spec.t) =
+let verify_flat_parallel ~limits u (spec : Ta.Spec.t) =
   let t0 = Unix.gettimeofday () in
   let emitted = ref 0 in
   let aborted = ref None in
@@ -186,14 +214,22 @@ let verify_parallel ~limits u (spec : Ta.Spec.t) =
   in
   let work ~worker:_ _index schema =
     let steps = ref 0 in
+    let t1 = Unix.gettimeofday () in
     let encoded = Encode.encode u spec schema in
+    let t2 = Unix.gettimeofday () in
     let verdict =
       match solve_schema ~steps ~limits encoded with
       | `Unsat -> J_unsat
       | `Sat model -> J_sat (Witness.of_model u spec schema encoded model)
       | `Unknown -> J_unknown
     in
-    { n_slots = encoded.n_slots; job_steps = !steps; verdict }
+    {
+      n_slots = encoded.n_slots;
+      job_steps = !steps;
+      j_encode_t = t2 -. t1;
+      j_solve_t = Unix.gettimeofday () -. t2;
+      verdict;
+    }
   in
   let is_stop r = match r.verdict with J_unsat -> false | J_sat _ | J_unknown -> true in
   let c = Pool.run ~jobs:limits.jobs ~produce ~work ~is_stop () in
@@ -204,6 +240,8 @@ let verify_parallel ~limits u (spec : Ta.Spec.t) =
   let schemas_checked = match c.Pool.first_stop with Some i -> i + 1 | None -> !emitted in
   let slots_total = List.fold_left (fun acc (_, _, r) -> acc + r.n_slots) 0 counted in
   let solver_steps = List.fold_left (fun acc (_, _, r) -> acc + r.job_steps) 0 counted in
+  let encode_time = List.fold_left (fun acc (_, _, r) -> acc +. r.j_encode_t) 0.0 counted in
+  let solve_time = List.fold_left (fun acc (_, _, r) -> acc +. r.j_solve_t) 0.0 counted in
   let workers =
     List.init limits.jobs (fun wid ->
         (* Utilisation is reported over everything a worker actually ran,
@@ -237,8 +275,499 @@ let verify_parallel ~limits u (spec : Ta.Spec.t) =
   let stats =
     {
       schemas_checked;
+      schemas_skipped = 0;
+      subtrees_pruned = 0;
+      prefix_hits = 0;
       slots_total;
       solver_steps;
+      encode_time;
+      solve_time;
+      time = Unix.gettimeofday () -. t0;
+      jobs = limits.jobs;
+      workers;
+    }
+  in
+  { spec; outcome; stats }
+
+(* ------------------------------------------------------------------- *)
+(* Incremental engine: walk the enumeration tree once, sharing the
+   encoding and the solver state of every common prefix through
+   {!Encode.session} and {!Smt.Lia.session}.  At each edge the event's
+   atom delta is pushed and the prefix's reachability is (re)checked by
+   {!Smt.Lia.check_quick} — interval propagation and the model cache
+   only, never the simplex, so the check costs zero counted solver
+   steps; an unsatisfiable prefix prunes the whole subtree, which is
+   sound because [Encode.finalize] only ever appends to the prefix's
+   atoms (see DESIGN.md).  Schemas that survive to their emission point
+   are
+   discharged with the same flat [solve_schema] on the same finalized
+   query as the flat engine, so verdicts, witnesses and the deciding
+   schema's enumeration index are bit-identical; pruned subtrees are
+   walked in a counting-only mode so budgets trip at the same position
+   and the skipped schemas' slot totals still add up. *)
+
+(* Mutable per-run (sequential) or per-job (parallel) tally.  [position]
+   is the global enumeration index — checked and skipped schemas both
+   advance it, which is what keeps [max_schemas] aborts aligned with the
+   flat engines. *)
+type inc_tally = {
+  mutable position : int;
+  start : int;
+  mutable checked : int;
+  mutable skipped : int;
+  mutable pruned : int;
+  mutable slots : int;
+  steps : int ref;
+  hits : int ref;
+  mutable encode_t : float;
+  mutable solve_t : float;
+  mutable found : Witness.t option;
+  mutable abort_msg : string option;
+}
+
+let new_tally ~start =
+  {
+    position = start;
+    start;
+    checked = 0;
+    skipped = 0;
+    pruned = 0;
+    slots = 0;
+    steps = ref 0;
+    hits = ref 0;
+    encode_t = 0.0;
+    solve_t = 0.0;
+    found = None;
+    abort_msg = None;
+  }
+
+let check_budget ~limits ~t0 c =
+  if c.position >= limits.max_schemas then
+    Some (budget_messages ~max_schemas_hit:true ~schemas:c.position ~budget:0.0)
+  else
+    match limits.time_budget with
+    | Some budget when Unix.gettimeofday () -. t0 > budget ->
+      Some (budget_messages ~max_schemas_hit:false ~schemas:c.position ~budget)
+    | _ -> None
+
+(* Account a pruned subtree without solving: advance the enumeration
+   position, apply the budget checks at every skipped schema (so aborts
+   land exactly where the flat engine's would), and accumulate the slots
+   each skipped schema would have had, via the slot simulation. *)
+let count_subtree ~limits ~t0 u spec sim0 c ~ctx ~obs_mask =
+  let sims = ref [ sim0 ] in
+  ignore
+    (Schema.walk u spec ~ctx ~obs_mask
+       ~on_enter:(fun ev ->
+         sims := Encode.Sim.push_event (List.hd !sims) ev :: !sims;
+         `Descend)
+       ~on_leave:(fun _ -> sims := List.tl !sims)
+       ~on_schema:(fun () ->
+         match check_budget ~limits ~t0 c with
+         | Some msg ->
+           c.abort_msg <- Some msg;
+           false
+         | None ->
+           c.position <- c.position + 1;
+           c.skipped <- c.skipped + 1;
+           c.slots <- c.slots + Encode.Sim.leaf_slots (List.hd !sims);
+           true)
+       ())
+
+(* The incremental DFS over the subtree rooted at the sessions' current
+   prefix (whose reachability the caller has already established). *)
+let run_inc_subtree ~limits ~t0 u spec es lia c ~prefix_rev ~ctx0 ~obs0 =
+  let rev_events = ref prefix_rev in
+  let ctx_stack = ref [ ctx0 ] in
+  let obs_stack = ref [ obs0 ] in
+  let stop = ref false in
+  ignore
+    (Schema.walk u spec ~ctx:ctx0 ~obs_mask:obs0
+       ~on_enter:(fun ev ->
+         if !stop then `Prune
+         else begin
+           let ctx = List.hd !ctx_stack and obs = List.hd !obs_stack in
+           let ctx', obs' =
+             match ev with
+             | Schema.Unlock g -> (ctx lor (1 lsl g), obs)
+             | Schema.Observe i -> (ctx, obs lor (1 lsl i))
+           in
+           let t1 = Unix.gettimeofday () in
+           let delta = Encode.push_event es ev in
+           let t2 = Unix.gettimeofday () in
+           c.encode_t <- c.encode_t +. (t2 -. t1);
+           Smt.Lia.push lia;
+           Smt.Lia.assert_atoms lia delta;
+           (* Reachability is decided by [check_quick] only: the
+              interval store and the model cache, never the simplex.
+              Pruning therefore costs zero counted solver steps, which
+              is what makes the incremental engine's step total at most
+              the flat engine's on every property (the leaves it does
+              check are the identical flat queries). *)
+           let reach = Smt.Lia.check_quick ~hits:c.hits lia in
+           c.solve_t <- c.solve_t +. (Unix.gettimeofday () -. t2);
+           match reach with
+           | Smt.Lia.Unsat ->
+             c.pruned <- c.pruned + 1;
+             let sim = Encode.Sim.of_session es in
+             Smt.Lia.pop lia;
+             Encode.pop_event es;
+             count_subtree ~limits ~t0 u spec sim c ~ctx:ctx' ~obs_mask:obs';
+             if c.abort_msg <> None then stop := true;
+             `Prune
+           | Smt.Lia.Sat _ | Smt.Lia.Unknown ->
+             (* Unknown: cannot prune; descend and let the leaves decide. *)
+             ctx_stack := ctx' :: !ctx_stack;
+             obs_stack := obs' :: !obs_stack;
+             rev_events := ev :: !rev_events;
+             `Descend
+         end)
+       ~on_leave:(fun _ ->
+         ctx_stack := List.tl !ctx_stack;
+         obs_stack := List.tl !obs_stack;
+         rev_events := List.tl !rev_events;
+         Smt.Lia.pop lia;
+         Encode.pop_event es)
+       ~on_schema:(fun () ->
+         if !stop then false
+         else
+           match check_budget ~limits ~t0 c with
+           | Some msg ->
+             c.abort_msg <- Some msg;
+             stop := true;
+             false
+           | None -> (
+             c.position <- c.position + 1;
+             c.checked <- c.checked + 1;
+             let t1 = Unix.gettimeofday () in
+             let encoded = Encode.finalize es in
+             let t2 = Unix.gettimeofday () in
+             c.encode_t <- c.encode_t +. (t2 -. t1);
+             c.slots <- c.slots + encoded.n_slots;
+             (* Leaf queries are discharged flat, on the full finalized
+                atom list: verdicts and witness models are those of the
+                flat engine, byte for byte. *)
+             let verdict = solve_schema ~steps:c.steps ~limits encoded in
+             c.solve_t <- c.solve_t +. (Unix.gettimeofday () -. t2);
+             match verdict with
+             | `Unsat -> true
+             | `Sat model ->
+               c.found <-
+                 Some (Witness.of_model u spec (List.rev !rev_events) encoded model);
+               stop := true;
+               false
+             | `Unknown ->
+               c.abort_msg <- Some unknown_message;
+               stop := true;
+               false))
+       ())
+
+(* Open both sessions at [prefix] and reach-check it once; on UNSAT the
+   caller's whole subtree is accounted in counting mode, otherwise the
+   incremental DFS runs below it. *)
+let run_inc_job ~limits ~t0 u spec c ~prefix ~ctx ~obs_mask =
+  let t1 = Unix.gettimeofday () in
+  let es = Encode.start u spec in
+  let lia = Smt.Lia.create () in
+  Smt.Lia.assert_atoms lia (Encode.base_atoms es);
+  List.iter
+    (fun ev ->
+      let delta = Encode.push_event es ev in
+      Smt.Lia.push lia;
+      Smt.Lia.assert_atoms lia delta)
+    prefix;
+  let t2 = Unix.gettimeofday () in
+  c.encode_t <- c.encode_t +. (t2 -. t1);
+  let reach = Smt.Lia.check_quick ~hits:c.hits lia in
+  c.solve_t <- c.solve_t +. (Unix.gettimeofday () -. t2);
+  match reach with
+  | Smt.Lia.Unsat ->
+    c.pruned <- c.pruned + 1;
+    count_subtree ~limits ~t0 u spec (Encode.Sim.of_session es) c ~ctx ~obs_mask
+  | Smt.Lia.Sat _ | Smt.Lia.Unknown ->
+    run_inc_subtree ~limits ~t0 u spec es lia c ~prefix_rev:(List.rev prefix) ~ctx0:ctx
+      ~obs0:obs_mask
+
+let inc_outcome c ~complete =
+  match (c.found, c.abort_msg) with
+  | Some w, _ -> Violated w
+  | None, Some reason -> Aborted reason
+  | None, None -> if complete then Holds else Aborted "enumeration stopped unexpectedly"
+
+let verify_incremental_sequential ~limits u (spec : Ta.Spec.t) =
+  let t0 = Unix.gettimeofday () in
+  let c = new_tally ~start:0 in
+  run_inc_job ~limits ~t0 u spec c ~prefix:[] ~ctx:0 ~obs_mask:0;
+  let time = Unix.gettimeofday () -. t0 in
+  let stats =
+    {
+      schemas_checked = c.position;
+      schemas_skipped = c.skipped;
+      subtrees_pruned = c.pruned;
+      prefix_hits = !(c.hits);
+      slots_total = c.slots;
+      solver_steps = !(c.steps);
+      encode_time = c.encode_t;
+      solve_time = c.solve_t;
+      time;
+      jobs = 1;
+      workers =
+        [
+          {
+            worker_id = 0;
+            schemas = c.position;
+            slots = c.slots;
+            solver_steps = !(c.steps);
+            busy_time = c.encode_t +. c.solve_t;
+          };
+        ];
+    }
+  in
+  { spec; outcome = inc_outcome c ~complete:true; stats }
+
+(* ------------------------------------------------------------------- *)
+(* Parallel incremental engine: the enumeration tree is partitioned at a
+   fixed depth — every node above the cut whose observation set is
+   complete becomes a single-schema job, every subtree rooted at the cut
+   becomes one incremental job — and jobs carry their subtree's starting
+   enumeration position, so positions are globally consistent.  Jobs are
+   contiguous blocks of the preorder, pushed in order, and each worker
+   stops at the first deciding schema inside its block, so the pool's
+   first-stop contract again yields the sequential outcome, witness and
+   schema count.  Reachability pruning is a deterministic function of
+   the prefix (interval propagation over the same assert sequence), so
+   the set of schemas actually solved — and the solver-step total —
+   matches the sequential incremental engine; only the granularity
+   counters (subtrees pruned, prefix hits) differ, because one pruned
+   subtree in the sequential engine may surface as several pruned jobs
+   here. *)
+
+let partition_depth = 2
+
+type inc_job = {
+  ij_prefix : Schema.event list;
+  ij_ctx : int;
+  ij_obs : int;
+  ij_start : int;
+  ij_subtree : bool;  (** false: the single schema at [ij_prefix] *)
+}
+
+type inc_job_result = {
+  ir_schemas : int;  (** enumeration positions consumed (checked + skipped) *)
+  ir_checked : int;
+  ir_skipped : int;
+  ir_pruned : int;
+  ir_hits : int;
+  ir_slots : int;
+  ir_steps : int;
+  ir_encode_t : float;
+  ir_solve_t : float;
+  ir_verdict : [ `Unsat_all | `Sat of Witness.t | `Unknown | `Budget of string ];
+}
+
+(* Schemas in the subtree at (ctx, obs_mask), counted up to [limit] —
+   beyond the schema budget the exact total is irrelevant (the producer
+   stops once the budget position is covered by a pushed job). *)
+let count_schemas_upto u spec ~ctx ~obs_mask ~limit =
+  let n = ref 0 in
+  ignore
+    (Schema.walk u spec ~ctx ~obs_mask
+       ~on_enter:(fun _ -> `Descend)
+       ~on_leave:(fun _ -> ())
+       ~on_schema:(fun () ->
+         incr n;
+         !n < limit)
+       ());
+  !n
+
+let verify_incremental_parallel ~limits u (spec : Ta.Spec.t) =
+  let t0 = Unix.gettimeofday () in
+  let produce ~push =
+    let pos = ref 0 in
+    let depth = ref 0 in
+    let rev_prefix = ref [] in
+    let ctx_stack = ref [ 0 ] in
+    let obs_stack = ref [ 0 ] in
+    let stop = ref false in
+    (* Once a pushed job covers position [max_schemas], the deterministic
+       budget abort is in flight: stop producing. *)
+    let covered_budget () = !pos > limits.max_schemas in
+    Schema.walk u spec
+      ~on_enter:(fun ev ->
+        if !stop then `Prune
+        else begin
+          let ctx = List.hd !ctx_stack and obs = List.hd !obs_stack in
+          let ctx', obs' =
+            match ev with
+            | Schema.Unlock g -> (ctx lor (1 lsl g), obs)
+            | Schema.Observe i -> (ctx, obs lor (1 lsl i))
+          in
+          if !depth + 1 >= partition_depth then begin
+            let limit = max 1 (limits.max_schemas - !pos + 1) in
+            let n = count_schemas_upto u spec ~ctx:ctx' ~obs_mask:obs' ~limit in
+            (if n > 0 then
+               let job =
+                 {
+                   ij_prefix = List.rev (ev :: !rev_prefix);
+                   ij_ctx = ctx';
+                   ij_obs = obs';
+                   ij_start = !pos;
+                   ij_subtree = true;
+                 }
+               in
+               if push job then begin
+                 pos := !pos + n;
+                 if covered_budget () then stop := true
+               end
+               else stop := true);
+            `Prune
+          end
+          else begin
+            incr depth;
+            ctx_stack := ctx' :: !ctx_stack;
+            obs_stack := obs' :: !obs_stack;
+            rev_prefix := ev :: !rev_prefix;
+            `Descend
+          end
+        end)
+      ~on_leave:(fun _ ->
+        decr depth;
+        ctx_stack := List.tl !ctx_stack;
+        obs_stack := List.tl !obs_stack;
+        rev_prefix := List.tl !rev_prefix)
+      ~on_schema:(fun () ->
+        if !stop then false
+        else begin
+          let job =
+            {
+              ij_prefix = List.rev !rev_prefix;
+              ij_ctx = List.hd !ctx_stack;
+              ij_obs = List.hd !obs_stack;
+              ij_start = !pos;
+              ij_subtree = false;
+            }
+          in
+          if push job then begin
+            incr pos;
+            if covered_budget () then begin
+              stop := true;
+              false
+            end
+            else true
+          end
+          else begin
+            stop := true;
+            false
+          end
+        end)
+      ()
+  in
+  let work ~worker:_ _index job =
+    let c = new_tally ~start:job.ij_start in
+    (match check_budget ~limits ~t0 c with
+     | Some msg -> c.abort_msg <- Some msg
+     | None ->
+       if job.ij_subtree then
+         run_inc_job ~limits ~t0 u spec c ~prefix:job.ij_prefix ~ctx:job.ij_ctx
+           ~obs_mask:job.ij_obs
+       else begin
+         (* A lone schema above the partition cut.  Its prefix gets the
+            same zero-step reachability check the sequential engine
+            applies on the way down, so the set of schemas actually
+            solved — and with it the solver-step total — is the same in
+            both incremental engines. *)
+         c.position <- c.position + 1;
+         let t1 = Unix.gettimeofday () in
+         let es = Encode.start u spec in
+         let lia = Smt.Lia.create () in
+         Smt.Lia.assert_atoms lia (Encode.base_atoms es);
+         List.iter
+           (fun ev ->
+             let delta = Encode.push_event es ev in
+             Smt.Lia.push lia;
+             Smt.Lia.assert_atoms lia delta)
+           job.ij_prefix;
+         let t2 = Unix.gettimeofday () in
+         c.encode_t <- t2 -. t1;
+         match Smt.Lia.check_quick ~hits:c.hits lia with
+         | Smt.Lia.Unsat ->
+           c.skipped <- 1;
+           c.slots <- Encode.Sim.leaf_slots (Encode.Sim.of_session es);
+           c.solve_t <- Unix.gettimeofday () -. t2
+         | Smt.Lia.Sat _ | Smt.Lia.Unknown -> (
+           c.checked <- 1;
+           let encoded = Encode.finalize es in
+           let t3 = Unix.gettimeofday () in
+           c.encode_t <- c.encode_t +. (t3 -. t2);
+           c.slots <- encoded.n_slots;
+           (match solve_schema ~steps:c.steps ~limits encoded with
+            | `Unsat -> ()
+            | `Sat model ->
+              c.found <- Some (Witness.of_model u spec job.ij_prefix encoded model)
+            | `Unknown -> c.abort_msg <- Some unknown_message);
+           c.solve_t <- Unix.gettimeofday () -. t3)
+       end);
+    {
+      ir_schemas = c.position - c.start;
+      ir_checked = c.checked;
+      ir_skipped = c.skipped;
+      ir_pruned = c.pruned;
+      ir_hits = !(c.hits);
+      ir_slots = c.slots;
+      ir_steps = !(c.steps);
+      ir_encode_t = c.encode_t;
+      ir_solve_t = c.solve_t;
+      ir_verdict =
+        (match (c.found, c.abort_msg) with
+         | Some w, _ -> `Sat w
+         | None, Some msg ->
+           if msg = unknown_message then `Unknown else `Budget msg
+         | None, None -> `Unsat_all);
+    }
+  in
+  let is_stop r = r.ir_verdict <> `Unsat_all in
+  let completion = Pool.run ~jobs:limits.jobs ~produce ~work ~is_stop () in
+  let cut = match completion.Pool.first_stop with Some i -> i | None -> max_int in
+  let counted = List.filter (fun (i, _, _) -> i <= cut) completion.Pool.results in
+  let sum f = List.fold_left (fun acc (_, _, r) -> acc + f r) 0 counted in
+  let sumf f = List.fold_left (fun acc (_, _, r) -> acc +. f r) 0.0 counted in
+  let workers =
+    List.init limits.jobs (fun wid ->
+        let mine =
+          List.filter_map
+            (fun (_, w, r) -> if w = wid then Some r else None)
+            completion.Pool.results
+        in
+        {
+          worker_id = wid;
+          schemas = List.fold_left (fun acc r -> acc + r.ir_schemas) 0 mine;
+          slots = List.fold_left (fun acc r -> acc + r.ir_slots) 0 mine;
+          solver_steps = List.fold_left (fun acc r -> acc + r.ir_steps) 0 mine;
+          busy_time = completion.Pool.busy.(wid);
+        })
+  in
+  let outcome =
+    match completion.Pool.first_stop with
+    | Some i -> (
+      match List.find (fun (j, _, _) -> j = i) counted with
+      | _, _, { ir_verdict = `Sat w; _ } -> Violated w
+      | _, _, { ir_verdict = `Unknown; _ } -> Aborted unknown_message
+      | _, _, { ir_verdict = `Budget msg; _ } -> Aborted msg
+      | _, _, { ir_verdict = `Unsat_all; _ } -> assert false)
+    | None ->
+      if completion.Pool.completed then Holds
+      else Aborted "enumeration stopped unexpectedly"
+  in
+  let stats =
+    {
+      schemas_checked = sum (fun r -> r.ir_schemas);
+      schemas_skipped = sum (fun r -> r.ir_skipped);
+      subtrees_pruned = sum (fun r -> r.ir_pruned);
+      prefix_hits = sum (fun r -> r.ir_hits);
+      slots_total = sum (fun r -> r.ir_slots);
+      solver_steps = sum (fun r -> r.ir_steps);
+      encode_time = sumf (fun r -> r.ir_encode_t);
+      solve_time = sumf (fun r -> r.ir_solve_t);
       time = Unix.gettimeofday () -. t0;
       jobs = limits.jobs;
       workers;
@@ -249,8 +778,11 @@ let verify_parallel ~limits u (spec : Ta.Spec.t) =
 let verify_with_universe ?(limits = default_limits) u (spec : Ta.Spec.t) =
   let ta = Universe.automaton u in
   precheck ta spec;
-  if limits.jobs <= 1 then verify_sequential ~limits u spec
-  else verify_parallel ~limits u spec
+  match (limits.incremental, limits.jobs <= 1) with
+  | false, true -> verify_flat_sequential ~limits u spec
+  | false, false -> verify_flat_parallel ~limits u spec
+  | true, true -> verify_incremental_sequential ~limits u spec
+  | true, false -> verify_incremental_parallel ~limits u spec
 
 let verify ?limits ?(slice = false) ta spec =
   let ta =
@@ -263,16 +795,21 @@ let pp_result fmt r =
     if r.stats.schemas_checked = 0 then 0.0
     else float_of_int r.stats.slots_total /. float_of_int r.stats.schemas_checked
   in
+  let pp_inc fmt () =
+    if r.stats.subtrees_pruned > 0 || r.stats.schemas_skipped > 0 then
+      Format.fprintf fmt ", %d skipped by %d pruned subtrees" r.stats.schemas_skipped
+        r.stats.subtrees_pruned
+  in
   match r.outcome with
   | Holds ->
-    Format.fprintf fmt "%-12s holds   (%d schemas, avg length %.0f, %.2f s)" r.spec.name
-      r.stats.schemas_checked avg r.stats.time
+    Format.fprintf fmt "%-12s holds   (%d schemas, avg length %.0f%a, %.2f s)"
+      r.spec.name r.stats.schemas_checked avg pp_inc () r.stats.time
   | Violated w ->
-    Format.fprintf fmt "%-12s VIOLATED (%d schemas, %.2f s)@,%a" r.spec.name
-      r.stats.schemas_checked r.stats.time Witness.pp w
+    Format.fprintf fmt "%-12s VIOLATED (%d schemas%a, %.2f s)@,%a" r.spec.name
+      r.stats.schemas_checked pp_inc () r.stats.time Witness.pp w
   | Aborted reason ->
-    Format.fprintf fmt "%-12s aborted: %s (%d schemas, %.2f s)" r.spec.name reason
-      r.stats.schemas_checked r.stats.time
+    Format.fprintf fmt "%-12s aborted: %s (%d schemas%a, %.2f s)" r.spec.name reason
+      r.stats.schemas_checked pp_inc () r.stats.time
 
 let pp_worker_stats fmt r =
   Format.fprintf fmt "@[<v>";

@@ -17,13 +17,38 @@
     counts are bit-identical to the sequential engine ([jobs = 1]); only
     wall-clock time and the per-worker utilisation split differ.  (The
     one necessarily racy case: a [time_budget] abort may land on a
-    different schema count — true of two sequential runs as well.) *)
+    different schema count — true of two sequential runs as well.)
+
+    With [limits.incremental] (the default) the enumeration tree is
+    walked once per property: each event pushes its constraint delta
+    onto warm {!Encode.session}/{!Smt.Lia.session} stacks, and prefixes
+    the session's zero-step layers ({!Smt.Lia.check_quick}: interval
+    propagation, model cache) prove unsatisfiable prune their whole
+    subtree — sound because finalizing a schema only appends atoms to
+    its prefix (see DESIGN.md).  Surviving schemas are discharged on
+    the same finalized query as the flat engine.  Outcomes, witnesses,
+    schema counts and slot totals match the flat engines exactly, and
+    because reachability checks never touch the simplex, the solver-step
+    total is at most the flat engine's on {e every} property — the steps
+    counted are exactly the flat solves of the schemas that were not
+    pruned.  The two axes compose: [jobs > 1] with [incremental]
+    partitions the tree into contiguous preorder blocks.  Pruning is a
+    deterministic function of the prefix, so the parallel incremental
+    engine solves the same schema set (same solver-step total); only the
+    granularity counters (subtrees pruned, prefix hits) differ, one
+    sequential prune possibly surfacing as several pruned jobs. *)
 
 type limits = {
   max_schemas : int;  (** abort the enumeration beyond this many schemas *)
   time_budget : float option;  (** wall-clock seconds; [None] = unlimited *)
   lia_max_steps : int;  (** branch-and-bound budget per query *)
   jobs : int;  (** worker domains; [1] = the sequential reference engine *)
+  incremental : bool;
+      (** discharge schemas incrementally along the enumeration tree,
+          sharing each common prefix's encoding and solver state and
+          pruning whole subtrees whose prefix is already unsatisfiable
+          (default).  Outcomes, witnesses and schema counts are
+          bit-identical to the flat engine; only solver effort differs. *)
 }
 
 val default_limits : limits
@@ -47,8 +72,22 @@ type worker_stat = {
 
 type stats = {
   schemas_checked : int;
+      (** schemas discharged: solved directly, or covered by a pruned
+          subtree — always the number of enumeration positions consumed,
+          so it is identical across all four engines *)
+  schemas_skipped : int;
+      (** of those, schemas never solved individually because an
+          unsatisfiable prefix pruned their subtree (0 for the flat
+          engines) *)
+  subtrees_pruned : int;  (** prefix-UNSAT subtree prunes (0 when flat) *)
+  prefix_hits : int;
+      (** incremental reachability checks answered definitively by the
+          prefix state — the propagated interval store or the cached
+          model — at zero solver steps (0 when flat) *)
   slots_total : int;  (** sum of schema lengths (rule slots) *)
   solver_steps : int;  (** total simplex calls over the counted schemas *)
+  encode_time : float;  (** wall-clock seconds spent building queries *)
+  solve_time : float;  (** wall-clock seconds spent in the solver *)
   time : float;  (** wall-clock seconds *)
   jobs : int;  (** worker domains used *)
   workers : worker_stat list;  (** one entry per worker (singleton when sequential) *)

@@ -12,26 +12,46 @@ let cut_point_indices (spec : Ta.Spec.t) =
        (fun i (_, c) -> if Obs.classify c = Obs.Cut_point then [ i ] else [])
        spec.observations)
 
-let enumerate u (spec : Ta.Spec.t) ~on_schema =
+let full_mask (spec : Ta.Spec.t) =
+  List.fold_left (fun acc i -> acc lor (1 lsl i)) 0 (cut_point_indices spec)
+
+let walk u (spec : Ta.Spec.t) ?(ctx = 0) ?(obs_mask = 0) ~on_enter ~on_leave
+    ~on_schema () =
   let cut_obs = cut_point_indices spec in
-  let full = List.fold_left (fun acc i -> acc lor (1 lsl i)) 0 cut_obs in
-  let emit rev_events =
-    if not (on_schema (List.rev rev_events)) then raise Stop
-  in
-  let rec go ctx obs_mask rev_events =
-    (* Every node with a complete cut-point set is a schema: the run may
-       end (safety) or stabilize (liveness) in any context. *)
-    if obs_mask = full then emit rev_events;
+  let full = full_mask spec in
+  (* Every node with a complete cut-point set is a schema: the run may
+     end (safety) or stabilize (liveness) in any context. *)
+  let rec go ctx obs_mask =
+    if obs_mask = full && not (on_schema ()) then raise Stop;
     List.iter
       (fun i ->
         if obs_mask land (1 lsl i) = 0 then
-          go ctx (obs_mask lor (1 lsl i)) (Observe i :: rev_events))
+          visit (Observe i) ctx (obs_mask lor (1 lsl i)))
       cut_obs;
     List.iter
-      (fun g -> go (ctx lor (1 lsl g)) obs_mask (Unlock g :: rev_events))
+      (fun g -> visit (Unlock g) (ctx lor (1 lsl g)) obs_mask)
       (Universe.unlock_candidates u ctx)
+  and visit ev ctx obs_mask =
+    match on_enter ev with
+    | `Prune -> ()
+    | `Descend ->
+      (match go ctx obs_mask with
+       | () -> on_leave ev
+       | exception e ->
+         on_leave ev;
+         raise e)
   in
-  match go 0 0 [] with () -> true | exception Stop -> false
+  match go ctx obs_mask with () -> true | exception Stop -> false
+
+let enumerate u (spec : Ta.Spec.t) ~on_schema =
+  let rev_events = ref [] in
+  walk u spec
+    ~on_enter:(fun ev ->
+      rev_events := ev :: !rev_events;
+      `Descend)
+    ~on_leave:(fun _ -> rev_events := List.tl !rev_events)
+    ~on_schema:(fun () -> on_schema (List.rev !rev_events))
+    ()
 
 let count u spec ~limit =
   let n = ref 0 in

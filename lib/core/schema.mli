@@ -10,6 +10,29 @@ type event =
 
 type t = event list
 
+(** [walk u spec ?ctx ?obs_mask ~on_enter ~on_leave ~on_schema ()] is
+    the DFS underlying {!enumerate}, with the tree structure exposed:
+    [on_enter ev] fires when the walk descends the edge labelled [ev]
+    and may answer [`Prune] to skip the entire subtree (no [on_leave],
+    no [on_schema] calls for it); [on_leave ev] fires when the walk
+    backtracks over an edge it descended; [on_schema ()] fires at every
+    emission point, in the same preorder as {!enumerate} (the events of
+    the current prefix are exactly those entered and not yet left), and
+    answers whether to continue.  Returns [true] when the walk ran to
+    completion.  [ctx]/[obs_mask] (default the root) start the walk at
+    an interior node — used to traverse one subtree, e.g. a pruned one
+    in counting mode or a worker's partition of the tree. *)
+val walk :
+  Universe.t ->
+  Ta.Spec.t ->
+  ?ctx:int ->
+  ?obs_mask:int ->
+  on_enter:(event -> [ `Descend | `Prune ]) ->
+  on_leave:(event -> unit) ->
+  on_schema:(unit -> bool) ->
+  unit ->
+  bool
+
 (** [enumerate u spec ~on_schema] drives a DFS over admissible schemas,
     calling [on_schema] for each.  [on_schema] returns [true] to continue
     the enumeration, [false] to abort it.  Returns [true] when the

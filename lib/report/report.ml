@@ -4,6 +4,8 @@ type row = {
   property : string;
   schemas : string;
   avg_len : string;
+  steps : string;
+  skipped : string;
   time : string;
   verdict : string;
   paper : string;
@@ -31,6 +33,8 @@ let row_of_result ~ta_label ~size ~paper (r : Holistic.Checker.result) =
     property = r.spec.name;
     schemas;
     avg_len = Printf.sprintf "%.0f" avg;
+    steps = string_of_int r.stats.solver_steps;
+    skipped = string_of_int r.stats.schemas_skipped;
     time;
     verdict;
     paper;
@@ -59,11 +63,11 @@ let maybe_slice ~slice ~specs ta =
     Analysis.slice ~keep:(List.concat_map Analysis.spec_locations specs) ta |> fst
   else ta
 
-let bv_rows ?(jobs = 1) ?(slice = false) () =
+let bv_rows ?(jobs = 1) ?(slice = false) ?(incremental = true) () =
   let specs = Models.Bv_ta.table2_specs in
   let ta = maybe_slice ~slice ~specs Models.Bv_ta.automaton in
   let u = Holistic.Universe.build ta in
-  let limits = { Holistic.Checker.default_limits with jobs } in
+  let limits = { Holistic.Checker.default_limits with jobs; incremental } in
   List.map
     (fun spec ->
       let r = Holistic.Checker.verify_with_universe ~limits u spec in
@@ -71,12 +75,12 @@ let bv_rows ?(jobs = 1) ?(slice = false) () =
         ~paper:(paper_time ~naive:false spec.Ta.Spec.name) r)
     specs
 
-let naive_rows ?(jobs = 1) ?(slice = false) ~budget () =
+let naive_rows ?(jobs = 1) ?(slice = false) ?(incremental = true) ~budget () =
   let specs = Models.Naive_ta.table2_specs in
   let ta = maybe_slice ~slice ~specs Models.Naive_ta.automaton in
   let limits =
     { Holistic.Checker.default_limits with max_schemas = 100_000; time_budget = Some budget;
-      jobs }
+      jobs; incremental }
   in
   List.map
     (fun spec ->
@@ -85,10 +89,11 @@ let naive_rows ?(jobs = 1) ?(slice = false) ~budget () =
         ~paper:(paper_time ~naive:true spec.Ta.Spec.name) r)
     specs
 
-let simplified_rows ?(jobs = 1) ?(slice = false) ?(specs = Models.Simplified_ta.table2_specs) () =
+let simplified_rows ?(jobs = 1) ?(slice = false) ?(incremental = true)
+    ?(specs = Models.Simplified_ta.table2_specs) () =
   let ta = maybe_slice ~slice ~specs Models.Simplified_ta.automaton in
   let u = Holistic.Universe.build ta in
-  let limits = { Holistic.Checker.default_limits with jobs } in
+  let limits = { Holistic.Checker.default_limits with jobs; incremental } in
   List.map
     (fun spec ->
       let r = Holistic.Checker.verify_with_universe ~limits u spec in
@@ -96,29 +101,31 @@ let simplified_rows ?(jobs = 1) ?(slice = false) ?(specs = Models.Simplified_ta.
         ~paper:(paper_time ~naive:false spec.Ta.Spec.name) r)
     specs
 
-let table2 ?(jobs = 1) ?(slice = false) ~quick ~naive_budget () =
-  bv_rows ~jobs ~slice ()
-  @ naive_rows ~jobs ~slice ~budget:naive_budget ()
-  @ simplified_rows ~jobs ~slice
+let table2 ?(jobs = 1) ?(slice = false) ?(incremental = true) ~quick ~naive_budget () =
+  bv_rows ~jobs ~slice ~incremental ()
+  @ naive_rows ~jobs ~slice ~incremental ~budget:naive_budget ()
+  @ simplified_rows ~jobs ~slice ~incremental
       ?specs:(if quick then Some [ Models.Simplified_ta.inv2_0; Models.Simplified_ta.good_0 ] else None)
       ()
 
 let columns =
-  [ "TA"; "Size"; "Property"; "#schemas"; "Avg len"; "Time"; "Verdict"; "Paper time" ]
+  [ "TA"; "Size"; "Property"; "#schemas"; "Avg len"; "Steps"; "Skipped"; "Time";
+    "Verdict"; "Paper time" ]
 
 let cells r =
-  [ r.ta_name; r.size; r.property; r.schemas; r.avg_len; r.time; r.verdict; r.paper ]
+  [ r.ta_name; r.size; r.property; r.schemas; r.avg_len; r.steps; r.skipped; r.time;
+    r.verdict; r.paper ]
 
 let print_text oc rows =
-  let fmt = format_of_string "%-24s %-22s %-13s %-9s %-8s %-8s %-9s %s\n" in
+  let fmt = format_of_string "%-24s %-22s %-13s %-9s %-8s %-9s %-8s %-8s %-9s %s\n" in
   (match columns with
-   | [ a; b; c; d; e; f; g; h ] -> Printf.fprintf oc fmt a b c d e f g h
+   | [ a; b; c; d; e; f; g; h; i; j ] -> Printf.fprintf oc fmt a b c d e f g h i j
    | _ -> assert false);
-  Printf.fprintf oc "%s\n" (String.make 108 '-');
+  Printf.fprintf oc "%s\n" (String.make 126 '-');
   List.iter
     (fun r ->
       match cells r with
-      | [ a; b; c; d; e; f; g; h ] -> Printf.fprintf oc fmt a b c d e f g h
+      | [ a; b; c; d; e; f; g; h; i; j ] -> Printf.fprintf oc fmt a b c d e f g h i j
       | _ -> assert false)
     rows
 

@@ -1,7 +1,8 @@
 (** Generation of the paper's Table 2 (Section 6): one row per
     (threshold automaton, property) with size, schema count, average
-    schema length, wall-clock time and verdict, next to the paper's
-    reported time.  Shared by the benchmark harness and the CLI. *)
+    schema length, solver effort, wall-clock time and verdict, next to
+    the paper's reported time.  Shared by the benchmark harness and the
+    CLI. *)
 
 type row = {
   ta_name : string;
@@ -9,6 +10,8 @@ type row = {
   property : string;
   schemas : string;
   avg_len : string;
+  steps : string;  (** total simplex steps *)
+  skipped : string;  (** schemas covered by pruned subtrees (0 when flat) *)
   time : string;
   verdict : string;
   paper : string;  (** the paper's reported time for this row *)
@@ -25,21 +28,28 @@ val size_string : Ta.Automaton.t -> string
     wall-clock column changes (see {!Holistic.Checker}).  [slice]
     (default false) runs the automaton through {!Analysis.slice} first
     (keeping the locations the row's specs mention): outcomes and
-    witnesses are unchanged, schema counts can only shrink. *)
+    witnesses are unchanged, schema counts can only shrink.
+    [incremental] (default true) selects the prefix-sharing engine;
+    verdict/schema columns are identical either way, the Steps and
+    Skipped columns show the pruning at work. *)
 
 (** [bv_rows ()] — the four bv-broadcast rows (fast). *)
-val bv_rows : ?jobs:int -> ?slice:bool -> unit -> row list
+val bv_rows : ?jobs:int -> ?slice:bool -> ?incremental:bool -> unit -> row list
 
 (** [naive_rows ~budget ()] — the three naive-consensus rows, each
     aborted after [budget] seconds (the paper's ">24h" analogue). *)
-val naive_rows : ?jobs:int -> ?slice:bool -> budget:float -> unit -> row list
+val naive_rows :
+  ?jobs:int -> ?slice:bool -> ?incremental:bool -> budget:float -> unit -> row list
 
 (** [simplified_rows ?specs ()] — the simplified-consensus rows
     (defaults to the five properties of Table 2; ~70 s total). *)
-val simplified_rows : ?jobs:int -> ?slice:bool -> ?specs:Ta.Spec.t list -> unit -> row list
+val simplified_rows :
+  ?jobs:int -> ?slice:bool -> ?incremental:bool -> ?specs:Ta.Spec.t list -> unit -> row list
 
 (** [table2 ~quick ~naive_budget ()] — all rows. *)
-val table2 : ?jobs:int -> ?slice:bool -> quick:bool -> naive_budget:float -> unit -> row list
+val table2 :
+  ?jobs:int -> ?slice:bool -> ?incremental:bool -> quick:bool -> naive_budget:float ->
+  unit -> row list
 
 val print_text : out_channel -> row list -> unit
 val to_markdown : row list -> string

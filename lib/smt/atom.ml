@@ -1,4 +1,5 @@
 module Q = Numbers.Rational
+module B = Numbers.Bigint
 
 type rel = Le | Lt | Eq
 
@@ -43,11 +44,51 @@ let trivial a =
 
 let vars a = Linexpr.vars a.expr
 
-let compare a b =
-  let c = Stdlib.compare a.rel b.rel in
-  if c <> 0 then c else Linexpr.compare a.expr b.expr
+(* Canonical form for comparison and hashing: scale to integer
+   coefficients (a positive factor, so the relation is unchanged), then
+   divide out the GCD of all coefficients and the constant — [2x+2 <= 0]
+   and [x+1 <= 0] are the same constraint over the rationals and must
+   compare equal.  Equalities additionally get a canonical sign (the
+   lowest-variable coefficient positive), since [e = 0] and [-e = 0]
+   coincide. *)
+let canonical a =
+  let expr = Linexpr.scale_to_integers a.expr in
+  let g =
+    List.fold_left
+      (fun acc (c, _) -> B.gcd acc (Q.to_bigint c))
+      (B.abs (Q.to_bigint (Linexpr.constant expr)))
+      (Linexpr.terms expr)
+  in
+  let expr =
+    if B.is_zero g || B.equal g B.one then expr
+    else Linexpr.scale (Q.make B.one g) expr
+  in
+  let expr =
+    if a.rel <> Eq then expr
+    else begin
+      let leading =
+        match Linexpr.terms expr with
+        | (c, _) :: _ -> Q.sign c
+        | [] -> Q.sign (Linexpr.constant expr)
+      in
+      if leading < 0 then Linexpr.neg expr else expr
+    end
+  in
+  { a with expr }
 
-let equal a b = compare a b = 0
+let compare a b =
+  if a == b then 0
+  else begin
+    let c = Stdlib.compare a.rel b.rel in
+    if c <> 0 then c
+    else Linexpr.compare (canonical a).expr (canonical b).expr
+  end
+
+let equal a b = a == b || compare a b = 0
+
+let hash a =
+  let tag = match a.rel with Le -> 0 | Lt -> 1 | Eq -> 2 in
+  (Linexpr.hash (canonical a).expr * 3) + tag land max_int
 
 let to_string ?names a =
   let rel = match a.rel with Le -> "<=" | Lt -> "<" | Eq -> "=" in

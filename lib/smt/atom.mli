@@ -32,7 +32,21 @@ val holds_delta : (int -> Delta.t) -> t -> bool
 val trivial : t -> bool option
 
 val vars : t -> int list
+
+(** [canonical a] rewrites [a] into its canonical representative:
+    integral coefficients with GCD (including the constant) divided out,
+    and — for equalities — a canonical sign.  [equal]/[compare]/[hash]
+    identify atoms up to this normalization, so [2x+2 <= 0] and
+    [x+1 <= 0] are one atom; callers that key tables on atoms should
+    store the canonical form so {!Linexpr.hash}'s cache is shared. *)
+val canonical : t -> t
+
+(** Equality up to {!canonical}, with a physical-equality fast path. *)
 val equal : t -> t -> bool
+
 val compare : t -> t -> int
+
+(** Hash compatible with {!equal} (computed on the canonical form). *)
+val hash : t -> int
 val pp : ?names:(int -> string) -> Format.formatter -> t -> unit
 val to_string : ?names:(int -> string) -> t -> string

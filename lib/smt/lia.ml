@@ -137,6 +137,364 @@ let solve ?steps ?(max_steps = 20_000) atoms =
   | exception Infeasible -> finish Unsat
   | exception Budget -> finish Unknown
 
+(* ------------------------------------------------------------------ *)
+(* Incremental assertion stack: a thin integer layer over
+   {!Simplex.Session}.  Atoms are normalized and GCD-tightened at assert
+   time (catching divisibility conflicts and trivially false constants
+   at zero solver cost), deduplicated up to {!Atom.canonical}, and pushed
+   onto the warm simplex tableau.  [check] first replays the last
+   satisfying integral model against the atoms asserted since it was
+   found — on the enumeration DFS the parent's model usually still
+   satisfies the child's extended prefix, so most reachability checks
+   are a cache hit costing a handful of evaluations — and only then
+   falls back to branch-and-bound over session push/pop. *)
+
+module Canon = Hashtbl.Make (struct
+  type t = Atom.t
+
+  (* Keys are already canonical, so compare components directly and let
+     Linexpr's cached hash do the work. *)
+  let equal (a : Atom.t) (b : Atom.t) = a.rel = b.rel && Linexpr.equal a.expr b.expr
+  let hash (a : Atom.t) = (Linexpr.hash a.expr * 3) + Hashtbl.hash a.rel
+end)
+
+type frame = {
+  saved_len : int;
+  saved_infeasible : bool;
+  saved_trail : int;
+  mutable added : Atom.t list;  (** canonical keys to retract from [seen] *)
+}
+
+type var_bounds = { mutable lo : B.t option; mutable hi : B.t option }
+
+type session = {
+  sx : Simplex.Session.t;
+  seen : unit Canon.t;  (** live asserted atoms, canonical, for dedup *)
+  mutable log : Atom.t list;  (** asserted atoms, newest first *)
+  mutable len : int;
+  mutable frames : frame list;
+  mutable infeasible : bool;
+  mutable model : (int * B.t) list option;  (** last satisfying model *)
+  mutable model_valid_upto : int;  (** log prefix the model is known to satisfy *)
+  bounds : (int, var_bounds) Hashtbl.t;
+      (** interval store maintained by assert-time propagation *)
+  mutable trail : (int * B.t option * B.t option) list;
+      (** bound updates to undo on pop: (var, old lo, old hi) *)
+  mutable trail_len : int;
+}
+
+let create () =
+  {
+    sx = Simplex.Session.create ();
+    seen = Canon.create 256;
+    log = [];
+    len = 0;
+    frames = [];
+    infeasible = false;
+    model = None;
+    model_valid_upto = 0;
+    bounds = Hashtbl.create 64;
+    trail = [];
+    trail_len = 0;
+  }
+
+let push s =
+  Simplex.Session.push s.sx;
+  s.frames <-
+    { saved_len = s.len;
+      saved_infeasible = s.infeasible;
+      saved_trail = s.trail_len;
+      added = [] }
+    :: s.frames
+
+let pop s =
+  match s.frames with
+  | [] -> invalid_arg "Lia.pop: empty assertion stack"
+  | frame :: rest ->
+    Simplex.Session.pop s.sx;
+    List.iter (fun key -> Canon.remove s.seen key) frame.added;
+    let drop = s.len - frame.saved_len in
+    s.log <- List.filteri (fun i _ -> i >= drop) s.log;
+    s.len <- frame.saved_len;
+    s.model_valid_upto <- min s.model_valid_upto s.len;
+    s.infeasible <- frame.saved_infeasible;
+    while s.trail_len > frame.saved_trail do
+      match s.trail with
+      | [] -> assert false
+      | (v, lo, hi) :: rest ->
+        let b = Hashtbl.find s.bounds v in
+        b.lo <- lo;
+        b.hi <- hi;
+        s.trail <- rest;
+        s.trail_len <- s.trail_len - 1
+    done;
+    s.frames <- rest
+
+(* ------------------------------------------------------------------ *)
+(* Assert-time interval propagation.  A cheap, sound refutation layer
+   over the asserted conjunction: per-variable integer intervals are
+   tightened by bounds consequence — for [sum c_i x_i + k <= 0], each
+   [c_j x_j] is at most [-k] minus a lower bound on the other terms, so
+   [x_j <= fdiv rhs c_j] (or [>= cdiv] for negative [c_j]; the rounding
+   is sound because all variables are integral).  An empty interval
+   proves the conjunction unsatisfiable without touching the simplex,
+   which is what lets {!check_quick} answer reachability queries at
+   zero solver-step cost.  All updates go through the trail so {!pop}
+   restores the store exactly. *)
+
+let var_bounds_of s v =
+  match Hashtbl.find_opt s.bounds v with
+  | Some b -> b
+  | None ->
+    let b = { lo = None; hi = None } in
+    Hashtbl.add s.bounds v b;
+    b
+
+let record s v (b : var_bounds) =
+  s.trail <- (v, b.lo, b.hi) :: s.trail;
+  s.trail_len <- s.trail_len + 1
+
+let improve_lo s v x =
+  let b = var_bounds_of s v in
+  match b.lo with
+  | Some l when B.compare l x >= 0 -> false
+  | _ ->
+    record s v b;
+    b.lo <- Some x;
+    (match b.hi with
+     | Some h when B.compare x h > 0 -> s.infeasible <- true
+     | _ -> ());
+    true
+
+let improve_hi s v x =
+  let b = var_bounds_of s v in
+  match b.hi with
+  | Some h when B.compare h x <= 0 -> false
+  | _ ->
+    record s v b;
+    b.hi <- Some x;
+    (match b.lo with
+     | Some l when B.compare l x > 0 -> s.infeasible <- true
+     | _ -> ());
+    true
+
+(* Propagate one [expr <= 0] atom (integer coefficients); returns true
+   if some interval was tightened. *)
+let propagate_le s expr =
+  let terms = List.map (fun (c, v) -> (Q.to_bigint c, v)) (Linexpr.terms expr) in
+  let k = Q.to_bigint (Linexpr.constant expr) in
+  let improved = ref false in
+  List.iter
+    (fun (cj, xj) ->
+      (* Lower-bound [sum_{i<>j} c_i x_i]; None when some needed bound
+         is missing. *)
+      let rest =
+        List.fold_left
+          (fun acc (ci, xi) ->
+            match acc with
+            | None -> None
+            | Some sum ->
+              if xi = xj then Some sum
+              else
+                let b = var_bounds_of s xi in
+                let contrib =
+                  if B.sign ci > 0 then
+                    match b.lo with Some l -> Some (B.mul ci l) | None -> None
+                  else match b.hi with Some h -> Some (B.mul ci h) | None -> None
+                in
+                (match contrib with
+                 | Some c -> Some (B.add sum c)
+                 | None -> None))
+          (Some B.zero) terms
+      in
+      match rest with
+      | None -> ()
+      | Some sum ->
+        let rhs = B.sub (B.neg k) sum in
+        if B.sign cj > 0 then begin
+          if improve_hi s xj (B.fdiv rhs cj) then improved := true
+        end
+        else if improve_lo s xj (B.cdiv rhs cj) then improved := true)
+    terms;
+  !improved
+
+let propagate_atom s (a : Atom.t) =
+  match a.rel with
+  | Atom.Le -> propagate_le s a.expr
+  | Atom.Eq ->
+    let fwd = propagate_le s a.expr in
+    let bwd = propagate_le s (Linexpr.neg a.expr) in
+    fwd || bwd
+  | Atom.Lt -> propagate_le s (Linexpr.add_const Q.one a.expr)
+
+(* Run propagation to a bounded fixpoint over the live conjunction.
+   The round cap keeps slowly-converging chains from dominating assert
+   cost; it only limits how much gets refuted for free, never
+   soundness. *)
+let max_propagation_rounds = 16
+
+let propagate_fixpoint s =
+  let rec loop rounds =
+    if rounds > 0 && not s.infeasible then begin
+      let improved = List.fold_left (fun acc a -> propagate_atom s a || acc) false s.log in
+      if improved then loop (rounds - 1)
+    end
+  in
+  loop max_propagation_rounds
+
+let assert_atoms s atoms =
+  let fresh = ref false in
+  List.iter
+    (fun a ->
+      if not s.infeasible then begin
+        match
+          let a = normalize a in
+          tighten a
+        with
+        | exception Infeasible -> s.infeasible <- true
+        | a -> (
+          match Atom.trivial a with
+          | Some true -> ()
+          | Some false -> s.infeasible <- true
+          | None ->
+            let key = Atom.canonical a in
+            if not (Canon.mem s.seen key) then begin
+              Canon.replace s.seen key ();
+              (match s.frames with
+               | [] -> ()  (* base level: permanent, never retracted *)
+               | frame :: _ -> frame.added <- key :: frame.added);
+              s.log <- a :: s.log;
+              s.len <- s.len + 1;
+              Simplex.Session.assert_atom s.sx a;
+              ignore (propagate_atom s a);
+              fresh := true
+            end)
+      end)
+    atoms;
+  if !fresh && not s.infeasible then propagate_fixpoint s
+
+(* The delta-rational simplex assignment, concretized exactly as in
+   {!Simplex.solve}: substitute a concrete positive value for delta,
+   halving until every asserted atom (including the branch-and-bound
+   cuts currently on the stack) holds. *)
+let concretize s cuts vars =
+  let deltas = List.map (fun v -> (v, Simplex.Session.value s.sx v)) vars in
+  let atoms = List.rev_append cuts s.log in
+  let rec go d tries =
+    if tries = 0 then None
+    else begin
+      let assign v =
+        match List.assoc_opt v deltas with
+        | Some { Delta.r; d = k } -> Q.add r (Q.mul k d)
+        | None -> Q.zero
+      in
+      if List.for_all (Atom.holds assign) atoms then
+        Some (List.map (fun (v, _) -> (v, assign v)) deltas)
+      else go (Q.div d (Q.of_int 2)) (tries - 1)
+    end
+  in
+  go Q.one 4096
+
+(* Model-cache fast path: does the last model satisfy the atoms
+   asserted since it was found? *)
+let cached_model s =
+  match s.model with
+  | None -> None
+  | Some m ->
+    let assign v =
+      match List.assoc_opt v m with Some b -> Q.of_bigint b | None -> Q.zero
+    in
+    let fresh = s.len - s.model_valid_upto in
+    let rec holds_fresh i = function
+      | _ when i >= fresh -> true
+      | [] -> true
+      | a :: rest -> Atom.holds assign a && holds_fresh (i + 1) rest
+    in
+    if holds_fresh 0 s.log then Some m else None
+
+(* Answer from the incremental prefix state alone — the propagated
+   interval store and the model cache — at zero simplex cost.  Unknown
+   means "the cheap layers cannot decide"; the caller either descends
+   (reachability pruning) or falls back to {!check}. *)
+let check_quick ?hits s =
+  let bump () = match hits with Some r -> incr r | None -> () in
+  if s.infeasible then begin
+    bump ();
+    Unsat
+  end
+  else
+    match cached_model s with
+    | Some m ->
+      bump ();
+      s.model_valid_upto <- s.len;
+      Sat m
+    | None -> Unknown
+
+let check ?steps ?hits ?(max_steps = 20_000) s =
+  let budget = ref max_steps in
+  let finish result =
+    (match steps with Some r -> r := !r + (max_steps - !budget) | None -> ());
+    result
+  in
+  if s.infeasible then finish Unsat
+  else begin
+    match cached_model s with
+    | Some m ->
+      (match hits with Some r -> incr r | None -> ());
+      s.model_valid_upto <- s.len;
+      finish (Sat m)
+    | None -> (
+      let vars = List.concat_map Atom.vars s.log |> List.sort_uniq compare in
+      let rec branch cuts depth =
+        if !budget <= 0 || depth > 600 then raise Budget;
+        decr budget;
+        match Simplex.Session.check s.sx with
+        | `Unsat -> None
+        | `Sat -> (
+          match concretize s cuts vars with
+          | None -> raise Budget
+          | Some model -> (
+            match List.find_opt (fun (_, q) -> fractional q) model with
+            | None -> Some model
+            | Some (v, q) ->
+              let f = Q.floor q in
+              let cut rel_expr =
+                { Atom.expr = rel_expr; rel = Atom.Le }
+              in
+              let low =
+                cut (Linexpr.sub (Linexpr.var v) (Linexpr.const (Q.of_bigint f)))
+              in
+              let high =
+                cut
+                  (Linexpr.sub
+                     (Linexpr.const (Q.of_bigint (B.succ f)))
+                     (Linexpr.var v))
+              in
+              let try_cut c =
+                Simplex.Session.push s.sx;
+                Simplex.Session.assert_atom s.sx c;
+                let r =
+                  match branch (c :: cuts) (depth + 1) with
+                  | r -> r
+                  | exception e ->
+                    Simplex.Session.pop s.sx;
+                    raise e
+                in
+                Simplex.Session.pop s.sx;
+                r
+              in
+              (match try_cut low with Some m -> Some m | None -> try_cut high)))
+      in
+      match branch [] 0 with
+      | exception Budget -> finish Unknown
+      | None -> finish Unsat
+      | Some model ->
+        let m = List.map (fun (v, q) -> (v, Q.to_bigint q)) model in
+        s.model <- Some m;
+        s.model_valid_upto <- s.len;
+        finish (Sat m))
+  end
+
 let check_model atoms model =
   let assign v =
     match List.assoc_opt v model with

@@ -22,3 +22,51 @@ val solve : ?steps:int ref -> ?max_steps:int -> Atom.t list -> result
 (** [check_model atoms model] re-evaluates all atoms under an integral
     model; used for internal sanity checking and by tests. *)
 val check_model : Atom.t list -> (int * B.t) list -> bool
+
+(** {1 Incremental assertion stack}
+
+    A session keeps a warm {!Simplex.Session} tableau across pops, so a
+    DFS that pushes constraint deltas on the way down and pops on the
+    way back (the incremental schema checker) never rebuilds the shared
+    prefix.  Atoms are normalized and GCD-tightened when asserted —
+    divisibility conflicts and trivially false atoms make the frame
+    infeasible at zero solver cost — and deduplicated up to
+    {!Atom.canonical}.
+
+    Assertion also feeds a sound interval-propagation layer: integer
+    bounds are derived per variable from the asserted conjunction
+    (bounded fixpoint, trail-restored on pop), and an empty interval
+    marks the frame infeasible without any simplex work.  This is what
+    lets {!check_quick} refute unreachable enumeration prefixes for
+    free. *)
+
+type session
+
+val create : unit -> session
+
+(** [push s] opens an assertion frame; [pop s] retracts the atoms
+    asserted since the matching push.  Atoms asserted before any push
+    are permanent.
+    @raise Invalid_argument when popping an empty stack. *)
+val push : session -> unit
+
+val pop : session -> unit
+
+val assert_atoms : session -> Atom.t list -> unit
+
+(** [check ?steps ?hits ?max_steps s] decides the asserted conjunction
+    over the integers.  The last satisfying model is cached: when it
+    still satisfies the atoms asserted since — the common case along an
+    enumeration DFS — the check is answered without touching the
+    simplex, and [hits] (when given) is incremented.  Otherwise runs
+    branch-and-bound over the warm tableau; [steps] counts simplex
+    checks exactly like {!solve} counts simplex calls. *)
+val check : ?steps:int ref -> ?hits:int ref -> ?max_steps:int -> session -> result
+
+(** [check_quick ?hits s] answers from the incremental prefix state
+    alone — the propagated interval store and the cached model — and
+    never invokes the simplex, so it costs zero solver steps by
+    construction.  [Unsat] and [Sat _] are definitive (and bump [hits]);
+    [Unknown] only means the cheap layers cannot decide, and the caller
+    should descend or fall back to {!check}. *)
+val check_quick : ?hits:int ref -> session -> result

@@ -2,14 +2,21 @@ module Q = Numbers.Rational
 module B = Numbers.Bigint
 module IntMap = Map.Make (Int)
 
-type t = { coeffs : Q.t IntMap.t; const : Q.t }
+(* [hash] caches the structural hash: -1 = not yet computed.  Every
+   construction goes through [mk] so a stale cache can never be copied
+   into a fresh expression (no [{ e with _ }] updates below).  The cache
+   makes the hash O(1) after first use, which the incremental engine's
+   assertion-dedup tables rely on. *)
+type t = { coeffs : Q.t IntMap.t; const : Q.t; mutable hash : int }
 
-let zero = { coeffs = IntMap.empty; const = Q.zero }
-let const k = { coeffs = IntMap.empty; const = k }
+let mk coeffs const = { coeffs; const; hash = -1 }
+
+let zero = mk IntMap.empty Q.zero
+let const k = mk IntMap.empty k
 let of_int n = const (Q.of_int n)
 
 let term c x =
-  if Q.is_zero c then zero else { coeffs = IntMap.singleton x c; const = Q.zero }
+  if Q.is_zero c then zero else mk (IntMap.singleton x c) Q.zero
 
 let var x = term Q.one x
 
@@ -20,9 +27,9 @@ let add_term c x e =
       let c' = Q.add c0 c in
       if Q.is_zero c' then None else Some c'
   in
-  { e with coeffs = IntMap.update x update e.coeffs }
+  mk (IntMap.update x update e.coeffs) e.const
 
-let add_const k e = { e with const = Q.add e.const k }
+let add_const k e = mk e.coeffs (Q.add e.const k)
 
 let of_terms terms k =
   List.fold_left (fun e (c, x) -> add_term c x e) (const k) terms
@@ -38,11 +45,11 @@ let add a b =
         if Q.is_zero c then None else Some c)
       a.coeffs b.coeffs
   in
-  { coeffs; const = Q.add a.const b.const }
+  mk coeffs (Q.add a.const b.const)
 
 let scale q e =
   if Q.is_zero q then zero
-  else { coeffs = IntMap.map (Q.mul q) e.coeffs; const = Q.mul q e.const }
+  else mk (IntMap.map (Q.mul q) e.coeffs) (Q.mul q e.const)
 
 let neg e = scale Q.minus_one e
 let sub a b = add a (neg b)
@@ -70,10 +77,28 @@ let scale_to_integers e =
   scale (Q.of_bigint l) e
 
 let compare a b =
-  let c = Q.compare a.const b.const in
-  if c <> 0 then c else IntMap.compare Q.compare a.coeffs b.coeffs
+  if a == b then 0
+  else begin
+    let c = Q.compare a.const b.const in
+    if c <> 0 then c else IntMap.compare Q.compare a.coeffs b.coeffs
+  end
 
-let equal a b = compare a b = 0
+let equal a b = a == b || compare a b = 0
+
+let hash_q q = (B.hash (Q.num q) * 31) + B.hash (Q.den q)
+
+let hash e =
+  if e.hash >= 0 then e.hash
+  else begin
+    let h =
+      IntMap.fold
+        (fun x c acc -> (acc * 131) + (x * 31) + hash_q c)
+        e.coeffs (hash_q e.const)
+      land max_int
+    in
+    e.hash <- h;
+    h
+  end
 
 let to_string ?(names = fun i -> "x" ^ string_of_int i) e =
   let buf = Buffer.create 32 in
@@ -101,12 +126,11 @@ let to_string ?(names = fun i -> "x" ^ string_of_int i) e =
 let pp ?names fmt e = Format.pp_print_string fmt (to_string ?names e)
 
 let map_vars f e =
-  {
-    e with
-    coeffs = IntMap.fold (fun x c acc -> IntMap.add (f x) c acc) e.coeffs IntMap.empty;
-  }
+  mk
+    (IntMap.fold (fun x c acc -> IntMap.add (f x) c acc) e.coeffs IntMap.empty)
+    e.const
 
 let subst x by e =
   match IntMap.find_opt x e.coeffs with
   | None -> e
-  | Some c -> add { e with coeffs = IntMap.remove x e.coeffs } (scale c by)
+  | Some c -> add (mk (IntMap.remove x e.coeffs) e.const) (scale c by)

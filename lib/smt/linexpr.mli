@@ -55,8 +55,16 @@ val eval_delta : (int -> Delta.t) -> t -> Delta.t
     resulting expression. *)
 val scale_to_integers : t -> t
 
+(** [equal] and [compare] take a physical-equality fast path before the
+    structural comparison. *)
 val equal : t -> t -> bool
+
 val compare : t -> t -> int
+
+(** [hash e] is a structural hash, cached in the expression after the
+    first call (so repeated hashing — e.g. in the incremental engine's
+    assertion-dedup tables — is O(1)).  Compatible with {!equal}. *)
+val hash : t -> int
 
 (** [pp ?names fmt e] prints [e]; [names] renders variable indices
     (default ["x<i>"]). *)

@@ -264,6 +264,217 @@ let solve_delta atoms =
            (v, st.beta.(dense_of 0 original_vars)))
          original_vars)
 
+(* ------------------------------------------------------------------ *)
+(* Incremental assertion-stack interface.
+
+   The tableau (the [rows] equality system) is permanent: pivoting only
+   rewrites it into an equivalent system, and a slack variable's defining
+   row constrains nothing once the slack's bounds are retracted — so
+   [pop] never touches rows, it only unwinds bound changes from the
+   frame's trail.  Variables and slack rows allocated inside a popped
+   frame stay behind, unbounded and therefore vacuous, ready to be
+   reused when a sibling branch asserts the same linear form (the
+   prefix-sharing the incremental checker lives on).
+
+   Within a frame, bounds only ever tighten, so popping (loosening)
+   keeps every nonbasic variable inside its restored bounds; basic
+   variables may drift out, which the next [check] repairs — exactly the
+   Dutertre–de Moura backtracking discipline. *)
+
+module Session = struct
+  type frame = {
+    mutable trail : (int * [ `Lower | `Upper ] * Delta.t option) list;
+    saved_infeasible : bool;
+  }
+
+  type session = {
+    mutable n : int;  (** dense variables allocated (externals + slacks) *)
+    mutable beta : Delta.t array;
+    mutable lower : Delta.t option array;
+    mutable upper : Delta.t option array;
+    mutable basic : bool array;
+    rows : (int, Q.t IntMap.t) Hashtbl.t;
+    dense : (int, int) Hashtbl.t;  (** external variable -> dense id *)
+    mutable ext : int list;  (** external variables, reverse arrival order *)
+    slack_of : ((Q.t * int) list, int) Hashtbl.t;
+    mutable frames : frame list;
+    mutable infeasible : bool;
+  }
+
+  type t = session
+
+  let create () =
+    {
+      n = 0;
+      beta = Array.make 64 Delta.zero;
+      lower = Array.make 64 None;
+      upper = Array.make 64 None;
+      basic = Array.make 64 false;
+      rows = Hashtbl.create 64;
+      dense = Hashtbl.create 64;
+      ext = [];
+      slack_of = Hashtbl.create 64;
+      frames = [];
+      infeasible = false;
+    }
+
+  let view s =
+    { nvars = s.n; rows = s.rows; beta = s.beta; lower = s.lower; upper = s.upper;
+      basic = s.basic }
+
+  let grow s =
+    let cap = Array.length s.beta in
+    if s.n >= cap then begin
+      let cap' = 2 * cap in
+      let extend mk a = Array.init cap' (fun i -> if i < cap then a.(i) else mk) in
+      s.beta <- extend Delta.zero s.beta;
+      s.lower <- extend None s.lower;
+      s.upper <- extend None s.upper;
+      s.basic <- extend false s.basic
+    end
+
+  let alloc s =
+    grow s;
+    let v = s.n in
+    s.n <- s.n + 1;
+    s.beta.(v) <- Delta.zero;
+    s.lower.(v) <- None;
+    s.upper.(v) <- None;
+    s.basic.(v) <- false;
+    v
+
+  let dense_of s x =
+    match Hashtbl.find_opt s.dense x with
+    | Some v -> v
+    | None ->
+      let v = alloc s in
+      Hashtbl.replace s.dense x v;
+      s.ext <- x :: s.ext;
+      v
+
+  let push s =
+    s.frames <- { trail = []; saved_infeasible = s.infeasible } :: s.frames
+
+  let pop s =
+    match s.frames with
+    | [] -> invalid_arg "Simplex.Session.pop: empty assertion stack"
+    | frame :: rest ->
+      List.iter
+        (fun (x, side, prev) ->
+          match side with `Lower -> s.lower.(x) <- prev | `Upper -> s.upper.(x) <- prev)
+        frame.trail;
+      s.infeasible <- frame.saved_infeasible;
+      s.frames <- rest
+
+  let record s x side prev =
+    match s.frames with
+    | [] -> ()  (* base level: permanent *)
+    | frame :: _ -> frame.trail <- (x, side, prev) :: frame.trail
+
+  let session_assert_upper s x c =
+    let tighter =
+      match s.upper.(x) with None -> true | Some u -> Delta.compare c u < 0
+    in
+    if tighter then begin
+      match s.lower.(x) with
+      | Some l when Delta.compare c l < 0 -> s.infeasible <- true
+      | _ ->
+        record s x `Upper s.upper.(x);
+        s.upper.(x) <- Some c;
+        if (not s.basic.(x)) && Delta.compare s.beta.(x) c > 0 then update (view s) x c
+    end
+
+  let session_assert_lower s x c =
+    let tighter =
+      match s.lower.(x) with None -> true | Some l -> Delta.compare c l > 0
+    in
+    if tighter then begin
+      match s.upper.(x) with
+      | Some u when Delta.compare c u > 0 -> s.infeasible <- true
+      | _ ->
+        record s x `Lower s.lower.(x);
+        s.lower.(x) <- Some c;
+        if (not s.basic.(x)) && Delta.compare s.beta.(x) c < 0 then update (view s) x c
+    end
+
+  (* A new slack row must be expressed over nonbasic variables (the
+     tableau invariant), so substitute the current definition of any
+     basic variable it mentions, and give the slack the beta value the
+     row dictates. *)
+  let install_slack s linear =
+    let slack = alloc s in
+    let row =
+      List.fold_left
+        (fun acc (c, v) ->
+          let contrib =
+            if s.basic.(v) then IntMap.map (Q.mul c) (Hashtbl.find s.rows v)
+            else IntMap.singleton v c
+          in
+          IntMap.union
+            (fun _ c1 c2 ->
+              let c' = Q.add c1 c2 in
+              if Q.is_zero c' then None else Some c')
+            acc contrib)
+        IntMap.empty linear
+    in
+    s.beta.(slack) <-
+      IntMap.fold
+        (fun v c acc -> Delta.add acc (Delta.scale c s.beta.(v)))
+        row Delta.zero;
+    Hashtbl.replace s.rows slack row;
+    s.basic.(slack) <- true;
+    Hashtbl.replace s.slack_of linear slack;
+    slack
+
+  let assert_atom s (a : Atom.t) =
+    if not s.infeasible then begin
+      match Atom.trivial a with
+      | Some true -> ()
+      | Some false -> s.infeasible <- true
+      | None ->
+        let linear =
+          Linexpr.terms a.expr |> List.map (fun (c, v) -> (c, dense_of s v))
+        in
+        let bound = Q.neg (Linexpr.constant a.expr) in
+        let target, upper_side, bound =
+          match linear with
+          | [ (c, v) ] -> (v, Q.sign c > 0, Q.div bound c)
+          | _ ->
+            let slack =
+              match Hashtbl.find_opt s.slack_of linear with
+              | Some slack -> slack
+              | None -> install_slack s linear
+            in
+            (slack, true, bound)
+        in
+        match (a.rel, upper_side) with
+        | Atom.Le, true -> session_assert_upper s target (Delta.of_rational bound)
+        | Atom.Lt, true -> session_assert_upper s target (Delta.make bound Q.minus_one)
+        | Atom.Le, false -> session_assert_lower s target (Delta.of_rational bound)
+        | Atom.Lt, false -> session_assert_lower s target (Delta.make bound Q.one)
+        | Atom.Eq, _ ->
+          session_assert_upper s target (Delta.of_rational bound);
+          if not s.infeasible then
+            session_assert_lower s target (Delta.of_rational bound)
+    end
+
+  let check s =
+    if s.infeasible then `Unsat
+    else
+      match check (view s) with
+      | () -> `Sat
+      | exception Conflict ->
+        s.infeasible <- true;
+        `Unsat
+
+  let value s x =
+    match Hashtbl.find_opt s.dense x with
+    | Some v -> s.beta.(v)
+    | None -> Delta.zero
+
+  let vars s = List.sort compare s.ext
+end
+
 let solve atoms =
   match solve_delta atoms with
   | None -> Unsat

@@ -23,3 +23,41 @@ val solve : Atom.t list -> result
 (** [solve_delta atoms] is like {!solve} but exposes the delta-rational
     assignment directly. *)
 val solve_delta : Atom.t list -> (int * Delta.t) list option
+
+(** Incremental assertion-stack interface.  The tableau and all derived
+    slack rows are kept warm across [pop]s: popping a frame only unwinds
+    the bound changes recorded in its trail, so re-asserting constraints
+    over previously seen linear forms reuses the existing rows and the
+    current (dual-feasible) basis instead of rebuilding the problem.
+    Used by {!Lia}'s assertion stack, which the incremental schema
+    checker drives along its enumeration DFS. *)
+module Session : sig
+  type t
+
+  val create : unit -> t
+
+  (** [push s] opens a new assertion frame. *)
+  val push : t -> unit
+
+  (** [pop s] retracts every bound asserted since the matching {!push}
+      (tableau rows and variables stay, unconstrained).
+      @raise Invalid_argument on an empty stack. *)
+  val pop : t -> unit
+
+  (** [assert_atom s a] adds [a] to the current frame.  Asserting at
+      depth 0 (before any [push]) is permanent.  A trivially false atom,
+      or a bound crossing an earlier one, marks the current frame
+      infeasible — subsequent checks return [`Unsat] until the frame is
+      popped. *)
+  val assert_atom : t -> Atom.t -> unit
+
+  (** [check s] decides the asserted conjunction over the rationals. *)
+  val check : t -> [ `Sat | `Unsat ]
+
+  (** [value s x] is the delta-rational value of external variable [x]
+      after a [`Sat] check (zero for unseen variables). *)
+  val value : t -> int -> Delta.t
+
+  (** [vars s] lists the external variables asserted so far, ascending. *)
+  val vars : t -> int list
+end

@@ -1,0 +1,359 @@
+(* Cross-validation of the incremental prefix-sharing discharge engine
+   against the flat one-query-per-schema reference engine.
+
+   The incremental checker (limits.incremental, the default) promises
+   bit-identical outcomes, witness traces, schema counts (= enumeration
+   positions, so budget aborts land on the same schema) and slot totals,
+   while solving strictly no more simplex steps.  This suite pins that
+   contract on:
+
+   - every bundled bv-broadcast property and every simplified-consensus
+     property (Table 2 rows in full, symmetric variants under a schema
+     budget to pin the deterministic abort path);
+   - the naive-consensus abort rows and the broken-resilience
+     counterexample (witness equality included);
+   - the parallel incremental engine (jobs > 1) against the sequential
+     one — outcome/witness/schemas/slots only: the subtree-pruned and
+     prefix-hit counters legitimately differ in granularity (one
+     sequential prune may surface as several pruned jobs);
+   - a qcheck property over random small DAG automata, whose verdicts
+     must also be confirmed by the explicit-state checker. *)
+
+module A = Ta.Automaton
+module G = Ta.Guard
+module P = Ta.Pexpr
+module C = Ta.Cond
+module S = Ta.Spec
+module Ck = Holistic.Checker
+
+let limits ?(max_schemas = 100_000) ?(jobs = 1) ~incremental () =
+  { Ck.default_limits with max_schemas; jobs; incremental }
+
+let outcome_repr = function
+  | Ck.Holds -> "holds"
+  | Ck.Violated w -> Format.asprintf "violated@\n%a" Holistic.Witness.pp w
+  | Ck.Aborted reason -> "aborted: " ^ reason
+
+(* Incremental on vs off (both sequential): identical outcome (witness
+   trace included), schema count and slot total; no more solver steps.
+   Returns the incremental result for further inspection. *)
+let check_pair ?max_schemas name u spec =
+  let flat =
+    Ck.verify_with_universe ~limits:(limits ?max_schemas ~incremental:false ()) u spec
+  in
+  let inc =
+    Ck.verify_with_universe ~limits:(limits ?max_schemas ~incremental:true ()) u spec
+  in
+  Alcotest.(check string)
+    (name ^ ": outcome/witness")
+    (outcome_repr flat.Ck.outcome) (outcome_repr inc.Ck.outcome);
+  Alcotest.(check int) (name ^ ": schemas") flat.Ck.stats.schemas_checked
+    inc.Ck.stats.schemas_checked;
+  Alcotest.(check int) (name ^ ": slots") flat.Ck.stats.slots_total inc.Ck.stats.slots_total;
+  Alcotest.(check bool)
+    (name ^ ": steps no worse")
+    true
+    (inc.Ck.stats.solver_steps <= flat.Ck.stats.solver_steps);
+  (* Checked + skipped is the whole transcript. *)
+  Alcotest.(check bool)
+    (name ^ ": skipped <= schemas")
+    true
+    (inc.Ck.stats.schemas_skipped <= inc.Ck.stats.schemas_checked);
+  (flat, inc)
+
+(* Parallel incremental vs sequential incremental: same outcome,
+   witness, schemas and slots (steps/hits excluded by design). *)
+let check_par ?max_schemas ?(par_jobs = 4) name u spec =
+  let seq =
+    Ck.verify_with_universe ~limits:(limits ?max_schemas ~incremental:true ()) u spec
+  in
+  let par =
+    Ck.verify_with_universe
+      ~limits:(limits ?max_schemas ~jobs:par_jobs ~incremental:true ())
+      u spec
+  in
+  Alcotest.(check string)
+    (name ^ ": par outcome/witness")
+    (outcome_repr seq.Ck.outcome) (outcome_repr par.Ck.outcome);
+  Alcotest.(check int) (name ^ ": par schemas") seq.Ck.stats.schemas_checked
+    par.Ck.stats.schemas_checked;
+  Alcotest.(check int) (name ^ ": par slots") seq.Ck.stats.slots_total
+    par.Ck.stats.slots_total
+
+(* ------------------------------------------------------------------ *)
+(* The paper's automata.                                                *)
+
+let bv_u = lazy (Holistic.Universe.build Models.Bv_ta.automaton)
+
+let bv_tests =
+  List.map
+    (fun (spec : S.t) ->
+      Alcotest.test_case ("bv " ^ spec.name) `Quick (fun () ->
+          ignore (check_pair ("bv " ^ spec.name) (Lazy.force bv_u) spec);
+          check_par ("bv " ^ spec.name) (Lazy.force bv_u) spec))
+    Models.Bv_ta.all_specs
+
+let simplified_u = lazy (Holistic.Universe.build Models.Simplified_ta.automaton)
+
+(* The pruning must actually fire somewhere cheap and deterministic:
+   Inv2_0 pins a counter to zero initially while unlocked guards demand
+   the matching shared variable to be positive, which the interval
+   propagation refutes prefix-by-prefix.  Incremental only — the flat
+   run of this property is the slow path this engine exists to avoid
+   (it is compared in full in the Slow suite below). *)
+let test_pruning_fires () =
+  let spec =
+    List.find
+      (fun (s : S.t) -> s.name = "Inv2_0")
+      Models.Simplified_ta.table2_specs
+  in
+  let inc =
+    Ck.verify_with_universe ~limits:(limits ~incremental:true ())
+      (Lazy.force simplified_u) spec
+  in
+  (match inc.Ck.outcome with
+   | Ck.Holds -> ()
+   | o -> Alcotest.failf "Inv2_0 expected to hold, got %s" (outcome_repr o));
+  Alcotest.(check bool) "subtrees pruned" true (inc.Ck.stats.subtrees_pruned > 0);
+  Alcotest.(check bool) "schemas skipped" true (inc.Ck.stats.schemas_skipped > 0)
+
+(* The five Table 2 properties run to completion in both engines; on
+   Inv2_0 the issue's acceptance bar — at least a 3x solver-step
+   reduction — is asserted outright (measured: >100x). *)
+let simplified_full_tests =
+  List.map
+    (fun (spec : S.t) ->
+      Alcotest.test_case ("simplified " ^ spec.name) `Slow (fun () ->
+          let flat, inc =
+            check_pair ("simplified " ^ spec.name) (Lazy.force simplified_u) spec
+          in
+          if spec.name = "Inv2_0" then
+            Alcotest.(check bool)
+              "Inv2_0: at least 3x fewer simplex steps" true
+              (3 * inc.Ck.stats.solver_steps <= flat.Ck.stats.solver_steps)))
+    Models.Simplified_ta.table2_specs
+
+(* The symmetric _1 variants pin the deterministic schema-budget abort:
+   identical abort reason, schema count and slot total even when the
+   budget trips inside a pruned subtree. *)
+let simplified_budgeted_tests =
+  let in_table2 (s : S.t) =
+    List.exists (fun (t : S.t) -> t.name = s.name) Models.Simplified_ta.table2_specs
+  in
+  List.filter_map
+    (fun (spec : S.t) ->
+      if in_table2 spec then None
+      else
+        Some
+          (Alcotest.test_case ("simplified " ^ spec.name ^ " (budgeted)") `Slow (fun () ->
+               ignore
+                 (check_pair ~max_schemas:150
+                    ("simplified " ^ spec.name)
+                    (Lazy.force simplified_u) spec);
+               check_par ~max_schemas:150
+                 ("simplified " ^ spec.name)
+                 (Lazy.force simplified_u) spec)))
+    Models.Simplified_ta.all_specs
+
+let test_naive_budget_abort () =
+  let u = Holistic.Universe.build Models.Naive_ta.automaton in
+  List.iter
+    (fun (spec : S.t) ->
+      ignore (check_pair ~max_schemas:200 ("naive " ^ spec.name) u spec);
+      check_par ~max_schemas:200 ("naive " ^ spec.name) u spec)
+    Models.Naive_ta.table2_specs
+
+let test_broken_resilience_witness () =
+  let u = Holistic.Universe.build Models.Simplified_ta.automaton_broken_resilience in
+  let _, inc = check_pair "broken-resilience Inv1_0" u Models.Simplified_ta.inv1_0 in
+  check_par "broken-resilience Inv1_0" u Models.Simplified_ta.inv1_0;
+  match inc.Ck.outcome with
+  | Ck.Violated w ->
+    let value p = List.assoc p w.Holistic.Witness.params in
+    Alcotest.(check bool) "witness breaks n > 3t" true (value "n" <= 3 * value "t")
+  | _ -> Alcotest.fail "expected a counterexample"
+
+(* ------------------------------------------------------------------ *)
+(* Random small DAG automata: flat and incremental verdicts must agree
+   schema-for-schema, and the shared verdict must be confirmed by the
+   explicit-state checker at small parameters.                          *)
+
+let locations = [ "L0"; "L1"; "L2"; "L3" ]
+
+let guard_pool =
+  [
+    G.tt;
+    G.ge1 "x" (P.const 1);
+    G.ge1 "x" (P.const 2);
+    G.ge1 "y" (P.const 1);
+    G.ge [ ("x", 1); ("y", 1) ] (P.const 2);
+  ]
+
+let update_pool = [ []; [ ("x", 1) ]; [ ("y", 1) ] ]
+
+type rule_desc = { src : int; dst : int; guard : int; update : int; fair : bool }
+
+let arb_ta =
+  let open QCheck in
+  let edges =
+    List.concat_map
+      (fun i -> List.filter_map (fun j -> if j > i then Some (i, j) else None) [ 0; 1; 2; 3 ])
+      [ 0; 1; 2 ]
+  in
+  let arb_desc (src, dst) =
+    map
+      (fun (present, guard, update, fair) ->
+        if present then Some { src; dst; guard; update; fair } else None)
+      (tup4 bool
+         (int_range 0 (List.length guard_pool - 1))
+         (int_range 0 (List.length update_pool - 1))
+         bool)
+  in
+  let rec sequence = function
+    | [] -> Gen.return []
+    | g :: gs -> Gen.map2 (fun x xs -> x :: xs) g (sequence gs)
+  in
+  let gens = List.map (fun e -> (arb_desc e).gen) edges in
+  make
+    ~print:(fun descs ->
+      String.concat ";"
+        (List.map
+           (function
+             | None -> "-"
+             | Some d ->
+               Printf.sprintf "%d->%d g%d u%d %s" d.src d.dst d.guard d.update
+                 (if d.fair then "F" else "U"))
+           descs))
+    (sequence gens)
+
+let build_ta descs =
+  let rules =
+    List.concat_map
+      (function
+        | None -> []
+        | Some d ->
+          [
+            A.rule
+              (Printf.sprintf "r%d%d" d.src d.dst)
+              ~source:(List.nth locations d.src) ~target:(List.nth locations d.dst)
+              ~guard:(List.nth guard_pool d.guard)
+              ~update:(List.nth update_pool d.update)
+              ~fairness:(if d.fair then A.Fair else A.Unfair);
+          ])
+      descs
+  in
+  A.make ~name:"random" ~params:[ "n" ] ~shared:[ "x"; "y" ] ~locations
+    ~initial:[ "L0"; "L1" ]
+    ~resilience:[ P.of_terms [ ("n", 1) ] (-1) ]
+    ~population:(P.param "n") ~rules ()
+
+let reach_spec =
+  S.invariant ~name:"reach-L3" ~ltl:"<>(k[L3] != 0)"
+    ~bad:[ ("L3 reached", C.some_nonempty [ "L3" ]) ]
+    ()
+
+let drain_spec =
+  S.liveness ~name:"drain" ~ltl:"<>(k[L0]=0 /\\ k[L1]=0 /\\ k[L2]=0)"
+    ~target_violated:(C.some_nonempty [ "L0"; "L1"; "L2" ])
+    ()
+
+let engines_and_explicit_agree spec descs =
+  let ta = build_ta descs in
+  let verify incremental =
+    Ck.verify ~limits:(limits ~max_schemas:5_000 ~incremental ()) ta spec
+  in
+  let flat = verify false in
+  let inc = verify true in
+  outcome_repr flat.Ck.outcome = outcome_repr inc.Ck.outcome
+  && flat.Ck.stats.schemas_checked = inc.Ck.stats.schemas_checked
+  && flat.Ck.stats.slots_total = inc.Ck.stats.slots_total
+  && inc.Ck.stats.solver_steps <= flat.Ck.stats.solver_steps
+  &&
+  match inc.Ck.outcome with
+  | Ck.Aborted _ -> QCheck.assume_fail ()
+  | Ck.Holds ->
+    List.for_all
+      (fun n ->
+        match Explicit.check ta spec [ ("n", n) ] with
+        | Explicit.Holds -> true
+        | Explicit.Violated _ -> false)
+      [ 1; 2; 3; 4 ]
+  | Ck.Violated w -> (
+    List.assoc "n" w.Holistic.Witness.params <= 8
+    &&
+    match Explicit.check ta spec w.Holistic.Witness.params with
+    | Explicit.Violated _ -> true
+    | Explicit.Holds -> false)
+
+(* A deterministic companion to the random sweep, shaped like Inv2_0:
+   the only producer of [x] sits in an initial location that the spec's
+   initial condition empties, so unlocking [x >= 1] is structurally
+   fine (the producer's source is an initial location) but numerically
+   impossible — exactly what the interval propagation refutes, prefix
+   by prefix.  Pruning must fire, and the verdict must still agree
+   with the flat engine and the explicit-state checker. *)
+let gadget_spec =
+  S.invariant ~name:"gadget-reach-L3" ~ltl:"<>(k[L3] != 0)"
+    ~init:(C.empty "L1")
+    ~bad:[ ("L3 reached", C.some_nonempty [ "L3" ]) ]
+    ()
+
+let test_gadget_pruning () =
+  let ta =
+    A.make ~name:"gadget" ~params:[ "n" ] ~shared:[ "x" ]
+      ~locations:[ "L0"; "L1"; "L2"; "L3" ]
+      ~initial:[ "L0"; "L1" ]
+      ~resilience:[ P.of_terms [ ("n", 1) ] (-1) ]
+      ~population:(P.param "n")
+      ~rules:
+        [
+          A.rule "ra" ~source:"L1" ~target:"L2" ~guard:G.tt
+            ~update:[ ("x", 1) ] ~fairness:A.Unfair;
+          A.rule "rb" ~source:"L0" ~target:"L3"
+            ~guard:(G.ge1 "x" (P.const 1))
+            ~update:[] ~fairness:A.Unfair;
+        ]
+      ()
+  in
+  let u = Holistic.Universe.build ta in
+  let _, inc = check_pair "gadget reach-L3" u gadget_spec in
+  check_par "gadget reach-L3" u gadget_spec;
+  Alcotest.(check bool) "subtrees pruned" true (inc.Ck.stats.subtrees_pruned > 0);
+  Alcotest.(check bool) "schemas skipped" true (inc.Ck.stats.schemas_skipped > 0);
+  (match inc.Ck.outcome with
+   | Ck.Holds -> ()
+   | o -> Alcotest.failf "gadget expected to hold, got %s" (outcome_repr o));
+  List.iter
+    (fun n ->
+      match Explicit.check ta gadget_spec [ ("n", n) ] with
+      | Explicit.Holds -> ()
+      | Explicit.Violated _ -> Alcotest.fail "explicit checker disagrees")
+    [ 1; 2; 3 ]
+
+let qcheck_tests =
+  [
+    QCheck_alcotest.to_alcotest
+      (QCheck.Test.make ~name:"random DAGs: reachability, flat = incremental = explicit"
+         ~count:60 arb_ta
+         (engines_and_explicit_agree reach_spec));
+    QCheck_alcotest.to_alcotest
+      (QCheck.Test.make ~name:"random DAGs: liveness, flat = incremental = explicit"
+         ~count:60 arb_ta
+         (engines_and_explicit_agree drain_spec));
+    Alcotest.test_case "crafted gadget: pruning fires, explicit agrees" `Quick
+      test_gadget_pruning;
+  ]
+
+let () =
+  Alcotest.run "incremental"
+    [
+      ("bv incremental vs flat", bv_tests @ [ Alcotest.test_case "pruning fires" `Quick test_pruning_fires ]);
+      ("simplified incremental vs flat", simplified_full_tests @ simplified_budgeted_tests);
+      ( "abort and witness paths",
+        [
+          Alcotest.test_case "naive budget aborts identically" `Slow test_naive_budget_abort;
+          Alcotest.test_case "broken-resilience witness identical" `Quick
+            test_broken_resilience_witness;
+        ] );
+      ("random automata", qcheck_tests);
+    ]

@@ -13,8 +13,13 @@ let fake_result outcome : Holistic.Checker.result =
     stats =
       {
         schemas_checked = 10;
+        schemas_skipped = 0;
+        subtrees_pruned = 0;
+        prefix_hits = 0;
         slots_total = 120;
         solver_steps = 0;
+        encode_time = 0.5;
+        solve_time = 0.75;
         time = 1.25;
         jobs = 1;
         workers = [];

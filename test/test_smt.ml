@@ -238,6 +238,136 @@ let smt_props =
   ]
 
 (* ------------------------------------------------------------------ *)
+(* Atom canonicalization (GCD-normalized equality) and hashing.         *)
+
+let test_atom_canonical_equal () =
+  let a = { A.expr = L.of_int_terms [ (2, 0); (4, 1) ] 6; rel = A.Le } in
+  let b = { A.expr = L.of_int_terms [ (1, 0); (2, 1) ] 3; rel = A.Le } in
+  Alcotest.(check bool) "gcd-normalized atoms equal" true (A.equal a b);
+  Alcotest.(check int) "hashes agree" (A.hash a) (A.hash b);
+  Alcotest.(check int) "compare is zero" 0 (A.compare a b);
+  let half = { A.expr = L.of_terms [ (Q.of_ints 1 2, 0) ] (Q.of_ints 1 2); rel = A.Le } in
+  let unit = { A.expr = L.of_int_terms [ (1, 0) ] 1; rel = A.Le } in
+  Alcotest.(check bool) "rational scaling normalized" true (A.equal half unit);
+  let eq_neg = { A.expr = L.of_int_terms [ (-3, 0) ] 3; rel = A.Eq } in
+  let eq_pos = { A.expr = L.of_int_terms [ (1, 0) ] (-1); rel = A.Eq } in
+  Alcotest.(check bool) "equality sign normalized" true (A.equal eq_neg eq_pos);
+  (* 2x + 1 <= 0 is NOT x + 1 <= 0: the gcd of {2, 1} is 1. *)
+  let odd = { A.expr = L.of_int_terms [ (2, 0) ] 1; rel = A.Le } in
+  Alcotest.(check bool) "distinct atoms stay distinct" false (A.equal odd unit);
+  (* Le must not be sign-normalized: x <= 0 and -x <= 0 differ. *)
+  let le = { A.expr = L.of_int_terms [ (1, 0) ] 0; rel = A.Le } in
+  let ge = { A.expr = L.of_int_terms [ (-1, 0) ] 0; rel = A.Le } in
+  Alcotest.(check bool) "le keeps its sign" false (A.equal le ge)
+
+(* ------------------------------------------------------------------ *)
+(* The incremental assertion stack (Lia session over Simplex.Session).  *)
+
+let is_sat = function Smt.Lia.Sat _ -> true | _ -> false
+
+let test_lia_session_push_pop () =
+  let s = Smt.Lia.create () in
+  Smt.Lia.assert_atoms s
+    [ A.ge (v 0) (c 1); A.ge (v 1) (c 1); A.le (L.add (v 0) (v 1)) (c 10) ];
+  Alcotest.(check bool) "base sat" true (is_sat (Smt.Lia.check s));
+  Smt.Lia.push s;
+  Smt.Lia.assert_atoms s [ A.le (L.add (v 0) (v 1)) (c 1) ];
+  Alcotest.(check bool) "tightened unsat" true (Smt.Lia.check s = Smt.Lia.Unsat);
+  Smt.Lia.pop s;
+  Alcotest.(check bool) "sat restored by pop" true (is_sat (Smt.Lia.check s));
+  Smt.Lia.push s;
+  Smt.Lia.assert_atoms s [ A.ge (v 0) (c 6); A.ge (v 1) (c 6) ];
+  Alcotest.(check bool) "sum bound unsat" true (Smt.Lia.check s = Smt.Lia.Unsat);
+  Smt.Lia.pop s;
+  Smt.Lia.push s;
+  (* 2x = 1: infeasible over the integers at assert time (GCD
+     tightening), so the check must cost zero simplex steps. *)
+  let steps = ref 0 in
+  Smt.Lia.assert_atoms s [ { A.expr = L.of_int_terms [ (2, 0) ] (-1); rel = A.Eq } ];
+  Alcotest.(check bool) "divisibility unsat" true
+    (Smt.Lia.check ~steps s = Smt.Lia.Unsat);
+  Alcotest.(check int) "unsat for free" 0 !steps;
+  Smt.Lia.pop s;
+  Alcotest.(check bool) "sat after deep pops" true (is_sat (Smt.Lia.check s))
+
+let test_lia_session_model_cache () =
+  let s = Smt.Lia.create () in
+  let hits = ref 0 in
+  Smt.Lia.assert_atoms s [ A.ge (v 0) (c 0) ];
+  Alcotest.(check bool) "first check solves" true (is_sat (Smt.Lia.check ~hits s));
+  Alcotest.(check int) "no hit on first check" 0 !hits;
+  Smt.Lia.push s;
+  let steps = ref 0 in
+  Smt.Lia.assert_atoms s [ A.ge (v 1) (c 0) ];
+  Alcotest.(check bool) "extended still sat" true (is_sat (Smt.Lia.check ~hits ~steps s));
+  Alcotest.(check int) "cached model reused" 1 !hits;
+  Alcotest.(check int) "hit costs no steps" 0 !steps
+
+(* The assert-time interval propagation behind [check_quick]: bound
+   chains refute the conjunction with zero simplex work, and the trail
+   restores the store on pop.  The pattern mirrors the prefixes the
+   incremental checker prunes: a variable pinned to zero bounds another
+   from above, against a positive threshold. *)
+let test_lia_session_check_quick () =
+  let s = Smt.Lia.create () in
+  let hits = ref 0 in
+  Smt.Lia.assert_atoms s
+    [ A.eq (v 0) (c 0); A.le (v 1) (v 0); A.ge (v 1) (c 0) ];
+  Alcotest.(check bool) "open prefix undecided" true
+    (Smt.Lia.check_quick ~hits s = Smt.Lia.Unknown);
+  Alcotest.(check int) "no hit while undecided" 0 !hits;
+  Smt.Lia.push s;
+  Smt.Lia.assert_atoms s [ A.ge (v 1) (c 1) ];
+  Alcotest.(check bool) "threshold against pinned zero refuted" true
+    (Smt.Lia.check_quick ~hits s = Smt.Lia.Unsat);
+  Alcotest.(check int) "refutation counts as a hit" 1 !hits;
+  (* The full check agrees, still without simplex steps. *)
+  let steps = ref 0 in
+  Alcotest.(check bool) "check agrees" true (Smt.Lia.check ~steps s = Smt.Lia.Unsat);
+  Alcotest.(check int) "refuted for free" 0 !steps;
+  Smt.Lia.pop s;
+  Alcotest.(check bool) "pop restores the bound store" true
+    (is_sat (Smt.Lia.check s));
+  (* A three-step chain: x2 <= x1 <= x0 = 0 against x2 >= 5, refuted
+     across separate assertions (the fixpoint pass re-propagates the
+     already-asserted chain). *)
+  Smt.Lia.push s;
+  Smt.Lia.assert_atoms s [ A.le (v 2) (v 1) ];
+  Smt.Lia.assert_atoms s [ A.ge (v 2) (c 5) ];
+  Alcotest.(check bool) "chained bound conflict refuted" true
+    (Smt.Lia.check_quick s = Smt.Lia.Unsat);
+  Smt.Lia.pop s;
+  Alcotest.(check bool) "chain retracted" true (is_sat (Smt.Lia.check s))
+
+let session_props =
+  [
+    prop "session agrees with flat solve across push/pop" 200
+      QCheck.(
+        pair (list_of_size (Gen.int_range 1 4) arb_atom)
+          (list_of_size (Gen.int_range 0 3) arb_atom))
+      (fun (base, extra) ->
+        let s = Smt.Lia.create () in
+        let base = base @ box_atoms in
+        Smt.Lia.assert_atoms s base;
+        let agree asserted =
+          match (Smt.Lia.check s, Smt.Lia.solve asserted) with
+          | Smt.Lia.Sat m, Smt.Lia.Sat _ -> Smt.Lia.check_model asserted m
+          | Smt.Lia.Unsat, Smt.Lia.Unsat -> true
+          | Smt.Lia.Unknown, _ | _, Smt.Lia.Unknown -> true
+          | _ -> false
+        in
+        agree base
+        && begin
+          Smt.Lia.push s;
+          Smt.Lia.assert_atoms s extra;
+          let ok = agree (extra @ base) in
+          Smt.Lia.pop s;
+          ok
+        end
+        && agree base);
+  ]
+
+(* ------------------------------------------------------------------ *)
 (* Formula and DNF.                                                     *)
 
 let test_formula_smart_constructors () =
@@ -412,6 +542,16 @@ let () =
           Alcotest.test_case "delta-rational witnesses" `Quick test_simplex_delta_exposed;
         ] );
       ("smt-props", smt_props);
+      ( "atom-canonical",
+        [ Alcotest.test_case "gcd equality and hash" `Quick test_atom_canonical_equal ] );
+      ( "lia-session",
+        [
+          Alcotest.test_case "push/pop assertion stack" `Quick test_lia_session_push_pop;
+          Alcotest.test_case "prefix model cache" `Quick test_lia_session_model_cache;
+          Alcotest.test_case "interval propagation / check_quick" `Quick
+            test_lia_session_check_quick;
+        ] );
+      ("lia-session-props", session_props);
       ( "formula",
         [
           Alcotest.test_case "smart constructors" `Quick test_formula_smart_constructors;
