@@ -304,6 +304,110 @@ let lemma7_cmd =
     Term.(const run $ rounds $ fair)
 
 
+(* --- fuzz ----------------------------------------------------------- *)
+
+let fuzz_cmd =
+  let seed = Arg.(value & opt int 1 & info [ "seed" ] ~doc:"campaign seed") in
+  let runs = Arg.(value & opt int 100 & info [ "runs" ] ~doc:"number of generated runs") in
+  let profile =
+    Arg.(value & opt string "conforming"
+         & info [ "profile" ] ~docv:"PROFILE"
+             ~doc:"scenario profile: conforming, broken or mixed")
+  in
+  let json = Arg.(value & flag & info [ "json" ] ~doc:"emit the report as one JSON line") in
+  let replay =
+    Arg.(value & opt (some file) None
+         & info [ "replay" ] ~docv:"TRACE"
+             ~doc:"re-execute a recorded trace (JSON file) instead of fuzzing, and \
+                   re-check every oracle on it")
+  in
+  let save =
+    Arg.(value & opt (some string) None
+         & info [ "save-failure" ] ~docv:"PATH"
+             ~doc:"write the first shrunk failing trace to this file")
+  in
+  let print_verdicts verdicts =
+    List.iter
+      (fun (name, v) ->
+        match v with
+        | Fuzz.Oracle.Pass -> Printf.printf "%-16s pass\n" name
+        | Fuzz.Oracle.Fail why -> Printf.printf "%-16s FAIL: %s\n" name why
+        | Fuzz.Oracle.Skip why -> Printf.printf "%-16s skip (%s)\n" name why)
+      verdicts
+  in
+  let run_replay path json =
+    let contents =
+      let ic = open_in_bin path in
+      Fun.protect ~finally:(fun () -> close_in ic)
+        (fun () -> really_input_string ic (in_channel_length ic))
+    in
+    let tr = Fuzz.Trace.of_string contents in
+    let outcome = Fuzz.Exec.replay ~strict:true tr in
+    let verdicts = Fuzz.Oracle.check tr.Fuzz.Trace.scenario outcome in
+    if json then
+      print_endline
+        (Fuzz.Json.to_string
+           (Fuzz.Json.Obj
+              (List.map
+                 (fun (name, v) -> (name, Fuzz.Json.Str (Fuzz.Oracle.verdict_name v)))
+                 verdicts)))
+    else print_verdicts verdicts;
+    exit (if List.exists (fun (_, v) -> Fuzz.Oracle.is_fail v) verdicts then 1 else 0)
+  in
+  let run seed runs profile json replay save =
+    match replay with
+    | Some path -> run_replay path json
+    | None ->
+      let profile =
+        match Fuzz.Campaign.profile_of_string profile with
+        | Some p -> p
+        | None -> failwith ("unknown profile " ^ profile)
+      in
+      let report = Fuzz.Campaign.campaign ~seed ~runs ~profile () in
+      (match (save, report.Fuzz.Campaign.violations) with
+       | Some path, v :: _ ->
+         let oc = open_out_bin path in
+         Fun.protect ~finally:(fun () -> close_out oc)
+           (fun () -> output_string oc (Fuzz.Trace.to_string v.Fuzz.Campaign.trace))
+       | _ -> ());
+      if json then print_endline (Fuzz.Campaign.report_to_string report)
+      else begin
+        Printf.printf "fuzz: seed %d, %d %s runs\n" seed runs
+          (Fuzz.Campaign.profile_to_string profile);
+        List.iter
+          (fun (name, (p, f, s)) ->
+            if p + f + s > 0 then
+              Printf.printf "  %-16s pass %-5d fail %-5d skip %d\n" name p f s)
+          report.Fuzz.Campaign.oracle_counts;
+        List.iter
+          (fun (v : Fuzz.Campaign.violation) ->
+            Printf.printf "  violation (run %d) %s: %s — shrunk %d -> %d events\n"
+              v.Fuzz.Campaign.run v.Fuzz.Campaign.oracle v.Fuzz.Campaign.detail v.Fuzz.Campaign.original_events
+              v.Fuzz.Campaign.shrunk_events)
+          report.Fuzz.Campaign.violations;
+        List.iter
+          (fun (run, (d : Fuzz.Crossval.divergence)) ->
+            Printf.printf "  DIVERGENCE (run %d): %s\n" run d.Fuzz.Crossval.detail)
+          report.Fuzz.Campaign.divergences;
+        Printf.printf "  %d runs cross-validated against the explicit checker\n"
+          report.Fuzz.Campaign.crossval_runs
+      end;
+      let bad =
+        List.exists (fun (_, (_, f, _)) -> f > 0) report.Fuzz.Campaign.oracle_counts
+        || report.Fuzz.Campaign.divergences <> []
+      in
+      exit (if bad then 1 else 0)
+  in
+  Cmd.v
+    (Cmd.info "fuzz"
+       ~doc:"Conformance-fuzz the executable DBFT/bv-broadcast implementation against \
+             the paper's properties: seeded scenario generation with fault injection \
+             (drops, duplication, bounded delay, healing partitions, Byzantine \
+             placement), trace recording and shrinking, and cross-validation of small \
+             runs against the explicit-state checker.  Exit code 1 when a violation or \
+             a checker divergence is found.")
+    Term.(const run $ seed $ runs $ profile $ json $ replay $ save)
+
 (* --- table2 -------------------------------------------------------- *)
 
 let table2_cmd =
@@ -392,4 +496,4 @@ let () =
   let doc = "Holistic verification of the Red Belly blockchain consensus (reproduction)" in
   exit (Cmd.eval (Cmd.group (Cmd.info "holistic" ~doc)
                     [ info_cmd; lint_cmd; verify_cmd; explicit_cmd; dot_cmd; simulate_cmd;
-                      lemma7_cmd; table2_cmd ]))
+                      fuzz_cmd; lemma7_cmd; table2_cmd ]))

@@ -1,0 +1,54 @@
+module Net = Simnet.Network
+module ISet = Set.Make (Int)
+
+type t = {
+  id : int;
+  input : int;
+  t_bound : int;
+  net : Message.t Net.t;
+  senders : ISet.t array;
+  echoed : bool array;
+  mutable started : bool;
+  mutable delivered : Vset.t;
+}
+
+let create ~id ~t ~input net =
+  if input <> 0 && input <> 1 then invalid_arg "Bv.create: binary input expected";
+  {
+    id;
+    input;
+    t_bound = t;
+    net;
+    senders = [| ISet.empty; ISet.empty |];
+    echoed = [| false; false |];
+    started = false;
+    delivered = Vset.empty;
+  }
+
+let start ep =
+  if not ep.started then begin
+    ep.started <- true;
+    ep.echoed.(ep.input) <- true;
+    Net.broadcast ep.net ~src:ep.id (Message.Bv { round = 0; value = ep.input })
+  end
+
+let handle ep ~src msg =
+  match msg with
+  | Message.Aux _ -> ()
+  | Message.Bv { value; _ } ->
+    if value = 0 || value = 1 then begin
+      ep.senders.(value) <- ISet.add src ep.senders.(value);
+      (* Fig. 1, lines 4-5: echo a value received from t+1 distinct
+         processes. *)
+      if (not ep.echoed.(value)) && ISet.cardinal ep.senders.(value) >= ep.t_bound + 1
+      then begin
+        ep.echoed.(value) <- true;
+        Net.broadcast ep.net ~src:ep.id (Message.Bv { round = 0; value })
+      end;
+      (* Fig. 1, lines 6-7: deliver at 2t+1 distinct senders. *)
+      if ISet.cardinal ep.senders.(value) >= (2 * ep.t_bound) + 1 then
+        ep.delivered <- Vset.add value ep.delivered
+    end
+
+let delivered ep = ep.delivered
+let id ep = ep.id

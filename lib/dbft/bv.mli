@@ -1,0 +1,28 @@
+(** A standalone binary-value broadcast endpoint (paper, Fig. 1): no
+    consensus on top, a single instance (the [round] tag of incoming BV
+    messages is ignored, AUX messages are ignored).
+
+    Unlike the bv-broadcast embedded in {!Process}, the endpoint never
+    leaves its instance, so the four BV properties of Section 3.2 can be
+    checked at network quiescence without communication-closedness
+    discarding late messages.  This is the executable the fuzzer's BV
+    oracles run against, cross-validated with the [bv_broadcast]
+    threshold automaton. *)
+
+type t
+
+(** [create ~id ~t ~input net] makes an endpoint with input value [input]
+    (in [{0, 1}]).  Nothing is sent until {!start}. *)
+val create : id:int -> t:int -> input:int -> Message.t Simnet.Network.t -> t
+
+(** [start ep] bv-broadcasts the input value (idempotent). *)
+val start : t -> unit
+
+(** [handle ep ~src msg] processes one delivery: records the sender, echoes
+    at [t+1] distinct senders, delivers at [2t+1]. *)
+val handle : t -> src:int -> Message.t -> unit
+
+(** [delivered ep] is the set of bv-delivered (contestant) values. *)
+val delivered : t -> Vset.t
+
+val id : t -> int

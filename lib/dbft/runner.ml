@@ -55,19 +55,15 @@ let run cfg =
     List.filter_map (function Correct p -> Some p | Byz _ -> None) participants
   in
   List.iter Process.start correct;
-  let steps = ref 0 in
+  let participants = Array.of_list participants in
   let all_decided () = List.for_all (fun p -> Process.decision p <> None) correct in
-  let continue () =
-    Net.pending_count net > 0 && !steps < cfg.max_steps && not (all_decided ())
+  let steps =
+    Simnet.Driver.run_scheduled ~max_steps:cfg.max_steps ~stop:all_decided
+      ~scheduler:cfg.scheduler net ~handle:(fun ~src ~dest msg ->
+        match participants.(dest) with
+        | Correct proc -> Process.handle proc ~src msg
+        | Byz b -> Byzantine.handle b ~src msg)
   in
-  while continue () do
-    let p = Simnet.Scheduler.pick cfg.scheduler (Net.pending net) in
-    let { Net.src; dest; msg; _ } = Net.deliver net p in
-    incr steps;
-    match List.nth participants dest with
-    | Correct proc -> Process.handle proc ~src msg
-    | Byz b -> Byzantine.handle b ~src msg
-  done;
   let decisions =
     List.filter_map
       (fun p ->
@@ -80,7 +76,7 @@ let run cfg =
   {
     decisions;
     rounds_reached = List.map (fun p -> (Process.id p, Process.round p)) correct;
-    steps = !steps;
+    steps;
     all_decided = all_decided ();
     agreement = List.length decided_values <= 1;
     validity = List.for_all (fun v -> List.mem v cfg.inputs) decided_values;

@@ -138,50 +138,23 @@ let run cfg =
   let all_done () =
     List.for_all (fun i -> superblock (Hashtbl.find states i) <> None) correct_ids
   in
-  (* Unified scheduler over the n+1 networks: uniform over all pending
-     messages. *)
-  let steps = ref 0 in
-  let deliver_one () =
-    let rb_pending = Net.pending_count rb_net in
-    let totals =
-      rb_pending + Array.fold_left (fun acc net -> acc + Net.pending_count net) 0 bin_nets
-    in
-    if totals = 0 then false
-    else begin
-      let pick = Random.State.int rng totals in
-      incr steps;
-      if pick < rb_pending then begin
-        let pending = Net.pending rb_net in
-        let p = List.nth pending (Random.State.int rng (List.length pending)) in
-        let { Net.src; dest; msg; _ } = Net.deliver rb_net p in
-        (match Hashtbl.find_opt states dest with
-         | Some st -> Rb.handle st.rb ~src msg
-         | None -> byz_rb_act dest);
-        true
-      end
-      else begin
-        (* Locate the binary network owning the picked message. *)
-        let rec locate j remaining =
-          let c = Net.pending_count bin_nets.(j) in
-          if remaining < c then j else locate (j + 1) (remaining - c)
-        in
-        let j = locate 0 (pick - rb_pending) in
-        let pending = Net.pending bin_nets.(j) in
-        let p = List.nth pending (Random.State.int rng (List.length pending)) in
-        let { Net.src; dest; msg; _ } = Net.deliver bin_nets.(j) p in
-        (match Hashtbl.find_opt states dest with
-         | Some st -> (
-           match st.binary.(j) with
-           | Some proc -> Process.handle proc ~src msg
-           | None -> st.buffers.(j) <- (src, msg) :: st.buffers.(j))
-         | None -> Byzantine.handle (List.assoc dest byz_binary).(j) ~src msg);
-        true
-      end
-    end
+  (* Unified scheduler over the n+1 networks: the shared driver delivers
+     uniformly over all pending messages. *)
+  let sources =
+    Simnet.Driver.of_network rb_net ~handle:(fun ~src ~dest msg ->
+        match Hashtbl.find_opt states dest with
+        | Some st -> Rb.handle st.rb ~src msg
+        | None -> byz_rb_act dest)
+    :: List.init cfg.n (fun j ->
+           Simnet.Driver.of_network bin_nets.(j) ~handle:(fun ~src ~dest msg ->
+               match Hashtbl.find_opt states dest with
+               | Some st -> (
+                 match st.binary.(j) with
+                 | Some proc -> Process.handle proc ~src msg
+                 | None -> st.buffers.(j) <- (src, msg) :: st.buffers.(j))
+               | None -> Byzantine.handle (List.assoc dest byz_binary).(j) ~src msg))
   in
-  while (not (all_done ())) && !steps < cfg.max_steps && deliver_one () do
-    ()
-  done;
+  let steps = Simnet.Driver.run ~max_steps:cfg.max_steps ~stop:all_done ~rng sources in
   let superblocks =
     List.map
       (fun i ->
@@ -205,7 +178,7 @@ let run cfg =
           sb)
       superblocks
   in
-  { superblocks; steps = !steps; all_decided = decided; agreement; integrity }
+  { superblocks; steps; all_decided = decided; agreement; integrity }
 
 let pp_report fmt r =
   Format.fprintf fmt "@[<v 2>vector consensus: %d deliveries@," r.steps;

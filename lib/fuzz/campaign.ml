@@ -1,0 +1,252 @@
+type profile = Conforming | Broken | Mixed
+
+let profile_of_string = function
+  | "conforming" -> Some Conforming
+  | "broken" -> Some Broken
+  | "mixed" -> Some Mixed
+  | _ -> None
+
+let profile_to_string = function
+  | Conforming -> "conforming"
+  | Broken -> "broken"
+  | Mixed -> "mixed"
+
+type violation = {
+  run : int;
+  oracle : string;
+  detail : string;
+  original_events : int;
+  shrunk_events : int;
+  trace : Trace.trace;
+}
+
+type report = {
+  seed : int;
+  runs : int;
+  profile : profile;
+  oracle_counts : (string * (int * int * int)) list;
+  violations : violation list;
+  divergences : (int * Crossval.divergence) list;
+  crossval_runs : int;
+}
+
+(* --- scenario generation ------------------------------------------- *)
+
+let gen_adversary st =
+  match Gen.int st 4 with
+  | 0 -> Trace.Silent
+  | 1 -> Trace.Equivocate
+  | 2 -> Trace.Noise (Gen.int st 1_000_000)
+  | _ -> Trace.Flood (Gen.int st 2)
+
+let max_steps = 20_000
+
+let gen_partition st ~n =
+  if not (Gen.percent st 20) then None
+  else begin
+    let k = Gen.int_range st 1 (n - 1) in
+    let side = Gen.subset st ~n ~k in
+    let other = List.filter (fun i -> not (List.mem i side)) (List.init n Fun.id) in
+    let from_step = Gen.int_range st 0 20 in
+    let to_step = from_step + Gen.int_range st 5 40 in
+    Some { Trace.from_step; to_step; groups = [ side; other ] }
+  end
+
+(* A resilient configuration: n > 3t, f <= t, arbitrary adversaries and
+   fault injection.  Every oracle must hold (liveness ones whenever the
+   schedule stays fair). *)
+let conforming st =
+  let kind = if Gen.percent st 60 then Trace.Bv_broadcast else Trace.Consensus in
+  let n = Gen.int_range st 4 7 in
+  let t = Gen.int_range st 1 ((n - 1) / 3) in
+  let f = Gen.int st (t + 1) in
+  let byz = List.map (fun i -> (i, gen_adversary st)) (Gen.subset st ~n ~k:f) in
+  let inputs = List.init (n - f) (fun _ -> Gen.int st 2) in
+  {
+    Trace.kind;
+    n;
+    t;
+    inputs;
+    byzantine = byz;
+    sched_seed = Gen.sub_seed st;
+    drop_rate = (if Gen.percent st 30 then Gen.int_range st 1 10 else 0);
+    dup_rate = (if Gen.percent st 30 then Gen.int_range st 1 10 else 0);
+    max_delay = (if Gen.percent st 30 then Gen.int_range st 1 3 else 0);
+    partition = gen_partition st ~n;
+    max_round = 10;
+    max_steps;
+  }
+
+(* A configuration that violates the paper's assumptions, in one of two
+   ways: more actual faults than the declared bound (f > t, with
+   value-forcing adversaries — breaks BV-Justification), or a declared
+   bound at or above n/3 (breaks BV/consensus Termination: the correct
+   processes alone cannot reach their own thresholds). *)
+let broken st =
+  if Gen.bool st then begin
+    let n = Gen.int_range st 4 6 in
+    let t = 1 in
+    let f = t + 1 in
+    let value = Gen.int st 2 in
+    let adv = if Gen.bool st then Trace.Flood value else Trace.Equivocate in
+    let byz = List.map (fun i -> (i, adv)) (Gen.subset st ~n ~k:f) in
+    {
+      Trace.kind = Trace.Bv_broadcast;
+      n;
+      t;
+      inputs = List.init (n - f) (fun _ -> 1 - value);
+      byzantine = byz;
+      sched_seed = Gen.sub_seed st;
+      drop_rate = 0;
+      dup_rate = 0;
+      max_delay = 0;
+      partition = None;
+      max_round = 0;
+      max_steps;
+    }
+  end
+  else begin
+    let kind = if Gen.bool st then Trace.Bv_broadcast else Trace.Consensus in
+    let n = Gen.int_range st 4 6 in
+    let t = (n + 2) / 3 in
+    (* 3t >= n *)
+    let f = min t (n - 2) in
+    let byz = List.map (fun i -> (i, Trace.Silent)) (Gen.subset st ~n ~k:f) in
+    {
+      Trace.kind;
+      n;
+      t;
+      inputs = List.init (n - f) (fun _ -> Gen.int st 2);
+      byzantine = byz;
+      sched_seed = Gen.sub_seed st;
+      drop_rate = 0;
+      dup_rate = 0;
+      max_delay = 0;
+      partition = None;
+      max_round = 6;
+      max_steps;
+    }
+  end
+
+let scenario_of_run ~profile st ~index:_ =
+  match profile with
+  | Conforming -> conforming st
+  | Broken -> broken st
+  | Mixed -> if Gen.percent st 20 then broken st else conforming st
+
+(* --- the campaign -------------------------------------------------- *)
+
+let all_oracle_names =
+  Oracle.oracle_names Trace.Bv_broadcast @ Oracle.oracle_names Trace.Consensus
+
+let campaign ?(max_shrinks = 25) ~seed ~runs ~profile () =
+  let st = Gen.make_state ~seed in
+  let cache = Crossval.create_cache () in
+  let counts = Hashtbl.create 8 in
+  let bump name v =
+    let p, f, s =
+      Option.value ~default:(0, 0, 0) (Hashtbl.find_opt counts name)
+    in
+    Hashtbl.replace counts name
+      (match v with
+       | Oracle.Pass -> (p + 1, f, s)
+       | Oracle.Fail _ -> (p, f + 1, s)
+       | Oracle.Skip _ -> (p, f, s + 1))
+  in
+  let violations = ref [] in
+  let divergences = ref [] in
+  let crossval_runs = ref 0 in
+  let shrunk = ref 0 in
+  for i = 0 to runs - 1 do
+    let scenario = scenario_of_run ~profile st ~index:i in
+    let outcome = Exec.run scenario in
+    let verdicts = Oracle.check scenario outcome in
+    List.iter (fun (name, v) -> bump name v) verdicts;
+    if Crossval.applicable scenario then begin
+      incr crossval_runs;
+      List.iter
+        (fun d -> divergences := (i, d) :: !divergences)
+        (Crossval.divergences cache scenario verdicts)
+    end;
+    List.iter
+      (fun (name, v) ->
+        match v with
+        | Oracle.Fail detail when !shrunk < max_shrinks ->
+          incr shrunk;
+          let tr = Shrink.shrink ~oracle:name outcome.trace in
+          violations :=
+            {
+              run = i;
+              oracle = name;
+              detail;
+              original_events = List.length outcome.trace.events;
+              shrunk_events = List.length tr.Trace.events;
+              trace = tr;
+            }
+            :: !violations
+        | _ -> ())
+      verdicts
+  done;
+  {
+    seed;
+    runs;
+    profile;
+    oracle_counts =
+      List.map
+        (fun name ->
+          (name, Option.value ~default:(0, 0, 0) (Hashtbl.find_opt counts name)))
+        all_oracle_names;
+    violations = List.rev !violations;
+    divergences = List.rev !divergences;
+    crossval_runs = !crossval_runs;
+  }
+
+(* --- reporting ----------------------------------------------------- *)
+
+let violation_to_json (v : violation) =
+  Json.Obj
+    [
+      ("run", Json.Int v.run);
+      ("oracle", Json.Str v.oracle);
+      ("detail", Json.Str v.detail);
+      ("original_events", Json.Int v.original_events);
+      ("shrunk_events", Json.Int v.shrunk_events);
+      ("trace", Trace.to_json v.trace);
+    ]
+
+let divergence_to_json (run, (d : Crossval.divergence)) =
+  Json.Obj
+    [
+      ("run", Json.Int run);
+      ("oracle", Json.Str d.oracle);
+      ("spec", Json.Str d.spec);
+      ("detail", Json.Str d.detail);
+    ]
+
+let report_to_json r =
+  let total_failures =
+    List.fold_left (fun acc (_, (_, f, _)) -> acc + f) 0 r.oracle_counts
+  in
+  Json.Obj
+    [
+      ("format", Json.Int Trace.format_version);
+      ("seed", Json.Int r.seed);
+      ("runs", Json.Int r.runs);
+      ("profile", Json.Str (profile_to_string r.profile));
+      ( "oracles",
+        Json.Obj
+          (List.map
+             (fun (name, (p, f, s)) ->
+               ( name,
+                 Json.Obj
+                   [
+                     ("pass", Json.Int p); ("fail", Json.Int f); ("skip", Json.Int s);
+                   ] ))
+             r.oracle_counts) );
+      ("total_failures", Json.Int total_failures);
+      ("violations", Json.List (List.map violation_to_json r.violations));
+      ("divergences", Json.List (List.map divergence_to_json r.divergences));
+      ("crossval_runs", Json.Int r.crossval_runs);
+    ]
+
+let report_to_string r = Json.to_string (report_to_json r)

@@ -1,0 +1,53 @@
+(** The conformance-fuzzing campaign: generate scenarios from a seed, run
+    them on the fault-injecting network, check every applicable oracle,
+    cross-validate small runs against the explicit-state checker, and
+    shrink any violating trace to a minimal standalone reproducer.
+
+    Everything downstream of the seed is deterministic: the same
+    [(seed, runs, profile)] triple produces a byte-identical
+    {!report_to_string}. *)
+
+type profile =
+  | Conforming  (** resilient configurations ([n > 3t], [f <= t]) only *)
+  | Broken
+      (** seeded violations: [f > t] flooding/equivocating adversaries,
+          or a declared fault bound [t >= n/3] *)
+  | Mixed  (** mostly conforming with occasional broken configurations *)
+
+val profile_of_string : string -> profile option
+val profile_to_string : profile -> string
+
+type violation = {
+  run : int;  (** campaign run index *)
+  oracle : string;
+  detail : string;  (** the oracle's failure message on the original run *)
+  original_events : int;
+  shrunk_events : int;
+  trace : Trace.trace;  (** shrunk reproducer; strict-replays to the same failure *)
+}
+
+type report = {
+  seed : int;
+  runs : int;
+  profile : profile;
+  oracle_counts : (string * (int * int * int)) list;
+      (** per oracle, in fixed order: passes, fails, skips *)
+  violations : violation list;
+  divergences : (int * Crossval.divergence) list;  (** run index, divergence *)
+  crossval_runs : int;  (** runs arbitrated by the explicit checker *)
+}
+
+(** [scenario_of_run ~profile st ~index] draws one scenario; exposed so
+    tests can pin down the generator's distribution. *)
+val scenario_of_run : profile:profile -> Gen.st -> index:int -> Trace.scenario
+
+(** [campaign ~seed ~runs ~profile ()] executes the whole campaign.
+    [max_shrinks] (default 25) caps how many failing traces are shrunk
+    and embedded in the report; further failures are still counted. *)
+val campaign :
+  ?max_shrinks:int -> seed:int -> runs:int -> profile:profile -> unit -> report
+
+val report_to_json : report -> Json.t
+
+(** Canonical single-line JSON (the CLI's [--json] output). *)
+val report_to_string : report -> string

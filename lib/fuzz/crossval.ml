@@ -1,0 +1,140 @@
+module Pexpr = Ta.Pexpr
+
+(* --- simulation vs explicit-state checking ------------------------- *)
+
+type cache = (int * int * int, (string * bool) list) Hashtbl.t
+
+let create_cache () : cache = Hashtbl.create 8
+
+type divergence = { oracle : string; spec : string; detail : string }
+
+let specs_for_oracle = function
+  | "bv-justification" -> [ "BV-Just0"; "BV-Just1" ]
+  | "bv-obligation" -> [ "BV-Obl0"; "BV-Obl1" ]
+  | "bv-uniformity" -> [ "BV-Unif0"; "BV-Unif1" ]
+  | "bv-termination" -> [ "BV-Term" ]
+  | _ -> []
+
+(* Explicit checking enumerates all interleavings, so keep n small; the
+   run must also satisfy the automaton's resilience (n > 3t, f <= t) or
+   the comparison is between different models. *)
+let applicable (s : Trace.scenario) =
+  s.kind = Trace.Bv_broadcast
+  && s.n <= 5
+  && s.n > (3 * s.t)
+  && s.t >= 1
+  && List.length s.byzantine <= s.t
+
+let explicit_verdicts cache ~n ~t ~f =
+  match Hashtbl.find_opt cache (n, t, f) with
+  | Some v -> v
+  | None ->
+    let params = [ ("n", n); ("t", t); ("f", f) ] in
+    let v =
+      List.map
+        (fun (spec : Ta.Spec.t) ->
+          match Explicit.check Models.Bv_ta.automaton spec params with
+          | Explicit.Holds -> (spec.name, true)
+          | Explicit.Violated _ -> (spec.name, false))
+        Models.Bv_ta.all_specs
+    in
+    Hashtbl.add cache (n, t, f) v;
+    v
+
+(* A simulated run is one schedule; the explicit checker quantifies over
+   all of them.  So the only contradiction is: the simulation exhibits a
+   violation while the checker proves the property for the same
+   parameters.  (Oracle [Skip]s — unfair schedules — are not runs of the
+   model and are ignored.) *)
+let divergences cache (s : Trace.scenario) verdicts =
+  if not (applicable s) then []
+  else begin
+    let ev =
+      explicit_verdicts cache ~n:s.n ~t:s.t ~f:(List.length s.byzantine)
+    in
+    List.concat_map
+      (fun (oracle, verdict) ->
+        match verdict with
+        | Oracle.Pass | Oracle.Skip _ -> []
+        | Oracle.Fail why ->
+          List.filter_map
+            (fun spec ->
+              match List.assoc_opt spec ev with
+              | Some true ->
+                Some
+                  {
+                    oracle;
+                    spec;
+                    detail =
+                      Printf.sprintf
+                        "simulation violates %s (%s) but %s holds at n=%d t=%d f=%d"
+                        oracle why spec s.n s.t (List.length s.byzantine);
+                  }
+              | Some false | None -> None)
+            (specs_for_oracle oracle))
+      verdicts
+  end
+
+(* --- witness realization ------------------------------------------- *)
+
+(* bv-broadcast with the fault-tolerance assumption broken: the correct
+   processes still use thresholds derived from t, but up to 2t processes
+   may actually be Byzantine.  BV-Justification fails here (f >= t+1
+   flooders push an unproposed value past the t+1-f echo threshold). *)
+let broken_automaton =
+  {
+    Models.Bv_ta.automaton with
+    Ta.Automaton.name = "bv_broadcast_broken";
+    resilience =
+      [
+        (* n - 3t - 1 >= 0 *)
+        Pexpr.of_terms [ ("n", 1); ("t", -3) ] (-1);
+        (* 2t - f >= 0 *)
+        Pexpr.of_terms [ ("t", 2); ("f", -1) ] 0;
+        (* f >= 0 *)
+        Pexpr.of_terms [ ("f", 1) ] 0;
+      ];
+  }
+
+let just0 =
+  List.find (fun (s : Ta.Spec.t) -> s.name = "BV-Just0") Models.Bv_ta.all_specs
+
+let find_witness () =
+  let limits = { Holistic.Checker.default_limits with max_schemas = 20_000 } in
+  match (Holistic.Checker.verify ~limits broken_automaton just0).outcome with
+  | Holistic.Checker.Violated w -> Some w
+  | Holistic.Checker.Holds | Holistic.Checker.Aborted _ -> None
+
+let realize ~n ~t ~f ~value ~sched_seed =
+  if f < t + 1 || f >= n || n - f < 1 then None
+  else begin
+    let scenario =
+      {
+        Trace.kind = Trace.Bv_broadcast;
+        n;
+        t;
+        inputs = List.init (n - f) (fun _ -> 1 - value);
+        byzantine = List.init f (fun i -> (n - f + i, Trace.Flood value));
+        sched_seed;
+        drop_rate = 0;
+        dup_rate = 0;
+        max_delay = 0;
+        partition = None;
+        max_round = 0;
+        max_steps = 20_000;
+      }
+    in
+    let outcome = Exec.run scenario in
+    match List.assoc_opt "bv-justification" (Oracle.check scenario outcome) with
+    | Some (Oracle.Fail _) -> Some outcome.trace
+    | _ -> None
+  end
+
+let realize_witness (w : Holistic.Witness.t) ~sched_seed =
+  match
+    ( List.assoc_opt "n" w.params,
+      List.assoc_opt "t" w.params,
+      List.assoc_opt "f" w.params )
+  with
+  | Some n, Some t, Some f -> realize ~n ~t ~f ~value:0 ~sched_seed
+  | _ -> None

@@ -1,0 +1,67 @@
+(** Cross-validation of simulation runs against the verification stack.
+
+    Two directions:
+
+    - {b simulation vs explicit-state checking}: for small conforming
+      bv-broadcast scenarios, every oracle failure observed in simulation
+      is compared against {!Explicit.check} on the bv threshold automaton
+      at the same [(n, t, f)].  A simulated violation of a property the
+      explicit checker proves to hold for those parameters is a
+      {!divergence} — a bug in the simulator, the oracle, or the checker.
+
+    - {b witness realization}: a safety witness produced by the
+      parameterized checker on a {e mutant} automaton (bv-broadcast with
+      the resilience weakened to admit [f <= 2t]) is turned into a
+      concrete scripted scenario — [f] flooding adversaries against
+      all-opposite correct inputs — and replayed on the simulated
+      network, confirming that the abstract counterexample corresponds to
+      an executable run violating the same property. *)
+
+(** Memoizes explicit-checker verdicts per parameter valuation. *)
+type cache
+
+val create_cache : unit -> cache
+
+type divergence = {
+  oracle : string;  (** simulation oracle that failed *)
+  spec : string;  (** automaton spec the explicit checker proved *)
+  detail : string;
+}
+
+(** Automaton spec names backing a simulation oracle (empty for oracles
+    with no automaton counterpart). *)
+val specs_for_oracle : string -> string list
+
+(** Scenarios the explicit checker can arbitrate: conforming bv-broadcast
+    runs ([n > 3t], [f <= t]) with [n] small enough for state
+    enumeration. *)
+val applicable : Trace.scenario -> bool
+
+(** [explicit_verdicts cache ~n ~t ~f] is [(spec_name, holds)] for every
+    bv spec, memoized. *)
+val explicit_verdicts : cache -> n:int -> t:int -> f:int -> (string * bool) list
+
+(** [divergences cache scenario verdicts] compares a run's oracle
+    verdicts against the explicit checker; [[]] when the scenario is not
+    {!applicable}. *)
+val divergences :
+  cache -> Trace.scenario -> (string * Oracle.verdict) list -> divergence list
+
+(** The mutant: bv-broadcast with resilience [n > 3t /\ 0 <= f <= 2t],
+    so more processes may be faulty than the correct ones assume. *)
+val broken_automaton : Ta.Automaton.t
+
+(** [find_witness ()] asks the parameterized checker for a BV-Just0
+    counterexample on {!broken_automaton}; [None] if the checker
+    (unexpectedly) proves it or aborts. *)
+val find_witness : unit -> Holistic.Witness.t option
+
+(** [realize ~n ~t ~f ~value ~sched_seed] builds the flooding scenario
+    for those parameters, runs it, and returns the recorded trace iff it
+    violates bv-justification. *)
+val realize :
+  n:int -> t:int -> f:int -> value:int -> sched_seed:int -> Trace.trace option
+
+(** [realize_witness w ~sched_seed] reads [(n, t, f)] off a checker
+    witness and {!realize}s it. *)
+val realize_witness : Holistic.Witness.t -> sched_seed:int -> Trace.trace option

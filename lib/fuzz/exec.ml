@@ -1,0 +1,210 @@
+module Net = Simnet.Network
+
+exception Replay_divergence of string
+
+type proc_result = {
+  pid : int;
+  contestants : int list;
+  decision : (int * int) option;
+  round : int;
+}
+
+type outcome = {
+  trace : Trace.trace;
+  procs : proc_result list;
+  steps : int;
+  delivered : int;
+  dropped_to_correct : int;
+  quiesced : bool;
+  budget_exhausted : bool;
+}
+
+type participant =
+  | P_bv of Dbft.Bv.t
+  | P_proc of Dbft.Process.t
+  | P_byz of Dbft.Byzantine.t
+
+type sim = {
+  scenario : Trace.scenario;
+  net : Dbft.Message.t Net.t;
+  parts : participant array;
+  correct : int list;
+  mutable dropped_to_correct : int;
+}
+
+let build (s : Trace.scenario) =
+  Trace.validate s;
+  let net = Net.create ~n:s.n in
+  let correct = Trace.correct_ids s in
+  let inputs = List.combine correct s.inputs in
+  let parts =
+    Array.init s.n (fun i ->
+        match List.assoc_opt i s.byzantine with
+        | Some adv ->
+          P_byz
+            (Dbft.Byzantine.create ~id:i ~n:s.n
+               (Trace.strategy_of_adversary ~n:s.n adv)
+               net)
+        | None -> (
+          let input = List.assoc i inputs in
+          match s.kind with
+          | Trace.Bv_broadcast -> P_bv (Dbft.Bv.create ~id:i ~t:s.t ~input net)
+          | Trace.Consensus ->
+            let p = Dbft.Process.create ~id:i ~n:s.n ~t:s.t ~input net in
+            Dbft.Process.set_max_round p s.max_round;
+            P_proc p))
+  in
+  (* Start in ascending id order so initial sequence numbers are
+     deterministic regardless of construction order. *)
+  Array.iter
+    (function P_bv ep -> Dbft.Bv.start ep | P_proc p -> Dbft.Process.start p | P_byz _ -> ())
+    parts;
+  { scenario = s; net; parts; correct; dropped_to_correct = 0 }
+
+let is_correct sim i =
+  match sim.parts.(i) with P_byz _ -> false | P_bv _ | P_proc _ -> true
+
+let dispatch sim { Net.src; dest; msg; _ } =
+  match sim.parts.(dest) with
+  | P_bv ep -> Dbft.Bv.handle ep ~src msg
+  | P_proc p -> Dbft.Process.handle p ~src msg
+  | P_byz b -> Dbft.Byzantine.handle b ~src msg
+
+let all_decided sim =
+  Array.for_all
+    (function P_proc p -> Dbft.Process.decision p <> None | P_bv _ | P_byz _ -> true)
+    sim.parts
+
+let stop_condition sim =
+  match sim.scenario.kind with
+  | Trace.Bv_broadcast -> false (* run to quiescence *)
+  | Trace.Consensus -> all_decided sim
+
+(* Partition lookup: -1 = unrestricted. *)
+let group_table (s : Trace.scenario) =
+  let tbl = Array.make s.n (-1) in
+  (match s.partition with
+   | None -> ()
+   | Some { groups; _ } ->
+     List.iteri (fun gi g -> List.iter (fun i -> tbl.(i) <- gi) g) groups);
+  tbl
+
+let blocked (s : Trace.scenario) groups step (p : _ Net.pending) =
+  match s.partition with
+  | Some { from_step; to_step; _ } when step >= from_step && step <= to_step ->
+    let gs = groups.(p.src) and gd = groups.(p.dest) in
+    gs >= 0 && gd >= 0 && gs <> gd
+  | _ -> false
+
+let drop_message sim p =
+  ignore (Net.drop sim.net p);
+  if is_correct sim p.Net.dest then
+    sim.dropped_to_correct <- sim.dropped_to_correct + 1
+
+let finish sim ~events ~steps ~budget_exhausted =
+  let procs =
+    List.map
+      (fun i ->
+        match sim.parts.(i) with
+        | P_bv ep ->
+          {
+            pid = i;
+            contestants = Dbft.Vset.to_list (Dbft.Bv.delivered ep);
+            decision = None;
+            round = 0;
+          }
+        | P_proc p ->
+          {
+            pid = i;
+            contestants = Dbft.Vset.to_list (Dbft.Process.contestants p 0);
+            decision = Dbft.Process.decision p;
+            round = Dbft.Process.round p;
+          }
+        | P_byz _ -> assert false)
+      sim.correct
+  in
+  {
+    trace = { Trace.scenario = sim.scenario; events };
+    procs;
+    steps;
+    delivered = Net.delivered_count sim.net;
+    dropped_to_correct = sim.dropped_to_correct;
+    quiesced = Net.pending_count sim.net = 0;
+    budget_exhausted;
+  }
+
+(* ------------------------------------------------------------------ *)
+(* Generation: drive the run with a seeded fault-injecting scheduler,
+   recording every performed action.                                    *)
+
+let run (s : Trace.scenario) =
+  let sim = build s in
+  let rng = Gen.make_state ~seed:s.sched_seed in
+  let groups = group_table s in
+  let defers = Hashtbl.create 64 in
+  let events = ref [] in
+  let record ev = events := ev :: !events in
+  let steps = ref 0 in
+  while
+    (not (stop_condition sim)) && !steps < s.max_steps && Net.pending_count sim.net > 0
+  do
+    incr steps;
+    let deliverable =
+      List.filter (fun p -> not (blocked s groups !steps p)) (Net.pending sim.net)
+    in
+    match deliverable with
+    | [] -> () (* the partition blocks everything; time passes until it heals *)
+    | _ -> (
+      let p = List.nth deliverable (Gen.int rng (List.length deliverable)) in
+      let deferred = Option.value ~default:0 (Hashtbl.find_opt defers p.Net.seq) in
+      if s.max_delay > 0 && deferred < s.max_delay && Gen.percent rng 30 then
+        (* Bounded delay: put the pick off for this step.  Each message is
+           deferrable at most [max_delay] times, so fairness survives. *)
+        Hashtbl.replace defers p.Net.seq (deferred + 1)
+      else if Gen.percent rng s.drop_rate then begin
+        record (Trace.Drop p.Net.seq);
+        drop_message sim p
+      end
+      else if Gen.percent rng s.dup_rate then begin
+        record (Trace.Duplicate p.Net.seq);
+        Net.send sim.net ~src:p.Net.src ~dest:p.Net.dest p.Net.msg
+      end
+      else begin
+        record (Trace.Deliver p.Net.seq);
+        dispatch sim (Net.deliver sim.net p)
+      end)
+  done;
+  finish sim ~events:(List.rev !events) ~steps:!steps
+    ~budget_exhausted:(!steps >= s.max_steps)
+
+(* ------------------------------------------------------------------ *)
+(* Replay: re-execute a recorded (possibly shrunk) schedule.            *)
+
+let replay ?(strict = true) (tr : Trace.trace) =
+  let sim = build tr.scenario in
+  let steps = ref 0 in
+  let miss what seq =
+    if strict then
+      raise
+        (Replay_divergence
+           (Printf.sprintf "event %d: no pending message with seq %d to %s" !steps seq
+              what))
+  in
+  List.iter
+    (fun ev ->
+      incr steps;
+      match ev with
+      | Trace.Deliver seq -> (
+        match Net.find sim.net seq with
+        | Some p -> dispatch sim (Net.deliver sim.net p)
+        | None -> miss "deliver" seq)
+      | Trace.Drop seq -> (
+        match Net.find sim.net seq with
+        | Some p -> drop_message sim p
+        | None -> miss "drop" seq)
+      | Trace.Duplicate seq -> (
+        match Net.find sim.net seq with
+        | Some p -> Net.send sim.net ~src:p.Net.src ~dest:p.Net.dest p.Net.msg
+        | None -> miss "duplicate" seq))
+    tr.events;
+  finish sim ~events:tr.events ~steps:!steps ~budget_exhausted:false

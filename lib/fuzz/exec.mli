@@ -1,0 +1,47 @@
+(** Deterministic execution of scenarios over the fault-injecting
+    simulated network.
+
+    {!run} drives a scenario with a seeded scheduler that interleaves
+    deliveries with injected faults — message drops, duplications,
+    bounded per-message delays, and a healing partition — and records
+    every action performed as a replayable {!Trace.trace}.  {!replay}
+    re-executes a recorded (possibly shrunk) schedule: because correct
+    processes and the bundled adversaries are deterministic functions of
+    the deliveries they observe, replaying the same event list reproduces
+    the same run bit-for-bit. *)
+
+(** Raised by strict {!replay} when an event references a message that is
+    not pending — the trace does not correspond to a run of this
+    scenario. *)
+exception Replay_divergence of string
+
+type proc_result = {
+  pid : int;
+  contestants : int list;  (** bv-delivered values (round 0 for consensus) *)
+  decision : (int * int) option;  (** value, round (consensus only) *)
+  round : int;
+}
+
+type outcome = {
+  trace : Trace.trace;  (** the recorded (or replayed) schedule *)
+  procs : proc_result list;  (** correct processes, ascending id *)
+  steps : int;
+  delivered : int;
+  dropped_to_correct : int;
+      (** messages to correct processes lost to drop faults; when
+          non-zero the run is not a fair schedule of the paper's reliable
+          network and liveness oracles are vacuous *)
+  quiesced : bool;  (** no pending messages at the end *)
+  budget_exhausted : bool;
+}
+
+(** [run scenario] executes until quiescence (bv-broadcast), all correct
+    processes decided (consensus), or the step budget is exhausted.
+    @raise Invalid_argument on an inconsistent scenario. *)
+val run : Trace.scenario -> outcome
+
+(** [replay ?strict tr] re-executes a recorded schedule.  With
+    [strict = false], events whose message is not pending are skipped
+    (used while shrinking candidate traces).
+    @raise Replay_divergence in strict mode on a non-applicable event. *)
+val replay : ?strict:bool -> Trace.trace -> outcome

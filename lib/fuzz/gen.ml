@@ -1,0 +1,37 @@
+type st = Random.State.t
+
+let make_state ~seed = Random.State.make [| 0x5eed; seed |]
+let sub_seed st = Random.State.int st 0x3FFFFFFF
+let int st bound = if bound <= 0 then 0 else Random.State.int st bound
+let int_range st lo hi = if hi <= lo then lo else lo + Random.State.int st (hi - lo + 1)
+let bool st = Random.State.bool st
+let percent st p = Random.State.int st 100 < p
+
+let oneof st xs =
+  match xs with
+  | [] -> invalid_arg "Gen.oneof: empty list"
+  | _ -> List.nth xs (Random.State.int st (List.length xs))
+
+let list st len f = List.init len (fun _ -> f st)
+
+(* A uniformly random [k]-element subset of [0 .. n-1], sorted
+   (Fisher-Yates prefix). *)
+let subset st ~n ~k =
+  let a = Array.init n Fun.id in
+  for i = 0 to min k (n - 1) - 1 do
+    let j = i + Random.State.int st (n - i) in
+    let tmp = a.(i) in
+    a.(i) <- a.(j);
+    a.(j) <- tmp
+  done;
+  Array.sub a 0 k |> Array.to_list |> List.sort compare
+
+let shuffle st xs =
+  let a = Array.of_list xs in
+  for i = Array.length a - 1 downto 1 do
+    let j = Random.State.int st (i + 1) in
+    let tmp = a.(i) in
+    a.(i) <- a.(j);
+    a.(j) <- tmp
+  done;
+  Array.to_list a

@@ -1,0 +1,32 @@
+(** Seeded generation primitives for the fuzzer: thin deterministic
+    wrappers around [Random.State] (no external property-testing
+    dependency).  All draws are a pure function of the state, so a run is
+    reproducible from its seed alone. *)
+
+type st = Random.State.t
+
+val make_state : seed:int -> st
+
+(** [sub_seed st] derives an independent child seed (for per-run or
+    per-adversary generators). *)
+val sub_seed : st -> int
+
+(** [int st bound] is uniform in [0 .. bound-1] ([0] if [bound <= 0]). *)
+val int : st -> int -> int
+
+(** [int_range st lo hi] is uniform in [lo .. hi] (inclusive). *)
+val int_range : st -> int -> int -> int
+
+val bool : st -> bool
+
+(** [percent st p] is true with probability [p]%. *)
+val percent : st -> int -> bool
+
+val oneof : st -> 'a list -> 'a
+val list : st -> int -> (st -> 'a) -> 'a list
+
+(** [subset st ~n ~k] draws a uniform [k]-element subset of [0 .. n-1],
+    sorted. *)
+val subset : st -> n:int -> k:int -> int list
+
+val shuffle : st -> 'a list -> 'a list

@@ -1,0 +1,28 @@
+(** The minimal JSON tree the fuzzer emits and parses (reports, recorded
+    traces): null, booleans, integers, strings, arrays, objects.  Output
+    is canonical — no whitespace, fields in construction order — so a
+    report is byte-identical across runs with the same seed. *)
+
+type t =
+  | Null
+  | Bool of bool
+  | Int of int
+  | Str of string
+  | List of t list
+  | Obj of (string * t) list
+
+exception Parse_error of string
+
+val to_string : t -> string
+
+(** @raise Parse_error on malformed input. *)
+val of_string : string -> t
+
+(** Typed accessors; all @raise Parse_error on shape mismatch. *)
+
+val member : string -> t -> t
+val member_opt : string -> t -> t option
+val to_int : t -> int
+val to_str : t -> string
+val to_list : t -> t list
+val to_bool : t -> bool

@@ -1,0 +1,154 @@
+type verdict = Pass | Fail of string | Skip of string
+
+let verdict_name = function Pass -> "pass" | Fail _ -> "fail" | Skip _ -> "skip"
+let is_fail = function Fail _ -> true | Pass | Skip _ -> false
+
+(* Liveness oracles are meaningful only on fair complete runs: nothing
+   addressed to a correct process was dropped, the network quiesced, and
+   the run was not cut short by the step budget.  (Drops and unbounded
+   delay fall outside the paper's reliable-network model; the safety
+   oracles still apply there.) *)
+let fair (o : Exec.outcome) =
+  if o.dropped_to_correct > 0 then
+    Some (Printf.sprintf "%d drops to correct processes" o.dropped_to_correct)
+  else if o.budget_exhausted then Some "step budget exhausted"
+  else if not o.quiesced then Some "network not quiesced"
+  else None
+
+let liveness o check = match fair o with None -> check () | Some why -> Skip why
+
+let values_str vs = String.concat "," (List.map string_of_int vs)
+
+(* --- bv-broadcast properties (paper, Section 3.2) ------------------ *)
+
+let bv_justification (s : Trace.scenario) (o : Exec.outcome) =
+  let bad =
+    List.concat_map
+      (fun (p : Exec.proc_result) ->
+        List.filter_map
+          (fun v -> if List.mem v s.inputs then None else Some (p.pid, v))
+          p.contestants)
+      o.procs
+  in
+  match bad with
+  | [] -> Pass
+  | (pid, v) :: _ ->
+    Fail
+      (Printf.sprintf "p%d bv-delivered %d, which no correct process proposed" pid v)
+
+let bv_obligation (s : Trace.scenario) (o : Exec.outcome) =
+  liveness o (fun () ->
+      let violations =
+        List.filter_map
+          (fun v ->
+            let proposers = List.length (List.filter (( = ) v) s.inputs) in
+            if proposers < s.t + 1 then None
+            else
+              match
+                List.find_opt
+                  (fun (p : Exec.proc_result) -> not (List.mem v p.contestants))
+                  o.procs
+              with
+              | Some p -> Some (v, p.pid, proposers)
+              | None -> None)
+          [ 0; 1 ]
+      in
+      match violations with
+      | [] -> Pass
+      | (v, pid, proposers) :: _ ->
+        Fail
+          (Printf.sprintf
+             "%d proposed by %d >= t+1 correct processes but p%d never bv-delivered it"
+             v proposers pid))
+
+let bv_uniformity (_s : Trace.scenario) (o : Exec.outcome) =
+  liveness o (fun () ->
+      let violations =
+        List.filter_map
+          (fun v ->
+            let holders =
+              List.filter (fun (p : Exec.proc_result) -> List.mem v p.contestants) o.procs
+            in
+            if holders = [] || List.length holders = List.length o.procs then None
+            else
+              let missing =
+                List.find
+                  (fun (p : Exec.proc_result) -> not (List.mem v p.contestants))
+                  o.procs
+              in
+              Some (v, (List.hd holders).pid, missing.pid))
+          [ 0; 1 ]
+      in
+      match violations with
+      | [] -> Pass
+      | (v, has, misses) :: _ ->
+        Fail (Printf.sprintf "p%d bv-delivered %d but p%d did not" has v misses))
+
+let bv_termination (_s : Trace.scenario) (o : Exec.outcome) =
+  liveness o (fun () ->
+      match List.find_opt (fun (p : Exec.proc_result) -> p.contestants = []) o.procs with
+      | None -> Pass
+      | Some p -> Fail (Printf.sprintf "p%d never bv-delivered any value" p.pid))
+
+(* --- consensus properties (paper, Section 2) ----------------------- *)
+
+let decisions (o : Exec.outcome) =
+  List.filter_map
+    (fun (p : Exec.proc_result) ->
+      match p.decision with Some (v, r) -> Some (p.pid, v, r) | None -> None)
+    o.procs
+
+let agreement (_s : Trace.scenario) (o : Exec.outcome) =
+  match decisions o with
+  | [] -> Pass
+  | (pid0, v0, _) :: rest -> (
+    match List.find_opt (fun (_, v, _) -> v <> v0) rest with
+    | None -> Pass
+    | Some (pid1, v1, _) ->
+      Fail (Printf.sprintf "p%d decided %d but p%d decided %d" pid0 v0 pid1 v1))
+
+let validity (s : Trace.scenario) (o : Exec.outcome) =
+  match
+    List.find_opt (fun (_, v, _) -> not (List.mem v s.inputs)) (decisions o)
+  with
+  | None -> Pass
+  | Some (pid, v, _) ->
+    Fail
+      (Printf.sprintf "p%d decided %d, the input of no correct process (inputs %s)" pid
+         v (values_str s.inputs))
+
+let termination (s : Trace.scenario) (o : Exec.outcome) =
+  let undecided =
+    List.filter (fun (p : Exec.proc_result) -> p.decision = None) o.procs
+  in
+  if undecided = [] then Pass
+  else if
+    (* DBFT termination is probability-1 over infinite fair schedules
+       (Lemma 7 exhibits an unfair non-terminating one); a run cut off by
+       the round cap is only a finite prefix, so no verdict. *)
+    List.exists (fun (p : Exec.proc_result) -> p.round >= s.max_round) o.procs
+  then Skip "round budget exhausted before decision"
+  else
+    liveness o (fun () ->
+        let p = List.hd undecided in
+        Fail
+          (Printf.sprintf "p%d never decided (reached round %d, network quiesced)"
+             p.pid p.round))
+
+(* ------------------------------------------------------------------ *)
+
+let oracles_for = function
+  | Trace.Bv_broadcast ->
+    [
+      ("bv-justification", bv_justification);
+      ("bv-obligation", bv_obligation);
+      ("bv-uniformity", bv_uniformity);
+      ("bv-termination", bv_termination);
+    ]
+  | Trace.Consensus ->
+    [ ("agreement", agreement); ("validity", validity); ("termination", termination) ]
+
+let oracle_names kind = List.map fst (oracles_for kind)
+
+let check (s : Trace.scenario) (o : Exec.outcome) =
+  List.map (fun (name, oracle) -> (name, oracle s o)) (oracles_for s.kind)

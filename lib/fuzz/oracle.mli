@@ -1,0 +1,26 @@
+(** The paper's proven properties as executable predicates over a run.
+
+    Bv-broadcast runs are checked against BV-Justification,
+    BV-Obligation, BV-Uniformity and BV-Termination (Section 3.2);
+    consensus runs against Agreement, Validity and Termination
+    (Section 2).  Safety oracles apply to every run; liveness oracles are
+    [Skip]ped on runs that are not fair complete schedules of the
+    reliable network (message loss to a correct process, exhausted step
+    budget, or a non-quiescent network), where the paper's assumptions do
+    not hold and a failure would be vacuous. *)
+
+type verdict = Pass | Fail of string | Skip of string
+
+val verdict_name : verdict -> string
+val is_fail : verdict -> bool
+
+(** [fair o] is [None] when the run is a fair complete schedule, or
+    [Some reason] why liveness oracles are vacuous on it. *)
+val fair : Exec.outcome -> string option
+
+(** Oracle names for a run kind, in report order. *)
+val oracle_names : Trace.kind -> string list
+
+(** [check scenario outcome] evaluates every oracle applicable to the
+    scenario's kind. *)
+val check : Trace.scenario -> Exec.outcome -> (string * verdict) list

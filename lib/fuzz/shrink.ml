@@ -1,0 +1,76 @@
+(* Greedy trace shrinking.  Every accepted candidate is validated by a
+   strict replay, so the result is always a schedule that reproduces the
+   violation from scratch — no tolerance is needed when the user replays
+   the shipped reproducer. *)
+
+let fails ~oracle (tr : Trace.trace) =
+  match Exec.replay ~strict:true tr with
+  | exception Exec.Replay_divergence _ -> false
+  | o -> (
+    match List.assoc_opt oracle (Oracle.check tr.scenario o) with
+    | Some v -> Oracle.is_fail v
+    | None -> false)
+
+let prefix (tr : Trace.trace) k =
+  { tr with Trace.events = List.filteri (fun i _ -> i < k) tr.events }
+
+(* Safety violations are monotone in the schedule prefix (a decision or a
+   bv-delivery is never retracted), so a binary search finds the shortest
+   failing prefix; liveness violations need the full quiescent run and
+   the search then returns the trace unchanged. *)
+let truncate ~oracle tr =
+  let n = List.length tr.Trace.events in
+  if fails ~oracle (prefix tr 0) then prefix tr 0
+  else begin
+    let lo = ref 0 and hi = ref n in
+    while !hi - !lo > 1 do
+      let mid = (!lo + !hi) / 2 in
+      if fails ~oracle (prefix tr mid) then hi := mid else lo := mid
+    done;
+    prefix tr !hi
+  end
+
+let remove_nth i xs = List.filteri (fun j _ -> j <> i) xs
+let replace_nth i x xs = List.mapi (fun j y -> if j = i then x else y) xs
+
+(* One greedy pass, last event first: try deleting each event, and for a
+   delivery also try degrading it to a drop (useful on liveness
+   violations, where deleting a delivery leaves the message pending and
+   the network non-quiescent, but dropping a byzantine-bound message
+   keeps the schedule fair and complete). *)
+let removal_pass ~oracle tr =
+  let current = ref tr in
+  let i = ref (List.length tr.Trace.events - 1) in
+  while !i >= 0 do
+    let events = !current.Trace.events in
+    if !i < List.length events then begin
+      let candidates =
+        { !current with Trace.events = remove_nth !i events }
+        ::
+        (match List.nth events !i with
+         | Trace.Deliver seq ->
+           [ { !current with Trace.events = replace_nth !i (Trace.Drop seq) events } ]
+         | Trace.Drop _ | Trace.Duplicate _ -> [])
+      in
+      match List.find_opt (fails ~oracle) candidates with
+      | Some better -> current := better
+      | None -> ()
+    end;
+    decr i
+  done;
+  !current
+
+(* Above this, a full greedy pass costs too many replays; truncation
+   alone already bounds the reproducer. *)
+let removal_budget = 800
+
+let shrink ~oracle tr =
+  if not (fails ~oracle tr) then tr
+  else begin
+    let tr = truncate ~oracle tr in
+    let tr =
+      if List.length tr.Trace.events <= removal_budget then removal_pass ~oracle tr
+      else tr
+    in
+    tr
+  end

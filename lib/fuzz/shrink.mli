@@ -1,0 +1,13 @@
+(** Greedy shrinking of failing traces: first a binary-search truncation
+    to the shortest failing prefix (safety violations are monotone in the
+    prefix), then one greedy pass deleting — or degrading to drops —
+    individual events.  Every candidate is validated by strict replay, so
+    the shrunk trace always reproduces the violation standalone. *)
+
+(** [fails ~oracle tr] strictly replays [tr] and reports whether the
+    named oracle fails on it ([false] on replay divergence). *)
+val fails : oracle:string -> Trace.trace -> bool
+
+(** [shrink ~oracle tr] returns a minimal-ish failing trace ([tr] itself
+    if it does not fail in the first place). *)
+val shrink : oracle:string -> Trace.trace -> Trace.trace

@@ -1,0 +1,217 @@
+type adversary =
+  | Silent
+  | Equivocate
+  | Noise of int
+  | Flood of int
+
+type kind = Bv_broadcast | Consensus
+
+type partition = { from_step : int; to_step : int; groups : int list list }
+
+type scenario = {
+  kind : kind;
+  n : int;
+  t : int;
+  inputs : int list;
+  byzantine : (int * adversary) list;
+  sched_seed : int;
+  drop_rate : int;
+  dup_rate : int;
+  max_delay : int;
+  partition : partition option;
+  max_round : int;
+  max_steps : int;
+}
+
+type event = Deliver of int | Drop of int | Duplicate of int
+
+type trace = { scenario : scenario; events : event list }
+
+let format_version = 1
+
+(* ------------------------------------------------------------------ *)
+(* Validation.                                                          *)
+
+let validate s =
+  let fail msg = invalid_arg ("Trace.validate: " ^ msg) in
+  if s.n < 1 then fail "n must be positive";
+  if s.t < 0 then fail "t must be non-negative";
+  let byz_ids = List.map fst s.byzantine in
+  if List.length (List.sort_uniq compare byz_ids) <> List.length byz_ids then
+    fail "duplicate byzantine ids";
+  List.iter (fun i -> if i < 0 || i >= s.n then fail "byzantine id out of range") byz_ids;
+  if List.length s.inputs <> s.n - List.length byz_ids then
+    fail "need exactly one input per correct process";
+  List.iter (fun v -> if v <> 0 && v <> 1 then fail "inputs must be binary") s.inputs;
+  if s.drop_rate < 0 || s.drop_rate > 100 then fail "drop_rate out of range";
+  if s.dup_rate < 0 || s.dup_rate > 100 then fail "dup_rate out of range";
+  if s.max_delay < 0 then fail "max_delay must be non-negative";
+  if s.max_steps < 1 then fail "max_steps must be positive";
+  match s.partition with
+  | None -> ()
+  | Some p ->
+    if p.from_step < 0 || p.to_step < p.from_step then fail "bad partition interval";
+    if p.to_step >= s.max_steps then fail "partition outlives the step budget";
+    let members = List.concat p.groups in
+    if List.length (List.sort_uniq compare members) <> List.length members then
+      fail "partition groups overlap";
+    List.iter (fun i -> if i < 0 || i >= s.n then fail "partition member out of range") members
+
+let correct_ids s =
+  let byz = List.map fst s.byzantine in
+  List.filter (fun i -> not (List.mem i byz)) (List.init s.n Fun.id)
+
+(* ------------------------------------------------------------------ *)
+(* Adversary instantiation.                                             *)
+
+let strategy_of_adversary ~n = function
+  | Silent -> Dbft.Byzantine.Silent
+  | Equivocate -> Dbft.Byzantine.Equivocate
+  | Noise seed -> Dbft.Byzantine.Noise seed
+  | Flood v ->
+    (* Pushes one value at every destination on every round it observes:
+       the adversary that realizes BV-Justification counterexamples once
+       f > t. *)
+    Dbft.Byzantine.Scripted
+      (fun ~round ->
+        List.concat_map
+          (fun dest ->
+            [
+              (dest, Dbft.Message.Bv { round; value = v });
+              (dest, Dbft.Message.Aux { round; values = Dbft.Vset.singleton v });
+            ])
+          (List.init n Fun.id))
+
+let adversary_name = function
+  | Silent -> "silent"
+  | Equivocate -> "equivocate"
+  | Noise _ -> "noise"
+  | Flood _ -> "flood"
+
+(* ------------------------------------------------------------------ *)
+(* JSON encoding.                                                       *)
+
+let adversary_to_json = function
+  | Silent -> Json.List [ Json.Str "silent" ]
+  | Equivocate -> Json.List [ Json.Str "equivocate" ]
+  | Noise seed -> Json.List [ Json.Str "noise"; Json.Int seed ]
+  | Flood v -> Json.List [ Json.Str "flood"; Json.Int v ]
+
+let adversary_of_json j =
+  match Json.to_list j with
+  | [ Json.Str "silent" ] -> Silent
+  | [ Json.Str "equivocate" ] -> Equivocate
+  | [ Json.Str "noise"; Json.Int seed ] -> Noise seed
+  | [ Json.Str "flood"; Json.Int v ] -> Flood v
+  | _ -> raise (Json.Parse_error "bad adversary")
+
+let kind_to_string = function Bv_broadcast -> "bv-broadcast" | Consensus -> "consensus"
+
+let kind_of_string = function
+  | "bv-broadcast" -> Bv_broadcast
+  | "consensus" -> Consensus
+  | k -> raise (Json.Parse_error ("bad kind " ^ k))
+
+let scenario_to_json s =
+  Json.Obj
+    [
+      ("kind", Json.Str (kind_to_string s.kind));
+      ("n", Json.Int s.n);
+      ("t", Json.Int s.t);
+      ("inputs", Json.List (List.map (fun v -> Json.Int v) s.inputs));
+      ( "byzantine",
+        Json.List
+          (List.map
+             (fun (i, a) -> Json.List [ Json.Int i; adversary_to_json a ])
+             s.byzantine) );
+      ("sched_seed", Json.Int s.sched_seed);
+      ("drop_rate", Json.Int s.drop_rate);
+      ("dup_rate", Json.Int s.dup_rate);
+      ("max_delay", Json.Int s.max_delay);
+      ( "partition",
+        match s.partition with
+        | None -> Json.Null
+        | Some p ->
+          Json.Obj
+            [
+              ("from_step", Json.Int p.from_step);
+              ("to_step", Json.Int p.to_step);
+              ( "groups",
+                Json.List
+                  (List.map
+                     (fun g -> Json.List (List.map (fun i -> Json.Int i) g))
+                     p.groups) );
+            ] );
+      ("max_round", Json.Int s.max_round);
+      ("max_steps", Json.Int s.max_steps);
+    ]
+
+let scenario_of_json j =
+  let s =
+    {
+      kind = kind_of_string (Json.to_str (Json.member "kind" j));
+      n = Json.to_int (Json.member "n" j);
+      t = Json.to_int (Json.member "t" j);
+      inputs = List.map Json.to_int (Json.to_list (Json.member "inputs" j));
+      byzantine =
+        List.map
+          (fun b ->
+            match Json.to_list b with
+            | [ i; a ] -> (Json.to_int i, adversary_of_json a)
+            | _ -> raise (Json.Parse_error "bad byzantine entry"))
+          (Json.to_list (Json.member "byzantine" j));
+      sched_seed = Json.to_int (Json.member "sched_seed" j);
+      drop_rate = Json.to_int (Json.member "drop_rate" j);
+      dup_rate = Json.to_int (Json.member "dup_rate" j);
+      max_delay = Json.to_int (Json.member "max_delay" j);
+      partition =
+        (match Json.member "partition" j with
+         | Json.Null -> None
+         | p ->
+           Some
+             {
+               from_step = Json.to_int (Json.member "from_step" p);
+               to_step = Json.to_int (Json.member "to_step" p);
+               groups =
+                 List.map
+                   (fun g -> List.map Json.to_int (Json.to_list g))
+                   (Json.to_list (Json.member "groups" p));
+             });
+      max_round = Json.to_int (Json.member "max_round" j);
+      max_steps = Json.to_int (Json.member "max_steps" j);
+    }
+  in
+  validate s;
+  s
+
+let event_to_json = function
+  | Deliver seq -> Json.List [ Json.Str "d"; Json.Int seq ]
+  | Drop seq -> Json.List [ Json.Str "x"; Json.Int seq ]
+  | Duplicate seq -> Json.List [ Json.Str "u"; Json.Int seq ]
+
+let event_of_json j =
+  match Json.to_list j with
+  | [ Json.Str "d"; Json.Int seq ] -> Deliver seq
+  | [ Json.Str "x"; Json.Int seq ] -> Drop seq
+  | [ Json.Str "u"; Json.Int seq ] -> Duplicate seq
+  | _ -> raise (Json.Parse_error "bad event")
+
+let to_json tr =
+  Json.Obj
+    [
+      ("version", Json.Int format_version);
+      ("scenario", scenario_to_json tr.scenario);
+      ("events", Json.List (List.map event_to_json tr.events));
+    ]
+
+let of_json j =
+  let v = Json.to_int (Json.member "version" j) in
+  if v <> format_version then
+    raise (Json.Parse_error (Printf.sprintf "unsupported trace version %d" v));
+  {
+    scenario = scenario_of_json (Json.member "scenario" j);
+    events = List.map event_of_json (Json.to_list (Json.member "events" j));
+  }
+
+let to_string tr = Json.to_string (to_json tr)
+let of_string s = of_json (Json.of_string s)

@@ -1,0 +1,74 @@
+(** Recorded, replayable runs.
+
+    A {!scenario} is the full static description of a run: topology,
+    declared fault bound [t], inputs, Byzantine placement and strategies,
+    the fault-injection policy (drop/duplicate rates, bounded delay,
+    a healing partition) and the scheduler seed.  A {!trace} adds the
+    dynamic schedule: the exact sequence of network actions performed,
+    each identified by the message's sequence number.  Both serialize to
+    JSON, so a failing run ships as a standalone reproducer that
+    [holistic fuzz --replay] re-executes deterministically. *)
+
+type adversary =
+  | Silent  (** crashed process *)
+  | Equivocate  (** a different value to each network half *)
+  | Noise of int  (** seeded random messages *)
+  | Flood of int
+      (** pushes the given value (BV + AUX) to everyone on every round: a
+          serializable stand-in for a scripted value-forcing adversary *)
+
+type kind =
+  | Bv_broadcast  (** standalone {!Dbft.Bv} endpoints, run to quiescence *)
+  | Consensus  (** full DBFT {!Dbft.Process} runs *)
+
+(** Messages crossing group boundaries are undeliverable while the step
+    counter is within [from_step, to_step]; the partition then heals
+    (bounded, so fairness is preserved).  Processes not listed in any
+    group are unrestricted. *)
+type partition = { from_step : int; to_step : int; groups : int list list }
+
+type scenario = {
+  kind : kind;
+  n : int;
+  t : int;  (** the fault bound the correct processes assume *)
+  inputs : int list;  (** one per correct process, in id order *)
+  byzantine : (int * adversary) list;
+  sched_seed : int;
+  drop_rate : int;  (** percent of scheduled actions that drop instead *)
+  dup_rate : int;  (** percent that re-enqueue a duplicate instead *)
+  max_delay : int;  (** max times a picked message may be deferred *)
+  partition : partition option;
+  max_round : int;  (** consensus only: stop starting rounds beyond it *)
+  max_steps : int;
+}
+
+type event =
+  | Deliver of int  (** deliver the pending message with this seq *)
+  | Drop of int  (** remove it without delivering *)
+  | Duplicate of int  (** re-enqueue a copy (the copy gets a fresh seq) *)
+
+type trace = { scenario : scenario; events : event list }
+
+val format_version : int
+
+(** @raise Invalid_argument on an inconsistent scenario. *)
+val validate : scenario -> unit
+
+(** Correct process ids, ascending. *)
+val correct_ids : scenario -> int list
+
+(** Instantiate an adversary as an executable strategy. *)
+val strategy_of_adversary : n:int -> adversary -> Dbft.Byzantine.strategy
+
+val adversary_name : adversary -> string
+val kind_to_string : kind -> string
+
+val scenario_to_json : scenario -> Json.t
+
+(** @raise Json.Parse_error / Invalid_argument on malformed input. *)
+val scenario_of_json : Json.t -> scenario
+
+val to_json : trace -> Json.t
+val of_json : Json.t -> trace
+val to_string : trace -> string
+val of_string : string -> trace

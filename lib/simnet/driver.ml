@@ -1,0 +1,56 @@
+type source = {
+  pending_count : unit -> int;
+  deliver_random : Random.State.t -> unit;
+}
+
+let of_network net ~handle =
+  {
+    pending_count = (fun () -> Network.pending_count net);
+    deliver_random =
+      (fun rng ->
+        let pending = Network.pending net in
+        let p = List.nth pending (Random.State.int rng (List.length pending)) in
+        let { Network.src; dest; msg; _ } = Network.deliver net p in
+        handle ~src ~dest msg);
+  }
+
+(* With a single source the driver draws exactly one random number per
+   step (uniform over that source's pending messages), matching the
+   historical hand-rolled loops; with several sources it first draws a
+   pending-count-weighted source, then a message within it, so the
+   overall choice is uniform over all pending messages. *)
+let step ~rng sources =
+  match sources with
+  | [ s ] -> if s.pending_count () = 0 then false else (s.deliver_random rng; true)
+  | _ ->
+    let total = List.fold_left (fun acc s -> acc + s.pending_count ()) 0 sources in
+    if total = 0 then false
+    else begin
+      let pick = Random.State.int rng total in
+      let rec go remaining = function
+        | [] -> assert false
+        | s :: rest ->
+          let c = s.pending_count () in
+          if remaining < c then s.deliver_random rng else go (remaining - c) rest
+      in
+      go pick sources;
+      true
+    end
+
+let run ?(max_steps = 1_000_000) ?(stop = fun () -> false) ~rng sources =
+  let steps = ref 0 in
+  while (not (stop ())) && !steps < max_steps && step ~rng sources do
+    incr steps
+  done;
+  !steps
+
+let run_scheduled ?(max_steps = 1_000_000) ?(stop = fun () -> false) ~scheduler net
+    ~handle =
+  let steps = ref 0 in
+  while Network.pending_count net > 0 && !steps < max_steps && not (stop ()) do
+    let p = Scheduler.pick scheduler (Network.pending net) in
+    let { Network.src; dest; msg; _ } = Network.deliver net p in
+    incr steps;
+    handle ~src ~dest msg
+  done;
+  !steps

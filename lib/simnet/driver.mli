@@ -1,0 +1,39 @@
+(** The shared seeded random-delivery loop used by every simulation: one
+    deterministic scheduler for simulator-level tests, the vector
+    consensus and the fuzzer, instead of per-call-site copies.
+
+    A {!source} abstracts one network's pending pool (the vector
+    consensus runs one reliable-broadcast network plus [n] binary
+    networks under a single scheduler); {!run} delivers uniformly at
+    random over the union of all pending messages until every source is
+    drained, [stop] holds, or the step budget is exhausted. *)
+
+type source = {
+  pending_count : unit -> int;
+  deliver_random : Random.State.t -> unit;
+}
+
+(** [of_network net ~handle] wraps a network: a random pending message is
+    delivered and dispatched to [handle]. *)
+val of_network :
+  'msg Network.t -> handle:(src:int -> dest:int -> 'msg -> unit) -> source
+
+(** [step ~rng sources] delivers one message chosen uniformly over all
+    pending messages; [false] if every source is empty. *)
+val step : rng:Random.State.t -> source list -> bool
+
+(** [run ?max_steps ?stop ~rng sources] loops {!step}; returns the number
+    of deliveries performed. *)
+val run :
+  ?max_steps:int -> ?stop:(unit -> bool) -> rng:Random.State.t -> source list -> int
+
+(** [run_scheduled ?max_steps ?stop ~scheduler net ~handle] is the
+    single-network variant driven by an explicit {!Scheduler} (used by
+    the DBFT runner, where the scheduler is part of the configuration). *)
+val run_scheduled :
+  ?max_steps:int ->
+  ?stop:(unit -> bool) ->
+  scheduler:'msg Scheduler.t ->
+  'msg Network.t ->
+  handle:(src:int -> dest:int -> 'msg -> unit) ->
+  int

@@ -1,19 +1,36 @@
 type 'msg pending = { src : int; dest : int; msg : 'msg; seq : int }
 
+(* Pending messages are indexed by sequence number for O(1) lookup and
+   removal; [order] remembers send order (oldest first) and may contain
+   sequence numbers that were already delivered or dropped — those are
+   skipped on traversal and compacted away once they outnumber the live
+   entries. *)
 type 'msg t = {
   n : int;
-  mutable queue : 'msg pending list;  (* newest first *)
+  by_seq : (int, 'msg pending) Hashtbl.t;
+  mutable order : int Queue.t;
   mutable next_seq : int;
   mutable delivered : int;
+  mutable dropped : int;
 }
 
-let create ~n = { n; queue = []; next_seq = 0; delivered = 0 }
+let create ~n =
+  {
+    n;
+    by_seq = Hashtbl.create 64;
+    order = Queue.create ();
+    next_seq = 0;
+    delivered = 0;
+    dropped = 0;
+  }
 
 let size net = net.n
 
 let send net ~src ~dest msg =
   if dest < 0 || dest >= net.n then invalid_arg "Network.send: bad destination";
-  net.queue <- { src; dest; msg; seq = net.next_seq } :: net.queue;
+  let p = { src; dest; msg; seq = net.next_seq } in
+  Hashtbl.replace net.by_seq p.seq p;
+  Queue.add p.seq net.order;
   net.next_seq <- net.next_seq + 1
 
 let broadcast net ~src msg =
@@ -21,15 +38,43 @@ let broadcast net ~src msg =
     send net ~src ~dest msg
   done
 
-let pending net = List.rev net.queue
+let compact net =
+  if Queue.length net.order > 16 + (2 * Hashtbl.length net.by_seq) then begin
+    let fresh = Queue.create () in
+    Queue.iter
+      (fun seq -> if Hashtbl.mem net.by_seq seq then Queue.add seq fresh)
+      net.order;
+    net.order <- fresh
+  end
 
-let pending_count net = List.length net.queue
+let pending net =
+  compact net;
+  Queue.fold
+    (fun acc seq ->
+      match Hashtbl.find_opt net.by_seq seq with Some p -> p :: acc | None -> acc)
+    [] net.order
+  |> List.rev
+
+let pending_count net = Hashtbl.length net.by_seq
+
+let find net seq = Hashtbl.find_opt net.by_seq seq
+
+let remove net p err =
+  match Hashtbl.find_opt net.by_seq p.seq with
+  | None -> invalid_arg err
+  | Some q ->
+    Hashtbl.remove net.by_seq p.seq;
+    q
 
 let deliver net p =
-  let found = List.exists (fun q -> q.seq = p.seq) net.queue in
-  if not found then invalid_arg "Network.deliver: not pending";
-  net.queue <- List.filter (fun q -> q.seq <> p.seq) net.queue;
+  let q = remove net p "Network.deliver: not pending" in
   net.delivered <- net.delivered + 1;
-  p
+  q
+
+let drop net p =
+  let q = remove net p "Network.drop: not pending" in
+  net.dropped <- net.dropped + 1;
+  q
 
 let delivered_count net = net.delivered
+let dropped_count net = net.dropped

@@ -3,7 +3,11 @@
     bound on message delay, but every message sent to a correct process
     is eventually delivered.  At each step exactly one pending message is
     delivered; the {!Scheduler} chooses which, which models the
-    adversary's control over asynchrony. *)
+    adversary's control over asynchrony.
+
+    Pending messages are indexed by their sequence number, so {!deliver},
+    {!drop} and {!find} are O(1); {!pending} lists them in send (FIFO)
+    order. *)
 
 type 'msg t
 
@@ -23,12 +27,26 @@ val send : 'msg t -> src:int -> dest:int -> 'msg -> unit
     itself (the pseudocode's [broadcast] primitive). *)
 val broadcast : 'msg t -> src:int -> 'msg -> unit
 
+(** [pending net] lists the pending messages, oldest first. *)
 val pending : 'msg t -> 'msg pending list
+
 val pending_count : 'msg t -> int
+
+(** [find net seq] is the pending message with sequence number [seq], if
+    any (used by trace replay). *)
+val find : 'msg t -> int -> 'msg pending option
 
 (** [deliver net p] removes pending delivery [p] and returns it.
     @raise Invalid_argument if [p] is not pending. *)
 val deliver : 'msg t -> 'msg pending -> 'msg pending
 
+(** [drop net p] removes pending delivery [p] without delivering it — a
+    message-loss fault.  Does not count towards {!delivered_count}.
+    @raise Invalid_argument if [p] is not pending. *)
+val drop : 'msg t -> 'msg pending -> 'msg pending
+
 (** [delivered_count net] counts deliveries so far. *)
 val delivered_count : 'msg t -> int
+
+(** [dropped_count net] counts messages lost to {!drop}. *)
+val dropped_count : 'msg t -> int

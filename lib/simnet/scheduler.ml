@@ -21,4 +21,16 @@ let pick sched pending =
     match sched with
     | Fifo -> oldest pending
     | Random st -> List.nth pending (Random.State.int st (List.length pending))
-    | Custom f -> ( match f pending with Some p -> p | None -> oldest pending))
+    | Custom f -> (
+      match f pending with
+      | None -> oldest pending
+      | Some p ->
+        (* A buggy custom scheduler returning a fabricated message would
+           corrupt delivery accounting; insist the pick is pending. *)
+        let matches (q : _ Network.pending) =
+          q.seq = p.Network.seq && q.src = p.src && q.dest = p.dest
+        in
+        if List.exists matches pending then p
+        else
+          invalid_arg
+            "Scheduler.pick: custom scheduler returned a message that is not pending"))

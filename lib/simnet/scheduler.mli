@@ -17,5 +17,7 @@ type 'msg t =
 
 val random : seed:int -> 'msg t
 
-(** [pick sched pending] chooses from a non-empty list. *)
+(** [pick sched pending] chooses from a non-empty list.
+    @raise Invalid_argument if [pending] is empty, or if a [Custom]
+    scheduler returns a message that is not in [pending]. *)
 val pick : 'msg t -> 'msg Network.pending list -> 'msg Network.pending

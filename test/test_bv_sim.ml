@@ -1,157 +1,83 @@
 (* Empirical validation of the binary-value broadcast (Fig. 1) at the
-   simulation level: a standalone bv-broadcast process (no consensus on
+   simulation level: the standalone {!Dbft.Bv} endpoint (no consensus on
    top) run over the simulated network against Byzantine senders, checked
-   against the four properties of Section 3.2 on every seeded run.
+   against the four properties of Section 3.2 on every seeded run — the
+   scenarios are expressed as {!Fuzz.Trace} scenarios and the properties
+   as the fuzzer's executable oracles.
 
    This complements the parameterized proofs of test_holistic.ml: the
    same properties, on the executable pseudocode rather than on the
    threshold automaton. *)
 
-module Net = Simnet.Network
-module ISet = Set.Make (Int)
-
-type msg = { value : int }
-
-(* One bv-broadcast endpoint (Fig. 1): broadcast the input; echo a value
-   received from t+1 distinct processes; deliver at 2t+1. *)
-type endpoint = {
-  id : int;
-  t : int;
-  net : msg Net.t;
-  senders : ISet.t array;
-  echoed : bool array;
-  mutable contestants : Dbft.Vset.t;
-}
-
-let create ~id ~t ~input net =
-  let ep =
-    {
-      id;
-      t;
-      net;
-      senders = [| ISet.empty; ISet.empty |];
-      echoed = [| false; false |];
-      contestants = Dbft.Vset.empty;
-    }
-  in
-  ep.echoed.(input) <- true;
-  Net.broadcast net ~src:id { value = input };
-  ep
-
-let handle ep ~src { value } =
-  if value = 0 || value = 1 then begin
-    ep.senders.(value) <- ISet.add src ep.senders.(value);
-    if (not ep.echoed.(value)) && ISet.cardinal ep.senders.(value) >= ep.t + 1 then begin
-      ep.echoed.(value) <- true;
-      Net.broadcast ep.net ~src:ep.id { value }
-    end;
-    if ISet.cardinal ep.senders.(value) >= (2 * ep.t) + 1 then
-      ep.contestants <- Dbft.Vset.add value ep.contestants
-  end
-
-(* Byzantine sender: a different value to each destination half, sent as
-   soon as it receives anything. *)
-let run ~n ~t ~inputs ~byzantine ~seed =
-  let net = Net.create ~n in
-  let correct = List.filter (fun i -> not (List.mem i byzantine)) (List.init n Fun.id) in
-  let endpoints =
-    List.map (fun i -> (i, create ~id:i ~t ~input:(List.assoc i inputs) net)) correct
-  in
-  let byz_done = Hashtbl.create 4 in
-  let rng = Random.State.make [| seed |] in
-  let steps = ref 0 in
-  while Net.pending_count net > 0 && !steps < 50_000 do
-    incr steps;
-    let pending = Net.pending net in
-    let p = List.nth pending (Random.State.int rng (List.length pending)) in
-    let { Net.src; dest; msg; _ } = Net.deliver net p in
-    match List.assoc_opt dest endpoints with
-    | Some ep -> handle ep ~src msg
-    | None ->
-      if not (Hashtbl.mem byz_done dest) then begin
-        Hashtbl.replace byz_done dest ();
-        for d = 0 to n - 1 do
-          Net.send net ~src:dest ~dest:d { value = (if 2 * d < n then 0 else 1) }
-        done
-      end
-  done;
-  List.map (fun (i, ep) -> (i, ep.contestants)) endpoints
-
-let correct_inputs inputs byzantine =
-  List.filter_map (fun (i, v) -> if List.mem i byzantine then None else Some v) inputs
-
-let check_properties ~t ~inputs ~byzantine results =
-  let inputs_of_correct = correct_inputs inputs byzantine in
-  let all_contestants = List.map snd results in
-  (* BV-Justification: every delivered value was some correct input. *)
-  let justification =
-    List.for_all
-      (fun c -> List.for_all (fun v -> List.mem v inputs_of_correct) (Dbft.Vset.to_list c))
-      all_contestants
-  in
-  (* BV-Obligation: a value proposed by >= t+1 correct processes is
-     delivered by every correct process (the run has quiesced). *)
-  let obligation =
-    List.for_all
-      (fun v ->
-        let proposers = List.length (List.filter (( = ) v) inputs_of_correct) in
-        proposers < t + 1 || List.for_all (Dbft.Vset.mem v) all_contestants)
-      [ 0; 1 ]
-  in
-  (* BV-Uniformity: a value delivered anywhere is delivered everywhere. *)
-  let uniformity =
-    List.for_all
-      (fun v ->
-        (not (List.exists (Dbft.Vset.mem v) all_contestants))
-        || List.for_all (Dbft.Vset.mem v) all_contestants)
-      [ 0; 1 ]
-  in
-  (* BV-Termination: every correct process delivered something. *)
-  let termination =
-    List.for_all (fun c -> not (Dbft.Vset.is_empty c)) all_contestants
-  in
-  (justification, obligation, uniformity, termination)
-
 let prop name count arb f = QCheck_alcotest.to_alcotest (QCheck.Test.make ~name ~count arb f)
 
-let scenario ~inputs ~byzantine ~seed =
-  let results = run ~n:4 ~t:1 ~inputs ~byzantine ~seed in
-  check_properties ~t:1 ~inputs ~byzantine results
+let scenario ?(byzantine = []) ~n ~t ~inputs ~seed () =
+  {
+    Fuzz.Trace.kind = Fuzz.Trace.Bv_broadcast;
+    n;
+    t;
+    inputs;
+    byzantine;
+    sched_seed = seed;
+    drop_rate = 0;
+    dup_rate = 0;
+    max_delay = 0;
+    partition = None;
+    max_round = 0;
+    max_steps = 50_000;
+  }
+
+let verdicts s = Fuzz.Oracle.check s (Fuzz.Exec.run s)
+
+let check_all_pass s =
+  List.iter
+    (fun (name, v) ->
+      match v with
+      | Fuzz.Oracle.Pass -> ()
+      | Fuzz.Oracle.Fail why -> Alcotest.failf "%s failed: %s" name why
+      | Fuzz.Oracle.Skip why -> Alcotest.failf "%s skipped (%s): run should be fair" name why)
+    (verdicts s)
 
 let test_unanimous () =
-  let j, o, u, te =
-    scenario ~inputs:[ (0, 1); (1, 1); (2, 1) ] ~byzantine:[ 3 ] ~seed:1
-  in
-  Alcotest.(check bool) "justification" true j;
-  Alcotest.(check bool) "obligation" true o;
-  Alcotest.(check bool) "uniformity" true u;
-  Alcotest.(check bool) "termination" true te
+  check_all_pass
+    (scenario ~n:4 ~t:1 ~inputs:[ 1; 1; 1 ]
+       ~byzantine:[ (3, Fuzz.Trace.Equivocate) ]
+       ~seed:1 ())
 
 let test_justification_blocks_byzantine_value () =
   (* All correct propose 1; the Byzantine pushes 0 to half the network:
-     0 must never be delivered (it can gather at most t+1 senders). *)
-  let results = run ~n:4 ~t:1 ~inputs:[ (0, 1); (1, 1); (2, 1) ] ~byzantine:[ 3 ] ~seed:2 in
+     0 must never be delivered (it can gather at most t senders). *)
+  let s =
+    scenario ~n:4 ~t:1 ~inputs:[ 1; 1; 1 ]
+      ~byzantine:[ (3, Fuzz.Trace.Equivocate) ]
+      ~seed:2 ()
+  in
+  let o = Fuzz.Exec.run s in
   List.iter
-    (fun (i, c) ->
-      Alcotest.(check bool) (Printf.sprintf "p%d did not deliver 0" i) false
-        (Dbft.Vset.mem 0 c))
-    results
+    (fun (p : Fuzz.Exec.proc_result) ->
+      Alcotest.(check bool)
+        (Printf.sprintf "p%d did not deliver 0" p.pid)
+        false (List.mem 0 p.contestants))
+    o.procs
+
+let all_hold s =
+  List.for_all
+    (fun (_, v) -> match v with Fuzz.Oracle.Fail _ -> false | _ -> true)
+    (verdicts s)
 
 let bv_sim_props =
   [
     prop "four bv properties hold on every seeded run" 200
       QCheck.(pair (int_range 0 7) (int_bound 9999))
       (fun (bits, seed) ->
-        let inputs = [ (0, bits land 1); (1, (bits lsr 1) land 1); (2, (bits lsr 2) land 1) ] in
-        let j, o, u, te = scenario ~inputs ~byzantine:[ 3 ] ~seed in
-        j && o && u && te);
+        let inputs = [ bits land 1; (bits lsr 1) land 1; (bits lsr 2) land 1 ] in
+        all_hold
+          (scenario ~n:4 ~t:1 ~inputs ~byzantine:[ (3, Fuzz.Trace.Equivocate) ] ~seed ()));
     prop "properties hold with no byzantine process" 100
       QCheck.(pair (int_range 0 15) (int_bound 9999))
       (fun (bits, seed) ->
-        let inputs = List.init 4 (fun i -> (i, (bits lsr i) land 1)) in
-        let results = run ~n:4 ~t:1 ~inputs ~byzantine:[] ~seed in
-        let j, o, u, te = check_properties ~t:1 ~inputs ~byzantine:[] results in
-        j && o && u && te);
+        let inputs = List.init 4 (fun i -> (bits lsr i) land 1) in
+        all_hold (scenario ~n:4 ~t:1 ~inputs ~seed ()));
   ]
 
 let () =

@@ -1,0 +1,446 @@
+(* Tests for the conformance-fuzzing subsystem (lib/fuzz) and the simnet
+   features it leans on: the seq-indexed network, the validating
+   scheduler, the shared random-delivery driver, trace (de)serialization,
+   determinism of whole campaigns, oracle soundness on conforming
+   configurations, detection + shrinking + replay of seeded violations,
+   cross-validation against the explicit-state checker, and realization
+   of parameterized-checker witnesses as executable schedules. *)
+
+module Net = Simnet.Network
+module T = Fuzz.Trace
+
+let base_scenario =
+  {
+    T.kind = T.Bv_broadcast;
+    n = 4;
+    t = 1;
+    inputs = [ 1; 0; 1 ];
+    byzantine = [ (3, T.Equivocate) ];
+    sched_seed = 11;
+    drop_rate = 0;
+    dup_rate = 0;
+    max_delay = 0;
+    partition = None;
+    max_round = 0;
+    max_steps = 10_000;
+  }
+
+(* ------------------------------------------------------------------ *)
+(* Satellite: the seq-indexed network.                                 *)
+
+let test_network_fifo () =
+  let net : int Net.t = Net.create ~n:3 in
+  for i = 0 to 9 do
+    Net.send net ~src:0 ~dest:(i mod 3) i
+  done;
+  let seqs = List.map (fun (p : _ Net.pending) -> p.seq) (Net.pending net) in
+  Alcotest.(check (list int)) "FIFO order" (List.init 10 Fun.id) seqs;
+  (* Deliver one from the middle, drop another: order of the rest holds. *)
+  (match Net.find net 4 with
+   | Some p -> ignore (Net.deliver net p)
+   | None -> Alcotest.fail "seq 4 not found");
+  (match Net.find net 7 with
+   | Some p -> ignore (Net.drop net p)
+   | None -> Alcotest.fail "seq 7 not found");
+  let seqs = List.map (fun (p : _ Net.pending) -> p.seq) (Net.pending net) in
+  Alcotest.(check (list int)) "order after removal" [ 0; 1; 2; 3; 5; 6; 8; 9 ] seqs;
+  Alcotest.(check int) "delivered" 1 (Net.delivered_count net);
+  Alcotest.(check int) "dropped" 1 (Net.dropped_count net);
+  Alcotest.(check bool) "find delivered" true (Net.find net 4 = None);
+  Alcotest.(check bool) "find pending" true (Net.find net 5 <> None)
+
+let test_network_compaction () =
+  (* Interleave sends and deliveries well past the compaction threshold;
+     the FIFO view must stay exact. *)
+  let net : int Net.t = Net.create ~n:2 in
+  let next = ref 0 in
+  for round = 1 to 50 do
+    for _ = 1 to 20 do
+      Net.send net ~src:0 ~dest:1 !next;
+      incr next
+    done;
+    for _ = 1 to if round mod 2 = 0 then 25 else 10 do
+      match Net.pending net with
+      | p :: _ -> ignore (Net.deliver net p)
+      | [] -> ()
+    done
+  done;
+  let seqs = List.map (fun (p : _ Net.pending) -> p.seq) (Net.pending net) in
+  Alcotest.(check (list int)) "sorted ascending" (List.sort compare seqs) seqs;
+  Alcotest.(check int) "count consistent" (Net.pending_count net) (List.length seqs);
+  Alcotest.(check int) "conservation" !next
+    (Net.pending_count net + Net.delivered_count net)
+
+let test_network_bad_destination () =
+  let net : int Net.t = Net.create ~n:2 in
+  Alcotest.check_raises "bad destination"
+    (Invalid_argument "Network.send: bad destination") (fun () ->
+      Net.send net ~src:0 ~dest:5 7)
+
+(* ------------------------------------------------------------------ *)
+(* Satellite: the scheduler validates Custom picks.                    *)
+
+let test_scheduler_rejects_foreign_pick () =
+  let net : int Net.t = Net.create ~n:2 in
+  Net.send net ~src:0 ~dest:1 1;
+  Net.send net ~src:0 ~dest:1 2;
+  let stale = List.hd (Net.pending net) in
+  ignore (Net.deliver net stale);
+  let sched = Simnet.Scheduler.Custom (fun _ -> Some stale) in
+  Alcotest.check_raises "stale pick rejected"
+    (Invalid_argument
+       "Scheduler.pick: custom scheduler returned a message that is not pending")
+    (fun () -> ignore (Simnet.Scheduler.pick sched (Net.pending net)))
+
+let test_scheduler_custom_none_falls_back () =
+  let net : int Net.t = Net.create ~n:2 in
+  Net.send net ~src:0 ~dest:1 1;
+  Net.send net ~src:0 ~dest:1 2;
+  let sched = Simnet.Scheduler.Custom (fun _ -> None) in
+  let p = Simnet.Scheduler.pick sched (Net.pending net) in
+  Alcotest.(check int) "falls back to oldest" 0 p.Net.seq
+
+(* ------------------------------------------------------------------ *)
+(* Trace serialization.                                                *)
+
+let test_trace_roundtrip () =
+  let tr =
+    {
+      T.scenario =
+        {
+          base_scenario with
+          T.byzantine = [ (1, T.Noise 42); (3, T.Flood 0) ];
+          inputs = [ 1; 0 ];
+          drop_rate = 5;
+          dup_rate = 3;
+          max_delay = 2;
+          partition = Some { T.from_step = 3; to_step = 17; groups = [ [ 0; 1 ]; [ 2; 3 ] ] };
+        };
+      events = [ T.Deliver 0; T.Drop 3; T.Duplicate 2; T.Deliver 5 ];
+    }
+  in
+  let round = T.of_string (T.to_string tr) in
+  Alcotest.(check bool) "roundtrip" true (round = tr);
+  Alcotest.(check string) "canonical" (T.to_string tr) (T.to_string round)
+
+let test_trace_rejects_garbage () =
+  Alcotest.(check bool) "parse error raised" true
+    (match T.of_string "{\"version\":1}" with
+     | exception (Fuzz.Json.Parse_error _ | Invalid_argument _) -> true
+     | _ -> false);
+  Alcotest.(check bool) "inconsistent scenario rejected" true
+    (match T.validate { base_scenario with T.inputs = [ 1 ] } with
+     | exception Invalid_argument _ -> true
+     | () -> false)
+
+(* ------------------------------------------------------------------ *)
+(* Byzantine strategies (unit level).                                  *)
+
+let strategy_messages strategy =
+  let net : Dbft.Message.t Net.t = Net.create ~n:4 in
+  let b = Dbft.Byzantine.create ~id:3 ~n:4 strategy net in
+  Dbft.Byzantine.handle b ~src:0 (Dbft.Message.Bv { round = 0; value = 1 });
+  (* A second delivery of the same round must not re-trigger sends. *)
+  Dbft.Byzantine.handle b ~src:1 (Dbft.Message.Bv { round = 0; value = 0 });
+  Net.pending net
+
+let test_silent_sends_nothing () =
+  Alcotest.(check int) "silent" 0 (List.length (strategy_messages Dbft.Byzantine.Silent))
+
+let test_equivocate_pattern () =
+  let msgs = strategy_messages Dbft.Byzantine.Equivocate in
+  (* BV + AUX to each of the three other processes, once. *)
+  Alcotest.(check int) "message count" 6 (List.length msgs);
+  List.iter
+    (fun (p : _ Net.pending) ->
+      let expected = if 2 * p.dest < 4 then 0 else 1 in
+      match p.msg with
+      | Dbft.Message.Bv { value; _ } ->
+        Alcotest.(check int) (Printf.sprintf "bv value to %d" p.dest) expected value
+      | Dbft.Message.Aux { values; _ } ->
+        Alcotest.(check (list int))
+          (Printf.sprintf "aux values to %d" p.dest)
+          [ expected ] (Dbft.Vset.to_list values))
+    msgs
+
+let test_noise_deterministic () =
+  let show msgs =
+    String.concat ";"
+      (List.map
+         (fun (p : _ Net.pending) ->
+           Printf.sprintf "%d:%s" p.dest (Dbft.Message.to_string p.msg))
+         msgs)
+  in
+  Alcotest.(check string) "same seed, same noise"
+    (show (strategy_messages (Dbft.Byzantine.Noise 7)))
+    (show (strategy_messages (Dbft.Byzantine.Noise 7)));
+  Alcotest.(check int) "noise sends bv+aux to others" 6
+    (List.length (strategy_messages (Dbft.Byzantine.Noise 7)))
+
+let test_scripted_exact_emission () =
+  let script ~round = [ (0, Dbft.Message.Bv { round; value = 1 }) ] in
+  let msgs = strategy_messages (Dbft.Byzantine.Scripted script) in
+  Alcotest.(check int) "one message" 1 (List.length msgs);
+  match msgs with
+  | [ p ] ->
+    Alcotest.(check int) "dest" 0 p.Net.dest;
+    Alcotest.(check bool) "payload" true (p.Net.msg = Dbft.Message.Bv { round = 0; value = 1 })
+  | _ -> Alcotest.fail "unexpected messages"
+
+(* Integration: with f = t the bv properties hold under every bundled
+   adversary on every seed tried. *)
+let test_bv_holds_under_each_adversary () =
+  List.iter
+    (fun adv ->
+      List.iter
+        (fun seed ->
+          let s =
+            { base_scenario with T.byzantine = [ (3, adv) ]; sched_seed = seed }
+          in
+          List.iter
+            (fun (name, v) ->
+              match v with
+              | Fuzz.Oracle.Fail why ->
+                Alcotest.failf "%s fails under %s (seed %d): %s" name
+                  (T.adversary_name adv) seed why
+              | Fuzz.Oracle.Pass | Fuzz.Oracle.Skip _ -> ())
+            (Fuzz.Oracle.check s (Fuzz.Exec.run s)))
+        [ 1; 2; 3; 4; 5 ])
+    [ T.Silent; T.Equivocate; T.Noise 9; T.Flood 0; T.Flood 1 ]
+
+(* ------------------------------------------------------------------ *)
+(* Execution and replay.                                               *)
+
+let test_run_records_replayable_trace () =
+  let s = { base_scenario with T.dup_rate = 4; max_delay = 2; sched_seed = 3 } in
+  let o = Fuzz.Exec.run s in
+  Alcotest.(check bool) "quiesced" true o.quiesced;
+  let r = Fuzz.Exec.replay ~strict:true o.trace in
+  Alcotest.(check bool) "same outcome" true (r.procs = o.procs);
+  Alcotest.(check int) "same deliveries" o.delivered r.delivered
+
+let test_replay_detects_divergence () =
+  let s = base_scenario in
+  let o = Fuzz.Exec.run s in
+  let bogus = { o.trace with T.events = o.trace.T.events @ [ T.Deliver 99_999 ] } in
+  Alcotest.(check bool) "strict replay raises" true
+    (match Fuzz.Exec.replay ~strict:true bogus with
+     | exception Fuzz.Exec.Replay_divergence _ -> true
+     | _ -> false);
+  (* Tolerant replay skips the bogus event. *)
+  let r = Fuzz.Exec.replay ~strict:false bogus in
+  Alcotest.(check bool) "tolerant replay completes" true (r.procs = o.procs)
+
+let test_drop_faults_gate_liveness () =
+  (* Dropping messages to correct processes must Skip liveness oracles,
+     never Fail them. *)
+  List.iter
+    (fun seed ->
+      let s = { base_scenario with T.drop_rate = 30; sched_seed = seed } in
+      let o = Fuzz.Exec.run s in
+      List.iter
+        (fun (name, v) ->
+          match v with
+          | Fuzz.Oracle.Fail why -> Alcotest.failf "%s fails under drops: %s" name why
+          | _ -> ())
+        (Fuzz.Oracle.check s o))
+    [ 1; 2; 3; 4; 5; 6; 7; 8 ]
+
+let test_partition_heals_and_liveness_holds () =
+  let s =
+    {
+      base_scenario with
+      T.partition = Some { T.from_step = 0; to_step = 60; groups = [ [ 0; 1 ]; [ 2; 3 ] ] };
+      sched_seed = 5;
+    }
+  in
+  let o = Fuzz.Exec.run s in
+  Alcotest.(check bool) "quiesced after healing" true o.quiesced;
+  List.iter
+    (fun (name, v) ->
+      match v with
+      | Fuzz.Oracle.Fail why -> Alcotest.failf "%s fails across partition: %s" name why
+      | _ -> ())
+    (Fuzz.Oracle.check s o)
+
+(* ------------------------------------------------------------------ *)
+(* Campaigns.                                                          *)
+
+let test_campaign_deterministic () =
+  let r1 = Fuzz.Campaign.campaign ~seed:123 ~runs:60 ~profile:Fuzz.Campaign.Mixed () in
+  let r2 = Fuzz.Campaign.campaign ~seed:123 ~runs:60 ~profile:Fuzz.Campaign.Mixed () in
+  Alcotest.(check string) "byte-identical reports"
+    (Fuzz.Campaign.report_to_string r1)
+    (Fuzz.Campaign.report_to_string r2)
+
+let test_campaign_conforming_clean () =
+  let r = Fuzz.Campaign.campaign ~seed:7 ~runs:120 ~profile:Fuzz.Campaign.Conforming () in
+  List.iter
+    (fun (name, (_, fails, _)) ->
+      Alcotest.(check int) (name ^ " failures") 0 fails)
+    r.oracle_counts;
+  Alcotest.(check int) "no divergences" 0 (List.length r.divergences);
+  Alcotest.(check bool) "some runs cross-validated" true (r.crossval_runs > 0)
+
+let test_campaign_broken_detects_and_shrinks () =
+  let r = Fuzz.Campaign.campaign ~seed:7 ~runs:30 ~profile:Fuzz.Campaign.Broken () in
+  Alcotest.(check bool) "violations found" true (r.violations <> []);
+  let just =
+    List.filter
+      (fun (v : Fuzz.Campaign.violation) -> v.oracle = "bv-justification")
+      r.violations
+  in
+  Alcotest.(check bool) "justification violations found" true (just <> []);
+  List.iter
+    (fun (v : Fuzz.Campaign.violation) ->
+      Alcotest.(check bool)
+        (Printf.sprintf "run %d (%s) shrunk no larger" v.run v.oracle)
+        true
+        (v.shrunk_events <= v.original_events);
+      (* The shipped reproducer strict-replays to the same violation. *)
+      let o = Fuzz.Exec.replay ~strict:true v.trace in
+      match List.assoc_opt v.oracle (Fuzz.Oracle.check v.trace.T.scenario o) with
+      | Some (Fuzz.Oracle.Fail _) -> ()
+      | _ -> Alcotest.failf "run %d: shrunk trace does not replay %s" v.run v.oracle)
+    r.violations;
+  (* Safety violations shrink to a handful of events. *)
+  List.iter
+    (fun (v : Fuzz.Campaign.violation) ->
+      Alcotest.(check bool)
+        (Printf.sprintf "run %d justification reproducer is small" v.run)
+        true (v.shrunk_events <= 12))
+    just
+
+let test_report_json_shape () =
+  let r = Fuzz.Campaign.campaign ~seed:5 ~runs:10 ~profile:Fuzz.Campaign.Broken () in
+  let j = Fuzz.Json.of_string (Fuzz.Campaign.report_to_string r) in
+  Alcotest.(check int) "runs" 10 (Fuzz.Json.to_int (Fuzz.Json.member "runs" j));
+  Alcotest.(check bool) "total_failures positive" true
+    (Fuzz.Json.to_int (Fuzz.Json.member "total_failures" j) > 0);
+  let violations = Fuzz.Json.to_list (Fuzz.Json.member "violations" j) in
+  Alcotest.(check bool) "violations embedded" true (violations <> []);
+  (* Each embedded trace parses back into a runnable reproducer. *)
+  List.iter
+    (fun vj ->
+      let tr = T.of_json (Fuzz.Json.member "trace" vj) in
+      ignore (Fuzz.Exec.replay ~strict:true tr))
+    violations
+
+(* ------------------------------------------------------------------ *)
+(* Cross-validation against the explicit-state checker.                *)
+
+let test_explicit_agrees_on_conforming_params () =
+  let cache = Fuzz.Crossval.create_cache () in
+  List.iter
+    (fun (n, t, f) ->
+      List.iter
+        (fun (spec, holds) ->
+          Alcotest.(check bool)
+            (Printf.sprintf "%s holds at n=%d t=%d f=%d" spec n t f)
+            true holds)
+        (Fuzz.Crossval.explicit_verdicts cache ~n ~t ~f))
+    [ (4, 1, 0); (4, 1, 1); (5, 1, 1) ]
+
+let test_crossval_flags_fabricated_failure () =
+  let cache = Fuzz.Crossval.create_cache () in
+  let s = base_scenario in
+  let fake = [ ("bv-justification", Fuzz.Oracle.Fail "fabricated") ] in
+  Alcotest.(check bool) "fabricated failure is a divergence" true
+    (Fuzz.Crossval.divergences cache s fake <> []);
+  let ok = [ ("bv-justification", Fuzz.Oracle.Pass) ] in
+  Alcotest.(check int) "pass is no divergence" 0
+    (List.length (Fuzz.Crossval.divergences cache s ok))
+
+(* ------------------------------------------------------------------ *)
+(* Witness realization: mutant automaton -> checker witness -> trace.  *)
+
+let test_mutant_witness_realizes () =
+  match Fuzz.Crossval.find_witness () with
+  | None -> Alcotest.fail "BV-Just0 unexpectedly holds on the broken-resilience mutant"
+  | Some w ->
+    let f = List.assoc "f" w.Holistic.Witness.params in
+    let t = List.assoc "t" w.Holistic.Witness.params in
+    Alcotest.(check bool) "witness needs f > t" true (f > t);
+    (match Fuzz.Crossval.realize_witness w ~sched_seed:1 with
+     | None -> Alcotest.fail "witness parameters did not realize as a concrete run"
+     | Some tr ->
+       let o = Fuzz.Exec.replay ~strict:true tr in
+       (match
+          List.assoc_opt "bv-justification" (Fuzz.Oracle.check tr.T.scenario o)
+        with
+        | Some (Fuzz.Oracle.Fail _) -> ()
+        | _ -> Alcotest.fail "realized trace does not violate bv-justification"))
+
+let test_realize_respects_fault_bound () =
+  (* With f <= t the flooding scenario must NOT violate justification. *)
+  Alcotest.(check bool) "no violation when f <= t" true
+    (Fuzz.Crossval.realize ~n:4 ~t:1 ~f:1 ~value:0 ~sched_seed:1 = None)
+
+(* ------------------------------------------------------------------ *)
+
+let () =
+  Alcotest.run "fuzz"
+    [
+      ( "network",
+        [
+          Alcotest.test_case "fifo + find + drop" `Quick test_network_fifo;
+          Alcotest.test_case "compaction keeps the fifo view" `Quick
+            test_network_compaction;
+          Alcotest.test_case "bad destination" `Quick test_network_bad_destination;
+        ] );
+      ( "scheduler",
+        [
+          Alcotest.test_case "rejects non-pending custom pick" `Quick
+            test_scheduler_rejects_foreign_pick;
+          Alcotest.test_case "custom None falls back to oldest" `Quick
+            test_scheduler_custom_none_falls_back;
+        ] );
+      ( "trace",
+        [
+          Alcotest.test_case "json roundtrip" `Quick test_trace_roundtrip;
+          Alcotest.test_case "rejects garbage" `Quick test_trace_rejects_garbage;
+        ] );
+      ( "byzantine",
+        [
+          Alcotest.test_case "silent sends nothing" `Quick test_silent_sends_nothing;
+          Alcotest.test_case "equivocate pattern" `Quick test_equivocate_pattern;
+          Alcotest.test_case "noise is seed-deterministic" `Quick test_noise_deterministic;
+          Alcotest.test_case "scripted exact emission" `Quick test_scripted_exact_emission;
+          Alcotest.test_case "bv properties hold under each adversary (f = t)" `Quick
+            test_bv_holds_under_each_adversary;
+        ] );
+      ( "exec",
+        [
+          Alcotest.test_case "run records a replayable trace" `Quick
+            test_run_records_replayable_trace;
+          Alcotest.test_case "strict replay detects divergence" `Quick
+            test_replay_detects_divergence;
+          Alcotest.test_case "drop faults gate liveness oracles" `Quick
+            test_drop_faults_gate_liveness;
+          Alcotest.test_case "healing partition preserves liveness" `Quick
+            test_partition_heals_and_liveness_holds;
+        ] );
+      ( "campaign",
+        [
+          Alcotest.test_case "deterministic per seed" `Quick test_campaign_deterministic;
+          Alcotest.test_case "conforming profile is clean" `Quick
+            test_campaign_conforming_clean;
+          Alcotest.test_case "broken profile detects, shrinks, replays" `Quick
+            test_campaign_broken_detects_and_shrinks;
+          Alcotest.test_case "report json shape" `Quick test_report_json_shape;
+        ] );
+      ( "crossval",
+        [
+          Alcotest.test_case "explicit checker agrees on conforming params" `Quick
+            test_explicit_agrees_on_conforming_params;
+          Alcotest.test_case "fabricated failure flagged as divergence" `Quick
+            test_crossval_flags_fabricated_failure;
+        ] );
+      ( "witness",
+        [
+          Alcotest.test_case "mutant witness realizes as a violating run" `Quick
+            test_mutant_witness_realizes;
+          Alcotest.test_case "realization respects the fault bound" `Quick
+            test_realize_respects_fault_bound;
+        ] );
+    ]

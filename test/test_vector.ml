@@ -25,14 +25,11 @@ let run_rb ~n ~t ~byz_equivocate ~seed ~broadcasts =
       Net.send net ~src:(n - 1) ~dest (Rb.Init { origin = n - 1; value })
     done;
   let rng = Random.State.make [| seed |] in
-  let steps = ref 0 in
-  while Net.pending_count net > 0 && !steps < 100_000 do
-    incr steps;
-    let pending = Net.pending net in
-    let p = List.nth pending (Random.State.int rng (List.length pending)) in
-    let { Net.src; dest; msg; _ } = Net.deliver net p in
-    if not (byz_equivocate && dest = n - 1) then Rb.handle endpoints.(dest) ~src msg
-  done;
+  let source =
+    Simnet.Driver.of_network net ~handle:(fun ~src ~dest msg ->
+        if not (byz_equivocate && dest = n - 1) then Rb.handle endpoints.(dest) ~src msg)
+  in
+  ignore (Simnet.Driver.run ~max_steps:100_000 ~rng [ source ]);
   delivered
 
 let test_rb_validity_totality () =
