@@ -18,7 +18,8 @@
    4. Bechamel micro-benchmarks of the components (ablations).
 
    Usage: dune exec bench/main.exe [-- --quick] [-- --naive-budget S] [-- --jobs N]
-          [-- --slice] [-- --no-incremental] [-- --bench-json PATH] *)
+          [-- --slice] [-- --no-incremental] [-- --bench-json PATH]
+          [-- --checkpoint DIR] [-- --resume] [-- --checkpoint-every N] *)
 
 let quick = Array.exists (( = ) "--quick") Sys.argv
 let slice = Array.exists (( = ) "--slice") Sys.argv
@@ -60,6 +61,26 @@ let jobs =
     | _ -> usage_fail "--jobs" n "a positive integer")
   | None -> Domain.recommended_domain_count ()
 
+(* One limits value carries every budget; the sections below derive
+   their variants (jobs=1, flat engine, ...) from it instead of
+   restating literals. *)
+let limits = { Holistic.Checker.default_limits with jobs; incremental }
+
+(* Crash-safe Table 2: --checkpoint DIR persists one journal per row;
+   --resume fast-forwards each row past its checkpointed frontier.
+   SIGINT/SIGTERM flush the checkpoints and exit 130 (see lib/core). *)
+let checkpoint_dir = flag_value "--checkpoint"
+
+let resume = Array.exists (( = ) "--resume") Sys.argv
+
+let checkpoint_every =
+  match flag_value "--checkpoint-every" with
+  | Some n -> (
+    match int_of_string_opt n with
+    | Some n when n >= 1 -> n
+    | _ -> usage_fail "--checkpoint-every" n "a positive integer")
+  | None -> 64
+
 (* ------------------------------------------------------------------ *)
 (* Section 1: Table 2 (see lib/report).                                 *)
 
@@ -67,7 +88,10 @@ let table2 () =
   print_endline "== Table 2: parameterized verification of the blockchain consensus ==";
   print_endline "   (every property is checked for all n > 3t, t >= f >= 0)";
   print_newline ();
-  let rows = Report.table2 ~jobs ~slice ~incremental ~quick ~naive_budget () in
+  let rows =
+    Report.table2 ~limits ~slice ?checkpoint_dir ~resume ~checkpoint_every ~quick
+      ~naive_budget ()
+  in
   Report.print_text stdout rows;
   print_newline ();
   (* Also emit machine-readable copies next to the build tree. *)
@@ -122,7 +146,7 @@ let speedup () =
     in
     let u = Holistic.Universe.build ta in
     let run n =
-      let limits = { Holistic.Checker.default_limits with jobs = n } in
+      let limits = { limits with Holistic.Checker.jobs = n; incremental = true } in
       Holistic.Checker.verify_with_universe ~limits u spec
     in
     let seq = run 1 in
@@ -152,6 +176,7 @@ let outcome_string (r : Holistic.Checker.result) =
   | Holistic.Checker.Holds -> "holds"
   | Holistic.Checker.Violated _ -> "violated"
   | Holistic.Checker.Aborted _ -> "aborted"
+  | Holistic.Checker.Partial _ -> "partial"
 
 let json_of_run ~ta ~(r : Holistic.Checker.result) ~inc =
   Printf.sprintf
@@ -176,7 +201,7 @@ let incremental_comparison () =
     (fun (ta_name, ta, spec) ->
       let u = Holistic.Universe.build ta in
       let run inc =
-        let limits = { Holistic.Checker.default_limits with jobs = 1; incremental = inc } in
+        let limits = { limits with Holistic.Checker.jobs = 1; incremental = inc } in
         Holistic.Checker.verify_with_universe ~limits u spec
       in
       let flat = run false in
@@ -300,7 +325,16 @@ let ablation () =
     line ~limit:100_000 "naive / Inv2_0" Models.Naive_ta.automaton Models.Naive_ta.inv2_0;
   print_newline ()
 
+let install_interrupt_handlers () =
+  let handle = Sys.Signal_handle (fun _ -> Holistic.Checker.request_interrupt ()) in
+  Sys.set_signal Sys.sigint handle;
+  Sys.set_signal Sys.sigterm handle
+
 let () =
+  install_interrupt_handlers ();
+  (match checkpoint_dir with
+   | Some dir when not (Sys.file_exists dir) -> Sys.mkdir dir 0o755
+   | _ -> ());
   Printf.printf
     "Reproduction of 'Holistic Verification of Blockchain Consensus' (DISC 2022)\n";
   Printf.printf "mode: %s; naive-TA budget: %.0fs; jobs: %d (of %d recommended)%s%s\n\n"
@@ -310,6 +344,11 @@ let () =
     (if slice then "; slicing enabled" else "")
     (if incremental then "" else "; incremental discharge disabled");
   table2 ();
+  if Holistic.Checker.interrupt_requested () then begin
+    print_endline
+      "interrupted — checkpoints flushed; rerun with --resume to continue Table 2";
+    exit 130
+  end;
   counterexample ();
   speedup ();
   incremental_comparison ();

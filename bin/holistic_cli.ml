@@ -21,6 +21,12 @@ let specs_of = function
   | Simplified -> Models.Simplified_ta.all_specs
   | BenOr -> Models.Ben_or.all_specs
 
+let model_key = function
+  | Bv -> "bv"
+  | Naive -> "naive"
+  | Simplified -> "simplified"
+  | BenOr -> "benor"
+
 let model_conv =
   let parse = function
     | "bv" | "bv-broadcast" -> Ok Bv
@@ -30,14 +36,7 @@ let model_conv =
     | s ->
       Error (`Msg (Printf.sprintf "unknown model %S (expected bv|naive|simplified|benor)" s))
   in
-  let print fmt m =
-    Format.pp_print_string fmt
-      (match m with
-       | Bv -> "bv"
-       | Naive -> "naive"
-       | Simplified -> "simplified"
-       | BenOr -> "benor")
-  in
+  let print fmt m = Format.pp_print_string fmt (model_key m) in
   Arg.conv (parse, print)
 
 let model_arg =
@@ -128,6 +127,50 @@ let incremental_arg =
                  ~doc:"Solve one self-contained query per schema (the flat engine)." );
            ])
 
+(* Shared by verify and table2: crash-safe checkpointing.  --checkpoint
+   names a directory (created if missing) holding one journal file per
+   (TA, property) — see Report.checkpoint_file — so a multi-property run
+   interrupted anywhere resumes every property from its own frontier. *)
+let checkpoint_arg =
+  Arg.(value & opt (some string) None
+       & info [ "checkpoint" ] ~docv:"DIR"
+           ~doc:"Persist a resumable checkpoint per property under this directory \
+                 (created if missing).")
+
+let resume_arg =
+  Arg.(value & flag
+       & info [ "resume" ]
+           ~doc:"Resume from the checkpoints under --checkpoint: completed schema \
+                 ranges are not re-solved, and verdicts, schema counts and solver-step \
+                 totals are identical to an uninterrupted run.  Missing checkpoint \
+                 files are cold starts, so the flag is safe in retry loops.")
+
+let checkpoint_every_arg =
+  Arg.(value & opt int 64
+       & info [ "checkpoint-every" ] ~docv:"N"
+           ~doc:"Checkpoint cadence, in discharged schema positions (default 64).")
+
+let ensure_checkpoint_dir = function
+  | None -> ()
+  | Some dir -> if not (Sys.file_exists dir) then Sys.mkdir dir 0o755
+
+(* SIGINT/SIGTERM wind verification down cooperatively: every engine
+   notices at its next budget check (within one solver quantum even
+   mid-discharge), flushes its checkpoint and returns its partial
+   stats; the driver then exits 130 via [interrupt_exit]. *)
+let install_interrupt_handlers () =
+  let handle = Sys.Signal_handle (fun _ -> Holistic.Checker.request_interrupt ()) in
+  Sys.set_signal Sys.sigint handle;
+  Sys.set_signal Sys.sigterm handle
+
+let interrupt_exit () =
+  if Holistic.Checker.interrupt_requested () then begin
+    prerr_endline
+      "holistic: interrupted — partial stats above; checkpoints (if any) are flushed; \
+       rerun with --resume to continue";
+    exit 130
+  end
+
 let verify_cmd =
   let broken =
     Arg.(value & flag & info [ "broken-resilience" ]
@@ -162,8 +205,10 @@ let verify_cmd =
            ~doc:"Verify even when the static analyzer reports error-level diagnostics.")
   in
   let run model spec_name broken max_schemas budget jobs incremental worker_stats slice
-      force =
+      force checkpoint resume checkpoint_every =
     gate ~force ~broken model;
+    install_interrupt_handlers ();
+    ensure_checkpoint_dir checkpoint;
     let ta = automaton_of ~broken model in
     let specs = find_specs model spec_name in
     let ta =
@@ -175,20 +220,32 @@ let verify_cmd =
       { Holistic.Checker.default_limits with max_schemas; time_budget = budget; jobs;
         incremental }
     in
+    (* The broken-resilience variant is a different automaton, so it must
+       not share checkpoint files with the sound one (the fingerprint
+       check would reject them anyway — fail early with distinct names). *)
+    let ta_key = if broken then model_key model ^ "-broken" else model_key model in
     let u = Holistic.Universe.build ta in
     List.iter
       (fun spec ->
-        let r = Holistic.Checker.verify_with_universe ~limits u spec in
+        let checkpoint =
+          Option.map (fun dir -> Report.checkpoint_file ~dir ta_key spec) checkpoint
+        in
+        let r =
+          Holistic.Checker.verify_with_universe ~limits ?checkpoint ~checkpoint_every
+            ~resume u spec
+        in
         Format.printf "%a@." Holistic.Checker.pp_result r;
         if worker_stats then Format.printf "%a@?" Holistic.Checker.pp_worker_stats r)
-      specs
+      specs;
+    interrupt_exit ()
   in
   Cmd.v
     (Cmd.info "verify"
        ~doc:"Verify properties for all parameters n > 3t, t >= f >= 0 (the paper's \
              parameterized model checking).")
     Term.(const run $ model_arg $ spec_arg $ broken $ max_schemas $ budget $ jobs
-          $ incremental_arg $ worker_stats $ slice $ force)
+          $ incremental_arg $ worker_stats $ slice $ force $ checkpoint_arg $ resume_arg
+          $ checkpoint_every_arg)
 
 (* --- explicit ------------------------------------------------------ *)
 
@@ -435,18 +492,27 @@ let table2_cmd =
     Arg.(value & flag & info [ "force" ]
            ~doc:"Run even when the static analyzer reports error-level diagnostics.")
   in
-  let run quick budget format jobs incremental slice force =
+  let run quick budget format jobs incremental slice force checkpoint resume
+      checkpoint_every =
     List.iter (gate ~force) [ Bv; Naive; Simplified ];
-    let rows = Report.table2 ~jobs ~slice ~incremental ~quick ~naive_budget:budget () in
-    match format with
-    | "text" -> Report.print_text stdout rows
-    | "markdown" | "md" -> print_string (Report.to_markdown rows)
-    | "csv" -> print_string (Report.to_csv rows)
-    | f -> failwith ("unknown format " ^ f)
+    install_interrupt_handlers ();
+    ensure_checkpoint_dir checkpoint;
+    let limits = { Holistic.Checker.default_limits with jobs; incremental } in
+    let rows =
+      Report.table2 ~limits ~slice ?checkpoint_dir:checkpoint ~resume ~checkpoint_every
+        ~quick ~naive_budget:budget ()
+    in
+    (match format with
+     | "text" -> Report.print_text stdout rows
+     | "markdown" | "md" -> print_string (Report.to_markdown rows)
+     | "csv" -> print_string (Report.to_csv rows)
+     | f -> failwith ("unknown format " ^ f));
+    interrupt_exit ()
   in
   Cmd.v
     (Cmd.info "table2" ~doc:"Regenerate the paper's Table 2 (also see bench/main.exe).")
-    Term.(const run $ quick $ budget $ format $ jobs $ incremental_arg $ slice $ force)
+    Term.(const run $ quick $ budget $ format $ jobs $ incremental_arg $ slice $ force
+          $ checkpoint_arg $ resume_arg $ checkpoint_every_arg)
 
 (* --- lint ----------------------------------------------------------- *)
 

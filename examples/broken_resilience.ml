@@ -33,3 +33,6 @@ let () =
      | Explicit.Holds -> Format.printf "UNEXPECTED: explicit replay disagrees@.")
   | Holistic.Checker.Holds -> Format.printf "UNEXPECTED: no counterexample found@."
   | Holistic.Checker.Aborted reason -> Format.printf "aborted: %s@." reason
+  | Holistic.Checker.Partial { quarantined; reason } ->
+    Format.printf "partial (%d quarantined positions): %s@." (List.length quarantined)
+      reason

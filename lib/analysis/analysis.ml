@@ -145,7 +145,7 @@ let base_atoms ?(with_shared = false) env (ta : A.t) =
 let definitely_unsat atoms =
   match Smt.Lia.solve atoms with
   | Smt.Lia.Unsat -> true
-  | Smt.Lia.Sat _ | Smt.Lia.Unknown -> false (* conservative *)
+  | Smt.Lia.Sat _ | Smt.Lia.Unknown | Smt.Lia.Timeout -> false (* conservative *)
 
 (* Render the parameter part of a model, e.g. "n=5, t=2, f=0". *)
 let model_params env model =
@@ -478,7 +478,7 @@ let check_population env (ta : A.t) =
            (P.to_string ta.population) (model_params env model))
         ~hint:"strengthen the resilience condition or fix the population expression";
     ]
-  | Smt.Lia.Unsat | Smt.Lia.Unknown -> []
+  | Smt.Lia.Unsat | Smt.Lia.Unknown | Smt.Lia.Timeout -> []
 
 (* --- TA015: imported justice assumptions ---------------------------- *)
 
@@ -501,7 +501,7 @@ let check_justice_assumptions env (ta : A.t) assume =
                ~hint:
                  "re-verify the imported component under this resilience condition, or \
                   strengthen it")
-        | Smt.Lia.Unsat | Smt.Lia.Unknown -> None)
+        | Smt.Lia.Unsat | Smt.Lia.Unknown | Smt.Lia.Timeout -> None)
       assume
 
 (* --- dead rules and unreachable locations (TA007/TA008) ------------- *)

@@ -17,7 +17,17 @@ let default_limits =
     incremental = true;
   }
 
-type outcome = Holds | Violated of Witness.t | Aborted of string
+(* Budget preset shared by the fuzzing cross-validators (lib/fuzz and
+   test/test_crossval): the random automata are tiny, so any run that
+   needs more schemas than this is pathological and is skipped rather
+   than solved to exhaustion. *)
+let crossval_limits = { default_limits with max_schemas = 20_000 }
+
+type outcome =
+  | Holds
+  | Violated of Witness.t
+  | Aborted of string
+  | Partial of { quarantined : (int * string) list; reason : string }
 
 type worker_stat = {
   worker_id : int;
@@ -53,34 +63,82 @@ let precheck ta (spec : Ta.Spec.t) =
   | [] -> ()
   | d :: _ -> invalid_arg (Format.asprintf "Checker: %s: %a" ta.A.name Analysis.pp d)
 
+(* ------------------------------------------------------------------- *)
+(* Run context: cooperative interrupts, deadlines, checkpoint journal.  *)
+
+(* Process-wide interrupt request (SIGINT/SIGTERM handlers, tests).  All
+   engines poll it at every budget check and — through the [stop]
+   closure threaded into the solver — every {!Smt.Simplex.stop_interval}
+   pivots, so a run winds down, flushes its checkpoint and returns a
+   resumable [Aborted] within one solver quantum. *)
+let interrupted = Atomic.make false
+let request_interrupt () = Atomic.set interrupted true
+let clear_interrupt () = Atomic.set interrupted false
+let interrupt_requested () = Atomic.get interrupted
+
+(* Everything an engine needs beyond [limits], bundled once per run.
+   [r_now] is the budget clock (a fake clock in tests makes deadline
+   aborts deterministic); statistics timings always use the real clock.
+   [r_deadline] is in [r_now]'s timeline and already accounts for the
+   wall-clock spent by previous slices of a resumed run. *)
+type run = {
+  r_limits : limits;
+  r_base : Journal.t;  (* loaded checkpoint (or fresh): totals of [0, frontier) *)
+  r_resume_from : int;  (* = r_base.frontier; positions below are fast-forwarded *)
+  r_tracker : Journal.Tracker.tracker;
+  r_now : unit -> float;
+  r_deadline : float option;
+  r_failpoint : (int -> unit) option;  (* fault injection for crash tests *)
+}
+
+let make_stop run () =
+  Atomic.get interrupted
+  || (match run.r_deadline with Some d -> run.r_now () >= d | None -> false)
+
+let check_deadline run =
+  if Atomic.get interrupted then Some `Interrupted
+  else
+    match run.r_deadline with
+    | Some d when run.r_now () >= d -> Some `Deadline
+    | _ -> None
+
 (* Decide [atoms /\ (one cube per branch entry)] by depth-first case
    analysis over the factored justice branches; every path is a plain
-   LIA conjunction. *)
-let solve_schema ?steps ~limits (encoded : Encode.encoded) =
-  let rec go atoms branches =
-    match branches with
-    | [] -> (
-      match Smt.Lia.solve ?steps ~max_steps:limits.lia_max_steps atoms with
-      | Smt.Lia.Sat m -> `Sat m
-      | Smt.Lia.Unsat -> `Unsat
-      | Smt.Lia.Unknown -> `Unknown)
-    | alternatives :: rest ->
-      let rec try_alts = function
-        | [] -> `Unsat
-        | cube :: others -> (
-          match go (cube @ atoms) rest with
-          | `Sat m -> `Sat m
-          | `Unknown -> `Unknown
-          | `Unsat -> try_alts others)
-      in
-      try_alts alternatives
+   LIA conjunction.  [stop] is the deadline/interrupt predicate: when it
+   fires inside the solver the query answers [`Timeout] — typed apart
+   from [`Unknown], which means the branch-and-bound budget ran dry on a
+   hard query and gets one escalating retry (4x the budget); a timeout
+   is never retried, the deadline has already passed. *)
+let solve_schema ?steps ~limits ?stop (encoded : Encode.encoded) =
+  let attempt ~max_steps =
+    let rec go atoms branches =
+      match branches with
+      | [] -> (
+        match Smt.Lia.solve ?steps ~max_steps ?stop atoms with
+        | Smt.Lia.Sat m -> `Sat m
+        | Smt.Lia.Unsat -> `Unsat
+        | Smt.Lia.Unknown -> `Unknown
+        | Smt.Lia.Timeout -> `Timeout)
+      | alternatives :: rest ->
+        let rec try_alts = function
+          | [] -> `Unsat
+          | cube :: others -> (
+            match go (cube @ atoms) rest with
+            | `Sat m -> `Sat m
+            | (`Unknown | `Timeout) as r -> r
+            | `Unsat -> try_alts others)
+        in
+        try_alts alternatives
+    in
+    (* The conjunctive part is usually already unsatisfiable; only then
+       expand the justice case-split product. *)
+    match go encoded.atoms [] with
+    | (`Unsat | `Unknown | `Timeout) as r -> r
+    | `Sat m -> if encoded.branches = [] then `Sat m else go encoded.atoms encoded.branches
   in
-  (* The conjunctive part is usually already unsatisfiable; only then
-     expand the justice case-split product. *)
-  match go encoded.atoms [] with
-  | `Unsat -> `Unsat
-  | `Unknown -> `Unknown
-  | `Sat m -> if encoded.branches = [] then `Sat m else go encoded.atoms encoded.branches
+  match attempt ~max_steps:limits.lia_max_steps with
+  | `Unknown -> attempt ~max_steps:(4 * limits.lia_max_steps)
+  | r -> r
 
 let budget_messages ~max_schemas_hit ~schemas ~budget =
   if max_schemas_hit then Printf.sprintf "schema budget exceeded (> %d schemas)" schemas
@@ -89,85 +147,203 @@ let budget_messages ~max_schemas_hit ~schemas ~budget =
 
 let unknown_message = "solver returned unknown (branch-and-bound budget)"
 
+let timeout_message = "time budget exceeded inside schema discharge (solver deadline)"
+
+let interrupt_message = "interrupted; partial run saved, rerun with --resume to continue"
+
+let deadline_message run ~position =
+  match check_deadline run with
+  | Some `Interrupted -> Some interrupt_message
+  | Some `Deadline ->
+    Some
+      (budget_messages ~max_schemas_hit:false ~schemas:position
+         ~budget:(Option.value run.r_limits.time_budget ~default:0.0))
+  | None -> None
+
+(* The diagnostic for the should-not-happen case where the enumeration
+   callback chain stops without a recorded cause. *)
+let stopped_unexpectedly ~position ~worker =
+  Printf.sprintf "enumeration stopped unexpectedly (last completed preorder position %d%s)"
+    position
+    (match worker with None -> "" | Some w -> Printf.sprintf ", worker %d" w)
+
+(* Totals of the checkpointed prefix [0, frontier), added to the stats
+   of the current slice so a resumed run reports the same cumulative
+   schema/step counts as an uninterrupted one. *)
+let stats_plus_base (base : Journal.t) s =
+  {
+    s with
+    schemas_checked = s.schemas_checked + base.Journal.checked + base.Journal.skipped;
+    schemas_skipped = s.schemas_skipped + base.Journal.skipped;
+    subtrees_pruned = s.subtrees_pruned + base.Journal.pruned;
+    prefix_hits = s.prefix_hits + base.Journal.hits;
+    slots_total = s.slots_total + base.Journal.slots;
+    solver_steps = s.solver_steps + base.Journal.steps;
+    encode_time = s.encode_time +. Journal.s_of_us base.Journal.encode_us;
+    solve_time = s.solve_time +. Journal.s_of_us base.Journal.solve_us;
+    time = s.time +. Journal.s_of_us base.Journal.elapsed_us;
+  }
+
+(* Fail-soft decision rule.  A run that quarantined positions can still
+   decide normally when the deciding schema precedes every hole (the
+   transcript up to the decision is complete); otherwise the verdict is
+   [Partial]: the holes may hide the true first deciding schema. *)
+let partialize ~quarantined ~decided_at outcome =
+  match quarantined with
+  | [] -> outcome
+  | (q0, _) :: _ -> (
+    match decided_at with
+    | Some p when p < q0 -> outcome
+    | _ ->
+      let reason =
+        match outcome with
+        | Holds -> "every non-quarantined schema is unsatisfiable"
+        | Violated _ ->
+          Printf.sprintf
+            "violation witness found at position %d, after quarantined position %d (an \
+             earlier violation is possible)"
+            (Option.value decided_at ~default:(-1))
+            q0
+        | Aborted reason -> reason
+        | Partial { reason; _ } -> reason
+      in
+      Partial { quarantined; reason })
+
 (* ------------------------------------------------------------------- *)
 (* Flat sequential engine: one self-contained query per schema.  The
    reference implementation everything else is pinned to — the parallel
    engine by test/test_parallel.ml, the incremental engines by
    test/test_incremental.ml. *)
 
-let verify_flat_sequential ~limits u (spec : Ta.Spec.t) =
+let verify_flat_sequential ~run u (spec : Ta.Spec.t) =
+  let limits = run.r_limits in
   let t0 = Unix.gettimeofday () in
+  let stop = make_stop run in
+  let pos = ref 0 in  (* global preorder position; < r_resume_from is fast-forwarded *)
   let schemas = ref 0 in
   let slots = ref 0 in
   let steps = ref 0 in
   let encode_t = ref 0.0 in
   let solve_t = ref 0.0 in
   let found = ref None in
+  let decided_at = ref None in
   let aborted = ref None in
+  (* Discharge one schema; raises propagate to the retry/quarantine
+     wrapper below.  [r_failpoint] injects faults for the crash tests. *)
+  let discharge schema =
+    (match run.r_failpoint with Some f -> f !pos | None -> ());
+    let steps0 = !steps in
+    let t1 = Unix.gettimeofday () in
+    let encoded = Encode.encode u spec schema in
+    let t2 = Unix.gettimeofday () in
+    let verdict = solve_schema ~steps ~limits ~stop encoded in
+    let t3 = Unix.gettimeofday () in
+    (encoded, verdict, t2 -. t1, t3 -. t2, !steps - steps0)
+  in
+  let handle schema (encoded, verdict, et, st, dsteps) =
+    incr schemas;
+    slots := !slots + encoded.Encode.n_slots;
+    encode_t := !encode_t +. et;
+    solve_t := !solve_t +. st;
+    match verdict with
+    | `Unsat ->
+      Journal.Tracker.note run.r_tracker ~start:!pos ~span:1
+        {
+          Journal.zero_delta with
+          d_checked = 1;
+          d_slots = encoded.Encode.n_slots;
+          d_steps = dsteps;
+          d_encode_us = Journal.us_of_s et;
+          d_solve_us = Journal.us_of_s st;
+        };
+      incr pos;
+      true
+    | `Sat model ->
+      found := Some (Witness.of_model u spec schema encoded model);
+      decided_at := Some !pos;
+      incr pos;
+      false
+    | `Unknown ->
+      aborted := Some unknown_message;
+      decided_at := Some !pos;
+      incr pos;
+      false
+    | `Timeout ->
+      aborted := Some timeout_message;
+      decided_at := Some !pos;
+      incr pos;
+      false
+  in
   let complete =
     Schema.enumerate u spec ~on_schema:(fun schema ->
-        let elapsed = Unix.gettimeofday () -. t0 in
-        if !schemas >= limits.max_schemas then begin
-          aborted := Some (budget_messages ~max_schemas_hit:true ~schemas:!schemas ~budget:0.0);
+        if !pos < run.r_resume_from then begin
+          (* Discharged UNSAT by a previous slice: fast-forward. *)
+          incr pos;
+          true
+        end
+        else if !pos >= limits.max_schemas then begin
+          aborted := Some (budget_messages ~max_schemas_hit:true ~schemas:!pos ~budget:0.0);
           false
         end
         else
-          match limits.time_budget with
-          | Some budget when elapsed > budget ->
-            aborted :=
-              Some (budget_messages ~max_schemas_hit:false ~schemas:!schemas ~budget);
+          match deadline_message run ~position:!pos with
+          | Some msg ->
+            aborted := Some msg;
             false
-          | _ -> (
-            incr schemas;
-            let t1 = Unix.gettimeofday () in
-            let encoded = Encode.encode u spec schema in
-            let t2 = Unix.gettimeofday () in
-            encode_t := !encode_t +. (t2 -. t1);
-            slots := !slots + encoded.n_slots;
-            let verdict = solve_schema ~steps ~limits encoded in
-            solve_t := !solve_t +. (Unix.gettimeofday () -. t2);
-            match verdict with
-            | `Unsat -> true
-            | `Sat model ->
-              found := Some (Witness.of_model u spec schema encoded model);
-              false
-            | `Unknown ->
-              aborted := Some unknown_message;
-              false))
+          | None -> (
+            match discharge schema with
+            | r -> handle schema r
+            | exception e -> (
+              (* Fail soft: one retry, then quarantine the position and
+                 keep verifying the rest of the enumeration. *)
+              match discharge schema with
+              | r -> handle schema r
+              | exception e2 ->
+                let m1 = Printexc.to_string e and m2 = Printexc.to_string e2 in
+                let msg =
+                  if String.equal m1 m2 then m2
+                  else Printf.sprintf "%s (first attempt: %s)" m2 m1
+                in
+                Journal.Tracker.quarantine run.r_tracker !pos msg;
+                incr pos;
+                true)))
   in
   let time = Unix.gettimeofday () -. t0 in
   let stats =
-    {
-      schemas_checked = !schemas;
-      schemas_skipped = 0;
-      subtrees_pruned = 0;
-      prefix_hits = 0;
-      slots_total = !slots;
-      solver_steps = !steps;
-      encode_time = !encode_t;
-      solve_time = !solve_t;
-      time;
-      jobs = 1;
-      workers =
-        [
-          {
-            worker_id = 0;
-            schemas = !schemas;
-            slots = !slots;
-            solver_steps = !steps;
-            busy_time = !encode_t +. !solve_t;
-          };
-        ];
-    }
+    stats_plus_base run.r_base
+      {
+        schemas_checked = max 0 (!pos - run.r_resume_from);
+        schemas_skipped = 0;
+        subtrees_pruned = 0;
+        prefix_hits = 0;
+        slots_total = !slots;
+        solver_steps = !steps;
+        encode_time = !encode_t;
+        solve_time = !solve_t;
+        time;
+        jobs = 1;
+        workers =
+          [
+            {
+              worker_id = 0;
+              schemas = !schemas;
+              slots = !slots;
+              solver_steps = !steps;
+              busy_time = !encode_t +. !solve_t;
+            };
+          ];
+      }
   in
   let outcome =
     match (!found, !aborted, complete) with
     | Some w, _, _ -> Violated w
     | None, Some reason, _ -> Aborted reason
     | None, None, true -> Holds
-    | None, None, false -> Aborted "enumeration stopped unexpectedly"
+    | None, None, false ->
+      Aborted (stopped_unexpectedly ~position:(!pos - 1) ~worker:None)
   in
-  { spec; outcome; stats }
+  let quarantined = (Journal.Tracker.snapshot run.r_tracker).Journal.quarantined in
+  { spec; outcome = partialize ~quarantined ~decided_at:!decided_at outcome; stats }
 
 (* ------------------------------------------------------------------- *)
 (* Flat parallel engine: the producer runs the enumeration (and the
@@ -178,7 +354,7 @@ let verify_flat_sequential ~limits u (spec : Ta.Spec.t) =
    [verify_flat_sequential] (time-budget aborts excepted: wall-clock is
    inherently racy, sequentially too). *)
 
-type job_outcome = J_unsat | J_sat of Witness.t | J_unknown
+type job_outcome = J_unsat | J_sat of Witness.t | J_unknown | J_timeout
 
 type job_result = {
   n_slots : int;
@@ -188,40 +364,50 @@ type job_result = {
   verdict : job_outcome;
 }
 
-let verify_flat_parallel ~limits u (spec : Ta.Spec.t) =
+let verify_flat_parallel ~run u (spec : Ta.Spec.t) =
+  let limits = run.r_limits in
   let t0 = Unix.gettimeofday () in
+  let stop = make_stop run in
+  let resume_from = run.r_resume_from in
+  (* Pool job index [i] is preorder position [resume_from + i]: the
+     producer fast-forwards the checkpointed prefix without pushing. *)
   let emitted = ref 0 in
   let aborted = ref None in
   let produce ~push =
     Schema.enumerate u spec ~on_schema:(fun schema ->
-        if !emitted >= limits.max_schemas then begin
+        if !emitted < resume_from then begin
+          incr emitted;
+          true
+        end
+        else if !emitted >= limits.max_schemas then begin
           aborted :=
             Some (budget_messages ~max_schemas_hit:true ~schemas:!emitted ~budget:0.0);
           false
         end
         else
-          match limits.time_budget with
-          | Some budget when Unix.gettimeofday () -. t0 > budget ->
-            aborted :=
-              Some (budget_messages ~max_schemas_hit:false ~schemas:!emitted ~budget);
+          match deadline_message run ~position:!emitted with
+          | Some msg ->
+            aborted := Some msg;
             false
-          | _ ->
+          | None ->
             if push schema then begin
               incr emitted;
               true
             end
             else false)
   in
-  let work ~worker:_ _index schema =
+  let work ~worker:_ index schema =
+    (match run.r_failpoint with Some f -> f (resume_from + index) | None -> ());
     let steps = ref 0 in
     let t1 = Unix.gettimeofday () in
     let encoded = Encode.encode u spec schema in
     let t2 = Unix.gettimeofday () in
     let verdict =
-      match solve_schema ~steps ~limits encoded with
+      match solve_schema ~steps ~limits ~stop encoded with
       | `Unsat -> J_unsat
       | `Sat model -> J_sat (Witness.of_model u spec schema encoded model)
       | `Unknown -> J_unknown
+      | `Timeout -> J_timeout
     in
     {
       n_slots = encoded.n_slots;
@@ -231,13 +417,33 @@ let verify_flat_parallel ~limits u (spec : Ta.Spec.t) =
       verdict;
     }
   in
-  let is_stop r = match r.verdict with J_unsat -> false | J_sat _ | J_unknown -> true in
-  let c = Pool.run ~jobs:limits.jobs ~produce ~work ~is_stop () in
+  let is_stop r =
+    match r.verdict with J_unsat -> false | J_sat _ | J_unknown | J_timeout -> true
+  in
+  (* Checkpoint hook: every UNSAT discharge advances the frontier (the
+     tracker folds out-of-order spans once contiguous). *)
+  let on_result i r =
+    if r.verdict = J_unsat then
+      Journal.Tracker.note run.r_tracker ~start:(resume_from + i) ~span:1
+        {
+          Journal.zero_delta with
+          d_checked = 1;
+          d_slots = r.n_slots;
+          d_steps = r.job_steps;
+          d_encode_us = Journal.us_of_s r.j_encode_t;
+          d_solve_us = Journal.us_of_s r.j_solve_t;
+        }
+  in
+  let c = Pool.run ~jobs:limits.jobs ~on_result ~produce ~work ~is_stop () in
   (* Restrict to the jobs a sequential run would have executed: indices
      up to (and including) the first stop. *)
   let cut = match c.Pool.first_stop with Some i -> i | None -> max_int in
   let counted = List.filter (fun (i, _, _) -> i <= cut) c.Pool.results in
-  let schemas_checked = match c.Pool.first_stop with Some i -> i + 1 | None -> !emitted in
+  let schemas_checked =
+    match c.Pool.first_stop with
+    | Some i -> i + 1
+    | None -> max 0 (!emitted - resume_from)
+  in
   let slots_total = List.fold_left (fun acc (_, _, r) -> acc + r.n_slots) 0 counted in
   let solver_steps = List.fold_left (fun acc (_, _, r) -> acc + r.job_steps) 0 counted in
   let encode_time = List.fold_left (fun acc (_, _, r) -> acc +. r.j_encode_t) 0.0 counted in
@@ -259,35 +465,57 @@ let verify_flat_parallel ~limits u (spec : Ta.Spec.t) =
           busy_time = c.Pool.busy.(wid);
         })
   in
+  (* Positions the pool quarantined (the job raised twice): record them
+     as permanent frontier holes so a resumed run re-attempts them. *)
+  List.iter
+    (fun (i, msg) -> Journal.Tracker.quarantine run.r_tracker (resume_from + i) msg)
+    c.Pool.quarantined;
+  let quarantined = (Journal.Tracker.snapshot run.r_tracker).Journal.quarantined in
+  let last_completed () =
+    List.fold_left
+      (fun acc (i, w, _) ->
+        match acc with Some (j, _) when j >= i -> acc | _ -> Some (i, w))
+      None c.Pool.results
+  in
+  let decided_at = ref None in
   let outcome =
     match c.Pool.first_stop with
     | Some i -> (
+      decided_at := Some (resume_from + i);
       match List.find (fun (j, _, _) -> j = i) counted with
       | _, _, { verdict = J_sat w; _ } -> Violated w
       | _, _, { verdict = J_unknown; _ } -> Aborted unknown_message
+      | _, _, { verdict = J_timeout; _ } -> Aborted timeout_message
       | _, _, { verdict = J_unsat; _ } -> assert false)
     | None -> (
       match (!aborted, c.Pool.completed) with
       | Some reason, _ -> Aborted reason
       | None, true -> Holds
-      | None, false -> Aborted "enumeration stopped unexpectedly")
+      | None, false ->
+        let position, worker =
+          match last_completed () with
+          | Some (i, w) -> (resume_from + i, Some w)
+          | None -> (resume_from - 1, None)
+        in
+        Aborted (stopped_unexpectedly ~position ~worker))
   in
   let stats =
-    {
-      schemas_checked;
-      schemas_skipped = 0;
-      subtrees_pruned = 0;
-      prefix_hits = 0;
-      slots_total;
-      solver_steps;
-      encode_time;
-      solve_time;
-      time = Unix.gettimeofday () -. t0;
-      jobs = limits.jobs;
-      workers;
-    }
+    stats_plus_base run.r_base
+      {
+        schemas_checked;
+        schemas_skipped = 0;
+        subtrees_pruned = 0;
+        prefix_hits = 0;
+        slots_total;
+        solver_steps;
+        encode_time;
+        solve_time;
+        time = Unix.gettimeofday () -. t0;
+        jobs = limits.jobs;
+        workers;
+      }
   in
-  { spec; outcome; stats }
+  { spec; outcome = partialize ~quarantined ~decided_at:!decided_at outcome; stats }
 
 (* ------------------------------------------------------------------- *)
 (* Incremental engine: walk the enumeration tree once, sharing the
@@ -313,6 +541,10 @@ let verify_flat_parallel ~limits u (spec : Ta.Spec.t) =
 type inc_tally = {
   mutable position : int;
   start : int;
+  resume_from : int;
+      (* positions below this were discharged by a previous slice: fast-
+         forwarded without solving, with no statistics accrual (the base
+         journal already carries their totals) *)
   mutable checked : int;
   mutable skipped : int;
   mutable pruned : int;
@@ -321,14 +553,20 @@ type inc_tally = {
   hits : int ref;
   mutable encode_t : float;
   mutable solve_t : float;
+  mutable pending : Journal.delta;
+      (* statistics accrued since the last consumed position (prefix
+         reach-checks, prunes); attached to the next position's journal
+         note so per-position attribution is exact across slices *)
   mutable found : Witness.t option;
+  mutable decided_at : int option;
   mutable abort_msg : string option;
 }
 
-let new_tally ~start =
+let new_tally ~start ~resume_from =
   {
     position = start;
     start;
+    resume_from;
     checked = 0;
     skipped = 0;
     pruned = 0;
@@ -337,24 +575,32 @@ let new_tally ~start =
     hits = ref 0;
     encode_t = 0.0;
     solve_t = 0.0;
+    pending = Journal.zero_delta;
     found = None;
+    decided_at = None;
     abort_msg = None;
   }
 
-let check_budget ~limits ~t0 c =
-  if c.position >= limits.max_schemas then
+(* Whether the current position's statistics belong to this slice. *)
+let accruing c = c.position >= c.resume_from
+
+(* Fold [delta] (plus anything pending) into the journal as the note
+   for the position just consumed. *)
+let note_position ~run c delta =
+  let d = Journal.add_delta c.pending delta in
+  c.pending <- Journal.zero_delta;
+  Journal.Tracker.note run.r_tracker ~start:(c.position - 1) ~span:1 d
+
+let check_budget ~run c =
+  if c.position >= run.r_limits.max_schemas then
     Some (budget_messages ~max_schemas_hit:true ~schemas:c.position ~budget:0.0)
-  else
-    match limits.time_budget with
-    | Some budget when Unix.gettimeofday () -. t0 > budget ->
-      Some (budget_messages ~max_schemas_hit:false ~schemas:c.position ~budget)
-    | _ -> None
+  else deadline_message run ~position:c.position
 
 (* Account a pruned subtree without solving: advance the enumeration
    position, apply the budget checks at every skipped schema (so aborts
    land exactly where the flat engine's would), and accumulate the slots
    each skipped schema would have had, via the slot simulation. *)
-let count_subtree ~limits ~t0 u spec sim0 c ~ctx ~obs_mask =
+let count_subtree ~run u spec sim0 c ~ctx ~obs_mask =
   let sims = ref [ sim0 ] in
   ignore
     (Schema.walk u spec ~ctx ~obs_mask
@@ -363,20 +609,30 @@ let count_subtree ~limits ~t0 u spec sim0 c ~ctx ~obs_mask =
          `Descend)
        ~on_leave:(fun _ -> sims := List.tl !sims)
        ~on_schema:(fun () ->
-         match check_budget ~limits ~t0 c with
-         | Some msg ->
-           c.abort_msg <- Some msg;
-           false
-         | None ->
+         if not (accruing c) then begin
            c.position <- c.position + 1;
-           c.skipped <- c.skipped + 1;
-           c.slots <- c.slots + Encode.Sim.leaf_slots (List.hd !sims);
-           true)
+           true
+         end
+         else
+           match check_budget ~run c with
+           | Some msg ->
+             c.abort_msg <- Some msg;
+             false
+           | None ->
+             let slots = Encode.Sim.leaf_slots (List.hd !sims) in
+             c.position <- c.position + 1;
+             c.skipped <- c.skipped + 1;
+             c.slots <- c.slots + slots;
+             note_position ~run c
+               { Journal.zero_delta with d_skipped = 1; d_slots = slots };
+             true)
        ())
 
 (* The incremental DFS over the subtree rooted at the sessions' current
    prefix (whose reachability the caller has already established). *)
-let run_inc_subtree ~limits ~t0 u spec es lia c ~prefix_rev ~ctx0 ~obs0 =
+let run_inc_subtree ~run u spec es lia c ~prefix_rev ~ctx0 ~obs0 =
+  let limits = run.r_limits in
+  let solver_stop = make_stop run in
   let rev_events = ref prefix_rev in
   let ctx_stack = ref [ ctx0 ] in
   let obs_stack = ref [ obs0 ] in
@@ -385,43 +641,74 @@ let run_inc_subtree ~limits ~t0 u spec es lia c ~prefix_rev ~ctx0 ~obs0 =
     (Schema.walk u spec ~ctx:ctx0 ~obs_mask:obs0
        ~on_enter:(fun ev ->
          if !stop then `Prune
-         else begin
-           let ctx = List.hd !ctx_stack and obs = List.hd !obs_stack in
-           let ctx', obs' =
-             match ev with
-             | Schema.Unlock g -> (ctx lor (1 lsl g), obs)
-             | Schema.Observe i -> (ctx, obs lor (1 lsl i))
-           in
-           let t1 = Unix.gettimeofday () in
-           let delta = Encode.push_event es ev in
-           let t2 = Unix.gettimeofday () in
-           c.encode_t <- c.encode_t +. (t2 -. t1);
-           Smt.Lia.push lia;
-           Smt.Lia.assert_atoms lia delta;
-           (* Reachability is decided by [check_quick] only: the
-              interval store and the model cache, never the simplex.
-              Pruning therefore costs zero counted solver steps, which
-              is what makes the incremental engine's step total at most
-              the flat engine's on every property (the leaves it does
-              check are the identical flat queries). *)
-           let reach = Smt.Lia.check_quick ~hits:c.hits lia in
-           c.solve_t <- c.solve_t +. (Unix.gettimeofday () -. t2);
-           match reach with
-           | Smt.Lia.Unsat ->
-             c.pruned <- c.pruned + 1;
-             let sim = Encode.Sim.of_session es in
-             Smt.Lia.pop lia;
-             Encode.pop_event es;
-             count_subtree ~limits ~t0 u spec sim c ~ctx:ctx' ~obs_mask:obs';
-             if c.abort_msg <> None then stop := true;
+         else
+           (* The prefix traversal between schemas also respects the
+              deadline (and interrupt requests): a deep descent can no
+              longer overshoot the time budget unchecked. *)
+           match deadline_message run ~position:c.position with
+           | Some msg when accruing c ->
+             c.abort_msg <- Some msg;
+             stop := true;
              `Prune
-           | Smt.Lia.Sat _ | Smt.Lia.Unknown ->
-             (* Unknown: cannot prune; descend and let the leaves decide. *)
-             ctx_stack := ctx' :: !ctx_stack;
-             obs_stack := obs' :: !obs_stack;
-             rev_events := ev :: !rev_events;
-             `Descend
-         end)
+           | _ -> begin
+             let ctx = List.hd !ctx_stack and obs = List.hd !obs_stack in
+             let ctx', obs' =
+               match ev with
+               | Schema.Unlock g -> (ctx lor (1 lsl g), obs)
+               | Schema.Observe i -> (ctx, obs lor (1 lsl i))
+             in
+             let t1 = Unix.gettimeofday () in
+             let delta = Encode.push_event es ev in
+             let t2 = Unix.gettimeofday () in
+             Smt.Lia.push lia;
+             Smt.Lia.assert_atoms lia delta;
+             (* Reachability is decided by [check_quick] only: the
+                interval store and the model cache, never the simplex.
+                Pruning therefore costs zero counted solver steps, which
+                is what makes the incremental engine's step total at most
+                the flat engine's on every property (the leaves it does
+                check are the identical flat queries). *)
+             let h0 = !(c.hits) in
+             let reach = Smt.Lia.check_quick ~hits:c.hits lia in
+             let t3 = Unix.gettimeofday () in
+             (* Statistics of replayed positions live in the base
+                journal: accrue only past the resume point, with the
+                increments attributed (via [pending]) to the position
+                the uninterrupted run charges them to. *)
+             if accruing c then begin
+               c.encode_t <- c.encode_t +. (t2 -. t1);
+               c.solve_t <- c.solve_t +. (t3 -. t2);
+               c.pending <-
+                 Journal.add_delta c.pending
+                   {
+                     Journal.zero_delta with
+                     d_hits = !(c.hits) - h0;
+                     d_encode_us = Journal.us_of_s (t2 -. t1);
+                     d_solve_us = Journal.us_of_s (t3 -. t2);
+                   }
+             end
+             else c.hits := h0;
+             match reach with
+             | Smt.Lia.Unsat ->
+               if accruing c then begin
+                 c.pruned <- c.pruned + 1;
+                 c.pending <-
+                   Journal.add_delta c.pending
+                     { Journal.zero_delta with d_pruned = 1 }
+               end;
+               let sim = Encode.Sim.of_session es in
+               Smt.Lia.pop lia;
+               Encode.pop_event es;
+               count_subtree ~run u spec sim c ~ctx:ctx' ~obs_mask:obs';
+               if c.abort_msg <> None then stop := true;
+               `Prune
+             | Smt.Lia.Sat _ | Smt.Lia.Unknown | Smt.Lia.Timeout ->
+               (* Unknown: cannot prune; descend and let the leaves decide. *)
+               ctx_stack := ctx' :: !ctx_stack;
+               obs_stack := obs' :: !obs_stack;
+               rev_events := ev :: !rev_events;
+               `Descend
+           end)
        ~on_leave:(fun _ ->
          ctx_stack := List.tl !ctx_stack;
          obs_stack := List.tl !obs_stack;
@@ -430,42 +717,90 @@ let run_inc_subtree ~limits ~t0 u spec es lia c ~prefix_rev ~ctx0 ~obs0 =
          Encode.pop_event es)
        ~on_schema:(fun () ->
          if !stop then false
+         else if not (accruing c) then begin
+           (* Discharged UNSAT by a previous slice: fast-forward past
+              the leaf without finalizing or solving. *)
+           c.position <- c.position + 1;
+           true
+         end
          else
-           match check_budget ~limits ~t0 c with
+           match check_budget ~run c with
            | Some msg ->
              c.abort_msg <- Some msg;
              stop := true;
              false
            | None -> (
-             c.position <- c.position + 1;
-             c.checked <- c.checked + 1;
-             let t1 = Unix.gettimeofday () in
-             let encoded = Encode.finalize es in
-             let t2 = Unix.gettimeofday () in
-             c.encode_t <- c.encode_t +. (t2 -. t1);
-             c.slots <- c.slots + encoded.n_slots;
-             (* Leaf queries are discharged flat, on the full finalized
-                atom list: verdicts and witness models are those of the
-                flat engine, byte for byte. *)
-             let verdict = solve_schema ~steps:c.steps ~limits encoded in
-             c.solve_t <- c.solve_t +. (Unix.gettimeofday () -. t2);
-             match verdict with
-             | `Unsat -> true
-             | `Sat model ->
-               c.found <-
-                 Some (Witness.of_model u spec (List.rev !rev_events) encoded model);
-               stop := true;
-               false
-             | `Unknown ->
-               c.abort_msg <- Some unknown_message;
-               stop := true;
-               false))
+             let discharge () =
+               (match run.r_failpoint with Some f -> f c.position | None -> ());
+               let steps0 = !(c.steps) in
+               let t1 = Unix.gettimeofday () in
+               let encoded = Encode.finalize es in
+               let t2 = Unix.gettimeofday () in
+               (* Leaf queries are discharged flat, on the full finalized
+                  atom list: verdicts and witness models are those of the
+                  flat engine, byte for byte. *)
+               let verdict =
+                 solve_schema ~steps:c.steps ~limits ~stop:solver_stop encoded
+               in
+               let t3 = Unix.gettimeofday () in
+               (encoded, verdict, t2 -. t1, t3 -. t2, !(c.steps) - steps0)
+             in
+             let handle (encoded, verdict, et, st, dsteps) =
+               c.position <- c.position + 1;
+               c.checked <- c.checked + 1;
+               c.encode_t <- c.encode_t +. et;
+               c.solve_t <- c.solve_t +. st;
+               c.slots <- c.slots + encoded.Encode.n_slots;
+               match verdict with
+               | `Unsat ->
+                 note_position ~run c
+                   {
+                     Journal.zero_delta with
+                     d_checked = 1;
+                     d_slots = encoded.Encode.n_slots;
+                     d_steps = dsteps;
+                     d_encode_us = Journal.us_of_s et;
+                     d_solve_us = Journal.us_of_s st;
+                   };
+                 true
+               | `Sat model ->
+                 c.found <-
+                   Some (Witness.of_model u spec (List.rev !rev_events) encoded model);
+                 c.decided_at <- Some (c.position - 1);
+                 stop := true;
+                 false
+               | `Unknown ->
+                 c.abort_msg <- Some unknown_message;
+                 c.decided_at <- Some (c.position - 1);
+                 stop := true;
+                 false
+               | `Timeout ->
+                 c.abort_msg <- Some timeout_message;
+                 c.decided_at <- Some (c.position - 1);
+                 stop := true;
+                 false
+             in
+             match discharge () with
+             | r -> handle r
+             | exception e -> (
+               (* Fail soft: one retry, then quarantine and continue. *)
+               match discharge () with
+               | r -> handle r
+               | exception e2 ->
+                 let m1 = Printexc.to_string e and m2 = Printexc.to_string e2 in
+                 let msg =
+                   if String.equal m1 m2 then m2
+                   else Printf.sprintf "%s (first attempt: %s)" m2 m1
+                 in
+                 Journal.Tracker.quarantine run.r_tracker c.position msg;
+                 c.position <- c.position + 1;
+                 true)))
        ())
 
 (* Open both sessions at [prefix] and reach-check it once; on UNSAT the
    caller's whole subtree is accounted in counting mode, otherwise the
    incremental DFS runs below it. *)
-let run_inc_job ~limits ~t0 u spec c ~prefix ~ctx ~obs_mask =
+let run_inc_job ~run u spec c ~prefix ~ctx ~obs_mask =
   let t1 = Unix.gettimeofday () in
   let es = Encode.start u spec in
   let lia = Smt.Lia.create () in
@@ -477,53 +812,79 @@ let run_inc_job ~limits ~t0 u spec c ~prefix ~ctx ~obs_mask =
       Smt.Lia.assert_atoms lia delta)
     prefix;
   let t2 = Unix.gettimeofday () in
-  c.encode_t <- c.encode_t +. (t2 -. t1);
+  let h0 = !(c.hits) in
   let reach = Smt.Lia.check_quick ~hits:c.hits lia in
-  c.solve_t <- c.solve_t +. (Unix.gettimeofday () -. t2);
+  let t3 = Unix.gettimeofday () in
+  if accruing c then begin
+    c.encode_t <- c.encode_t +. (t2 -. t1);
+    c.solve_t <- c.solve_t +. (t3 -. t2);
+    c.pending <-
+      Journal.add_delta c.pending
+        {
+          Journal.zero_delta with
+          d_hits = !(c.hits) - h0;
+          d_encode_us = Journal.us_of_s (t2 -. t1);
+          d_solve_us = Journal.us_of_s (t3 -. t2);
+        }
+  end
+  else c.hits := h0;
   match reach with
   | Smt.Lia.Unsat ->
-    c.pruned <- c.pruned + 1;
-    count_subtree ~limits ~t0 u spec (Encode.Sim.of_session es) c ~ctx ~obs_mask
-  | Smt.Lia.Sat _ | Smt.Lia.Unknown ->
-    run_inc_subtree ~limits ~t0 u spec es lia c ~prefix_rev:(List.rev prefix) ~ctx0:ctx
+    if accruing c then begin
+      c.pruned <- c.pruned + 1;
+      c.pending <-
+        Journal.add_delta c.pending { Journal.zero_delta with d_pruned = 1 }
+    end;
+    count_subtree ~run u spec (Encode.Sim.of_session es) c ~ctx ~obs_mask
+  | Smt.Lia.Sat _ | Smt.Lia.Unknown | Smt.Lia.Timeout ->
+    run_inc_subtree ~run u spec es lia c ~prefix_rev:(List.rev prefix) ~ctx0:ctx
       ~obs0:obs_mask
 
-let inc_outcome c ~complete =
+let inc_outcome c ~complete ~worker =
   match (c.found, c.abort_msg) with
   | Some w, _ -> Violated w
   | None, Some reason -> Aborted reason
-  | None, None -> if complete then Holds else Aborted "enumeration stopped unexpectedly"
+  | None, None ->
+    if complete then Holds
+    else Aborted (stopped_unexpectedly ~position:(c.position - 1) ~worker)
 
-let verify_incremental_sequential ~limits u (spec : Ta.Spec.t) =
+let verify_incremental_sequential ~run u (spec : Ta.Spec.t) =
   let t0 = Unix.gettimeofday () in
-  let c = new_tally ~start:0 in
-  run_inc_job ~limits ~t0 u spec c ~prefix:[] ~ctx:0 ~obs_mask:0;
+  let c = new_tally ~start:0 ~resume_from:run.r_resume_from in
+  run_inc_job ~run u spec c ~prefix:[] ~ctx:0 ~obs_mask:0;
   let time = Unix.gettimeofday () -. t0 in
+  let consumed = max 0 (c.position - run.r_resume_from) in
   let stats =
-    {
-      schemas_checked = c.position;
-      schemas_skipped = c.skipped;
-      subtrees_pruned = c.pruned;
-      prefix_hits = !(c.hits);
-      slots_total = c.slots;
-      solver_steps = !(c.steps);
-      encode_time = c.encode_t;
-      solve_time = c.solve_t;
-      time;
-      jobs = 1;
-      workers =
-        [
-          {
-            worker_id = 0;
-            schemas = c.position;
-            slots = c.slots;
-            solver_steps = !(c.steps);
-            busy_time = c.encode_t +. c.solve_t;
-          };
-        ];
-    }
+    stats_plus_base run.r_base
+      {
+        schemas_checked = consumed;
+        schemas_skipped = c.skipped;
+        subtrees_pruned = c.pruned;
+        prefix_hits = !(c.hits);
+        slots_total = c.slots;
+        solver_steps = !(c.steps);
+        encode_time = c.encode_t;
+        solve_time = c.solve_t;
+        time;
+        jobs = 1;
+        workers =
+          [
+            {
+              worker_id = 0;
+              schemas = consumed;
+              slots = c.slots;
+              solver_steps = !(c.steps);
+              busy_time = c.encode_t +. c.solve_t;
+            };
+          ];
+      }
   in
-  { spec; outcome = inc_outcome c ~complete:true; stats }
+  let quarantined = (Journal.Tracker.snapshot run.r_tracker).Journal.quarantined in
+  let outcome =
+    partialize ~quarantined ~decided_at:c.decided_at
+      (inc_outcome c ~complete:true ~worker:None)
+  in
+  { spec; outcome; stats }
 
 (* ------------------------------------------------------------------- *)
 (* Parallel incremental engine: the enumeration tree is partitioned at a
@@ -562,7 +923,9 @@ type inc_job_result = {
   ir_steps : int;
   ir_encode_t : float;
   ir_solve_t : float;
-  ir_verdict : [ `Unsat_all | `Sat of Witness.t | `Unknown | `Budget of string ];
+  ir_decided_at : int option;  (** absolute position of the deciding schema *)
+  ir_verdict :
+    [ `Unsat_all | `Sat of Witness.t | `Unknown | `Timeout | `Budget of string ];
 }
 
 (* Schemas in the subtree at (ctx, obs_mask), counted up to [limit] —
@@ -580,8 +943,13 @@ let count_schemas_upto u spec ~ctx ~obs_mask ~limit =
        ());
   !n
 
-let verify_incremental_parallel ~limits u (spec : Ta.Spec.t) =
+let verify_incremental_parallel ~run u (spec : Ta.Spec.t) =
+  let limits = run.r_limits in
   let t0 = Unix.gettimeofday () in
+  let resume_from = run.r_resume_from in
+  (* Preorder start position of each pushed job, in push (= pool index)
+     order; only read after the pool joins. *)
+  let rev_starts = ref [] in
   let produce ~push =
     let pos = ref 0 in
     let depth = ref 0 in
@@ -592,6 +960,11 @@ let verify_incremental_parallel ~limits u (spec : Ta.Spec.t) =
     (* Once a pushed job covers position [max_schemas], the deterministic
        budget abort is in flight: stop producing. *)
     let covered_budget () = !pos > limits.max_schemas in
+    let push_recorded job =
+      let accepted = push job in
+      if accepted then rev_starts := job.ij_start :: !rev_starts;
+      accepted
+    in
     Schema.walk u spec
       ~on_enter:(fun ev ->
         if !stop then `Prune
@@ -603,23 +976,33 @@ let verify_incremental_parallel ~limits u (spec : Ta.Spec.t) =
             | Schema.Observe i -> (ctx, obs lor (1 lsl i))
           in
           if !depth + 1 >= partition_depth then begin
-            let limit = max 1 (limits.max_schemas - !pos + 1) in
+            (* The count must also cover the resume fast-forward: a
+               subtree entirely below the frontier is skipped, not
+               pushed. *)
+            let limit =
+              max 1 (max (limits.max_schemas - !pos + 1) (resume_from - !pos + 1))
+            in
             let n = count_schemas_upto u spec ~ctx:ctx' ~obs_mask:obs' ~limit in
             (if n > 0 then
-               let job =
-                 {
-                   ij_prefix = List.rev (ev :: !rev_prefix);
-                   ij_ctx = ctx';
-                   ij_obs = obs';
-                   ij_start = !pos;
-                   ij_subtree = true;
-                 }
-               in
-               if push job then begin
-                 pos := !pos + n;
-                 if covered_budget () then stop := true
-               end
-               else stop := true);
+               if !pos + n <= resume_from then
+                 (* Every schema in this subtree was already discharged
+                    by a previous slice. *)
+                 pos := !pos + n
+               else
+                 let job =
+                   {
+                     ij_prefix = List.rev (ev :: !rev_prefix);
+                     ij_ctx = ctx';
+                     ij_obs = obs';
+                     ij_start = !pos;
+                     ij_subtree = true;
+                   }
+                 in
+                 if push_recorded job then begin
+                   pos := !pos + n;
+                   if covered_budget () then stop := true
+                 end
+                 else stop := true);
             `Prune
           end
           else begin
@@ -637,6 +1020,10 @@ let verify_incremental_parallel ~limits u (spec : Ta.Spec.t) =
         rev_prefix := List.tl !rev_prefix)
       ~on_schema:(fun () ->
         if !stop then false
+        else if !pos < resume_from then begin
+          incr pos;
+          true
+        end
         else begin
           let job =
             {
@@ -647,7 +1034,7 @@ let verify_incremental_parallel ~limits u (spec : Ta.Spec.t) =
               ij_subtree = false;
             }
           in
-          if push job then begin
+          if push_recorded job then begin
             incr pos;
             if covered_budget () then begin
               stop := true;
@@ -662,13 +1049,14 @@ let verify_incremental_parallel ~limits u (spec : Ta.Spec.t) =
         end)
       ()
   in
+  let solver_stop = make_stop run in
   let work ~worker:_ _index job =
-    let c = new_tally ~start:job.ij_start in
-    (match check_budget ~limits ~t0 c with
+    let c = new_tally ~start:job.ij_start ~resume_from in
+    (match check_budget ~run c with
      | Some msg -> c.abort_msg <- Some msg
      | None ->
        if job.ij_subtree then
-         run_inc_job ~limits ~t0 u spec c ~prefix:job.ij_prefix ~ctx:job.ij_ctx
+         run_inc_job ~run u spec c ~prefix:job.ij_prefix ~ctx:job.ij_ctx
            ~obs_mask:job.ij_obs
        else begin
          (* A lone schema above the partition cut.  Its prefix gets the
@@ -676,6 +1064,7 @@ let verify_incremental_parallel ~limits u (spec : Ta.Spec.t) =
             applies on the way down, so the set of schemas actually
             solved — and with it the solver-step total — is the same in
             both incremental engines. *)
+         (match run.r_failpoint with Some f -> f c.position | None -> ());
          c.position <- c.position + 1;
          let t1 = Unix.gettimeofday () in
          let es = Encode.start u spec in
@@ -693,22 +1082,45 @@ let verify_incremental_parallel ~limits u (spec : Ta.Spec.t) =
          | Smt.Lia.Unsat ->
            c.skipped <- 1;
            c.slots <- Encode.Sim.leaf_slots (Encode.Sim.of_session es);
-           c.solve_t <- Unix.gettimeofday () -. t2
-         | Smt.Lia.Sat _ | Smt.Lia.Unknown -> (
+           c.solve_t <- Unix.gettimeofday () -. t2;
+           Journal.Tracker.note run.r_tracker ~start:(c.position - 1) ~span:1
+             {
+               Journal.zero_delta with
+               d_skipped = 1;
+               d_slots = c.slots;
+               d_encode_us = Journal.us_of_s c.encode_t;
+               d_solve_us = Journal.us_of_s c.solve_t;
+             }
+         | Smt.Lia.Sat _ | Smt.Lia.Unknown | Smt.Lia.Timeout -> (
            c.checked <- 1;
            let encoded = Encode.finalize es in
            let t3 = Unix.gettimeofday () in
            c.encode_t <- c.encode_t +. (t3 -. t2);
            c.slots <- encoded.n_slots;
-           (match solve_schema ~steps:c.steps ~limits encoded with
-            | `Unsat -> ()
+           (match solve_schema ~steps:c.steps ~limits ~stop:solver_stop encoded with
+            | `Unsat ->
+              Journal.Tracker.note run.r_tracker ~start:(c.position - 1) ~span:1
+                {
+                  Journal.zero_delta with
+                  d_checked = 1;
+                  d_slots = c.slots;
+                  d_steps = !(c.steps);
+                  d_encode_us = Journal.us_of_s c.encode_t;
+                  d_solve_us = Journal.us_of_s c.solve_t;
+                }
             | `Sat model ->
-              c.found <- Some (Witness.of_model u spec job.ij_prefix encoded model)
-            | `Unknown -> c.abort_msg <- Some unknown_message);
+              c.found <- Some (Witness.of_model u spec job.ij_prefix encoded model);
+              c.decided_at <- Some (c.position - 1)
+            | `Unknown ->
+              c.abort_msg <- Some unknown_message;
+              c.decided_at <- Some (c.position - 1)
+            | `Timeout ->
+              c.abort_msg <- Some timeout_message;
+              c.decided_at <- Some (c.position - 1));
            c.solve_t <- Unix.gettimeofday () -. t3)
        end);
     {
-      ir_schemas = c.position - c.start;
+      ir_schemas = max 0 (c.position - max c.start c.resume_from);
       ir_checked = c.checked;
       ir_skipped = c.skipped;
       ir_pruned = c.pruned;
@@ -717,11 +1129,14 @@ let verify_incremental_parallel ~limits u (spec : Ta.Spec.t) =
       ir_steps = !(c.steps);
       ir_encode_t = c.encode_t;
       ir_solve_t = c.solve_t;
+      ir_decided_at = c.decided_at;
       ir_verdict =
         (match (c.found, c.abort_msg) with
          | Some w, _ -> `Sat w
          | None, Some msg ->
-           if msg = unknown_message then `Unknown else `Budget msg
+           if msg = unknown_message then `Unknown
+           else if msg = timeout_message then `Timeout
+           else `Budget msg
          | None, None -> `Unsat_all);
     }
   in
@@ -746,49 +1161,128 @@ let verify_incremental_parallel ~limits u (spec : Ta.Spec.t) =
           busy_time = completion.Pool.busy.(wid);
         })
   in
+  (* Jobs the pool quarantined (raised twice) map back to their subtree
+     start position: the frontier hole covers the whole job, so a
+     resumed run re-attempts it from its first schema. *)
+  let starts = Array.of_list (List.rev !rev_starts) in
+  List.iter
+    (fun (i, msg) -> Journal.Tracker.quarantine run.r_tracker starts.(i) msg)
+    completion.Pool.quarantined;
+  (* Crashes inside a subtree job are retried/quarantined inline by
+     run_inc_subtree (they never reach the pool), so the complete hole
+     set — inline and pool-level — lives in the tracker. *)
+  let quarantined = (Journal.Tracker.snapshot run.r_tracker).Journal.quarantined in
+  let decided_at = ref None in
   let outcome =
     match completion.Pool.first_stop with
     | Some i -> (
       match List.find (fun (j, _, _) -> j = i) counted with
-      | _, _, { ir_verdict = `Sat w; _ } -> Violated w
-      | _, _, { ir_verdict = `Unknown; _ } -> Aborted unknown_message
+      | _, _, ({ ir_verdict = `Sat w; _ } as r) ->
+        decided_at := r.ir_decided_at;
+        Violated w
+      | _, _, ({ ir_verdict = `Unknown; _ } as r) ->
+        decided_at := r.ir_decided_at;
+        Aborted unknown_message
+      | _, _, ({ ir_verdict = `Timeout; _ } as r) ->
+        decided_at := r.ir_decided_at;
+        Aborted timeout_message
       | _, _, { ir_verdict = `Budget msg; _ } -> Aborted msg
       | _, _, { ir_verdict = `Unsat_all; _ } -> assert false)
     | None ->
       if completion.Pool.completed then Holds
-      else Aborted "enumeration stopped unexpectedly"
+      else
+        let position, worker =
+          List.fold_left
+            (fun (p, w) (i, wid, r) ->
+              let last = starts.(i) + r.ir_schemas - 1 in
+              if last > p then (last, Some wid) else (p, w))
+            (run.r_resume_from - 1, None)
+            completion.Pool.results
+        in
+        Aborted (stopped_unexpectedly ~position ~worker)
   in
   let stats =
-    {
-      schemas_checked = sum (fun r -> r.ir_schemas);
-      schemas_skipped = sum (fun r -> r.ir_skipped);
-      subtrees_pruned = sum (fun r -> r.ir_pruned);
-      prefix_hits = sum (fun r -> r.ir_hits);
-      slots_total = sum (fun r -> r.ir_slots);
-      solver_steps = sum (fun r -> r.ir_steps);
-      encode_time = sumf (fun r -> r.ir_encode_t);
-      solve_time = sumf (fun r -> r.ir_solve_t);
-      time = Unix.gettimeofday () -. t0;
-      jobs = limits.jobs;
-      workers;
-    }
+    stats_plus_base run.r_base
+      {
+        schemas_checked = sum (fun r -> r.ir_schemas);
+        schemas_skipped = sum (fun r -> r.ir_skipped);
+        subtrees_pruned = sum (fun r -> r.ir_pruned);
+        prefix_hits = sum (fun r -> r.ir_hits);
+        slots_total = sum (fun r -> r.ir_slots);
+        solver_steps = sum (fun r -> r.ir_steps);
+        encode_time = sumf (fun r -> r.ir_encode_t);
+        solve_time = sumf (fun r -> r.ir_solve_t);
+        time = Unix.gettimeofday () -. t0;
+        jobs = limits.jobs;
+        workers;
+      }
   in
-  { spec; outcome; stats }
+  { spec; outcome = partialize ~quarantined ~decided_at:!decided_at outcome; stats }
 
-let verify_with_universe ?(limits = default_limits) u (spec : Ta.Spec.t) =
+let verify_with_universe ?(limits = default_limits) ?checkpoint ?(checkpoint_every = 64)
+    ?(resume = false) ?now ?failpoint u (spec : Ta.Spec.t) =
   let ta = Universe.automaton u in
   precheck ta spec;
-  match (limits.incremental, limits.jobs <= 1) with
-  | false, true -> verify_flat_sequential ~limits u spec
-  | false, false -> verify_flat_parallel ~limits u spec
-  | true, true -> verify_incremental_sequential ~limits u spec
-  | true, false -> verify_incremental_parallel ~limits u spec
+  let fp = Journal.fingerprint ta spec in
+  let base =
+    match checkpoint with
+    | Some path when resume && Sys.file_exists path -> (
+      match Journal.load ~path with
+      | Error msg -> invalid_arg ("Checker.verify: " ^ msg)
+      | Ok j -> (
+        match Journal.validate ~fingerprint:fp j with
+        | Error msg -> invalid_arg ("Checker.verify: " ^ msg)
+        (* Quarantined holes are re-attempted, not inherited: they sit at
+           or past the frontier by construction. *)
+        | Ok j -> { j with Journal.quarantined = [] }))
+    | _ -> Journal.fresh ~fingerprint:fp
+  in
+  let wall0 = Unix.gettimeofday () in
+  let elapsed_us () =
+    base.Journal.elapsed_us + Journal.us_of_s (Unix.gettimeofday () -. wall0)
+  in
+  let tracker =
+    Journal.Tracker.create ~base ?path:checkpoint ~every:checkpoint_every ~elapsed_us ()
+  in
+  let now = match now with Some f -> f | None -> Unix.gettimeofday in
+  (* The deadline accounts for wall-clock already spent by previous
+     slices, so [time_budget] bounds the run's total time, not each
+     slice's. *)
+  let deadline =
+    Option.map
+      (fun b -> now () +. b -. Journal.s_of_us base.Journal.elapsed_us)
+      limits.time_budget
+  in
+  let run =
+    {
+      r_limits = limits;
+      r_base = base;
+      r_resume_from = base.Journal.frontier;
+      r_tracker = tracker;
+      r_now = now;
+      r_deadline = deadline;
+      r_failpoint = failpoint;
+    }
+  in
+  let result =
+    match (limits.incremental, limits.jobs <= 1) with
+    | false, true -> verify_flat_sequential ~run u spec
+    | false, false -> verify_flat_parallel ~run u spec
+    | true, true -> verify_incremental_sequential ~run u spec
+    | true, false -> verify_incremental_parallel ~run u spec
+  in
+  (* Always leave the last-good journal on disk: budget aborts, signal
+     interrupts and decided runs all flush their final frontier. *)
+  Journal.Tracker.flush tracker;
+  result
 
-let verify ?limits ?(slice = false) ta spec =
+let verify ?limits ?(slice = false) ?checkpoint ?checkpoint_every ?resume ?now
+    ?failpoint ta spec =
   let ta =
     if slice then fst (Analysis.slice ~keep:(Analysis.spec_locations spec) ta) else ta
   in
-  verify_with_universe ?limits (Universe.build ta) spec
+  verify_with_universe ?limits ?checkpoint ?checkpoint_every ?resume ?now ?failpoint
+    (Universe.build ta) spec
 
 let pp_result fmt r =
   let avg =
@@ -809,6 +1303,14 @@ let pp_result fmt r =
       r.stats.schemas_checked pp_inc () r.stats.time Witness.pp w
   | Aborted reason ->
     Format.fprintf fmt "%-12s aborted: %s (%d schemas%a, %.2f s)" r.spec.name reason
+      r.stats.schemas_checked pp_inc () r.stats.time
+  | Partial { quarantined; reason } ->
+    Format.fprintf fmt
+      "%-12s PARTIAL: %s (%d quarantined position%s: %s; %d schemas%a, %.2f s)"
+      r.spec.name reason (List.length quarantined)
+      (if List.length quarantined = 1 then "" else "s")
+      (String.concat ", "
+         (List.map (fun (p, _) -> string_of_int p) quarantined))
       r.stats.schemas_checked pp_inc () r.stats.time
 
 let pp_worker_stats fmt r =

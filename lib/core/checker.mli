@@ -53,10 +53,27 @@ type limits = {
 
 val default_limits : limits
 
+(** Budget preset shared by the fuzzing cross-validators (lib/fuzz and
+    test/test_crossval): the random automata are tiny, so a run that
+    needs more than [crossval_limits.max_schemas] schemas is pathological
+    and is skipped rather than solved to exhaustion.  One definition here
+    keeps the fuzzers' budgets from drifting apart. *)
+val crossval_limits : limits
+
 type outcome =
   | Holds  (** every schema query is unsatisfiable: the property is verified for all parameters *)
   | Violated of Witness.t
   | Aborted of string  (** budget exhausted (the paper's ">24h" rows) *)
+  | Partial of { quarantined : (int * string) list; reason : string }
+      (** fail-soft verdict: some preorder positions were quarantined
+          (their discharge crashed twice) and no deciding schema precedes
+          the first hole, so neither [Holds] nor the first witness can be
+          asserted.  [quarantined] lists the holes with their exception
+          messages; every other schema was processed normally, and a
+          checkpointed rerun re-attempts exactly the holes.  A run whose
+          deciding schema {e precedes} every quarantined position still
+          decides normally — the transcript up to the decision is
+          complete. *)
 
 (** Per-worker utilisation.  Unlike the totals in {!stats}, these count
     everything a worker actually executed — including schemas an earlier
@@ -100,16 +117,72 @@ type result = { spec : Ta.Spec.t; outcome : outcome; stats : stats }
     @raise Invalid_argument when they fail. *)
 val precheck : Ta.Automaton.t -> Ta.Spec.t -> unit
 
+(** [request_interrupt ()] asks every running verification to wind down
+    cooperatively: engines notice at the next budget check and — through
+    the stop predicate threaded into the solver — within one
+    {!Smt.Simplex.stop_interval} quantum inside a discharge.  The run
+    returns [Aborted] (resumable: its checkpoint is flushed first).
+    Safe to call from a signal handler. *)
+val request_interrupt : unit -> unit
+
+(** [clear_interrupt ()] re-arms verification after an interrupt (tests,
+    REPL loops). *)
+val clear_interrupt : unit -> unit
+
+(** [interrupt_requested ()] reports whether {!request_interrupt} has
+    fired (and not been cleared) — drivers use it to pick an exit code
+    and tell a signal-interrupted run from an ordinary budget abort. *)
+val interrupt_requested : unit -> bool
+
 (** [verify ?limits ?slice ta spec].  With [~slice:true] the automaton
     is first run through {!Analysis.slice} (keeping the locations the
     spec mentions), so the universe is built over the live rules only —
     outcome- and witness-preserving, with schema counts no larger than
-    the unsliced run. *)
-val verify : ?limits:limits -> ?slice:bool -> Ta.Automaton.t -> Ta.Spec.t -> result
+    the unsliced run.
+
+    Crash-safe resumption: with [~checkpoint:path] the run persists a
+    {!Journal} checkpoint to [path] — atomically, every
+    [checkpoint_every] (default 64) discharged positions and once at the
+    end, whatever the outcome.  With [~resume:true] an existing
+    checkpoint at [path] is loaded first: its fingerprint must match the
+    automaton/property pair ([Invalid_argument] otherwise), the
+    enumeration fast-forwards past the checkpointed frontier without
+    re-solving, and the reported verdict, witness, schema count and
+    solver-step totals are identical to an uninterrupted run (wall-clock
+    times naturally differ; [time_budget] spans all slices of the run).
+    A missing file with [~resume:true] is a cold start, not an error, so
+    retry loops need no existence check.
+
+    [?now] substitutes the budget clock (deadline and interrupt logic
+    only — statistics keep real wall-clock), making timeout aborts
+    deterministic in tests.  [?failpoint] is called with each preorder
+    position just before its discharge; a raising failpoint exercises
+    the retry/quarantine path ({!Partial}). *)
+val verify :
+  ?limits:limits ->
+  ?slice:bool ->
+  ?checkpoint:string ->
+  ?checkpoint_every:int ->
+  ?resume:bool ->
+  ?now:(unit -> float) ->
+  ?failpoint:(int -> unit) ->
+  Ta.Automaton.t ->
+  Ta.Spec.t ->
+  result
 
 (** [verify_with_universe ?limits u spec] reuses a prebuilt universe
-    (cheaper when checking several specs of one automaton). *)
-val verify_with_universe : ?limits:limits -> Universe.t -> Ta.Spec.t -> result
+    (cheaper when checking several specs of one automaton).  Checkpoint
+    and fault-injection parameters as in {!verify}. *)
+val verify_with_universe :
+  ?limits:limits ->
+  ?checkpoint:string ->
+  ?checkpoint_every:int ->
+  ?resume:bool ->
+  ?now:(unit -> float) ->
+  ?failpoint:(int -> unit) ->
+  Universe.t ->
+  Ta.Spec.t ->
+  result
 
 val pp_result : Format.formatter -> result -> unit
 

@@ -1,0 +1,264 @@
+module J = Jsonc
+
+let version = 1
+
+type delta = {
+  d_checked : int;
+  d_skipped : int;
+  d_pruned : int;
+  d_hits : int;
+  d_slots : int;
+  d_steps : int;
+  d_encode_us : int;
+  d_solve_us : int;
+}
+
+let zero_delta =
+  { d_checked = 0; d_skipped = 0; d_pruned = 0; d_hits = 0; d_slots = 0;
+    d_steps = 0; d_encode_us = 0; d_solve_us = 0 }
+
+let add_delta a b =
+  {
+    d_checked = a.d_checked + b.d_checked;
+    d_skipped = a.d_skipped + b.d_skipped;
+    d_pruned = a.d_pruned + b.d_pruned;
+    d_hits = a.d_hits + b.d_hits;
+    d_slots = a.d_slots + b.d_slots;
+    d_steps = a.d_steps + b.d_steps;
+    d_encode_us = a.d_encode_us + b.d_encode_us;
+    d_solve_us = a.d_solve_us + b.d_solve_us;
+  }
+
+type t = {
+  fingerprint : string;
+  frontier : int;
+  checked : int;
+  skipped : int;
+  pruned : int;
+  hits : int;
+  slots : int;
+  steps : int;
+  encode_us : int;
+  solve_us : int;
+  elapsed_us : int;
+  quarantined : (int * string) list;
+}
+
+let us_of_s s = int_of_float (s *. 1e6)
+let s_of_us us = float_of_int us /. 1e6
+
+let fingerprint ta spec =
+  Digest.to_hex
+    (Digest.string (Ta.Bymc.render ta ^ "\n" ^ Format.asprintf "%a" Ta.Spec.pp spec))
+
+let fresh ~fingerprint =
+  {
+    fingerprint;
+    frontier = 0;
+    checked = 0;
+    skipped = 0;
+    pruned = 0;
+    hits = 0;
+    slots = 0;
+    steps = 0;
+    encode_us = 0;
+    solve_us = 0;
+    elapsed_us = 0;
+    quarantined = [];
+  }
+
+let apply j ~span delta =
+  {
+    j with
+    frontier = j.frontier + span;
+    checked = j.checked + delta.d_checked;
+    skipped = j.skipped + delta.d_skipped;
+    pruned = j.pruned + delta.d_pruned;
+    hits = j.hits + delta.d_hits;
+    slots = j.slots + delta.d_slots;
+    steps = j.steps + delta.d_steps;
+    encode_us = j.encode_us + delta.d_encode_us;
+    solve_us = j.solve_us + delta.d_solve_us;
+  }
+
+(* ------------------------------------------------------------------- *)
+(* Canonical-JSON codec.  All times are integer microseconds: the codec
+   has no float form, and integers make the encoding canonical (the CI
+   gate `cmp <(jq -c .) file` depends on a unique rendering). *)
+
+let to_json (j : t) =
+  J.Obj
+    [
+      ("version", J.Int version);
+      ("fingerprint", J.Str j.fingerprint);
+      ("frontier", J.Int j.frontier);
+      ("checked", J.Int j.checked);
+      ("skipped", J.Int j.skipped);
+      ("pruned", J.Int j.pruned);
+      ("hits", J.Int j.hits);
+      ("slots", J.Int j.slots);
+      ("steps", J.Int j.steps);
+      ("encode_us", J.Int j.encode_us);
+      ("solve_us", J.Int j.solve_us);
+      ("elapsed_us", J.Int j.elapsed_us);
+      ("quarantined",
+       J.List
+         (List.map (fun (pos, msg) -> J.List [ J.Int pos; J.Str msg ]) j.quarantined));
+    ]
+
+let of_json json =
+  let m name = J.member name json in
+  let v = J.to_int (m "version") in
+  if v <> version then
+    raise (J.Parse_error (Printf.sprintf "unsupported checkpoint version %d" v));
+  {
+    fingerprint = J.to_str (m "fingerprint");
+    frontier = J.to_int (m "frontier");
+    checked = J.to_int (m "checked");
+    skipped = J.to_int (m "skipped");
+    pruned = J.to_int (m "pruned");
+    hits = J.to_int (m "hits");
+    slots = J.to_int (m "slots");
+    steps = J.to_int (m "steps");
+    encode_us = J.to_int (m "encode_us");
+    solve_us = J.to_int (m "solve_us");
+    elapsed_us = J.to_int (m "elapsed_us");
+    quarantined =
+      List.map
+        (fun entry ->
+          match J.to_list entry with
+          | [ pos; msg ] -> (J.to_int pos, J.to_str msg)
+          | _ -> raise (J.Parse_error "malformed quarantine entry"))
+        (J.to_list (m "quarantined"));
+  }
+
+(* Atomic save: write the whole document to a sibling temp file, then
+   rename over the target.  A crash mid-write leaves either the previous
+   checkpoint or a stray .tmp, never a torn journal. *)
+let save ~path j =
+  let tmp = path ^ ".tmp" in
+  let oc = open_out tmp in
+  Fun.protect
+    ~finally:(fun () -> close_out_noerr oc)
+    (fun () ->
+      output_string oc (J.to_string (to_json j));
+      output_char oc '\n');
+  Sys.rename tmp path
+
+let load ~path =
+  if not (Sys.file_exists path) then Error (Printf.sprintf "no checkpoint at %s" path)
+  else
+    match
+      let ic = open_in_bin path in
+      Fun.protect
+        ~finally:(fun () -> close_in_noerr ic)
+        (fun () -> really_input_string ic (in_channel_length ic))
+    with
+    | exception Sys_error msg -> Error msg
+    | contents -> (
+      match of_json (J.of_string (String.trim contents)) with
+      | j -> Ok j
+      | exception J.Parse_error msg ->
+        Error (Printf.sprintf "corrupt checkpoint %s: %s" path msg))
+
+let validate ~fingerprint:fp j =
+  if String.equal j.fingerprint fp then Ok j
+  else
+    Error
+      (Printf.sprintf
+         "checkpoint fingerprint mismatch (checkpoint %s, current model %s): refusing \
+          to resume against a different automaton/property"
+         j.fingerprint fp)
+
+(* ------------------------------------------------------------------- *)
+(* Mutex-protected frontier tracker.  Workers report completed preorder
+   spans out of order; the tracker folds them into the journal as soon
+   as they are contiguous with the frontier, and persists the last
+   all-good journal every [every] consumed positions.  A quarantined
+   position is a permanent hole: the frontier never advances past it,
+   so a resumed run re-attempts it (and everything after it) while the
+   stats of all folded positions are never double-counted. *)
+
+module Tracker = struct
+  type tracker = {
+    mutex : Mutex.t;
+    mutable journal : t;  (* last all-good state: totals cover [0, frontier) *)
+    mutable pending : (int * (int * delta)) list;  (* start -> (span, delta) *)
+    mutable holes : (int * string) list;  (* quarantined positions *)
+    mutable since_flush : int;
+    path : string option;
+    every : int;
+    elapsed_us : unit -> int;
+  }
+
+  let create ~base ?path ~every ~elapsed_us () =
+    {
+      mutex = Mutex.create ();
+      journal = base;
+      pending = [];
+      holes = [];
+      since_flush = 0;
+      path;
+      every = max 1 every;
+      elapsed_us;
+    }
+
+  let flush_locked tr =
+    match tr.path with
+    | None -> ()
+    | Some path ->
+      tr.since_flush <- 0;
+      save ~path { tr.journal with elapsed_us = tr.elapsed_us () }
+
+  (* Fold every pending span now contiguous with the frontier. *)
+  let advance_locked tr =
+    let rec go () =
+      if not (List.mem_assoc tr.journal.frontier tr.holes) then
+        match List.assoc_opt tr.journal.frontier tr.pending with
+        | None -> ()
+        | Some (span, delta) ->
+          tr.pending <- List.remove_assoc tr.journal.frontier tr.pending;
+          tr.journal <- apply tr.journal ~span delta;
+          tr.since_flush <- tr.since_flush + span;
+          go ()
+    in
+    go ();
+    if tr.since_flush >= tr.every then flush_locked tr
+
+  let note tr ~start ~span delta =
+    Mutex.lock tr.mutex;
+    Fun.protect
+      ~finally:(fun () -> Mutex.unlock tr.mutex)
+      (fun () ->
+        if start >= tr.journal.frontier then begin
+          (* Replace, don't accumulate: a retried worker job re-reports
+             the spans its first attempt already noted; they are
+             deterministic replays, and counting both would advance the
+             frontier past positions never discharged. *)
+          tr.pending <- (start, (span, delta)) :: List.remove_assoc start tr.pending;
+          advance_locked tr
+        end)
+
+  let quarantine tr pos msg =
+    Mutex.lock tr.mutex;
+    Fun.protect
+      ~finally:(fun () -> Mutex.unlock tr.mutex)
+      (fun () ->
+        if not (List.mem_assoc pos tr.holes) then begin
+          tr.holes <- (pos, msg) :: tr.holes;
+          tr.journal <-
+            { tr.journal with
+              quarantined =
+                List.sort compare ((pos, msg) :: tr.journal.quarantined) }
+        end)
+
+  let snapshot tr =
+    Mutex.lock tr.mutex;
+    Fun.protect
+      ~finally:(fun () -> Mutex.unlock tr.mutex)
+      (fun () -> { tr.journal with elapsed_us = tr.elapsed_us () })
+
+  let flush tr =
+    Mutex.lock tr.mutex;
+    Fun.protect ~finally:(fun () -> Mutex.unlock tr.mutex) (fun () -> flush_locked tr)
+end

@@ -1,0 +1,108 @@
+(** Crash-safe checkpoint journal for resumable verification runs.
+
+    Schema enumeration is deterministic by preorder position (the same
+    property PR 1's partitioning and PR 3's pruning rely on), so a run's
+    progress is fully described by the {e frontier}: the length of the
+    contiguous prefix of preorder positions already discharged UNSAT.
+    The journal persists that frontier together with the accumulated
+    statistics covering exactly [0, frontier) and a fingerprint of the
+    automaton/property pair, as canonical JSON (integer microsecond
+    times, no floats — the encoding is byte-unique), written atomically
+    via a temp file + rename.
+
+    Resuming validates the fingerprint and fast-forwards the enumeration
+    cursor past the frontier; because both runs execute identical event
+    sequences, replayed positions accrue no statistics and the resumed
+    totals are bit-identical to an uninterrupted run. *)
+
+type delta = {
+  d_checked : int;
+  d_skipped : int;
+  d_pruned : int;
+  d_hits : int;
+  d_slots : int;
+  d_steps : int;
+  d_encode_us : int;
+  d_solve_us : int;
+}
+(** Per-span statistics increment, mirroring {!Checker.stats} fields. *)
+
+val zero_delta : delta
+val add_delta : delta -> delta -> delta
+
+type t = {
+  fingerprint : string;
+  frontier : int;  (** preorder positions discharged, contiguous from 0 *)
+  checked : int;
+  skipped : int;
+  pruned : int;
+  hits : int;
+  slots : int;
+  steps : int;
+  encode_us : int;
+  solve_us : int;
+  elapsed_us : int;  (** wall-clock across all slices of the run *)
+  quarantined : (int * string) list;
+}
+
+(** Microsecond/second conversions used at the {!Checker.stats} boundary. *)
+
+val us_of_s : float -> int
+val s_of_us : int -> float
+
+(** [fingerprint ta spec] is a stable digest of the rendered automaton
+    and property; two runs may share a checkpoint iff it matches. *)
+val fingerprint : Ta.Automaton.t -> Ta.Spec.t -> string
+
+val fresh : fingerprint:string -> t
+
+(** [apply j ~span d] advances the frontier by [span] positions and adds
+    [d] to the totals. *)
+val apply : t -> span:int -> delta -> t
+
+val to_json : t -> Jsonc.t
+val of_json : Jsonc.t -> t
+
+(** [save ~path j] writes [j] atomically (temp file + rename): a crash
+    mid-write leaves the previous checkpoint intact, never a torn one. *)
+val save : path:string -> t -> unit
+
+(** [load ~path] reads a checkpoint back; [Error] on a missing file,
+    unreadable contents, or a non-well-formed document. *)
+val load : path:string -> (t, string) result
+
+(** [validate ~fingerprint j] refuses a checkpoint recorded for a
+    different automaton/property pair. *)
+val validate : fingerprint:string -> t -> (t, string) result
+
+(** Mutex-protected frontier tracker for the multi-domain engines.
+    Workers report completed preorder spans out of order; the tracker
+    folds each span into the journal once it is contiguous with the
+    frontier and persists the result every [every] consumed positions.
+    A quarantined position is a permanent hole the frontier never
+    crosses, so a resumed run re-attempts it. *)
+module Tracker : sig
+  type tracker
+
+  (** [create ~base ?path ~every ~elapsed_us ()] starts from journal
+      [base] (fresh or loaded).  When [path] is given, the journal is
+      saved there on flush.  [elapsed_us] supplies the total wall-clock
+      (including previous slices) recorded in each save. *)
+  val create :
+    base:t -> ?path:string -> every:int -> elapsed_us:(unit -> int) -> unit -> tracker
+
+  (** [note tr ~start ~span d] records that positions
+      [start, start+span) were discharged with statistics [d].  Safe to
+      call from any domain; spans entirely below the frontier (replays
+      after a resume) are ignored. *)
+  val note : tracker -> start:int -> span:int -> delta -> unit
+
+  (** [quarantine tr pos msg] pins a hole at [pos]. *)
+  val quarantine : tracker -> int -> string -> unit
+
+  (** Current journal (totals cover exactly [0, frontier)). *)
+  val snapshot : tracker -> t
+
+  (** Force a save of the current journal (run end, signal handler). *)
+  val flush : tracker -> unit
+end

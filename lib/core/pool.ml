@@ -3,6 +3,7 @@ type 'r completion = {
   completed : bool;
   first_stop : int option;
   busy : float array;
+  quarantined : (int * string) list;
 }
 
 (* All coordination state lives behind one mutex; [not_empty] wakes
@@ -17,10 +18,11 @@ type 'a state = {
   mutable next_index : int;  (* index the producer will assign next *)
   mutable closed : bool;  (* the producer is done pushing *)
   mutable stop_at : int;  (* lowest stopping index so far; max_int = none *)
-  mutable failure : exn option;  (* first worker exception, re-raised after the join *)
+  failed : (int, string) Hashtbl.t;  (* index -> first attempt's error *)
+  mutable quarantined : (int * string) list;  (* twice-failed jobs *)
 }
 
-let run (type a r) ~jobs ?capacity ~(produce : push:(a -> bool) -> bool)
+let run (type a r) ~jobs ?capacity ?on_result ~(produce : push:(a -> bool) -> bool)
     ~(work : worker:int -> int -> a -> r) ~(is_stop : r -> bool) () : r completion =
   if jobs < 1 then invalid_arg "Pool.run: jobs must be >= 1";
   let capacity =
@@ -36,7 +38,8 @@ let run (type a r) ~jobs ?capacity ~(produce : push:(a -> bool) -> bool)
       next_index = 0;
       closed = false;
       stop_at = max_int;
-      failure = None;
+      failed = Hashtbl.create 8;
+      quarantined = [];
     }
   in
   (* Each slot is written by exactly one worker and read after the join:
@@ -63,6 +66,9 @@ let run (type a r) ~jobs ?capacity ~(produce : push:(a -> bool) -> bool)
           | r ->
             busy.(wid) <- busy.(wid) +. (Unix.gettimeofday () -. t0);
             results.(wid) <- (i, wid, r) :: results.(wid);
+            (match on_result with
+             | Some f -> ( try f i r with _ -> ())
+             | None -> ());
             if is_stop r then begin
               Mutex.lock st.mutex;
               if i < st.stop_at then begin
@@ -73,12 +79,29 @@ let run (type a r) ~jobs ?capacity ~(produce : push:(a -> bool) -> bool)
               Mutex.unlock st.mutex
             end
           | exception e ->
-            (* Abort the whole run: cut the producer off, make every
-               remaining job irrelevant, and surface [e] after the join. *)
+            (* Fail soft.  First failure of this job: re-queue it at the
+               back — everything already queued runs first, a crude but
+               deterministic backoff — in case the crash was transient
+               (OOM pressure, a flaky heuristic).  Second failure:
+               quarantine the position and keep going; the caller
+               decides what a hole in the result stream means.  The
+               re-queueing worker itself loops back, so a job re-queued
+               after [closed] can never be stranded even if every other
+               worker has already exited on the empty queue. *)
+            busy.(wid) <- busy.(wid) +. (Unix.gettimeofday () -. t0);
+            let msg = Printexc.to_string e in
             Mutex.lock st.mutex;
-            if st.failure = None then st.failure <- Some e;
-            st.stop_at <- -1;
-            Condition.broadcast st.not_full;
+            (match Hashtbl.find_opt st.failed i with
+             | None ->
+               Hashtbl.replace st.failed i msg;
+               Queue.push (i, item) st.queue;
+               Condition.signal st.not_empty
+             | Some first ->
+               let msg =
+                 if String.equal first msg then msg
+                 else Printf.sprintf "%s (first attempt: %s)" msg first
+               in
+               st.quarantined <- (i, msg) :: st.quarantined);
             Mutex.unlock st.mutex
         end;
         loop ()
@@ -120,7 +143,6 @@ let run (type a r) ~jobs ?capacity ~(produce : push:(a -> bool) -> bool)
   Condition.broadcast st.not_empty;
   Mutex.unlock st.mutex;
   Array.iter Domain.join workers;
-  (match st.failure with Some e -> raise e | None -> ());
   let all = Array.fold_left (fun acc l -> List.rev_append l acc) [] results in
   let first_stop =
     List.fold_left
@@ -128,4 +150,7 @@ let run (type a r) ~jobs ?capacity ~(produce : push:(a -> bool) -> bool)
         if is_stop r then Some (match acc with Some j -> min i j | None -> i) else acc)
       None all
   in
-  { results = all; completed; first_stop; busy }
+  let quarantined =
+    List.sort (fun (i, _) (j, _) -> compare i j) st.quarantined
+  in
+  { results = all; completed; first_stop; busy; quarantined }

@@ -14,6 +14,13 @@
     producer is cut off and workers skip now-irrelevant jobs, giving the
     early-exit behaviour of the sequential loop.
 
+    Fail-soft contract: a [work] exception no longer poisons the run.
+    The crashed job is re-queued once at the back of the queue (a
+    deterministic backoff: everything already queued runs first); a
+    second failure quarantines the job's index into
+    {!completion.quarantined} and the run continues.  Callers that need
+    all-or-nothing semantics must inspect [quarantined].
+
     [work] runs concurrently on several domains: it must not touch
     shared mutable state. *)
 
@@ -29,6 +36,9 @@ type 'r completion = {
       (** lowest job index whose result satisfies [is_stop], if any *)
   busy : float array;
       (** per-worker wall-clock seconds spent inside [work] *)
+  quarantined : (int * string) list;
+      (** jobs whose [work] raised on both attempts, ascending by index,
+          with the (deduplicated) exception messages *)
 }
 
 (** [run ~jobs ~produce ~work ~is_stop ()] spawns [jobs] worker domains,
@@ -39,10 +49,17 @@ type 'r completion = {
     blocks while the queue is full ([capacity], default
     [max 32 (4 * jobs)]).
 
+    [on_result], when given, is invoked as [on_result index result] by
+    the worker domain right after each job completes (checkpoint hooks,
+    progress meters).  It runs concurrently on several domains and
+    outside the pool lock, so it must synchronize its own state; an
+    exception it raises is swallowed (it must not affect the run).
+
     @raise Invalid_argument when [jobs < 1]. *)
 val run :
   jobs:int ->
   ?capacity:int ->
+  ?on_result:(int -> 'r -> unit) ->
   produce:(push:('a -> bool) -> bool) ->
   work:(worker:int -> int -> 'a -> 'r) ->
   is_stop:('r -> bool) ->

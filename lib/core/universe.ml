@@ -65,7 +65,7 @@ let unsat atoms =
   match Smt.Lia.solve atoms with
   | Smt.Lia.Unsat -> true
   | Smt.Lia.Sat _ -> false
-  | Smt.Lia.Unknown -> false (* conservative: assume satisfiable *)
+  | Smt.Lia.Unknown | Smt.Lia.Timeout -> false (* conservative: assume satisfiable *)
 
 (* Structural key under which two atoms collide iff [G.atom_equal]: the
    shared side is sorted by construction, the bound's coefficient list is

@@ -100,10 +100,11 @@ let just0 =
   List.find (fun (s : Ta.Spec.t) -> s.name = "BV-Just0") Models.Bv_ta.all_specs
 
 let find_witness () =
-  let limits = { Holistic.Checker.default_limits with max_schemas = 20_000 } in
+  let limits = Holistic.Checker.crossval_limits in
   match (Holistic.Checker.verify ~limits broken_automaton just0).outcome with
   | Holistic.Checker.Violated w -> Some w
-  | Holistic.Checker.Holds | Holistic.Checker.Aborted _ -> None
+  | Holistic.Checker.Holds | Holistic.Checker.Aborted _ | Holistic.Checker.Partial _ ->
+    None
 
 let realize ~n ~t ~f ~value ~sched_seed =
   if f < t + 1 || f >= n || n - f < 1 then None

@@ -1,222 +1,1 @@
-type t =
-  | Null
-  | Bool of bool
-  | Int of int
-  | Str of string
-  | List of t list
-  | Obj of (string * t) list
-
-let escape s =
-  let buf = Buffer.create (String.length s + 2) in
-  String.iter
-    (fun c ->
-      match c with
-      | '"' -> Buffer.add_string buf "\\\""
-      | '\\' -> Buffer.add_string buf "\\\\"
-      | '\n' -> Buffer.add_string buf "\\n"
-      | '\t' -> Buffer.add_string buf "\\t"
-      | '\r' -> Buffer.add_string buf "\\r"
-      | c when Char.code c < 0x20 -> Buffer.add_string buf (Printf.sprintf "\\u%04x" (Char.code c))
-      | c -> Buffer.add_char buf c)
-    s;
-  Buffer.contents buf
-
-let rec write buf = function
-  | Null -> Buffer.add_string buf "null"
-  | Bool b -> Buffer.add_string buf (if b then "true" else "false")
-  | Int i -> Buffer.add_string buf (string_of_int i)
-  | Str s ->
-    Buffer.add_char buf '"';
-    Buffer.add_string buf (escape s);
-    Buffer.add_char buf '"'
-  | List xs ->
-    Buffer.add_char buf '[';
-    List.iteri
-      (fun i x ->
-        if i > 0 then Buffer.add_char buf ',';
-        write buf x)
-      xs;
-    Buffer.add_char buf ']'
-  | Obj fields ->
-    Buffer.add_char buf '{';
-    List.iteri
-      (fun i (k, v) ->
-        if i > 0 then Buffer.add_char buf ',';
-        write buf (Str k);
-        Buffer.add_char buf ':';
-        write buf v)
-      fields;
-    Buffer.add_char buf '}'
-
-let to_string j =
-  let buf = Buffer.create 256 in
-  write buf j;
-  Buffer.contents buf
-
-(* ------------------------------------------------------------------ *)
-(* A minimal recursive-descent parser for the subset we emit: null,
-   booleans, (signed) integers, strings with the escapes above, arrays,
-   objects.  Raises [Failure] on malformed input. *)
-
-exception Parse_error of string
-
-let parse (s : string) : t =
-  let n = String.length s in
-  let pos = ref 0 in
-  let error msg = raise (Parse_error (Printf.sprintf "%s at offset %d" msg !pos)) in
-  let peek () = if !pos < n then Some s.[!pos] else None in
-  let advance () = incr pos in
-  let rec skip_ws () =
-    match peek () with
-    | Some (' ' | '\t' | '\n' | '\r') ->
-      advance ();
-      skip_ws ()
-    | _ -> ()
-  in
-  let expect c =
-    match peek () with
-    | Some c' when c' = c -> advance ()
-    | _ -> error (Printf.sprintf "expected %c" c)
-  in
-  let literal word value =
-    if !pos + String.length word <= n && String.sub s !pos (String.length word) = word
-    then begin
-      pos := !pos + String.length word;
-      value
-    end
-    else error ("expected " ^ word)
-  in
-  let parse_string () =
-    expect '"';
-    let buf = Buffer.create 16 in
-    let rec go () =
-      match peek () with
-      | None -> error "unterminated string"
-      | Some '"' -> advance ()
-      | Some '\\' ->
-        advance ();
-        (match peek () with
-         | Some '"' -> Buffer.add_char buf '"'; advance ()
-         | Some '\\' -> Buffer.add_char buf '\\'; advance ()
-         | Some 'n' -> Buffer.add_char buf '\n'; advance ()
-         | Some 't' -> Buffer.add_char buf '\t'; advance ()
-         | Some 'r' -> Buffer.add_char buf '\r'; advance ()
-         | Some 'u' ->
-           advance ();
-           if !pos + 4 > n then error "bad \\u escape";
-           let code = int_of_string ("0x" ^ String.sub s !pos 4) in
-           pos := !pos + 4;
-           if code < 0x80 then Buffer.add_char buf (Char.chr code)
-           else error "non-ascii \\u escape unsupported"
-         | _ -> error "bad escape");
-        go ()
-      | Some c ->
-        Buffer.add_char buf c;
-        advance ();
-        go ()
-    in
-    go ();
-    Buffer.contents buf
-  in
-  let parse_int () =
-    let start = !pos in
-    if peek () = Some '-' then advance ();
-    let rec digits () =
-      match peek () with
-      | Some ('0' .. '9') ->
-        advance ();
-        digits ()
-      | _ -> ()
-    in
-    digits ();
-    if !pos = start then error "expected number";
-    match int_of_string_opt (String.sub s start (!pos - start)) with
-    | Some i -> i
-    | None -> error "bad number"
-  in
-  let rec parse_value () =
-    skip_ws ();
-    match peek () with
-    | None -> error "unexpected end of input"
-    | Some 'n' -> literal "null" Null
-    | Some 't' -> literal "true" (Bool true)
-    | Some 'f' -> literal "false" (Bool false)
-    | Some '"' -> Str (parse_string ())
-    | Some '[' ->
-      advance ();
-      skip_ws ();
-      if peek () = Some ']' then begin
-        advance ();
-        List []
-      end
-      else begin
-        let rec items acc =
-          let v = parse_value () in
-          skip_ws ();
-          match peek () with
-          | Some ',' ->
-            advance ();
-            items (v :: acc)
-          | Some ']' ->
-            advance ();
-            List.rev (v :: acc)
-          | _ -> error "expected ',' or ']'"
-        in
-        List (items [])
-      end
-    | Some '{' ->
-      advance ();
-      skip_ws ();
-      if peek () = Some '}' then begin
-        advance ();
-        Obj []
-      end
-      else begin
-        let field () =
-          skip_ws ();
-          let k = parse_string () in
-          skip_ws ();
-          expect ':';
-          let v = parse_value () in
-          (k, v)
-        in
-        let rec fields acc =
-          let f = field () in
-          skip_ws ();
-          match peek () with
-          | Some ',' ->
-            advance ();
-            fields (f :: acc)
-          | Some '}' ->
-            advance ();
-            List.rev (f :: acc)
-          | _ -> error "expected ',' or '}'"
-        in
-        Obj (fields [])
-      end
-    | Some _ -> Int (parse_int ())
-  in
-  let v = parse_value () in
-  skip_ws ();
-  if !pos <> n then error "trailing input";
-  v
-
-let of_string s = parse s
-
-(* Typed accessors. *)
-
-let member key = function
-  | Obj fields -> (
-    match List.assoc_opt key fields with
-    | Some v -> v
-    | None -> raise (Parse_error ("missing field " ^ key)))
-  | _ -> raise (Parse_error ("not an object while looking up " ^ key))
-
-let member_opt key = function
-  | Obj fields -> List.assoc_opt key fields
-  | _ -> None
-
-let to_int = function Int i -> i | _ -> raise (Parse_error "expected int")
-let to_str = function Str s -> s | _ -> raise (Parse_error "expected string")
-let to_list = function List xs -> xs | _ -> raise (Parse_error "expected array")
-let to_bool = function Bool b -> b | _ -> raise (Parse_error "expected bool")
+include Jsonc

@@ -1,0 +1,29 @@
+(** A minimal canonical JSON tree (fuzz reports, recorded traces,
+    checkpoint journals): null, booleans, integers, strings, arrays,
+    objects.  Output is canonical — no whitespace, fields in
+    construction order — so two structurally equal documents are
+    byte-identical. *)
+
+type t =
+  | Null
+  | Bool of bool
+  | Int of int
+  | Str of string
+  | List of t list
+  | Obj of (string * t) list
+
+exception Parse_error of string
+
+val to_string : t -> string
+
+(** @raise Parse_error on malformed input. *)
+val of_string : string -> t
+
+(** Typed accessors; all @raise Parse_error on shape mismatch. *)
+
+val member : string -> t -> t
+val member_opt : string -> t -> t option
+val to_int : t -> int
+val to_str : t -> string
+val to_list : t -> t list
+val to_bool : t -> bool

@@ -26,6 +26,10 @@ let row_of_result ~ta_label ~size ~paper (r : Holistic.Checker.result) =
       ( "aborted",
         Printf.sprintf ">%d" r.stats.schemas_checked,
         Printf.sprintf ">%.0fs" r.stats.time )
+    | Holistic.Checker.Partial _ ->
+      ( "partial",
+        Printf.sprintf ">%d" r.stats.schemas_checked,
+        Printf.sprintf "%.2fs" r.stats.time )
   in
   {
     ta_name = ta_label;
@@ -63,48 +67,76 @@ let maybe_slice ~slice ~specs ta =
     Analysis.slice ~keep:(List.concat_map Analysis.spec_locations specs) ta |> fst
   else ta
 
-let bv_rows ?(jobs = 1) ?(slice = false) ?(incremental = true) () =
+let checkpoint_file ~dir ta_label (spec : Ta.Spec.t) =
+  let sanitize s =
+    String.map
+      (fun c ->
+        match c with 'a' .. 'z' | 'A' .. 'Z' | '0' .. '9' | '-' | '_' -> c | _ -> '_')
+      s
+  in
+  Filename.concat dir (sanitize ta_label ^ "__" ^ sanitize spec.name ^ ".ckpt.json")
+
+(* One row: verify [spec], checkpointing under [checkpoint_dir] when
+   given (one file per (TA, property), so a multi-row run interrupted
+   anywhere resumes every row from its own frontier). *)
+let checkpoint_for ~checkpoint_dir ~ta_key spec =
+  match checkpoint_dir with
+  | None -> None
+  | Some dir -> Some (checkpoint_file ~dir ta_key spec)
+
+let bv_rows ?(limits = Holistic.Checker.default_limits) ?(slice = false)
+    ?checkpoint_dir ?(resume = false) ?(checkpoint_every = 64) () =
   let specs = Models.Bv_ta.table2_specs in
   let ta = maybe_slice ~slice ~specs Models.Bv_ta.automaton in
   let u = Holistic.Universe.build ta in
-  let limits = { Holistic.Checker.default_limits with jobs; incremental } in
   List.map
     (fun spec ->
-      let r = Holistic.Checker.verify_with_universe ~limits u spec in
+      let checkpoint = checkpoint_for ~checkpoint_dir ~ta_key:"bv" spec in
+      let r =
+        Holistic.Checker.verify_with_universe ~limits ?checkpoint ~checkpoint_every
+          ~resume u spec
+      in
       row_of_result ~ta_label:"bv-broadcast (Fig 2)" ~size:(size_string ta)
         ~paper:(paper_time ~naive:false spec.Ta.Spec.name) r)
     specs
 
-let naive_rows ?(jobs = 1) ?(slice = false) ?(incremental = true) ~budget () =
+let naive_rows ?(limits = Holistic.Checker.default_limits) ?(slice = false)
+    ?checkpoint_dir ?(resume = false) ?(checkpoint_every = 64) ~budget () =
   let specs = Models.Naive_ta.table2_specs in
   let ta = maybe_slice ~slice ~specs Models.Naive_ta.automaton in
-  let limits =
-    { Holistic.Checker.default_limits with max_schemas = 100_000; time_budget = Some budget;
-      jobs; incremental }
-  in
+  let limits = { limits with Holistic.Checker.time_budget = Some budget } in
   List.map
     (fun spec ->
-      let r = Holistic.Checker.verify ~limits ta spec in
+      let checkpoint = checkpoint_for ~checkpoint_dir ~ta_key:"naive" spec in
+      let r =
+        Holistic.Checker.verify ~limits ?checkpoint ~checkpoint_every ~resume ta spec
+      in
       row_of_result ~ta_label:"naive consensus (Fig 3)" ~size:(size_string ta)
         ~paper:(paper_time ~naive:true spec.Ta.Spec.name) r)
     specs
 
-let simplified_rows ?(jobs = 1) ?(slice = false) ?(incremental = true)
+let simplified_rows ?(limits = Holistic.Checker.default_limits) ?(slice = false)
+    ?checkpoint_dir ?(resume = false) ?(checkpoint_every = 64)
     ?(specs = Models.Simplified_ta.table2_specs) () =
   let ta = maybe_slice ~slice ~specs Models.Simplified_ta.automaton in
   let u = Holistic.Universe.build ta in
-  let limits = { Holistic.Checker.default_limits with jobs; incremental } in
   List.map
     (fun spec ->
-      let r = Holistic.Checker.verify_with_universe ~limits u spec in
+      let checkpoint = checkpoint_for ~checkpoint_dir ~ta_key:"simplified" spec in
+      let r =
+        Holistic.Checker.verify_with_universe ~limits ?checkpoint ~checkpoint_every
+          ~resume u spec
+      in
       row_of_result ~ta_label:"simplified (Fig 4)" ~size:(size_string ta)
         ~paper:(paper_time ~naive:false spec.Ta.Spec.name) r)
     specs
 
-let table2 ?(jobs = 1) ?(slice = false) ?(incremental = true) ~quick ~naive_budget () =
-  bv_rows ~jobs ~slice ~incremental ()
-  @ naive_rows ~jobs ~slice ~incremental ~budget:naive_budget ()
-  @ simplified_rows ~jobs ~slice ~incremental
+let table2 ?limits ?slice ?checkpoint_dir ?resume ?checkpoint_every ~quick
+    ~naive_budget () =
+  bv_rows ?limits ?slice ?checkpoint_dir ?resume ?checkpoint_every ()
+  @ naive_rows ?limits ?slice ?checkpoint_dir ?resume ?checkpoint_every
+      ~budget:naive_budget ()
+  @ simplified_rows ?limits ?slice ?checkpoint_dir ?resume ?checkpoint_every
       ?specs:(if quick then Some [ Models.Simplified_ta.inv2_0; Models.Simplified_ta.good_0 ] else None)
       ()
 

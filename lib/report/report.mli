@@ -23,32 +23,54 @@ val row_of_result :
 
 val size_string : Ta.Automaton.t -> string
 
-(** [jobs] (default 1) is the number of worker domains discharging the
-    schema queries; every row is identical for any value — only the
-    wall-clock column changes (see {!Holistic.Checker}).  [slice]
-    (default false) runs the automaton through {!Analysis.slice} first
-    (keeping the locations the row's specs mention): outcomes and
-    witnesses are unchanged, schema counts can only shrink.
-    [incremental] (default true) selects the prefix-sharing engine;
-    verdict/schema columns are identical either way, the Steps and
-    Skipped columns show the pruning at work. *)
+(** [checkpoint_file ~dir ta_key spec] — the canonical checkpoint path
+    for one (TA, property) row under checkpoint directory [dir]:
+    ["<ta_key>__<spec-name>.ckpt.json"], both components sanitised to
+    [[A-Za-z0-9_-]].  The CLI uses the same scheme so a
+    [holistic table2 --checkpoint DIR] run and a per-property
+    [holistic verify --checkpoint DIR] run share files. *)
+val checkpoint_file : dir:string -> string -> Ta.Spec.t -> string
+
+(** [limits] (default {!Holistic.Checker.default_limits}) carries every
+    budget — worker domains, incremental vs flat discharge, schema and
+    solver-step caps — in one value; every row's verdict/schema columns
+    are identical for any [jobs]/[incremental] choice, only wall-clock
+    and the solver-effort columns change.  [slice] (default false) runs
+    the automaton through {!Analysis.slice} first (keeping the locations
+    the row's specs mention): outcomes and witnesses are unchanged,
+    schema counts can only shrink.
+
+    [checkpoint_dir] enables crash-safe resumption: each row persists a
+    {!Holistic.Journal} checkpoint to {!checkpoint_file} every
+    [checkpoint_every] (default 64) positions, and [resume] (default
+    false) fast-forwards each row past its checkpointed frontier — an
+    interrupted table regenerates with every completed row's verdict,
+    schema count and solver-step totals identical to an uninterrupted
+    run (see {!Holistic.Checker.verify}). *)
 
 (** [bv_rows ()] — the four bv-broadcast rows (fast). *)
-val bv_rows : ?jobs:int -> ?slice:bool -> ?incremental:bool -> unit -> row list
+val bv_rows :
+  ?limits:Holistic.Checker.limits -> ?slice:bool -> ?checkpoint_dir:string ->
+  ?resume:bool -> ?checkpoint_every:int -> unit -> row list
 
 (** [naive_rows ~budget ()] — the three naive-consensus rows, each
-    aborted after [budget] seconds (the paper's ">24h" analogue). *)
+    aborted after [budget] seconds (the paper's ">24h" analogue;
+    [budget] overrides [limits.time_budget], and spans all resumed
+    slices of a row). *)
 val naive_rows :
-  ?jobs:int -> ?slice:bool -> ?incremental:bool -> budget:float -> unit -> row list
+  ?limits:Holistic.Checker.limits -> ?slice:bool -> ?checkpoint_dir:string ->
+  ?resume:bool -> ?checkpoint_every:int -> budget:float -> unit -> row list
 
 (** [simplified_rows ?specs ()] — the simplified-consensus rows
     (defaults to the five properties of Table 2; ~70 s total). *)
 val simplified_rows :
-  ?jobs:int -> ?slice:bool -> ?incremental:bool -> ?specs:Ta.Spec.t list -> unit -> row list
+  ?limits:Holistic.Checker.limits -> ?slice:bool -> ?checkpoint_dir:string ->
+  ?resume:bool -> ?checkpoint_every:int -> ?specs:Ta.Spec.t list -> unit -> row list
 
 (** [table2 ~quick ~naive_budget ()] — all rows. *)
 val table2 :
-  ?jobs:int -> ?slice:bool -> ?incremental:bool -> quick:bool -> naive_budget:float ->
+  ?limits:Holistic.Checker.limits -> ?slice:bool -> ?checkpoint_dir:string ->
+  ?resume:bool -> ?checkpoint_every:int -> quick:bool -> naive_budget:float ->
   unit -> row list
 
 val print_text : out_channel -> row list -> unit

@@ -1,7 +1,7 @@
 module B = Numbers.Bigint
 module Q = Numbers.Rational
 
-type result = Sat of (int * B.t) list | Unsat | Unknown
+type result = Sat of (int * B.t) list | Unsat | Unknown | Timeout
 
 exception Budget
 exception Infeasible
@@ -86,20 +86,26 @@ let preprocess atoms =
 
 let fractional q = not (Q.is_integer q)
 
-let solve ?steps ?(max_steps = 20_000) atoms =
+let solve ?steps ?(max_steps = 20_000) ?stop atoms =
   let budget = ref max_steps in
   let finish result =
     (match steps with Some r -> r := !r + (max_steps - !budget) | None -> ());
     result
   in
+  let stopped () = match stop with Some f -> f () | None -> false in
   match
     let atoms = List.map normalize atoms in
     let all_vars = List.concat_map Atom.vars atoms |> List.sort_uniq compare in
     let reduced, bindings = preprocess atoms in
     let rec branch atoms depth =
+      (* Checking at every branch node (not only inside the simplex
+         pivot loop) keeps the overshoot bound meaningful for tiny
+         relaxations that finish in fewer than [Simplex.stop_interval]
+         pivots. *)
+      if stopped () then raise Simplex.Timeout;
       if !budget <= 0 || depth > 600 then raise Budget;
       decr budget;
-      match Simplex.solve atoms with
+      match Simplex.solve ?stop atoms with
       | Simplex.Unsat -> None
       | Simplex.Unknown -> raise Budget
       | Simplex.Sat model -> (
@@ -136,6 +142,7 @@ let solve ?steps ?(max_steps = 20_000) atoms =
   | result -> finish result
   | exception Infeasible -> finish Unsat
   | exception Budget -> finish Unknown
+  | exception Simplex.Timeout -> finish Timeout
 
 (* ------------------------------------------------------------------ *)
 (* Incremental assertion stack: a thin integer layer over
@@ -430,12 +437,13 @@ let check_quick ?hits s =
       Sat m
     | None -> Unknown
 
-let check ?steps ?hits ?(max_steps = 20_000) s =
+let check ?steps ?hits ?(max_steps = 20_000) ?stop s =
   let budget = ref max_steps in
   let finish result =
     (match steps with Some r -> r := !r + (max_steps - !budget) | None -> ());
     result
   in
+  let stopped () = match stop with Some f -> f () | None -> false in
   if s.infeasible then finish Unsat
   else begin
     match cached_model s with
@@ -446,9 +454,10 @@ let check ?steps ?hits ?(max_steps = 20_000) s =
     | None -> (
       let vars = List.concat_map Atom.vars s.log |> List.sort_uniq compare in
       let rec branch cuts depth =
+        if stopped () then raise Simplex.Timeout;
         if !budget <= 0 || depth > 600 then raise Budget;
         decr budget;
-        match Simplex.Session.check s.sx with
+        match Simplex.Session.check ?stop s.sx with
         | `Unsat -> None
         | `Sat -> (
           match concretize s cuts vars with
@@ -487,6 +496,7 @@ let check ?steps ?hits ?(max_steps = 20_000) s =
       in
       match branch [] 0 with
       | exception Budget -> finish Unknown
+      | exception Simplex.Timeout -> finish Timeout
       | None -> finish Unsat
       | Some model ->
         let m = List.map (fun (v, q) -> (v, Q.to_bigint q)) model in

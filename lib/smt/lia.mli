@@ -11,13 +11,21 @@ type result =
   | Sat of (int * B.t) list  (** integral model for every input variable *)
   | Unsat
   | Unknown  (** branch-and-bound budget exhausted *)
+  | Timeout
+      (** the caller's [stop] predicate fired mid-search (deadline
+          passed) — distinct from {!Unknown} so a wall-clock trip is
+          never mistaken for a fuel trip.  Never returned when [stop]
+          is omitted. *)
 
-(** [solve ?steps ?max_steps atoms] decides the conjunction of [atoms]
-    over the integers.  [max_steps] bounds the number of simplex calls
-    (default 20000); when [steps] is given, the number of simplex calls
-    actually performed is added to it (a cheap effort counter for
-    utilisation reporting). *)
-val solve : ?steps:int ref -> ?max_steps:int -> Atom.t list -> result
+(** [solve ?steps ?max_steps ?stop atoms] decides the conjunction of
+    [atoms] over the integers.  [max_steps] bounds the number of simplex
+    calls (default 20000); when [steps] is given, the number of simplex
+    calls actually performed is added to it (a cheap effort counter for
+    utilisation reporting).  [stop] is polled at every branch-and-bound
+    node and every {!Simplex.stop_interval} pivots inside the
+    relaxation; when it returns true the search stops with {!Timeout},
+    so overshoot past a deadline is bounded by one pivot quantum. *)
+val solve : ?steps:int ref -> ?max_steps:int -> ?stop:(unit -> bool) -> Atom.t list -> result
 
 (** [check_model atoms model] re-evaluates all atoms under an integral
     model; used for internal sanity checking and by tests. *)
@@ -54,14 +62,19 @@ val pop : session -> unit
 
 val assert_atoms : session -> Atom.t list -> unit
 
-(** [check ?steps ?hits ?max_steps s] decides the asserted conjunction
-    over the integers.  The last satisfying model is cached: when it
-    still satisfies the atoms asserted since — the common case along an
-    enumeration DFS — the check is answered without touching the
-    simplex, and [hits] (when given) is incremented.  Otherwise runs
+(** [check ?steps ?hits ?max_steps ?stop s] decides the asserted
+    conjunction over the integers.  The last satisfying model is cached:
+    when it still satisfies the atoms asserted since — the common case
+    along an enumeration DFS — the check is answered without touching
+    the simplex, and [hits] (when given) is incremented.  Otherwise runs
     branch-and-bound over the warm tableau; [steps] counts simplex
-    checks exactly like {!solve} counts simplex calls. *)
-val check : ?steps:int ref -> ?hits:int ref -> ?max_steps:int -> session -> result
+    checks exactly like {!solve} counts simplex calls.  [stop] behaves
+    as in {!solve}; a {!Timeout} leaves the session stack balanced and
+    the tableau valid, so the same session can be checked again (e.g.
+    with a later deadline). *)
+val check :
+  ?steps:int ref -> ?hits:int ref -> ?max_steps:int -> ?stop:(unit -> bool) ->
+  session -> result
 
 (** [check_quick ?hits s] answers from the incremental prefix state
     alone — the propagated interval store and the cached model — and

@@ -4,6 +4,12 @@ module IntMap = Map.Make (Int)
 type result = Sat of (int * Q.t) list | Unsat | Unknown
 
 exception Conflict
+exception Timeout
+
+(* How many pivots may elapse between two looks at the caller's [stop]
+   predicate: the solver's fuel quantum.  Once a discharge is past its
+   deadline, overshoot is bounded by the cost of this many pivots. *)
+let stop_interval = 64
 
 (* Internal solver state over densely numbered variables [0, nvars).
    Rows map a basic variable to its expression over nonbasic variables. *)
@@ -99,9 +105,21 @@ let pivot_and_update st xi xj v =
   st.basic.(xi) <- false;
   st.basic.(xj) <- true
 
-(* Main check loop with Bland's rule (smallest indices) for termination. *)
-let check st =
+(* Main check loop with Bland's rule (smallest indices) for termination.
+   An aborted loop ([stop] raised {!Timeout} mid-search) leaves a valid
+   equivalent tableau behind — pivoting only rewrites the equality
+   system — so the state can be re-checked later without repair. *)
+let check ?stop st =
+  let pivots = ref 0 in
+  let see_stop () =
+    match stop with
+    | None -> ()
+    | Some f ->
+      if !pivots mod stop_interval = 0 && f () then raise Timeout;
+      incr pivots
+  in
   let rec loop () =
+    see_stop ();
     let violating = ref None in
     for x = st.nvars - 1 downto 0 do
       if st.basic.(x) && (below_lower st x || above_upper st x) then violating := Some x
@@ -164,7 +182,7 @@ let check st =
 (* ------------------------------------------------------------------ *)
 (* Problem setup: dense renumbering, slack variables, bounds.           *)
 
-let solve_internal atoms =
+let solve_internal ?stop atoms =
   (* Constant atoms are decided immediately. *)
   let atoms =
     List.filter_map
@@ -246,11 +264,11 @@ let solve_internal atoms =
         assert_upper st v (Delta.of_rational bound);
         assert_lower st v (Delta.of_rational bound))
     constraints;
-  check st;
+  check ?stop st;
   (original_vars, st)
 
-let solve_delta atoms =
-  match solve_internal atoms with
+let solve_delta ?stop atoms =
+  match solve_internal ?stop atoms with
   | exception Conflict -> None
   | original_vars, st ->
     Some
@@ -458,10 +476,10 @@ module Session = struct
             session_assert_lower s target (Delta.of_rational bound)
     end
 
-  let check s =
+  let check ?stop s =
     if s.infeasible then `Unsat
     else
-      match check (view s) with
+      match check ?stop (view s) with
       | () -> `Sat
       | exception Conflict ->
         s.infeasible <- true;
@@ -475,8 +493,8 @@ module Session = struct
   let vars s = List.sort compare s.ext
 end
 
-let solve atoms =
-  match solve_delta atoms with
+let solve ?stop atoms =
+  match solve_delta ?stop atoms with
   | None -> Unsat
   | Some deltas ->
     (* Concretize delta: start at 1 and halve until every atom holds. *)

@@ -17,12 +17,27 @@ type result =
           cannot crash a multi-worker run (callers treat it like
           {!Lia.Unknown}). *)
 
-(** [solve atoms] decides the conjunction of [atoms] over the rationals. *)
-val solve : Atom.t list -> result
+(** Raised by {!solve}, {!solve_delta} and {!Session.check} when the
+    caller's [stop] predicate returns true mid-search.  Never raised
+    when [stop] is omitted.  An interrupted session tableau stays valid
+    (pivoting only rewrites the equality system), so checking again
+    later is sound. *)
+exception Timeout
 
-(** [solve_delta atoms] is like {!solve} but exposes the delta-rational
-    assignment directly. *)
-val solve_delta : Atom.t list -> (int * Delta.t) list option
+(** Pivots between two looks at [stop] — the solver's fuel quantum.
+    Once a deadline has passed, overshoot is bounded by the cost of
+    this many pivots. *)
+val stop_interval : int
+
+(** [solve ?stop atoms] decides the conjunction of [atoms] over the
+    rationals.  [stop] is polled every {!stop_interval} pivots.
+    @raise Timeout when [stop] returns true. *)
+val solve : ?stop:(unit -> bool) -> Atom.t list -> result
+
+(** [solve_delta ?stop atoms] is like {!solve} but exposes the
+    delta-rational assignment directly.
+    @raise Timeout when [stop] returns true. *)
+val solve_delta : ?stop:(unit -> bool) -> Atom.t list -> (int * Delta.t) list option
 
 (** Incremental assertion-stack interface.  The tableau and all derived
     slack rows are kept warm across [pop]s: popping a frame only unwinds
@@ -51,8 +66,11 @@ module Session : sig
       popped. *)
   val assert_atom : t -> Atom.t -> unit
 
-  (** [check s] decides the asserted conjunction over the rationals. *)
-  val check : t -> [ `Sat | `Unsat ]
+  (** [check ?stop s] decides the asserted conjunction over the
+      rationals.  [stop] is polled every {!stop_interval} pivots.
+      @raise Timeout when [stop] returns true; the tableau stays valid
+      and the session can be checked again. *)
+  val check : ?stop:(unit -> bool) -> t -> [ `Sat | `Unsat ]
 
   (** [value s x] is the delta-rational value of external variable [x]
       after a [`Sat] check (zero for unseen variables). *)

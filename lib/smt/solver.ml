@@ -96,7 +96,7 @@ let solve ?max_steps f =
           in
           match Lia.solve ?max_steps theory_atoms with
           | Lia.Sat model -> Sat model
-          | Lia.Unknown -> Unknown
+          | Lia.Unknown | Lia.Timeout -> Unknown
           | Lia.Unsat ->
             (* Block this boolean assignment to the theory atoms. *)
             loop (List.map (fun l -> -l) used_lits :: blocking) (budget - 1))

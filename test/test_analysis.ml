@@ -264,6 +264,7 @@ let outcome_repr (r : Holistic.Checker.result) =
   | Holistic.Checker.Holds -> "holds"
   | Holistic.Checker.Violated w -> Format.asprintf "violated@\n%a" Holistic.Witness.pp w
   | Holistic.Checker.Aborted reason -> "aborted: " ^ reason
+  | Holistic.Checker.Partial { reason; _ } -> "partial: " ^ reason
 
 let keep_of specs = List.concat_map An.spec_locations specs
 

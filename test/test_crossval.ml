@@ -101,11 +101,11 @@ let drain_spec =
     ~target_violated:(C.some_nonempty [ "L0"; "L1"; "L2" ])
     ()
 
-let limits = { Holistic.Checker.default_limits with max_schemas = 20_000 }
+let limits = Holistic.Checker.crossval_limits
 
 let consistent ta spec =
   match (Holistic.Checker.verify ~limits ta spec).outcome with
-  | Holistic.Checker.Aborted _ -> QCheck.assume_fail ()
+  | Holistic.Checker.Aborted _ | Holistic.Checker.Partial _ -> QCheck.assume_fail ()
   | Holistic.Checker.Holds ->
     (* Explicit checking at small parameters must agree. *)
     List.for_all
@@ -165,7 +165,7 @@ let build_byz_ta descs =
 
 let byz_consistent ta spec =
   match (Holistic.Checker.verify ~limits ta spec).outcome with
-  | Holistic.Checker.Aborted _ -> QCheck.assume_fail ()
+  | Holistic.Checker.Aborted _ | Holistic.Checker.Partial _ -> QCheck.assume_fail ()
   | Holistic.Checker.Holds ->
     List.for_all
       (fun params ->

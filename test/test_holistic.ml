@@ -15,6 +15,7 @@ let outcome_name = function
   | Holistic.Checker.Holds -> "holds"
   | Holistic.Checker.Violated _ -> "violated"
   | Holistic.Checker.Aborted _ -> "aborted"
+  | Holistic.Checker.Partial _ -> "partial"
 
 let check_outcome name expected result =
   Alcotest.(check string) name expected (outcome_name result.Holistic.Checker.outcome)

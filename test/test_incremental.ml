@@ -33,6 +33,8 @@ let outcome_repr = function
   | Ck.Holds -> "holds"
   | Ck.Violated w -> Format.asprintf "violated@\n%a" Holistic.Witness.pp w
   | Ck.Aborted reason -> "aborted: " ^ reason
+  | Ck.Partial { quarantined; reason } ->
+    Format.asprintf "partial (%d quarantined): %s" (List.length quarantined) reason
 
 (* Incremental on vs off (both sequential): identical outcome (witness
    trace included), schema count and slot total; no more solver steps.
@@ -270,7 +272,7 @@ let engines_and_explicit_agree spec descs =
   && inc.Ck.stats.solver_steps <= flat.Ck.stats.solver_steps
   &&
   match inc.Ck.outcome with
-  | Ck.Aborted _ -> QCheck.assume_fail ()
+  | Ck.Aborted _ | Ck.Partial _ -> QCheck.assume_fail ()
   | Ck.Holds ->
     List.for_all
       (fun n ->

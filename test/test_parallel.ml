@@ -67,13 +67,55 @@ let test_pool_first_stop_deterministic () =
         (List.init 38 Fun.id))
     [ 1; 2; 4; 8 ]
 
+let contains ~sub s =
+  let n = String.length sub and m = String.length s in
+  let rec go i = i + n <= m && (String.sub s i n = sub || go (i + 1)) in
+  go 0
+
+(* Fail-soft: a job that crashes on both attempts is quarantined — the
+   run completes and every other job's result is present. *)
 let test_pool_worker_exception () =
-  Alcotest.check_raises "worker failure surfaces" (Failure "boom") (fun () ->
-      ignore
-        (Holistic.Pool.run ~jobs:3 ~produce:(int_stream 50)
-           ~work:(fun ~worker:_ _i item -> if item = 5 then failwith "boom" else item)
-           ~is_stop:(fun _ -> false)
-           ()))
+  let c =
+    Holistic.Pool.run ~jobs:3 ~produce:(int_stream 50)
+      ~work:(fun ~worker:_ _i item -> if item = 5 then failwith "boom" else item)
+      ~is_stop:(fun _ -> false)
+      ()
+  in
+  Alcotest.(check bool) "run completes despite the crash" true c.Holistic.Pool.completed;
+  Alcotest.(check (option int)) "no stop" None c.Holistic.Pool.first_stop;
+  (match c.Holistic.Pool.quarantined with
+   | [ (5, msg) ] ->
+     Alcotest.(check bool)
+       (Printf.sprintf "quarantine message mentions the exception (%s)" msg)
+       true (contains ~sub:"boom" msg)
+   | q ->
+     Alcotest.failf "expected exactly job 5 quarantined, got [%s]"
+       (String.concat "; " (List.map (fun (i, m) -> Printf.sprintf "(%d, %s)" i m) q)));
+  let indices = List.map (fun (i, _, _) -> i) c.Holistic.Pool.results in
+  Alcotest.(check (list int))
+    "every other job ran once"
+    (List.filter (fun i -> i <> 5) (List.init 50 Fun.id))
+    (List.sort compare indices)
+
+(* A transient crash (first attempt only) is retried once and does not
+   quarantine: the completion is indistinguishable from a clean run. *)
+let test_pool_worker_retry () =
+  let tripped = Atomic.make false in
+  let c =
+    Holistic.Pool.run ~jobs:3 ~produce:(int_stream 50)
+      ~work:(fun ~worker:_ _i item ->
+        if item = 5 && not (Atomic.exchange tripped true) then failwith "flaky";
+        item)
+      ~is_stop:(fun _ -> false)
+      ()
+  in
+  Alcotest.(check bool) "the crash really happened" true (Atomic.get tripped);
+  Alcotest.(check bool) "run completes" true c.Holistic.Pool.completed;
+  Alcotest.(check (list (pair int string))) "nothing quarantined" []
+    c.Holistic.Pool.quarantined;
+  let indices = List.map (fun (i, _, _) -> i) c.Holistic.Pool.results in
+  Alcotest.(check (list int)) "every job ran once" (List.init 50 Fun.id)
+    (List.sort compare indices)
 
 let test_pool_bad_jobs () =
   Alcotest.(check bool) "jobs=0 rejected" true
@@ -103,6 +145,8 @@ let outcome_repr = function
   | Ck.Holds -> "holds"
   | Ck.Violated w -> Format.asprintf "violated@\n%a" Holistic.Witness.pp w
   | Ck.Aborted reason -> "aborted: " ^ reason
+  | Ck.Partial { quarantined; reason } ->
+    Format.asprintf "partial (%d quarantined): %s" (List.length quarantined) reason
 
 (* Identical outcome (witness trace included), schema count, slot total
    and solver-step total between jobs=1 and jobs=[par_jobs]. *)
@@ -302,7 +346,10 @@ let () =
           Alcotest.test_case "all jobs pass" `Quick test_pool_all_pass;
           Alcotest.test_case "first stop is sequential" `Quick
             test_pool_first_stop_deterministic;
-          Alcotest.test_case "worker exception propagates" `Quick test_pool_worker_exception;
+          Alcotest.test_case "worker exception quarantines" `Quick
+            test_pool_worker_exception;
+          Alcotest.test_case "transient worker exception retries" `Quick
+            test_pool_worker_retry;
           Alcotest.test_case "jobs=0 rejected" `Quick test_pool_bad_jobs;
         ] );
       ("bv jobs=1 vs jobs=4", bv_tests);

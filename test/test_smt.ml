@@ -113,7 +113,7 @@ let lia_result atoms =
     Alcotest.(check bool) "model satisfies atoms" true (Smt.Lia.check_model atoms model);
     `Sat
   | Smt.Lia.Unsat -> `Unsat
-  | Smt.Lia.Unknown -> `Unknown
+  | Smt.Lia.Unknown | Smt.Lia.Timeout -> `Unknown
 
 let test_lia_gap () =
   (* 2x = 1 has no integer solution but a rational one. *)
@@ -223,7 +223,7 @@ let smt_props =
         match Smt.Lia.solve all with
         | Smt.Lia.Sat model -> expected && Smt.Lia.check_model all model
         | Smt.Lia.Unsat -> not expected
-        | Smt.Lia.Unknown -> false);
+        | Smt.Lia.Unknown | Smt.Lia.Timeout -> false);
     prop "simplex models satisfy their atoms" 300 QCheck.(list_of_size (Gen.int_range 1 4) arb_atom)
       (fun atoms ->
         let all = atoms @ box_atoms in
