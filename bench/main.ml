@@ -231,6 +231,111 @@ let incremental_comparison () =
   print_newline ()
 
 (* ------------------------------------------------------------------ *)
+(* Section 2d: certificate emission and standalone replay, per bundled
+   property (jobs=1).  The incremental run re-proves every UNSAT
+   verdict on the certifying engine and the emitted JSONL is replayed
+   by Smt.Certcheck (exact rationals, no solver code).  The records go
+   to BENCH_6.json for CI's gates: no certification failures, no
+   rejected certificates, and incremental solver steps still no worse
+   than the flat engine's. *)
+
+let bench6_json_path =
+  match flag_value "--bench6-json" with Some p -> p | None -> "BENCH_6.json"
+
+let replay_certificates path =
+  let module J = Jsonc in
+  let ic = open_in path in
+  let lines = ref [] in
+  (try
+     while true do
+       let l = input_line ic in
+       if String.trim l <> "" then lines := l :: !lines
+     done
+   with End_of_file -> close_in ic);
+  let t0 = Unix.gettimeofday () in
+  let rejected =
+    List.fold_left
+      (fun bad line ->
+        let j = J.of_string line in
+        let kind = J.to_str (J.member "kind" j) in
+        let atoms =
+          List.map Smt.Certificate.atom_of_json (J.to_list (J.member "atoms" j))
+        in
+        let branches =
+          if kind = "schema" then
+            List.map
+              (fun alts ->
+                List.map
+                  (fun cube -> List.map Smt.Certificate.atom_of_json (J.to_list cube))
+                  (J.to_list alts))
+              (J.to_list (J.member "branches" j))
+          else []
+        in
+        match
+          Smt.Certcheck.validate_query ~atoms ~branches
+            (Smt.Certificate.of_json (J.member "cert" j))
+        with
+        | Ok () -> bad
+        | Error _ -> bad + 1)
+      0 (List.rev !lines)
+  in
+  (List.length !lines, rejected, Unix.gettimeofday () -. t0)
+
+let certificates () =
+  print_endline "== Certificate emission and standalone replay (jobs=1) ==";
+  let cases =
+    List.map (fun s -> ("bv", Models.Bv_ta.automaton, s)) Models.Bv_ta.table2_specs
+    @ List.map
+        (fun s -> ("simplified", Models.Simplified_ta.automaton, s))
+        (if quick then [ Models.Simplified_ta.inv2_0; Models.Simplified_ta.good_0 ]
+         else Models.Simplified_ta.table2_specs)
+  in
+  let records = ref [] in
+  Printf.printf "%-14s %-12s %10s %10s %10s %6s %8s %9s\n" "TA" "Property" "steps-flat"
+    "steps-inc" "cert-steps" "certs" "rejected" "check-ms";
+  List.iter
+    (fun (ta_name, ta, spec) ->
+      let u = Holistic.Universe.build ta in
+      let run ?certs inc =
+        let limits = { limits with Holistic.Checker.jobs = 1; incremental = inc } in
+        Holistic.Checker.verify_with_universe ~limits ?certs u spec
+      in
+      let flat = run false in
+      let path = Filename.temp_file "holistic_bench_certs" ".jsonl" in
+      let oc = open_out path in
+      let sink = Holistic.Certs.create oc in
+      let inc = run ~certs:sink true in
+      close_out oc;
+      let certs, rejected, check_t = replay_certificates path in
+      Sys.remove path;
+      records :=
+        Printf.sprintf
+          {|    {"ta": %S, "property": %S, "outcome": %S, "schemas": %d, "skipped": %d, "core_prunes": %d, "steps_flat": %d, "steps_inc": %d, "cert_steps": %d, "certificates": %d, "emit_failed": %d, "rejected": %d, "check_time_us": %d}|}
+          ta_name spec.Ta.Spec.name (outcome_string inc)
+          inc.Holistic.Checker.stats.schemas_checked inc.stats.schemas_skipped
+          inc.stats.core_prunes flat.Holistic.Checker.stats.solver_steps
+          inc.stats.solver_steps
+          (Holistic.Certs.cert_steps sink)
+          certs
+          (Holistic.Certs.failed sink)
+          rejected
+          (int_of_float (check_t *. 1e6))
+        :: !records;
+      Printf.printf "%-14s %-12s %10d %10d %10d %6d %8d %8.1f\n%!" ta_name
+        spec.Ta.Spec.name flat.Holistic.Checker.stats.solver_steps
+        inc.Holistic.Checker.stats.solver_steps
+        (Holistic.Certs.cert_steps sink)
+        certs rejected (check_t *. 1e3))
+    cases;
+  let oc = open_out bench6_json_path in
+  Printf.fprintf oc "{\n  \"jobs\": 1,\n  \"mode\": %S,\n  \"results\": [\n%s\n  ]\n}\n"
+    (if quick then "quick" else "full")
+    (String.concat ",\n" (List.rev !records));
+  close_out oc;
+  Printf.printf "(wrote %s)\n" bench6_json_path;
+  print_newline ()
+
+(* ------------------------------------------------------------------ *)
 (* Section 3: Bechamel micro-benchmarks.                                *)
 
 let micro () =
@@ -352,6 +457,7 @@ let () =
   counterexample ();
   speedup ();
   incremental_comparison ();
+  certificates ();
   micro ();
   ablation ();
   print_endline "done."

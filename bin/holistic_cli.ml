@@ -204,8 +204,15 @@ let verify_cmd =
     Arg.(value & flag & info [ "force" ]
            ~doc:"Verify even when the static analyzer reports error-level diagnostics.")
   in
+  let emit_certs =
+    Arg.(value & opt (some string) None
+         & info [ "emit-certs" ] ~docv:"FILE"
+             ~doc:"Re-prove every UNSAT verdict on the certifying solver and append one \
+                   JSON line per certificate to this file, replayable with \
+                   $(b,holistic check-cert).  Forces the sequential engine (--jobs 1).")
+  in
   let run model spec_name broken max_schemas budget jobs incremental worker_stats slice
-      force checkpoint resume checkpoint_every =
+      force checkpoint resume checkpoint_every emit_certs =
     gate ~force ~broken model;
     install_interrupt_handlers ();
     ensure_checkpoint_dir checkpoint;
@@ -216,10 +223,15 @@ let verify_cmd =
         fst (Analysis.slice ~keep:(List.concat_map Analysis.spec_locations specs) ta)
       else ta
     in
+    (* Certificate emission lives in the sequential engines only: the
+       parallel pools would interleave lines from several domains. *)
+    let jobs = if emit_certs = None then jobs else 1 in
     let limits =
       { Holistic.Checker.default_limits with max_schemas; time_budget = budget; jobs;
         incremental }
     in
+    let cert_oc = Option.map open_out emit_certs in
+    let certs = Option.map Holistic.Certs.create cert_oc in
     (* The broken-resilience variant is a different automaton, so it must
        not share checkpoint files with the sound one (the fingerprint
        check would reject them anyway — fail early with distinct names). *)
@@ -232,12 +244,22 @@ let verify_cmd =
         in
         let r =
           Holistic.Checker.verify_with_universe ~limits ?checkpoint ~checkpoint_every
-            ~resume u spec
+            ~resume ?certs u spec
         in
         Format.printf "%a@." Holistic.Checker.pp_result r;
         if worker_stats then Format.printf "%a@?" Holistic.Checker.pp_worker_stats r)
       specs;
-    interrupt_exit ()
+    (match (emit_certs, certs, cert_oc) with
+    | Some path, Some sink, Some oc ->
+      close_out oc;
+      Format.printf "certificates: %d emitted, %d failed, %d certifying steps -> %s@."
+        (Holistic.Certs.emitted sink) (Holistic.Certs.failed sink)
+        (Holistic.Certs.cert_steps sink) path
+    | _ -> ());
+    interrupt_exit ();
+    match certs with
+    | Some sink when Holistic.Certs.failed sink > 0 -> exit 3
+    | _ -> ()
   in
   Cmd.v
     (Cmd.info "verify"
@@ -245,7 +267,7 @@ let verify_cmd =
              parameterized model checking).")
     Term.(const run $ model_arg $ spec_arg $ broken $ max_schemas $ budget $ jobs
           $ incremental_arg $ worker_stats $ slice $ force $ checkpoint_arg $ resume_arg
-          $ checkpoint_every_arg)
+          $ checkpoint_every_arg $ emit_certs)
 
 (* --- explicit ------------------------------------------------------ *)
 
@@ -465,6 +487,97 @@ let fuzz_cmd =
              a checker divergence is found.")
     Term.(const run $ seed $ runs $ profile $ json $ replay $ save)
 
+(* --- check-cert ----------------------------------------------------- *)
+
+let check_cert_cmd =
+  let file =
+    Arg.(required & pos 0 (some file) None & info [] ~docv:"FILE"
+           ~doc:"JSONL certificate file produced by $(b,holistic verify --emit-certs).")
+  in
+  let json =
+    Arg.(value & flag & info [ "json" ] ~doc:"Emit one JSON summary object.")
+  in
+  let run path json =
+    let module J = Jsonc in
+    let ic = open_in path in
+    let lines = ref [] in
+    (try
+       while true do
+         let l = input_line ic in
+         if String.trim l <> "" then lines := l :: !lines
+       done
+     with End_of_file -> close_in ic);
+    let lines = List.rev !lines in
+    let t0 = Unix.gettimeofday () in
+    let schemas = ref 0 and prefixes = ref 0 and span = ref 0 and failed = ref 0 in
+    List.iteri
+      (fun i line ->
+        let fail msg =
+          incr failed;
+          Printf.eprintf "check-cert: line %d: %s\n" (i + 1) msg
+        in
+        match
+          let j = J.of_string line in
+          let kind = J.to_str (J.member "kind" j) in
+          let atoms =
+            List.map Smt.Certificate.atom_of_json (J.to_list (J.member "atoms" j))
+          in
+          let branches =
+            if kind = "schema" then
+              List.map
+                (fun alts ->
+                  List.map
+                    (fun cube ->
+                      List.map Smt.Certificate.atom_of_json (J.to_list cube))
+                    (J.to_list alts))
+                (J.to_list (J.member "branches" j))
+            else []
+          in
+          let cert = Smt.Certificate.of_json (J.member "cert" j) in
+          (kind, atoms, branches, cert, j)
+        with
+        | exception J.Parse_error msg -> fail ("malformed line: " ^ msg)
+        | kind, atoms, branches, cert, j -> (
+          (match kind with
+          | "schema" ->
+            incr schemas;
+            incr span
+          | "prefix" ->
+            incr prefixes;
+            span := !span + J.to_int (J.member "span" j)
+          | k -> fail ("unknown certificate kind " ^ k));
+          match Smt.Certcheck.validate_query ~atoms ~branches cert with
+          | Ok () -> ()
+          | Error msg -> fail ("rejected: " ^ msg)))
+      lines;
+    let time = Unix.gettimeofday () -. t0 in
+    if json then
+      print_endline
+        (J.to_string
+           (J.Obj
+              [
+                ("file", J.Str path);
+                ("certificates", J.Int (List.length lines));
+                ("schemas", J.Int !schemas);
+                ("prefixes", J.Int !prefixes);
+                ("positions_covered", J.Int !span);
+                ("failed", J.Int !failed);
+                ("check_time_us", J.Int (int_of_float (time *. 1e6)));
+              ]))
+    else
+      Printf.printf
+        "check-cert: %d certificates (%d schemas, %d pruned prefixes; %d enumeration \
+         positions covered), %d rejected, %.3f s\n"
+        (List.length lines) !schemas !prefixes !span !failed time;
+    exit (if !failed > 0 then 1 else 0)
+  in
+  Cmd.v
+    (Cmd.info "check-cert"
+       ~doc:"Replay a certificate file against the standalone checker (exact rational \
+             arithmetic, no solver code): every line must refute its recorded query.  \
+             Exit code 1 when any certificate is rejected or malformed.")
+    Term.(const run $ file $ json)
+
 (* --- table2 -------------------------------------------------------- *)
 
 let table2_cmd =
@@ -561,5 +674,5 @@ let lint_cmd =
 let () =
   let doc = "Holistic verification of the Red Belly blockchain consensus (reproduction)" in
   exit (Cmd.eval (Cmd.group (Cmd.info "holistic" ~doc)
-                    [ info_cmd; lint_cmd; verify_cmd; explicit_cmd; dot_cmd; simulate_cmd;
-                      fuzz_cmd; lemma7_cmd; table2_cmd ]))
+                    [ info_cmd; lint_cmd; verify_cmd; check_cert_cmd; explicit_cmd;
+                      dot_cmd; simulate_cmd; fuzz_cmd; lemma7_cmd; table2_cmd ]))

@@ -41,6 +41,7 @@ type stats = {
   schemas_checked : int;
   schemas_skipped : int;
   subtrees_pruned : int;
+  core_prunes : int;
   prefix_hits : int;
   slots_total : int;
   solver_steps : int;
@@ -89,6 +90,7 @@ type run = {
   r_now : unit -> float;
   r_deadline : float option;
   r_failpoint : (int -> unit) option;  (* fault injection for crash tests *)
+  r_certs : Certs.sink option;  (* [--emit-certs]: sequential engines only *)
 }
 
 let make_stop run () =
@@ -110,31 +112,44 @@ let check_deadline run =
    hard query and gets one escalating retry (4x the budget); a timeout
    is never retried, the deadline has already passed. *)
 let solve_schema ?steps ~limits ?stop (encoded : Encode.encoded) =
+  (* Leaf conjunctions already refuted in an earlier attempt, keyed by
+     the path of alternative indices through the branch product.  UNSAT
+     is budget-independent, so the escalating retry can skip straight to
+     the alternative whose budget actually ran dry instead of re-proving
+     every refuted cube at 4x the cost. *)
+  let refuted = Hashtbl.create 8 in
   let attempt ~max_steps =
-    let rec go atoms branches =
+    let rec go path atoms branches =
       match branches with
-      | [] -> (
-        match Smt.Lia.solve ?steps ~max_steps ?stop atoms with
-        | Smt.Lia.Sat m -> `Sat m
-        | Smt.Lia.Unsat -> `Unsat
-        | Smt.Lia.Unknown -> `Unknown
-        | Smt.Lia.Timeout -> `Timeout)
+      | [] ->
+        if Hashtbl.mem refuted path then `Unsat
+        else (
+          match Smt.Lia.solve ?steps ~max_steps ?stop atoms with
+          | Smt.Lia.Sat m -> `Sat m
+          | Smt.Lia.Unsat ->
+            Hashtbl.replace refuted path ();
+            `Unsat
+          | Smt.Lia.Unknown -> `Unknown
+          | Smt.Lia.Timeout -> `Timeout)
       | alternatives :: rest ->
-        let rec try_alts = function
+        let rec try_alts i = function
           | [] -> `Unsat
           | cube :: others -> (
-            match go (cube @ atoms) rest with
+            match go (i :: path) (cube @ atoms) rest with
             | `Sat m -> `Sat m
             | (`Unknown | `Timeout) as r -> r
-            | `Unsat -> try_alts others)
+            | `Unsat -> try_alts (i + 1) others)
         in
-        try_alts alternatives
+        try_alts 0 alternatives
     in
     (* The conjunctive part is usually already unsatisfiable; only then
-       expand the justice case-split product. *)
-    match go encoded.atoms [] with
+       expand the justice case-split product.  Path [-1] keeps the
+       pre-pass apart from the branch leaves (whose paths are built from
+       nonnegative alternative indices). *)
+    match go [ -1 ] encoded.atoms [] with
     | (`Unsat | `Unknown | `Timeout) as r -> r
-    | `Sat m -> if encoded.branches = [] then `Sat m else go encoded.atoms encoded.branches
+    | `Sat m ->
+      if encoded.branches = [] then `Sat m else go [] encoded.atoms encoded.branches
   in
   match attempt ~max_steps:limits.lia_max_steps with
   | `Unknown -> attempt ~max_steps:(4 * limits.lia_max_steps)
@@ -176,6 +191,7 @@ let stats_plus_base (base : Journal.t) s =
     schemas_checked = s.schemas_checked + base.Journal.checked + base.Journal.skipped;
     schemas_skipped = s.schemas_skipped + base.Journal.skipped;
     subtrees_pruned = s.subtrees_pruned + base.Journal.pruned;
+    core_prunes = s.core_prunes + base.Journal.core_pruned;
     prefix_hits = s.prefix_hits + base.Journal.hits;
     slots_total = s.slots_total + base.Journal.slots;
     solver_steps = s.solver_steps + base.Journal.steps;
@@ -247,6 +263,9 @@ let verify_flat_sequential ~run u (spec : Ta.Spec.t) =
     solve_t := !solve_t +. st;
     match verdict with
     | `Unsat ->
+      (match run.r_certs with
+      | Some sink -> Certs.emit_schema sink ~position:!pos encoded
+      | None -> ());
       Journal.Tracker.note run.r_tracker ~start:!pos ~span:1
         {
           Journal.zero_delta with
@@ -315,6 +334,7 @@ let verify_flat_sequential ~run u (spec : Ta.Spec.t) =
         schemas_checked = max 0 (!pos - run.r_resume_from);
         schemas_skipped = 0;
         subtrees_pruned = 0;
+        core_prunes = 0;
         prefix_hits = 0;
         slots_total = !slots;
         solver_steps = !steps;
@@ -505,6 +525,7 @@ let verify_flat_parallel ~run u (spec : Ta.Spec.t) =
         schemas_checked;
         schemas_skipped = 0;
         subtrees_pruned = 0;
+        core_prunes = 0;
         prefix_hits = 0;
         slots_total;
         solver_steps;
@@ -548,6 +569,9 @@ type inc_tally = {
   mutable checked : int;
   mutable skipped : int;
   mutable pruned : int;
+  mutable core_pruned : int;
+      (* subset of [pruned]: sibling subtrees refuted by an unsat core
+         confined to shallower frames, skipped without any reach-check *)
   mutable slots : int;
   steps : int ref;
   hits : int ref;
@@ -570,6 +594,7 @@ let new_tally ~start ~resume_from =
     checked = 0;
     skipped = 0;
     pruned = 0;
+    core_pruned = 0;
     slots = 0;
     steps = ref 0;
     hits = ref 0;
@@ -637,6 +662,14 @@ let run_inc_subtree ~run u spec es lia c ~prefix_rev ~ctx0 ~obs0 =
   let ctx_stack = ref [ ctx0 ] in
   let obs_stack = ref [ obs0 ] in
   let stop = ref false in
+  (* [Some f]: the last reach-check's unsat core was confined to frames
+     [<= f] of the assertion stack, so the conjunction was already
+     infeasible at depth [f] and every node entered while the stack is
+     at depth [>= f] roots a refuted subtree.  While set, siblings are
+     skipped without even a reach-check (strictly stronger than the
+     prefix-UNSAT cut, which must still push and check each sibling);
+     cleared once the walk pops below frame [f]. *)
+  let prune_until = ref None in
   ignore
     (Schema.walk u spec ~ctx:ctx0 ~obs_mask:obs0
        ~on_enter:(fun ev ->
@@ -650,6 +683,41 @@ let run_inc_subtree ~run u spec es lia c ~prefix_rev ~ctx0 ~obs0 =
              c.abort_msg <- Some msg;
              stop := true;
              `Prune
+           | _ when !prune_until <> None -> begin
+             (* Core-guided sibling prune: the active core already
+                refutes every subtree at this depth, so the sessions are
+                not touched at all — no push, no reach-check, no prefix
+                hit.  Only the slot simulation runs, to account the
+                skipped schemas exactly as the flat engine would. *)
+             let ctx = List.hd !ctx_stack and obs = List.hd !obs_stack in
+             let ctx', obs' =
+               match ev with
+               | Schema.Unlock g -> (ctx lor (1 lsl g), obs)
+               | Schema.Observe i -> (ctx, obs lor (1 lsl i))
+             in
+             if accruing c then begin
+               c.pruned <- c.pruned + 1;
+               c.core_pruned <- c.core_pruned + 1;
+               c.pending <-
+                 Journal.add_delta c.pending
+                   { Journal.zero_delta with d_pruned = 1; d_core_pruned = 1 }
+             end;
+             let sim = Encode.Sim.push_event (Encode.Sim.of_session es) ev in
+             (* The parent prefix (which the core refutes) bounds every
+                schema of the skipped subtree; certify it, not the
+                never-asserted sibling extension. *)
+             let atoms =
+               if run.r_certs = None then [] else Encode.prefix_atoms es
+             in
+             let p0 = c.position in
+             count_subtree ~run u spec sim c ~ctx:ctx' ~obs_mask:obs';
+             (match run.r_certs with
+             | Some sink when c.position > p0 ->
+               Certs.emit_prefix sink ~position:p0 ~span:(c.position - p0) atoms
+             | _ -> ());
+             if c.abort_msg <> None then stop := true;
+             `Prune
+           end
            | _ -> begin
              let ctx = List.hd !ctx_stack and obs = List.hd !obs_stack in
              let ctx', obs' =
@@ -696,10 +764,25 @@ let run_inc_subtree ~run u spec es lia c ~prefix_rev ~ctx0 ~obs0 =
                    Journal.add_delta c.pending
                      { Journal.zero_delta with d_pruned = 1 }
                end;
+               (* When the unsat core never touches the frame just
+                  pushed, the conflict lives in a shallower prefix: arm
+                  the sibling prune so the remaining subtrees at every
+                  depth above the core's are skipped outright. *)
+               (match Smt.Lia.unsat_depth lia with
+               | Some f when f < Smt.Lia.depth lia -> prune_until := Some f
+               | _ -> ());
                let sim = Encode.Sim.of_session es in
+               let atoms =
+                 if run.r_certs = None then [] else Encode.prefix_atoms es
+               in
                Smt.Lia.pop lia;
                Encode.pop_event es;
+               let p0 = c.position in
                count_subtree ~run u spec sim c ~ctx:ctx' ~obs_mask:obs';
+               (match run.r_certs with
+               | Some sink when c.position > p0 ->
+                 Certs.emit_prefix sink ~position:p0 ~span:(c.position - p0) atoms
+               | _ -> ());
                if c.abort_msg <> None then stop := true;
                `Prune
              | Smt.Lia.Sat _ | Smt.Lia.Unknown | Smt.Lia.Timeout ->
@@ -714,7 +797,12 @@ let run_inc_subtree ~run u spec es lia c ~prefix_rev ~ctx0 ~obs0 =
          obs_stack := List.tl !obs_stack;
          rev_events := List.tl !rev_events;
          Smt.Lia.pop lia;
-         Encode.pop_event es)
+         Encode.pop_event es;
+         (* Below the core's frame the refutation no longer applies:
+            the node's siblings must be reach-checked normally again. *)
+         match !prune_until with
+         | Some f when Smt.Lia.depth lia < f -> prune_until := None
+         | _ -> ())
        ~on_schema:(fun () ->
          if !stop then false
          else if not (accruing c) then begin
@@ -753,6 +841,10 @@ let run_inc_subtree ~run u spec es lia c ~prefix_rev ~ctx0 ~obs0 =
                c.slots <- c.slots + encoded.Encode.n_slots;
                match verdict with
                | `Unsat ->
+                 (match run.r_certs with
+                 | Some sink ->
+                   Certs.emit_schema sink ~position:(c.position - 1) encoded
+                 | None -> ());
                  note_position ~run c
                    {
                      Journal.zero_delta with
@@ -835,7 +927,13 @@ let run_inc_job ~run u spec c ~prefix ~ctx ~obs_mask =
       c.pending <-
         Journal.add_delta c.pending { Journal.zero_delta with d_pruned = 1 }
     end;
-    count_subtree ~run u spec (Encode.Sim.of_session es) c ~ctx ~obs_mask
+    let atoms = if run.r_certs = None then [] else Encode.prefix_atoms es in
+    let p0 = c.position in
+    count_subtree ~run u spec (Encode.Sim.of_session es) c ~ctx ~obs_mask;
+    (match run.r_certs with
+    | Some sink when c.position > p0 ->
+      Certs.emit_prefix sink ~position:p0 ~span:(c.position - p0) atoms
+    | _ -> ())
   | Smt.Lia.Sat _ | Smt.Lia.Unknown | Smt.Lia.Timeout ->
     run_inc_subtree ~run u spec es lia c ~prefix_rev:(List.rev prefix) ~ctx0:ctx
       ~obs0:obs_mask
@@ -860,6 +958,7 @@ let verify_incremental_sequential ~run u (spec : Ta.Spec.t) =
         schemas_checked = consumed;
         schemas_skipped = c.skipped;
         subtrees_pruned = c.pruned;
+        core_prunes = c.core_pruned;
         prefix_hits = !(c.hits);
         slots_total = c.slots;
         solver_steps = !(c.steps);
@@ -918,6 +1017,7 @@ type inc_job_result = {
   ir_checked : int;
   ir_skipped : int;
   ir_pruned : int;
+  ir_core_pruned : int;
   ir_hits : int;
   ir_slots : int;
   ir_steps : int;
@@ -1124,6 +1224,7 @@ let verify_incremental_parallel ~run u (spec : Ta.Spec.t) =
       ir_checked = c.checked;
       ir_skipped = c.skipped;
       ir_pruned = c.pruned;
+      ir_core_pruned = c.core_pruned;
       ir_hits = !(c.hits);
       ir_slots = c.slots;
       ir_steps = !(c.steps);
@@ -1207,6 +1308,7 @@ let verify_incremental_parallel ~run u (spec : Ta.Spec.t) =
         schemas_checked = sum (fun r -> r.ir_schemas);
         schemas_skipped = sum (fun r -> r.ir_skipped);
         subtrees_pruned = sum (fun r -> r.ir_pruned);
+        core_prunes = sum (fun r -> r.ir_core_pruned);
         prefix_hits = sum (fun r -> r.ir_hits);
         slots_total = sum (fun r -> r.ir_slots);
         solver_steps = sum (fun r -> r.ir_steps);
@@ -1220,7 +1322,7 @@ let verify_incremental_parallel ~run u (spec : Ta.Spec.t) =
   { spec; outcome = partialize ~quarantined ~decided_at:!decided_at outcome; stats }
 
 let verify_with_universe ?(limits = default_limits) ?checkpoint ?(checkpoint_every = 64)
-    ?(resume = false) ?now ?failpoint u (spec : Ta.Spec.t) =
+    ?(resume = false) ?now ?failpoint ?certs u (spec : Ta.Spec.t) =
   let ta = Universe.automaton u in
   precheck ta spec;
   let fp = Journal.fingerprint ta spec in
@@ -1262,6 +1364,7 @@ let verify_with_universe ?(limits = default_limits) ?checkpoint ?(checkpoint_eve
       r_now = now;
       r_deadline = deadline;
       r_failpoint = failpoint;
+      r_certs = certs;
     }
   in
   let result =
@@ -1274,15 +1377,16 @@ let verify_with_universe ?(limits = default_limits) ?checkpoint ?(checkpoint_eve
   (* Always leave the last-good journal on disk: budget aborts, signal
      interrupts and decided runs all flush their final frontier. *)
   Journal.Tracker.flush tracker;
+  Option.iter Certs.flush certs;
   result
 
 let verify ?limits ?(slice = false) ?checkpoint ?checkpoint_every ?resume ?now
-    ?failpoint ta spec =
+    ?failpoint ?certs ta spec =
   let ta =
     if slice then fst (Analysis.slice ~keep:(Analysis.spec_locations spec) ta) else ta
   in
   verify_with_universe ?limits ?checkpoint ?checkpoint_every ?resume ?now ?failpoint
-    (Universe.build ta) spec
+    ?certs (Universe.build ta) spec
 
 let pp_result fmt r =
   let avg =
@@ -1291,8 +1395,10 @@ let pp_result fmt r =
   in
   let pp_inc fmt () =
     if r.stats.subtrees_pruned > 0 || r.stats.schemas_skipped > 0 then
-      Format.fprintf fmt ", %d skipped by %d pruned subtrees" r.stats.schemas_skipped
-        r.stats.subtrees_pruned
+      Format.fprintf fmt ", %d skipped by %d pruned subtrees%t" r.stats.schemas_skipped
+        r.stats.subtrees_pruned (fun fmt ->
+          if r.stats.core_prunes > 0 then
+            Format.fprintf fmt " (%d core-guided)" r.stats.core_prunes)
   in
   match r.outcome with
   | Holds ->

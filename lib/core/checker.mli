@@ -97,6 +97,11 @@ type stats = {
           unsatisfiable prefix pruned their subtree (0 for the flat
           engines) *)
   subtrees_pruned : int;  (** prefix-UNSAT subtree prunes (0 when flat) *)
+  core_prunes : int;
+      (** of those, sibling subtrees skipped without any reach-check
+          because the last conflict's unsat core was confined to frames
+          strictly below them — the core refutes every extension of the
+          shallower prefix, siblings included (0 when flat) *)
   prefix_hits : int;
       (** incremental reachability checks answered definitively by the
           prefix state — the propagated interval store or the cached
@@ -157,7 +162,14 @@ val interrupt_requested : unit -> bool
     only — statistics keep real wall-clock), making timeout aborts
     deterministic in tests.  [?failpoint] is called with each preorder
     position just before its discharge; a raising failpoint exercises
-    the retry/quarantine path ({!Partial}). *)
+    the retry/quarantine path ({!Partial}).
+
+    [?certs] attaches a certificate emission sink ({!Certs}): the
+    sequential engines re-prove every UNSAT verdict — discharged schema
+    or pruned prefix — on the certifying LIA engine and append one JSONL
+    line per verdict, replayable with [holistic check-cert].  The
+    parallel engines ignore the sink (drivers force [jobs = 1] when
+    emitting). *)
 val verify :
   ?limits:limits ->
   ?slice:bool ->
@@ -166,6 +178,7 @@ val verify :
   ?resume:bool ->
   ?now:(unit -> float) ->
   ?failpoint:(int -> unit) ->
+  ?certs:Certs.sink ->
   Ta.Automaton.t ->
   Ta.Spec.t ->
   result
@@ -180,6 +193,7 @@ val verify_with_universe :
   ?resume:bool ->
   ?now:(unit -> float) ->
   ?failpoint:(int -> unit) ->
+  ?certs:Certs.sink ->
   Universe.t ->
   Ta.Spec.t ->
   result

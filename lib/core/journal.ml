@@ -1,11 +1,12 @@
 module J = Jsonc
 
-let version = 1
+let version = 2
 
 type delta = {
   d_checked : int;
   d_skipped : int;
   d_pruned : int;
+  d_core_pruned : int;
   d_hits : int;
   d_slots : int;
   d_steps : int;
@@ -14,14 +15,15 @@ type delta = {
 }
 
 let zero_delta =
-  { d_checked = 0; d_skipped = 0; d_pruned = 0; d_hits = 0; d_slots = 0;
-    d_steps = 0; d_encode_us = 0; d_solve_us = 0 }
+  { d_checked = 0; d_skipped = 0; d_pruned = 0; d_core_pruned = 0; d_hits = 0;
+    d_slots = 0; d_steps = 0; d_encode_us = 0; d_solve_us = 0 }
 
 let add_delta a b =
   {
     d_checked = a.d_checked + b.d_checked;
     d_skipped = a.d_skipped + b.d_skipped;
     d_pruned = a.d_pruned + b.d_pruned;
+    d_core_pruned = a.d_core_pruned + b.d_core_pruned;
     d_hits = a.d_hits + b.d_hits;
     d_slots = a.d_slots + b.d_slots;
     d_steps = a.d_steps + b.d_steps;
@@ -35,6 +37,7 @@ type t = {
   checked : int;
   skipped : int;
   pruned : int;
+  core_pruned : int;
   hits : int;
   slots : int;
   steps : int;
@@ -58,6 +61,7 @@ let fresh ~fingerprint =
     checked = 0;
     skipped = 0;
     pruned = 0;
+    core_pruned = 0;
     hits = 0;
     slots = 0;
     steps = 0;
@@ -74,6 +78,7 @@ let apply j ~span delta =
     checked = j.checked + delta.d_checked;
     skipped = j.skipped + delta.d_skipped;
     pruned = j.pruned + delta.d_pruned;
+    core_pruned = j.core_pruned + delta.d_core_pruned;
     hits = j.hits + delta.d_hits;
     slots = j.slots + delta.d_slots;
     steps = j.steps + delta.d_steps;
@@ -95,6 +100,7 @@ let to_json (j : t) =
       ("checked", J.Int j.checked);
       ("skipped", J.Int j.skipped);
       ("pruned", J.Int j.pruned);
+      ("core_pruned", J.Int j.core_pruned);
       ("hits", J.Int j.hits);
       ("slots", J.Int j.slots);
       ("steps", J.Int j.steps);
@@ -117,6 +123,7 @@ let of_json json =
     checked = J.to_int (m "checked");
     skipped = J.to_int (m "skipped");
     pruned = J.to_int (m "pruned");
+    core_pruned = J.to_int (m "core_pruned");
     hits = J.to_int (m "hits");
     slots = J.to_int (m "slots");
     steps = J.to_int (m "steps");

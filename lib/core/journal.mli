@@ -19,6 +19,7 @@ type delta = {
   d_checked : int;
   d_skipped : int;
   d_pruned : int;
+  d_core_pruned : int;
   d_hits : int;
   d_slots : int;
   d_steps : int;
@@ -36,6 +37,7 @@ type t = {
   checked : int;
   skipped : int;
   pruned : int;
+  core_pruned : int;
   hits : int;
   slots : int;
   steps : int;

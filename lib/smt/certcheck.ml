@@ -1,0 +1,209 @@
+module Q = Numbers.Rational
+module B = Numbers.Bigint
+module C = Certificate
+
+let ( let* ) = Result.bind
+
+let fail fmt = Format.kasprintf (fun msg -> Error msg) fmt
+
+(* ------------------------------------------------------------------ *)
+(* Independent re-implementations of the integer inference steps the
+   solver may take on an input atom.  Deliberately not shared with
+   {!Lia}: the checker must not trust the code it audits. *)
+
+(* Scale an expression by the lcm of its denominators: a positive
+   factor, so relations are preserved. *)
+let integerize expr =
+  let denoms =
+    Q.den (Linexpr.constant expr)
+    :: List.map (fun (c, _) -> Q.den c) (Linexpr.terms expr)
+  in
+  let l = List.fold_left B.lcm B.one denoms in
+  if B.equal l B.one then expr else Linexpr.scale (Q.of_bigint l) expr
+
+(* [e < 0] over integer coefficients is [e + 1 <= 0]. *)
+let normalize (a : Atom.t) : Atom.t =
+  let expr = integerize a.expr in
+  match a.rel with
+  | Atom.Lt -> { Atom.expr = Linexpr.add_const Q.one expr; rel = Atom.Le }
+  | Atom.Le | Atom.Eq -> { a with expr }
+
+let coeff_gcd expr =
+  List.fold_left (fun acc (c, _) -> B.gcd acc (Q.to_bigint c)) B.zero
+    (Linexpr.terms expr)
+
+(* GCD tightening of a normalized atom: for [a.x + k <= 0] with
+   g = gcd(a), integer solutions also satisfy [a/g.x + ceil(k/g) <= 0];
+   an equality requires g | k.  Returns [None] when an equality has a
+   divisibility conflict (the inference {!Certificate.Div_conflict}
+   claims). *)
+let tighten (a : Atom.t) : Atom.t option =
+  match Linexpr.terms a.expr with
+  | [] -> Some a
+  | coeffs ->
+    let g = coeff_gcd a.expr in
+    if B.equal g B.one then Some a
+    else begin
+      let k = Q.to_bigint (Linexpr.constant a.expr) in
+      match a.rel with
+      | Atom.Eq ->
+        if B.is_zero (B.rem k g) then
+          Some { a with expr = Linexpr.scale (Q.make B.one g) a.expr }
+        else None
+      | Atom.Le ->
+        let terms = List.map (fun (c, v) -> (Q.make (Q.to_bigint c) g, v)) coeffs in
+        Some { a with expr = Linexpr.of_terms terms (Q.of_bigint (B.cdiv k g)) }
+      | Atom.Lt -> Some a (* normalized atoms are never strict *)
+    end
+
+(* The integer-equivalent forms of an input atom a premise may cite:
+   the input itself, its normalization, and the tightened
+   normalization. *)
+let derivations (a : Atom.t) =
+  let n = normalize a in
+  match tighten n with Some t -> [ a; n; t ] | None -> [ a; n ]
+
+(* ------------------------------------------------------------------ *)
+
+let cut_atom ~var ~pivot ~side =
+  match side with
+  | `Low ->
+    (* x - pivot <= 0 *)
+    { Atom.expr = Linexpr.add_term Q.one var (Linexpr.const (Q.neg (Q.of_bigint pivot)));
+      rel = Atom.Le }
+  | `High ->
+    (* pivot + 1 - x <= 0 *)
+    { Atom.expr =
+        Linexpr.add_term Q.minus_one var
+          (Linexpr.const (Q.of_bigint (B.succ pivot)));
+      rel = Atom.Le }
+
+let check_premise inputs cuts (p : C.premise) =
+  let* () =
+    match (p.atom.Atom.rel, Q.sign p.coeff) with
+    | (Atom.Le | Atom.Lt), s when s < 0 ->
+      fail "negative Farkas multiplier %s on inequality premise %s"
+        (Q.to_string p.coeff) (Atom.to_string p.atom)
+    | _ -> Ok ()
+  in
+  match p.reason with
+  | C.Input i ->
+    if i < 0 || i >= Array.length inputs then fail "premise cites input %d out of range" i
+    else if List.exists (Atom.equal p.atom) (derivations inputs.(i)) then Ok ()
+    else
+      fail "premise %s is not a recognized derivation of input %d (%s)"
+        (Atom.to_string p.atom) i
+        (Atom.to_string inputs.(i))
+  | C.Cut d ->
+    if d < 0 || d >= Array.length cuts then
+      fail "premise cites cut %d but only %d branch ancestors exist" d
+        (Array.length cuts)
+    else if Atom.equal p.atom cuts.(d) then Ok ()
+    else
+      fail "premise %s does not match the cut %s introduced at branch depth %d"
+        (Atom.to_string p.atom) (Atom.to_string cuts.(d)) d
+
+let check_farkas inputs cuts premises =
+  if premises = [] then fail "empty Farkas combination"
+  else begin
+    let rec all = function
+      | [] -> Ok ()
+      | p :: rest ->
+        let* () = check_premise inputs cuts p in
+        all rest
+    in
+    let* () = all premises in
+    let sum =
+      List.fold_left
+        (fun acc (p : C.premise) ->
+          Linexpr.add acc (Linexpr.scale p.coeff p.atom.Atom.expr))
+        Linexpr.zero premises
+    in
+    if not (Linexpr.is_const sum) then
+      fail "Farkas combination does not cancel the variables: %s"
+        (Linexpr.to_string sum)
+    else begin
+      let k = Linexpr.constant sum in
+      let strict =
+        List.exists
+          (fun (p : C.premise) -> p.atom.Atom.rel = Atom.Lt && Q.sign p.coeff > 0)
+          premises
+      in
+      if Q.sign k > 0 || (Q.is_zero k && strict) then Ok ()
+      else
+        fail "Farkas combination sums to %s %s 0: no contradiction" (Q.to_string k)
+          (if strict then "<" else "<=")
+    end
+  end
+
+let check_div inputs index atom =
+  if index < 0 || index >= Array.length inputs then
+    fail "div-conflict cites input %d out of range" index
+  else begin
+    let n = normalize inputs.(index) in
+    if not (Atom.equal atom n) then
+      fail "div-conflict atom %s is not the normalization of input %d (%s)"
+        (Atom.to_string atom) index
+        (Atom.to_string n)
+    else if n.Atom.rel <> Atom.Eq then
+      fail "div-conflict on non-equality input %d" index
+    else begin
+      let g = coeff_gcd n.Atom.expr in
+      let k = Q.to_bigint (Linexpr.constant n.Atom.expr) in
+      if B.is_zero g then fail "div-conflict on constant input %d" index
+      else if B.is_zero (B.rem k g) then
+        fail "no divisibility conflict in input %d: %s divides %s" index
+          (B.to_string g) (B.to_string k)
+      else Ok ()
+    end
+  end
+
+let atoms_match claimed expected =
+  List.length claimed = List.length expected
+  && List.for_all2 Atom.equal claimed expected
+
+let validate_query ~atoms ~branches cert =
+  (* [inputs] is the extended atom array (base atoms, then the cube
+     atoms of every Split case entered, in order); [cuts] the cut atoms
+     of the enclosing Branch nodes by depth. *)
+  let rec go inputs cuts branches cert =
+    match cert with
+    | C.Farkas ps -> check_farkas inputs cuts ps
+    | C.Div_conflict { index; atom } -> check_div inputs index atom
+    | C.Branch { var; pivot; low; high } ->
+      let with_cut side c =
+        go inputs (Array.append cuts [| cut_atom ~var ~pivot ~side |]) branches c
+      in
+      let* () = with_cut `Low low in
+      with_cut `High high
+    | C.Split { cubes; certs } -> (
+      if Array.length cuts > 0 then
+        fail "Split below a Branch node is not a valid refutation shape"
+      else
+        match branches with
+        | [] -> fail "Split with no pending branch entry"
+        | entry :: rest ->
+          if not
+               (List.length cubes = List.length entry
+                && List.for_all2 atoms_match cubes entry)
+          then fail "Split cubes do not match the query's branch entry"
+          else if List.length certs <> List.length cubes then
+            fail "Split has %d certificates for %d cubes" (List.length certs)
+              (List.length cubes)
+          else begin
+            let rec cases cubes certs =
+              match (cubes, certs) with
+              | [], [] -> Ok ()
+              | cube :: cubes, cert :: certs ->
+                let* () =
+                  go (Array.append inputs (Array.of_list cube)) cuts rest cert
+                in
+                cases cubes certs
+              | _ -> assert false
+            in
+            cases cubes certs
+          end)
+  in
+  go (Array.of_list atoms) [||] branches cert
+
+let validate atoms cert = validate_query ~atoms ~branches:[] cert

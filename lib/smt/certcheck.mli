@@ -1,0 +1,30 @@
+(** Standalone certificate checker: replays a {!Certificate.t} against
+    the input atoms it claims to refute, using exact rational arithmetic
+    ({!Numbers}) and nothing from the solver — no {!Simplex}, {!Lia},
+    {!Sat} or {!Solver} code is involved.  The integer-reasoning steps
+    the solver is allowed to take (strict-to-non-strict normalization,
+    GCD tightening, divisibility conflicts, branch cuts) are
+    re-implemented here from their definitions, so a bug in the solver's
+    versions cannot vouch for itself.
+
+    Soundness of an accepted certificate (see DESIGN.md): every premise
+    of a [Farkas] leaf is checked to be an integer consequence of the
+    referenced input (or of a cut reconstructed from the enclosing
+    [Branch] nodes), the Farkas multipliers have the right signs, the
+    variables of the combination cancel exactly, and the resulting
+    constant is a contradiction.  [Branch]/[Split] nodes cover their
+    cases exhaustively by construction. *)
+
+(** [validate_query ~atoms ~branches cert] checks that [cert] refutes
+    the query "[atoms] all hold, and for each entry of [branches] at
+    least one alternative cube holds" over the integers.  Returns
+    [Error msg] with the first violation found. *)
+val validate_query :
+  atoms:Atom.t list ->
+  branches:Atom.t list list list ->
+  Certificate.t ->
+  (unit, string) result
+
+(** [validate atoms cert] is {!validate_query} with no branch entries:
+    [cert] must refute the plain conjunction of [atoms]. *)
+val validate : Atom.t list -> Certificate.t -> (unit, string) result

@@ -165,14 +165,40 @@ module Canon = Hashtbl.Make (struct
   let hash (a : Atom.t) = (Linexpr.hash a.expr * 3) + Hashtbl.hash a.rel
 end)
 
+(* Unsat cores are sets of log indices (the assert-order position of an
+   atom).  [None] means "provenance lost" — an untracked participant or a
+   core that outgrew the cap — and degrades gracefully to "assume the
+   newest frame is involved".  The cap bounds the cost of the sorted-set
+   unions on pathological propagation chains. *)
+let core_cap = 64
+
+let union_core a b =
+  match (a, b) with
+  | Some xs, Some ys ->
+    let u = List.sort_uniq compare (List.rev_append xs ys) in
+    if List.length u > core_cap then None else Some u
+  | _ -> None
+
+(* Tag namespace for branch-and-bound cuts asserted into the simplex
+   session: disjoint from log indices, so conflict explanations can tell
+   input atoms from cuts.  The cut for branch depth [d] is tagged
+   [cut_base + d]. *)
+let cut_base = max_int / 2
+
 type frame = {
   saved_len : int;
   saved_infeasible : bool;
+  saved_why : int list option;
   saved_trail : int;
   mutable added : Atom.t list;  (** canonical keys to retract from [seen] *)
 }
 
-type var_bounds = { mutable lo : B.t option; mutable hi : B.t option }
+type var_bounds = {
+  mutable lo : B.t option;
+  mutable hi : B.t option;
+  mutable lo_core : int list option;  (** log indices the bound rests on *)
+  mutable hi_core : int list option;
+}
 
 type session = {
   sx : Simplex.Session.t;
@@ -181,12 +207,17 @@ type session = {
   mutable len : int;
   mutable frames : frame list;
   mutable infeasible : bool;
+  mutable why : int list option;
+      (** when [infeasible]: an unsat core over log indices *)
+  depths : (int, int) Hashtbl.t;
+      (** log index -> assertion-stack depth at assert time *)
   mutable model : (int * B.t) list option;  (** last satisfying model *)
   mutable model_valid_upto : int;  (** log prefix the model is known to satisfy *)
   bounds : (int, var_bounds) Hashtbl.t;
       (** interval store maintained by assert-time propagation *)
-  mutable trail : (int * B.t option * B.t option) list;
-      (** bound updates to undo on pop: (var, old lo, old hi) *)
+  mutable trail :
+    (int * B.t option * B.t option * int list option * int list option) list;
+      (** bound updates to undo on pop: (var, old lo, old hi, old cores) *)
   mutable trail_len : int;
 }
 
@@ -198,6 +229,8 @@ let create () =
     len = 0;
     frames = [];
     infeasible = false;
+    why = None;
+    depths = Hashtbl.create 256;
     model = None;
     model_valid_upto = 0;
     bounds = Hashtbl.create 64;
@@ -210,6 +243,7 @@ let push s =
   s.frames <-
     { saved_len = s.len;
       saved_infeasible = s.infeasible;
+      saved_why = s.why;
       saved_trail = s.trail_len;
       added = [] }
     :: s.frames
@@ -225,17 +259,47 @@ let pop s =
     s.len <- frame.saved_len;
     s.model_valid_upto <- min s.model_valid_upto s.len;
     s.infeasible <- frame.saved_infeasible;
+    s.why <- frame.saved_why;
     while s.trail_len > frame.saved_trail do
       match s.trail with
       | [] -> assert false
-      | (v, lo, hi) :: rest ->
+      | (v, lo, hi, lo_core, hi_core) :: rest ->
         let b = Hashtbl.find s.bounds v in
         b.lo <- lo;
         b.hi <- hi;
+        b.lo_core <- lo_core;
+        b.hi_core <- hi_core;
         s.trail <- rest;
         s.trail_len <- s.trail_len - 1
     done;
     s.frames <- rest
+
+let depth s = List.length s.frames
+
+(* Map an unsat core to the deepest assertion-stack frame it touches:
+   atoms at depths beyond that frame are irrelevant to the conflict, so
+   the conjunction was already infeasible there. *)
+let core_depth s core =
+  match core with
+  | None -> None
+  | Some tags ->
+    Some
+      (List.fold_left
+         (fun acc t ->
+           match Hashtbl.find_opt s.depths t with
+           | Some d -> max acc d
+           | None -> max acc max_int)
+         0 tags)
+
+let mark_infeasible s why =
+  if not s.infeasible then begin
+    s.infeasible <- true;
+    s.why <- why
+  end
+
+let unsat_core s = if s.infeasible then s.why else None
+
+let unsat_depth s = if s.infeasible then core_depth s s.why else None
 
 (* ------------------------------------------------------------------ *)
 (* Assert-time interval propagation.  A cheap, sound refutation layer
@@ -253,41 +317,45 @@ let var_bounds_of s v =
   match Hashtbl.find_opt s.bounds v with
   | Some b -> b
   | None ->
-    let b = { lo = None; hi = None } in
+    let b = { lo = None; hi = None; lo_core = None; hi_core = None } in
     Hashtbl.add s.bounds v b;
     b
 
 let record s v (b : var_bounds) =
-  s.trail <- (v, b.lo, b.hi) :: s.trail;
+  s.trail <- (v, b.lo, b.hi, b.lo_core, b.hi_core) :: s.trail;
   s.trail_len <- s.trail_len + 1
 
-let improve_lo s v x =
+let improve_lo s v x ~core =
   let b = var_bounds_of s v in
   match b.lo with
   | Some l when B.compare l x >= 0 -> false
   | _ ->
     record s v b;
     b.lo <- Some x;
+    b.lo_core <- core;
     (match b.hi with
-     | Some h when B.compare x h > 0 -> s.infeasible <- true
+     | Some h when B.compare x h > 0 -> mark_infeasible s (union_core core b.hi_core)
      | _ -> ());
     true
 
-let improve_hi s v x =
+let improve_hi s v x ~core =
   let b = var_bounds_of s v in
   match b.hi with
   | Some h when B.compare h x <= 0 -> false
   | _ ->
     record s v b;
     b.hi <- Some x;
+    b.hi_core <- core;
     (match b.lo with
-     | Some l when B.compare l x > 0 -> s.infeasible <- true
+     | Some l when B.compare l x > 0 -> mark_infeasible s (union_core core b.lo_core)
      | _ -> ());
     true
 
 (* Propagate one [expr <= 0] atom (integer coefficients); returns true
-   if some interval was tightened. *)
-let propagate_le s expr =
+   if some interval was tightened.  [core] is the asserting atom's own
+   core (its log index); derived bounds carry the union of it and the
+   cores of every bound used to derive them. *)
+let propagate_le s ~core expr =
   let terms = List.map (fun (c, v) -> (Q.to_bigint c, v)) (Linexpr.terms expr) in
   let k = Q.to_bigint (Linexpr.constant expr) in
   let improved = ref false in
@@ -300,39 +368,45 @@ let propagate_le s expr =
           (fun acc (ci, xi) ->
             match acc with
             | None -> None
-            | Some sum ->
-              if xi = xj then Some sum
+            | Some (sum, used) ->
+              if xi = xj then Some (sum, used)
               else
                 let b = var_bounds_of s xi in
                 let contrib =
                   if B.sign ci > 0 then
-                    match b.lo with Some l -> Some (B.mul ci l) | None -> None
-                  else match b.hi with Some h -> Some (B.mul ci h) | None -> None
+                    match b.lo with
+                    | Some l -> Some (B.mul ci l, b.lo_core)
+                    | None -> None
+                  else
+                    match b.hi with
+                    | Some h -> Some (B.mul ci h, b.hi_core)
+                    | None -> None
                 in
                 (match contrib with
-                 | Some c -> Some (B.add sum c)
+                 | Some (c, cr) -> Some (B.add sum c, union_core used cr)
                  | None -> None))
-          (Some B.zero) terms
+          (Some (B.zero, core))
+          terms
       in
       match rest with
       | None -> ()
-      | Some sum ->
+      | Some (sum, used) ->
         let rhs = B.sub (B.neg k) sum in
         if B.sign cj > 0 then begin
-          if improve_hi s xj (B.fdiv rhs cj) then improved := true
+          if improve_hi s xj (B.fdiv rhs cj) ~core:used then improved := true
         end
-        else if improve_lo s xj (B.cdiv rhs cj) then improved := true)
+        else if improve_lo s xj (B.cdiv rhs cj) ~core:used then improved := true)
     terms;
   !improved
 
-let propagate_atom s (a : Atom.t) =
+let propagate_atom s ~core (a : Atom.t) =
   match a.rel with
-  | Atom.Le -> propagate_le s a.expr
+  | Atom.Le -> propagate_le s ~core a.expr
   | Atom.Eq ->
-    let fwd = propagate_le s a.expr in
-    let bwd = propagate_le s (Linexpr.neg a.expr) in
+    let fwd = propagate_le s ~core a.expr in
+    let bwd = propagate_le s ~core (Linexpr.neg a.expr) in
     fwd || bwd
-  | Atom.Lt -> propagate_le s (Linexpr.add_const Q.one a.expr)
+  | Atom.Lt -> propagate_le s ~core (Linexpr.add_const Q.one a.expr)
 
 (* Run propagation to a bounded fixpoint over the live conjunction.
    The round cap keeps slowly-converging chains from dominating assert
@@ -343,38 +417,67 @@ let max_propagation_rounds = 16
 let propagate_fixpoint s =
   let rec loop rounds =
     if rounds > 0 && not s.infeasible then begin
-      let improved = List.fold_left (fun acc a -> propagate_atom s a || acc) false s.log in
+      let improved =
+        List.fold_left
+          (fun (i, acc) a ->
+            let tag = s.len - 1 - i in
+            (i + 1, propagate_atom s ~core:(Some [ tag ]) a || acc))
+          (0, false) s.log
+        |> snd
+      in
       if improved then loop (rounds - 1)
     end
   in
   loop max_propagation_rounds
+
+(* Register a freshly logged atom with the dedup/frame bookkeeping and
+   the provenance tables, returning its tag (log index). *)
+let log_atom s key a =
+  Canon.replace s.seen key ();
+  (match s.frames with
+   | [] -> ()  (* base level: permanent, never retracted *)
+   | frame :: _ -> frame.added <- key :: frame.added);
+  let tag = s.len in
+  s.log <- a :: s.log;
+  s.len <- s.len + 1;
+  Hashtbl.replace s.depths tag (depth s);
+  tag
 
 let assert_atoms s atoms =
   let fresh = ref false in
   List.iter
     (fun a ->
       if not s.infeasible then begin
-        match
-          let a = normalize a in
-          tighten a
-        with
-        | exception Infeasible -> s.infeasible <- true
+        let normalized = normalize a in
+        match tighten normalized with
+        | exception Infeasible ->
+          (* The divisibility conflict is the atom alone: log it so the
+             core can cite it. *)
+          let tag = log_atom s (Atom.canonical normalized) normalized in
+          mark_infeasible s (Some [ tag ])
         | a -> (
           match Atom.trivial a with
           | Some true -> ()
-          | Some false -> s.infeasible <- true
+          | Some false ->
+            let tag = log_atom s (Atom.canonical a) a in
+            mark_infeasible s (Some [ tag ])
           | None ->
             let key = Atom.canonical a in
             if not (Canon.mem s.seen key) then begin
-              Canon.replace s.seen key ();
-              (match s.frames with
-               | [] -> ()  (* base level: permanent, never retracted *)
-               | frame :: _ -> frame.added <- key :: frame.added);
-              s.log <- a :: s.log;
-              s.len <- s.len + 1;
-              Simplex.Session.assert_atom s.sx a;
-              ignore (propagate_atom s a);
-              fresh := true
+              let tag = log_atom s key a in
+              Simplex.Session.assert_atom ~tag s.sx a;
+              if Simplex.Session.is_infeasible s.sx then begin
+                let why =
+                  match Simplex.Session.infeasible_expl s.sx with
+                  | None -> None
+                  | Some expl -> Some (List.map fst expl)
+                in
+                mark_infeasible s why
+              end
+              else begin
+                ignore (propagate_atom s ~core:(Some [ tag ]) a);
+                fresh := true
+              end
             end)
       end)
     atoms;
@@ -453,12 +556,27 @@ let check ?steps ?hits ?(max_steps = 20_000) ?stop s =
       finish (Sat m)
     | None -> (
       let vars = List.concat_map Atom.vars s.log |> List.sort_uniq compare in
+      (* Union of input tags across every refuted leaf of the B&B tree:
+         cuts are existentially discharged by the case split, so dropping
+         them leaves a core over asserted atoms. *)
+      let core_acc = ref (Some []) in
+      let note_conflict expl =
+        let leaf =
+          match expl with
+          | None -> None
+          | Some e ->
+            Some (List.filter_map (fun (t, _) -> if t < cut_base then Some t else None) e)
+        in
+        core_acc := union_core !core_acc leaf
+      in
       let rec branch cuts depth =
         if stopped () then raise Simplex.Timeout;
         if !budget <= 0 || depth > 600 then raise Budget;
         decr budget;
         match Simplex.Session.check ?stop s.sx with
-        | `Unsat -> None
+        | `Unsat expl ->
+          note_conflict expl;
+          None
         | `Sat -> (
           match concretize s cuts vars with
           | None -> raise Budget
@@ -481,7 +599,7 @@ let check ?steps ?hits ?(max_steps = 20_000) ?stop s =
               in
               let try_cut c =
                 Simplex.Session.push s.sx;
-                Simplex.Session.assert_atom s.sx c;
+                Simplex.Session.assert_atom ~tag:(cut_base + depth) s.sx c;
                 let r =
                   match branch (c :: cuts) (depth + 1) with
                   | r -> r
@@ -497,7 +615,9 @@ let check ?steps ?hits ?(max_steps = 20_000) ?stop s =
       match branch [] 0 with
       | exception Budget -> finish Unknown
       | exception Simplex.Timeout -> finish Timeout
-      | None -> finish Unsat
+      | None ->
+        mark_infeasible s !core_acc;
+        finish Unsat
       | Some model ->
         let m = List.map (fun (v, q) -> (v, Q.to_bigint q)) model in
         s.model <- Some m;
@@ -512,3 +632,192 @@ let check_model atoms model =
     | None -> Q.zero
   in
   List.for_all (Atom.holds assign) atoms
+
+(* ------------------------------------------------------------------ *)
+(* Certifying engine: branch-and-bound over a fresh tagged session
+   where every simplex conflict is turned into a Farkas leaf and every
+   integer case split into a [Certificate.Branch] node.  Equality
+   elimination and interval propagation are deliberately absent — each
+   refutation must be expressible in the certificate grammar alone. *)
+
+type cert_result =
+  | Cert_sat of (int * B.t) list
+  | Cert_unsat of Certificate.t
+  | Cert_unknown
+  | Cert_timeout
+
+let rec cert_uses_cut d = function
+  | Certificate.Farkas ps ->
+    List.exists (fun (p : Certificate.premise) -> p.reason = Certificate.Cut d) ps
+  | Certificate.Div_conflict _ -> false
+  | Certificate.Branch { low; high; _ } -> cert_uses_cut d low || cert_uses_cut d high
+  | Certificate.Split { certs; _ } -> List.exists (cert_uses_cut d) certs
+
+(* A backjump hoists a child certificate past the dropped cut at depth
+   [d]: cut citations above [d] shift down one position to match the
+   checker's Branch-relative numbering. *)
+let rec remap_cuts d = function
+  | Certificate.Farkas ps ->
+    Certificate.Farkas
+      (List.map
+         (fun (p : Certificate.premise) ->
+           match p.reason with
+           | Certificate.Cut j when j > d -> { p with reason = Certificate.Cut (j - 1) }
+           | _ -> p)
+         ps)
+  | Certificate.Div_conflict _ as c -> c
+  | Certificate.Branch b ->
+    Certificate.Branch { b with low = remap_cuts d b.low; high = remap_cuts d b.high }
+  | Certificate.Split sp ->
+    Certificate.Split { sp with certs = List.map (remap_cuts d) sp.certs }
+
+let solve_cert ?steps ?(max_steps = 20_000) ?stop atoms =
+  let budget = ref max_steps in
+  let finish result =
+    (match steps with Some r -> r := !r + (max_steps - !budget) | None -> ());
+    result
+  in
+  let stopped () = match stop with Some f -> f () | None -> false in
+  let inputs = Array.of_list atoms in
+  let all_vars = List.concat_map Atom.vars atoms |> List.sort_uniq compare in
+  let sx = Simplex.Session.create () in
+  let asserted = Hashtbl.create 16 in
+  (* [cuts] is the branch path, newest first; a conflict explanation maps
+     back to premise atoms through [asserted] (inputs) and [cuts]. *)
+  let farkas_of cuts expl =
+    let ncuts = List.length cuts in
+    Option.map
+      (fun e ->
+        Certificate.Farkas
+          (List.map
+             (fun (t, lam) ->
+               if t >= cut_base then
+                 let d = t - cut_base in
+                 { Certificate.coeff = lam;
+                   atom = List.nth cuts (ncuts - 1 - d);
+                   reason = Certificate.Cut d }
+               else
+                 { Certificate.coeff = lam;
+                   atom = Hashtbl.find asserted t;
+                   reason = Certificate.Input t })
+             e))
+      expl
+  in
+  let concretize cuts =
+    let deltas = List.map (fun v -> (v, Simplex.Session.value sx v)) all_vars in
+    let live = Hashtbl.fold (fun _ a acc -> a :: acc) asserted cuts in
+    let rec go d tries =
+      if tries = 0 then None
+      else begin
+        let assign v =
+          match List.assoc_opt v deltas with
+          | Some { Delta.r; d = k } -> Q.add r (Q.mul k d)
+          | None -> Q.zero
+        in
+        if List.for_all (Atom.holds assign) live then
+          Some (List.map (fun (v, _) -> (v, assign v)) deltas)
+        else go (Q.div d (Q.of_int 2)) (tries - 1)
+      end
+    in
+    go Q.one 4096
+  in
+  match
+    let conflict = ref None in
+    Array.iteri
+      (fun i a ->
+        if !conflict = None then begin
+          let a_n = normalize a in
+          match Atom.trivial a_n with
+          | Some true -> ()
+          | Some false ->
+            (* A trivially false equality can carry a constant of either
+               sign; the multiplier must match it so the combination's
+               constant comes out positive. *)
+            let coeff =
+              if Q.sign (Linexpr.constant a_n.Atom.expr) < 0 then Q.minus_one
+              else Q.one
+            in
+            conflict :=
+              Some
+                (Certificate.Farkas
+                   [ { Certificate.coeff; atom = a_n; reason = Certificate.Input i } ])
+          | None -> (
+            match tighten a_n with
+            | exception Infeasible ->
+              conflict := Some (Certificate.Div_conflict { index = i; atom = a_n })
+            | a_t ->
+              Hashtbl.replace asserted i a_t;
+              Simplex.Session.assert_atom ~tag:i sx a_t;
+              if Simplex.Session.is_infeasible sx then begin
+                match farkas_of [] (Simplex.Session.infeasible_expl sx) with
+                | Some c -> conflict := Some c
+                | None -> raise Budget
+              end)
+        end)
+      inputs;
+    match !conflict with
+    | Some c -> `Unsat c
+    | None ->
+      let rec branch cuts depth =
+        if stopped () then raise Simplex.Timeout;
+        if !budget <= 0 || depth > 600 then raise Budget;
+        decr budget;
+        match Simplex.Session.check ?stop sx with
+        | `Unsat expl -> (
+          match farkas_of cuts expl with Some c -> `Unsat c | None -> raise Budget)
+        | `Sat -> (
+          match concretize cuts with
+          | None -> raise Budget
+          | Some model -> (
+            match List.find_opt (fun (_, q) -> fractional q) model with
+            | None -> `Sat model
+            | Some (v, q) -> (
+              let f = Q.floor q in
+              let low =
+                { Atom.expr =
+                    Linexpr.sub (Linexpr.var v) (Linexpr.const (Q.of_bigint f));
+                  rel = Atom.Le }
+              in
+              let high =
+                { Atom.expr =
+                    Linexpr.sub
+                      (Linexpr.const (Q.of_bigint (B.succ f)))
+                      (Linexpr.var v);
+                  rel = Atom.Le }
+              in
+              let explore c =
+                Simplex.Session.push sx;
+                Simplex.Session.assert_atom ~tag:(cut_base + depth) sx c;
+                let r =
+                  match branch (c :: cuts) (depth + 1) with
+                  | r -> r
+                  | exception e ->
+                    Simplex.Session.pop sx;
+                    raise e
+                in
+                Simplex.Session.pop sx;
+                r
+              in
+              match explore low with
+              | `Sat m -> `Sat m
+              | `Unsat c_low -> (
+                if not (cert_uses_cut depth c_low) then
+                  (* Backjump: the low refutation never used the cut, so
+                     it refutes the parent context outright. *)
+                  `Unsat (remap_cuts depth c_low)
+                else
+                  match explore high with
+                  | `Sat m -> `Sat m
+                  | `Unsat c_high ->
+                    if not (cert_uses_cut depth c_high) then
+                      `Unsat (remap_cuts depth c_high)
+                    else
+                      `Unsat
+                        (Certificate.Branch { var = v; pivot = f; low = c_low; high = c_high })))))
+      in
+      branch [] 0
+  with
+  | `Sat model -> finish (Cert_sat (List.map (fun (v, q) -> (v, Q.to_bigint q)) model))
+  | `Unsat c -> finish (Cert_unsat c)
+  | exception Budget -> finish Cert_unknown
+  | exception Simplex.Timeout -> finish Cert_timeout

@@ -60,6 +60,9 @@ val push : session -> unit
 
 val pop : session -> unit
 
+(** Current assertion-stack depth: the number of open frames. *)
+val depth : session -> int
+
 val assert_atoms : session -> Atom.t list -> unit
 
 (** [check ?steps ?hits ?max_steps ?stop s] decides the asserted
@@ -83,3 +86,44 @@ val check :
     [Unknown] only means the cheap layers cannot decide, and the caller
     should descend or fall back to {!check}. *)
 val check_quick : ?hits:int ref -> session -> result
+
+(** {1 Unsat cores}
+
+    When a session is infeasible, an unsat core over the asserted atoms
+    may be available: a set of log indices (assert-order positions of
+    live atoms) whose conjunction is already unsatisfiable.  [None]
+    means provenance was lost (an untracked participant, or a core that
+    outgrew the internal cap) — never that the session is feasible. *)
+
+(** The current unsat core, if the session is infeasible and provenance
+    survived. *)
+val unsat_core : session -> int list option
+
+(** [unsat_depth s] maps {!unsat_core} to the deepest assertion-stack
+    frame it touches: when it returns [Some f] with [f] smaller than the
+    current depth, the conjunction was already infeasible at depth [f],
+    so every extension of that prefix — in particular every sibling of
+    the frames above [f] — is unsatisfiable too.  This is what the
+    checker's core-guided subtree pruning keys on. *)
+val unsat_depth : session -> int option
+
+(** {1 Certifying engine}
+
+    [solve_cert] decides a conjunction like {!solve}, but every [Unsat]
+    answer carries a {!Certificate.t} that the standalone {!Certcheck}
+    replays with exact arithmetic.  It runs on a fresh tagged session
+    (no equality elimination, no interval propagation), so its step
+    count is comparable to, not shared with, the plain engines. *)
+
+type cert_result =
+  | Cert_sat of (int * B.t) list
+  | Cert_unsat of Certificate.t
+  | Cert_unknown
+  | Cert_timeout
+
+val solve_cert :
+  ?steps:int ref ->
+  ?max_steps:int ->
+  ?stop:(unit -> bool) ->
+  Atom.t list ->
+  cert_result

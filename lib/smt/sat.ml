@@ -3,12 +3,362 @@ type clause = literal list
 
 type result = Sat of (int -> bool) | Unsat
 
+(* ------------------------------------------------------------------ *)
+(* Conflict-driven clause learning.  Clauses live in a growable store of
+   int arrays whose first two slots are the watched literals; conflicts
+   are analyzed to the first unique implication point, the learned
+   clause drives a backjump, and variable activities (bumped on conflict
+   participation, decayed geometrically) drive branching.  No restarts:
+   the boolean abstractions here are modest and determinism matters more
+   than raw speed.  Unassigned variables default to false, matching the
+   documented model completion. *)
+
+module Cdcl = struct
+  type t = {
+    nvars : int;
+    mutable db : int array array;
+    mutable ndb : int;
+    first_learned : int ref;  (* db index where learned clauses begin *)
+    watches : int list array;  (* literal code -> watching clause indices *)
+    assign : int array;  (* var -> 0 unassigned / +1 true / -1 false *)
+    level : int array;
+    reason : int array;  (* var -> implying clause index, or -1 *)
+    trail : int array;
+    mutable ntrail : int;
+    mutable qhead : int;
+    lim : int array;  (* decision level -> trail mark *)
+    mutable nlevels : int;
+    activity : float array;
+    mutable var_inc : float;
+    seen : bool array;
+  }
+
+  exception Conflict of int
+  exception Unsat_root
+
+  let lit_code l = if l > 0 then 2 * l else (2 * -l) + 1
+
+  let create nvars =
+    {
+      nvars;
+      db = Array.make 16 [||];
+      ndb = 0;
+      first_learned = ref 0;
+      watches = Array.make ((2 * nvars) + 2) [];
+      assign = Array.make (nvars + 1) 0;
+      level = Array.make (nvars + 1) 0;
+      reason = Array.make (nvars + 1) (-1);
+      trail = Array.make (nvars + 1) 0;
+      ntrail = 0;
+      qhead = 0;
+      lim = Array.make (nvars + 2) 0;
+      nlevels = 0;
+      activity = Array.make (nvars + 1) 0.0;
+      var_inc = 1.0;
+      seen = Array.make (nvars + 1) false;
+    }
+
+  (* 0 unknown, 1 true, -1 false under the current partial assignment. *)
+  let value st l =
+    let v = st.assign.(abs l) in
+    if v = 0 then 0 else if (l > 0) = (v > 0) then 1 else -1
+
+  let enqueue st lit reason =
+    let v = abs lit in
+    st.assign.(v) <- (if lit > 0 then 1 else -1);
+    st.level.(v) <- st.nlevels;
+    st.reason.(v) <- reason;
+    st.trail.(st.ntrail) <- lit;
+    st.ntrail <- st.ntrail + 1
+
+  let add_clause_arr st c =
+    if st.ndb = Array.length st.db then begin
+      let db' = Array.make ((2 * st.ndb) + 1) [||] in
+      Array.blit st.db 0 db' 0 st.ndb;
+      st.db <- db'
+    end;
+    let ci = st.ndb in
+    st.db.(ci) <- c;
+    st.ndb <- st.ndb + 1;
+    if Array.length c >= 2 then begin
+      st.watches.(lit_code c.(0)) <- ci :: st.watches.(lit_code c.(0));
+      st.watches.(lit_code c.(1)) <- ci :: st.watches.(lit_code c.(1))
+    end;
+    ci
+
+  let propagate st =
+    while st.qhead < st.ntrail do
+      let p = st.trail.(st.qhead) in
+      st.qhead <- st.qhead + 1;
+      let fcode = lit_code (-p) in
+      let ws = st.watches.(fcode) in
+      st.watches.(fcode) <- [];
+      let rec go = function
+        | [] -> ()
+        | ci :: rest ->
+          let c = st.db.(ci) in
+          (* Normalize so the falsified watch sits at slot 1. *)
+          if c.(0) = -p then begin
+            c.(0) <- c.(1);
+            c.(1) <- -p
+          end;
+          if value st c.(0) = 1 then begin
+            st.watches.(fcode) <- ci :: st.watches.(fcode);
+            go rest
+          end
+          else begin
+            let n = Array.length c in
+            let rec find k =
+              if k >= n then -1 else if value st c.(k) >= 0 then k else find (k + 1)
+            in
+            let k = find 2 in
+            if k >= 0 then begin
+              c.(1) <- c.(k);
+              c.(k) <- -p;
+              st.watches.(lit_code c.(1)) <- ci :: st.watches.(lit_code c.(1));
+              go rest
+            end
+            else begin
+              (* No replacement watch: clause is unit or conflicting. *)
+              st.watches.(fcode) <- ci :: st.watches.(fcode);
+              if value st c.(0) = -1 then begin
+                List.iter
+                  (fun cj -> st.watches.(fcode) <- cj :: st.watches.(fcode))
+                  rest;
+                raise (Conflict ci)
+              end
+              else begin
+                enqueue st c.(0) ci;
+                go rest
+              end
+            end
+          end
+      in
+      go ws
+    done
+
+  let bump st v =
+    st.activity.(v) <- st.activity.(v) +. st.var_inc;
+    if st.activity.(v) > 1e100 then begin
+      for i = 1 to st.nvars do
+        st.activity.(i) <- st.activity.(i) *. 1e-100
+      done;
+      st.var_inc <- st.var_inc *. 1e-100
+    end
+
+  (* First-UIP conflict analysis.  Returns the learned clause with the
+     asserting literal at its head, and the backjump level. *)
+  let analyze st confl =
+    let learned = ref [] in
+    let counter = ref 0 in
+    let ci = ref confl in
+    let first = ref true in
+    let idx = ref (st.ntrail - 1) in
+    let btlevel = ref 0 in
+    let uip = ref 0 in
+    let continue = ref true in
+    while !continue do
+      let c = st.db.(!ci) in
+      (* In a reason clause, slot 0 holds the implied literal. *)
+      let start = if !first then 0 else 1 in
+      first := false;
+      for k = start to Array.length c - 1 do
+        let q = c.(k) in
+        let v = abs q in
+        if (not st.seen.(v)) && st.level.(v) > 0 then begin
+          st.seen.(v) <- true;
+          bump st v;
+          if st.level.(v) >= st.nlevels then incr counter
+          else begin
+            learned := q :: !learned;
+            if st.level.(v) > !btlevel then btlevel := st.level.(v)
+          end
+        end
+      done;
+      let rec next () =
+        let l = st.trail.(!idx) in
+        decr idx;
+        if st.seen.(abs l) then l else next ()
+      in
+      let l = next () in
+      st.seen.(abs l) <- false;
+      decr counter;
+      if !counter = 0 then begin
+        uip := l;
+        continue := false
+      end
+      else ci := st.reason.(abs l)
+    done;
+    List.iter (fun q -> st.seen.(abs q) <- false) !learned;
+    (-(!uip) :: !learned, !btlevel)
+
+  let new_level st =
+    st.lim.(st.nlevels) <- st.ntrail;
+    st.nlevels <- st.nlevels + 1
+
+  let cancel_until st lvl =
+    if st.nlevels > lvl then begin
+      let mark = st.lim.(lvl) in
+      for i = st.ntrail - 1 downto mark do
+        let v = abs st.trail.(i) in
+        st.assign.(v) <- 0;
+        st.reason.(v) <- -1
+      done;
+      st.ntrail <- mark;
+      st.qhead <- mark;
+      st.nlevels <- lvl
+    end
+
+  let install_learned st lits =
+    let c = Array.of_list lits in
+    if Array.length c >= 2 then begin
+      (* Watch invariant: slot 1 must hold a highest-level literal among
+         the tail, so the clause wakes up exactly when it becomes unit
+         again. *)
+      let best = ref 1 in
+      for k = 2 to Array.length c - 1 do
+        if st.level.(abs c.(k)) > st.level.(abs c.(!best)) then best := k
+      done;
+      let tmp = c.(1) in
+      c.(1) <- c.(!best);
+      c.(!best) <- tmp
+    end;
+    let ci = add_clause_arr st c in
+    enqueue st c.(0) ci
+
+  let pick st =
+    let best = ref 0 in
+    for v = 1 to st.nvars do
+      if st.assign.(v) = 0 && (!best = 0 || st.activity.(v) > st.activity.(!best))
+      then best := v
+    done;
+    !best
+
+  let search st =
+    try
+      (try propagate st with Conflict _ -> raise Unsat_root);
+      let rec resolve () =
+        match propagate st with
+        | () -> ()
+        | exception Conflict ci ->
+          if st.nlevels = 0 then raise Unsat_root;
+          let lits, bt = analyze st ci in
+          st.var_inc <- st.var_inc *. 1.052;
+          cancel_until st bt;
+          install_learned st lits;
+          resolve ()
+      in
+      let rec loop () =
+        match pick st with
+        | 0 -> `Sat
+        | v ->
+          new_level st;
+          enqueue st (-v) (-1);
+          resolve ();
+          loop ()
+      in
+      loop ()
+    with Unsat_root -> `Unsat
+
+  (* Clause ingestion: drop tautologies, deduplicate literals, enqueue
+     units at the root level.  Returns false when the store is already
+     root-inconsistent. *)
+  let ingest st lits =
+    let lits = List.sort_uniq compare lits in
+    let tautology = List.exists (fun l -> List.mem (-l) lits) lits in
+    if tautology then true
+    else
+      match lits with
+      | [] -> false
+      | [ l ] -> (
+        match value st l with
+        | 1 -> true
+        | -1 -> false
+        | _ ->
+          enqueue st l (-1);
+          true)
+      | lits ->
+        ignore (add_clause_arr st (Array.of_list lits));
+        true
+
+  let max_var clauses =
+    List.fold_left
+      (List.fold_left (fun m l -> max m (abs l)))
+      0 clauses
+
+  (* Build a solver over [clauses]; [None] when root-inconsistent. *)
+  let of_clauses clauses =
+    let st = create (max_var clauses) in
+    if List.for_all (ingest st) clauses then begin
+      st.first_learned := st.ndb;
+      Some st
+    end
+    else None
+
+  let model st =
+    let a = Array.copy st.assign in
+    fun v -> v >= 1 && v < Array.length a && a.(v) = 1
+
+  (* Clauses learned during [search], for carry-over across runs. *)
+  let learned st =
+    let acc = ref [] in
+    for ci = st.ndb - 1 downto !(st.first_learned) do
+      acc := Array.to_list st.db.(ci) :: !acc
+    done;
+    !acc
+end
+
+let solve clauses =
+  match Cdcl.of_clauses clauses with
+  | None -> Unsat
+  | Some st -> (
+    match Cdcl.search st with
+    | `Unsat -> Unsat
+    | `Sat -> Sat (Cdcl.model st))
+
+(* ------------------------------------------------------------------ *)
+(* Incremental interface for CDCL(T).                                   *)
+
+module Inc = struct
+  type t = {
+    mutable clauses : clause list;  (* newest first *)
+    mutable carried : clause list;  (* learned clauses kept across runs *)
+  }
+
+  let create () = { clauses = []; carried = [] }
+
+  let add_clause t c = t.clauses <- c :: t.clauses
+
+  (* Keep short learned clauses across runs: they are consequences of
+     the clause store, so re-adding them is sound, and the short ones
+     carry most of the pruning power without growing the store
+     quadratically over a long lemma loop. *)
+  let keep_len = 8
+  let keep_count = 256
+
+  let solve t =
+    match Cdcl.of_clauses (List.rev_append t.clauses t.carried) with
+    | None -> Unsat
+    | Some st -> (
+      let r = Cdcl.search st in
+      let fresh =
+        List.filter (fun c -> List.length c <= keep_len) (Cdcl.learned st)
+      in
+      t.carried <-
+        (let combined = fresh @ t.carried in
+         List.filteri (fun i _ -> i < keep_count) combined);
+      match r with
+      | `Unsat -> Unsat
+      | `Sat -> Sat (Cdcl.model st))
+end
+
+(* ------------------------------------------------------------------ *)
+(* Model enumeration keeps the simple recursive DPLL: it needs every
+   model, not a fast first one, and the clause sets it sees (lint-level
+   queries) are tiny. *)
+
 module IntMap = Map.Make (Int)
 
-exception Found of bool IntMap.t
-
-(* Simplify clauses under a partial assignment extension [lit := true].
-   Returns [None] when an empty clause appears. *)
 let assign_lit lit clauses =
   let rec go acc = function
     | [] -> Some acc
@@ -48,14 +398,6 @@ let rec dpll assignment clauses on_model =
       try_branch false
     | [] :: _ -> assert false)
 
-let solve clauses =
-  if List.exists (( = ) []) clauses then Unsat
-  else
-    match dpll IntMap.empty clauses (fun m -> raise (Found m)) with
-    | () -> Unsat
-    | exception Found m ->
-      Sat (fun v -> match IntMap.find_opt v m with Some b -> b | None -> false)
-
 let solve_all ?limit clauses =
   if List.exists (( = ) []) clauses then []
   else begin
@@ -66,12 +408,13 @@ let solve_all ?limit clauses =
     in
     (try
        dpll IntMap.empty clauses (fun m ->
-           (* Expand unassigned variables into all completions would be
-              exponential; report only assigned-true variables, treating
-              unassigned as false (a valid completion). *)
+           (* Expanding unassigned variables into all completions would
+              be exponential; report only assigned-true variables,
+              treating unassigned as false (a valid completion). *)
            let trues =
              List.filter
-               (fun v -> match IntMap.find_opt v m with Some b -> b | None -> false)
+               (fun v ->
+                 match IntMap.find_opt v m with Some b -> b | None -> false)
                all_vars
            in
            models := trues :: !models;

@@ -1,8 +1,10 @@
-(** A small DPLL SAT solver over clause lists.
+(** A small CDCL SAT solver over clause lists: two watched literals,
+    first-UIP clause learning with backjumping, and activity-driven
+    branching (no restarts — determinism over raw speed).
 
     Literals are non-zero integers; [-v] is the negation of variable [v]
     (DIMACS convention).  Intended for the modest boolean abstractions
-    produced by {!Solver}; not a competitive CDCL engine. *)
+    produced by {!Solver}. *)
 
 type literal = int
 type clause = literal list
@@ -17,5 +19,19 @@ type result =
 val solve : clause list -> result
 
 (** [solve_all ?limit clauses] enumerates up to [limit] (default
-    unlimited) satisfying assignments, as lists of true variables. *)
+    unlimited) satisfying assignments, as lists of true variables.
+    Runs on a plain recursive DPLL — enumeration needs every model, not
+    a fast first one. *)
 val solve_all : ?limit:int -> clause list -> int list list
+
+(** Incremental clause store for the CDCL(T) loop: theory lemmas
+    accumulate across calls, and short boolean conflict clauses learned
+    in one [solve] are carried into the next (they are consequences of
+    the store, so re-adding them is sound). *)
+module Inc : sig
+  type t
+
+  val create : unit -> t
+  val add_clause : t -> clause -> unit
+  val solve : t -> result
+end

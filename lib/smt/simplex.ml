@@ -109,7 +109,7 @@ let pivot_and_update st xi xj v =
    An aborted loop ([stop] raised {!Timeout} mid-search) leaves a valid
    equivalent tableau behind — pivoting only rewrites the equality
    system — so the state can be re-checked later without repair. *)
-let check ?stop st =
+let check_core ?stop st =
   let pivots = ref 0 in
   let see_stop () =
     match stop with
@@ -125,7 +125,7 @@ let check ?stop st =
       if st.basic.(x) && (below_lower st x || above_upper st x) then violating := Some x
     done;
     match !violating with
-    | None -> ()
+    | None -> `Ok
     | Some xi ->
       let row = Hashtbl.find st.rows xi in
       if below_lower st xi then begin
@@ -147,7 +147,7 @@ let check ?stop st =
               if ok then xj := Some k)
           row;
         match !xj with
-        | None -> raise Conflict
+        | None -> `Conflict (xi, `Below)
         | Some xj ->
           pivot_and_update st xi xj (Option.get st.lower.(xi));
           loop ()
@@ -171,13 +171,16 @@ let check ?stop st =
               if ok then xj := Some k)
           row;
         match !xj with
-        | None -> raise Conflict
+        | None -> `Conflict (xi, `Above)
         | Some xj ->
           pivot_and_update st xi xj (Option.get st.upper.(xi));
           loop ()
       end
   in
   loop ()
+
+let check ?stop st =
+  match check_core ?stop st with `Ok -> () | `Conflict _ -> raise Conflict
 
 (* ------------------------------------------------------------------ *)
 (* Problem setup: dense renumbering, slack variables, bounds.           *)
@@ -300,9 +303,17 @@ let solve_delta ?stop atoms =
    Dutertre–de Moura backtracking discipline. *)
 
 module Session = struct
+  (* Provenance of a live bound: the caller's tag for the asserting atom
+     and the multiplier [m] such that input_expr = m * bound_expr, where
+     bound_expr is [x - c <= 0] for an upper bound and [c - x <= 0] for a
+     lower bound.  [None] means the bound was asserted untagged, so any
+     conflict touching it has no explanation. *)
+  type src = (int * Q.t) option
+
   type frame = {
-    mutable trail : (int * [ `Lower | `Upper ] * Delta.t option) list;
+    mutable trail : (int * [ `Lower | `Upper ] * Delta.t option * src) list;
     saved_infeasible : bool;
+    saved_conflict : (int * Q.t) list option;
   }
 
   type session = {
@@ -310,6 +321,8 @@ module Session = struct
     mutable beta : Delta.t array;
     mutable lower : Delta.t option array;
     mutable upper : Delta.t option array;
+    mutable lo_src : src array;
+    mutable hi_src : src array;
     mutable basic : bool array;
     rows : (int, Q.t IntMap.t) Hashtbl.t;
     dense : (int, int) Hashtbl.t;  (** external variable -> dense id *)
@@ -317,6 +330,8 @@ module Session = struct
     slack_of : ((Q.t * int) list, int) Hashtbl.t;
     mutable frames : frame list;
     mutable infeasible : bool;
+    mutable conflict : (int * Q.t) list option;
+        (** meaningful only while [infeasible] *)
   }
 
   type t = session
@@ -327,6 +342,8 @@ module Session = struct
       beta = Array.make 64 Delta.zero;
       lower = Array.make 64 None;
       upper = Array.make 64 None;
+      lo_src = Array.make 64 None;
+      hi_src = Array.make 64 None;
       basic = Array.make 64 false;
       rows = Hashtbl.create 64;
       dense = Hashtbl.create 64;
@@ -334,6 +351,7 @@ module Session = struct
       slack_of = Hashtbl.create 64;
       frames = [];
       infeasible = false;
+      conflict = None;
     }
 
   let view s =
@@ -348,6 +366,8 @@ module Session = struct
       s.beta <- extend Delta.zero s.beta;
       s.lower <- extend None s.lower;
       s.upper <- extend None s.upper;
+      s.lo_src <- extend None s.lo_src;
+      s.hi_src <- extend None s.hi_src;
       s.basic <- extend false s.basic
     end
 
@@ -358,6 +378,8 @@ module Session = struct
     s.beta.(v) <- Delta.zero;
     s.lower.(v) <- None;
     s.upper.(v) <- None;
+    s.lo_src.(v) <- None;
+    s.hi_src.(v) <- None;
     s.basic.(v) <- false;
     v
 
@@ -371,49 +393,114 @@ module Session = struct
       v
 
   let push s =
-    s.frames <- { trail = []; saved_infeasible = s.infeasible } :: s.frames
+    s.frames <-
+      { trail = []; saved_infeasible = s.infeasible; saved_conflict = s.conflict }
+      :: s.frames
 
   let pop s =
     match s.frames with
     | [] -> invalid_arg "Simplex.Session.pop: empty assertion stack"
     | frame :: rest ->
       List.iter
-        (fun (x, side, prev) ->
-          match side with `Lower -> s.lower.(x) <- prev | `Upper -> s.upper.(x) <- prev)
+        (fun (x, side, prev, prev_src) ->
+          match side with
+          | `Lower ->
+            s.lower.(x) <- prev;
+            s.lo_src.(x) <- prev_src
+          | `Upper ->
+            s.upper.(x) <- prev;
+            s.hi_src.(x) <- prev_src)
         frame.trail;
       s.infeasible <- frame.saved_infeasible;
+      s.conflict <- frame.saved_conflict;
       s.frames <- rest
 
-  let record s x side prev =
+  let record s x side prev prev_src =
     match s.frames with
     | [] -> ()  (* base level: permanent *)
-    | frame :: _ -> frame.trail <- (x, side, prev) :: frame.trail
+    | frame :: _ -> frame.trail <- (x, side, prev, prev_src) :: frame.trail
 
-  let session_assert_upper s x c =
+  (* Combine bound-level contributions [(src, mu)] with mu > 0 into a
+     Farkas explanation over input tags: lambda(tag) += mu / m.  Any
+     untagged bound poisons the whole explanation. *)
+  let combine contribs =
+    let rec go acc = function
+      | [] ->
+        Some
+          (IntMap.bindings acc
+          |> List.filter (fun (_, l) -> not (Q.is_zero l)))
+      | (None, _) :: _ -> None
+      | (Some (tag, m), mu) :: rest ->
+        let lam = Q.div mu m in
+        let acc =
+          IntMap.update tag
+            (function None -> Some lam | Some l -> Some (Q.add l lam))
+            acc
+        in
+        go acc rest
+    in
+    go IntMap.empty contribs
+
+  let set_conflict s expl =
+    s.infeasible <- true;
+    s.conflict <- expl
+
+  let session_assert_upper s x c src =
     let tighter =
       match s.upper.(x) with None -> true | Some u -> Delta.compare c u < 0
     in
     if tighter then begin
       match s.lower.(x) with
-      | Some l when Delta.compare c l < 0 -> s.infeasible <- true
+      | Some l when Delta.compare c l < 0 ->
+        set_conflict s (combine [ (src, Q.one); (s.lo_src.(x), Q.one) ])
       | _ ->
-        record s x `Upper s.upper.(x);
+        record s x `Upper s.upper.(x) s.hi_src.(x);
         s.upper.(x) <- Some c;
+        s.hi_src.(x) <- src;
         if (not s.basic.(x)) && Delta.compare s.beta.(x) c > 0 then update (view s) x c
     end
 
-  let session_assert_lower s x c =
+  let session_assert_lower s x c src =
     let tighter =
       match s.lower.(x) with None -> true | Some l -> Delta.compare c l > 0
     in
     if tighter then begin
       match s.upper.(x) with
-      | Some u when Delta.compare c u > 0 -> s.infeasible <- true
+      | Some u when Delta.compare c u > 0 ->
+        set_conflict s (combine [ (src, Q.one); (s.hi_src.(x), Q.one) ])
       | _ ->
-        record s x `Lower s.lower.(x);
+        record s x `Lower s.lower.(x) s.lo_src.(x);
         s.lower.(x) <- Some c;
+        s.lo_src.(x) <- src;
         if (not s.basic.(x)) && Delta.compare s.beta.(x) c < 0 then update (view s) x c
     end
+
+  (* Farkas explanation of a simplex conflict: basic [xi] stuck outside
+     its bound with no usable pivot column means every row variable sits
+     at its blocking bound.  Combining the violated bound of [xi]
+     (coefficient 1) with each row variable's blocking bound (coefficient
+     |a_k|) cancels all variables and leaves a positive constant. *)
+  let explain_conflict s xi dir =
+    let row = Hashtbl.find s.rows xi in
+    let own =
+      match dir with
+      | `Below -> (s.lo_src.(xi), Q.one)
+      | `Above -> (s.hi_src.(xi), Q.one)
+    in
+    let contribs =
+      IntMap.fold
+        (fun k a acc ->
+          let entry =
+            match dir with
+            | `Below ->
+              if Q.sign a > 0 then (s.hi_src.(k), a) else (s.lo_src.(k), Q.neg a)
+            | `Above ->
+              if Q.sign a > 0 then (s.lo_src.(k), a) else (s.hi_src.(k), Q.neg a)
+          in
+          entry :: acc)
+        row [ own ]
+    in
+    combine contribs
 
   (* A new slack row must be expressed over nonbasic variables (the
      tableau invariant), so substitute the current definition of any
@@ -444,46 +531,59 @@ module Session = struct
     Hashtbl.replace s.slack_of linear slack;
     slack
 
-  let assert_atom s (a : Atom.t) =
+  let assert_atom ?tag s (a : Atom.t) =
     if not s.infeasible then begin
       match Atom.trivial a with
       | Some true -> ()
-      | Some false -> s.infeasible <- true
+      | Some false ->
+        (* Constant falsehood: the atom is its own (one-premise)
+           explanation. *)
+        set_conflict s (Option.map (fun t -> [ (t, Q.one) ]) tag)
       | None ->
         let linear =
           Linexpr.terms a.expr |> List.map (fun (c, v) -> (c, dense_of s v))
         in
         let bound = Q.neg (Linexpr.constant a.expr) in
-        let target, upper_side, bound =
+        let target, upper_side, bound, mult_u, mult_l =
           match linear with
-          | [ (c, v) ] -> (v, Q.sign c > 0, Q.div bound c)
+          | [ (c, v) ] -> (v, Q.sign c > 0, Q.div bound c, c, Q.neg c)
           | _ ->
             let slack =
               match Hashtbl.find_opt s.slack_of linear with
               | Some slack -> slack
               | None -> install_slack s linear
             in
-            (slack, true, bound)
+            (slack, true, bound, Q.one, Q.minus_one)
         in
+        let src m = Option.map (fun t -> (t, m)) tag in
         match (a.rel, upper_side) with
-        | Atom.Le, true -> session_assert_upper s target (Delta.of_rational bound)
-        | Atom.Lt, true -> session_assert_upper s target (Delta.make bound Q.minus_one)
-        | Atom.Le, false -> session_assert_lower s target (Delta.of_rational bound)
-        | Atom.Lt, false -> session_assert_lower s target (Delta.make bound Q.one)
+        | Atom.Le, true ->
+          session_assert_upper s target (Delta.of_rational bound) (src mult_u)
+        | Atom.Lt, true ->
+          session_assert_upper s target (Delta.make bound Q.minus_one) (src mult_u)
+        | Atom.Le, false ->
+          session_assert_lower s target (Delta.of_rational bound) (src mult_l)
+        | Atom.Lt, false ->
+          session_assert_lower s target (Delta.make bound Q.one) (src mult_l)
         | Atom.Eq, _ ->
-          session_assert_upper s target (Delta.of_rational bound);
+          session_assert_upper s target (Delta.of_rational bound) (src mult_u);
           if not s.infeasible then
-            session_assert_lower s target (Delta.of_rational bound)
+            session_assert_lower s target (Delta.of_rational bound) (src mult_l)
     end
 
+  let is_infeasible s = s.infeasible
+
+  let infeasible_expl s = if s.infeasible then s.conflict else None
+
   let check ?stop s =
-    if s.infeasible then `Unsat
+    if s.infeasible then `Unsat s.conflict
     else
-      match check ?stop (view s) with
-      | () -> `Sat
-      | exception Conflict ->
-        s.infeasible <- true;
-        `Unsat
+      match check_core ?stop (view s) with
+      | `Ok -> `Sat
+      | `Conflict (xi, dir) ->
+        let expl = explain_conflict s xi dir in
+        set_conflict s expl;
+        `Unsat expl
 
   let value s x =
     match Hashtbl.find_opt s.dense x with
@@ -491,6 +591,16 @@ module Session = struct
     | None -> Delta.zero
 
   let vars s = List.sort compare s.ext
+
+  let push_level = push
+
+  let pop_levels s n =
+    if n < 0 then invalid_arg "Simplex.Session.pop_levels: negative count";
+    for _ = 1 to n do
+      pop s
+    done
+
+  let level s = List.length s.frames
 end
 
 let solve ?stop atoms =

@@ -59,18 +59,47 @@ module Session : sig
       @raise Invalid_argument on an empty stack. *)
   val pop : t -> unit
 
-  (** [assert_atom s a] adds [a] to the current frame.  Asserting at
+  (** {!push} under its CDCL(T) name. *)
+  val push_level : t -> unit
+
+  (** [pop_levels s n] pops [n] frames.
+      @raise Invalid_argument if fewer than [n] frames are open. *)
+  val pop_levels : t -> int -> unit
+
+  (** Number of open assertion frames. *)
+  val level : t -> int
+
+  (** [assert_atom ?tag s a] adds [a] to the current frame.  Asserting at
       depth 0 (before any [push]) is permanent.  A trivially false atom,
       or a bound crossing an earlier one, marks the current frame
-      infeasible — subsequent checks return [`Unsat] until the frame is
-      popped. *)
-  val assert_atom : t -> Atom.t -> unit
+      infeasible — subsequent checks return [`Unsat _] until the frame is
+      popped.
+
+      [tag] names the atom in conflict explanations.  The multiplier
+      reported for a tag is the Farkas coefficient of [a]'s expression
+      itself (not of the internal bound), so [sum_i lambda_i * expr_i]
+      over an explanation cancels all variables and leaves a positive
+      constant.  An untagged atom involved in a conflict degrades that
+      conflict's explanation to [None]. *)
+  val assert_atom : ?tag:int -> t -> Atom.t -> unit
 
   (** [check ?stop s] decides the asserted conjunction over the
-      rationals.  [stop] is polled every {!stop_interval} pivots.
+      rationals.  [`Unsat expl] reports which asserted atoms form the
+      infeasible set: [expl] is a Farkas combination [(tag, lambda)] over
+      the tags passed to {!assert_atom} ([None] when an untagged atom
+      participates).  [stop] is polled every {!stop_interval} pivots.
       @raise Timeout when [stop] returns true; the tableau stays valid
       and the session can be checked again. *)
-  val check : ?stop:(unit -> bool) -> t -> [ `Sat | `Unsat ]
+  val check :
+    ?stop:(unit -> bool) -> t -> [ `Sat | `Unsat of (int * Q.t) list option ]
+
+  (** Whether the current frame is already known infeasible (from an
+      assert-time bound crossing or a previous [`Unsat] check). *)
+  val is_infeasible : t -> bool
+
+  (** The Farkas explanation of the current infeasibility, if the session
+      is infeasible and every participating atom was tagged. *)
+  val infeasible_expl : t -> (int * Q.t) list option
 
   (** [value s x] is the delta-rational value of external variable [x]
       after a [`Sat] check (zero for unseen variables). *)

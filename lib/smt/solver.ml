@@ -71,6 +71,12 @@ let abstract f =
   let root = go f in
   (List.rev !clauses, root, atoms_rev)
 
+(* CDCL(T): the boolean core enumerates assignments over the atom
+   abstraction, the certifying LIA engine refutes infeasible ones, and
+   the certificate's unsat core becomes a theory lemma — a clause over
+   just the atoms that actually conflict, so one refutation rules out
+   every boolean assignment sharing that kernel (instead of blocking
+   one full assignment per iteration). *)
 let solve ?max_steps f =
   let f = split_eq f in
   match f with
@@ -78,15 +84,21 @@ let solve ?max_steps f =
   | Formula.False -> Unsat
   | _ ->
     let clauses, root, atoms_rev = abstract f in
-    let base = [ root ] :: clauses in
-    let atom_vars = Hashtbl.fold (fun v _ acc -> v :: acc) atoms_rev [] in
-    let rec loop blocking budget =
+    let inc = Sat.Inc.create () in
+    Sat.Inc.add_clause inc [ root ];
+    List.iter (Sat.Inc.add_clause inc) clauses;
+    let atom_vars =
+      Hashtbl.fold (fun v _ acc -> v :: acc) atoms_rev [] |> List.sort compare
+    in
+    let rec loop budget =
       if budget <= 0 then Unknown
       else
-        match Sat.solve (blocking @ base) with
+        match Sat.Inc.solve inc with
         | Sat.Unsat -> Unsat
         | Sat.Sat assign -> (
-          let theory_atoms, used_lits =
+          (* The literal at index i of [lits] asserts the atom at index
+             i of [theory]; certificate cores index into [theory]. *)
+          let theory, lits =
             List.fold_left
               (fun (atoms, lits) v ->
                 let a = Hashtbl.find atoms_rev v in
@@ -94,11 +106,15 @@ let solve ?max_steps f =
                 else (Atom.negate a :: atoms, -v :: lits))
               ([], []) atom_vars
           in
-          match Lia.solve ?max_steps theory_atoms with
-          | Lia.Sat model -> Sat model
-          | Lia.Unknown | Lia.Timeout -> Unknown
-          | Lia.Unsat ->
-            (* Block this boolean assignment to the theory atoms. *)
-            loop (List.map (fun l -> -l) used_lits :: blocking) (budget - 1))
+          let theory = Array.of_list (List.rev theory) in
+          let lits = Array.of_list (List.rev lits) in
+          match Lia.solve_cert ?max_steps (Array.to_list theory) with
+          | Lia.Cert_sat model -> Sat model
+          | Lia.Cert_unknown | Lia.Cert_timeout -> Unknown
+          | Lia.Cert_unsat cert ->
+            let core = Certificate.core cert in
+            let lemma = List.map (fun i -> -lits.(i)) core in
+            Sat.Inc.add_clause inc lemma;
+            loop (budget - 1))
     in
-    loop [] 4096
+    loop 4096

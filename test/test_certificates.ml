@@ -1,0 +1,413 @@
+(* Certificate tests: unit certificates for known systems, a QCheck
+   differential battery (certifying CDCL(T) path vs. the flat LIA path
+   vs. Cooper quantifier elimination), guaranteed-invalid certificate
+   mutations, JSON round-trips, and unsat-core provenance of the
+   incremental session layer. *)
+
+module B = Numbers.Bigint
+module Q = Numbers.Rational
+module L = Smt.Linexpr
+module A = Smt.Atom
+module Cert = Smt.Certificate
+module Certcheck = Smt.Certcheck
+module Lia = Smt.Lia
+module P = Presburger
+
+let v = L.var
+let c n = L.const (Q.of_int n)
+
+let prop name count arb f =
+  QCheck_alcotest.to_alcotest (QCheck.Test.make ~name ~count arb f)
+
+let validate_ok ?(branches = []) atoms cert =
+  match Certcheck.validate_query ~atoms ~branches cert with
+  | Ok () -> ()
+  | Error msg -> Alcotest.failf "certificate rejected: %s" msg
+
+let validate_rejected ?(branches = []) atoms cert =
+  match Certcheck.validate_query ~atoms ~branches cert with
+  | Ok () -> Alcotest.fail "mutated certificate accepted"
+  | Error _ -> ()
+
+let solve_unsat_cert atoms =
+  match Lia.solve_cert atoms with
+  | Lia.Cert_unsat cert -> cert
+  | Lia.Cert_sat _ -> Alcotest.fail "expected unsat, got a model"
+  | Lia.Cert_unknown | Lia.Cert_timeout ->
+    Alcotest.fail "expected unsat, got unknown/timeout"
+
+(* ------------------------------------------------------------------ *)
+(* Guaranteed-invalid mutations.  Adding 1 to the multiplier of a
+   variable-bearing Farkas premise adds that premise's expression to the
+   combination, so the variables no longer cancel; a Farkas node with
+   only constant premises degenerates to the (rejected) empty
+   combination; a divisibility leaf gets its atom's constant shifted so
+   it is no longer the normalization of its input.  Each case fails
+   validation by construction, independent of the solver. *)
+let rec mutate = function
+  | Cert.Farkas ps ->
+    let has_vars (p : Cert.premise) = L.terms p.Cert.atom.A.expr <> [] in
+    if List.exists has_vars ps then begin
+      (* Bump exactly one variable-bearing multiplier: the combination
+         picks up that premise's expression once, so its variables no
+         longer cancel. *)
+      let bumped = ref false in
+      Cert.Farkas
+        (List.map
+           (fun (p : Cert.premise) ->
+             if has_vars p && not !bumped then begin
+               bumped := true;
+               { p with Cert.coeff = Q.add p.Cert.coeff Q.one }
+             end
+             else p)
+           ps)
+    end
+    else Cert.Farkas []
+  | Cert.Div_conflict { index; atom } ->
+    Cert.Div_conflict
+      { index; atom = { atom with A.expr = L.add_const Q.one atom.A.expr } }
+  | Cert.Branch b -> Cert.Branch { b with low = mutate b.low }
+  | Cert.Split sp -> (
+    match sp.certs with
+    | [] -> Cert.Split sp
+    | c0 :: rest -> Cert.Split { sp with certs = mutate c0 :: rest })
+
+(* ------------------------------------------------------------------ *)
+(* Unit certificates.                                                   *)
+
+let test_farkas_simple () =
+  (* x >= 5, x <= 3: rational infeasibility, one Farkas leaf. *)
+  let atoms = [ A.ge (v 0) (c 5); A.le (v 0) (c 3) ] in
+  let cert = solve_unsat_cert atoms in
+  validate_ok atoms cert;
+  Alcotest.(check int) "leaf count" 1 (Cert.size cert);
+  Alcotest.(check (list int)) "core" [ 0; 1 ] (Cert.core cert)
+
+let test_farkas_tightened () =
+  (* 2x + 2y >= 1 and 2x + 2y <= 1 tighten to x + y >= 1 and x + y <= 0:
+     the certificate premises are the tightened forms, which the checker
+     must recognize as derivations of the inputs. *)
+  let e = L.add (L.scale (Q.of_int 2) (v 0)) (L.scale (Q.of_int 2) (v 1)) in
+  let atoms = [ A.ge e (c 1); A.le e (c 1) ] in
+  let cert = solve_unsat_cert atoms in
+  validate_ok atoms cert
+
+let test_div_conflict () =
+  (* 2x - 2y = 1: gcd 2 does not divide 1. *)
+  let atoms = [ A.eq (L.sub (L.scale (Q.of_int 2) (v 0)) (L.scale (Q.of_int 2) (v 1))) (c 1) ] in
+  let cert = solve_unsat_cert atoms in
+  (match cert with
+   | Cert.Div_conflict _ -> ()
+   | _ -> Alcotest.fail "expected a divisibility conflict leaf");
+  validate_ok atoms cert
+
+let test_trivially_false () =
+  let atoms = [ A.le (c 1) (c 0) ] in
+  let cert = solve_unsat_cert atoms in
+  validate_ok atoms cert
+
+let test_branch () =
+  (* 2x + 3y = 1, 0 <= y <= 0: rationally feasible only at x = 1/2, so
+     branch-and-bound must split on x. *)
+  let atoms =
+    [
+      A.eq (L.add (L.scale (Q.of_int 2) (v 0)) (L.scale (Q.of_int 3) (v 1))) (c 1);
+      A.ge (v 1) (c 0);
+      A.le (v 1) (c 0);
+    ]
+  in
+  let cert = solve_unsat_cert atoms in
+  (match cert with
+   | Cert.Branch _ -> ()
+   | _ -> Alcotest.fail "expected a branch certificate");
+  validate_ok atoms cert
+
+let test_split () =
+  (* Query: x >= 1, and (x <= 0 or x <= -5).  Each cube contradicts the
+     conjunction; a Split node combines the per-cube refutations. *)
+  let base = [ A.ge (v 0) (c 1) ] in
+  let cube1 = [ A.le (v 0) (c 0) ] in
+  let cube2 = [ A.le (v 0) (c (-5)) ] in
+  let c1 = solve_unsat_cert (base @ cube1) in
+  let c2 = solve_unsat_cert (base @ cube2) in
+  let split = Cert.Split { cubes = [ cube1; cube2 ]; certs = [ c1; c2 ] } in
+  validate_ok ~branches:[ [ cube1; cube2 ] ] base split;
+  (* The same certificate must fail without the branch entry, and with
+     cubes that do not match the query. *)
+  validate_rejected base split;
+  validate_rejected ~branches:[ [ cube2; cube1 ] ] base split
+
+let test_sat_model () =
+  let atoms = [ A.ge (L.add (v 0) (v 1)) (c 3); A.le (v 0) (c 1) ] in
+  match Lia.solve_cert atoms with
+  | Lia.Cert_sat m ->
+    Alcotest.(check bool) "model satisfies input" true (Lia.check_model atoms m)
+  | _ -> Alcotest.fail "expected sat"
+
+let test_json_roundtrip () =
+  let atoms =
+    [
+      A.eq (L.add (L.scale (Q.of_int 2) (v 0)) (L.scale (Q.of_int 3) (v 1))) (c 1);
+      A.ge (v 1) (c 0);
+      A.le (v 1) (c 0);
+    ]
+  in
+  let cert = solve_unsat_cert atoms in
+  let json = Jsonc.to_string (Cert.to_json cert) in
+  let cert' = Cert.of_json (Jsonc.of_string json) in
+  validate_ok atoms cert';
+  Alcotest.(check (list int)) "core preserved" (Cert.core cert) (Cert.core cert');
+  Alcotest.(check string) "canonical json stable" json
+    (Jsonc.to_string (Cert.to_json cert'))
+
+let test_mutation_unit () =
+  let atoms = [ A.ge (v 0) (c 5); A.le (v 0) (c 3) ] in
+  let cert = solve_unsat_cert atoms in
+  validate_rejected atoms (mutate cert)
+
+(* ------------------------------------------------------------------ *)
+(* Simplex conflict explanations (the `Unsat-with-infeasible-set fix). *)
+
+let test_simplex_explanation () =
+  let s = Smt.Simplex.Session.create () in
+  Smt.Simplex.Session.assert_atom ~tag:7 s (A.ge (v 0) (c 5));
+  Smt.Simplex.Session.assert_atom ~tag:9 s (A.le (L.add (v 0) (v 1)) (c 3));
+  Smt.Simplex.Session.assert_atom ~tag:11 s (A.ge (v 1) (c 0));
+  (match Smt.Simplex.Session.check s with
+   | `Sat -> Alcotest.fail "expected rational unsat"
+   | `Unsat None -> Alcotest.fail "expected an explanation"
+   | `Unsat (Some expl) ->
+     let tags = List.map fst expl |> List.sort compare in
+     Alcotest.(check (list int)) "conflict cites the infeasible atoms" [ 7; 9; 11 ] tags;
+     List.iter
+       (fun (_, lam) ->
+         Alcotest.(check bool) "positive multiplier" true (Q.sign lam > 0))
+       expl);
+  Alcotest.(check bool) "sticky" true (Smt.Simplex.Session.is_infeasible s)
+
+let test_simplex_untagged_degrades () =
+  let s = Smt.Simplex.Session.create () in
+  Smt.Simplex.Session.assert_atom ~tag:0 s (A.ge (v 0) (c 5));
+  Smt.Simplex.Session.assert_atom s (A.le (v 0) (c 3));
+  match Smt.Simplex.Session.check s with
+  | `Unsat None -> ()
+  | `Unsat (Some _) -> Alcotest.fail "untagged participant must poison the core"
+  | `Sat -> Alcotest.fail "expected unsat"
+
+(* ------------------------------------------------------------------ *)
+(* Session unsat cores and depths.                                      *)
+
+let test_session_core_depth () =
+  let s = Lia.create () in
+  Lia.push s;
+  Lia.assert_atoms s [ A.ge (v 0) (c 5) ];
+  Lia.push s;
+  Lia.assert_atoms s [ A.le (v 0) (c 3) ];
+  (match Lia.check_quick s with
+   | Lia.Unsat -> ()
+   | _ -> Alcotest.fail "expected quick unsat");
+  (match Lia.unsat_core s with
+   | Some core -> Alcotest.(check (list int)) "core" [ 0; 1 ] (List.sort compare core)
+   | None -> Alcotest.fail "expected a core");
+  Alcotest.(check (option int)) "conflict involves the newest frame" (Some 2)
+    (Lia.unsat_depth s);
+  Lia.pop s;
+  Alcotest.(check bool) "feasible again after pop" true
+    (match Lia.check_quick s with Lia.Unsat -> false | _ -> true)
+
+(* A conjunction whose infeasibility the bounded propagation fixpoint
+   cannot reach within one assert batch: the two-variable system
+   3x <= 2y, 3y <= 2x + 1 forces the derived lower bounds of x and y to
+   climb geometrically (ratio 9/4 per round) while the cap [x <= 10^18]
+   descends (ratio 4/9), so the bounds meet after ~26 rounds — more than
+   one fixpoint allows.  The conflict is then discovered
+   when a later frame's (unrelated) assertion resumes propagation — and
+   its core lies entirely in the older frame, which is exactly the
+   situation core-guided sibling pruning keys on. *)
+let test_session_shallow_core () =
+  let s = Lia.create () in
+  Lia.push s;
+  Lia.assert_atoms s
+    [
+      A.le (L.scale (Q.of_int 3) (v 0)) (L.scale (Q.of_int 2) (v 1));
+      A.le (L.scale (Q.of_int 3) (v 1)) (L.add (L.scale (Q.of_int 2) (v 0)) (c 1));
+      A.ge (v 0) (c 1);
+      A.le (v 0) (L.const (Q.of_int 1_000_000_000_000_000_000));
+    ];
+  (match Lia.check_quick s with
+   | Lia.Unsat -> Alcotest.fail "conflict found too early: fixpoint cap changed?"
+   | _ -> ());
+  Lia.push s;
+  (* Fresh, satisfiable-by-itself atom on an unrelated variable. *)
+  Lia.assert_atoms s [ A.le (v 9) (c 5) ];
+  (match Lia.check_quick s with
+   | Lia.Unsat -> ()
+   | _ -> Alcotest.fail "resumed propagation should refute the old frame");
+  (match Lia.unsat_depth s with
+   | Some d ->
+     Alcotest.(check int) "core omits the newest frame" 1 d;
+     Alcotest.(check bool) "strictly shallower than the stack" true (d < 2)
+   | None -> Alcotest.fail "expected core provenance");
+  Lia.pop s;
+  Lia.pop s
+
+(* ------------------------------------------------------------------ *)
+(* Differential battery: random LIA conjunctions.                       *)
+
+type rel3 = RLe | RLt | REq
+
+type ratom = { coeffs : int list; k : int; rel : rel3 }
+
+let atom_of_ratom { coeffs; k; rel } =
+  let expr = L.of_int_terms (List.mapi (fun i ci -> (ci, i)) coeffs) k in
+  match rel with
+  | RLe -> { A.expr; rel = A.Le }
+  | RLt -> { A.expr; rel = A.Lt }
+  | REq -> { A.expr; rel = A.Eq }
+
+let pres_of_ratom { coeffs; k; rel } =
+  let term =
+    P.Term.of_terms
+      (List.mapi (fun i ci -> (ci, Printf.sprintf "x%d" i)) coeffs)
+      k
+  in
+  let zero = P.Term.const 0 in
+  match rel with
+  | RLe -> P.le term zero
+  | RLt -> P.lt term zero
+  | REq -> P.eq term zero
+
+let arb_system ?(max_coeff = 3) ~vars ~max_atoms () =
+  let open QCheck in
+  let gen_atom =
+    Gen.map3
+      (fun coeffs k r ->
+        { coeffs; k; rel = (match r with 0 -> RLe | 1 -> RLt | _ -> REq) })
+      (Gen.list_size (Gen.return vars) (Gen.int_range (-max_coeff) max_coeff))
+      (Gen.int_range (-4) 4) (Gen.int_range 0 2)
+  in
+  make
+    ~print:(fun atoms ->
+      String.concat " /\\ "
+        (List.map (fun a -> A.to_string (atom_of_ratom a)) atoms))
+    (Gen.list_size (Gen.int_range 1 max_atoms) gen_atom)
+
+(* The certifying engine against the flat engine: verdicts agree, every
+   model checks, every refutation certifies, and every mutated
+   certificate is rejected. *)
+let diff_cert_vs_flat ratoms =
+  let atoms = List.map atom_of_ratom ratoms in
+  match (Lia.solve_cert atoms, Lia.solve atoms) with
+  | (Lia.Cert_unknown | Lia.Cert_timeout), _ | _, (Lia.Unknown | Lia.Timeout) ->
+    QCheck.assume_fail ()
+  | Lia.Cert_sat m, Lia.Sat _ -> Lia.check_model atoms m
+  | Lia.Cert_unsat cert, Lia.Unsat -> (
+    match Certcheck.validate atoms cert with
+    | Error msg -> QCheck.Test.fail_reportf "certificate rejected: %s" msg
+    | Ok () -> (
+      match Certcheck.validate atoms (mutate cert) with
+      | Ok () -> QCheck.Test.fail_reportf "mutated certificate accepted"
+      | Error _ -> true))
+  | Lia.Cert_sat _, Lia.Unsat ->
+    QCheck.Test.fail_reportf "certifying engine sat, flat engine unsat"
+  | Lia.Cert_unsat _, Lia.Sat _ ->
+    QCheck.Test.fail_reportf "certifying engine unsat, flat engine sat"
+
+(* Cooper quantifier elimination as a third, independently implemented
+   oracle: the existential closure of the conjunction is valid iff the
+   system is satisfiable. *)
+let diff_vs_presburger ratoms =
+  let atoms = List.map atom_of_ratom ratoms in
+  match Lia.solve_cert atoms with
+  | Lia.Cert_unknown | Lia.Cert_timeout -> QCheck.assume_fail ()
+  | verdict ->
+    let formula =
+      let conj = P.And (List.map pres_of_ratom ratoms) in
+      let nvars =
+        match ratoms with [] -> 0 | a :: _ -> List.length a.coeffs
+      in
+      let rec close i f =
+        if i < 0 then f else close (i - 1) (P.Exists (Printf.sprintf "x%d" i, f))
+      in
+      close (nvars - 1) conj
+    in
+    let sat_qe = P.is_valid formula in
+    (match verdict with
+     | Lia.Cert_sat _ ->
+       sat_qe || QCheck.Test.fail_reportf "solver sat, Cooper says unsat"
+     | Lia.Cert_unsat cert ->
+       (match Certcheck.validate atoms cert with
+        | Error msg -> QCheck.Test.fail_reportf "certificate rejected: %s" msg
+        | Ok () -> ());
+       (not sat_qe) || QCheck.Test.fail_reportf "solver unsat, Cooper says sat"
+     | _ -> true)
+
+(* CDCL(T): the boolean solver over theory atoms must agree with a
+   direct case analysis.  Build (a1 /\ a2) \/ (a3 /\ a4) style formulas
+   and compare Solver against satisfiability of either disjunct. *)
+let diff_solver_formula (left, right) =
+  let la = List.map atom_of_ratom left and ra = List.map atom_of_ratom right in
+  let module F = Smt.Formula in
+  let conj atoms = F.conj (List.map (fun a -> F.atom a) atoms) in
+  let f = F.disj [ conj la; conj ra ] in
+  match Smt.Solver.solve f with
+  | Smt.Solver.Unknown -> QCheck.assume_fail ()
+  | Smt.Solver.Sat m ->
+    let assign v' =
+      match List.assoc_opt v' m with Some b -> Q.of_bigint b | None -> Q.zero
+    in
+    List.for_all (A.holds assign) la || List.for_all (A.holds assign) ra
+    || QCheck.Test.fail_reportf "CDCL(T) model satisfies neither disjunct"
+  | Smt.Solver.Unsat -> (
+    match (Lia.solve la, Lia.solve ra) with
+    | Lia.Unsat, Lia.Unsat -> true
+    | (Lia.Unknown | Lia.Timeout), _ | _, (Lia.Unknown | Lia.Timeout) ->
+      QCheck.assume_fail ()
+    | _ -> QCheck.Test.fail_reportf "CDCL(T) unsat but a disjunct is satisfiable")
+
+let () =
+  Alcotest.run "certificates"
+    [
+      ( "unit",
+        [
+          Alcotest.test_case "farkas simple" `Quick test_farkas_simple;
+          Alcotest.test_case "farkas tightened premises" `Quick test_farkas_tightened;
+          Alcotest.test_case "divisibility conflict" `Quick test_div_conflict;
+          Alcotest.test_case "trivially false input" `Quick test_trivially_false;
+          Alcotest.test_case "branch certificate" `Quick test_branch;
+          Alcotest.test_case "split certificate" `Quick test_split;
+          Alcotest.test_case "sat model" `Quick test_sat_model;
+          Alcotest.test_case "json roundtrip" `Quick test_json_roundtrip;
+          Alcotest.test_case "mutation rejected" `Quick test_mutation_unit;
+        ] );
+      ( "simplex-cores",
+        [
+          Alcotest.test_case "conflict explanation" `Quick test_simplex_explanation;
+          Alcotest.test_case "untagged degrades to None" `Quick
+            test_simplex_untagged_degrades;
+        ] );
+      ( "session-cores",
+        [
+          Alcotest.test_case "core and depth" `Quick test_session_core_depth;
+          Alcotest.test_case "shallow core across frames" `Quick
+            test_session_shallow_core;
+        ] );
+      ( "differential",
+        [
+          prop "cert engine vs flat engine" 300
+            (arb_system ~vars:3 ~max_atoms:5 ())
+            diff_cert_vs_flat;
+          (* Cooper QE is doubly exponential in practice: keep its
+             diet small (coefficients in [-2,2], three atoms) so the
+             oracle stays fast on every seed. *)
+          prop "cert engine vs Cooper QE" 80
+            (arb_system ~max_coeff:2 ~vars:2 ~max_atoms:3 ())
+            diff_vs_presburger;
+          prop "CDCL(T) vs disjunct analysis" 100
+            QCheck.(
+              pair
+                (arb_system ~vars:2 ~max_atoms:3 ())
+                (arb_system ~vars:2 ~max_atoms:3 ()))
+            diff_solver_formula;
+        ] );
+    ]

@@ -61,6 +61,13 @@ let check_pair ?max_schemas name u spec =
     (name ^ ": skipped <= schemas")
     true
     (inc.Ck.stats.schemas_skipped <= inc.Ck.stats.schemas_checked);
+  (* Core-guided sibling prunes are a subset of all prunes, and the flat
+     engine (which never opens a session) reports none. *)
+  Alcotest.(check int) (name ^ ": flat core prunes") 0 flat.Ck.stats.core_prunes;
+  Alcotest.(check bool)
+    (name ^ ": core prunes <= prunes")
+    true
+    (inc.Ck.stats.core_prunes <= inc.Ck.stats.subtrees_pruned);
   (flat, inc)
 
 (* Parallel incremental vs sequential incremental: same outcome,
@@ -270,6 +277,7 @@ let engines_and_explicit_agree spec descs =
   && flat.Ck.stats.schemas_checked = inc.Ck.stats.schemas_checked
   && flat.Ck.stats.slots_total = inc.Ck.stats.slots_total
   && inc.Ck.stats.solver_steps <= flat.Ck.stats.solver_steps
+  && inc.Ck.stats.core_prunes <= inc.Ck.stats.subtrees_pruned
   &&
   match inc.Ck.outcome with
   | Ck.Aborted _ | Ck.Partial _ -> QCheck.assume_fail ()
@@ -332,6 +340,83 @@ let test_gadget_pruning () =
       | Explicit.Violated _ -> Alcotest.fail "explicit checker disagrees")
     [ 1; 2; 3 ]
 
+(* ------------------------------------------------------------------ *)
+(* End-to-end certificate emission: run the sequential engines with a
+   sink attached, then replay every emitted JSONL line against the
+   standalone checker — the in-process version of
+   `verify --emit-certs` piped into `check-cert`.  On a Holds outcome
+   the emitted certificates must cover the whole transcript: one line
+   per discharged schema, one spanning line per pruned subtree. *)
+
+let replay_certificates path =
+  let module J = Jsonc in
+  let ic = open_in path in
+  let lines = ref 0 and covered = ref 0 in
+  (try
+     while true do
+       let line = input_line ic in
+       if String.trim line <> "" then begin
+         incr lines;
+         let j = J.of_string line in
+         let kind = J.to_str (J.member "kind" j) in
+         let atoms =
+           List.map Smt.Certificate.atom_of_json (J.to_list (J.member "atoms" j))
+         in
+         let branches =
+           if kind = "schema" then
+             List.map
+               (fun alts ->
+                 List.map
+                   (fun cube -> List.map Smt.Certificate.atom_of_json (J.to_list cube))
+                   (J.to_list alts))
+               (J.to_list (J.member "branches" j))
+           else []
+         in
+         covered :=
+           !covered
+           + (if kind = "prefix" then J.to_int (J.member "span" j) else 1);
+         match
+           Smt.Certcheck.validate_query ~atoms ~branches
+             (Smt.Certificate.of_json (J.member "cert" j))
+         with
+         | Ok () -> ()
+         | Error msg -> Alcotest.failf "certificate line %d rejected: %s" !lines msg
+       end
+     done
+   with End_of_file -> close_in ic);
+  (!lines, !covered)
+
+let emit_and_replay name u (specs : S.t list) ~incremental =
+  let path = Filename.temp_file "holistic_certs" ".jsonl" in
+  let oc = open_out path in
+  let sink = Holistic.Certs.create oc in
+  let results =
+    List.map
+      (fun spec ->
+        Ck.verify_with_universe ~limits:(limits ~incremental ()) ~certs:sink u spec)
+      specs
+  in
+  close_out oc;
+  Alcotest.(check int) (name ^ ": no emission failures") 0 (Holistic.Certs.failed sink);
+  Alcotest.(check bool) (name ^ ": certificates emitted") true
+    (Holistic.Certs.emitted sink > 0);
+  let lines, covered = replay_certificates path in
+  Sys.remove path;
+  Alcotest.(check int) (name ^ ": every certificate written") (Holistic.Certs.emitted sink)
+    lines;
+  let all_hold = List.for_all (fun r -> r.Ck.outcome = Ck.Holds) results in
+  if all_hold then
+    Alcotest.(check int)
+      (name ^ ": certificates cover the whole transcript")
+      (List.fold_left (fun acc r -> acc + r.Ck.stats.schemas_checked) 0 results)
+      covered
+
+let test_certificate_emission () =
+  emit_and_replay "bv inc" (Lazy.force bv_u) Models.Bv_ta.all_specs ~incremental:true;
+  emit_and_replay "bv flat" (Lazy.force bv_u)
+    [ List.hd Models.Bv_ta.all_specs ]
+    ~incremental:false
+
 let qcheck_tests =
   [
     QCheck_alcotest.to_alcotest
@@ -358,4 +443,9 @@ let () =
             test_broken_resilience_witness;
         ] );
       ("random automata", qcheck_tests);
+      ( "certificates",
+        [
+          Alcotest.test_case "emit, replay with the standalone checker" `Slow
+            test_certificate_emission;
+        ] );
     ]

@@ -15,6 +15,7 @@ let fake_result outcome : Holistic.Checker.result =
         schemas_checked = 10;
         schemas_skipped = 0;
         subtrees_pruned = 0;
+        core_prunes = 0;
         prefix_hits = 0;
         slots_total = 120;
         solver_steps = 0;
