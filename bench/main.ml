@@ -19,6 +19,7 @@
 
    Usage: dune exec bench/main.exe [-- --quick] [-- --naive-budget S] [-- --jobs N]
           [-- --slice] [-- --no-incremental] [-- --bench-json PATH]
+          [-- --bench6-json PATH] [-- --bench7-json PATH]
           [-- --checkpoint DIR] [-- --resume] [-- --checkpoint-every N] *)
 
 let quick = Array.exists (( = ) "--quick") Sys.argv
@@ -336,6 +337,68 @@ let certificates () =
   print_newline ()
 
 (* ------------------------------------------------------------------ *)
+(* Section 2e: static discharge ablation, per bundled property
+   (jobs=1, incremental).  The invariant engine's certified refutations
+   must not change any observable of the verification — verdict,
+   schema count, slot total — while the solver-step count can only
+   shrink (statically refuted subtrees are skipped at zero steps).
+   The records go to BENCH_7.json for CI's gates: every row agrees,
+   static steps never exceed non-static steps, and the simplified
+   model shows at least one static prune. *)
+
+let bench7_json_path =
+  match flag_value "--bench7-json" with Some p -> p | None -> "BENCH_7.json"
+
+let static_comparison () =
+  print_endline "== Static discharge vs full solving (jobs=1, incremental) ==";
+  let cases =
+    List.map (fun s -> ("bv", Models.Bv_ta.automaton, s)) Models.Bv_ta.table2_specs
+    @ List.map
+        (fun s -> ("simplified", Models.Simplified_ta.automaton, s))
+        (if quick then [ Models.Simplified_ta.inv2_0; Models.Simplified_ta.good_0 ]
+         else Models.Simplified_ta.table2_specs)
+  in
+  let records = ref [] in
+  Printf.printf "%-14s %-12s %12s %12s %7s %6s\n" "TA" "Property" "steps-nostatic"
+    "steps-static" "statics" "agree";
+  List.iter
+    (fun (ta_name, ta, spec) ->
+      let u = Holistic.Universe.build ta in
+      let run static =
+        let limits =
+          { limits with Holistic.Checker.jobs = 1; incremental = true; static }
+        in
+        Holistic.Checker.verify_with_universe ~limits u spec
+      in
+      let plain = run false in
+      let stat = run true in
+      let agree =
+        outcome_string plain = outcome_string stat
+        && plain.Holistic.Checker.stats.schemas_checked = stat.Holistic.Checker.stats.schemas_checked
+        && plain.stats.slots_total = stat.stats.slots_total
+      in
+      records :=
+        Printf.sprintf
+          {|    {"ta": %S, "property": %S, "outcome": %S, "schemas": %d, "slots": %d, "static_prunes": %d, "steps_nonstatic": %d, "steps_static": %d, "agree": %b}|}
+          ta_name spec.Ta.Spec.name (outcome_string stat)
+          stat.Holistic.Checker.stats.schemas_checked stat.stats.slots_total
+          stat.stats.static_prunes plain.Holistic.Checker.stats.solver_steps
+          stat.stats.solver_steps agree
+        :: !records;
+      Printf.printf "%-14s %-12s %12d %12d %7d %6s\n%!" ta_name spec.Ta.Spec.name
+        plain.Holistic.Checker.stats.solver_steps stat.stats.solver_steps
+        stat.stats.static_prunes
+        (if agree then "yes" else "NO!"))
+    cases;
+  let oc = open_out bench7_json_path in
+  Printf.fprintf oc "{\n  \"jobs\": 1,\n  \"mode\": %S,\n  \"results\": [\n%s\n  ]\n}\n"
+    (if quick then "quick" else "full")
+    (String.concat ",\n" (List.rev !records));
+  close_out oc;
+  Printf.printf "(wrote %s)\n" bench7_json_path;
+  print_newline ()
+
+(* ------------------------------------------------------------------ *)
 (* Section 3: Bechamel micro-benchmarks.                                *)
 
 let micro () =
@@ -458,6 +521,7 @@ let () =
   speedup ();
   incremental_comparison ();
   certificates ();
+  static_comparison ();
   micro ();
   ablation ();
   print_endline "done."

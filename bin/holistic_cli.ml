@@ -127,6 +127,26 @@ let incremental_arg =
                  ~doc:"Solve one self-contained query per schema (the flat engine)." );
            ])
 
+(* Shared by verify and table2: the abstract-interpretation static
+   discharge.  Soundness contract: verdicts, witnesses and schema counts
+   are bit-identical either way; --no-static exists to demonstrate (and
+   test) exactly that, and to time the solver without the shortcut. *)
+let static_arg =
+  Arg.(value
+       & vflag true
+           [
+             ( true,
+               info [ "static" ]
+                 ~doc:"Discharge schemas refuted by the invariant engine's certified \
+                       static analysis without invoking the solver (default).  \
+                       Verdicts, witnesses and schema counts are identical to \
+                       $(b,--no-static); only solver effort differs." );
+             ( false,
+               info [ "no-static" ]
+                 ~doc:"Disable the static discharge: every schema goes to the \
+                       solver." );
+           ])
+
 (* Shared by verify and table2: crash-safe checkpointing.  --checkpoint
    names a directory (created if missing) holding one journal file per
    (TA, property) — see Report.checkpoint_file — so a multi-property run
@@ -211,8 +231,8 @@ let verify_cmd =
                    JSON line per certificate to this file, replayable with \
                    $(b,holistic check-cert).  Forces the sequential engine (--jobs 1).")
   in
-  let run model spec_name broken max_schemas budget jobs incremental worker_stats slice
-      force checkpoint resume checkpoint_every emit_certs =
+  let run model spec_name broken max_schemas budget jobs incremental static worker_stats
+      slice force checkpoint resume checkpoint_every emit_certs =
     gate ~force ~broken model;
     install_interrupt_handlers ();
     ensure_checkpoint_dir checkpoint;
@@ -228,7 +248,7 @@ let verify_cmd =
     let jobs = if emit_certs = None then jobs else 1 in
     let limits =
       { Holistic.Checker.default_limits with max_schemas; time_budget = budget; jobs;
-        incremental }
+        incremental; static }
     in
     let cert_oc = Option.map open_out emit_certs in
     let certs = Option.map Holistic.Certs.create cert_oc in
@@ -266,8 +286,8 @@ let verify_cmd =
        ~doc:"Verify properties for all parameters n > 3t, t >= f >= 0 (the paper's \
              parameterized model checking).")
     Term.(const run $ model_arg $ spec_arg $ broken $ max_schemas $ budget $ jobs
-          $ incremental_arg $ worker_stats $ slice $ force $ checkpoint_arg $ resume_arg
-          $ checkpoint_every_arg $ emit_certs)
+          $ incremental_arg $ static_arg $ worker_stats $ slice $ force $ checkpoint_arg
+          $ resume_arg $ checkpoint_every_arg $ emit_certs)
 
 (* --- explicit ------------------------------------------------------ *)
 
@@ -509,7 +529,8 @@ let check_cert_cmd =
      with End_of_file -> close_in ic);
     let lines = List.rev !lines in
     let t0 = Unix.gettimeofday () in
-    let schemas = ref 0 and prefixes = ref 0 and span = ref 0 and failed = ref 0 in
+    let schemas = ref 0 and prefixes = ref 0 and statics = ref 0 in
+    let span = ref 0 and failed = ref 0 in
     List.iteri
       (fun i line ->
         let fail msg =
@@ -545,6 +566,9 @@ let check_cert_cmd =
           | "prefix" ->
             incr prefixes;
             span := !span + J.to_int (J.member "span" j)
+          | "static" ->
+            incr statics;
+            span := !span + J.to_int (J.member "span" j)
           | k -> fail ("unknown certificate kind " ^ k));
           match Smt.Certcheck.validate_query ~atoms ~branches cert with
           | Ok () -> ()
@@ -560,15 +584,16 @@ let check_cert_cmd =
                 ("certificates", J.Int (List.length lines));
                 ("schemas", J.Int !schemas);
                 ("prefixes", J.Int !prefixes);
+                ("statics", J.Int !statics);
                 ("positions_covered", J.Int !span);
                 ("failed", J.Int !failed);
                 ("check_time_us", J.Int (int_of_float (time *. 1e6)));
               ]))
     else
       Printf.printf
-        "check-cert: %d certificates (%d schemas, %d pruned prefixes; %d enumeration \
-         positions covered), %d rejected, %.3f s\n"
-        (List.length lines) !schemas !prefixes !span !failed time;
+        "check-cert: %d certificates (%d schemas, %d pruned prefixes, %d static prunes; \
+         %d enumeration positions covered), %d rejected, %.3f s\n"
+        (List.length lines) !schemas !prefixes !statics !span !failed time;
     exit (if !failed > 0 then 1 else 0)
   in
   Cmd.v
@@ -605,12 +630,12 @@ let table2_cmd =
     Arg.(value & flag & info [ "force" ]
            ~doc:"Run even when the static analyzer reports error-level diagnostics.")
   in
-  let run quick budget format jobs incremental slice force checkpoint resume
+  let run quick budget format jobs incremental static slice force checkpoint resume
       checkpoint_every =
     List.iter (gate ~force) [ Bv; Naive; Simplified ];
     install_interrupt_handlers ();
     ensure_checkpoint_dir checkpoint;
-    let limits = { Holistic.Checker.default_limits with jobs; incremental } in
+    let limits = { Holistic.Checker.default_limits with jobs; incremental; static } in
     let rows =
       Report.table2 ~limits ~slice ?checkpoint_dir:checkpoint ~resume ~checkpoint_every
         ~quick ~naive_budget:budget ()
@@ -624,8 +649,8 @@ let table2_cmd =
   in
   Cmd.v
     (Cmd.info "table2" ~doc:"Regenerate the paper's Table 2 (also see bench/main.exe).")
-    Term.(const run $ quick $ budget $ format $ jobs $ incremental_arg $ slice $ force
-          $ checkpoint_arg $ resume_arg $ checkpoint_every_arg)
+    Term.(const run $ quick $ budget $ format $ jobs $ incremental_arg $ static_arg
+          $ slice $ force $ checkpoint_arg $ resume_arg $ checkpoint_every_arg)
 
 (* --- lint ----------------------------------------------------------- *)
 
@@ -667,8 +692,15 @@ let lint_cmd =
     (Cmd.info "lint"
        ~doc:"Statically analyze an automaton and its properties: soundness preconditions \
              of the schema method, resilience satisfiability, dead rules, unreachable \
-             locations, unused shared variables.  Exit code is the maximum severity \
-             (0 = clean/info, 1 = warning, 2 = error).")
+             locations, unused shared variables, plus the abstract-interpretation \
+             passes (TA017-TA024): statically false guards, starved rules and \
+             locations, dominated guard atoms, trivial thresholds, constant-zero \
+             shared variables, and invariant-fixpoint precision loss.  Exit-code \
+             contract: the maximum severity over all linted automata — 0 when every \
+             diagnostic is info-level or there are none, 1 when any warning fired, \
+             2 when any error fired.  With $(b,--json), diagnostics are listed in a \
+             stable (code, subject, message) order, so outputs diff cleanly across \
+             runs.")
     Term.(const run $ model_opt $ broken $ json)
 
 let () =

@@ -1,0 +1,313 @@
+(* Abstract interpretation over the threshold-automaton control
+   structure.
+
+   Two fixpoints, both over-approximating every reachable configuration
+   of the counter system:
+
+   - an {b upper} fixpoint computing the abstractly-entered locations,
+     the live rules, per-shared-variable production capacities, and the
+     set of guard atoms that are statically false: an atom [sum c_i*x_i
+     >= b] is false when the total capacity of the live rules that do
+     {e not} themselves require the atom cannot reach [b] under the
+     resilience condition.  Excluding self-requiring producers breaks
+     the circular support of guard-and-update-same-variable rules: at
+     the first moment such an atom would have to hold, only rules not
+     guarded by it can have fired (see DESIGN.md).  Each discovered
+     false atom kills its rules, which shrinks capacities, which can
+     discover more false atoms — iterate to fixpoint (monotone, at most
+     one iteration per unique atom).
+
+   - a {b lower} widening/narrowing fixpoint propagating lower-bound
+     states ({!Domain.lower}) along the rule graph: a rule transfers
+     its source state met with its guard and shifted by its update;
+     states join at merge points.  Per-(location,row) widening drops
+     rows whose bound keeps changing, and a global sweep cap guards
+     against non-termination (both surfaced so the linter can report
+     TA024); one narrowing sweep reruns the transfer from the
+     stabilized states, which is sound because the transfer is
+     monotone and the stabilized map is a post-fixpoint.
+
+   Two modes: [One_round] matches the checker's encoding (round-switch
+   edges ignored, every rule fires at most [population] times along a
+   DAG), used for static schema discharge; [Cross_round] closes
+   reachability over the round-switch edges and treats any live
+   producer as unbounded capacity, used by the linter and slicer where
+   claims must hold for full multi-round semantics. *)
+
+module A = Ta.Automaton
+module G = Ta.Guard
+module P = Ta.Pexpr
+module D = Domain
+
+type mode = One_round | Cross_round
+
+type assumptions = {
+  never_enter : string list;  (** locations the spec forbids entering *)
+  empty_init : string list;  (** locations the spec's init pins to zero *)
+  mode : mode;
+}
+
+let no_assumptions = { never_enter = []; empty_init = []; mode = Cross_round }
+
+(* Locations whose counter the init condition forces to zero: atoms
+   [sum c_i * kappa_i (<=|=) 0] with positive coefficients and only
+   counter terms — over non-negative counters each named counter is 0. *)
+let empty_init_locations (init : Ta.Cond.t) =
+  List.concat_map
+    (fun (a : Ta.Cond.atom) ->
+      match a.rel with
+      | Ta.Cond.Ge -> []
+      | Ta.Cond.Eq | Ta.Cond.Le ->
+        if a.const = 0 && a.terms <> []
+           && List.for_all
+                (fun (t, c) -> match t with Ta.Cond.Counter _ -> c > 0 | _ -> false)
+                a.terms
+        then
+          List.filter_map
+            (fun (t, _) -> match t with Ta.Cond.Counter l -> Some l | _ -> None)
+            a.terms
+        else [])
+    init
+  |> List.sort_uniq Stdlib.compare
+
+let of_spec ?(mode = One_round) (spec : Ta.Spec.t) =
+  { never_enter = spec.never_enter; empty_init = empty_init_locations spec.init; mode }
+
+type t = {
+  ta : A.t;
+  oracle : D.oracle;
+  assume : assumptions;
+  entered : (string, unit) Hashtbl.t;
+  live : (string, unit) Hashtbl.t;  (** by rule name *)
+  false_atoms : (G.atom * P.t) list;
+      (** refuted atom with the finite capacity of its left-hand side
+          over live rules not guarded by the atom itself *)
+  shared_cap : (string * D.capacity) list;  (** over all live rules *)
+  lower : (string, D.lower) Hashtbl.t;  (** per entered location *)
+  widened : (string * D.row) list;  (** rows dropped by widening *)
+  sweeps : int;
+  capped : bool;
+}
+
+let entered t l = Hashtbl.mem t.entered l
+let rule_live t (r : A.rule) = Hashtbl.mem t.live r.name
+
+let false_atom t (a : G.atom) =
+  List.find_opt (fun (a', _) -> G.atom_equal a a') t.false_atoms |> Option.map snd
+
+let shared_cap t x =
+  match List.assoc_opt x t.shared_cap with Some c -> c | None -> D.cap_zero
+
+(* Upper bound on kappa[l] and on "some process ever entered l": along
+   a DAG each process passes through [l] at most once per round. *)
+let entered_cap t l =
+  if not (entered t l) then D.cap_zero
+  else match t.assume.mode with One_round -> D.Fin t.ta.population | Cross_round -> D.Inf
+
+let lower t l = match Hashtbl.find_opt t.lower l with Some s -> s | None -> D.top
+
+(* --- upper fixpoint -------------------------------------------------- *)
+
+let atom_mem a atoms = List.exists (G.atom_equal a) atoms
+
+let build ?(assume = no_assumptions) (ta : A.t) =
+  let oracle = D.oracle ~params:ta.params ~resilience:ta.resilience in
+  let blocked l = List.mem l assume.never_enter in
+  let entered = Hashtbl.create 16 in
+  let live = Hashtbl.create 16 in
+  let false_atoms = ref [] in
+  let guard_false (g : G.t) = List.exists (fun a -> atom_mem a (List.map fst !false_atoms)) g in
+  let rule_ok (r : A.rule) =
+    Hashtbl.mem entered r.source && not (blocked r.target) && not (guard_false r.guard)
+  in
+  let recompute_reach () =
+    Hashtbl.reset entered;
+    Hashtbl.reset live;
+    List.iter
+      (fun l ->
+        if (not (blocked l)) && not (List.mem l assume.empty_init) then
+          Hashtbl.replace entered l ())
+      ta.initial;
+    let changed = ref true in
+    while !changed do
+      changed := false;
+      let enter l =
+        if (not (blocked l)) && not (Hashtbl.mem entered l) then begin
+          Hashtbl.replace entered l ();
+          changed := true
+        end
+      in
+      List.iter (fun (r : A.rule) -> if rule_ok r then enter r.target) ta.rules;
+      if assume.mode = Cross_round then
+        List.iter (fun (src, tgt) -> if Hashtbl.mem entered src then enter tgt) ta.round_switch
+    done;
+    List.iter (fun (r : A.rule) -> if rule_ok r then Hashtbl.replace live r.name ()) ta.rules
+  in
+  (* Capacity each live rule contributes per unit of update: in the
+     one-round encoding a rule moves at most [population] processes
+     along the DAG; across rounds there is no bound. *)
+  let per_rule_cap =
+    match assume.mode with One_round -> D.Fin ta.population | Cross_round -> D.Inf
+  in
+  let production ?excluding x =
+    List.fold_left
+      (fun acc (r : A.rule) ->
+        let excluded =
+          match excluding with Some a -> atom_mem a r.guard | None -> false
+        in
+        if Hashtbl.mem live r.name && not excluded then
+          match List.assoc_opt x r.update with
+          | Some c when c > 0 -> D.cap_add acc (D.cap_scale c per_rule_cap)
+          | _ -> acc
+        else acc)
+      D.cap_zero ta.rules
+  in
+  let atom_refuted (a : G.atom) =
+    let cap =
+      List.fold_left
+        (fun acc (x, c) -> D.cap_add acc (D.cap_scale c (production ~excluding:a x)))
+        D.cap_zero a.G.shared
+    in
+    match cap with
+    | D.Inf -> None
+    | D.Fin e -> if D.valid_pos oracle (P.sub a.G.bound e) then Some e else None
+  in
+  recompute_reach ();
+  let progress = ref true in
+  while !progress do
+    progress := false;
+    List.iter
+      (fun a ->
+        if not (atom_mem a (List.map fst !false_atoms)) then
+          match atom_refuted a with
+          | Some cap ->
+            false_atoms := (a, cap) :: !false_atoms;
+            progress := true
+          | None -> ())
+      (A.unique_guard_atoms ta);
+    if !progress then recompute_reach ()
+  done;
+  let shared_cap = List.map (fun x -> (x, production x)) ta.shared in
+  (* --- lower fixpoint ------------------------------------------------ *)
+  let lower : (string, D.lower) Hashtbl.t = Hashtbl.create 16 in
+  let change_count : (string * (string * int) list, int) Hashtbl.t = Hashtbl.create 16 in
+  let widened = ref [] in
+  let widen_limit = 3 in
+  let meet_guard st (g : G.t) = List.fold_left (D.meet oracle) st g in
+  let transfer (r : A.rule) =
+    match Hashtbl.find_opt lower r.source with
+    | None -> None
+    | Some st -> Some (D.shift (meet_guard st r.guard) r.update)
+  in
+  (* All inflows of [l] under the stabilizing map (None = bottom, no
+     inflow yet). *)
+  let inflow l =
+    let merge acc st =
+      match acc with None -> Some st | Some st' -> Some (D.join oracle st' st)
+    in
+    let acc =
+      if Hashtbl.mem entered l && List.mem l ta.initial && not (blocked l)
+         && not (List.mem l assume.empty_init)
+      then Some D.top
+      else None
+    in
+    let acc =
+      List.fold_left
+        (fun acc (r : A.rule) ->
+          if Hashtbl.mem live r.name && r.target = l then
+            match transfer r with None -> acc | Some st -> merge acc st
+          else acc)
+        acc ta.rules
+    in
+    if assume.mode = Cross_round then
+      List.fold_left
+        (fun acc (src, tgt) ->
+          if tgt = l && Hashtbl.mem entered src then
+            match Hashtbl.find_opt lower src with
+            | Some st -> merge acc st
+            | None -> acc
+          else acc)
+        acc ta.round_switch
+    else acc
+  in
+  let max_sweeps = 3 * (List.length ta.locations + List.length ta.rules) + 8 in
+  let sweeps = ref 0 in
+  let capped = ref false in
+  let stable = ref false in
+  while (not !stable) && not !capped do
+    incr sweeps;
+    if !sweeps > max_sweeps then capped := true
+    else begin
+      stable := true;
+      List.iter
+        (fun l ->
+          match inflow l with
+          | None -> ()
+          | Some incoming ->
+            let next =
+              match Hashtbl.find_opt lower l with
+              | None -> incoming
+              | Some old ->
+                let joined = D.join oracle old incoming in
+                if D.equal joined old then old
+                else
+                  (* Widen rows whose bound keeps changing. *)
+                  List.filter
+                    (fun (r : D.row) ->
+                      match D.find_row old r.coeffs with
+                      | Some r0 when not (P.equal r0.lo r.lo) ->
+                        let key = (l, r.coeffs) in
+                        let n =
+                          (match Hashtbl.find_opt change_count key with
+                          | Some n -> n
+                          | None -> 0)
+                          + 1
+                        in
+                        Hashtbl.replace change_count key n;
+                        if n >= widen_limit then begin
+                          widened := (l, r) :: !widened;
+                          false
+                        end
+                        else true
+                      | _ -> true)
+                    joined
+            in
+            let unchanged =
+              match Hashtbl.find_opt lower l with
+              | Some old -> D.equal old next
+              | None -> false
+            in
+            if not unchanged then begin
+              Hashtbl.replace lower l next;
+              stable := false
+            end)
+        ta.locations
+    end
+  done;
+  if !capped then
+    (* Unsound to stop mid-ascent: discard the lower states entirely
+       (top everywhere), keep only the flag for TA024. *)
+    Hashtbl.reset lower
+  else begin
+    (* One narrowing sweep: rerun the transfer from the stabilized map
+       simultaneously; monotonicity keeps the result a post-fixpoint,
+       and rows dropped by widening may be recovered. *)
+    let narrowed =
+      List.filter_map (fun l -> Option.map (fun st -> (l, st)) (inflow l)) ta.locations
+    in
+    Hashtbl.reset lower;
+    List.iter (fun (l, st) -> Hashtbl.replace lower l st) narrowed
+  end;
+  {
+    ta;
+    oracle;
+    assume;
+    entered;
+    live;
+    false_atoms = !false_atoms;
+    shared_cap;
+    lower;
+    widened = !widened;
+    sweeps = !sweeps;
+    capped = !capped;
+  }

@@ -1,0 +1,81 @@
+(** Abstract-interpretation invariant engine over the threshold-automaton
+    control structure.
+
+    Runs two over-approximating fixpoints (see DESIGN.md, abstraction
+    soundness):
+
+    - an upper fixpoint computing abstractly-entered locations, live
+      rules, per-shared-variable production capacities, and the guard
+      atoms that are {b statically false} — their threshold exceeds the
+      total capacity of the live rules that do not themselves require
+      the atom (the exclusion breaks circular self-support);
+    - a lower widening/narrowing fixpoint synthesizing per-location
+      {!Domain.lower} invariants ("whenever this location is populated,
+      [sum c_i*x_i >= e(params)] holds").
+
+    [One_round] mode matches the checker's single-round encoding and
+    feeds the static schema discharge; [Cross_round] closes over
+    round-switch edges with unbounded capacities and backs the linter
+    and slicer. *)
+
+module A := Ta.Automaton
+module G := Ta.Guard
+module P := Ta.Pexpr
+
+type mode = One_round | Cross_round
+
+type assumptions = {
+  never_enter : string list;
+  empty_init : string list;
+  mode : mode;
+}
+
+(** No spec assumptions, [Cross_round]. *)
+val no_assumptions : assumptions
+
+(** Locations whose counter an initial condition pins to zero
+    ([sum c_i*kappa_i (<=|=) 0] atoms with positive coefficients). *)
+val empty_init_locations : Ta.Cond.t -> string list
+
+(** Assumptions a spec justifies: its [never_enter] list and the
+    initial emptiness its [init] asserts ([One_round] by default —
+    the checker's encoding). *)
+val of_spec : ?mode:mode -> Ta.Spec.t -> assumptions
+
+type t = {
+  ta : A.t;
+  oracle : Domain.oracle;
+  assume : assumptions;
+  entered : (string, unit) Hashtbl.t;
+  live : (string, unit) Hashtbl.t;
+  false_atoms : (G.atom * P.t) list;
+  shared_cap : (string * Domain.capacity) list;
+  lower : (string, Domain.lower) Hashtbl.t;
+  widened : (string * Domain.row) list;
+  sweeps : int;
+  capped : bool;
+}
+
+val build : ?assume:assumptions -> A.t -> t
+
+(** Some process can be at (or ever reach) the location. *)
+val entered : t -> string -> bool
+
+val rule_live : t -> A.rule -> bool
+
+(** [Some cap] when the atom is statically false: its left-hand side is
+    bounded by the parameter expression [cap] (over live rules not
+    guarded by the atom), which is provably below the threshold. *)
+val false_atom : t -> G.atom -> P.t option
+
+(** Total production capacity of the live rules for a shared variable. *)
+val shared_cap : t -> string -> Domain.capacity
+
+(** Upper bound on [kappa\[l\]] and on "ever entered [l]": the
+    population in [One_round] mode (DAG: each process passes through a
+    location at most once), unbounded in [Cross_round], zero when not
+    entered. *)
+val entered_cap : t -> string -> Domain.capacity
+
+(** Synthesized lower-bound invariant at a location (top when none). *)
+val lower : t -> string -> Domain.lower

@@ -1,3 +1,6 @@
+module Domain = Domain
+module Absint = Absint
+module Invariants = Invariants
 module A = Ta.Automaton
 module G = Ta.Guard
 module P = Ta.Pexpr
@@ -94,7 +97,16 @@ let diagnostic_json d =
   in
   "{" ^ String.concat "," fields ^ "}"
 
+(* Stable (code, subject, location, message) order, independent of the
+   order the passes ran in — CI jq gates index into this list. *)
+let compare_diagnostics d1 d2 =
+  let k1, n1 = subject_json d1.subject and k2, n2 = subject_json d2.subject in
+  Stdlib.compare (d1.code, k1, n1, d1.message) (d2.code, k2, n2, d2.message)
+
+let sort_diagnostics = List.stable_sort compare_diagnostics
+
 let to_json ~ta_name diags =
+  let diags = sort_diagnostics diags in
   let count s = List.length (List.filter (fun d -> d.severity = s) diags) in
   Printf.sprintf "{\"automaton\":\"%s\",\"errors\":%d,\"warnings\":%d,\"diagnostics\":[%s]}"
     (json_escape ta_name) (count Error) (count Warning)
@@ -630,6 +642,143 @@ let unreachable_diag l =
   diag "TA007" Warning (Location l) "unreachable from the initial locations"
     ~hint:"drop the location or add a rule reaching it"
 
+(* --- linter v2: abstract-interpretation passes (TA017..TA024) -------- *)
+
+(* Without round-switch edges the one-round encoding is the full
+   semantics, so the fixpoint may use finite (population-scaled)
+   capacities; with rounds, capacities of produced variables are
+   unbounded and only the zero/nonzero distinction remains. *)
+let lint_mode (ta : A.t) =
+  if ta.round_switch = [] then Absint.One_round else Absint.Cross_round
+
+let lint_absint (ta : A.t) =
+  Absint.build ~assume:{ Absint.no_assumptions with mode = lint_mode ta } ta
+
+(* TA017 when a statically-false guard atom kills the rule, TA018 when
+   the fixpoint starves its source instead.  Only for rules the
+   syntactic analysis (TA008) considers live. *)
+let absint_dead_rule_diag ab (r : A.rule) =
+  match
+    List.find_map (fun a -> Option.map (fun c -> (a, c)) (Absint.false_atom ab a)) r.guard
+  with
+  | Some (a, cap) ->
+    diag "TA017" Warning (Rule r.name)
+      (Printf.sprintf
+         "can never fire: guard atom %s is statically false — its left-hand side is \
+          bounded by %s, below the threshold under the resilience condition"
+         (G.atom_to_string a) (P.to_string cap))
+      ~hint:"the threshold exceeds the capacity of the live rules; drop the rule or fix it"
+  | None ->
+    diag "TA018" Warning (Rule r.name)
+      "can never fire under the abstract fixpoint: its source is never populated once \
+       statically false guards are removed"
+      ~hint:"drop the rule; the invariant engine proves it dead beyond syntactic \
+             reachability"
+
+let absint_unreachable_diag l =
+  diag "TA020" Warning (Location l)
+    "unreachable under the abstract semantics (though syntactically reachable): every \
+     path to it needs a statically false guard"
+    ~hint:"drop the location or fix the guards on its incoming paths"
+
+let check_absint (ta : A.t) (info : live_info) ab =
+  let oracle = ab.Absint.oracle in
+  let out = ref [] in
+  let emit d = out := d :: !out in
+  List.iter
+    (fun (r : A.rule) ->
+      if not (Absint.rule_live ab r) then emit (absint_dead_rule_diag ab r))
+    info.live;
+  List.iter
+    (fun l ->
+      if Hashtbl.mem info.reach l && not (Absint.entered ab l) then
+        emit (absint_unreachable_diag l))
+    ta.locations;
+  (* TA019: within one conjunctive guard, an atom implied by another is
+     redundant: coefficients dominate pointwise and the implying bound
+     entails the implied one. *)
+  let implies (a : G.atom) (b : G.atom) =
+    List.for_all
+      (fun (x, ca) ->
+        match List.assoc_opt x b.G.shared with Some cb -> cb >= ca | None -> false)
+      a.G.shared
+    && Domain.entails_ge oracle a.G.bound b.G.bound
+  in
+  List.iter
+    (fun (r : A.rule) ->
+      let rec pairs = function
+        | [] -> []
+        | a :: rest -> List.map (fun b -> (a, b)) rest @ pairs rest
+      in
+      List.iter
+        (fun (a, b) ->
+          if implies a b then
+            emit
+              (diag "TA019" Info (Rule r.name)
+                 (Printf.sprintf "guard atom %s is implied by %s and is redundant"
+                    (G.atom_to_string b) (G.atom_to_string a)))
+          else if implies b a then
+            emit
+              (diag "TA019" Info (Rule r.name)
+                 (Printf.sprintf "guard atom %s is implied by %s and is redundant"
+                    (G.atom_to_string a) (G.atom_to_string b))))
+        (pairs r.guard))
+    info.live;
+  (* TA021: a parameterized threshold that can be non-positive makes
+     the atom initially (hence trivially) true for those valuations. *)
+  List.iter
+    (fun (a : G.atom) ->
+      if a.G.bound.P.coeffs <> [] && Domain.sat_nonpos oracle a.G.bound then
+        emit
+          (diag "TA021" Info Automaton
+             (Printf.sprintf
+                "threshold %s of guard atom %s can be non-positive under the resilience \
+                 condition; the guard is then true from the initial state on"
+                (P.to_string a.G.bound) (G.atom_to_string a))))
+    (A.unique_guard_atoms ta);
+  (* TA022: a variable some guard reads but no live rule ever
+     increments is constantly zero. *)
+  let read_vars =
+    List.sort_uniq Stdlib.compare
+      (List.concat_map (fun (r : A.rule) -> guard_vars r.guard) ta.rules)
+  in
+  List.iter
+    (fun x ->
+      if List.mem x read_vars then
+        match Absint.shared_cap ab x with
+        | Domain.Fin e when P.equal e (P.const 0) ->
+          emit
+            (diag "TA022" Warning (Shared_var x)
+               "read by guards but never incremented by any live rule: it is constantly \
+                zero"
+               ~hint:"every guard reading it at a positive threshold is statically false")
+        | _ -> ())
+    ta.shared;
+  List.iter
+    (fun (j : A.justice) ->
+      if not (Absint.entered ab j.loc) then
+        emit
+          (diag "TA023" Info (Justice j.loc)
+             "justice constraint on a location that is never populated under the \
+              abstract semantics"))
+    ta.justice;
+  if ab.Absint.capped then
+    emit
+      (diag "TA024" Warning Automaton
+         (Printf.sprintf
+            "the invariant fixpoint hit its sweep cap after %d sweeps; lower-bound \
+             invariants were discarded (the refutation passes are unaffected)"
+            ab.Absint.sweeps))
+  else if ab.Absint.widened <> [] then
+    emit
+      (diag "TA024" Warning Automaton
+         (Printf.sprintf
+            "widening dropped %d unstable invariant row(s) (e.g. %s at %s)"
+            (List.length ab.Absint.widened)
+            (Domain.row_to_string (snd (List.hd ab.Absint.widened)))
+            (fst (List.hd ab.Absint.widened))));
+  List.rev !out
+
 (* --- the full analysis ---------------------------------------------- *)
 
 let run ?(assume = []) ?(specs = []) (ta : A.t) =
@@ -647,6 +796,7 @@ let run ?(assume = []) ?(specs = []) (ta : A.t) =
         check_population env ta
         @ List.map unreachable_diag info.unreachable
         @ List.map dead_rule_diag info.dead
+        @ check_absint ta info (lint_absint ta)
         @ check_justice_assumptions env ta assume
     in
     structural @ semantic @ check_unused_shared ta specs
@@ -659,11 +809,21 @@ let slice ?(keep = []) (ta : A.t) =
   if resilience_unsat env ta then (ta, [ ta005 ta ])
   else
     let info = live_analysis env ta in
-    let keep_loc l = Hashtbl.mem info.reach l || List.mem l keep in
+    let ab = lint_absint ta in
+    (* Semantic reachability: syntactic reachability intersected with the
+       invariant fixpoint.  A live rule under the fixpoint has both
+       endpoints abstractly entered, so the kept rule set is closed over
+       the kept locations. *)
+    let keep_loc l =
+      (Hashtbl.mem info.reach l && Absint.entered ab l) || List.mem l keep
+    in
     let dropped_locs = List.filter (fun l -> not (keep_loc l)) ta.locations in
-    if info.dead = [] && dropped_locs = [] then (ta, [])
+    let live, absint_dead =
+      List.partition (fun (r : A.rule) -> Absint.rule_live ab r) info.live
+    in
+    if info.dead = [] && absint_dead = [] && dropped_locs = [] then (ta, [])
     else begin
-      let live_names = List.map (fun (r : A.rule) -> r.name) info.live in
+      let live_names = List.map (fun (r : A.rule) -> r.name) live in
       let sliced =
         {
           ta with
@@ -682,10 +842,16 @@ let slice ?(keep = []) (ta : A.t) =
           (Printf.sprintf
              "sliced: %d dead rules and %d unreachable locations removed; unique guard \
               atoms %d -> %d"
-             (List.length info.dead) (List.length dropped_locs) atoms_before atoms_after)
+             (List.length info.dead + List.length absint_dead)
+             (List.length dropped_locs) atoms_before atoms_after)
+      in
+      let syntactic_drop, absint_drop =
+        List.partition (fun l -> not (Hashtbl.mem info.reach l)) dropped_locs
       in
       ( sliced,
-        List.map unreachable_diag dropped_locs
+        List.map unreachable_diag syntactic_drop
+        @ List.map absint_unreachable_diag absint_drop
         @ List.map dead_rule_diag info.dead
+        @ List.map (absint_dead_rule_diag ab) absint_dead
         @ [ summary ] )
     end

@@ -32,9 +32,38 @@
       condition the automaton's does not entail
     - [TA016] (info) slicing summary
 
+    Linter v2 — the abstract-interpretation passes, backed by the
+    {!Absint} invariant fixpoint (intervals and difference bounds over
+    shared variables, bounded by parameter expressions):
+    - [TA017] (warning) syntactically-live rule killed by a statically
+      false guard atom (threshold exceeds the capacity of the live
+      rules under the resilience condition)
+    - [TA018] (warning) syntactically-live rule whose source is never
+      populated once statically false guards are removed
+    - [TA019] (info) guard atom implied by another atom of the same
+      conjunctive guard (dominated, hence redundant)
+    - [TA020] (warning) syntactically-reachable location that the
+      abstract semantics proves unreachable
+    - [TA021] (info) parameterized guard threshold that can be
+      non-positive under the resilience condition (the guard is then
+      initially true)
+    - [TA022] (warning) shared variable read by guards but never
+      incremented by any live rule (constantly zero)
+    - [TA023] (info) justice constraint on a location never populated
+      under the abstract semantics
+    - [TA024] (warning) invariant fixpoint lost precision (widening
+      dropped rows, or the sweep cap was hit)
+
     The same analysis powers {!slice}, which removes provably dead rules
     and unreachable locations before universe construction: fewer live
-    guard atoms means exponentially fewer contexts and schemas. *)
+    guard atoms means exponentially fewer contexts and schemas.  The
+    sub-modules are re-exported: {!Domain} (oracle and lattices),
+    {!Absint} (the fixpoint engine), {!Invariants} (certified static
+    refutations for the checker's static-discharge pass). *)
+
+module Domain = Domain
+module Absint = Absint
+module Invariants = Invariants
 
 type severity = Info | Warning | Error
 
@@ -103,16 +132,20 @@ val run :
     [keep] so slicing never drops a location the encoder must resolve. *)
 val spec_locations : Ta.Spec.t -> string list
 
-(** [slice ?keep ta] drops rules that provably can never fire (dead
-    rules, as in TA008) and locations unreachable from the initial ones,
-    together with the guard atoms only they referenced.  Removed rules
-    can never fire in any run, so every run of [ta] is a run of the
-    slice and vice versa: {!Holistic.Checker} outcomes and witnesses are
-    preserved.  Locations in [keep] are retained even when unreachable
-    (their counters stay constantly zero).  Returns the sliced automaton
-    and the removal diagnostics (TA007/TA008 plus a TA016 summary);
-    returns [ta] unchanged when nothing is removable or when the
-    resilience condition is unsatisfiable (TA005).
+(** [slice ?keep ta] drops rules that provably can never fire and
+    locations the analysis proves unreachable, together with the guard
+    atoms only they referenced.  Reachability is semantic: syntactic
+    reachability (TA007/TA008) intersected with the {!Absint} invariant
+    fixpoint, so rules killed by statically false guards (TA017),
+    rules with starved sources (TA018) and locations only reachable
+    through them (TA020) are removed too.  Removed rules can never fire
+    in any run, so every run of [ta] is a run of the slice and vice
+    versa: {!Holistic.Checker} outcomes and witnesses are preserved.
+    Locations in [keep] are retained even when unreachable (their
+    counters stay constantly zero).  Returns the sliced automaton and
+    the removal diagnostics (TA007/TA008/TA017/TA018/TA020 plus a TA016
+    summary); returns [ta] unchanged when nothing is removable or when
+    the resilience condition is unsatisfiable (TA005).
 
     The input must be well-formed (as per {!Ta.Automaton.make}). *)
 val slice : ?keep:string list -> Ta.Automaton.t -> Ta.Automaton.t * diagnostic list

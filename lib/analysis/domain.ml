@@ -1,0 +1,170 @@
+(* Abstract domains for the invariant engine (Absint).
+
+   Two cooperating pieces:
+
+   - a parameter-arithmetic oracle deciding entailments between
+     parameter expressions under the resilience condition (backed by
+     Smt.Lia on the parameter variables only, memoized — these queries
+     are tiny and reused heavily across the fixpoint);
+
+   - the numeric lattices: upper-bound "capacities" for shared
+     variables (a parameter expression, or unbounded) and a
+     lower-bound state combining the interval domain (single-variable
+     rows) with difference-bound rows over several shared variables,
+     each bounded below by a parameter expression.
+
+   Everything here is over-approximating with respect to the concrete
+   counter systems: a capacity is an upper bound valid in every
+   reachable configuration, a lower-bound row is a constraint that
+   holds whenever the location it is attached to is populated. *)
+
+module P = Ta.Pexpr
+module G = Ta.Guard
+module L = Smt.Linexpr
+
+(* --- the parameter oracle ------------------------------------------- *)
+
+module AtomTbl = Hashtbl.Make (struct
+  type t = Smt.Atom.t
+
+  let equal = Smt.Atom.equal
+  let hash = Smt.Atom.hash
+end)
+
+type sat3 = Sat | Unsat | Unknown
+
+type oracle = {
+  param_vars : (string * int) list;
+  base : Smt.Atom.t list;  (** resilience >= 0 and params >= 0 *)
+  cache : sat3 AtomTbl.t;
+  mutable queries : int;
+}
+
+let lin o (e : P.t) =
+  L.of_int_terms (List.map (fun (p, c) -> (c, List.assoc p o.param_vars)) e.P.coeffs) e.P.const
+
+let oracle ~params ~resilience =
+  let param_vars = List.mapi (fun i p -> (p, i)) params in
+  let o = { param_vars; base = []; cache = AtomTbl.create 64; queries = 0 } in
+  let base =
+    List.map (fun e -> Smt.Atom.ge (lin o e) L.zero) resilience
+    @ List.map (fun (_, v) -> Smt.Atom.ge (L.var v) L.zero) param_vars
+  in
+  { o with base }
+
+(* Is [base /\ atom] satisfiable?  Solver Unknown/Timeout degrade to
+   [Unknown], which every consumer treats in the direction that proves
+   less (no refutation, no diagnostic). *)
+let solve3 o atom =
+  match AtomTbl.find_opt o.cache atom with
+  | Some r -> r
+  | None ->
+    o.queries <- o.queries + 1;
+    let r =
+      match Smt.Lia.solve ~max_steps:4_000 (atom :: o.base) with
+      | Smt.Lia.Sat _ -> Sat
+      | Smt.Lia.Unsat -> Unsat
+      | Smt.Lia.Unknown | Smt.Lia.Timeout -> Unknown
+    in
+    AtomTbl.replace o.cache atom r;
+    r
+
+(* [e >= 0] holds for every parameter valuation admitted by the
+   resilience condition. *)
+let valid_nonneg o (e : P.t) = solve3 o (Smt.Atom.le (lin o e) (L.of_int (-1))) = Unsat
+
+(* [e >= 1] for every admitted valuation. *)
+let valid_pos o (e : P.t) = solve3 o (Smt.Atom.le (lin o e) L.zero) = Unsat
+
+(* Some admitted valuation has [e <= 0] (definite witness only). *)
+let sat_nonpos o (e : P.t) = solve3 o (Smt.Atom.le (lin o e) L.zero) = Sat
+
+(* [a >= b] for every admitted valuation. *)
+let entails_ge o a b = valid_nonneg o (P.sub a b)
+
+let queries o = o.queries
+let base_atoms o = o.base
+let linexpr = lin
+
+(* --- capacities: upper bounds on shared variables -------------------- *)
+
+type capacity = Fin of P.t | Inf
+
+let cap_zero = Fin (P.const 0)
+
+let cap_add a b =
+  match (a, b) with Fin x, Fin y -> Fin (P.add x y) | _ -> Inf
+
+let cap_scale k c =
+  if k = 0 then cap_zero else match c with Fin e -> Fin (P.scale k e) | Inf -> Inf
+
+let cap_to_string = function Fin e -> P.to_string e | Inf -> "inf"
+
+(* --- lower-bound state ---------------------------------------------- *)
+
+(* [sum coeffs >= lo]: a singleton [coeffs] is an interval bound, a
+   multi-variable [coeffs] a difference-bound row.  [coeffs] are kept
+   sorted (guard atoms arrive sorted from Guard.ge) so the row key is
+   canonical. *)
+type row = { coeffs : (string * int) list; lo : P.t }
+
+(* Conjunction of rows; [[]] is top (no information). *)
+type lower = row list
+
+let top : lower = []
+
+let row_to_string r =
+  String.concat " + "
+    (List.map (fun (x, c) -> if c = 1 then x else Printf.sprintf "%d*%s" c x) r.coeffs)
+  ^ " >= " ^ P.to_string r.lo
+
+(* Strengthen with a guard atom known to hold: keep the entailment-max
+   of the old and new bound for the row key (both hold, so either is
+   sound; prefer the provably larger one, keep the old on
+   incomparability). *)
+let meet o st (a : G.atom) =
+  let key = a.G.shared in
+  match List.find_opt (fun r -> r.coeffs = key) st with
+  | None -> { coeffs = key; lo = a.G.bound } :: st
+  | Some r ->
+    if (not (P.equal a.G.bound r.lo)) && entails_ge o a.G.bound r.lo then
+      { coeffs = key; lo = a.G.bound } :: List.filter (fun r' -> r'.coeffs <> key) st
+    else st
+
+(* Push the state across a rule's update: shared variables only grow,
+   so [sum >= lo] becomes [sum >= lo + sum coeffs*update]. *)
+let shift st (update : (string * int) list) =
+  if update = [] then st
+  else
+    List.map
+      (fun r ->
+        let d =
+          List.fold_left
+            (fun acc (x, c) ->
+              acc + (c * match List.assoc_opt x update with Some u -> u | None -> 0))
+            0 r.coeffs
+        in
+        if d = 0 then r else { r with lo = P.add r.lo (P.const d) })
+      st
+
+(* Join at a control-flow merge: keep only rows present on both sides,
+   with the entailment-min of the two bounds (drop incomparable rows —
+   sound, since dropping only loses precision). *)
+let join o s1 s2 =
+  List.filter_map
+    (fun r1 ->
+      match List.find_opt (fun r2 -> r2.coeffs = r1.coeffs) s2 with
+      | None -> None
+      | Some r2 ->
+        if P.equal r1.lo r2.lo || entails_ge o r2.lo r1.lo then Some r1
+        else if entails_ge o r1.lo r2.lo then Some r2
+        else None)
+    s1
+
+let equal s1 s2 =
+  List.length s1 = List.length s2
+  && List.for_all
+       (fun r1 -> List.exists (fun r2 -> r1.coeffs = r2.coeffs && P.equal r1.lo r2.lo) s2)
+       s1
+
+let find_row st key = List.find_opt (fun r -> r.coeffs = key) st

@@ -1,0 +1,92 @@
+(** Abstract domains for the invariant engine ({!Absint}).
+
+    A parameter-arithmetic oracle (memoized LIA queries over the
+    automaton's parameters under the resilience condition), plus the
+    two numeric lattices the fixpoint runs over:
+
+    - {b capacities}: per-shared-variable upper bounds, either a
+      parameter expression or unbounded;
+    - {b lower-bound states}: conjunctions of rows
+      [sum c_i * x_i >= e(params)] — singleton rows form the interval
+      domain, multi-variable rows the difference-bound domain.
+
+    The concretization of a lower-bound state at location [l] is the
+    set of configurations where every row holds whenever [l] is
+    populated; of a capacity, the configurations where the shared
+    variable is at most the bound.  Both directions over-approximate
+    the reachable configurations (see DESIGN.md, abstraction
+    soundness). *)
+
+module P := Ta.Pexpr
+module G := Ta.Guard
+
+(** {1 Parameter oracle} *)
+
+type oracle
+
+(** [oracle ~params ~resilience] decides parameter-expression
+    entailments under [resilience >= 0 /\ params >= 0].  Queries are
+    memoized; solver Unknown/Timeout always degrade toward "cannot
+    prove". *)
+val oracle : params:string list -> resilience:P.t list -> oracle
+
+(** [e >= 0] for every admitted parameter valuation. *)
+val valid_nonneg : oracle -> P.t -> bool
+
+(** [e >= 1] for every admitted parameter valuation. *)
+val valid_pos : oracle -> P.t -> bool
+
+(** Some admitted valuation has [e <= 0] (definite SAT witness only —
+    Unknown does not count). *)
+val sat_nonpos : oracle -> P.t -> bool
+
+(** [entails_ge o a b]: [a >= b] for every admitted valuation. *)
+val entails_ge : oracle -> P.t -> P.t -> bool
+
+(** Number of solver queries issued (cache misses). *)
+val queries : oracle -> int
+
+(** The base conjunction ([resilience >= 0] and [params >= 0]) over the
+    oracle's parameter variables — the hypotheses of every certified
+    refutation built on top of the oracle. *)
+val base_atoms : oracle -> Smt.Atom.t list
+
+(** A parameter expression over the oracle's variable numbering. *)
+val linexpr : oracle -> P.t -> Smt.Linexpr.t
+
+(** {1 Capacities} *)
+
+type capacity = Fin of P.t | Inf
+
+val cap_zero : capacity
+val cap_add : capacity -> capacity -> capacity
+
+(** [cap_scale k c] with [k >= 0]; [cap_scale 0 _ = cap_zero]. *)
+val cap_scale : int -> capacity -> capacity
+
+val cap_to_string : capacity -> string
+
+(** {1 Lower-bound states} *)
+
+type row = { coeffs : (string * int) list; lo : P.t }
+
+(** Conjunction of rows; [[]] is top. *)
+type lower = row list
+
+val top : lower
+val row_to_string : row -> string
+
+(** Strengthen with a guard atom known to hold (entailment-max per
+    row key, old bound kept on incomparability). *)
+val meet : oracle -> lower -> G.atom -> lower
+
+(** Push across a rule update: monotone shared variables shift every
+    row's bound up by the update's contribution. *)
+val shift : lower -> (string * int) list -> lower
+
+(** Join at a merge: rows present on both sides, entailment-min bound;
+    incomparable rows are dropped (sound). *)
+val join : oracle -> lower -> lower -> lower
+
+val equal : lower -> lower -> bool
+val find_row : lower -> (string * int) list -> row option

@@ -1,0 +1,158 @@
+(* Certified static refutations for the checker.
+
+   Built once per (automaton, spec) from a One_round Absint fixpoint,
+   this module turns the engine's structural facts into refutations the
+   checker can apply with zero solver steps — each carrying a Farkas
+   certificate (wrapped in Certificate.Static) over the parameters
+   only, proved by the certifying solver and pre-validated by the
+   standalone checker at build time.  A refutation that cannot be
+   certified is dropped: no prune ever rests on an unverified claim.
+
+   Two kinds:
+
+   - {b guard refutations}: a statically-false guard atom.  Any schema
+     whose event list unlocks the atom asserts guard-truth at a point
+     where the atom's left-hand side is still within the capacity of
+     the live rules not guarded by the atom, so the schema's query is
+     UNSAT (DESIGN.md gives the first-false-unlock argument).  The
+     certificate refutes [resilience /\ params >= 0 /\ cap - bound >= 0].
+
+   - a {b root refutation}: an observation (or final-condition) atom
+     whose upper bound under the capacities is provably negative.
+     Every emitted schema of the spec asserts every observation and
+     the final condition, so a single such atom refutes the entire
+     enumeration.  The certificate refutes
+     [resilience /\ params >= 0 /\ ub >= 0]. *)
+
+module A = Ta.Automaton
+module G = Ta.Guard
+module P = Ta.Pexpr
+module D = Domain
+module C = Smt.Certificate
+module L = Smt.Linexpr
+
+type refutation = {
+  descr : string;
+  atoms : Smt.Atom.t list;  (** the refuted parameter-only conjunction *)
+  cert : C.t;  (** [C.Static _], pre-validated by {!Smt.Certcheck} *)
+}
+
+type t = {
+  absint : Absint.t;
+  guard_refs : (G.atom * refutation) list;
+  root : refutation option;
+}
+
+(* Prove the claim atom inconsistent with the oracle's base conjunction
+   and certify it; [None] when the certifying solver or the standalone
+   checker does not confirm (the engine then simply does not prune). *)
+let certify oracle descr claim =
+  let atoms = D.base_atoms oracle @ [ claim ] in
+  match Smt.Lia.solve_cert ~max_steps:200_000 atoms with
+  | Smt.Lia.Cert_unsat cert -> (
+    let cert = C.Static cert in
+    match Smt.Certcheck.validate atoms cert with
+    | Ok () -> Some { descr; atoms; cert }
+    | Error _ -> None)
+  | Smt.Lia.Cert_sat _ | Smt.Lia.Cert_unknown | Smt.Lia.Cert_timeout -> None
+
+(* Upper bound of a condition atom's value [sum terms + const] under
+   the fixpoint's capacities: positive counter terms are bounded by the
+   entered capacity, positive shared terms by the production capacity,
+   negative non-parameter terms by zero (all quantities are
+   non-negative), parameter terms are exact. *)
+let cond_atom_ub ab (a : Ta.Cond.atom) =
+  List.fold_left
+    (fun acc (term, c) ->
+      let contrib =
+        match term with
+        | Ta.Cond.Param p -> D.Fin (P.of_terms [ (p, c) ] 0)
+        | Ta.Cond.Counter l ->
+          if c > 0 then D.cap_scale c (Absint.entered_cap ab l) else D.cap_zero
+        | Ta.Cond.Shared x ->
+          if c > 0 then D.cap_scale c (Absint.shared_cap ab x) else D.cap_zero
+      in
+      D.cap_add acc contrib)
+    (D.Fin (P.const a.const)) a.terms
+
+(* An observation atom [sum + const >= 0] (or [= 0]) is root-refutable
+   when its upper bound is provably at most -1. *)
+let root_refutable ab (a : Ta.Cond.atom) =
+  match a.rel with
+  | Ta.Cond.Le -> None
+  | Ta.Cond.Ge | Ta.Cond.Eq -> (
+    match cond_atom_ub ab a with
+    | D.Inf -> None
+    | D.Fin u -> if D.valid_pos ab.Absint.oracle (P.neg u) then Some u else None)
+
+let cond_atom_to_string (a : Ta.Cond.atom) =
+  let term_to_string (t, c) =
+    let name =
+      match t with
+      | Ta.Cond.Counter l -> "k[" ^ l ^ "]"
+      | Ta.Cond.Shared x -> x
+      | Ta.Cond.Param p -> p
+    in
+    if c = 1 then name else Printf.sprintf "%d*%s" c name
+  in
+  Printf.sprintf "%s %s 0"
+    (String.concat " + " (List.map term_to_string a.terms)
+    ^ if a.const = 0 then "" else Printf.sprintf " + %d" a.const)
+    (match a.rel with Ta.Cond.Ge -> ">=" | Ta.Cond.Le -> "<=" | Ta.Cond.Eq -> "=")
+
+let build ?spec (ta : A.t) =
+  let assume =
+    match spec with
+    | Some s -> Absint.of_spec s
+    | None -> { Absint.no_assumptions with mode = Absint.One_round }
+  in
+  let ab = Absint.build ~assume ta in
+  let oracle = ab.Absint.oracle in
+  let guard_refs =
+    List.filter_map
+      (fun (a, cap) ->
+        let descr =
+          Printf.sprintf
+            "guard atom %s is statically false: its left-hand side is bounded by %s"
+            (G.atom_to_string a) (P.to_string cap)
+        in
+        (* UNSAT(base /\ cap - bound >= 0) certifies bound > cap. *)
+        let claim = Smt.Atom.ge (D.linexpr oracle (P.sub cap a.G.bound)) L.zero in
+        Option.map (fun r -> (a, r)) (certify oracle descr claim))
+      ab.Absint.false_atoms
+  in
+  let root =
+    match spec with
+    | None -> None
+    | Some (s : Ta.Spec.t) ->
+      let conds =
+        List.map (fun (label, c) -> ("observation " ^ label, c)) s.observations
+        @ if s.final_cond = [] then [] else [ ("the final condition", s.final_cond) ]
+      in
+      List.find_map
+        (fun (what, cond) ->
+          List.find_map
+            (fun (a : Ta.Cond.atom) ->
+              match root_refutable ab a with
+              | None -> None
+              | Some u ->
+                let descr =
+                  Printf.sprintf
+                    "%s is statically false: %s is bounded above by %s, which is negative"
+                    what (cond_atom_to_string a) (P.to_string u)
+                in
+                (* UNSAT(base /\ ub >= 0) certifies ub < 0. *)
+                let claim = Smt.Atom.ge (D.linexpr oracle u) L.zero in
+                certify oracle descr claim)
+            cond)
+        conds
+  in
+  { absint = ab; guard_refs; root }
+
+let guard_refutation t (a : G.atom) =
+  List.find_opt (fun (a', _) -> G.atom_equal a a') t.guard_refs |> Option.map snd
+
+let root_refutation t = t.root
+let location_invariant t l = Absint.lower t.absint l
+
+let any t = t.root <> None || t.guard_refs <> []

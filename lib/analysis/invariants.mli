@@ -1,0 +1,46 @@
+(** Certified static refutations for the checker's static-discharge
+    pass.
+
+    Built once per (automaton, spec) from a [One_round] {!Absint}
+    fixpoint.  Every refutation carries the parameter-only conjunction
+    it refutes and a {!Smt.Certificate.Static} certificate, proved by
+    {!Smt.Lia.solve_cert} and validated by {!Smt.Certcheck} at build
+    time — refutations that fail either step are silently dropped, so
+    no prune ever rests on an unverified claim. *)
+
+module A := Ta.Automaton
+module G := Ta.Guard
+
+type refutation = {
+  descr : string;
+  atoms : Smt.Atom.t list;
+      (** the refuted conjunction: resilience, parameter
+          non-negativity, and the static claim *)
+  cert : Smt.Certificate.t;  (** [Static _], pre-validated *)
+}
+
+type t = {
+  absint : Absint.t;
+  guard_refs : (G.atom * refutation) list;
+  root : refutation option;
+}
+
+(** [build ?spec ta] runs the fixpoint under the spec's assumptions
+    ([never_enter], init-pinned-empty locations) and certifies the
+    statically-false guard atoms plus, when possible, a root
+    refutation of an observation/final-condition atom (which refutes
+    the spec's entire enumeration). *)
+val build : ?spec:Ta.Spec.t -> A.t -> t
+
+(** The certified refutation of a statically-false guard atom: any
+    schema unlocking this atom has an UNSAT query. *)
+val guard_refutation : t -> G.atom -> refutation option
+
+(** A certified refutation covering every schema of the spec. *)
+val root_refutation : t -> refutation option
+
+(** The synthesized lower-bound invariant at a location. *)
+val location_invariant : t -> string -> Domain.lower
+
+(** Whether any refutation is available. *)
+val any : t -> bool

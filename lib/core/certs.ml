@@ -79,4 +79,19 @@ let emit_prefix sink ~position ~span atoms =
       ]
   | None -> sink.failed <- sink.failed + 1
 
+(* A static prune's certificate was already proved and validated when
+   the invariant engine built it (see {!Analysis.Invariants}), so the
+   certifying solver is not consulted — the pre-built certificate is
+   written as-is. *)
+let emit_static sink ~position ~span atoms cert =
+  sink.emitted <- sink.emitted + 1;
+  write sink
+    [
+      ("kind", J.Str "static");
+      ("position", J.Int position);
+      ("span", J.Int span);
+      ("atoms", atoms_json atoms);
+      ("cert", Smt.Certificate.to_json cert);
+    ]
+
 let flush sink = Stdlib.flush sink.oc

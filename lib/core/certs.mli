@@ -11,6 +11,12 @@
        "cert":{...}}] — a pruned prefix covering the [n] enumeration
       positions starting at [p]; the certificate refutes the prefix
       conjunction, which every schema in the span extends.
+    - [{"kind":"static","position":p,"span":n,"atoms":[...],
+       "cert":{...}}] — a static prune by the invariant engine covering
+      [n] positions starting at [p]; the certificate (a
+      {!Smt.Certificate.Static} wrapper) refutes the parameter-only
+      conjunction recorded in [atoms], which the refuted queries all
+      entail.
 
     [holistic check-cert] replays these lines with the standalone
     {!Smt.Certcheck}.  The certifying engine's steps accrue in the
@@ -29,6 +35,12 @@ val emit_schema : sink -> position:int -> Encode.encoded -> unit
     (base included), [span] the number of enumeration positions the
     prune covered. *)
 val emit_prefix : sink -> position:int -> span:int -> Smt.Atom.t list -> unit
+
+(** Write a static prune: [atoms] is the refuted parameter-only
+    conjunction, [cert] its pre-validated certificate (built and checked
+    by the invariant engine — the certifying solver is not consulted). *)
+val emit_static :
+  sink -> position:int -> span:int -> Smt.Atom.t list -> Smt.Certificate.t -> unit
 
 val emitted : sink -> int
 val failed : sink -> int

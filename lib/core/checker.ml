@@ -6,6 +6,7 @@ type limits = {
   lia_max_steps : int;
   jobs : int;
   incremental : bool;
+  static : bool;
 }
 
 let default_limits =
@@ -15,6 +16,7 @@ let default_limits =
     lia_max_steps = 200_000;
     jobs = 1;
     incremental = true;
+    static = true;
   }
 
 (* Budget preset shared by the fuzzing cross-validators (lib/fuzz and
@@ -42,6 +44,7 @@ type stats = {
   schemas_skipped : int;
   subtrees_pruned : int;
   core_prunes : int;
+  static_prunes : int;
   prefix_hits : int;
   slots_total : int;
   solver_steps : int;
@@ -82,6 +85,17 @@ let interrupt_requested () = Atomic.get interrupted
    aborts deterministic); statistics timings always use the real clock.
    [r_deadline] is in [r_now]'s timeline and already accounts for the
    wall-clock spent by previous slices of a resumed run. *)
+(* Certified static refutations of the invariant engine, indexed for
+   O(1) lookup during enumeration: [s_guard.(g)] refutes every schema
+   unlocking guard [g], [s_root] refutes every schema of the spec.  Each
+   refutation's certificate was validated at build time (see
+   {!Analysis.Invariants}); [None] entries have no certified refutation
+   and are discharged by the solver as usual. *)
+type static_info = {
+  s_root : Analysis.Invariants.refutation option;
+  s_guard : Analysis.Invariants.refutation option array;
+}
+
 type run = {
   r_limits : limits;
   r_base : Journal.t;  (* loaded checkpoint (or fresh): totals of [0, frontier) *)
@@ -91,7 +105,30 @@ type run = {
   r_deadline : float option;
   r_failpoint : (int -> unit) option;  (* fault injection for crash tests *)
   r_certs : Certs.sink option;  (* [--emit-certs]: sequential engines only *)
+  r_static : static_info option;  (* [--static]: certified zero-step prunes *)
 }
+
+(* The certified refutation covering every schema whose event list
+   includes [events] as a prefix, if any: the root refutation, or the
+   first statically-false guard unlocked along the way. *)
+let static_refutation run events =
+  match run.r_static with
+  | None -> None
+  | Some si -> (
+    match si.s_root with
+    | Some r -> Some r
+    | None ->
+      List.find_map
+        (function
+          | Schema.Unlock g -> si.s_guard.(g)
+          | Schema.Observe _ -> None)
+        events)
+
+(* Lookup for a single event pushed on an already-clean prefix. *)
+let static_refutation_event run (ev : Schema.event) =
+  match (run.r_static, ev) with
+  | Some si, Schema.Unlock g -> si.s_guard.(g)
+  | _ -> None
 
 let make_stop run () =
   Atomic.get interrupted
@@ -192,6 +229,7 @@ let stats_plus_base (base : Journal.t) s =
     schemas_skipped = s.schemas_skipped + base.Journal.skipped;
     subtrees_pruned = s.subtrees_pruned + base.Journal.pruned;
     core_prunes = s.core_prunes + base.Journal.core_pruned;
+    static_prunes = s.static_prunes + base.Journal.static;
     prefix_hits = s.prefix_hits + base.Journal.hits;
     slots_total = s.slots_total + base.Journal.slots;
     solver_steps = s.solver_steps + base.Journal.steps;
@@ -239,11 +277,32 @@ let verify_flat_sequential ~run u (spec : Ta.Spec.t) =
   let schemas = ref 0 in
   let slots = ref 0 in
   let steps = ref 0 in
+  let statics = ref 0 in
   let encode_t = ref 0.0 in
   let solve_t = ref 0.0 in
   let found = ref None in
   let decided_at = ref None in
   let aborted = ref None in
+  (* Zero-step static discharge: the invariant engine's certificate
+     refutes the schema's query outright, so neither the encoder nor the
+     solver runs.  Only the slot simulation does, so the reported slot
+     totals stay those of the full encoding. *)
+  let discharge_static schema refutation =
+    let sim = List.fold_left Encode.Sim.push_event (Encode.Sim.start u spec) schema in
+    let n_slots = Encode.Sim.leaf_slots sim in
+    incr schemas;
+    incr statics;
+    slots := !slots + n_slots;
+    (match run.r_certs with
+    | Some sink ->
+      Certs.emit_static sink ~position:!pos ~span:1
+        refutation.Analysis.Invariants.atoms refutation.Analysis.Invariants.cert
+    | None -> ());
+    Journal.Tracker.note run.r_tracker ~start:!pos ~span:1
+      { Journal.zero_delta with d_checked = 1; d_slots = n_slots; d_static = 1 };
+    incr pos;
+    true
+  in
   (* Discharge one schema; raises propagate to the retry/quarantine
      wrapper below.  [r_failpoint] injects faults for the crash tests. *)
   let discharge schema =
@@ -310,6 +369,9 @@ let verify_flat_sequential ~run u (spec : Ta.Spec.t) =
             aborted := Some msg;
             false
           | None -> (
+            match static_refutation run schema with
+            | Some refutation -> discharge_static schema refutation
+            | None -> (
             match discharge schema with
             | r -> handle schema r
             | exception e -> (
@@ -325,7 +387,7 @@ let verify_flat_sequential ~run u (spec : Ta.Spec.t) =
                 in
                 Journal.Tracker.quarantine run.r_tracker !pos msg;
                 incr pos;
-                true)))
+                true))))
   in
   let time = Unix.gettimeofday () -. t0 in
   let stats =
@@ -335,6 +397,7 @@ let verify_flat_sequential ~run u (spec : Ta.Spec.t) =
         schemas_skipped = 0;
         subtrees_pruned = 0;
         core_prunes = 0;
+        static_prunes = !statics;
         prefix_hits = 0;
         slots_total = !slots;
         solver_steps = !steps;
@@ -381,6 +444,7 @@ type job_result = {
   job_steps : int;
   j_encode_t : float;
   j_solve_t : float;
+  j_static : bool;  (* discharged by the invariant engine, zero steps *)
   verdict : job_outcome;
 }
 
@@ -418,24 +482,43 @@ let verify_flat_parallel ~run u (spec : Ta.Spec.t) =
   in
   let work ~worker:_ index schema =
     (match run.r_failpoint with Some f -> f (resume_from + index) | None -> ());
-    let steps = ref 0 in
-    let t1 = Unix.gettimeofday () in
-    let encoded = Encode.encode u spec schema in
-    let t2 = Unix.gettimeofday () in
-    let verdict =
-      match solve_schema ~steps ~limits ~stop encoded with
-      | `Unsat -> J_unsat
-      | `Sat model -> J_sat (Witness.of_model u spec schema encoded model)
-      | `Unknown -> J_unknown
-      | `Timeout -> J_timeout
-    in
-    {
-      n_slots = encoded.n_slots;
-      job_steps = !steps;
-      j_encode_t = t2 -. t1;
-      j_solve_t = Unix.gettimeofday () -. t2;
-      verdict;
-    }
+    match static_refutation run schema with
+    | Some _ ->
+      (* Statically refuted: the verdict is a certified UNSAT, so only
+         the slot simulation runs (same accounting as the sequential
+         flat engine). *)
+      let t1 = Unix.gettimeofday () in
+      let sim =
+        List.fold_left Encode.Sim.push_event (Encode.Sim.start u spec) schema
+      in
+      {
+        n_slots = Encode.Sim.leaf_slots sim;
+        job_steps = 0;
+        j_encode_t = Unix.gettimeofday () -. t1;
+        j_solve_t = 0.0;
+        j_static = true;
+        verdict = J_unsat;
+      }
+    | None ->
+      let steps = ref 0 in
+      let t1 = Unix.gettimeofday () in
+      let encoded = Encode.encode u spec schema in
+      let t2 = Unix.gettimeofday () in
+      let verdict =
+        match solve_schema ~steps ~limits ~stop encoded with
+        | `Unsat -> J_unsat
+        | `Sat model -> J_sat (Witness.of_model u spec schema encoded model)
+        | `Unknown -> J_unknown
+        | `Timeout -> J_timeout
+      in
+      {
+        n_slots = encoded.n_slots;
+        job_steps = !steps;
+        j_encode_t = t2 -. t1;
+        j_solve_t = Unix.gettimeofday () -. t2;
+        j_static = false;
+        verdict;
+      }
   in
   let is_stop r =
     match r.verdict with J_unsat -> false | J_sat _ | J_unknown | J_timeout -> true
@@ -448,6 +531,7 @@ let verify_flat_parallel ~run u (spec : Ta.Spec.t) =
         {
           Journal.zero_delta with
           d_checked = 1;
+          d_static = (if r.j_static then 1 else 0);
           d_slots = r.n_slots;
           d_steps = r.job_steps;
           d_encode_us = Journal.us_of_s r.j_encode_t;
@@ -466,6 +550,9 @@ let verify_flat_parallel ~run u (spec : Ta.Spec.t) =
   in
   let slots_total = List.fold_left (fun acc (_, _, r) -> acc + r.n_slots) 0 counted in
   let solver_steps = List.fold_left (fun acc (_, _, r) -> acc + r.job_steps) 0 counted in
+  let static_prunes =
+    List.fold_left (fun acc (_, _, r) -> acc + if r.j_static then 1 else 0) 0 counted
+  in
   let encode_time = List.fold_left (fun acc (_, _, r) -> acc +. r.j_encode_t) 0.0 counted in
   let solve_time = List.fold_left (fun acc (_, _, r) -> acc +. r.j_solve_t) 0.0 counted in
   let workers =
@@ -526,6 +613,7 @@ let verify_flat_parallel ~run u (spec : Ta.Spec.t) =
         schemas_skipped = 0;
         subtrees_pruned = 0;
         core_prunes = 0;
+        static_prunes;
         prefix_hits = 0;
         slots_total;
         solver_steps;
@@ -572,6 +660,9 @@ type inc_tally = {
   mutable core_pruned : int;
       (* subset of [pruned]: sibling subtrees refuted by an unsat core
          confined to shallower frames, skipped without any reach-check *)
+  mutable static : int;
+      (* subset of [pruned]: subtrees refuted by the invariant engine's
+         certificates, skipped without touching the sessions at all *)
   mutable slots : int;
   steps : int ref;
   hits : int ref;
@@ -595,6 +686,7 @@ let new_tally ~start ~resume_from =
     skipped = 0;
     pruned = 0;
     core_pruned = 0;
+    static = 0;
     slots = 0;
     steps = ref 0;
     hits = ref 0;
@@ -714,6 +806,39 @@ let run_inc_subtree ~run u spec es lia c ~prefix_rev ~ctx0 ~obs0 =
              (match run.r_certs with
              | Some sink when c.position > p0 ->
                Certs.emit_prefix sink ~position:p0 ~span:(c.position - p0) atoms
+             | _ -> ());
+             if c.abort_msg <> None then stop := true;
+             `Prune
+           end
+           | _ when static_refutation_event run ev <> None -> begin
+             (* Static prune: the invariant engine's certificate refutes
+                every schema unlocking this guard, so the subtree is
+                skipped without touching the sessions — no push, no
+                reach-check.  The certificate was validated when built,
+                and [--emit-certs] replays it through the standalone
+                checker like any other prune. *)
+             let refutation = Option.get (static_refutation_event run ev) in
+             let ctx = List.hd !ctx_stack and obs = List.hd !obs_stack in
+             let ctx', obs' =
+               match ev with
+               | Schema.Unlock g -> (ctx lor (1 lsl g), obs)
+               | Schema.Observe i -> (ctx, obs lor (1 lsl i))
+             in
+             if accruing c then begin
+               c.pruned <- c.pruned + 1;
+               c.static <- c.static + 1;
+               c.pending <-
+                 Journal.add_delta c.pending
+                   { Journal.zero_delta with d_pruned = 1; d_static = 1 }
+             end;
+             let sim = Encode.Sim.push_event (Encode.Sim.of_session es) ev in
+             let p0 = c.position in
+             count_subtree ~run u spec sim c ~ctx:ctx' ~obs_mask:obs';
+             (match run.r_certs with
+             | Some sink when c.position > p0 ->
+               Certs.emit_static sink ~position:p0 ~span:(c.position - p0)
+                 refutation.Analysis.Invariants.atoms
+                 refutation.Analysis.Invariants.cert
              | _ -> ());
              if c.abort_msg <> None then stop := true;
              `Prune
@@ -893,6 +1018,27 @@ let run_inc_subtree ~run u spec es lia c ~prefix_rev ~ctx0 ~obs0 =
    caller's whole subtree is accounted in counting mode, otherwise the
    incremental DFS runs below it. *)
 let run_inc_job ~run u spec c ~prefix ~ctx ~obs_mask =
+  match static_refutation run prefix with
+  | Some refutation ->
+    (* The root refutation (or a statically-false guard already unlocked
+       in the job's prefix) covers the whole subtree: skip it without
+       opening the encoder or solver sessions at all. *)
+    if accruing c then begin
+      c.pruned <- c.pruned + 1;
+      c.static <- c.static + 1;
+      c.pending <-
+        Journal.add_delta c.pending
+          { Journal.zero_delta with d_pruned = 1; d_static = 1 }
+    end;
+    let sim = List.fold_left Encode.Sim.push_event (Encode.Sim.start u spec) prefix in
+    let p0 = c.position in
+    count_subtree ~run u spec sim c ~ctx ~obs_mask;
+    (match run.r_certs with
+    | Some sink when c.position > p0 ->
+      Certs.emit_static sink ~position:p0 ~span:(c.position - p0)
+        refutation.Analysis.Invariants.atoms refutation.Analysis.Invariants.cert
+    | _ -> ())
+  | None ->
   let t1 = Unix.gettimeofday () in
   let es = Encode.start u spec in
   let lia = Smt.Lia.create () in
@@ -959,6 +1105,7 @@ let verify_incremental_sequential ~run u (spec : Ta.Spec.t) =
         schemas_skipped = c.skipped;
         subtrees_pruned = c.pruned;
         core_prunes = c.core_pruned;
+        static_prunes = c.static;
         prefix_hits = !(c.hits);
         slots_total = c.slots;
         solver_steps = !(c.steps);
@@ -1018,6 +1165,7 @@ type inc_job_result = {
   ir_skipped : int;
   ir_pruned : int;
   ir_core_pruned : int;
+  ir_static : int;
   ir_hits : int;
   ir_slots : int;
   ir_steps : int;
@@ -1166,6 +1314,28 @@ let verify_incremental_parallel ~run u (spec : Ta.Spec.t) =
             both incremental engines. *)
          (match run.r_failpoint with Some f -> f c.position | None -> ());
          c.position <- c.position + 1;
+         match static_refutation run job.ij_prefix with
+         | Some _ ->
+           (* Statically refuted: the sequential engine skips this
+              position inside a statically pruned subtree. *)
+           let t1 = Unix.gettimeofday () in
+           let sim =
+             List.fold_left Encode.Sim.push_event (Encode.Sim.start u spec)
+               job.ij_prefix
+           in
+           c.skipped <- 1;
+           c.static <- 1;
+           c.slots <- Encode.Sim.leaf_slots sim;
+           c.encode_t <- Unix.gettimeofday () -. t1;
+           Journal.Tracker.note run.r_tracker ~start:(c.position - 1) ~span:1
+             {
+               Journal.zero_delta with
+               d_skipped = 1;
+               d_static = 1;
+               d_slots = c.slots;
+               d_encode_us = Journal.us_of_s c.encode_t;
+             }
+         | None ->
          let t1 = Unix.gettimeofday () in
          let es = Encode.start u spec in
          let lia = Smt.Lia.create () in
@@ -1225,6 +1395,7 @@ let verify_incremental_parallel ~run u (spec : Ta.Spec.t) =
       ir_skipped = c.skipped;
       ir_pruned = c.pruned;
       ir_core_pruned = c.core_pruned;
+      ir_static = c.static;
       ir_hits = !(c.hits);
       ir_slots = c.slots;
       ir_steps = !(c.steps);
@@ -1309,6 +1480,7 @@ let verify_incremental_parallel ~run u (spec : Ta.Spec.t) =
         schemas_skipped = sum (fun r -> r.ir_skipped);
         subtrees_pruned = sum (fun r -> r.ir_pruned);
         core_prunes = sum (fun r -> r.ir_core_pruned);
+        static_prunes = sum (fun r -> r.ir_static);
         prefix_hits = sum (fun r -> r.ir_hits);
         slots_total = sum (fun r -> r.ir_slots);
         solver_steps = sum (fun r -> r.ir_steps);
@@ -1347,6 +1519,26 @@ let verify_with_universe ?(limits = default_limits) ?checkpoint ?(checkpoint_eve
     Journal.Tracker.create ~base ?path:checkpoint ~every:checkpoint_every ~elapsed_us ()
   in
   let now = match now with Some f -> f | None -> Unix.gettimeofday in
+  (* Build the invariant engine's certified refutations once per run.
+     Every refutation was re-validated by the standalone certificate
+     checker at build time, so a prune applied here rests on the same
+     trust base as a replayed [--emit-certs] record. *)
+  let static_info =
+    if not limits.static then None
+    else begin
+      let inv = Analysis.Invariants.build ~spec ta in
+      let ids = Universe.ids u in
+      let n = List.fold_left max (-1) ids + 1 in
+      let s_guard = Array.make n None in
+      List.iter
+        (fun g ->
+          s_guard.(g) <- Analysis.Invariants.guard_refutation inv (Universe.atom u g))
+        ids;
+      let s_root = Analysis.Invariants.root_refutation inv in
+      if s_root = None && Array.for_all Option.is_none s_guard then None
+      else Some { s_root; s_guard }
+    end
+  in
   (* The deadline accounts for wall-clock already spent by previous
      slices, so [time_budget] bounds the run's total time, not each
      slice's. *)
@@ -1365,6 +1557,7 @@ let verify_with_universe ?(limits = default_limits) ?checkpoint ?(checkpoint_eve
       r_deadline = deadline;
       r_failpoint = failpoint;
       r_certs = certs;
+      r_static = static_info;
     }
   in
   let result =
@@ -1398,7 +1591,9 @@ let pp_result fmt r =
       Format.fprintf fmt ", %d skipped by %d pruned subtrees%t" r.stats.schemas_skipped
         r.stats.subtrees_pruned (fun fmt ->
           if r.stats.core_prunes > 0 then
-            Format.fprintf fmt " (%d core-guided)" r.stats.core_prunes)
+            Format.fprintf fmt " (%d core-guided)" r.stats.core_prunes);
+    if r.stats.static_prunes > 0 then
+      Format.fprintf fmt ", %d static" r.stats.static_prunes
   in
   match r.outcome with
   | Holds ->

@@ -49,6 +49,16 @@ type limits = {
           pruning whole subtrees whose prefix is already unsatisfiable
           (default).  Outcomes, witnesses and schema counts are
           bit-identical to the flat engine; only solver effort differs. *)
+  static : bool;
+      (** discharge schemas statically when the invariant engine
+          ({!Analysis.Invariants}) carries a certified refutation of
+          their query — the root refutation covering every schema of the
+          spec, or a statically-false guard atom covering every schema
+          that unlocks it (default).  Every refutation's certificate was
+          validated by {!Smt.Certcheck} when built, and outcomes,
+          witnesses and schema counts are bit-identical to a run without
+          static discharge: only UNSAT work is elided, so the solver-step
+          total can only shrink. *)
 }
 
 val default_limits : limits
@@ -102,6 +112,11 @@ type stats = {
           because the last conflict's unsat core was confined to frames
           strictly below them — the core refutes every extension of the
           shallower prefix, siblings included (0 when flat) *)
+  static_prunes : int;
+      (** refutations applied by the invariant engine at zero solver
+          steps: statically discharged schemas (flat engines) or
+          statically pruned subtrees (incremental engines, a subset of
+          [subtrees_pruned]); 0 with [limits.static = false] *)
   prefix_hits : int;
       (** incremental reachability checks answered definitively by the
           prefix state — the propagated interval store or the cached

@@ -353,6 +353,19 @@ let encode u spec (schema : Schema.t) =
 module Sim = struct
   type t = { env : env; ctx : int; seg_nonzero : string list; slots : int }
 
+  (* The empty prefix, without opening a session: only the unblocked
+     initial locations are populated, matching [start]'s counters. *)
+  let start u (spec : Ta.Spec.t) =
+    let ta = Universe.automaton u in
+    let env =
+      { u; ta; spec; param_vars = [];
+        observations = Array.of_list (List.map snd spec.observations) }
+    in
+    let seg_nonzero =
+      List.filter (fun l -> List.mem l ta.initial && not (blocked env l)) ta.locations
+    in
+    { env; ctx = 0; seg_nonzero; slots = 0 }
+
   let of_session s =
     let snap = top s in
     {

@@ -79,6 +79,11 @@ val finalize : session -> encoded
 module Sim : sig
   type t
 
+  (** The empty prefix, without opening a session (no SMT variables are
+      allocated).  [push_event]-folding a schema from here reports the
+      same slot count the flat encoder would. *)
+  val start : Universe.t -> Ta.Spec.t -> t
+
   (** Snapshot the slot-relevant state (context, populated locations,
       slots so far) of the session's current prefix. *)
   val of_session : session -> t

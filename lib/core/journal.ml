@@ -1,12 +1,13 @@
 module J = Jsonc
 
-let version = 2
+let version = 3
 
 type delta = {
   d_checked : int;
   d_skipped : int;
   d_pruned : int;
   d_core_pruned : int;
+  d_static : int;
   d_hits : int;
   d_slots : int;
   d_steps : int;
@@ -15,8 +16,8 @@ type delta = {
 }
 
 let zero_delta =
-  { d_checked = 0; d_skipped = 0; d_pruned = 0; d_core_pruned = 0; d_hits = 0;
-    d_slots = 0; d_steps = 0; d_encode_us = 0; d_solve_us = 0 }
+  { d_checked = 0; d_skipped = 0; d_pruned = 0; d_core_pruned = 0; d_static = 0;
+    d_hits = 0; d_slots = 0; d_steps = 0; d_encode_us = 0; d_solve_us = 0 }
 
 let add_delta a b =
   {
@@ -24,6 +25,7 @@ let add_delta a b =
     d_skipped = a.d_skipped + b.d_skipped;
     d_pruned = a.d_pruned + b.d_pruned;
     d_core_pruned = a.d_core_pruned + b.d_core_pruned;
+    d_static = a.d_static + b.d_static;
     d_hits = a.d_hits + b.d_hits;
     d_slots = a.d_slots + b.d_slots;
     d_steps = a.d_steps + b.d_steps;
@@ -38,6 +40,7 @@ type t = {
   skipped : int;
   pruned : int;
   core_pruned : int;
+  static : int;
   hits : int;
   slots : int;
   steps : int;
@@ -62,6 +65,7 @@ let fresh ~fingerprint =
     skipped = 0;
     pruned = 0;
     core_pruned = 0;
+    static = 0;
     hits = 0;
     slots = 0;
     steps = 0;
@@ -79,6 +83,7 @@ let apply j ~span delta =
     skipped = j.skipped + delta.d_skipped;
     pruned = j.pruned + delta.d_pruned;
     core_pruned = j.core_pruned + delta.d_core_pruned;
+    static = j.static + delta.d_static;
     hits = j.hits + delta.d_hits;
     slots = j.slots + delta.d_slots;
     steps = j.steps + delta.d_steps;
@@ -101,6 +106,7 @@ let to_json (j : t) =
       ("skipped", J.Int j.skipped);
       ("pruned", J.Int j.pruned);
       ("core_pruned", J.Int j.core_pruned);
+      ("static", J.Int j.static);
       ("hits", J.Int j.hits);
       ("slots", J.Int j.slots);
       ("steps", J.Int j.steps);
@@ -124,6 +130,7 @@ let of_json json =
     skipped = J.to_int (m "skipped");
     pruned = J.to_int (m "pruned");
     core_pruned = J.to_int (m "core_pruned");
+    static = J.to_int (m "static");
     hits = J.to_int (m "hits");
     slots = J.to_int (m "slots");
     steps = J.to_int (m "steps");

@@ -20,6 +20,7 @@ type delta = {
   d_skipped : int;
   d_pruned : int;
   d_core_pruned : int;
+  d_static : int;
   d_hits : int;
   d_slots : int;
   d_steps : int;
@@ -38,6 +39,7 @@ type t = {
   skipped : int;
   pruned : int;
   core_pruned : int;
+  static : int;  (** positions refuted statically by the invariant engine *)
   hits : int;
   slots : int;
   steps : int;

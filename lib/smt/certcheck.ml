@@ -168,6 +168,7 @@ let validate_query ~atoms ~branches cert =
      of the enclosing Branch nodes by depth. *)
   let rec go inputs cuts branches cert =
     match cert with
+    | C.Static c -> go inputs cuts branches c
     | C.Farkas ps -> check_farkas inputs cuts ps
     | C.Div_conflict { index; atom } -> check_div inputs index atom
     | C.Branch { var; pivot; low; high } ->

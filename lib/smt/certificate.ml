@@ -11,11 +11,13 @@ type t =
   | Div_conflict of { index : int; atom : Atom.t }
   | Branch of { var : int; pivot : B.t; low : t; high : t }
   | Split of { cubes : Atom.t list list; certs : t list }
+  | Static of t
 
 let rec size = function
   | Farkas _ | Div_conflict _ -> 1
   | Branch { low; high; _ } -> size low + size high
   | Split { certs; _ } -> List.fold_left (fun acc c -> acc + size c) 0 certs
+  | Static c -> size c
 
 let core cert =
   let rec go acc = function
@@ -26,6 +28,7 @@ let core cert =
     | Div_conflict { index; _ } -> index :: acc
     | Branch { low; high; _ } -> go (go acc low) high
     | Split { certs; _ } -> List.fold_left go acc certs
+    | Static c -> go acc c
   in
   List.sort_uniq compare (go [] cert)
 
@@ -53,6 +56,7 @@ let rec pp fmt = function
     Format.fprintf fmt "@[<v 2>split (%d cases)" (List.length cubes);
     List.iter (fun c -> Format.fprintf fmt "@,case: %a" pp c) certs;
     Format.fprintf fmt "@]"
+  | Static c -> Format.fprintf fmt "@[<v 2>static@,%a@]" pp c
 
 (* ------------------------------------------------------------------ *)
 (* JSON codec.  Rationals render as "num/den", big integers as decimal
@@ -156,6 +160,7 @@ let rec to_json = function
              ("certs", J.List (List.map to_json certs));
            ]);
       ]
+  | Static c -> J.Obj [ ("static", to_json c) ]
 
 let rec of_json j =
   match J.member_opt "farkas" j with
@@ -198,4 +203,7 @@ let rec of_json j =
                   (J.to_list (J.member "cubes" s));
               certs = List.map of_json (J.to_list (J.member "certs" s));
             }
-        | None -> raise (J.Parse_error "unknown certificate node"))))
+        | None -> (
+          match J.member_opt "static" j with
+          | Some c -> Static (of_json c)
+          | None -> raise (J.Parse_error "unknown certificate node")))))

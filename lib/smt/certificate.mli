@@ -50,6 +50,12 @@ type t =
       (** disjunctive case analysis: [cubes] are the alternatives of
           the next pending branch entry, and [certs] (one per cube, in
           order) refute the inputs extended with that cube's atoms *)
+  | Static of t
+      (** a static prune: the wrapped certificate refutes the recorded
+          query exactly as if it stood alone — the wrapper only records
+          that the refutation was found by the abstract-interpretation
+          invariant engine rather than by the solver, so replay tools
+          can account for static discharges separately *)
 
 (** Number of [Farkas]/[Div_conflict] leaves — a cheap size measure for
     reporting. *)

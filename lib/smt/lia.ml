@@ -652,6 +652,7 @@ let rec cert_uses_cut d = function
   | Certificate.Div_conflict _ -> false
   | Certificate.Branch { low; high; _ } -> cert_uses_cut d low || cert_uses_cut d high
   | Certificate.Split { certs; _ } -> List.exists (cert_uses_cut d) certs
+  | Certificate.Static c -> cert_uses_cut d c
 
 (* A backjump hoists a child certificate past the dropped cut at depth
    [d]: cut citations above [d] shift down one position to match the
@@ -670,6 +671,7 @@ let rec remap_cuts d = function
     Certificate.Branch { b with low = remap_cuts d b.low; high = remap_cuts d b.high }
   | Certificate.Split sp ->
     Certificate.Split { sp with certs = List.map (remap_cuts d) sp.certs }
+  | Certificate.Static c -> Certificate.Static (remap_cuts d c)
 
 let solve_cert ?steps ?(max_steps = 20_000) ?stop atoms =
   let budget = ref max_steps in

@@ -71,6 +71,7 @@ let rec mutate = function
     match sp.certs with
     | [] -> Cert.Split sp
     | c0 :: rest -> Cert.Split { sp with certs = mutate c0 :: rest })
+  | Cert.Static c -> Cert.Static (mutate c)
 
 (* ------------------------------------------------------------------ *)
 (* Unit certificates.                                                   *)

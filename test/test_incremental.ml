@@ -346,7 +346,8 @@ let test_gadget_pruning () =
    standalone checker — the in-process version of
    `verify --emit-certs` piped into `check-cert`.  On a Holds outcome
    the emitted certificates must cover the whole transcript: one line
-   per discharged schema, one spanning line per pruned subtree. *)
+   per discharged schema, one spanning line per pruned or statically
+   refuted subtree. *)
 
 let replay_certificates path =
   let module J = Jsonc in
@@ -374,7 +375,9 @@ let replay_certificates path =
          in
          covered :=
            !covered
-           + (if kind = "prefix" then J.to_int (J.member "span" j) else 1);
+           + (if kind = "prefix" || kind = "static" then
+                J.to_int (J.member "span" j)
+              else 1);
          match
            Smt.Certcheck.validate_query ~atoms ~branches
              (Smt.Certificate.of_json (J.member "cert" j))

@@ -16,6 +16,7 @@ let fake_result outcome : Holistic.Checker.result =
         schemas_skipped = 0;
         subtrees_pruned = 0;
         core_prunes = 0;
+        static_prunes = 0;
         prefix_hits = 0;
         slots_total = 120;
         solver_steps = 0;

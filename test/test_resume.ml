@@ -348,7 +348,7 @@ let sample_journal () =
   let j =
     J.apply j ~span:3
       {
-        J.d_checked = 2; d_skipped = 1; d_pruned = 1; d_core_pruned = 0;
+        J.d_checked = 2; d_skipped = 1; d_pruned = 1; d_core_pruned = 0; d_static = 0;
         d_hits = 4; d_slots = 9; d_steps = 31; d_encode_us = 1500;
         d_solve_us = 2500;
       }
