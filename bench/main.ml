@@ -20,6 +20,7 @@
    Usage: dune exec bench/main.exe [-- --quick] [-- --naive-budget S] [-- --jobs N]
           [-- --slice] [-- --no-incremental] [-- --bench-json PATH]
           [-- --bench6-json PATH] [-- --bench7-json PATH]
+          [-- --bench8-json PATH]
           [-- --checkpoint DIR] [-- --resume] [-- --checkpoint-every N] *)
 
 let quick = Array.exists (( = ) "--quick") Sys.argv
@@ -399,6 +400,96 @@ let static_comparison () =
   print_newline ()
 
 (* ------------------------------------------------------------------ *)
+(* Section 2f: discharge cache and portfolio (jobs=1, incremental).
+   Three passes per bundled property: an uncached reference, a cold
+   portfolio pass (one cache shared across every property, so later
+   rows can hit entries earlier rows populated — cross-property reuse),
+   and a warm rerun of the whole sweep against the populated cache.
+   Verdicts, schema counts and slot totals must agree across all three
+   passes; the warm pass answers repeated leaf discharges from the
+   cache at zero solver steps.  The records go to BENCH_8.json for
+   CI's gates: every row agrees, the warm solver-step total is at most
+   half the uncached total, and the expensive simplified rows (Inv1_*,
+   SRound-Term) complete in less wall-clock when warm. *)
+
+let bench8_json_path =
+  match flag_value "--bench8-json" with Some p -> p | None -> "BENCH_8.json"
+
+let cache_comparison () =
+  print_endline
+    "== Discharge cache + portfolio: uncached vs cold vs warm (jobs=1, incremental) ==";
+  let cases =
+    List.map (fun s -> ("bv", Models.Bv_ta.automaton, s)) Models.Bv_ta.table2_specs
+    @ List.map
+        (fun s -> ("simplified", Models.Simplified_ta.automaton, s))
+        (* Quick mode keeps the two rows CI's warm-wall-clock gate
+           names; the full run sweeps all of Table 2's simplified
+           properties. *)
+        (if quick then [ Models.Simplified_ta.inv1_0; Models.Simplified_ta.sround_term ]
+         else Models.Simplified_ta.table2_specs)
+  in
+  let limits = { limits with Holistic.Checker.jobs = 1; incremental = true } in
+  let portfolio = Smt.Portfolio.create (Smt.Qcache.create ()) in
+  (* Pass 1+2 per property: uncached reference, then cold (populating). *)
+  let cold_runs =
+    List.map
+      (fun (ta_name, ta, spec) ->
+        let u = Holistic.Universe.build ta in
+        let uncached = Holistic.Checker.verify_with_universe ~limits u spec in
+        let cold =
+          Holistic.Checker.verify_with_universe ~limits ~portfolio u spec
+        in
+        (ta_name, u, spec, uncached, cold))
+      cases
+  in
+  (* Pass 3 only after the cold sweep finished: every warm run sees the
+     cache entries of all properties, not just its predecessors'. *)
+  let records = ref [] in
+  Printf.printf "%-14s %-12s %9s %9s %9s %11s %6s %7s %7s %7s %6s\n" "TA"
+    "Property" "steps-unc" "steps-cold" "steps-warm" "warm-hits" "cross"
+    "t-unc" "t-cold" "t-warm" "agree";
+  List.iter
+    (fun (ta_name, u, spec, uncached, cold) ->
+      let warm = Holistic.Checker.verify_with_universe ~limits ~portfolio u spec in
+      let agree =
+        outcome_string uncached = outcome_string cold
+        && outcome_string uncached = outcome_string warm
+        && uncached.Holistic.Checker.stats.schemas_checked
+           = cold.Holistic.Checker.stats.schemas_checked
+        && uncached.stats.schemas_checked = warm.stats.schemas_checked
+        && uncached.stats.slots_total = cold.stats.slots_total
+        && uncached.stats.slots_total = warm.stats.slots_total
+      in
+      let cc = cold.stats.cache and wc = warm.stats.cache in
+      records :=
+        Printf.sprintf
+          {|    {"ta": %S, "property": %S, "outcome": %S, "agree": %b, "schemas": %d, "slots": %d, "steps_uncached": %d, "steps_cold": %d, "steps_warm": %d, "hits_cold": %d, "misses_cold": %d, "cross_cold": %d, "hits_warm": %d, "misses_warm": %d, "cross_warm": %d, "wins_interval": %d, "wins_cooper": %d, "wins_simplex": %d, "time_uncached": %.3f, "time_cold": %.3f, "time_warm": %.3f}|}
+          ta_name spec.Ta.Spec.name (outcome_string warm) agree
+          uncached.stats.schemas_checked uncached.stats.slots_total
+          uncached.stats.solver_steps cold.stats.solver_steps
+          warm.stats.solver_steps cc.Smt.Portfolio.hits cc.Smt.Portfolio.misses
+          cc.Smt.Portfolio.cross wc.Smt.Portfolio.hits wc.Smt.Portfolio.misses
+          wc.Smt.Portfolio.cross cc.Smt.Portfolio.w_interval
+          cc.Smt.Portfolio.w_cooper cc.Smt.Portfolio.w_simplex
+          uncached.stats.time cold.stats.time warm.stats.time
+        :: !records;
+      Printf.printf
+        "%-14s %-12s %9d %9d %9d %5d/%-5d %6d %6.1fs %6.1fs %6.1fs %6s\n%!"
+        ta_name spec.Ta.Spec.name uncached.stats.solver_steps
+        cold.stats.solver_steps warm.stats.solver_steps wc.Smt.Portfolio.hits
+        (wc.Smt.Portfolio.hits + wc.Smt.Portfolio.misses) cc.Smt.Portfolio.cross
+        uncached.stats.time cold.stats.time warm.stats.time
+        (if agree then "yes" else "NO!"))
+    cold_runs;
+  let oc = open_out bench8_json_path in
+  Printf.fprintf oc "{\n  \"jobs\": 1,\n  \"mode\": %S,\n  \"results\": [\n%s\n  ]\n}\n"
+    (if quick then "quick" else "full")
+    (String.concat ",\n" (List.rev !records));
+  close_out oc;
+  Printf.printf "(wrote %s)\n" bench8_json_path;
+  print_newline ()
+
+(* ------------------------------------------------------------------ *)
 (* Section 3: Bechamel micro-benchmarks.                                *)
 
 let micro () =
@@ -522,6 +613,7 @@ let () =
   incremental_comparison ();
   certificates ();
   static_comparison ();
+  cache_comparison ();
   micro ();
   ablation ();
   print_endline "done."

@@ -174,6 +174,64 @@ let ensure_checkpoint_dir = function
   | None -> ()
   | Some dir -> if not (Sys.file_exists dir) then Sys.mkdir dir 0o755
 
+(* Shared by verify and table2: the cross-property discharge cache and
+   the racing backend portfolio.  Opt-in (--memo / --cache /
+   --portfolio-check): the default engine stays byte-identical to the
+   uncached one, which the equivalence CI gates rely on. *)
+let memo_arg =
+  Arg.(value & flag
+       & info [ "memo" ]
+           ~doc:"Route leaf queries through the in-memory cross-property discharge \
+                 cache and the racing backend portfolio.  Verdicts, witnesses and \
+                 schema counts are bit-identical to a run without it; only solver \
+                 effort changes.  Implied by $(b,--cache) and $(b,--portfolio-check).")
+
+let cache_arg =
+  Arg.(value & opt (some string) None
+       & info [ "cache" ] ~docv:"FILE"
+           ~doc:"Persist the discharge cache to this file (implies $(b,--memo)): \
+                 entries are loaded before the run — each revalidated against its \
+                 certificate, tampered or stale entries silently dropped — and the \
+                 merged cache is written back atomically afterwards, every UNSAT \
+                 entry certified by the certifying solver first.")
+
+let portfolio_check_arg =
+  Arg.(value & flag
+       & info [ "portfolio-check" ]
+           ~doc:"Cross-check the portfolio (implies $(b,--memo)): every interval or \
+                 Cooper refutation is re-proved on the simplex, and a disagreement \
+                 aborts the position (a solver bug by construction, never a cache \
+                 effect).")
+
+(* Load (or create) the shared cache and wrap it in a portfolio; cache
+   traffic reports go to stderr so stdout stays parseable (CSV/JSON). *)
+let setup_portfolio ~memo ~cache ~check =
+  if not (memo || check || cache <> None) then None
+  else
+    let qc =
+      match cache with
+      | None -> Smt.Qcache.create ()
+      | Some path ->
+        let rep = Holistic.Cachefile.load ~path in
+        if rep.Holistic.Cachefile.loaded > 0 || rep.Holistic.Cachefile.dropped > 0 then
+          Format.eprintf "cache: loaded %d entries from %s (%d dropped by validation)@."
+            rep.Holistic.Cachefile.loaded path rep.Holistic.Cachefile.dropped;
+        rep.Holistic.Cachefile.cache
+    in
+    Some (Smt.Portfolio.create ~check qc)
+
+let save_portfolio ~cache portfolio =
+  match (cache, portfolio) with
+  | Some path, Some pf ->
+    let rep = Holistic.Cachefile.save ~path (Smt.Portfolio.cache pf) in
+    Format.eprintf "cache: wrote %d certified entries to %s%s@."
+      rep.Holistic.Cachefile.written path
+      (if rep.Holistic.Cachefile.uncertified > 0 then
+         Printf.sprintf " (%d dropped: certification failed)"
+           rep.Holistic.Cachefile.uncertified
+       else "")
+  | _ -> ()
+
 (* SIGINT/SIGTERM wind verification down cooperatively: every engine
    notices at its next budget check (within one solver quantum even
    mid-discharge), flushes its checkpoint and returns its partial
@@ -232,10 +290,12 @@ let verify_cmd =
                    $(b,holistic check-cert).  Forces the sequential engine (--jobs 1).")
   in
   let run model spec_name broken max_schemas budget jobs incremental static worker_stats
-      slice force checkpoint resume checkpoint_every emit_certs =
+      slice force checkpoint resume checkpoint_every emit_certs memo cache
+      portfolio_check =
     gate ~force ~broken model;
     install_interrupt_handlers ();
     ensure_checkpoint_dir checkpoint;
+    let portfolio = setup_portfolio ~memo ~cache ~check:portfolio_check in
     let ta = automaton_of ~broken model in
     let specs = find_specs model spec_name in
     let ta =
@@ -264,11 +324,12 @@ let verify_cmd =
         in
         let r =
           Holistic.Checker.verify_with_universe ~limits ?checkpoint ~checkpoint_every
-            ~resume ?certs u spec
+            ~resume ?certs ?portfolio u spec
         in
         Format.printf "%a@." Holistic.Checker.pp_result r;
         if worker_stats then Format.printf "%a@?" Holistic.Checker.pp_worker_stats r)
       specs;
+    save_portfolio ~cache portfolio;
     (match (emit_certs, certs, cert_oc) with
     | Some path, Some sink, Some oc ->
       close_out oc;
@@ -287,7 +348,8 @@ let verify_cmd =
              parameterized model checking).")
     Term.(const run $ model_arg $ spec_arg $ broken $ max_schemas $ budget $ jobs
           $ incremental_arg $ static_arg $ worker_stats $ slice $ force $ checkpoint_arg
-          $ resume_arg $ checkpoint_every_arg $ emit_certs)
+          $ resume_arg $ checkpoint_every_arg $ emit_certs $ memo_arg $ cache_arg
+          $ portfolio_check_arg)
 
 (* --- explicit ------------------------------------------------------ *)
 
@@ -631,26 +693,29 @@ let table2_cmd =
            ~doc:"Run even when the static analyzer reports error-level diagnostics.")
   in
   let run quick budget format jobs incremental static slice force checkpoint resume
-      checkpoint_every =
+      checkpoint_every memo cache portfolio_check =
     List.iter (gate ~force) [ Bv; Naive; Simplified ];
     install_interrupt_handlers ();
     ensure_checkpoint_dir checkpoint;
+    let portfolio = setup_portfolio ~memo ~cache ~check:portfolio_check in
     let limits = { Holistic.Checker.default_limits with jobs; incremental; static } in
     let rows =
       Report.table2 ~limits ~slice ?checkpoint_dir:checkpoint ~resume ~checkpoint_every
-        ~quick ~naive_budget:budget ()
+        ?portfolio ~quick ~naive_budget:budget ()
     in
     (match format with
      | "text" -> Report.print_text stdout rows
      | "markdown" | "md" -> print_string (Report.to_markdown rows)
      | "csv" -> print_string (Report.to_csv rows)
      | f -> failwith ("unknown format " ^ f));
+    save_portfolio ~cache portfolio;
     interrupt_exit ()
   in
   Cmd.v
     (Cmd.info "table2" ~doc:"Regenerate the paper's Table 2 (also see bench/main.exe).")
     Term.(const run $ quick $ budget $ format $ jobs $ incremental_arg $ static_arg
-          $ slice $ force $ checkpoint_arg $ resume_arg $ checkpoint_every_arg)
+          $ slice $ force $ checkpoint_arg $ resume_arg $ checkpoint_every_arg
+          $ memo_arg $ cache_arg $ portfolio_check_arg)
 
 (* --- lint ----------------------------------------------------------- *)
 

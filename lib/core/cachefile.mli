@@ -1,0 +1,38 @@
+(** Persistent discharge cache: load/save a {!Smt.Qcache} as one
+    canonical-JSON document, written atomically through
+    {!Journal.atomic_write} (same crash-safety contract as the
+    checkpoint journal — a crash mid-save leaves the previous cache
+    intact, never a torn file).
+
+    Trust model: a cache file is {e advisory}, never load-bearing.
+    Every entry is re-validated on load ({!Smt.Qcache.validate}: the
+    fingerprint is recomputed, UNSAT certificates are replayed by the
+    standalone checker, SAT models are re-evaluated); entries that fail
+    — tampered, truncated, stale, or produced by a different atom
+    encoding — are silently dropped, degrading to cache misses.  On
+    save, in-memory UNSAT entries that carry no certificate yet are
+    certified first ({!Smt.Qcache.certify}); entries the certifying
+    engine cannot re-prove within budget are dropped rather than written
+    uncertified.  A wrong verdict therefore cannot enter a run through
+    the file: only correctly-certified work can be reused. *)
+
+type load_report = {
+  cache : Smt.Qcache.t;
+  loaded : int;  (** entries accepted *)
+  dropped : int;  (** entries rejected by validation (or malformed) *)
+}
+
+(** [load ~path] reads a cache file.  A missing file is an empty cache
+    (cold start); an unreadable or non-JSON file is an empty cache with
+    every entry counted dropped. *)
+val load : path:string -> load_report
+
+type save_report = {
+  written : int;
+  uncertified : int;  (** UNSAT entries dropped (certification failed) *)
+}
+
+(** [save ~path ?max_steps cache] certifies and writes every valid
+    entry.  [max_steps] bounds the certifying engine per entry (default
+    50000). *)
+val save : path:string -> ?max_steps:int -> Smt.Qcache.t -> save_report

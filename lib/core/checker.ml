@@ -53,6 +53,8 @@ type stats = {
   time : float;
   jobs : int;
   workers : worker_stat list;
+  cache : Smt.Portfolio.counters;
+      (* discharge-cache effectiveness; all-zero without ?portfolio *)
 }
 
 type result = { spec : Ta.Spec.t; outcome : outcome; stats : stats }
@@ -106,7 +108,29 @@ type run = {
   r_failpoint : (int -> unit) option;  (* fault injection for crash tests *)
   r_certs : Certs.sink option;  (* [--emit-certs]: sequential engines only *)
   r_static : static_info option;  (* [--static]: certified zero-step prunes *)
+  r_portfolio : Smt.Portfolio.t option;  (* [--memo]/[--cache]: leaf discharge cache *)
+  r_origin : string;  (* "<automaton>/<spec>", recorded in new cache entries *)
 }
+
+(* Per-engine portfolio handle plumbing: [None] everywhere when the run
+   carries no portfolio, so the default path is byte-for-byte the
+   uncached engine. *)
+let pf_handle run = Option.map (Smt.Portfolio.handle ~origin:run.r_origin) run.r_portfolio
+let pf_counters = function
+  | None -> Smt.Portfolio.zero_counters
+  | Some h -> Smt.Portfolio.counters h
+let pf_flush = function None -> () | Some h -> Smt.Portfolio.flush h
+
+let cache_delta (c : Smt.Portfolio.counters) =
+  {
+    Journal.zero_delta with
+    d_cache_hits = c.hits;
+    d_cache_misses = c.misses;
+    d_cache_cross = c.cross;
+    d_wins_interval = c.w_interval;
+    d_wins_cooper = c.w_cooper;
+    d_wins_simplex = c.w_simplex;
+  }
 
 (* The certified refutation covering every schema whose event list
    includes [events] as a prefix, if any: the root refutation, or the
@@ -148,20 +172,26 @@ let check_deadline run =
    from [`Unknown], which means the branch-and-bound budget ran dry on a
    hard query and gets one escalating retry (4x the budget); a timeout
    is never retried, the deadline has already passed. *)
-let solve_schema ?steps ~limits ?stop (encoded : Encode.encoded) =
+let solve_schema ?steps ?portfolio ~limits ?stop (encoded : Encode.encoded) =
   (* Leaf conjunctions already refuted in an earlier attempt, keyed by
      the path of alternative indices through the branch product.  UNSAT
      is budget-independent, so the escalating retry can skip straight to
      the alternative whose budget actually ran dry instead of re-proving
      every refuted cube at 4x the cost. *)
   let refuted = Hashtbl.create 8 in
+  let justice = encoded.Encode.branches <> [] in
+  let leaf_solve ~max_steps atoms =
+    match portfolio with
+    | Some h -> Smt.Portfolio.solve ?steps ~max_steps ?stop ~justice h atoms
+    | None -> Smt.Lia.solve ?steps ~max_steps ?stop atoms
+  in
   let attempt ~max_steps =
     let rec go path atoms branches =
       match branches with
       | [] ->
         if Hashtbl.mem refuted path then `Unsat
         else (
-          match Smt.Lia.solve ?steps ~max_steps ?stop atoms with
+          match leaf_solve ~max_steps atoms with
           | Smt.Lia.Sat m -> `Sat m
           | Smt.Lia.Unsat ->
             Hashtbl.replace refuted path ();
@@ -236,6 +266,16 @@ let stats_plus_base (base : Journal.t) s =
     encode_time = s.encode_time +. Journal.s_of_us base.Journal.encode_us;
     solve_time = s.solve_time +. Journal.s_of_us base.Journal.solve_us;
     time = s.time +. Journal.s_of_us base.Journal.elapsed_us;
+    cache =
+      Smt.Portfolio.add_counters s.cache
+        {
+          Smt.Portfolio.hits = base.Journal.cache_hits;
+          misses = base.Journal.cache_misses;
+          cross = base.Journal.cache_cross;
+          w_interval = base.Journal.wins_interval;
+          w_cooper = base.Journal.wins_cooper;
+          w_simplex = base.Journal.wins_simplex;
+        };
   }
 
 (* Fail-soft decision rule.  A run that quarantined positions can still
@@ -273,6 +313,7 @@ let verify_flat_sequential ~run u (spec : Ta.Spec.t) =
   let limits = run.r_limits in
   let t0 = Unix.gettimeofday () in
   let stop = make_stop run in
+  let ph = pf_handle run in
   let pos = ref 0 in  (* global preorder position; < r_resume_from is fast-forwarded *)
   let schemas = ref 0 in
   let slots = ref 0 in
@@ -308,14 +349,16 @@ let verify_flat_sequential ~run u (spec : Ta.Spec.t) =
   let discharge schema =
     (match run.r_failpoint with Some f -> f !pos | None -> ());
     let steps0 = !steps in
+    let pc0 = pf_counters ph in
     let t1 = Unix.gettimeofday () in
     let encoded = Encode.encode u spec schema in
     let t2 = Unix.gettimeofday () in
-    let verdict = solve_schema ~steps ~limits ~stop encoded in
+    let verdict = solve_schema ~steps ?portfolio:ph ~limits ~stop encoded in
     let t3 = Unix.gettimeofday () in
-    (encoded, verdict, t2 -. t1, t3 -. t2, !steps - steps0)
+    let dcache = Smt.Portfolio.sub_counters (pf_counters ph) pc0 in
+    (encoded, verdict, t2 -. t1, t3 -. t2, !steps - steps0, dcache)
   in
-  let handle schema (encoded, verdict, et, st, dsteps) =
+  let handle schema (encoded, verdict, et, st, dsteps, dcache) =
     incr schemas;
     slots := !slots + encoded.Encode.n_slots;
     encode_t := !encode_t +. et;
@@ -326,14 +369,15 @@ let verify_flat_sequential ~run u (spec : Ta.Spec.t) =
       | Some sink -> Certs.emit_schema sink ~position:!pos encoded
       | None -> ());
       Journal.Tracker.note run.r_tracker ~start:!pos ~span:1
-        {
-          Journal.zero_delta with
-          d_checked = 1;
-          d_slots = encoded.Encode.n_slots;
-          d_steps = dsteps;
-          d_encode_us = Journal.us_of_s et;
-          d_solve_us = Journal.us_of_s st;
-        };
+        (Journal.add_delta (cache_delta dcache)
+           {
+             Journal.zero_delta with
+             d_checked = 1;
+             d_slots = encoded.Encode.n_slots;
+             d_steps = dsteps;
+             d_encode_us = Journal.us_of_s et;
+             d_solve_us = Journal.us_of_s st;
+           });
       incr pos;
       true
     | `Sat model ->
@@ -390,6 +434,7 @@ let verify_flat_sequential ~run u (spec : Ta.Spec.t) =
                 true))))
   in
   let time = Unix.gettimeofday () -. t0 in
+  pf_flush ph;
   let stats =
     stats_plus_base run.r_base
       {
@@ -415,6 +460,7 @@ let verify_flat_sequential ~run u (spec : Ta.Spec.t) =
               busy_time = !encode_t +. !solve_t;
             };
           ];
+        cache = pf_counters ph;
       }
   in
   let outcome =
@@ -445,6 +491,7 @@ type job_result = {
   j_encode_t : float;
   j_solve_t : float;
   j_static : bool;  (* discharged by the invariant engine, zero steps *)
+  j_cache : Smt.Portfolio.counters;  (* this job's cache/portfolio activity *)
   verdict : job_outcome;
 }
 
@@ -452,6 +499,9 @@ let verify_flat_parallel ~run u (spec : Ta.Spec.t) =
   let limits = run.r_limits in
   let t0 = Unix.gettimeofday () in
   let stop = make_stop run in
+  (* One portfolio handle per worker domain: local read memo + buffered
+     writes, so the shared cache's shard mutexes are off the hot path. *)
+  let phs = Array.init limits.jobs (fun _ -> pf_handle run) in
   let resume_from = run.r_resume_from in
   (* Pool job index [i] is preorder position [resume_from + i]: the
      producer fast-forwards the checkpointed prefix without pushing. *)
@@ -480,7 +530,7 @@ let verify_flat_parallel ~run u (spec : Ta.Spec.t) =
             end
             else false)
   in
-  let work ~worker:_ index schema =
+  let work ~worker index schema =
     (match run.r_failpoint with Some f -> f (resume_from + index) | None -> ());
     match static_refutation run schema with
     | Some _ ->
@@ -497,15 +547,18 @@ let verify_flat_parallel ~run u (spec : Ta.Spec.t) =
         j_encode_t = Unix.gettimeofday () -. t1;
         j_solve_t = 0.0;
         j_static = true;
+        j_cache = Smt.Portfolio.zero_counters;
         verdict = J_unsat;
       }
     | None ->
+      let ph = phs.(worker) in
+      let pc0 = pf_counters ph in
       let steps = ref 0 in
       let t1 = Unix.gettimeofday () in
       let encoded = Encode.encode u spec schema in
       let t2 = Unix.gettimeofday () in
       let verdict =
-        match solve_schema ~steps ~limits ~stop encoded with
+        match solve_schema ~steps ?portfolio:ph ~limits ~stop encoded with
         | `Unsat -> J_unsat
         | `Sat model -> J_sat (Witness.of_model u spec schema encoded model)
         | `Unknown -> J_unknown
@@ -517,6 +570,7 @@ let verify_flat_parallel ~run u (spec : Ta.Spec.t) =
         j_encode_t = t2 -. t1;
         j_solve_t = Unix.gettimeofday () -. t2;
         j_static = false;
+        j_cache = Smt.Portfolio.sub_counters (pf_counters ph) pc0;
         verdict;
       }
   in
@@ -528,17 +582,19 @@ let verify_flat_parallel ~run u (spec : Ta.Spec.t) =
   let on_result i r =
     if r.verdict = J_unsat then
       Journal.Tracker.note run.r_tracker ~start:(resume_from + i) ~span:1
-        {
-          Journal.zero_delta with
-          d_checked = 1;
-          d_static = (if r.j_static then 1 else 0);
-          d_slots = r.n_slots;
-          d_steps = r.job_steps;
-          d_encode_us = Journal.us_of_s r.j_encode_t;
-          d_solve_us = Journal.us_of_s r.j_solve_t;
-        }
+        (Journal.add_delta (cache_delta r.j_cache)
+           {
+             Journal.zero_delta with
+             d_checked = 1;
+             d_static = (if r.j_static then 1 else 0);
+             d_slots = r.n_slots;
+             d_steps = r.job_steps;
+             d_encode_us = Journal.us_of_s r.j_encode_t;
+             d_solve_us = Journal.us_of_s r.j_solve_t;
+           })
   in
   let c = Pool.run ~jobs:limits.jobs ~on_result ~produce ~work ~is_stop () in
+  Array.iter pf_flush phs;
   (* Restrict to the jobs a sequential run would have executed: indices
      up to (and including) the first stop. *)
   let cut = match c.Pool.first_stop with Some i -> i | None -> max_int in
@@ -622,6 +678,10 @@ let verify_flat_parallel ~run u (spec : Ta.Spec.t) =
         time = Unix.gettimeofday () -. t0;
         jobs = limits.jobs;
         workers;
+        cache =
+          List.fold_left
+            (fun acc (_, _, r) -> Smt.Portfolio.add_counters acc r.j_cache)
+            Smt.Portfolio.zero_counters counted;
       }
   in
   { spec; outcome = partialize ~quarantined ~decided_at:!decided_at outcome; stats }
@@ -675,9 +735,12 @@ type inc_tally = {
   mutable found : Witness.t option;
   mutable decided_at : int option;
   mutable abort_msg : string option;
+  portfolio : Smt.Portfolio.handle option;
+      (* leaf discharge cache handle; [None] reproduces the uncached
+         engine exactly *)
 }
 
-let new_tally ~start ~resume_from =
+let new_tally ?portfolio ~start ~resume_from () =
   {
     position = start;
     start;
@@ -696,6 +759,7 @@ let new_tally ~start ~resume_from =
     found = None;
     decided_at = None;
     abort_msg = None;
+    portfolio;
   }
 
 (* Whether the current position's statistics belong to this slice. *)
@@ -946,6 +1010,7 @@ let run_inc_subtree ~run u spec es lia c ~prefix_rev ~ctx0 ~obs0 =
              let discharge () =
                (match run.r_failpoint with Some f -> f c.position | None -> ());
                let steps0 = !(c.steps) in
+               let pc0 = pf_counters c.portfolio in
                let t1 = Unix.gettimeofday () in
                let encoded = Encode.finalize es in
                let t2 = Unix.gettimeofday () in
@@ -953,12 +1018,16 @@ let run_inc_subtree ~run u spec es lia c ~prefix_rev ~ctx0 ~obs0 =
                   atom list: verdicts and witness models are those of the
                   flat engine, byte for byte. *)
                let verdict =
-                 solve_schema ~steps:c.steps ~limits ~stop:solver_stop encoded
+                 solve_schema ~steps:c.steps ?portfolio:c.portfolio ~limits
+                   ~stop:solver_stop encoded
                in
                let t3 = Unix.gettimeofday () in
-               (encoded, verdict, t2 -. t1, t3 -. t2, !(c.steps) - steps0)
+               let dcache =
+                 Smt.Portfolio.sub_counters (pf_counters c.portfolio) pc0
+               in
+               (encoded, verdict, t2 -. t1, t3 -. t2, !(c.steps) - steps0, dcache)
              in
-             let handle (encoded, verdict, et, st, dsteps) =
+             let handle (encoded, verdict, et, st, dsteps, dcache) =
                c.position <- c.position + 1;
                c.checked <- c.checked + 1;
                c.encode_t <- c.encode_t +. et;
@@ -971,14 +1040,15 @@ let run_inc_subtree ~run u spec es lia c ~prefix_rev ~ctx0 ~obs0 =
                    Certs.emit_schema sink ~position:(c.position - 1) encoded
                  | None -> ());
                  note_position ~run c
-                   {
-                     Journal.zero_delta with
-                     d_checked = 1;
-                     d_slots = encoded.Encode.n_slots;
-                     d_steps = dsteps;
-                     d_encode_us = Journal.us_of_s et;
-                     d_solve_us = Journal.us_of_s st;
-                   };
+                   (Journal.add_delta (cache_delta dcache)
+                      {
+                        Journal.zero_delta with
+                        d_checked = 1;
+                        d_slots = encoded.Encode.n_slots;
+                        d_steps = dsteps;
+                        d_encode_us = Journal.us_of_s et;
+                        d_solve_us = Journal.us_of_s st;
+                      });
                  true
                | `Sat model ->
                  c.found <-
@@ -1094,9 +1164,10 @@ let inc_outcome c ~complete ~worker =
 
 let verify_incremental_sequential ~run u (spec : Ta.Spec.t) =
   let t0 = Unix.gettimeofday () in
-  let c = new_tally ~start:0 ~resume_from:run.r_resume_from in
+  let c = new_tally ?portfolio:(pf_handle run) ~start:0 ~resume_from:run.r_resume_from () in
   run_inc_job ~run u spec c ~prefix:[] ~ctx:0 ~obs_mask:0;
   let time = Unix.gettimeofday () -. t0 in
+  pf_flush c.portfolio;
   let consumed = max 0 (c.position - run.r_resume_from) in
   let stats =
     stats_plus_base run.r_base
@@ -1123,6 +1194,7 @@ let verify_incremental_sequential ~run u (spec : Ta.Spec.t) =
               busy_time = c.encode_t +. c.solve_t;
             };
           ];
+        cache = pf_counters c.portfolio;
       }
   in
   let quarantined = (Journal.Tracker.snapshot run.r_tracker).Journal.quarantined in
@@ -1171,6 +1243,7 @@ type inc_job_result = {
   ir_steps : int;
   ir_encode_t : float;
   ir_solve_t : float;
+  ir_cache : Smt.Portfolio.counters;  (** this job's cache/portfolio activity *)
   ir_decided_at : int option;  (** absolute position of the deciding schema *)
   ir_verdict :
     [ `Unsat_all | `Sat of Witness.t | `Unknown | `Timeout | `Budget of string ];
@@ -1194,6 +1267,7 @@ let count_schemas_upto u spec ~ctx ~obs_mask ~limit =
 let verify_incremental_parallel ~run u (spec : Ta.Spec.t) =
   let limits = run.r_limits in
   let t0 = Unix.gettimeofday () in
+  let phs = Array.init limits.jobs (fun _ -> pf_handle run) in
   let resume_from = run.r_resume_from in
   (* Preorder start position of each pushed job, in push (= pool index)
      order; only read after the pool joins. *)
@@ -1298,8 +1372,10 @@ let verify_incremental_parallel ~run u (spec : Ta.Spec.t) =
       ()
   in
   let solver_stop = make_stop run in
-  let work ~worker:_ _index job =
-    let c = new_tally ~start:job.ij_start ~resume_from in
+  let work ~worker _index job =
+    let ph = phs.(worker) in
+    let pc0 = pf_counters ph in
+    let c = new_tally ?portfolio:ph ~start:job.ij_start ~resume_from () in
     (match check_budget ~run c with
      | Some msg -> c.abort_msg <- Some msg
      | None ->
@@ -1367,17 +1443,26 @@ let verify_incremental_parallel ~run u (spec : Ta.Spec.t) =
            let t3 = Unix.gettimeofday () in
            c.encode_t <- c.encode_t +. (t3 -. t2);
            c.slots <- encoded.n_slots;
-           (match solve_schema ~steps:c.steps ~limits ~stop:solver_stop encoded with
+           (match
+              solve_schema ~steps:c.steps ?portfolio:c.portfolio ~limits
+                ~stop:solver_stop encoded
+            with
             | `Unsat ->
+              (* A lone-schema job runs exactly one leaf query, so the
+                 handle's counter motion since job start is this
+                 position's cache activity. *)
               Journal.Tracker.note run.r_tracker ~start:(c.position - 1) ~span:1
-                {
-                  Journal.zero_delta with
-                  d_checked = 1;
-                  d_slots = c.slots;
-                  d_steps = !(c.steps);
-                  d_encode_us = Journal.us_of_s c.encode_t;
-                  d_solve_us = Journal.us_of_s c.solve_t;
-                }
+                (Journal.add_delta
+                   (cache_delta
+                      (Smt.Portfolio.sub_counters (pf_counters c.portfolio) pc0))
+                   {
+                     Journal.zero_delta with
+                     d_checked = 1;
+                     d_slots = c.slots;
+                     d_steps = !(c.steps);
+                     d_encode_us = Journal.us_of_s c.encode_t;
+                     d_solve_us = Journal.us_of_s c.solve_t;
+                   })
             | `Sat model ->
               c.found <- Some (Witness.of_model u spec job.ij_prefix encoded model);
               c.decided_at <- Some (c.position - 1)
@@ -1401,6 +1486,7 @@ let verify_incremental_parallel ~run u (spec : Ta.Spec.t) =
       ir_steps = !(c.steps);
       ir_encode_t = c.encode_t;
       ir_solve_t = c.solve_t;
+      ir_cache = Smt.Portfolio.sub_counters (pf_counters ph) pc0;
       ir_decided_at = c.decided_at;
       ir_verdict =
         (match (c.found, c.abort_msg) with
@@ -1414,6 +1500,7 @@ let verify_incremental_parallel ~run u (spec : Ta.Spec.t) =
   in
   let is_stop r = r.ir_verdict <> `Unsat_all in
   let completion = Pool.run ~jobs:limits.jobs ~produce ~work ~is_stop () in
+  Array.iter pf_flush phs;
   let cut = match completion.Pool.first_stop with Some i -> i | None -> max_int in
   let counted = List.filter (fun (i, _, _) -> i <= cut) completion.Pool.results in
   let sum f = List.fold_left (fun acc (_, _, r) -> acc + f r) 0 counted in
@@ -1489,12 +1576,16 @@ let verify_incremental_parallel ~run u (spec : Ta.Spec.t) =
         time = Unix.gettimeofday () -. t0;
         jobs = limits.jobs;
         workers;
+        cache =
+          List.fold_left
+            (fun acc (_, _, r) -> Smt.Portfolio.add_counters acc r.ir_cache)
+            Smt.Portfolio.zero_counters counted;
       }
   in
   { spec; outcome = partialize ~quarantined ~decided_at:!decided_at outcome; stats }
 
 let verify_with_universe ?(limits = default_limits) ?checkpoint ?(checkpoint_every = 64)
-    ?(resume = false) ?now ?failpoint ?certs u (spec : Ta.Spec.t) =
+    ?(resume = false) ?now ?failpoint ?certs ?portfolio u (spec : Ta.Spec.t) =
   let ta = Universe.automaton u in
   precheck ta spec;
   let fp = Journal.fingerprint ta spec in
@@ -1558,6 +1649,8 @@ let verify_with_universe ?(limits = default_limits) ?checkpoint ?(checkpoint_eve
       r_failpoint = failpoint;
       r_certs = certs;
       r_static = static_info;
+      r_portfolio = portfolio;
+      r_origin = ta.A.name ^ "/" ^ spec.Ta.Spec.name;
     }
   in
   let result =
@@ -1574,12 +1667,12 @@ let verify_with_universe ?(limits = default_limits) ?checkpoint ?(checkpoint_eve
   result
 
 let verify ?limits ?(slice = false) ?checkpoint ?checkpoint_every ?resume ?now
-    ?failpoint ?certs ta spec =
+    ?failpoint ?certs ?portfolio ta spec =
   let ta =
     if slice then fst (Analysis.slice ~keep:(Analysis.spec_locations spec) ta) else ta
   in
   verify_with_universe ?limits ?checkpoint ?checkpoint_every ?resume ?now ?failpoint
-    ?certs (Universe.build ta) spec
+    ?certs ?portfolio (Universe.build ta) spec
 
 let pp_result fmt r =
   let avg =
@@ -1593,7 +1686,20 @@ let pp_result fmt r =
           if r.stats.core_prunes > 0 then
             Format.fprintf fmt " (%d core-guided)" r.stats.core_prunes);
     if r.stats.static_prunes > 0 then
-      Format.fprintf fmt ", %d static" r.stats.static_prunes
+      Format.fprintf fmt ", %d static" r.stats.static_prunes;
+    (* Cache effectiveness: only printed when a portfolio ran, so the
+       default output is byte-identical to the uncached engine's. *)
+    let cc = r.stats.cache in
+    if cc.Smt.Portfolio.hits + cc.Smt.Portfolio.misses > 0 then begin
+      Format.fprintf fmt ", cache %d/%d hits" cc.Smt.Portfolio.hits
+        (cc.Smt.Portfolio.hits + cc.Smt.Portfolio.misses);
+      if cc.Smt.Portfolio.cross > 0 then
+        Format.fprintf fmt " (%d cross-property)" cc.Smt.Portfolio.cross;
+      if cc.Smt.Portfolio.w_interval + cc.Smt.Portfolio.w_cooper > 0 then
+        Format.fprintf fmt ", portfolio wins %d interval/%d cooper/%d simplex"
+          cc.Smt.Portfolio.w_interval cc.Smt.Portfolio.w_cooper
+          cc.Smt.Portfolio.w_simplex
+    end
   in
   match r.outcome with
   | Holds ->

@@ -128,6 +128,12 @@ type stats = {
   time : float;  (** wall-clock seconds *)
   jobs : int;  (** worker domains used *)
   workers : worker_stat list;  (** one entry per worker (singleton when sequential) *)
+  cache : Smt.Portfolio.counters;
+      (** discharge-cache effectiveness (hits, misses, cross-property
+          hits) and per-backend portfolio wins, over the counted
+          transcript; all-zero when the run carries no [?portfolio].
+          Cumulative across resumed slices (the journal carries the
+          checkpointed prefix's totals since version 4). *)
 }
 
 type result = { spec : Ta.Spec.t; outcome : outcome; stats : stats }
@@ -184,7 +190,17 @@ val interrupt_requested : unit -> bool
     or pruned prefix — on the certifying LIA engine and append one JSONL
     line per verdict, replayable with [holistic check-cert].  The
     parallel engines ignore the sink (drivers force [jobs = 1] when
-    emitting). *)
+    emitting).
+
+    [?portfolio] routes every leaf discharge through a shared
+    {!Smt.Portfolio}: structurally repeated queries are answered from
+    the cross-property discharge cache at zero solver steps, and misses
+    race the refuting backends before the simplex.  Verdicts, witnesses
+    and schema counts are pinned bit-identical to the uncached engine
+    (see DESIGN.md); only solver effort — and with it [solver_steps] —
+    changes.  Passing one portfolio across the properties of an
+    automaton (and persisting its cache with {!Cachefile}) is what
+    makes cross-property and warm-start reuse effective. *)
 val verify :
   ?limits:limits ->
   ?slice:bool ->
@@ -194,6 +210,7 @@ val verify :
   ?now:(unit -> float) ->
   ?failpoint:(int -> unit) ->
   ?certs:Certs.sink ->
+  ?portfolio:Smt.Portfolio.t ->
   Ta.Automaton.t ->
   Ta.Spec.t ->
   result
@@ -209,6 +226,7 @@ val verify_with_universe :
   ?now:(unit -> float) ->
   ?failpoint:(int -> unit) ->
   ?certs:Certs.sink ->
+  ?portfolio:Smt.Portfolio.t ->
   Universe.t ->
   Ta.Spec.t ->
   result

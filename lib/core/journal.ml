@@ -1,6 +1,6 @@
 module J = Jsonc
 
-let version = 3
+let version = 4
 
 type delta = {
   d_checked : int;
@@ -13,11 +13,19 @@ type delta = {
   d_steps : int;
   d_encode_us : int;
   d_solve_us : int;
+  d_cache_hits : int;
+  d_cache_misses : int;
+  d_cache_cross : int;
+  d_wins_interval : int;
+  d_wins_cooper : int;
+  d_wins_simplex : int;
 }
 
 let zero_delta =
   { d_checked = 0; d_skipped = 0; d_pruned = 0; d_core_pruned = 0; d_static = 0;
-    d_hits = 0; d_slots = 0; d_steps = 0; d_encode_us = 0; d_solve_us = 0 }
+    d_hits = 0; d_slots = 0; d_steps = 0; d_encode_us = 0; d_solve_us = 0;
+    d_cache_hits = 0; d_cache_misses = 0; d_cache_cross = 0;
+    d_wins_interval = 0; d_wins_cooper = 0; d_wins_simplex = 0 }
 
 let add_delta a b =
   {
@@ -31,6 +39,12 @@ let add_delta a b =
     d_steps = a.d_steps + b.d_steps;
     d_encode_us = a.d_encode_us + b.d_encode_us;
     d_solve_us = a.d_solve_us + b.d_solve_us;
+    d_cache_hits = a.d_cache_hits + b.d_cache_hits;
+    d_cache_misses = a.d_cache_misses + b.d_cache_misses;
+    d_cache_cross = a.d_cache_cross + b.d_cache_cross;
+    d_wins_interval = a.d_wins_interval + b.d_wins_interval;
+    d_wins_cooper = a.d_wins_cooper + b.d_wins_cooper;
+    d_wins_simplex = a.d_wins_simplex + b.d_wins_simplex;
   }
 
 type t = {
@@ -47,6 +61,12 @@ type t = {
   encode_us : int;
   solve_us : int;
   elapsed_us : int;
+  cache_hits : int;
+  cache_misses : int;
+  cache_cross : int;
+  wins_interval : int;
+  wins_cooper : int;
+  wins_simplex : int;
   quarantined : (int * string) list;
 }
 
@@ -72,6 +92,12 @@ let fresh ~fingerprint =
     encode_us = 0;
     solve_us = 0;
     elapsed_us = 0;
+    cache_hits = 0;
+    cache_misses = 0;
+    cache_cross = 0;
+    wins_interval = 0;
+    wins_cooper = 0;
+    wins_simplex = 0;
     quarantined = [];
   }
 
@@ -89,6 +115,12 @@ let apply j ~span delta =
     steps = j.steps + delta.d_steps;
     encode_us = j.encode_us + delta.d_encode_us;
     solve_us = j.solve_us + delta.d_solve_us;
+    cache_hits = j.cache_hits + delta.d_cache_hits;
+    cache_misses = j.cache_misses + delta.d_cache_misses;
+    cache_cross = j.cache_cross + delta.d_cache_cross;
+    wins_interval = j.wins_interval + delta.d_wins_interval;
+    wins_cooper = j.wins_cooper + delta.d_wins_cooper;
+    wins_simplex = j.wins_simplex + delta.d_wins_simplex;
   }
 
 (* ------------------------------------------------------------------- *)
@@ -113,6 +145,12 @@ let to_json (j : t) =
       ("encode_us", J.Int j.encode_us);
       ("solve_us", J.Int j.solve_us);
       ("elapsed_us", J.Int j.elapsed_us);
+      ("cache_hits", J.Int j.cache_hits);
+      ("cache_misses", J.Int j.cache_misses);
+      ("cache_cross", J.Int j.cache_cross);
+      ("wins_interval", J.Int j.wins_interval);
+      ("wins_cooper", J.Int j.wins_cooper);
+      ("wins_simplex", J.Int j.wins_simplex);
       ("quarantined",
        J.List
          (List.map (fun (pos, msg) -> J.List [ J.Int pos; J.Str msg ]) j.quarantined));
@@ -137,6 +175,12 @@ let of_json json =
     encode_us = J.to_int (m "encode_us");
     solve_us = J.to_int (m "solve_us");
     elapsed_us = J.to_int (m "elapsed_us");
+    cache_hits = J.to_int (m "cache_hits");
+    cache_misses = J.to_int (m "cache_misses");
+    cache_cross = J.to_int (m "cache_cross");
+    wins_interval = J.to_int (m "wins_interval");
+    wins_cooper = J.to_int (m "wins_cooper");
+    wins_simplex = J.to_int (m "wins_simplex");
     quarantined =
       List.map
         (fun entry ->
@@ -146,18 +190,20 @@ let of_json json =
         (J.to_list (m "quarantined"));
   }
 
-(* Atomic save: write the whole document to a sibling temp file, then
+(* Atomic write: the whole document goes to a sibling temp file, then a
    rename over the target.  A crash mid-write leaves either the previous
-   checkpoint or a stray .tmp, never a torn journal. *)
-let save ~path j =
+   contents or a stray .tmp, never a torn file.  Shared with the
+   persistent discharge cache ({!Cachefile}), which has the same
+   crash-safety contract as the checkpoint journal. *)
+let atomic_write ~path contents =
   let tmp = path ^ ".tmp" in
   let oc = open_out tmp in
   Fun.protect
     ~finally:(fun () -> close_out_noerr oc)
-    (fun () ->
-      output_string oc (J.to_string (to_json j));
-      output_char oc '\n');
+    (fun () -> output_string oc contents);
   Sys.rename tmp path
+
+let save ~path j = atomic_write ~path (J.to_string (to_json j) ^ "\n")
 
 let load ~path =
   if not (Sys.file_exists path) then Error (Printf.sprintf "no checkpoint at %s" path)

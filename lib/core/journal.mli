@@ -26,8 +26,17 @@ type delta = {
   d_steps : int;
   d_encode_us : int;
   d_solve_us : int;
+  d_cache_hits : int;
+  d_cache_misses : int;
+  d_cache_cross : int;
+  d_wins_interval : int;
+  d_wins_cooper : int;
+  d_wins_simplex : int;
 }
-(** Per-span statistics increment, mirroring {!Checker.stats} fields. *)
+(** Per-span statistics increment, mirroring {!Checker.stats} fields
+    (the [d_cache_*]/[d_wins_*] group mirrors {!Checker.stats.cache},
+    maintained since journal version 4 so resumed runs report cumulative
+    cache effectiveness). *)
 
 val zero_delta : delta
 val add_delta : delta -> delta -> delta
@@ -46,6 +55,12 @@ type t = {
   encode_us : int;
   solve_us : int;
   elapsed_us : int;  (** wall-clock across all slices of the run *)
+  cache_hits : int;  (** discharge-cache hits over [0, frontier) *)
+  cache_misses : int;
+  cache_cross : int;  (** of [cache_hits], entries from another property *)
+  wins_interval : int;  (** portfolio decisions by interval propagation *)
+  wins_cooper : int;  (** portfolio decisions by Cooper QE *)
+  wins_simplex : int;  (** portfolio decisions by the simplex *)
   quarantined : (int * string) list;
 }
 
@@ -67,8 +82,13 @@ val apply : t -> span:int -> delta -> t
 val to_json : t -> Jsonc.t
 val of_json : Jsonc.t -> t
 
-(** [save ~path j] writes [j] atomically (temp file + rename): a crash
-    mid-write leaves the previous checkpoint intact, never a torn one. *)
+(** [atomic_write ~path contents] writes [contents] atomically (sibling
+    temp file + rename): a crash mid-write leaves the previous contents
+    intact, never a torn file.  The checkpoint journal and the
+    persistent discharge cache ({!Cachefile}) share this machinery. *)
+val atomic_write : path:string -> string -> unit
+
+(** [save ~path j] writes [j] atomically via {!atomic_write}. *)
 val save : path:string -> t -> unit
 
 (** [load ~path] reads a checkpoint back; [Error] on a missing file,

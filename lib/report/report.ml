@@ -85,7 +85,7 @@ let checkpoint_for ~checkpoint_dir ~ta_key spec =
   | Some dir -> Some (checkpoint_file ~dir ta_key spec)
 
 let bv_rows ?(limits = Holistic.Checker.default_limits) ?(slice = false)
-    ?checkpoint_dir ?(resume = false) ?(checkpoint_every = 64) () =
+    ?checkpoint_dir ?(resume = false) ?(checkpoint_every = 64) ?portfolio () =
   let specs = Models.Bv_ta.table2_specs in
   let ta = maybe_slice ~slice ~specs Models.Bv_ta.automaton in
   let u = Holistic.Universe.build ta in
@@ -94,14 +94,14 @@ let bv_rows ?(limits = Holistic.Checker.default_limits) ?(slice = false)
       let checkpoint = checkpoint_for ~checkpoint_dir ~ta_key:"bv" spec in
       let r =
         Holistic.Checker.verify_with_universe ~limits ?checkpoint ~checkpoint_every
-          ~resume u spec
+          ~resume ?portfolio u spec
       in
       row_of_result ~ta_label:"bv-broadcast (Fig 2)" ~size:(size_string ta)
         ~paper:(paper_time ~naive:false spec.Ta.Spec.name) r)
     specs
 
 let naive_rows ?(limits = Holistic.Checker.default_limits) ?(slice = false)
-    ?checkpoint_dir ?(resume = false) ?(checkpoint_every = 64) ~budget () =
+    ?checkpoint_dir ?(resume = false) ?(checkpoint_every = 64) ?portfolio ~budget () =
   let specs = Models.Naive_ta.table2_specs in
   let ta = maybe_slice ~slice ~specs Models.Naive_ta.automaton in
   let limits = { limits with Holistic.Checker.time_budget = Some budget } in
@@ -109,14 +109,15 @@ let naive_rows ?(limits = Holistic.Checker.default_limits) ?(slice = false)
     (fun spec ->
       let checkpoint = checkpoint_for ~checkpoint_dir ~ta_key:"naive" spec in
       let r =
-        Holistic.Checker.verify ~limits ?checkpoint ~checkpoint_every ~resume ta spec
+        Holistic.Checker.verify ~limits ?checkpoint ~checkpoint_every ~resume ?portfolio
+          ta spec
       in
       row_of_result ~ta_label:"naive consensus (Fig 3)" ~size:(size_string ta)
         ~paper:(paper_time ~naive:true spec.Ta.Spec.name) r)
     specs
 
 let simplified_rows ?(limits = Holistic.Checker.default_limits) ?(slice = false)
-    ?checkpoint_dir ?(resume = false) ?(checkpoint_every = 64)
+    ?checkpoint_dir ?(resume = false) ?(checkpoint_every = 64) ?portfolio
     ?(specs = Models.Simplified_ta.table2_specs) () =
   let ta = maybe_slice ~slice ~specs Models.Simplified_ta.automaton in
   let u = Holistic.Universe.build ta in
@@ -125,18 +126,18 @@ let simplified_rows ?(limits = Holistic.Checker.default_limits) ?(slice = false)
       let checkpoint = checkpoint_for ~checkpoint_dir ~ta_key:"simplified" spec in
       let r =
         Holistic.Checker.verify_with_universe ~limits ?checkpoint ~checkpoint_every
-          ~resume u spec
+          ~resume ?portfolio u spec
       in
       row_of_result ~ta_label:"simplified (Fig 4)" ~size:(size_string ta)
         ~paper:(paper_time ~naive:false spec.Ta.Spec.name) r)
     specs
 
-let table2 ?limits ?slice ?checkpoint_dir ?resume ?checkpoint_every ~quick
+let table2 ?limits ?slice ?checkpoint_dir ?resume ?checkpoint_every ?portfolio ~quick
     ~naive_budget () =
-  bv_rows ?limits ?slice ?checkpoint_dir ?resume ?checkpoint_every ()
-  @ naive_rows ?limits ?slice ?checkpoint_dir ?resume ?checkpoint_every
+  bv_rows ?limits ?slice ?checkpoint_dir ?resume ?checkpoint_every ?portfolio ()
+  @ naive_rows ?limits ?slice ?checkpoint_dir ?resume ?checkpoint_every ?portfolio
       ~budget:naive_budget ()
-  @ simplified_rows ?limits ?slice ?checkpoint_dir ?resume ?checkpoint_every
+  @ simplified_rows ?limits ?slice ?checkpoint_dir ?resume ?checkpoint_every ?portfolio
       ?specs:(if quick then Some [ Models.Simplified_ta.inv2_0; Models.Simplified_ta.good_0 ] else None)
       ()
 

@@ -46,12 +46,17 @@ val checkpoint_file : dir:string -> string -> Ta.Spec.t -> string
     false) fast-forwards each row past its checkpointed frontier — an
     interrupted table regenerates with every completed row's verdict,
     schema count and solver-step totals identical to an uninterrupted
-    run (see {!Holistic.Checker.verify}). *)
+    run (see {!Holistic.Checker.verify}).
+
+    [portfolio] routes every row's leaf discharges through one shared
+    {!Smt.Portfolio} (cross-property cache + racing backends); rows are
+    bit-identical with or without it, only the Steps column shrinks. *)
 
 (** [bv_rows ()] — the four bv-broadcast rows (fast). *)
 val bv_rows :
   ?limits:Holistic.Checker.limits -> ?slice:bool -> ?checkpoint_dir:string ->
-  ?resume:bool -> ?checkpoint_every:int -> unit -> row list
+  ?resume:bool -> ?checkpoint_every:int -> ?portfolio:Smt.Portfolio.t ->
+  unit -> row list
 
 (** [naive_rows ~budget ()] — the three naive-consensus rows, each
     aborted after [budget] seconds (the paper's ">24h" analogue;
@@ -59,19 +64,21 @@ val bv_rows :
     slices of a row). *)
 val naive_rows :
   ?limits:Holistic.Checker.limits -> ?slice:bool -> ?checkpoint_dir:string ->
-  ?resume:bool -> ?checkpoint_every:int -> budget:float -> unit -> row list
+  ?resume:bool -> ?checkpoint_every:int -> ?portfolio:Smt.Portfolio.t ->
+  budget:float -> unit -> row list
 
 (** [simplified_rows ?specs ()] — the simplified-consensus rows
     (defaults to the five properties of Table 2; ~70 s total). *)
 val simplified_rows :
   ?limits:Holistic.Checker.limits -> ?slice:bool -> ?checkpoint_dir:string ->
-  ?resume:bool -> ?checkpoint_every:int -> ?specs:Ta.Spec.t list -> unit -> row list
+  ?resume:bool -> ?checkpoint_every:int -> ?portfolio:Smt.Portfolio.t ->
+  ?specs:Ta.Spec.t list -> unit -> row list
 
 (** [table2 ~quick ~naive_budget ()] — all rows. *)
 val table2 :
   ?limits:Holistic.Checker.limits -> ?slice:bool -> ?checkpoint_dir:string ->
-  ?resume:bool -> ?checkpoint_every:int -> quick:bool -> naive_budget:float ->
-  unit -> row list
+  ?resume:bool -> ?checkpoint_every:int -> ?portfolio:Smt.Portfolio.t ->
+  quick:bool -> naive_budget:float -> unit -> row list
 
 val print_text : out_channel -> row list -> unit
 val to_markdown : row list -> string

@@ -86,6 +86,15 @@ let compare a b =
 
 let equal a b = a == b || compare a b = 0
 
+let compare_canonical a b =
+  if a == b then 0
+  else begin
+    let c = Stdlib.compare a.rel b.rel in
+    if c <> 0 then c else Linexpr.compare a.expr b.expr
+  end
+
+let equal_canonical a b = a == b || compare_canonical a b = 0
+
 let hash a =
   let tag = match a.rel with Le -> 0 | Lt -> 1 | Eq -> 2 in
   (Linexpr.hash (canonical a).expr * 3) + tag land max_int

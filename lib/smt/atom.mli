@@ -46,6 +46,16 @@ val equal : t -> t -> bool
 
 val compare : t -> t -> int
 
+(** [compare_canonical]/[equal_canonical] agree with {!compare}/{!equal}
+    on atoms that are already canonical representatives ({!canonical} is
+    idempotent), but skip the per-comparison renormalization — which
+    dominates sorting or comparing large canonical atom lists (the
+    discharge-cache fingerprint path).  Undefined on non-canonical
+    atoms. *)
+val compare_canonical : t -> t -> int
+
+val equal_canonical : t -> t -> bool
+
 (** Hash compatible with {!equal} (computed on the canonical form). *)
 val hash : t -> int
 val pp : ?names:(int -> string) -> Format.formatter -> t -> unit

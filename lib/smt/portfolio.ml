@@ -1,0 +1,283 @@
+module B = Numbers.Bigint
+module Q = Numbers.Rational
+module P = Presburger
+
+exception Disagreement of string
+
+type counters = {
+  hits : int;
+  misses : int;
+  cross : int;
+  w_interval : int;
+  w_cooper : int;
+  w_simplex : int;
+}
+
+let zero_counters =
+  { hits = 0; misses = 0; cross = 0; w_interval = 0; w_cooper = 0; w_simplex = 0 }
+
+let add_counters a b =
+  {
+    hits = a.hits + b.hits;
+    misses = a.misses + b.misses;
+    cross = a.cross + b.cross;
+    w_interval = a.w_interval + b.w_interval;
+    w_cooper = a.w_cooper + b.w_cooper;
+    w_simplex = a.w_simplex + b.w_simplex;
+  }
+
+let sub_counters a b =
+  {
+    hits = a.hits - b.hits;
+    misses = a.misses - b.misses;
+    cross = a.cross - b.cross;
+    w_interval = a.w_interval - b.w_interval;
+    w_cooper = a.w_cooper - b.w_cooper;
+    w_simplex = a.w_simplex - b.w_simplex;
+  }
+
+(* ------------------------------------------------------------------- *)
+(* Learned win table.  A query's shape is (atom-count bucket, variable-
+   arity bucket, justice flag); buckets are logarithmic so e.g. 33- and
+   40-atom queries share routing state.  Per shape we count which
+   backend decided, and Cooper — the only backend whose attempt can be
+   expensive — is raced only while it is winning for the shape or the
+   shape is still unexplored. *)
+
+type shape = { s_atoms : int; s_vars : int; s_justice : bool }
+
+let bucket n =
+  let rec go b n = if n = 0 then b else go (b + 1) (n lsr 1) in
+  go 0 n
+
+type shape_stats = {
+  mutable tried : int;
+  mutable cooper_wins : int;
+  mutable other_wins : int;  (* interval + simplex decisions *)
+}
+
+type t = {
+  qcache : Qcache.t;
+  check : bool;
+  wins_mutex : Mutex.t;
+  wins : (shape, shape_stats) Hashtbl.t;
+}
+
+let create ?(check = false) qcache =
+  { qcache; check; wins_mutex = Mutex.create (); wins = Hashtbl.create 32 }
+
+let cache t = t.qcache
+
+let with_wins t f =
+  Mutex.lock t.wins_mutex;
+  Fun.protect ~finally:(fun () -> Mutex.unlock t.wins_mutex) (fun () -> f ())
+
+let shape_of ~justice atoms =
+  let vars = List.sort_uniq compare (List.concat_map Atom.vars atoms) in
+  { s_atoms = bucket (List.length atoms); s_vars = bucket (List.length vars);
+    s_justice = justice }
+
+(* Explore Cooper for the first few queries of a shape, then only while
+   it keeps deciding at least as often as the other backends. *)
+let try_cooper_for t shape =
+  with_wins t (fun () ->
+      match Hashtbl.find_opt t.wins shape with
+      | None -> true
+      | Some s -> s.tried < 4 || s.cooper_wins >= s.other_wins)
+
+let record_win t shape ~cooper =
+  with_wins t (fun () ->
+      let s =
+        match Hashtbl.find_opt t.wins shape with
+        | Some s -> s
+        | None ->
+          let s = { tried = 0; cooper_wins = 0; other_wins = 0 } in
+          Hashtbl.add t.wins shape s;
+          s
+      in
+      s.tried <- s.tried + 1;
+      if cooper then s.cooper_wins <- s.cooper_wins + 1
+      else s.other_wins <- s.other_wins + 1)
+
+(* ------------------------------------------------------------------- *)
+
+type handle = {
+  pf : t;
+  local : Qcache.Local.handle;
+  origin : string;
+  mutable c : counters;
+}
+
+let handle ~origin pf =
+  { pf; local = Qcache.Local.create pf.qcache; origin; c = zero_counters }
+
+let counters h = h.c
+
+let flush h = Qcache.Local.flush h.local
+
+(* ------------------------------------------------------------------- *)
+(* Backends. *)
+
+(* Interval propagation: a fresh session's assert-time layers only.
+   Decides UNSAT at zero counted simplex steps; a fresh session has no
+   cached model, so it never claims SAT. *)
+let interval_refutes atoms =
+  let s = Lia.create () in
+  Lia.assert_atoms s atoms;
+  match Lia.check_quick s with Lia.Unsat -> true | _ -> false
+
+(* Cooper QE over the canonical conjunction.  Only small queries are
+   eligible: elimination is superexponential in the variable count, and
+   the conversion needs native-int coefficients. *)
+let cooper_max_vars = 6
+let cooper_max_atoms = 24
+
+let cooper_formula catoms =
+  let term_of expr =
+    let ok = ref true in
+    let int_of q =
+      match B.to_int (Q.to_bigint q) with
+      | Some n -> n
+      | None ->
+        ok := false;
+        0
+    in
+    let terms =
+      List.map
+        (fun (c, x) -> (int_of c, Printf.sprintf "x%d" x))
+        (Linexpr.terms expr)
+    in
+    let t = P.Term.of_terms terms (int_of (Linexpr.constant expr)) in
+    if !ok then Some t else None
+  in
+  let zero = P.Term.const 0 in
+  let atom_of (a : Atom.t) =
+    Option.map
+      (fun t ->
+        match a.Atom.rel with
+        | Atom.Le -> P.le t zero
+        | Atom.Lt -> P.lt t zero
+        | Atom.Eq -> P.eq t zero)
+      (term_of a.Atom.expr)
+  in
+  let rec all acc = function
+    | [] -> Some (P.And (List.rev acc))
+    | a :: rest -> (
+      match atom_of a with None -> None | Some f -> all (f :: acc) rest)
+  in
+  all [] catoms
+
+let cooper_eligible catoms =
+  List.length catoms <= cooper_max_atoms
+  && List.length (List.sort_uniq compare (List.concat_map Atom.vars catoms))
+     <= cooper_max_vars
+
+(* Atom budget for the elimination: past this, Cooper concedes the race
+   to the simplex (its expansion is superexponential in the worst
+   case — unbounded it can eat the whole machine on one bad query). *)
+let cooper_budget = 5_000
+
+(* [Some false]: refuted; [Some true]: satisfiable (no model — fall
+   through to the simplex); [None]: not eligible / conversion failed /
+   elimination blew the budget. *)
+let cooper_decides catoms =
+  if not (cooper_eligible catoms) then None
+  else
+    match cooper_formula catoms with
+    | None -> None
+    | Some f -> (
+      try P.check_sat_bounded ~budget:cooper_budget f
+      with Invalid_argument _ -> None)
+
+(* ------------------------------------------------------------------- *)
+
+(* Canonical-vs-canonical comparisons (the cache hit guard) use the
+   cheap comparator; the SAT literal-identity check compares raw query
+   atoms, which are not canonical, so it keeps the general one. *)
+let catoms_equal = List.equal Atom.equal_canonical
+let atoms_equal = List.equal Atom.equal
+
+(* Cross-check a refuter's UNSAT on the simplex (uncounted steps: the
+   check is diagnostic work, not verification effort). *)
+let crosscheck ~max_steps ?stop ~backend atoms =
+  match Lia.solve ~max_steps ?stop atoms with
+  | Lia.Sat _ ->
+    raise
+      (Disagreement
+         (Printf.sprintf "%s refuted a conjunction the simplex satisfies" backend))
+  | Lia.Unsat | Lia.Unknown | Lia.Timeout -> ()
+
+let solve ?steps ?(max_steps = 20_000) ?stop ~justice h atoms =
+  let key, catoms = Qcache.fingerprint atoms in
+  let hit verdict_result ~cross =
+    h.c <-
+      { h.c with hits = h.c.hits + 1; cross = (h.c.cross + if cross then 1 else 0) };
+    verdict_result
+  in
+  let cached =
+    match Qcache.Local.find h.local key with
+    | Some e when catoms_equal e.Qcache.catoms catoms -> (
+      let cross = not (String.equal e.Qcache.origin h.origin) in
+      match e.Qcache.verdict with
+      | Qcache.Unsat_cert _ -> Some (hit Lia.Unsat ~cross)
+      | Qcache.Sat_model { atoms = la; model } ->
+        (* Serve a SAT hit only for the literally identical query (same
+           atoms, same order): the stored model is then byte-identical
+           to what the simplex would recompute, so the witness is too.
+           The model is still revalidated — a stale entry degrades to a
+           miss. *)
+        if atoms_equal la atoms && Lia.check_model atoms model then
+          Some (hit (Lia.Sat model) ~cross)
+        else None)
+    | _ -> None
+  in
+  match cached with
+  | Some r -> r
+  | None ->
+    h.c <- { h.c with misses = h.c.misses + 1 };
+    let shape = shape_of ~justice atoms in
+    let remember verdict =
+      Qcache.Local.add h.local key
+        { Qcache.catoms; verdict; origin = h.origin }
+    in
+    if interval_refutes atoms then begin
+      if h.pf.check then crosscheck ~max_steps ?stop ~backend:"interval" atoms;
+      h.c <- { h.c with w_interval = h.c.w_interval + 1 };
+      record_win h.pf shape ~cooper:false;
+      remember (Qcache.Unsat_cert None);
+      Lia.Unsat
+    end
+    else begin
+      let cooper =
+        if try_cooper_for h.pf shape then cooper_decides catoms else None
+      in
+      match cooper with
+      | Some false ->
+        if h.pf.check then crosscheck ~max_steps ?stop ~backend:"Cooper QE" atoms;
+        h.c <- { h.c with w_cooper = h.c.w_cooper + 1 };
+        record_win h.pf shape ~cooper:true;
+        remember (Qcache.Unsat_cert None);
+        Lia.Unsat
+      | Some true | None -> (
+        (* The simplex is the only model-producing backend: its call here
+           is the same call the uncached engine makes, so SAT verdicts
+           (and witnesses) are byte-identical. *)
+        match Lia.solve ?steps ~max_steps ?stop atoms with
+        | Lia.Sat model as r ->
+          h.c <- { h.c with w_simplex = h.c.w_simplex + 1 };
+          record_win h.pf shape ~cooper:false;
+          remember (Qcache.Sat_model { atoms; model });
+          r
+        | Lia.Unsat as r ->
+          (* Cooper claimed SAT but the reference engine refutes: a
+             backend bug either way — surface it even without [check]. *)
+          if cooper = Some true then
+            raise
+              (Disagreement
+                 "Cooper QE satisfied a conjunction the simplex refutes");
+          h.c <- { h.c with w_simplex = h.c.w_simplex + 1 };
+          record_win h.pf shape ~cooper:false;
+          remember (Qcache.Unsat_cert None);
+          r
+        | (Lia.Unknown | Lia.Timeout) as r -> r)
+    end

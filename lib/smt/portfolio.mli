@@ -1,0 +1,87 @@
+(** Racing backend portfolio over the discharge cache.
+
+    Every leaf query first consults the {!Qcache} (a hit is revalidated
+    and answered at zero solver steps); a miss is routed to one of three
+    backends, ordered by a learned per-query-shape win table:
+
+    - {e interval propagation} — a fresh {!Lia} session's assert-time
+      layers ({!Lia.check_quick}); decides only UNSAT, at zero counted
+      simplex steps;
+    - {e Cooper QE} — {!Presburger.check_sat} over the canonical
+      conjunction; only consulted on small queries (bounded variable
+      arity and atom count — elimination is superexponential) and only
+      decisive on UNSAT;
+    - {e CDCL(T)-simplex} — {!Lia.solve}, the reference engine; the only
+      backend that produces models, so every [Sat] verdict (and with it
+      every witness) is byte-identical to the uncached engine's.
+
+    The shape key is (atom-count bucket, variable-arity bucket, justice
+    flag); each shape remembers which backend decided its queries, and
+    Cooper is only raced while it is winning (or still unexplored) for
+    that shape.
+
+    Soundness: the refuting backends decide only UNSAT — verdicts the
+    simplex would also reach — and cache hits are revalidated (models
+    re-evaluated, certificates replayed at load time), so outcomes,
+    witnesses and schema counts are pinned bit-identical to the uncached
+    engine; only solver effort changes.  With [check] enabled, every
+    refuter verdict is re-proved on the simplex and a mismatch raises
+    {!Disagreement} (the checker's fail-soft quarantine contains it to
+    one position). *)
+
+module B := Numbers.Bigint
+
+(** Raised when two backends decide the same query differently — a
+    solver bug by construction, never a cache/tampering effect (those
+    degrade to misses). *)
+exception Disagreement of string
+
+type counters = {
+  hits : int;  (** cache hits (zero-step answers) *)
+  misses : int;  (** queries routed to a backend *)
+  cross : int;  (** of [hits], entries first discharged by a different property *)
+  w_interval : int;  (** misses decided by interval propagation *)
+  w_cooper : int;  (** misses decided by Cooper QE *)
+  w_simplex : int;  (** misses decided by the simplex *)
+}
+
+val zero_counters : counters
+val add_counters : counters -> counters -> counters
+val sub_counters : counters -> counters -> counters
+
+type t
+
+(** [create ?check cache] builds a portfolio over [cache].  [check]
+    (default false) re-proves every interval/Cooper refutation on the
+    simplex and raises {!Disagreement} on mismatch. *)
+val create : ?check:bool -> Qcache.t -> t
+
+val cache : t -> Qcache.t
+
+(** Per-domain handle; [origin] names the property being discharged and
+    is recorded in new cache entries (cross-property hits are classified
+    against it). *)
+type handle
+
+val handle : origin:string -> t -> handle
+
+(** Counters accumulated by this handle since creation. *)
+val counters : handle -> counters
+
+(** Flush the handle's buffered cache writes to the shared table. *)
+val flush : handle -> unit
+
+(** [solve ?steps ?max_steps ?stop ~justice h atoms] decides the
+    conjunction like {!Lia.solve}, through the cache and the portfolio.
+    [steps] counts simplex calls only — hits and refuter decisions cost
+    zero, which is exactly the effort the cache elides.  [justice] marks
+    queries extended with justice-branch cubes (part of the shape
+    key). *)
+val solve :
+  ?steps:int ref ->
+  ?max_steps:int ->
+  ?stop:(unit -> bool) ->
+  justice:bool ->
+  handle ->
+  Atom.t list ->
+  Lia.result

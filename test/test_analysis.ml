@@ -148,7 +148,9 @@ let test_ta008_unsat_guard () =
 
 let test_ta008_unproducible_guard () =
   (* y is read but nothing increments it, so [y >= 1] can never unlock.
-     (Read-but-never-written is TA008 territory, not TA009.) *)
+     (Read-but-never-written is TA008 territory, not TA009.)  The
+     invariant engine independently proves the same atom statically
+     false, so the fixpoint pass co-reports TA022. *)
   let m =
     mk ~shared:[ "x"; "y" ]
       ~rules:
@@ -159,7 +161,7 @@ let test_ta008_unproducible_guard () =
         ]
       ()
   in
-  check_codes "unproducible guard atom" [ "TA008" ] (An.run m)
+  check_codes "unproducible guard atom" [ "TA008"; "TA022" ] (An.run m)
 
 let test_ta009_unused_shared () =
   (* y is written but never read; z is never touched at all. *)
@@ -243,7 +245,13 @@ let test_paper_models_clean () =
   check_codes "simplified consensus" []
     (An.run ~assume:Models.Params.resilience ~specs:Models.Simplified_ta.table2_specs
        Models.Simplified_ta.automaton);
-  check_codes "ben-or" [] (An.run ~specs:Models.Ben_or.all_specs Models.Ben_or.automaton)
+  (* ben-or carries two known info-level TA021 trivial thresholds
+     (-f + 1 is non-positive whenever f >= 1); nothing above info may
+     appear.  CI's lint gate pins the same contract. *)
+  let benor = An.run ~specs:Models.Ben_or.all_specs Models.Ben_or.automaton in
+  check_codes "ben-or" [ "TA021" ] benor;
+  Alcotest.(check (option string)) "ben-or max severity" (Some "info")
+    (Option.map An.severity_to_string (An.max_severity benor))
 
 (* ------------------------------------------------------------------ *)
 (* Satellite: find_rule raises a named Invalid_argument.                *)

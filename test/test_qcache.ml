@@ -1,0 +1,310 @@
+(* The two-level discharge cache and the racing backend portfolio
+   (Smt.Qcache / Smt.Portfolio / Holistic.Cachefile):
+
+   - cached-vs-uncached equivalence: all four engines (flat/incremental
+     x sequential/parallel) on every bundled bv property, and the two
+     sequential engines on random DAG automata, must report the same
+     outcome (witness included), schema count and slot total with a
+     portfolio as without one;
+   - warm-rerun determinism: a violated property re-verified against
+     the populated cache reproduces the byte-identical witness, from
+     cache hits;
+   - persistence: save -> load roundtrips every certified entry, and a
+     warm run from the loaded cache answers every leaf from it at zero
+     solver steps;
+   - the poisoned-cache trust model: corrupting a persisted entry's
+     certificate makes the loader drop that entry (silently, counted),
+     and the verdict of a run against the poisoned cache is unchanged. *)
+
+module A = Ta.Automaton
+module G = Ta.Guard
+module P = Ta.Pexpr
+module C = Ta.Cond
+module S = Ta.Spec
+module Ck = Holistic.Checker
+module J = Jsonc
+
+let limits ?(max_schemas = 100_000) ?(jobs = 1) ?(incremental = true)
+    ?(static = true) () =
+  { Ck.default_limits with max_schemas; jobs; incremental; static }
+
+let outcome_repr = function
+  | Ck.Holds -> "holds"
+  | Ck.Violated w -> Format.asprintf "violated@\n%a" Holistic.Witness.pp w
+  | Ck.Aborted reason -> "aborted: " ^ reason
+  | Ck.Partial { quarantined; reason } ->
+    Format.asprintf "partial (%d quarantined): %s" (List.length quarantined) reason
+
+let with_temp_file f =
+  let path = Filename.temp_file "holistic_qcache" ".json" in
+  Fun.protect
+    ~finally:(fun () -> if Sys.file_exists path then Sys.remove path)
+    (fun () -> f path)
+
+(* ------------------------------------------------------------------ *)
+(* Four-engine equivalence on the bundled bv model.  One portfolio
+   (with cross-checking on) is shared across every property and engine,
+   so later runs also exercise warm hits and cross-property reuse.      *)
+
+let test_bv_four_engines () =
+  let portfolio = Smt.Portfolio.create ~check:true (Smt.Qcache.create ()) in
+  let u = Holistic.Universe.build Models.Bv_ta.automaton in
+  List.iter
+    (fun spec ->
+      List.iter
+        (fun (incremental, jobs) ->
+          let limits = limits ~jobs ~incremental () in
+          let label =
+            Printf.sprintf "%s inc=%b jobs=%d" spec.S.name incremental jobs
+          in
+          let plain = Ck.verify_with_universe ~limits u spec in
+          let cached = Ck.verify_with_universe ~limits ~portfolio u spec in
+          Alcotest.(check string)
+            (label ^ " outcome")
+            (outcome_repr plain.Ck.outcome)
+            (outcome_repr cached.Ck.outcome);
+          Alcotest.(check int)
+            (label ^ " schemas") plain.Ck.stats.schemas_checked
+            cached.Ck.stats.schemas_checked;
+          Alcotest.(check int)
+            (label ^ " slots") plain.Ck.stats.slots_total
+            cached.Ck.stats.slots_total)
+        [ (false, 1); (false, 2); (true, 1); (true, 2) ])
+    Models.Bv_ta.table2_specs
+
+(* ------------------------------------------------------------------ *)
+(* Warm-rerun witness determinism on the broken-resilience
+   counterexample: the cold run caches the deciding SAT query's literal
+   model, so the warm rerun reproduces the byte-identical witness —
+   and actually from the cache.                                         *)
+
+let test_warm_witness_determinism () =
+  let portfolio = Smt.Portfolio.create (Smt.Qcache.create ()) in
+  let ta = Models.Simplified_ta.automaton_broken_resilience in
+  let spec = Models.Simplified_ta.inv1_0 in
+  let plain = Ck.verify ~limits:(limits ()) ta spec in
+  let cold = Ck.verify ~limits:(limits ()) ~portfolio ta spec in
+  let warm = Ck.verify ~limits:(limits ()) ~portfolio ta spec in
+  (match plain.Ck.outcome with
+   | Ck.Violated _ -> ()
+   | o -> Alcotest.failf "expected a counterexample, got %s" (outcome_repr o));
+  Alcotest.(check string) "cold witness matches uncached"
+    (outcome_repr plain.Ck.outcome) (outcome_repr cold.Ck.outcome);
+  Alcotest.(check string) "warm witness is byte-identical"
+    (outcome_repr plain.Ck.outcome) (outcome_repr warm.Ck.outcome);
+  Alcotest.(check bool) "warm run actually hit the cache" true
+    (warm.Ck.stats.cache.Smt.Portfolio.hits > 0)
+
+(* ------------------------------------------------------------------ *)
+(* Persistence roundtrip and the poisoned cache.  The flat sequential
+   engine discharges every schema as a leaf, so a fully-warm run needs
+   no solver steps at all.                                              *)
+
+let set_cert cert = function
+  | J.Obj fields ->
+    J.Obj (List.map (fun (k, v) -> if k = "cert" then (k, cert) else (k, v)) fields)
+  | j -> j
+
+let read_file path =
+  let ic = open_in_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_in_noerr ic)
+    (fun () -> really_input_string ic (in_channel_length ic))
+
+let write_file path contents =
+  let oc = open_out_bin path in
+  output_string oc contents;
+  close_out oc
+
+let test_persistence_and_poison () =
+  let cache = Smt.Qcache.create () in
+  let portfolio = Smt.Portfolio.create cache in
+  let u = Holistic.Universe.build Models.Bv_ta.automaton in
+  (* BV-Obl0 with static discharge off: every one of the 19 schemas is
+     then a genuine leaf discharge, so the cold run populates one cache
+     entry per schema (BV-Just0 would be fully statically refuted and
+     leave the cache empty). *)
+  let spec = List.nth Models.Bv_ta.table2_specs 1 in
+  let limits = limits ~incremental:false ~static:false () in
+  let plain = Ck.verify_with_universe ~limits u spec in
+  let _cold = Ck.verify_with_universe ~limits ~portfolio u spec in
+  with_temp_file (fun path ->
+      let sr = Holistic.Cachefile.save ~path cache in
+      Alcotest.(check bool) "entries written" true (sr.Holistic.Cachefile.written >= 3);
+      Alcotest.(check int) "every entry certified" 0 sr.Holistic.Cachefile.uncertified;
+      (* Clean roundtrip: everything loads, nothing is dropped, and a
+         warm run from the loaded cache needs zero solver steps. *)
+      let lr = Holistic.Cachefile.load ~path in
+      Alcotest.(check int) "all entries loaded" sr.Holistic.Cachefile.written
+        lr.Holistic.Cachefile.loaded;
+      Alcotest.(check int) "no entries dropped" 0 lr.Holistic.Cachefile.dropped;
+      let warm =
+        Ck.verify_with_universe ~limits
+          ~portfolio:(Smt.Portfolio.create lr.Holistic.Cachefile.cache)
+          u spec
+      in
+      Alcotest.(check string) "warm verdict" (outcome_repr plain.Ck.outcome)
+        (outcome_repr warm.Ck.outcome);
+      Alcotest.(check int) "warm run has no misses" 0
+        warm.Ck.stats.cache.Smt.Portfolio.misses;
+      Alcotest.(check int) "warm run needs no solver steps" 0
+        warm.Ck.stats.solver_steps;
+      (* Poison two persisted certificates: one nulled out, one replaced
+         with bytes that do not parse as a certificate.  Both entries
+         must be dropped by load-time validation; the rest still load,
+         and the verdict of a run against the poisoned cache is
+         unchanged. *)
+      let doc = J.of_string (String.trim (read_file path)) in
+      let entries = J.to_list (J.member "entries" doc) in
+      let poisoned =
+        List.mapi
+          (fun i ej ->
+            if i = 0 then set_cert J.Null ej
+            else if i = 1 then set_cert (J.Str "corrupted-certificate") ej
+            else ej)
+          entries
+      in
+      let doc' =
+        J.Obj [ ("version", J.Int 1); ("entries", J.List poisoned) ]
+      in
+      write_file path (J.to_string doc' ^ "\n");
+      let lr' = Holistic.Cachefile.load ~path in
+      Alcotest.(check int) "poisoned entries dropped" 2 lr'.Holistic.Cachefile.dropped;
+      Alcotest.(check int) "intact entries still load"
+        (sr.Holistic.Cachefile.written - 2)
+        lr'.Holistic.Cachefile.loaded;
+      let after =
+        Ck.verify_with_universe ~limits
+          ~portfolio:(Smt.Portfolio.create lr'.Holistic.Cachefile.cache)
+          u spec
+      in
+      Alcotest.(check string) "verdict unchanged by poisoning"
+        (outcome_repr plain.Ck.outcome)
+        (outcome_repr after.Ck.outcome);
+      Alcotest.(check bool) "dropped entries degrade to misses" true
+        (after.Ck.stats.cache.Smt.Portfolio.misses > 0))
+
+(* ------------------------------------------------------------------ *)
+(* Random DAG automata (the generator of test_incremental/test_absint):
+   cached cold and warm runs agree with the uncached engine — outcome,
+   witness, schema count, slot total — on both sequential engines.      *)
+
+let locations = [ "L0"; "L1"; "L2"; "L3" ]
+
+let guard_pool =
+  [
+    G.tt;
+    G.ge1 "x" (P.const 1);
+    G.ge1 "x" (P.const 2);
+    G.ge1 "y" (P.const 1);
+    G.ge [ ("x", 1); ("y", 1) ] (P.const 2);
+  ]
+
+let update_pool = [ []; [ ("x", 1) ]; [ ("y", 1) ] ]
+
+type rule_desc = { src : int; dst : int; guard : int; update : int; fair : bool }
+
+let arb_ta =
+  let open QCheck in
+  let edges =
+    List.concat_map
+      (fun i -> List.filter_map (fun j -> if j > i then Some (i, j) else None) [ 0; 1; 2; 3 ])
+      [ 0; 1; 2 ]
+  in
+  let arb_desc (src, dst) =
+    map
+      (fun (present, guard, update, fair) ->
+        if present then Some { src; dst; guard; update; fair } else None)
+      (tup4 bool
+         (int_range 0 (List.length guard_pool - 1))
+         (int_range 0 (List.length update_pool - 1))
+         bool)
+  in
+  let rec sequence = function
+    | [] -> Gen.return []
+    | g :: gs -> Gen.map2 (fun x xs -> x :: xs) g (sequence gs)
+  in
+  let gens = List.map (fun e -> (arb_desc e).gen) edges in
+  make
+    ~print:(fun descs ->
+      String.concat ";"
+        (List.map
+           (function
+             | None -> "-"
+             | Some d ->
+               Printf.sprintf "%d->%d g%d u%d %s" d.src d.dst d.guard d.update
+                 (if d.fair then "F" else "U"))
+           descs))
+    (sequence gens)
+
+let build_ta descs =
+  let rules =
+    List.concat_map
+      (function
+        | None -> []
+        | Some d ->
+          [
+            A.rule
+              (Printf.sprintf "r%d%d" d.src d.dst)
+              ~source:(List.nth locations d.src) ~target:(List.nth locations d.dst)
+              ~guard:(List.nth guard_pool d.guard)
+              ~update:(List.nth update_pool d.update)
+              ~fairness:(if d.fair then A.Fair else A.Unfair);
+          ])
+      descs
+  in
+  A.make ~name:"random" ~params:[ "n" ] ~shared:[ "x"; "y" ] ~locations
+    ~initial:[ "L0"; "L1" ]
+    ~resilience:[ P.of_terms [ ("n", 1) ] (-1) ]
+    ~population:(P.param "n") ~rules ()
+
+let reach_spec =
+  S.invariant ~name:"reach-L3" ~ltl:"<>(k[L3] != 0)"
+    ~bad:[ ("L3 reached", C.some_nonempty [ "L3" ]) ]
+    ()
+
+let cached_agrees descs =
+  let ta = build_ta descs in
+  let portfolio = Smt.Portfolio.create ~check:true (Smt.Qcache.create ()) in
+  List.for_all
+    (fun incremental ->
+      let run ?portfolio () =
+        Ck.verify ~limits:(limits ~max_schemas:5_000 ~incremental ()) ?portfolio ta
+          reach_spec
+      in
+      let plain = run () in
+      (match plain.Ck.outcome with
+       | Ck.Aborted _ | Ck.Partial _ -> QCheck.assume_fail ()
+       | _ -> ());
+      let cold = run ~portfolio () in
+      let warm = run ~portfolio () in
+      outcome_repr plain.Ck.outcome = outcome_repr cold.Ck.outcome
+      && outcome_repr plain.Ck.outcome = outcome_repr warm.Ck.outcome
+      && plain.Ck.stats.schemas_checked = cold.Ck.stats.schemas_checked
+      && plain.Ck.stats.schemas_checked = warm.Ck.stats.schemas_checked
+      && plain.Ck.stats.slots_total = cold.Ck.stats.slots_total
+      && plain.Ck.stats.slots_total = warm.Ck.stats.slots_total)
+    [ false; true ]
+
+let () =
+  Alcotest.run "qcache"
+    [
+      ( "engines",
+        [
+          Alcotest.test_case "bv: four engines, cached vs uncached" `Quick
+            test_bv_four_engines;
+          Alcotest.test_case "warm witness determinism" `Quick
+            test_warm_witness_determinism;
+        ] );
+      ( "persistence",
+        [
+          Alcotest.test_case "roundtrip and poisoned cache" `Quick
+            test_persistence_and_poison;
+        ] );
+      ( "random-ta",
+        [
+          QCheck_alcotest.to_alcotest
+            (QCheck.Test.make ~name:"cached engines agree on random TAs" ~count:30
+               arb_ta cached_agrees);
+        ] );
+    ]

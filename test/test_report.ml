@@ -25,6 +25,7 @@ let fake_result outcome : Holistic.Checker.result =
         time = 1.25;
         jobs = 1;
         workers = [];
+        cache = Smt.Portfolio.zero_counters;
       };
   }
 

@@ -193,11 +193,14 @@ let test_multi_slice_resume () =
    the run.                                                             *)
 
 (* A crash at every attempt of one position: the run must complete with
-   a Partial verdict quarantining exactly that position. *)
+   a Partial verdict quarantining exactly that position.  Static
+   discharge is off: it refutes this property whole, so position 3
+   would be pruned before the failpoint could fire. *)
 let test_failpoint_quarantines () =
   let spec = List.hd Models.Bv_ta.table2_specs in
   List.iter
     (fun (engine, limits) ->
+      let limits = { limits with Ck.static = false } in
       let r =
         Ck.verify_with_universe ~limits
           ~failpoint:(fun pos -> if pos = 3 then failwith "injected crash")
@@ -238,7 +241,8 @@ let test_failpoint_after_decision_harmless () =
    crash gone, the resumed run is clean and Holds. *)
 let test_quarantine_then_clean_resume () =
   let spec = List.hd Models.Bv_ta.table2_specs in
-  let limits = { Ck.default_limits with jobs = 1 } in
+  (* Static off for the same reason as test_failpoint_quarantines. *)
+  let limits = { Ck.default_limits with jobs = 1; static = false } in
   let base = Ck.verify_with_universe ~limits (Lazy.force bv_u) spec in
   with_path (fun path ->
       let crashed =
@@ -348,9 +352,11 @@ let sample_journal () =
   let j =
     J.apply j ~span:3
       {
-        J.d_checked = 2; d_skipped = 1; d_pruned = 1; d_core_pruned = 0; d_static = 0;
+        J.zero_delta with
+        J.d_checked = 2; d_skipped = 1; d_pruned = 1;
         d_hits = 4; d_slots = 9; d_steps = 31; d_encode_us = 1500;
-        d_solve_us = 2500;
+        d_solve_us = 2500; d_cache_hits = 5; d_cache_misses = 6; d_cache_cross = 2;
+        d_wins_interval = 3; d_wins_cooper = 1; d_wins_simplex = 2;
       }
   in
   { j with J.elapsed_us = 4321; quarantined = [ (7, "boom") ] }

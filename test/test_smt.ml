@@ -261,6 +261,54 @@ let test_atom_canonical_equal () =
   Alcotest.(check bool) "le keeps its sign" false (A.equal le ge)
 
 (* ------------------------------------------------------------------ *)
+(* Discharge-cache fingerprint canonicality (Smt.Qcache).  The cache key
+   must be a pure function of the query's canonical atom set: permuting
+   the atom list, positively rescaling any atom, and injecting duplicate
+   atoms must all map to the same key (and the same canonical atom
+   list), while queries with different canonical sets must separate.    *)
+
+let qcache_props =
+  let arb_query = QCheck.(list_of_size (Gen.int_range 1 6) arb_atom) in
+  [
+    prop "fingerprint invariant under permutation/rescaling/duplication" 500
+      QCheck.(pair arb_query small_nat)
+      (fun (atoms, seed) ->
+        let key, catoms = Smt.Qcache.fingerprint atoms in
+        (* Deterministic scramble from the seed: rescale every atom by a
+           positive factor, duplicate one atom, then shuffle. *)
+        let st = Random.State.make [| seed |] in
+        let rescaled =
+          List.map
+            (fun a ->
+              let m = Q.of_int (1 + Random.State.int st 7) in
+              { a with A.expr = L.scale m a.A.expr })
+            atoms
+        in
+        let doubled = List.nth rescaled (Random.State.int st (List.length rescaled)) :: rescaled in
+        let shuffled =
+          List.map snd
+            (List.sort compare
+               (List.map (fun a -> (Random.State.bits st, a)) doubled))
+        in
+        let key', catoms' = Smt.Qcache.fingerprint shuffled in
+        String.equal key key' && List.equal A.equal_canonical catoms catoms');
+    prop "fingerprint separates queries with distinct canonical sets" 500
+      QCheck.(pair arb_query arb_query)
+      (fun (q1, q2) ->
+        let key1, catoms1 = Smt.Qcache.fingerprint q1 in
+        let key2, catoms2 = Smt.Qcache.fingerprint q2 in
+        if List.equal A.equal_canonical catoms1 catoms2 then String.equal key1 key2
+        else not (String.equal key1 key2));
+    prop "compare_canonical agrees with compare on canonical atoms" 500
+      QCheck.(pair arb_atom arb_atom)
+      (fun (a, b) ->
+        let ca = A.canonical a and cb = A.canonical b in
+        Stdlib.compare (A.compare_canonical ca cb) 0
+        = Stdlib.compare (A.compare ca cb) 0
+        && A.equal_canonical ca cb = A.equal a b);
+  ]
+
+(* ------------------------------------------------------------------ *)
 (* The incremental assertion stack (Lia session over Simplex.Session).  *)
 
 let is_sat = function Smt.Lia.Sat _ -> true | _ -> false
@@ -544,6 +592,7 @@ let () =
       ("smt-props", smt_props);
       ( "atom-canonical",
         [ Alcotest.test_case "gcd equality and hash" `Quick test_atom_canonical_equal ] );
+      ("qcache-fingerprint", qcache_props);
       ( "lia-session",
         [
           Alcotest.test_case "push/pop assertion stack" `Quick test_lia_session_push_pop;
