@@ -20,7 +20,7 @@
    Usage: dune exec bench/main.exe [-- --quick] [-- --naive-budget S] [-- --jobs N]
           [-- --slice] [-- --no-incremental] [-- --bench-json PATH]
           [-- --bench6-json PATH] [-- --bench7-json PATH]
-          [-- --bench8-json PATH]
+          [-- --bench8-json PATH] [-- --bench9-json PATH]
           [-- --checkpoint DIR] [-- --resume] [-- --checkpoint-every N] *)
 
 let quick = Array.exists (( = ) "--quick") Sys.argv
@@ -490,6 +490,52 @@ let cache_comparison () =
   print_newline ()
 
 (* ------------------------------------------------------------------ *)
+(* Section 2g: the model zoo sweep.  Every Models.Zoo entry is verified
+   against every registered property and compared with the registry's
+   expected verdict; disagreement is an engine or registry bug.  The
+   records go to BENCH_9.json for CI's zoo gates: every row agrees and
+   every row is decided (no aborts — the zoo models are small by
+   construction). *)
+
+let bench9_json_path =
+  match flag_value "--bench9-json" with Some p -> p | None -> "BENCH_9.json"
+
+let zoo_sweep () =
+  print_endline "== Model zoo: expected verdict per (entry, property) ==";
+  let records = ref [] in
+  Printf.printf "%-12s %-16s %-9s %-9s %9s %7s %7s %6s\n" "Entry" "Property"
+    "expected" "outcome" "schemas" "steps" "time" "agree";
+  List.iter
+    (fun (e : Models.Zoo.entry) ->
+      let u = Holistic.Universe.build e.Models.Zoo.automaton in
+      List.iter
+        (fun ((spec : Ta.Spec.t), expected) ->
+          let r = Holistic.Checker.verify_with_universe ~limits u spec in
+          let expected_s = Models.Zoo.verdict_to_string expected in
+          let agree = outcome_string r = expected_s in
+          records :=
+            Printf.sprintf
+              {|    {"ta": %S, "property": %S, "expected": %S, "outcome": %S, "agree": %b, "schemas": %d, "slots": %d, "solver_steps": %d, "time": %.3f}|}
+              e.Models.Zoo.key spec.Ta.Spec.name expected_s (outcome_string r)
+              agree r.Holistic.Checker.stats.schemas_checked r.stats.slots_total
+              r.stats.solver_steps r.stats.time
+            :: !records;
+          Printf.printf "%-12s %-16s %-9s %-9s %9d %7d %6.2fs %6s\n%!"
+            e.Models.Zoo.key spec.Ta.Spec.name expected_s (outcome_string r)
+            r.stats.schemas_checked r.stats.solver_steps r.stats.time
+            (if agree then "yes" else "NO!"))
+        e.Models.Zoo.specs)
+    Models.Zoo.entries;
+  let oc = open_out bench9_json_path in
+  Printf.fprintf oc "{\n  \"jobs\": %d,\n  \"mode\": %S,\n  \"results\": [\n%s\n  ]\n}\n"
+    jobs
+    (if quick then "quick" else "full")
+    (String.concat ",\n" (List.rev !records));
+  close_out oc;
+  Printf.printf "(wrote %s)\n" bench9_json_path;
+  print_newline ()
+
+(* ------------------------------------------------------------------ *)
 (* Section 3: Bechamel micro-benchmarks.                                *)
 
 let micro () =
@@ -614,6 +660,7 @@ let () =
   certificates ();
   static_comparison ();
   cache_comparison ();
+  zoo_sweep ();
   micro ();
   ablation ();
   print_endline "done."

@@ -5,7 +5,7 @@
 
 open Cmdliner
 
-type model = Bv | Naive | Simplified | BenOr
+type model = Bv | Naive | Simplified | BenOr | ZooEntry of Models.Zoo.entry
 
 let automaton_of ?(broken = false) = function
   | Bv -> Models.Bv_ta.automaton
@@ -14,18 +14,28 @@ let automaton_of ?(broken = false) = function
     if broken then Models.Simplified_ta.automaton_broken_resilience
     else Models.Simplified_ta.automaton
   | BenOr -> Models.Ben_or.automaton
+  | ZooEntry e -> e.Models.Zoo.automaton
 
 let specs_of = function
   | Bv -> Models.Bv_ta.all_specs
   | Naive -> Models.Naive_ta.table2_specs
   | Simplified -> Models.Simplified_ta.all_specs
   | BenOr -> Models.Ben_or.all_specs
+  | ZooEntry e -> List.map fst e.Models.Zoo.specs
 
 let model_key = function
   | Bv -> "bv"
   | Naive -> "naive"
   | Simplified -> "simplified"
   | BenOr -> "benor"
+  | ZooEntry e -> e.Models.Zoo.key
+
+(* The name a model lints under.  Zoo entries are labelled by registry
+   key ("zoo:dbft-rta") rather than automaton name: the dbft-rta entry
+   unrolls to an automaton bit-identical to the simplified model
+   (including its name), and the lint output must keep them apart. *)
+let lint_name model (ta : Ta.Automaton.t) =
+  match model with ZooEntry e -> "zoo:" ^ e.Models.Zoo.key | _ -> ta.name
 
 let model_conv =
   let parse = function
@@ -33,15 +43,22 @@ let model_conv =
     | "naive" -> Ok Naive
     | "simplified" -> Ok Simplified
     | "benor" | "ben-or" -> Ok BenOr
-    | s ->
-      Error (`Msg (Printf.sprintf "unknown model %S (expected bv|naive|simplified|benor)" s))
+    | s -> (
+      match Models.Zoo.find s with
+      | Some e -> Ok (ZooEntry e)
+      | None ->
+        Error
+          (`Msg
+            (Printf.sprintf "unknown model %S (expected bv|naive|simplified|benor or a zoo key: %s)"
+               s (String.concat "|" Models.Zoo.keys))))
   in
   let print fmt m = Format.pp_print_string fmt (model_key m) in
   Arg.conv (parse, print)
 
 let model_arg =
   Arg.(required & pos 0 (some model_conv) None & info [] ~docv:"MODEL"
-         ~doc:"Threshold automaton: bv, naive, simplified or benor.")
+         ~doc:"Threshold automaton: bv, naive, simplified, benor, or a model-zoo key \
+               (bracha, phase-king, strb, frb, dbft-rta).")
 
 let spec_arg =
   Arg.(value & opt (some string) None & info [ "spec" ] ~docv:"NAME"
@@ -67,6 +84,7 @@ let find_specs model spec_name =
 let justice_assumption_of = function
   | Simplified -> Models.Params.resilience
   | Bv | Naive | BenOr -> []
+  | ZooEntry e -> e.Models.Zoo.justice_assumption
 
 let lint_diagnostics ?broken model =
   let ta = automaton_of ?broken model in
@@ -692,9 +710,16 @@ let table2_cmd =
     Arg.(value & flag & info [ "force" ]
            ~doc:"Run even when the static analyzer reports error-level diagnostics.")
   in
-  let run quick budget format jobs incremental static slice force checkpoint resume
+  let zoo =
+    Arg.(value & flag & info [ "zoo" ]
+           ~doc:"Append one Table-2-style row per (model-zoo entry, property) after \
+                 the paper rows (paper-time column is \"-\").")
+  in
+  let run quick budget format jobs incremental static slice force zoo checkpoint resume
       checkpoint_every memo cache portfolio_check =
     List.iter (gate ~force) [ Bv; Naive; Simplified ];
+    if zoo then
+      List.iter (fun e -> gate ~force (ZooEntry e)) Models.Zoo.entries;
     install_interrupt_handlers ();
     ensure_checkpoint_dir checkpoint;
     let portfolio = setup_portfolio ~memo ~cache ~check:portfolio_check in
@@ -702,6 +727,10 @@ let table2_cmd =
     let rows =
       Report.table2 ~limits ~slice ?checkpoint_dir:checkpoint ~resume ~checkpoint_every
         ?portfolio ~quick ~naive_budget:budget ()
+      @ (if zoo then
+           Report.zoo_rows ~limits ~slice ?checkpoint_dir:checkpoint ~resume
+             ~checkpoint_every ?portfolio ()
+         else [])
     in
     (match format with
      | "text" -> Report.print_text stdout rows
@@ -714,7 +743,7 @@ let table2_cmd =
   Cmd.v
     (Cmd.info "table2" ~doc:"Regenerate the paper's Table 2 (also see bench/main.exe).")
     Term.(const run $ quick $ budget $ format $ jobs $ incremental_arg $ static_arg
-          $ slice $ force $ checkpoint_arg $ resume_arg $ checkpoint_every_arg
+          $ slice $ force $ zoo $ checkpoint_arg $ resume_arg $ checkpoint_every_arg
           $ memo_arg $ cache_arg $ portfolio_check_arg)
 
 (* --- lint ----------------------------------------------------------- *)
@@ -722,8 +751,8 @@ let table2_cmd =
 let lint_cmd =
   let model_opt =
     Arg.(value & pos 0 (some model_conv) None & info [] ~docv:"MODEL"
-           ~doc:"Threshold automaton to lint: bv, naive, simplified or benor (default: \
-                 all four).")
+           ~doc:"Threshold automaton to lint: bv, naive, simplified, benor or a \
+                 model-zoo key (default: all four paper models plus every zoo entry).")
   in
   let broken =
     Arg.(value & flag & info [ "broken-resilience" ]
@@ -734,12 +763,24 @@ let lint_cmd =
     Arg.(value & flag & info [ "json" ] ~doc:"Emit one JSON object per automaton.")
   in
   let run model_opt broken json =
-    let models = match model_opt with Some m -> [ m ] | None -> [ Bv; Naive; Simplified; BenOr ] in
+    let zoo_models =
+      (* The benor zoo entry is the legacy benor model; don't lint the
+         same automaton twice. *)
+      List.filter_map
+        (fun (e : Models.Zoo.entry) ->
+          if e.Models.Zoo.key = "benor" then None else Some (ZooEntry e))
+        Models.Zoo.entries
+    in
+    let models =
+      match model_opt with
+      | Some m -> [ m ]
+      | None -> [ Bv; Naive; Simplified; BenOr ] @ zoo_models
+    in
     let code =
       List.fold_left
         (fun acc model ->
           let ta, diags = lint_diagnostics ~broken model in
-          let name = ta.Ta.Automaton.name in
+          let name = lint_name model ta in
           if json then print_endline (Analysis.to_json ~ta_name:name diags)
           else begin
             let count s = List.length (List.filter (fun (d : Analysis.diagnostic) -> d.severity = s) diags) in

@@ -855,3 +855,63 @@ let slice ?(keep = []) (ta : A.t) =
         @ List.map (absint_dead_rule_diag ab) absint_dead
         @ [ summary ] )
     end
+
+(* --- template-level slicing of round-based TAs ----------------------- *)
+
+module Rta = Ta.Rta
+
+let slice_rta ?(keep = []) ~rounds (rta : Rta.t) =
+  let u = Rta.unroll ~rounds rta in
+  let n_phases = List.length rta.Rta.phases in
+  (* Protect [keep] template locations in every round they occur in. *)
+  let keep_flat =
+    List.concat_map
+      (fun (m, (r, base)) -> if r >= 0 && List.mem base keep then [ m ] else [])
+      u.Rta.location_origin
+  in
+  let sliced, diags = slice ~keep:keep_flat u.Rta.automaton in
+  if sliced == u.Rta.automaton then (rta, diags)
+  else begin
+    (* A template element survives iff any of its round instances did. *)
+    let kept = Hashtbl.create 64 in
+    List.iter
+      (fun m ->
+        match Rta.origin_of_location u m with
+        | Some (r, base) when r >= 0 -> Hashtbl.replace kept (r mod n_phases, `Loc base) ()
+        | _ -> ())
+      sliced.A.locations;
+    List.iter
+      (fun (ru : A.rule) ->
+        match Rta.origin_of_rule u ru.name with
+        | Some (r, base) -> Hashtbl.replace kept (r mod n_phases, `Rule base) ()
+        | None -> ())
+      sliced.A.rules;
+    let phases =
+      List.mapi
+        (fun i (p : Rta.phase) ->
+          let keep_loc l =
+            Hashtbl.mem kept (i, `Loc l) || List.mem l p.Rta.entry || List.mem l keep
+          in
+          let keep_rule (ru : Rta.rule) =
+            Hashtbl.mem kept (i, `Rule ru.Rta.name)
+            (* The last round's Next rules have no flat-rule instance of
+               their own (they live in round_switch), so keep them
+               whenever their endpoints survive. *)
+            || (match ru.Rta.target with
+               | Rta.Next _ -> keep_loc ru.Rta.source
+               | Rta.Here _ -> false)
+          in
+          Rta.phase ~name:p.Rta.phase_name
+            ~locations:(List.filter keep_loc p.Rta.locations)
+            ~pinned:(List.filter keep_loc p.Rta.pinned)
+            ~entry:p.Rta.entry ~shared:p.Rta.shared
+            ~rules:(List.filter keep_rule p.Rta.rules)
+            ~justice:(List.filter (fun (j : Rta.justice) -> keep_loc j.Rta.loc) p.Rta.justice)
+            ~self_loops:p.Rta.self_loops ())
+        rta.Rta.phases
+    in
+    ( Rta.make ~name:rta.Rta.name ~params:rta.Rta.params
+        ~global_shared:rta.Rta.global_shared ~resilience:rta.Rta.resilience
+        ~population:rta.Rta.population ~phases (),
+      diags )
+  end

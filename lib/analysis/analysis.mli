@@ -149,3 +149,17 @@ val spec_locations : Ta.Spec.t -> string list
 
     The input must be well-formed (as per {!Ta.Automaton.make}). *)
 val slice : ?keep:string list -> Ta.Automaton.t -> Ta.Automaton.t * diagnostic list
+
+(** [slice_rta ?keep ~rounds rta] — template-level slicing of a
+    round-based TA: a template location or rule is dropped only when
+    {e every} round instance of it is dead in the [rounds]-round
+    unrolling (computed by unrolling with {!Ta.Rta.default_suffix} and
+    running {!slice} on the flat automaton, then projecting the
+    survivors back through the certified origin maps).  Entry locations
+    are never sliced (they anchor the round structure), so the result is
+    always a well-formed {!Ta.Rta.t} for the same round count.  [keep]
+    lists template location names to protect, in every round.  Returns
+    the sliced template and the flat slice's diagnostics (which mention
+    unrolled names). *)
+val slice_rta :
+  ?keep:string list -> rounds:int -> Ta.Rta.t -> Ta.Rta.t * diagnostic list

@@ -97,3 +97,25 @@ let pp fmt w =
         pp_nonzero s.counters pp_nonzero s.shared)
     w.steps;
   Format.fprintf fmt "@]"
+
+(* Pure renaming of every name the witness mentions — used to map a
+   witness over an [Ta.Rta]-unrolled automaton back to template
+   [(round, name)] coordinates.  The rendered [schema] string is left
+   as-is (it is presentation, not data). *)
+let rename ?(rule = Fun.id) ?(location = Fun.id) ?(shared = Fun.id) w =
+  let counters kvs = List.map (fun (l, v) -> (location l, v)) kvs in
+  let shared_vals kvs = List.map (fun (x, v) -> (shared x, v)) kvs in
+  {
+    w with
+    init_counters = counters w.init_counters;
+    steps =
+      List.map
+        (fun s ->
+          {
+            s with
+            rule = rule s.rule;
+            counters = counters s.counters;
+            shared = shared_vals s.shared;
+          })
+        w.steps;
+  }

@@ -29,3 +29,17 @@ val of_model :
   t
 
 val pp : Format.formatter -> t -> unit
+
+(** [rename ?rule ?location ?shared w] maps every rule name, location
+    (counter key) and shared-variable name through the given functions
+    (identity by default); the rendered [schema] string is untouched.
+    Used to de-mangle witnesses over {!Ta.Rta}-unrolled automata back to
+    [(round, template name)] form — e.g. with
+    [Ta.Rta.explain_name]-style renamers — and, composed with the
+    inverse mangling, to round-trip them (pinned by test/test_rta.ml). *)
+val rename :
+  ?rule:(string -> string) ->
+  ?location:(string -> string) ->
+  ?shared:(string -> string) ->
+  t ->
+  t

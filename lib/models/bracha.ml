@@ -1,0 +1,84 @@
+(* Bracha's asynchronous reliable broadcast (echo / ready / accept), the
+   classic Byzantine-tolerant broadcast the bv-broadcast of the paper
+   descends from.  Modelled in the monotone over-approximation style of
+   ben_or.ml: only the lower-threshold halves of the protocol conditions
+   are kept, so the modelled transition relation contains Bracha's and
+   every safety property verified here holds for the real protocol.
+
+   One broadcast instance:
+   - a process that received the sender's value echoes it;
+   - a process echoes once it sees an echo supermajority
+     (2 * echoes > n + t, with the f Byzantine contributions discounted);
+   - a process sends ready on an echo supermajority or on t+1 readies;
+   - a process accepts on 2t+1 readies.
+
+   Locations: V1 (got the sender's value) / V0 (did not) -> SE (echoed)
+   -> SR (ready sent) -> AC (accepted).  Shared: e echoes, r readies
+   from correct processes. *)
+
+module A = Ta.Automaton
+module G = Ta.Guard
+module C = Ta.Cond
+module S = Ta.Spec
+module Pexpr = Ta.Pexpr
+
+let locations = [ "V1"; "V0"; "SE"; "SR"; "AC" ]
+
+(* 2e >= n + t + 1 - 2f : echo supermajority with Byzantine discount. *)
+let echo_supermajority =
+  G.ge [ ("e", 2) ] (Pexpr.of_terms [ ("n", 1); ("t", 1); ("f", -2) ] 1)
+
+let rule = A.rule
+
+let automaton =
+  A.make ~name:"bracha_rb" ~params:Params.names ~shared:[ "e"; "r" ] ~locations
+    ~initial:[ "V1"; "V0" ] ~resilience:Params.resilience
+    ~population:Params.population
+    ~rules:
+      [
+        rule "c1" ~source:"V1" ~target:"SE" ~update:[ ("e", 1) ];
+        rule "c2" ~source:"V0" ~target:"SE" ~guard:echo_supermajority
+          ~update:[ ("e", 1) ];
+        rule "c3" ~source:"SE" ~target:"SR" ~guard:echo_supermajority
+          ~update:[ ("r", 1) ];
+        rule "c4" ~source:"SE" ~target:"SR" ~guard:(G.ge1 "r" Params.t1f)
+          ~update:[ ("r", 1) ];
+        rule "c5" ~source:"SR" ~target:"AC" ~guard:(G.ge1 "r" Params.t2f);
+      ]
+    ()
+
+(* Unforgeability: if no correct process received the sender's value,
+   no correct process accepts (Byzantine echoes/readies alone cannot
+   cross any threshold). *)
+let unforgeability =
+  S.invariant ~name:"Bracha-Unforg" ~ltl:"[](k[V1] = 0) => [](k[AC] = 0)"
+    ~init:(C.empty "V1")
+    ~bad:[ ("a process accepts", C.counter_ge "AC" 1) ]
+    ()
+
+(* Sanity of the model (deliberately violated): acceptance is reachable
+   when the sender's value did arrive — the checker must produce the
+   echo -> ready -> accept witness. *)
+let acceptance_reachable =
+  S.invariant ~name:"Bracha-NoAccept" ~ltl:"[](k[AC] = 0)  (violated)"
+    ~bad:[ ("a process accepts", C.counter_ge "AC" 1) ]
+    ()
+
+let all_specs = [ unforgeability; acceptance_reachable ]
+
+(* Seeded mutant: a forged echo — the echo-on-quorum rule accepts a
+   single (possibly Byzantine) echo instead of a supermajority.  One
+   Byzantine echo then snowballs into acceptance from nothing, so the
+   checker must refute Bracha-Unforg with a witness. *)
+let mutant_forged_echo =
+  {
+    automaton with
+    A.name = "bracha_rb_forged_echo";
+    rules =
+      List.map
+        (fun (r : A.rule) ->
+          if r.name = "c2" then
+            { r with A.guard = G.ge1 "e" (Pexpr.of_terms [ ("f", -1) ] 1) }
+          else r)
+        automaton.A.rules;
+  }

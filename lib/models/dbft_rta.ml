@@ -1,0 +1,145 @@
+(* The round-based (extended) formulation of the simplified DBFT
+   threshold automaton.  Where [Simplified_ta] hand-unrolls the two
+   halves of the superround with "" / "x" name suffixes, this module
+   states the algorithm once per parity as an {!Ta.Rta} phase template
+   and lets [Rta.unroll] perform the instantiation, certified by the
+   mangling maps.
+
+   [Rta.unroll ~suffix:Rta.legacy_suffix ~rounds:2] must reproduce
+   [Simplified_ta.automaton] *bit-identically* — same location, shared,
+   rule, justice and round-switch lists in the same order — which
+   test/test_rta.ml pins.  The per-parity gadget semantics are
+   documented in simplified_ta.ml. *)
+
+module A = Ta.Automaton
+module G = Ta.Guard
+module C = Ta.Cond
+module S = Ta.Spec
+module Rta = Ta.Rta
+module Pexpr = Ta.Pexpr
+
+let round_locations = [ "V0"; "V1"; "M"; "M0"; "M1"; "M01"; "E0"; "E1" ]
+let round_shared = [ "bvb0"; "bvb1"; "aux0"; "aux1" ]
+
+let rule = Rta.rule
+
+(* The bv-broadcast gadget plus decision layer of one parity.  [decide0],
+   [decide1], [mixed] are the targets for aux-qualifier sets {0}, {1},
+   {0,1}; the deciding one is the parity's pinned decision location. *)
+let phase_rules ~decide0 ~decide1 ~mixed =
+  [
+    rule "s1" ~source:"V0" ~target:(Rta.Here "M") ~update:[ ("bvb0", 1) ];
+    rule "s2" ~source:"V1" ~target:(Rta.Here "M") ~update:[ ("bvb1", 1) ];
+    rule "s3" ~source:"M" ~target:(Rta.Here "M0")
+      ~guard:(G.ge1 "bvb0" (Pexpr.const 1))
+      ~update:[ ("aux0", 1) ] ~fairness:A.Unfair;
+    rule "s4" ~source:"M" ~target:(Rta.Here "M1")
+      ~guard:(G.ge1 "bvb1" (Pexpr.const 1))
+      ~update:[ ("aux1", 1) ] ~fairness:A.Unfair;
+    rule "s5" ~source:"M0" ~target:(Rta.Here decide0)
+      ~guard:(G.ge1 "aux0" Params.ntf);
+    rule "s6" ~source:"M0" ~target:(Rta.Here "M01")
+      ~guard:(G.ge1 "bvb1" (Pexpr.const 1))
+      ~fairness:A.Unfair;
+    rule "s7" ~source:"M1" ~target:(Rta.Here "M01")
+      ~guard:(G.ge1 "bvb0" (Pexpr.const 1))
+      ~fairness:A.Unfair;
+    rule "s8" ~source:"M1" ~target:(Rta.Here decide1)
+      ~guard:(G.ge1 "aux1" Params.ntf);
+    rule "s9" ~source:"M01" ~target:(Rta.Here decide0)
+      ~guard:(G.ge1 "aux0" Params.ntf);
+    rule "s10" ~source:"M01" ~target:(Rta.Here mixed)
+      ~guard:(G.ge [ ("aux0", 1); ("aux1", 1) ] Params.ntf);
+    rule "s11" ~source:"M01" ~target:(Rta.Here decide1)
+      ~guard:(G.ge1 "aux1" Params.ntf);
+  ]
+
+(* Justice constraints of one parity (Appendix F), on template names. *)
+let phase_justice =
+  [
+    { Rta.loc = "M"; unless = G.tt };
+    { Rta.loc = "M0"; unless = G.ge1 "bvb1" Params.t1 };
+    { Rta.loc = "M1"; unless = G.ge1 "bvb0" Params.t1 };
+    { Rta.loc = "M0"; unless = G.ge1 "aux1" (Pexpr.const 1) };
+    { Rta.loc = "M1"; unless = G.ge1 "aux0" (Pexpr.const 1) };
+  ]
+
+(* Odd parity: qualifiers {1} decide (D1 pinned); estimates feed the even
+   half through the s12-s14 round-switch rules. *)
+let odd_phase =
+  Rta.phase ~name:"odd" ~locations:round_locations ~pinned:[ "D1" ]
+    ~entry:[ "V0"; "V1" ] ~shared:round_shared
+    ~rules:
+      (phase_rules ~decide0:"E0" ~decide1:"D1" ~mixed:"E1"
+      @ [
+          rule "s12" ~source:"E0" ~target:(Rta.Next "V0");
+          rule "s13" ~source:"E1" ~target:(Rta.Next "V1");
+          rule "s14" ~source:"D1" ~target:(Rta.Next "V1");
+        ])
+    ~justice:phase_justice ~self_loops:6 ()
+
+(* Even parity: qualifiers {0} decide (D0 pinned); the wrap-around edges
+   become round_switch entries when the phase closes the unrolling. *)
+let even_phase =
+  Rta.phase ~name:"even" ~locations:round_locations ~pinned:[ "D0" ]
+    ~entry:[ "V0"; "V1" ] ~shared:round_shared
+    ~rules:
+      (phase_rules ~decide0:"D0" ~decide1:"E1" ~mixed:"E0"
+      @ [
+          rule "s12" ~source:"D0" ~target:(Rta.Next "V0");
+          rule "s13" ~source:"E0" ~target:(Rta.Next "V0");
+          rule "s14" ~source:"E1" ~target:(Rta.Next "V1");
+        ])
+    ~justice:phase_justice ~self_loops:6 ()
+
+let make_with_resilience ~name resilience =
+  Rta.make ~name ~params:Params.names ~resilience ~population:Params.population
+    ~phases:[ odd_phase; even_phase ] ()
+
+let rta = make_with_resilience ~name:"simplified_consensus" Params.resilience
+
+let rta_broken_resilience =
+  make_with_resilience ~name:"simplified_consensus_broken" Params.broken_resilience
+
+(* The superround: one odd + one even half, under the hand-written
+   naming.  [unrolled.automaton] is bit-identical to
+   [Simplified_ta.automaton]. *)
+let unrolled = Rta.unroll ~suffix:Rta.legacy_suffix ~rounds:2 rta
+
+let automaton = unrolled.Rta.automaton
+
+let unrolled_broken_resilience =
+  Rta.unroll ~suffix:Rta.legacy_suffix ~rounds:2 rta_broken_resilience
+
+(* ------------------------------------------------------------------ *)
+(* Round-generic specifications: built from template names and the
+   unrolled name maps, not from hand-suffixed strings.  For the 2-round
+   legacy unrolling these are structurally identical to
+   [Simplified_ta.inv2_0] / [Simplified_ta.good_0] (pinned by tests). *)
+
+(* Inv2_0: [](k[V0@first] = 0) => [](k[D0] = 0 /\ k[E0@last] = 0). *)
+let inv2_0_of u =
+  let last = u.Rta.rounds - 1 in
+  let v0 = Rta.loc u ~round:0 "V0" in
+  let d0 = Rta.loc u ~round:last "D0" in
+  let e0 = Rta.loc u ~round:last "E0" in
+  S.invariant ~name:"Inv2_0"
+    ~ltl:(Printf.sprintf "[](k[%s] = 0) => [](k[%s] = 0 /\\ k[%s] = 0)" v0 d0 e0)
+    ~init:(C.empty v0)
+    ~bad:[ ("0 decided or kept", C.some_nonempty [ d0; e0 ]) ]
+    ()
+
+(* Good_0: a 0-good bv-broadcast first half forces progress. *)
+let good_0_of u =
+  let last = u.Rta.rounds - 1 in
+  let m0 = Rta.loc u ~round:0 "M0" in
+  let d0 = Rta.loc u ~round:last "D0" in
+  let e0 = Rta.loc u ~round:last "E0" in
+  S.invariant ~name:"Good_0"
+    ~ltl:(Printf.sprintf "[](k[%s] = 0) => [](k[%s] = 0 /\\ k[%s] = 0)" m0 d0 e0)
+    ~never_enter:[ m0 ]
+    ~bad:[ ("0 decided or kept", C.some_nonempty [ d0; e0 ]) ]
+    ()
+
+let inv2_0 = inv2_0_of unrolled
+let good_0 = good_0_of unrolled

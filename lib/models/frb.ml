@@ -1,0 +1,54 @@
+(* The folklore reliable broadcast for crash faults ("frb" in the
+   Konnov et al. survey benchmarks, PAPERS.md): accept the payload on
+   first receipt — directly from the broadcaster or relayed by any
+   accepting process — and relay it on accepting.  Crash model: no
+   Byzantine discount in the guard (a crashed process sends no forged
+   messages).
+
+   Locations: V1 (got the broadcast) / V0 -> AC (accepted, relayed).
+   Shared: nsnt relayed copies from correct processes. *)
+
+module A = Ta.Automaton
+module C = Ta.Cond
+module S = Ta.Spec
+module G = Ta.Guard
+module Pexpr = Ta.Pexpr
+
+let rule = A.rule
+
+let rules =
+  [
+    rule "f1" ~source:"V1" ~target:"AC" ~update:[ ("nsnt", 1) ];
+    rule "f2" ~source:"V0" ~target:"AC" ~guard:(G.ge1 "nsnt" (Pexpr.const 1))
+      ~update:[ ("nsnt", 1) ];
+  ]
+
+let automaton =
+  A.make ~name:"frb" ~params:Params.names ~shared:[ "nsnt" ]
+    ~locations:[ "V1"; "V0"; "AC" ] ~initial:[ "V1"; "V0" ]
+    ~resilience:Params.resilience ~population:Params.population ~rules ()
+
+(* Unforgeability: nobody accepts a payload that was never broadcast. *)
+let unforgeability =
+  S.invariant ~name:"FRB-Unforg" ~ltl:"[](k[V1] = 0) => [](k[AC] = 0)"
+    ~init:(C.empty "V1")
+    ~bad:[ ("a process accepts", C.counter_ge "AC" 1) ]
+    ()
+
+(* Deliberately violated: acceptance is reachable in one step. *)
+let acceptance_reachable =
+  S.invariant ~name:"FRB-NoAccept" ~ltl:"[](k[AC] = 0)  (violated)"
+    ~bad:[ ("a process accepts", C.counter_ge "AC" 1) ]
+    ()
+
+let all_specs = [ unforgeability; acceptance_reachable ]
+
+(* Seeded mutant: a relay-back edge AC -> V0 closes a cycle in the
+   location graph — the linter must reject it (TA004: the schema
+   enumeration requires a DAG). *)
+let mutant_cycle =
+  A.make ~name:"frb_cycle" ~params:Params.names ~shared:[ "nsnt" ]
+    ~locations:[ "V1"; "V0"; "AC" ] ~initial:[ "V1"; "V0" ]
+    ~resilience:Params.resilience ~population:Params.population
+    ~rules:(rules @ [ rule "f3" ~source:"AC" ~target:"V0" ])
+    ()

@@ -1,0 +1,126 @@
+(* Phase King binary consensus (Berman, Garay & Perry), stated as a
+   round-based extended TA: one phase template — vote, then keep your
+   value or adopt the other on sufficient evidence — instantiated twice
+   by [Rta.unroll] (a king phase pair).  This is the zoo's demonstration
+   that round-based models plug into the pipeline without hand-written
+   suffixes: the specs below are built from the certified name-mangling
+   maps, never from literal "@1" strings.
+
+   Monotone over-approximation (see ben_or.ml): only the lower-threshold
+   evidence guards are kept — a process may adopt value w once t+1
+   processes are known to have voted w (t1f with the Byzantine
+   discount), and may always keep its value.  The relation contains the
+   real protocol's, so safety properties carry over.
+
+   Per-round locations: V0/V1 (hold value, entry) -> S0/S1 (voted).
+   Per-round shared: v0/v1 vote counters from correct processes. *)
+
+module A = Ta.Automaton
+module C = Ta.Cond
+module G = Ta.Guard
+module S = Ta.Spec
+module Rta = Ta.Rta
+module Pexpr = Ta.Pexpr
+
+let rule = Rta.rule
+
+let round_phase =
+  Rta.phase ~name:"king" ~locations:[ "V0"; "V1"; "S0"; "S1" ]
+    ~entry:[ "V0"; "V1" ] ~shared:[ "v0"; "v1" ]
+    ~rules:
+      [
+        rule "p1" ~source:"V0" ~target:(Rta.Here "S0") ~update:[ ("v0", 1) ];
+        rule "p2" ~source:"V1" ~target:(Rta.Here "S1") ~update:[ ("v1", 1) ];
+        (* Keep the value... *)
+        rule "p3" ~source:"S0" ~target:(Rta.Next "V0");
+        rule "p4" ~source:"S1" ~target:(Rta.Next "V1");
+        (* ...or adopt the other on t+1 votes' evidence. *)
+        rule "p5" ~source:"S0" ~target:(Rta.Next "V1")
+          ~guard:(G.ge1 "v1" Params.t1f);
+        rule "p6" ~source:"S1" ~target:(Rta.Next "V0")
+          ~guard:(G.ge1 "v0" Params.t1f);
+      ]
+    ()
+
+let rta =
+  Rta.make ~name:"phase_king" ~params:Params.names
+    ~resilience:Params.resilience ~population:Params.population
+    ~phases:[ round_phase ] ()
+
+let rounds = 2
+let unrolled = Rta.unroll ~rounds rta
+let automaton = unrolled.Rta.automaton
+
+(* Persistence of unanimity: if no process holds 1 at the start, none
+   holds, votes for, or casts a counted 1-vote in the last round —
+   adopting 1 needs t+1 1-votes, which f <= t Byzantine processes
+   cannot forge.  The last-round vote counter is part of the bad
+   condition: unanimity persists in the messages, not just the control
+   locations (and the unrolled counter must not dangle unread once the
+   wrap-around adoption guards become guardless round_switch edges). *)
+let persistence_for ~hold ~vote =
+  let held_0 = Rta.loc unrolled ~round:0 ("V" ^ hold) in
+  let last = rounds - 1 in
+  let bad_locs =
+    [ Rta.loc unrolled ~round:last ("V" ^ hold);
+      Rta.loc unrolled ~round:last ("S" ^ hold) ]
+  in
+  let votes_last = Rta.shared_var unrolled ~round:last vote in
+  S.invariant ~name:("PK-Persist" ^ hold)
+    ~ltl:
+      (Printf.sprintf "[](k[%s] = 0) => [](k[%s] = 0 /\\ k[%s] = 0 /\\ %s = 0)" held_0
+         (List.nth bad_locs 0) (List.nth bad_locs 1) votes_last)
+    ~init:(C.empty held_0)
+    ~bad:
+      [
+        ("a process reaches value " ^ hold, C.some_nonempty bad_locs);
+        ( "a " ^ hold ^ "-vote is counted in the last round",
+          C.shared_ge [ (votes_last, 1) ] (Pexpr.const 1) );
+      ]
+    ()
+
+let persistence = persistence_for ~hold:"1" ~vote:"v1"
+let persistence0 = persistence_for ~hold:"0" ~vote:"v0"
+
+(* Deliberately violated: without the unanimity premise a process can
+   hold 1 in the last round — the witness walks a full round. *)
+let one_survives =
+  let last = rounds - 1 in
+  let v1_last = Rta.loc unrolled ~round:last "V1" in
+  S.invariant ~name:"PK-NoOne"
+    ~ltl:(Printf.sprintf "[](k[%s] = 0)  (violated)" v1_last)
+    ~bad:[ ("a process holds 1", C.counter_ge v1_last 1) ]
+    ()
+
+let all_specs = [ persistence; persistence0; one_survives ]
+
+(* Seeded mutant: adoption without evidence — the adopt-1 rule fires on
+   0 >= -f votes, i.e. always.  A single Byzantine whisper flips
+   processes to 1 out of nowhere and the checker must refute PK-Persist
+   with a witness. *)
+let mutant_baseless_adopt =
+  let phase_mut =
+    Rta.phase ~name:"king" ~locations:[ "V0"; "V1"; "S0"; "S1" ]
+      ~entry:[ "V0"; "V1" ] ~shared:[ "v0"; "v1" ]
+      ~rules:
+        [
+          rule "p1" ~source:"V0" ~target:(Rta.Here "S0") ~update:[ ("v0", 1) ];
+          rule "p2" ~source:"V1" ~target:(Rta.Here "S1") ~update:[ ("v1", 1) ];
+          rule "p3" ~source:"S0" ~target:(Rta.Next "V0");
+          rule "p4" ~source:"S1" ~target:(Rta.Next "V1");
+          rule "p5" ~source:"S0" ~target:(Rta.Next "V1")
+            ~guard:(G.ge1 "v1" (Pexpr.of_terms [ ("f", -1) ] 0));
+          rule "p6" ~source:"S1" ~target:(Rta.Next "V0")
+            ~guard:(G.ge1 "v0" Params.t1f);
+        ]
+      ()
+  in
+  let rta_mut =
+    Rta.make ~name:"phase_king_baseless_adopt" ~params:Params.names
+      ~resilience:Params.resilience ~population:Params.population
+      ~phases:[ phase_mut ] ()
+  in
+  (Rta.unroll ~rounds rta_mut).Rta.automaton
+
+(* PK-Persist restated for the mutant's (identically mangled) names. *)
+let persistence_mutant = persistence

@@ -1,0 +1,59 @@
+(* Srikanth & Toueg's authenticated reliable broadcast (the "strb" /
+   asynchronous-broadcast benchmark of the Konnov et al. survey,
+   PAPERS.md): relay an init message once t+1 echoes prove a correct
+   process sent it, accept once 2t+1 echoes prove t+1 correct processes
+   relayed.  Monotone over-approximation as in ben_or.ml.
+
+   Locations: V1 (received the init) / V0 -> SE (echoed) -> AC
+   (accepted).  Shared: e echoes from correct processes; guards discount
+   the f Byzantine contributions. *)
+
+module A = Ta.Automaton
+module C = Ta.Cond
+module G = Ta.Guard
+module S = Ta.Spec
+module Pexpr = Ta.Pexpr
+
+let rule = A.rule
+
+let make_with_resilience ~name resilience =
+  A.make ~name ~params:Params.names ~shared:[ "e" ]
+    ~locations:[ "V1"; "V0"; "SE"; "AC" ] ~initial:[ "V1"; "V0" ] ~resilience
+    ~population:Params.population
+    ~rules:
+      [
+        rule "t1" ~source:"V1" ~target:"SE" ~update:[ ("e", 1) ];
+        rule "t2" ~source:"V0" ~target:"SE" ~guard:(G.ge1 "e" Params.t1f)
+          ~update:[ ("e", 1) ];
+        rule "t3" ~source:"SE" ~target:"AC" ~guard:(G.ge1 "e" Params.t2f);
+      ]
+    ()
+
+let automaton = make_with_resilience ~name:"strb" Params.resilience
+
+(* Unforgeability: no init received, no acceptance — t+1 echoes cannot
+   materialize from the f Byzantine processes alone. *)
+let unforgeability =
+  S.invariant ~name:"STRB-Unforg" ~ltl:"[](k[V1] = 0) => [](k[AC] = 0)"
+    ~init:(C.empty "V1")
+    ~bad:[ ("a process accepts", C.counter_ge "AC" 1) ]
+    ()
+
+(* Deliberately violated: acceptance is reachable when inits arrived. *)
+let acceptance_reachable =
+  S.invariant ~name:"STRB-NoAccept" ~ltl:"[](k[AC] = 0)  (violated)"
+    ~bad:[ ("a process accepts", C.counter_ge "AC" 1) ]
+    ()
+
+let all_specs = [ unforgeability; acceptance_reachable ]
+
+(* Seeded mutant: an unsatisfiable resilience condition (t >= f and
+   f >= t+1 together) — the linter must reject it whole (TA005: every
+   property would hold vacuously). *)
+let mutant_unsat_resilience =
+  make_with_resilience ~name:"strb_unsat_resilience"
+    [
+      Pexpr.of_terms [ ("n", 1); ("t", -3) ] (-1);
+      Pexpr.of_terms [ ("t", 1); ("f", -1) ] 0;
+      Pexpr.of_terms [ ("f", 1); ("t", -1) ] (-1);
+    ]

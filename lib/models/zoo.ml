@@ -1,0 +1,153 @@
+(* The model zoo: every threshold automaton bundled with the repo, with
+   its properties, expected verdicts, justice assumptions and seeded
+   mutants, in one table that the CLI (`holistic lint`, `holistic
+   table2 --zoo`), the benchmarks, the examples and the test battery
+   enumerate.  Registering a model here is what puts it under the
+   permanent gates: test/test_zoo.ml asserts, for every entry, the lint
+   outcome, 4-engine verdict equality and that each mutant is caught —
+   so a zoo model without battery coverage cannot exist.
+
+   This library sits below the checker, so an entry carries only data:
+   the expected verdict per spec ([Holds]/[Violated]) and how each
+   mutant must be rejected ([`Lint code] or [`Checker spec]).  Consumers
+   with checker/fuzz access interpret them. *)
+
+module A = Ta.Automaton
+module S = Ta.Spec
+
+type verdict = Holds | Violated
+
+let verdict_to_string = function Holds -> "holds" | Violated -> "violated"
+
+(* How a seeded mutant must be rejected by the pipeline: a lint
+   diagnostic of the given code at Error severity, or a counterexample
+   witness refuting the given spec. *)
+type rejection = Lint of string | Checker of S.t
+
+type mutant = {
+  mutant_key : string;
+  mutant_desc : string;
+  mutant_automaton : A.t;
+  rejection : rejection;
+}
+
+type entry = {
+  key : string;  (** CLI / registry name *)
+  title : string;
+  automaton : A.t;
+  specs : (S.t * verdict) list;
+  justice_assumption : Ta.Pexpr.t list;
+      (** resilience under which the justice constraints were proven
+          (Analysis TA015); [] when the model has none *)
+  fuzzable : bool;
+      (** a simnet executable model exists: consumers with fuzz access
+          cross-validate verdicts against random executions *)
+  mutants : mutant list;
+}
+
+let entries =
+  [
+    {
+      key = "bracha";
+      title = "Bracha reliable broadcast (echo/ready/accept)";
+      automaton = Bracha.automaton;
+      specs =
+        [ (Bracha.unforgeability, Holds); (Bracha.acceptance_reachable, Violated) ];
+      justice_assumption = [];
+      fuzzable = false;
+      mutants =
+        [
+          {
+            mutant_key = "bracha-forged-echo";
+            mutant_desc = "echo-on-quorum accepts a single forged echo";
+            mutant_automaton = Bracha.mutant_forged_echo;
+            rejection = Checker Bracha.unforgeability;
+          };
+        ];
+    };
+    {
+      key = "phase-king";
+      title = "Phase King consensus (round-based, Rta-unrolled)";
+      automaton = Phase_king.automaton;
+      specs =
+        [
+          (Phase_king.persistence, Holds);
+          (Phase_king.persistence0, Holds);
+          (Phase_king.one_survives, Violated);
+        ];
+      justice_assumption = [];
+      fuzzable = false;
+      mutants =
+        [
+          {
+            mutant_key = "phase-king-baseless-adopt";
+            mutant_desc = "value adopted without any vote evidence";
+            mutant_automaton = Phase_king.mutant_baseless_adopt;
+            rejection = Checker Phase_king.persistence_mutant;
+          };
+        ];
+    };
+    {
+      key = "strb";
+      title = "Srikanth-Toueg reliable broadcast (survey benchmark)";
+      automaton = Strb.automaton;
+      specs = [ (Strb.unforgeability, Holds); (Strb.acceptance_reachable, Violated) ];
+      justice_assumption = [];
+      fuzzable = false;
+      mutants =
+        [
+          {
+            mutant_key = "strb-unsat-resilience";
+            mutant_desc = "contradictory resilience condition (t >= f and f >= t+1)";
+            mutant_automaton = Strb.mutant_unsat_resilience;
+            rejection = Lint "TA005";
+          };
+        ];
+    };
+    {
+      key = "frb";
+      title = "Folklore reliable broadcast, crash faults (survey benchmark)";
+      automaton = Frb.automaton;
+      specs = [ (Frb.unforgeability, Holds); (Frb.acceptance_reachable, Violated) ];
+      justice_assumption = [];
+      fuzzable = false;
+      mutants =
+        [
+          {
+            mutant_key = "frb-cycle";
+            mutant_desc = "relay-back edge closes a location cycle";
+            mutant_automaton = Frb.mutant_cycle;
+            rejection = Lint "TA004";
+          };
+        ];
+    };
+    {
+      key = "benor";
+      title = "Ben-Or randomized consensus round";
+      automaton = Ben_or.automaton;
+      specs =
+        [
+          (Ben_or.agreement, Holds);
+          (Ben_or.no_decision_from_nowhere, Holds);
+          (Ben_or.unanimous_d_votes, Holds);
+        ];
+      justice_assumption = [];
+      fuzzable = false;
+      mutants = [];
+    };
+    {
+      key = "dbft-rta";
+      title = "Simplified DBFT superround (round-based, Rta-unrolled)";
+      automaton = Dbft_rta.automaton;
+      specs = [ (Dbft_rta.inv2_0, Holds); (Dbft_rta.good_0, Holds) ];
+      justice_assumption = Params.resilience;
+      fuzzable = true;
+      mutants = [];
+    };
+  ]
+
+let keys = List.map (fun e -> e.key) entries
+let find key = List.find_opt (fun e -> e.key = key) entries
+
+(* Every seeded mutant across the zoo, with its parent entry. *)
+let all_mutants = List.concat_map (fun e -> List.map (fun m -> (e, m)) e.mutants) entries

@@ -132,6 +132,31 @@ let simplified_rows ?(limits = Holistic.Checker.default_limits) ?(slice = false)
         ~paper:(paper_time ~naive:false spec.Ta.Spec.name) r)
     specs
 
+(* One Table-2-style row per (zoo entry, property): same columns as the
+   paper rows, with "-" in the paper-time column (the zoo models are not
+   in Table 2).  The verdict column is what test/test_zoo.ml and the CI
+   zoo job gate against the registry's expected verdicts. *)
+let zoo_rows ?(limits = Holistic.Checker.default_limits) ?(slice = false)
+    ?checkpoint_dir ?(resume = false) ?(checkpoint_every = 64) ?portfolio () =
+  List.concat_map
+    (fun (e : Models.Zoo.entry) ->
+      let specs = List.map fst e.Models.Zoo.specs in
+      let ta = maybe_slice ~slice ~specs e.Models.Zoo.automaton in
+      let u = Holistic.Universe.build ta in
+      List.map
+        (fun spec ->
+          let checkpoint =
+            checkpoint_for ~checkpoint_dir ~ta_key:("zoo-" ^ e.Models.Zoo.key) spec
+          in
+          let r =
+            Holistic.Checker.verify_with_universe ~limits ?checkpoint ~checkpoint_every
+              ~resume ?portfolio u spec
+          in
+          row_of_result ~ta_label:("zoo: " ^ e.Models.Zoo.key) ~size:(size_string ta)
+            ~paper:"-" r)
+        specs)
+    Models.Zoo.entries
+
 let table2 ?limits ?slice ?checkpoint_dir ?resume ?checkpoint_every ?portfolio ~quick
     ~naive_budget () =
   bv_rows ?limits ?slice ?checkpoint_dir ?resume ?checkpoint_every ?portfolio ()

@@ -74,6 +74,15 @@ val simplified_rows :
   ?resume:bool -> ?checkpoint_every:int -> ?portfolio:Smt.Portfolio.t ->
   ?specs:Ta.Spec.t list -> unit -> row list
 
+(** [zoo_rows ()] — one Table-2-style row per (zoo entry, property),
+    enumerating {!Models.Zoo.entries}; the paper-time column is ["-"]
+    (the zoo models are not in Table 2).  The CI zoo job and
+    [holistic table2 --zoo] append these to the paper rows. *)
+val zoo_rows :
+  ?limits:Holistic.Checker.limits -> ?slice:bool -> ?checkpoint_dir:string ->
+  ?resume:bool -> ?checkpoint_every:int -> ?portfolio:Smt.Portfolio.t ->
+  unit -> row list
+
 (** [table2 ~quick ~naive_budget ()] — all rows. *)
 val table2 :
   ?limits:Holistic.Checker.limits -> ?slice:bool -> ?checkpoint_dir:string ->

@@ -1,0 +1,554 @@
+type target = Here of string | Next of string
+
+type rule = {
+  name : string;
+  source : string;
+  target : target;
+  guard : Guard.t;
+  update : (string * int) list;
+  fairness : Automaton.fairness;
+}
+
+type justice = { loc : string; unless : Guard.t }
+
+type phase = {
+  phase_name : string;
+  locations : string list;
+  pinned : string list;
+  entry : string list;
+  shared : string list;
+  rules : rule list;
+  justice : justice list;
+  self_loops : int;
+}
+
+type t = {
+  name : string;
+  params : string list;
+  global_shared : string list;
+  resilience : Pexpr.t list;
+  population : Pexpr.t;
+  phases : phase list;
+}
+
+let rule ?(guard = Guard.tt) ?(update = []) ?(fairness = Automaton.Fair) name ~source
+    ~target =
+  { name; source; target; guard; update; fairness }
+
+let fail fmt = Printf.ksprintf invalid_arg fmt
+
+let check_distinct what xs =
+  let rec dup = function
+    | a :: b :: _ when a = b -> Some a
+    | _ :: rest -> dup rest
+    | [] -> None
+  in
+  match dup (List.sort Stdlib.compare xs) with
+  | Some d -> fail "Rta: duplicate %s %S" what d
+  | None -> ()
+
+(* Kahn's algorithm over the Here edges of one phase: every phase must be
+   a DAG on its own so the unrolled automaton (rounds chained only by
+   forward Next edges) is one too. *)
+let phase_is_dag p =
+  let locs = p.locations @ p.pinned in
+  let indeg = Hashtbl.create 16 in
+  List.iter (fun l -> Hashtbl.replace indeg l 0) locs;
+  let here_edges =
+    List.filter_map
+      (fun r -> match r.target with Here l -> Some (r.source, l) | Next _ -> None)
+      p.rules
+  in
+  List.iter (fun (_, l) -> Hashtbl.replace indeg l (Hashtbl.find indeg l + 1)) here_edges;
+  let queue = Queue.create () in
+  List.iter (fun l -> if Hashtbl.find indeg l = 0 then Queue.add l queue) locs;
+  let seen = ref 0 in
+  while not (Queue.is_empty queue) do
+    let l = Queue.pop queue in
+    incr seen;
+    List.iter
+      (fun (src, tgt) ->
+        if src = l then begin
+          let d = Hashtbl.find indeg tgt - 1 in
+          Hashtbl.replace indeg tgt d;
+          if d = 0 then Queue.add tgt queue
+        end)
+      here_edges
+  done;
+  !seen = List.length locs
+
+let phase ~name ~locations ?(pinned = []) ~entry ?(shared = []) ~rules ?(justice = [])
+    ?(self_loops = 0) () =
+  let p =
+    { phase_name = name; locations; pinned; entry; shared; rules; justice; self_loops }
+  in
+  let all_locs = locations @ pinned in
+  check_distinct ("location of phase " ^ name) all_locs;
+  check_distinct ("shared variable of phase " ^ name) shared;
+  check_distinct ("rule name of phase " ^ name) (List.map (fun (r : rule) -> r.name) rules);
+  if entry = [] then fail "Rta: phase %s has no entry location" name;
+  List.iter
+    (fun e ->
+      if not (List.mem e locations) then
+        fail "Rta: phase %s entry %S is not a (round-local) location" name e)
+    entry;
+  List.iter
+    (fun r ->
+      if not (List.mem r.source all_locs) then
+        fail "Rta: phase %s rule %s has unknown source %S" name r.name r.source;
+      (match r.target with
+      | Here l ->
+        if not (List.mem l all_locs) then
+          fail "Rta: phase %s rule %s has unknown target %S" name r.name l
+      | Next _ -> ());
+      List.iter
+        (fun (_, c) ->
+          if c < 0 then fail "Rta: phase %s rule %s has a negative update" name r.name)
+        r.update)
+    rules;
+  List.iter
+    (fun j ->
+      if not (List.mem j.loc all_locs) then
+        fail "Rta: phase %s justice constraint on unknown location %S" name j.loc)
+    justice;
+  if not (phase_is_dag p) then
+    fail "Rta: phase %s has a cyclic Here-graph (monotone-DAG restriction)" name;
+  p
+
+let make ~name ~params ?(global_shared = []) ~resilience ~population ~phases () =
+  if phases = [] then fail "Rta %s: no phases" name;
+  check_distinct "parameter" params;
+  check_distinct "global shared variable" global_shared;
+  check_distinct "phase name" (List.map (fun p -> p.phase_name) phases);
+  let known_param p = List.mem p params in
+  let check_pexpr what (e : Pexpr.t) =
+    List.iter
+      (fun p ->
+        if not (known_param p) then fail "Rta %s: unknown parameter %S in %s" name p what)
+      (Pexpr.params e)
+  in
+  List.iter (check_pexpr "resilience") resilience;
+  check_pexpr "population" population;
+  let n = List.length phases in
+  List.iteri
+    (fun i p ->
+      List.iter
+        (fun x ->
+          if List.mem x global_shared then
+            fail "Rta %s: phase %s shadows global shared variable %S" name p.phase_name x)
+        p.shared;
+      let known_shared x = List.mem x p.shared || List.mem x global_shared in
+      let check_guard what (g : Guard.t) =
+        List.iter
+          (fun (a : Guard.atom) ->
+            List.iter
+              (fun (x, c) ->
+                if not (known_shared x) then
+                  fail "Rta %s: phase %s: unknown shared variable %S in %s" name
+                    p.phase_name x what;
+                if c <= 0 then
+                  fail "Rta %s: phase %s: non-positive guard coefficient in %s" name
+                    p.phase_name what)
+              a.Guard.shared;
+            check_pexpr what a.Guard.bound)
+          g
+      in
+      let next = List.nth phases ((i + 1) mod n) in
+      List.iter
+        (fun (r : rule) ->
+          check_guard ("rule " ^ r.name) r.guard;
+          List.iter
+            (fun (x, _) ->
+              if not (known_shared x) then
+                fail "Rta %s: phase %s rule %s updates unknown variable %S" name
+                  p.phase_name r.name x)
+            r.update;
+          match r.target with
+          | Here _ -> ()
+          | Next l ->
+            if not (List.mem l next.entry) then
+              fail
+                "Rta %s: phase %s rule %s targets %S, not an entry location of the next \
+                 phase %s"
+                name p.phase_name r.name l next.phase_name)
+        p.rules;
+      List.iter (fun j -> check_guard "justice" j.unless) p.justice)
+    phases;
+  { name; params; global_shared; resilience; population; phases }
+
+(* ------------------------------------------------------------------ *)
+(* Unrolling.                                                          *)
+
+type unrolled = {
+  rta : t;
+  rounds : int;
+  suffix : int -> string;
+  automaton : Automaton.t;
+  location_origin : (string * (int * string)) list;
+  shared_origin : (string * (int * string)) list;
+  rule_origin : (string * (int * string)) list;
+}
+
+let default_suffix r = "@" ^ string_of_int r
+
+let legacy_suffix = function
+  | 0 -> ""
+  | 1 -> "x"
+  | r -> fail "Rta.legacy_suffix: the hand-written naming covers rounds 0-1, not %d" r
+
+(* The mangling certificate: reconstruct every round from the origin maps
+   and the flat automaton alone, and compare against the template.  This
+   is deliberately independent of how [unroll] built the names — it only
+   trusts the maps it is checking. *)
+let validate (u : unrolled) : (unit, string) result =
+  let err fmt = Printf.ksprintf (fun m -> Error m) fmt in
+  let ( let* ) = Result.bind in
+  let n = List.length u.rta.phases in
+  let phase_of r = List.nth u.rta.phases (r mod n) in
+  let a = u.automaton in
+  let check_map what names map =
+    if List.sort compare (List.map fst map) <> List.sort compare names then
+      err "%s origin map does not cover the automaton's %ss exactly" what what
+    else Ok ()
+  in
+  let* () = check_map "location" a.Automaton.locations u.location_origin in
+  let* () = check_map "shared variable" a.Automaton.shared u.shared_origin in
+  let* () =
+    check_map "rule"
+      (List.map (fun (r : Automaton.rule) -> r.name) a.Automaton.rules)
+      u.rule_origin
+  in
+  let demangle_loc m =
+    match List.assoc_opt m u.location_origin with
+    | Some o -> Ok o
+    | None -> err "unrolled location %S has no origin" m
+  in
+  let demangle_shared m =
+    match List.assoc_opt m u.shared_origin with
+    | Some o -> Ok o
+    | None -> err "unrolled shared variable %S has no origin" m
+  in
+  let rec each f = function
+    | [] -> Ok ()
+    | x :: rest ->
+      let* () = f x in
+      each f rest
+  in
+  let demangle_guard ~round (g : Guard.t) : (Guard.t, string) result =
+    let demangle_atom (at : Guard.atom) =
+      let rec go acc = function
+        | [] -> Ok { at with Guard.shared = List.rev acc }
+        | (x, c) :: rest ->
+          let* r, base = demangle_shared x in
+          if r <> round && r <> -1 then
+            err "guard variable %S of round %d leaks into round %d" x r round
+          else go ((base, c) :: acc) rest
+      in
+      go [] at.Guard.shared
+    in
+    let rec go acc = function
+      | [] -> Ok (List.rev acc)
+      | at :: rest ->
+        let* at' = demangle_atom at in
+        go (at' :: acc) rest
+    in
+    go [] g
+  in
+  (* Global shared variables must be present verbatim with origin -1. *)
+  let* () =
+    each
+      (fun x ->
+        match List.assoc_opt x u.shared_origin with
+        | Some (-1, base) when base = x -> Ok ()
+        | _ -> err "global shared variable %S lost its identity" x)
+      u.rta.global_shared
+  in
+  (* Initial locations = round-0 entries. *)
+  let* () =
+    let rec go = function
+      | [], [] -> Ok ()
+      | m :: ms, e :: es ->
+        let* r, base = demangle_loc m in
+        if (r, base) <> (0, e) then err "initial location %S is not round-0 entry %S" m e
+        else go (ms, es)
+      | _ -> err "initial locations do not match the round-0 entry list"
+    in
+    go (a.Automaton.initial, (phase_of 0).entry)
+  in
+  (* Per-round re-projection. *)
+  let* () =
+    each
+      (fun r ->
+        let p = phase_of r in
+        let bases =
+          List.filter_map
+            (fun m ->
+              match List.assoc_opt m u.location_origin with
+              | Some (r', base) when r' = r -> Some base
+              | _ -> None)
+            a.Automaton.locations
+        in
+        if bases <> p.locations @ p.pinned then
+          err "round %d locations [%s] do not re-project onto phase %s" r
+            (String.concat ";" bases) p.phase_name
+        else
+          let sbases =
+            List.filter_map
+              (fun m ->
+                match List.assoc_opt m u.shared_origin with
+                | Some (r', base) when r' = r -> Some base
+                | _ -> None)
+              a.Automaton.shared
+          in
+          if sbases <> p.shared then err "round %d shared variables do not re-project" r
+          else
+            let instances =
+              List.filter
+                (fun (ru : Automaton.rule) ->
+                  match List.assoc_opt ru.name u.rule_origin with
+                  | Some (r', _) -> r' = r
+                  | None -> false)
+                a.Automaton.rules
+            in
+            let expected =
+              List.filter
+                (fun (tr : rule) ->
+                  match tr.target with Here _ -> true | Next _ -> r < u.rounds - 1)
+                p.rules
+            in
+            if
+              List.map
+                (fun (ru : Automaton.rule) -> snd (List.assoc ru.name u.rule_origin))
+                instances
+              <> List.map (fun (tr : rule) -> tr.name) expected
+            then err "round %d rules do not re-project onto phase %s" r p.phase_name
+            else
+              each
+                (fun ((ru : Automaton.rule), (tr : rule)) ->
+                  let* sr, sbase = demangle_loc ru.source in
+                  if (sr, sbase) <> (r, tr.source) then
+                    err "rule %s: source %S is not round-%d %S" ru.name ru.source r
+                      tr.source
+                  else
+                    let* tround, tbase = demangle_loc ru.target in
+                    let want =
+                      match tr.target with Here l -> (r, l) | Next l -> (r + 1, l)
+                    in
+                    if (tround, tbase) <> want then
+                      err "rule %s: target %S does not re-project" ru.name ru.target
+                    else
+                      let* g = demangle_guard ~round:r ru.guard in
+                      if g <> tr.guard then
+                        err "rule %s: guard does not re-project" ru.name
+                      else
+                        let rec upd acc = function
+                          | [] -> Ok (List.rev acc)
+                          | (x, c) :: rest ->
+                            let* ur, ubase = demangle_shared x in
+                            if ur <> r && ur <> -1 then
+                              err "rule %s: update variable %S leaks rounds" ru.name x
+                            else upd ((ubase, c) :: acc) rest
+                        in
+                        let* update = upd [] ru.update in
+                        if update <> tr.update then
+                          err "rule %s: update does not re-project" ru.name
+                        else if ru.fairness <> tr.fairness then
+                          err "rule %s: fairness flag changed" ru.name
+                        else Ok ())
+                (List.combine instances expected))
+      (List.init u.rounds (fun r -> r))
+  in
+  (* Justice: the flat list is the per-round concatenation. *)
+  let* () =
+    let expected =
+      List.concat
+        (List.init u.rounds (fun r ->
+             List.map (fun (j : justice) -> (r, j)) (phase_of r).justice))
+    in
+    if List.length expected <> List.length a.Automaton.justice then
+      err "justice constraint count changed under unrolling"
+    else
+      each
+        (fun ((r, (tj : justice)), (aj : Automaton.justice)) ->
+          let* jr, jbase = demangle_loc aj.loc in
+          if (jr, jbase) <> (r, tj.loc) then err "justice on %S does not re-project" aj.loc
+          else
+            let* g = demangle_guard ~round:r aj.unless in
+            if g <> tj.unless then err "justice guard on %S does not re-project" aj.loc
+            else Ok ())
+        (List.combine expected a.Automaton.justice)
+  in
+  (* Round switch: exactly the last round's Next rules, wrapping to the
+     cycle's next entry instance. *)
+  let last = u.rounds - 1 in
+  let wrap = (last + 1) mod n in
+  let expected_switch =
+    List.filter_map
+      (fun (tr : rule) ->
+        match tr.target with Next l -> Some (tr.source, l) | Here _ -> None)
+      (phase_of last).rules
+  in
+  if List.length expected_switch <> List.length a.Automaton.round_switch then
+    err "round-switch count does not match the last round's Next rules"
+  else
+    each
+      (fun (((src, tgt) : string * string), ((asrc, atgt) : string * string)) ->
+        let* sr, sbase = demangle_loc asrc in
+        let* tr_, tbase = demangle_loc atgt in
+        if (sr, sbase) <> (last, src) then err "round switch source %S mismatches" asrc
+        else if (tr_, tbase) <> (wrap, tgt) then
+          err "round switch target %S mismatches" atgt
+        else Ok ())
+      (List.combine expected_switch a.Automaton.round_switch)
+
+let unroll ?(suffix = default_suffix) ~rounds rta =
+  if rounds < 1 then fail "Rta.unroll %s: rounds must be >= 1" rta.name;
+  let n = List.length rta.phases in
+  let phase_of r = List.nth rta.phases (r mod n) in
+  let sfx = Array.init rounds suffix in
+  let mangle_loc r l = if List.mem l (phase_of r).pinned then l else l ^ sfx.(r) in
+  let mangle_shared r x = if List.mem x rta.global_shared then x else x ^ sfx.(r) in
+  let mangle_guard r (g : Guard.t) : Guard.t =
+    List.map
+      (fun (a : Guard.atom) ->
+        { a with Guard.shared = List.map (fun (x, c) -> (mangle_shared r x, c)) a.shared })
+      g
+  in
+  (* Collision-checked origin maps: [validate] re-checks them below, but a
+     clash (pinned location recurring, non-injective suffix map) must fail
+     here with the two offending rounds named, not as a puzzling duplicate
+     inside Automaton.make. *)
+  let origins = Hashtbl.create 64 in
+  let record kind name origin =
+    let key = (kind, name) in
+    match Hashtbl.find_opt origins key with
+    | Some (r, base) ->
+      fail "Rta.unroll %s: %s %S of round %d collides with %S of round %d" rta.name kind
+        name (fst origin) base r
+    | None -> Hashtbl.replace origins key origin
+  in
+  let locs = ref [] and shared = ref [] and rules = ref [] in
+  let loc_origin = ref [] and shared_origin = ref [] and rule_origin = ref [] in
+  let round_switch = ref [] in
+  let self_loops = ref 0 in
+  let justice = ref [] in
+  for r = 0 to rounds - 1 do
+    let p = phase_of r in
+    List.iter
+      (fun l ->
+        let m = mangle_loc r l in
+        record "location" m (r, l);
+        locs := m :: !locs;
+        loc_origin := (m, (r, l)) :: !loc_origin)
+      (p.locations @ p.pinned);
+    List.iter
+      (fun x ->
+        let m = mangle_shared r x in
+        record "shared variable" m (r, x);
+        shared := m :: !shared;
+        shared_origin := (m, (r, x)) :: !shared_origin)
+      p.shared;
+    List.iter
+      (fun (ru : rule) ->
+        let emit target =
+          let name = ru.name ^ sfx.(r) in
+          record "rule" name (r, ru.name);
+          rule_origin := (name, (r, ru.name)) :: !rule_origin;
+          rules :=
+            {
+              Automaton.name;
+              source = mangle_loc r ru.source;
+              target;
+              guard = mangle_guard r ru.guard;
+              update = List.map (fun (x, c) -> (mangle_shared r x, c)) ru.update;
+              fairness = ru.fairness;
+            }
+            :: !rules
+        in
+        match ru.target with
+        | Here l -> emit (mangle_loc r l)
+        | Next l ->
+          if r < rounds - 1 then emit (mangle_loc (r + 1) l)
+          else begin
+            (* The wrap-around: back to the earliest instance of the next
+               phase in the cycle (round 0 when the round count is a
+               multiple of the cycle length, as in the paper's models). *)
+            let wrap = (r + 1) mod n in
+            if wrap >= rounds then
+              fail
+                "Rta.unroll %s: the last round's phase %s wraps to phase %s, which %d \
+                 round(s) never instantiate"
+                rta.name p.phase_name (phase_of wrap).phase_name rounds;
+            round_switch := (mangle_loc r ru.source, mangle_loc wrap l) :: !round_switch
+          end)
+      p.rules;
+    List.iter
+      (fun (j : justice) ->
+        justice :=
+          { Automaton.loc = mangle_loc r j.loc; unless = mangle_guard r j.unless }
+          :: !justice)
+      p.justice;
+    self_loops := !self_loops + p.self_loops
+  done;
+  List.iter (fun x -> record "shared variable" x (-1, x)) rta.global_shared;
+  let automaton =
+    Automaton.make ~name:rta.name ~params:rta.params
+      ~shared:(List.rev !shared @ rta.global_shared)
+      ~locations:(List.rev !locs)
+      ~initial:(List.map (mangle_loc 0) (phase_of 0).entry)
+      ~resilience:rta.resilience ~population:rta.population ~rules:(List.rev !rules)
+      ~justice:(List.rev !justice) ~round_switch:(List.rev !round_switch)
+      ~self_loops:!self_loops ()
+  in
+  let u =
+    {
+      rta;
+      rounds;
+      suffix;
+      automaton;
+      location_origin = List.rev !loc_origin;
+      shared_origin =
+        List.rev !shared_origin @ List.map (fun x -> (x, (-1, x))) rta.global_shared;
+      rule_origin = List.rev !rule_origin;
+    }
+  in
+  (match validate u with
+  | Ok () -> ()
+  | Error msg -> fail "Rta.unroll %s: mangling certificate rejected: %s" rta.name msg);
+  u
+
+(* ------------------------------------------------------------------ *)
+(* Name (de-)mangling helpers.                                         *)
+
+let loc u ~round l =
+  if round < 0 || round >= u.rounds then
+    fail "Rta.loc %s: round %d out of range (0..%d)" u.rta.name round (u.rounds - 1);
+  match List.find_opt (fun (_, (r, base)) -> r = round && base = l) u.location_origin with
+  | Some (m, _) -> m
+  | None -> fail "Rta.loc %s: no location %S in round %d" u.rta.name l round
+
+let shared_var u ~round x =
+  if List.mem x u.rta.global_shared then x
+  else
+    match
+      List.find_opt (fun (_, (r, base)) -> r = round && base = x) u.shared_origin
+    with
+    | Some (m, _) -> m
+    | None ->
+      fail "Rta.shared_var %s: no shared variable %S in round %d" u.rta.name x round
+
+let origin_of_location u name = List.assoc_opt name u.location_origin
+let origin_of_shared u name = List.assoc_opt name u.shared_origin
+let origin_of_rule u name = List.assoc_opt name u.rule_origin
+
+let explain_name u name =
+  match origin_of_location u name with
+  | Some (r, base) -> Printf.sprintf "%s (round %d)" base r
+  | None -> (
+    match origin_of_shared u name with
+    | Some (-1, base) -> Printf.sprintf "%s (global)" base
+    | Some (r, base) -> Printf.sprintf "%s (round %d)" base r
+    | None -> (
+      match origin_of_rule u name with
+      | Some (r, base) -> Printf.sprintf "%s (round %d)" base r
+      | None -> name))

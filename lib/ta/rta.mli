@@ -1,0 +1,181 @@
+(** Round-based extended threshold automata (RTA).
+
+    The paper's multi-round models are hand-unrolled: one copy of the
+    per-round process structure per round, with name suffixes ("" / "x")
+    applied by hand and the wrap-around edges listed as
+    {!Automaton.round_switch} entries.  Following Baumeister et al. 2024
+    ("Parameterized Verification of Round-based Distributed Algorithms
+    via Extended Threshold Automata"), this module makes the round
+    structure a first-class object: an {!t} is a cyclic sequence of
+    {e phase templates} — per-round locations, round-local shared
+    variables, rules whose targets either stay in the round ({!Here}) or
+    enter the next round ({!Next}) — and {!unroll} elaborates it into
+    today's {!Automaton.t} for a given round count, with a certified
+    name-mangling that maps every unrolled name back to its
+    [(round, template name)] origin.
+
+    Soundness of the elaboration (DESIGN.md, "Round unrolling"):
+    - each phase's {!Here} graph is a DAG (validated by {!make}) and
+      {!Next} edges only go from round [r] to round [r+1], so the
+      unrolled location graph is a DAG of DAGs — the schema checker's
+      structural precondition is preserved by construction;
+    - round-local shared variables are instantiated per round and only
+      rules of that round read or increment them, so guard monotonicity
+      (positive coefficients, non-negative updates — enforced by the
+      {!Guard} and {!Automaton} constructors, which {!unroll} goes
+      through) carries over unchanged;
+    - the last round's {!Next} rules become {!Automaton.round_switch}
+      entries, which the one-round analyses ignore (the paper's
+      Appendix A reduction), exactly as in the hand-written models. *)
+
+(** Where a rule lands: in the current round, or at an entry location of
+    the next round (the round switch). *)
+type target = Here of string | Next of string
+
+type rule = {
+  name : string;  (** mangled with the round suffix on instantiation *)
+  source : string;
+  target : target;
+  guard : Guard.t;  (** over round-local and global shared variables *)
+  update : (string * int) list;
+  fairness : Automaton.fairness;
+}
+
+type justice = { loc : string; unless : Guard.t }
+
+(** One round template.  [locations] are instantiated once per round
+    occurrence with the round's name suffix; [pinned] locations are
+    instantiated verbatim (round-unique sinks such as the decision
+    locations [D0]/[D1] of the dBFT superround — a decided process stays
+    decided, so the location belongs to the round that decides, not to
+    the recurring structure).  [entry] lists the locations populated at
+    round start; {!Next} targets must name entry locations of the next
+    phase in the cycle. *)
+type phase = {
+  phase_name : string;
+  locations : string list;
+  pinned : string list;
+  entry : string list;
+  shared : string list;  (** round-local shared variables *)
+  rules : rule list;
+  justice : justice list;
+  self_loops : int;
+}
+
+type t = {
+  name : string;
+  params : string list;
+  global_shared : string list;  (** shared by every round *)
+  resilience : Pexpr.t list;
+  population : Pexpr.t;
+  phases : phase list;  (** round [r] instantiates [phases.(r mod length)] *)
+}
+
+val rule :
+  ?guard:Guard.t ->
+  ?update:(string * int) list ->
+  ?fairness:Automaton.fairness ->
+  string ->
+  source:string ->
+  target:target ->
+  rule
+
+(** [phase ~name ~locations ?pinned ~entry ?shared ~rules ?justice
+    ?self_loops ()].
+    @raise Invalid_argument on malformed input (unknown names, entry not
+    a location, duplicate names). *)
+val phase :
+  name:string ->
+  locations:string list ->
+  ?pinned:string list ->
+  entry:string list ->
+  ?shared:string list ->
+  rules:rule list ->
+  ?justice:justice list ->
+  ?self_loops:int ->
+  unit ->
+  phase
+
+(** [make ...] assembles and validates a round-based automaton: phase
+    name resolution, per-phase {!Here}-graph acyclicity, and {!Next}
+    targets resolving to entry locations of the successor phase
+    (cyclically).
+    @raise Invalid_argument when validation fails. *)
+val make :
+  name:string ->
+  params:string list ->
+  ?global_shared:string list ->
+  resilience:Pexpr.t list ->
+  population:Pexpr.t ->
+  phases:phase list ->
+  unit ->
+  t
+
+(** {1 Unrolling} *)
+
+(** The elaboration result: the flat automaton plus the name-mangling
+    maps (unrolled name -> (round, template name)) that {!validate}
+    certifies and the witness de-mangling helpers invert. *)
+type unrolled = {
+  rta : t;
+  rounds : int;
+  suffix : int -> string;
+  automaton : Automaton.t;
+  location_origin : (string * (int * string)) list;
+  shared_origin : (string * (int * string)) list;
+      (** global shared variables map to round [-1] *)
+  rule_origin : (string * (int * string)) list;
+}
+
+(** [default_suffix r] is ["@r"] — collision-free for any round count. *)
+val default_suffix : int -> string
+
+(** [legacy_suffix r] is [""] for round 0 and ["x"] for round 1 — the
+    hand-written naming of the paper's two-round models (rounds > 2
+    collide and are rejected by {!unroll}). *)
+val legacy_suffix : int -> string
+
+(** [unroll ?suffix ~rounds rta] instantiates [rounds] consecutive
+    phases.  {!Next} rules of rounds [0 .. rounds-2] become ordinary
+    rules into the next round's entry instance; those of the last round
+    become {!Automaton.round_switch} entries wrapping to the cycle's
+    next entry in round 0.  The result goes through {!Automaton.make}
+    (re-validating names, monotonicity and update signs) and then
+    through {!validate} (re-projecting every round against its template
+    — the mangling certificate).
+    @raise Invalid_argument on mangled-name collisions (e.g. a pinned
+    location recurring across phase occurrences, or a suffix map that is
+    not injective on the used rounds) or validation failure. *)
+val unroll : ?suffix:(int -> string) -> rounds:int -> t -> unrolled
+
+(** [validate u] re-checks the mangling certificate from scratch:
+    the origin maps are total over the automaton's names and injective,
+    and re-projecting each round through them reproduces the template
+    phase exactly (locations, entries, shared, rules with guards and
+    updates rewritten back to template names, justice, and the round
+    switch of the last round).  [unroll] already runs this; tests and
+    consumers that transport an [unrolled] value can re-run it. *)
+val validate : unrolled -> (unit, string) result
+
+(** {1 Name (de-)mangling} *)
+
+(** [loc u ~round l] is the unrolled name of template location [l] in
+    [round].
+    @raise Invalid_argument when [l] is not a location of that round's
+    phase or [round] is out of range. *)
+val loc : unrolled -> round:int -> string -> string
+
+(** [shared_var u ~round x] — likewise for round-local shared variables;
+    global variables are returned unchanged for any round. *)
+val shared_var : unrolled -> round:int -> string -> string
+
+(** [origin_of_location u name] is [(round, template name)];
+    [origin_of_shared] reports round [-1] for global variables. *)
+val origin_of_location : unrolled -> string -> (int * string) option
+
+val origin_of_shared : unrolled -> string -> (int * string) option
+val origin_of_rule : unrolled -> string -> (int * string) option
+
+(** [explain_name u name] renders an unrolled name for display:
+    ["M0x" -> "M0 (round 1)"]; names with no origin pass through. *)
+val explain_name : unrolled -> string -> string

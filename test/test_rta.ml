@@ -1,0 +1,336 @@
+(* Tests for the round-based extended TA layer (Ta.Rta): the unrolled
+   dBFT superround is bit-identical to the hand-written Simplified_ta,
+   name (de-)mangling round-trips, the mangling certificate rejects
+   tampered origin maps, and slicing commutes with unrolling (QCheck). *)
+
+module A = Ta.Automaton
+module G = Ta.Guard
+module P = Ta.Pexpr
+module Rta = Ta.Rta
+module An = Analysis
+
+(* ------------------------------------------------------------------ *)
+(* Bit-identity with the hand-written model.                            *)
+
+let test_dbft_bit_identical () =
+  let got = Models.Dbft_rta.automaton in
+  let want = Models.Simplified_ta.automaton in
+  Alcotest.(check (list string)) "locations" want.A.locations got.A.locations;
+  Alcotest.(check (list string)) "shared" want.A.shared got.A.shared;
+  Alcotest.(check (list string)) "initial" want.A.initial got.A.initial;
+  Alcotest.(check (list string)) "rule names"
+    (List.map (fun (r : A.rule) -> r.name) want.A.rules)
+    (List.map (fun (r : A.rule) -> r.name) got.A.rules);
+  Alcotest.(check bool) "whole automaton" true (got = want)
+
+let test_dbft_broken_bit_identical () =
+  Alcotest.(check bool) "broken-resilience automaton" true
+    (Models.Dbft_rta.unrolled_broken_resilience.Rta.automaton
+    = Models.Simplified_ta.automaton_broken_resilience)
+
+let test_dbft_specs_identical () =
+  Alcotest.(check bool) "Inv2_0" true
+    (Models.Dbft_rta.inv2_0 = Models.Simplified_ta.inv2_0);
+  Alcotest.(check bool) "Good_0" true
+    (Models.Dbft_rta.good_0 = Models.Simplified_ta.good_0)
+
+(* ------------------------------------------------------------------ *)
+(* Name (de-)mangling.                                                  *)
+
+let test_mangling_round_trip () =
+  let u = Models.Dbft_rta.unrolled in
+  Alcotest.(check string) "round-0 location" "M0" (Rta.loc u ~round:0 "M0");
+  Alcotest.(check string) "round-1 location" "M0x" (Rta.loc u ~round:1 "M0");
+  Alcotest.(check string) "pinned round 0" "D1" (Rta.loc u ~round:0 "D1");
+  Alcotest.(check string) "pinned round 1" "D0" (Rta.loc u ~round:1 "D0");
+  Alcotest.(check string) "shared round 1" "aux1x" (Rta.shared_var u ~round:1 "aux1");
+  (* Every unrolled name maps back to its (round, template) origin, and
+     re-mangling that origin yields the same name. *)
+  List.iter
+    (fun l ->
+      match Rta.origin_of_location u l with
+      | Some (r, base) -> Alcotest.(check string) ("loc " ^ l) l (Rta.loc u ~round:r base)
+      | None -> Alcotest.failf "location %s has no origin" l)
+    u.Rta.automaton.A.locations;
+  List.iter
+    (fun x ->
+      match Rta.origin_of_shared u x with
+      | Some (-1, base) -> Alcotest.(check string) ("global " ^ x) x base
+      | Some (r, base) ->
+        Alcotest.(check string) ("shared " ^ x) x (Rta.shared_var u ~round:r base)
+      | None -> Alcotest.failf "shared %s has no origin" x)
+    u.Rta.automaton.A.shared
+
+let test_explain_name () =
+  let u = Models.Dbft_rta.unrolled in
+  Alcotest.(check string) "suffixed" "M0 (round 1)" (Rta.explain_name u "M0x");
+  Alcotest.(check string) "pinned" "D0 (round 1)" (Rta.explain_name u "D0");
+  Alcotest.(check string) "rule" "s5 (round 1)" (Rta.explain_name u "s5x");
+  Alcotest.(check string) "unknown passes through" "huh" (Rta.explain_name u "huh")
+
+let test_validate_rejects_tampering () =
+  let u = Models.Dbft_rta.unrolled in
+  Alcotest.(check bool) "intact certificate" true (Rta.validate u = Ok ());
+  let swap = function
+    | ("M0", o) -> ("M0x", o)
+    | ("M0x", o) -> ("M0", o)
+    | e -> e
+  in
+  let tampered = { u with Rta.location_origin = List.map swap u.Rta.location_origin } in
+  Alcotest.(check bool) "swapped origins rejected" true
+    (match Rta.validate tampered with Error _ -> true | Ok () -> false)
+
+(* A counterexample witness over an unrolled automaton de-mangles to
+   (round, template) coordinates through the origin maps, and mangles
+   back to the original witness exactly: Witness.rename composed both
+   ways is the identity, so a user can read (and report) template-level
+   runs without losing the ability to replay the unrolled ones. *)
+let test_witness_demangle_round_trip () =
+  let module W = Holistic.Witness in
+  let u = Models.Phase_king.unrolled in
+  let r = Holistic.Checker.verify u.Rta.automaton Models.Phase_king.one_survives in
+  let w =
+    match r.Holistic.Checker.outcome with
+    | Holistic.Checker.Violated w -> w
+    | _ -> Alcotest.fail "PK-NoOne should be violated"
+  in
+  Alcotest.(check bool) "witness has steps" true (w.W.steps <> []);
+  (* De-mangle every name to "round#template" ("g#x" for globals). *)
+  let demangle_loc l =
+    match Rta.origin_of_location u l with
+    | Some (r, base) -> Printf.sprintf "%d#%s" r base
+    | None -> Alcotest.failf "location %s has no origin" l
+  in
+  let demangle_shared x =
+    match Rta.origin_of_shared u x with
+    | Some (-1, base) -> "g#" ^ base
+    | Some (r, base) -> Printf.sprintf "%d#%s" r base
+    | None -> Alcotest.failf "shared %s has no origin" x
+  in
+  let demangle_rule n =
+    match Rta.origin_of_rule u n with
+    | Some (r, base) -> Printf.sprintf "%d#%s" r base
+    | None -> Alcotest.failf "rule %s has no origin" n
+  in
+  let demangled =
+    W.rename ~rule:demangle_rule ~location:demangle_loc ~shared:demangle_shared w
+  in
+  Alcotest.(check bool) "de-mangling changed the witness" true (demangled <> w);
+  (* The template coordinates are readable as such: the violated-state
+     counter is last-round V1, i.e. round (rounds-1) of template V1. *)
+  let last = Models.Phase_king.rounds - 1 in
+  let final = List.nth demangled.W.steps (List.length demangled.W.steps - 1) in
+  Alcotest.(check bool)
+    (Printf.sprintf "final step holds %d#V1" last)
+    true
+    (List.exists
+       (fun (l, k) -> l = Printf.sprintf "%d#V1" last && k > 0)
+       final.W.counters);
+  (* Mangle back through the certified maps: exact round trip. *)
+  let split s =
+    match String.index_opt s '#' with
+    | Some i ->
+      (String.sub s 0 i, String.sub s (i + 1) (String.length s - i - 1))
+    | None -> Alcotest.failf "not a demangled name: %s" s
+  in
+  let mangle_loc s =
+    let r, base = split s in
+    Rta.loc u ~round:(int_of_string r) base
+  in
+  let mangle_shared s =
+    let r, base = split s in
+    if r = "g" then base else Rta.shared_var u ~round:(int_of_string r) base
+  in
+  let mangle_rule s =
+    let r, base = split s in
+    let round = int_of_string r in
+    match
+      List.find_opt (fun (_, o) -> o = (round, base)) u.Rta.rule_origin
+    with
+    | Some (name, _) -> name
+    | None -> Alcotest.failf "no unrolled rule for %s" s
+  in
+  let restored =
+    W.rename ~rule:mangle_rule ~location:mangle_loc ~shared:mangle_shared demangled
+  in
+  Alcotest.(check bool) "mangle (demangle w) = w" true (restored = w)
+
+(* ------------------------------------------------------------------ *)
+(* Unroll validation errors.                                            *)
+
+let test_legacy_suffix_rejects_three_rounds () =
+  Alcotest.(check bool) "legacy suffix limited to 2 rounds" true
+    (try
+       ignore (Rta.unroll ~suffix:Rta.legacy_suffix ~rounds:3 Models.Dbft_rta.rta);
+       false
+     with Invalid_argument _ -> true)
+
+let test_constant_suffix_collides () =
+  Alcotest.(check bool) "non-injective suffix rejected" true
+    (try
+       ignore (Rta.unroll ~suffix:(fun _ -> "") ~rounds:2 Models.Dbft_rta.rta);
+       false
+     with Invalid_argument _ -> true)
+
+let test_cyclic_phase_rejected () =
+  Alcotest.(check bool) "cyclic Here-graph rejected" true
+    (try
+       ignore
+         (Rta.phase ~name:"p" ~locations:[ "A"; "B" ] ~entry:[ "A" ]
+            ~rules:
+              [
+                Rta.rule "r1" ~source:"A" ~target:(Rta.Here "B");
+                Rta.rule "r2" ~source:"B" ~target:(Rta.Here "A");
+              ]
+            ());
+       false
+     with Invalid_argument _ -> true)
+
+(* ------------------------------------------------------------------ *)
+(* Default-suffix unrolling at other round counts stays certified.      *)
+
+let test_default_suffix_rounds () =
+  (* The dBFT template pins D0/D1 as round-unique decision sinks, so it
+     unrolls to exactly one superround; recurring the pinned phases is a
+     name collision by design. *)
+  let u = Rta.unroll ~rounds:2 Models.Dbft_rta.rta in
+  Alcotest.(check bool) "rounds=2 certified" true (Rta.validate u = Ok ());
+  Alcotest.(check bool) "rounds=2 DAG" true (A.is_dag u.Rta.automaton);
+  Alcotest.(check bool) "pinned recurrence rejected" true
+    (try
+       ignore (Rta.unroll ~rounds:4 Models.Dbft_rta.rta);
+       false
+     with Invalid_argument _ -> true);
+  (* An unpinned single-phase template unrolls to any round count. *)
+  let ph =
+    Rta.phase ~name:"p" ~locations:[ "A"; "B" ] ~entry:[ "A" ]
+      ~shared:[ "v" ]
+      ~rules:
+        [
+          Rta.rule "r1" ~source:"A" ~target:(Rta.Here "B") ~update:[ ("v", 1) ];
+          Rta.rule "r2" ~source:"B" ~target:(Rta.Next "A")
+            ~guard:(G.ge1 "v" (P.param "n"));
+        ]
+      ()
+  in
+  let small =
+    Rta.make ~name:"loop" ~params:[ "n" ]
+      ~resilience:[ P.of_terms [ ("n", 1) ] (-1) ]
+      ~population:(P.param "n") ~phases:[ ph ] ()
+  in
+  List.iter
+    (fun rounds ->
+      let u = Rta.unroll ~rounds small in
+      Alcotest.(check bool)
+        (Printf.sprintf "loop rounds=%d certified" rounds)
+        true
+        (Rta.validate u = Ok ());
+      Alcotest.(check int)
+        (Printf.sprintf "loop rounds=%d locations" rounds)
+        (2 * rounds)
+        (List.length u.Rta.automaton.A.locations))
+    [ 1; 2; 5 ]
+
+(* ------------------------------------------------------------------ *)
+(* QCheck: slicing commutes with unrolling.                             *)
+
+(* Random round-based TAs: a cycle of [n_phases] phases, each a little
+   DAG of [n_locs] locations with random Here rules, random guards over
+   one round-local variable, and Next rules into the successor's entry.
+   Some locations are deliberately unreachable so slicing has work to
+   do uniformly across rounds. *)
+let gen_rta =
+  let open QCheck.Gen in
+  let* n_phases = 1 -- 3 in
+  let* n_locs = 2 -- 4 in
+  let* dead_tail = 0 -- 1 in
+  let loc p i = Printf.sprintf "P%dL%d" p i in
+  let phases =
+    List.init n_phases (fun p ->
+        let locations = List.init (n_locs + dead_tail) (loc p) in
+        let entry = [ loc p 0 ] in
+        let var = Printf.sprintf "v%d" p in
+        (* A forward chain L0 -> L1 -> ... keeps every phase a DAG; the
+           dead tail locations get no incoming rule. *)
+        let here_rules =
+          List.init (n_locs - 1) (fun i ->
+              Rta.rule
+                (Printf.sprintf "h%d_%d" p i)
+                ~source:(loc p i)
+                ~target:(Rta.Here (loc p (i + 1)))
+                ~guard:(G.ge1 var (P.const 0))
+                ~update:[ (var, 1) ])
+        in
+        let next_rule =
+          Rta.rule (Printf.sprintf "n%d" p)
+            ~source:(loc p (n_locs - 1))
+            ~target:(Rta.Next (loc ((p + 1) mod n_phases) 0))
+        in
+        Rta.phase
+          ~name:(Printf.sprintf "ph%d" p)
+          ~locations ~entry ~shared:[ var ]
+          ~rules:(here_rules @ [ next_rule ])
+          ())
+  in
+  let* rounds_factor = 1 -- 2 in
+  return
+    ( Rta.make ~name:"qcheck_rta" ~params:[ "n" ]
+        ~resilience:[ P.of_terms [ ("n", 1) ] (-1) ]
+        ~population:(P.param "n") ~phases (),
+      n_phases * rounds_factor )
+
+let arb_rta =
+  QCheck.make ~print:(fun (rta, rounds) ->
+      Printf.sprintf "%s with %d phases, %d rounds" rta.Rta.name
+        (List.length rta.Rta.phases) rounds)
+    gen_rta
+
+let strip_name (ta : A.t) = { ta with A.name = "" }
+
+let qcheck_slice_commutes =
+  QCheck.Test.make ~name:"slice (unroll rta) = unroll (slice_rta rta)" ~count:60 arb_rta
+    (fun (rta, rounds) ->
+      let u = Rta.unroll ~rounds rta in
+      let sliced_flat, _ = An.slice u.Rta.automaton in
+      let rta', _ = An.slice_rta ~rounds rta in
+      let u' = Rta.unroll ~rounds rta' in
+      strip_name sliced_flat = strip_name u'.Rta.automaton)
+
+let qcheck_slice_rta_certified =
+  QCheck.Test.make ~name:"slice_rta output still unrolls certified" ~count:60 arb_rta
+    (fun (rta, rounds) ->
+      let rta', _ = An.slice_rta ~rounds rta in
+      let u = Rta.unroll ~rounds rta' in
+      Rta.validate u = Ok ())
+
+let () =
+  let qsuite = List.map QCheck_alcotest.to_alcotest [ qcheck_slice_commutes; qcheck_slice_rta_certified ] in
+  Alcotest.run "rta"
+    [
+      ( "bit-identity",
+        [
+          Alcotest.test_case "dbft unroll = hand-written" `Quick test_dbft_bit_identical;
+          Alcotest.test_case "broken resilience variant" `Quick
+            test_dbft_broken_bit_identical;
+          Alcotest.test_case "Inv2_0/Good_0 specs" `Quick test_dbft_specs_identical;
+        ] );
+      ( "mangling",
+        [
+          Alcotest.test_case "round trip" `Quick test_mangling_round_trip;
+          Alcotest.test_case "explain_name" `Quick test_explain_name;
+          Alcotest.test_case "certificate rejects tampering" `Quick
+            test_validate_rejects_tampering;
+          Alcotest.test_case "witness de-mangling round trip" `Quick
+            test_witness_demangle_round_trip;
+        ] );
+      ( "validation",
+        [
+          Alcotest.test_case "legacy suffix 3 rounds" `Quick
+            test_legacy_suffix_rejects_three_rounds;
+          Alcotest.test_case "constant suffix collides" `Quick
+            test_constant_suffix_collides;
+          Alcotest.test_case "cyclic phase" `Quick test_cyclic_phase_rejected;
+          Alcotest.test_case "default suffix rounds" `Quick test_default_suffix_rounds;
+        ] );
+      ("slice-commutation", qsuite);
+    ]
