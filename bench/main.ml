@@ -21,6 +21,7 @@
           [-- --slice] [-- --no-incremental] [-- --bench-json PATH]
           [-- --bench6-json PATH] [-- --bench7-json PATH]
           [-- --bench8-json PATH] [-- --bench9-json PATH]
+          [-- --bench10-json PATH] [-- --daemon-bin PATH]
           [-- --checkpoint DIR] [-- --resume] [-- --checkpoint-every N] *)
 
 let quick = Array.exists (( = ) "--quick") Sys.argv
@@ -536,6 +537,126 @@ let zoo_sweep () =
   print_newline ()
 
 (* ------------------------------------------------------------------ *)
+(* Section 2h: daemon 1->N scaling.  Spawns the verification daemon
+   (`holistic serve`) with 1, 2 and 4 workers, submits a batch of
+   identical budget-capped jobs to each, and measures wall clock from
+   first submit to last verdict.  Every daemon row must be
+   byte-identical to the in-process sequential row — the speedup is
+   only admissible because the verdict is provably unchanged.  The
+   records go to BENCH_10.json for CI's daemon gate.  Requires the
+   built CLI: pass --daemon-bin PATH (skipped otherwise, since the
+   bench binary cannot assume its own build layout). *)
+
+let bench10_json_path =
+  match flag_value "--bench10-json" with Some p -> p | None -> "BENCH_10.json"
+
+let daemon_bin = flag_value "--daemon-bin"
+
+let daemon_scaling () =
+  match daemon_bin with
+  | None ->
+    print_endline "== Daemon 1->N scaling: skipped (pass --daemon-bin PATH) ==";
+    print_newline ()
+  | Some bin ->
+    print_endline "== Daemon 1->N scaling: sharded verification vs sequential ==";
+    let model = "simplified" and spec_name = "Inv1_0" in
+    let cap = if quick then 150 else 400 in
+    let njobs = if quick then 4 else 8 in
+    (* The one row every daemon job must reproduce byte-for-byte. *)
+    let reference =
+      match Service.Registry.find_specs model (Some spec_name) with
+      | Error e ->
+        Printf.eprintf "bench: %s\n" e;
+        exit 2
+      | Ok (ta, specs) ->
+        let u = Holistic.Universe.build ta in
+        let l = { Holistic.Checker.default_limits with jobs = 1; max_schemas = cap } in
+        let r = Holistic.Checker.verify_with_universe ~limits:l u (List.hd specs) in
+        Jsonc.to_string (Service.Protocol.row_of_result ~model r)
+    in
+    let state_root =
+      Filename.concat (Filename.get_temp_dir_name ())
+        (Printf.sprintf "holistic-bench10-%d" (Unix.getpid ()))
+    in
+    let sweep workers =
+      let state_dir = Filename.concat state_root (string_of_int workers) in
+      let args =
+        [|
+          bin; "serve"; "--state"; state_dir;
+          "--workers"; string_of_int workers;
+          "--slice-size"; "32"; "--worker-ckpt-every"; "16";
+        |]
+      in
+      let devnull = Unix.openfile "/dev/null" [ Unix.O_RDWR ] 0 in
+      let pid = Unix.create_process bin args devnull devnull devnull in
+      Unix.close devnull;
+      Fun.protect
+        ~finally:(fun () ->
+          (try Unix.kill pid Sys.sigterm with Unix.Unix_error _ -> ());
+          ignore (Unix.waitpid [] pid))
+        (fun () ->
+          match Service.Client.connect ~state_dir () with
+          | Error e ->
+            Printf.eprintf "bench: daemon (%d workers) unreachable: %s\n" workers e;
+            exit 2
+          | Ok c ->
+            Fun.protect
+              ~finally:(fun () -> Service.Client.close c)
+              (fun () ->
+                let t0 = Unix.gettimeofday () in
+                let ids =
+                  List.concat_map
+                    (fun _ ->
+                      match
+                        Service.Client.submit c ~model ~spec:spec_name
+                          ~max_schemas:cap ()
+                      with
+                      | Ok ids -> ids
+                      | Error e ->
+                        Printf.eprintf "bench: submit failed: %s\n" e;
+                        exit 2)
+                    (List.init njobs Fun.id)
+                in
+                let rows =
+                  match Service.Client.wait_jobs c ids with
+                  | Ok rows -> List.map (fun (_, r) -> Jsonc.to_string r) rows
+                  | Error e ->
+                    Printf.eprintf "bench: wait failed: %s\n" e;
+                    exit 2
+                in
+                let wall = Unix.gettimeofday () -. t0 in
+                let agree =
+                  List.length rows = njobs
+                  && List.for_all (String.equal reference) rows
+                in
+                (wall, agree)))
+    in
+    Printf.printf "%8s %6s %9s %8s %6s\n" "workers" "jobs" "wall" "speedup" "agree";
+    let baseline = ref None in
+    let records =
+      List.map
+        (fun workers ->
+          let wall, agree = sweep workers in
+          let base = match !baseline with None -> baseline := Some wall; wall | Some b -> b in
+          let speedup = if wall > 0.0 then base /. wall else 0.0 in
+          Printf.printf "%8d %6d %8.2fs %7.2fx %6s\n%!" workers njobs wall speedup
+            (if agree then "yes" else "NO!");
+          Printf.sprintf
+            {|    {"workers": %d, "jobs": %d, "cap": %d, "wall_s": %.3f, "speedup": %.3f, "agree": %b}|}
+            workers njobs cap wall speedup agree)
+        [ 1; 2; 4 ]
+    in
+    let oc = open_out bench10_json_path in
+    Printf.fprintf oc
+      "{\n  \"model\": %S,\n  \"property\": %S,\n  \"mode\": %S,\n  \"results\": [\n%s\n  ]\n}\n"
+      model spec_name
+      (if quick then "quick" else "full")
+      (String.concat ",\n" records);
+    close_out oc;
+    Printf.printf "(wrote %s)\n" bench10_json_path;
+    print_newline ()
+
+(* ------------------------------------------------------------------ *)
 (* Section 3: Bechamel micro-benchmarks.                                *)
 
 let micro () =
@@ -661,6 +782,7 @@ let () =
   static_comparison ();
   cache_comparison ();
   zoo_sweep ();
+  daemon_scaling ();
   micro ();
   ablation ();
   print_endline "done."

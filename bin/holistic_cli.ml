@@ -76,6 +76,16 @@ let find_specs model spec_name =
         (Printf.sprintf "unknown property %S; available: %s" n
            (String.concat ", " (List.map (fun (s : Ta.Spec.t) -> s.name) all))))
 
+(* Exit code 4 (see README "Exit codes"): an input file or path the
+   command was explicitly pointed at is unreadable or not in the
+   expected format.  One line to stderr, no backtrace. *)
+let input_error fmt =
+  Printf.ksprintf
+    (fun msg ->
+      prerr_endline ("holistic: " ^ msg);
+      exit 4)
+    fmt
+
 (* The resilience condition under which a model's justice constraints
    were proven: the simplified TA imports bv-broadcast properties
    established for n > 3t (Appendix F), so linting it under a weaker
@@ -190,7 +200,14 @@ let checkpoint_every_arg =
 
 let ensure_checkpoint_dir = function
   | None -> ()
-  | Some dir -> if not (Sys.file_exists dir) then Sys.mkdir dir 0o755
+  | Some dir ->
+    if Sys.file_exists dir then begin
+      if not (Sys.is_directory dir) then
+        input_error "--checkpoint %s exists and is not a directory" dir
+    end
+    else (
+      try Sys.mkdir dir 0o755
+      with Sys_error e -> input_error "cannot create checkpoint directory: %s" e)
 
 (* Shared by verify and table2: the cross-property discharge cache and
    the racing backend portfolio.  Opt-in (--memo / --cache /
@@ -223,6 +240,27 @@ let portfolio_check_arg =
 
 (* Load (or create) the shared cache and wrap it in a portfolio; cache
    traffic reports go to stderr so stdout stays parseable (CSV/JSON). *)
+(* The library-level cache loader is deliberately advisory (a tampered
+   entry degrades to a miss), but a --cache file that exists and is not
+   even readable JSON is an operator error, not cache wear: fail fast
+   with the documented exit code instead of silently running cold. *)
+let check_cache_readable = function
+  | None -> ()
+  | Some path ->
+    if Sys.file_exists path then (
+      match
+        let ic = open_in_bin path in
+        Fun.protect
+          ~finally:(fun () -> close_in_noerr ic)
+          (fun () -> really_input_string ic (in_channel_length ic))
+      with
+      | exception Sys_error e -> input_error "--cache %s is unreadable: %s" path e
+      | contents -> (
+        match Jsonc.of_string (String.trim contents) with
+        | exception Jsonc.Parse_error e ->
+          input_error "--cache %s is not a cache file (%s)" path e
+        | _ -> ()))
+
 let setup_portfolio ~memo ~cache ~check =
   if not (memo || check || cache <> None) then None
   else
@@ -230,6 +268,7 @@ let setup_portfolio ~memo ~cache ~check =
       match cache with
       | None -> Smt.Qcache.create ()
       | Some path ->
+        check_cache_readable (Some path);
         let rep = Holistic.Cachefile.load ~path in
         if rep.Holistic.Cachefile.loaded > 0 || rep.Holistic.Cachefile.dropped > 0 then
           Format.eprintf "cache: loaded %d entries from %s (%d dropped by validation)@."
@@ -258,6 +297,15 @@ let install_interrupt_handlers () =
   let handle = Sys.Signal_handle (fun _ -> Holistic.Checker.request_interrupt ()) in
   Sys.set_signal Sys.sigint handle;
   Sys.set_signal Sys.sigterm handle
+
+(* A corrupt or foreign checkpoint surfaces as [Invalid_argument
+   "Checker.verify: ..."] from the resume path; map it to the
+   documented one-line input error (exit 4) instead of a backtrace. *)
+let with_input_errors f =
+  let prefixed msg p = String.length msg >= String.length p && String.sub msg 0 (String.length p) = p in
+  try f ()
+  with Invalid_argument msg when prefixed msg "Checker.verify:" ->
+    input_error "%s (delete the file or rerun without --resume to start cold)" msg
 
 let interrupt_exit () =
   if Holistic.Checker.interrupt_requested () then begin
@@ -341,8 +389,9 @@ let verify_cmd =
           Option.map (fun dir -> Report.checkpoint_file ~dir ta_key spec) checkpoint
         in
         let r =
-          Holistic.Checker.verify_with_universe ~limits ?checkpoint ~checkpoint_every
-            ~resume ?certs ?portfolio u spec
+          with_input_errors (fun () ->
+              Holistic.Checker.verify_with_universe ~limits ?checkpoint
+                ~checkpoint_every ~resume ?certs ?portfolio u spec)
         in
         Format.printf "%a@." Holistic.Checker.pp_result r;
         if worker_stats then Format.printf "%a@?" Holistic.Checker.pp_worker_stats r)
@@ -516,11 +565,20 @@ let fuzz_cmd =
   in
   let run_replay path json =
     let contents =
-      let ic = open_in_bin path in
-      Fun.protect ~finally:(fun () -> close_in ic)
-        (fun () -> really_input_string ic (in_channel_length ic))
+      match
+        let ic = open_in_bin path in
+        Fun.protect ~finally:(fun () -> close_in ic)
+          (fun () -> really_input_string ic (in_channel_length ic))
+      with
+      | exception Sys_error e -> input_error "--replay %s is unreadable: %s" path e
+      | c -> c
     in
-    let tr = Fuzz.Trace.of_string contents in
+    let tr =
+      try Fuzz.Trace.of_string contents
+      with e ->
+        input_error "--replay %s is not a recorded trace (%s)" path
+          (Printexc.to_string e)
+    in
     let outcome = Fuzz.Exec.replay ~strict:true tr in
     let verdicts = Fuzz.Oracle.check tr.Fuzz.Trace.scenario outcome in
     if json then
@@ -725,12 +783,14 @@ let table2_cmd =
     let portfolio = setup_portfolio ~memo ~cache ~check:portfolio_check in
     let limits = { Holistic.Checker.default_limits with jobs; incremental; static } in
     let rows =
-      Report.table2 ~limits ~slice ?checkpoint_dir:checkpoint ~resume ~checkpoint_every
-        ?portfolio ~quick ~naive_budget:budget ()
-      @ (if zoo then
-           Report.zoo_rows ~limits ~slice ?checkpoint_dir:checkpoint ~resume
-             ~checkpoint_every ?portfolio ()
-         else [])
+      with_input_errors (fun () ->
+          Report.table2 ~limits ~slice ?checkpoint_dir:checkpoint ~resume
+            ~checkpoint_every ?portfolio ~quick ~naive_budget:budget ()
+          @
+          if zoo then
+            Report.zoo_rows ~limits ~slice ?checkpoint_dir:checkpoint ~resume
+              ~checkpoint_every ?portfolio ()
+          else [])
     in
     (match format with
      | "text" -> Report.print_text stdout rows
@@ -745,6 +805,216 @@ let table2_cmd =
     Term.(const run $ quick $ budget $ format $ jobs $ incremental_arg $ static_arg
           $ slice $ force $ zoo $ checkpoint_arg $ resume_arg $ checkpoint_every_arg
           $ memo_arg $ cache_arg $ portfolio_check_arg)
+
+(* --- serve / submit / daemon ---------------------------------------- *)
+
+(* The verification daemon (lib/service): a coordinator process farms
+   contiguous schema-preorder slices of each submitted job to forked,
+   supervised worker processes.  Exit-code contract of the clients:
+   5 when no daemon is listening at --state, 4 on a bad request
+   (unknown model/property/job id). *)
+
+let state_arg =
+  Arg.(value & opt string ".holistic-daemon"
+       & info [ "state" ] ~docv:"DIR"
+           ~doc:"Daemon state directory: Unix-domain socket, job manifest and \
+                 checkpoint journals (default: ./.holistic-daemon).")
+
+let failpoint_conv =
+  let parse s =
+    match Service.Worker.failpoint_of_string s with
+    | Ok f -> Ok f
+    | Error e -> Error (`Msg e)
+  in
+  let print fmt f = Format.pp_print_string fmt (Service.Worker.failpoint_to_string f) in
+  Arg.conv (parse, print)
+
+let serve_cmd =
+  let workers =
+    Arg.(value & opt int (max 1 (Domain.recommended_domain_count () - 1))
+         & info [ "workers" ] ~docv:"N"
+             ~doc:"Worker processes (forked, supervised; killed workers are respawned \
+                   and their in-flight slice is re-queued).")
+  in
+  let slice_size =
+    Arg.(value & opt int 64 & info [ "slice-size" ] ~docv:"N"
+           ~doc:"Positions per work slice.")
+  in
+  let worker_ckpt_every =
+    Arg.(value & opt int 16 & info [ "worker-ckpt-every" ] ~docv:"N"
+           ~doc:"Slice checkpoint cadence: a killed worker loses at most N-1 positions \
+                 of its in-flight slice.")
+  in
+  let retry_budget =
+    Arg.(value & opt int 3 & info [ "retry-budget" ] ~docv:"N"
+           ~doc:"Crashes a slice may suffer without durable progress before its \
+                 frontier position is quarantined (the job then degrades to the \
+                 fail-soft partial verdict).")
+  in
+  let hb_timeout =
+    Arg.(value & opt float 30.0 & info [ "heartbeat-timeout" ] ~docv:"SECONDS"
+           ~doc:"SIGKILL a worker whose reported position stalls this long.")
+  in
+  let hb_interval =
+    Arg.(value & opt float 0.5 & info [ "hb-interval" ] ~docv:"SECONDS"
+           ~doc:"Worker heartbeat period.")
+  in
+  let failpoints =
+    Arg.(value & opt_all failpoint_conv []
+         & info [ "failpoint" ] ~docv:"SPEC"
+             ~doc:"Deterministic fault injection in every worker (repeatable): \
+                   worker-crash:N (SIGKILL itself before every Nth discharge), \
+                   worker-crash-at:POS, worker-raise-at:POS, worker-hang-at:POS.")
+  in
+  let cache =
+    Arg.(value & opt (some string) None
+         & info [ "cache" ] ~docv:"FILE"
+             ~doc:"Shared persistent discharge cache: each worker loads it at spawn \
+                   and merges its new entries back under a lock file after every \
+                   slice.")
+  in
+  let max_schemas =
+    Arg.(value & opt int 100_000 & info [ "max-schemas" ] ~docv:"N"
+           ~doc:"Default schema budget for jobs that do not specify one.")
+  in
+  let run state workers slice_size worker_ckpt_every retry_budget hb_timeout hb_interval
+      failpoints cache max_schemas =
+    check_cache_readable cache;
+    let cfg =
+      {
+        Service.Coordinator.state_dir = state;
+        nworkers = max 1 workers;
+        slice_size = max 1 slice_size;
+        retry_budget = max 0 retry_budget;
+        hb_timeout;
+        default_cap = max_schemas;
+        worker =
+          {
+            Service.Worker.cache_path = cache;
+            ckpt_every = max 1 worker_ckpt_every;
+            hb_interval;
+            failpoints;
+          };
+      }
+    in
+    Service.Coordinator.serve cfg
+  in
+  Cmd.v
+    (Cmd.info "serve"
+       ~doc:"Run the fault-tolerant verification daemon: accept jobs over a \
+             Unix-domain socket, shard each job's schema preorder into slices and \
+             farm them to supervised worker processes.  Crashed or hung workers are \
+             SIGKILLed and respawned, their slices re-queued with exponential \
+             backoff; SIGTERM drains gracefully and a restarted daemon resumes to \
+             bit-identical verdicts.")
+    Term.(const run $ state_arg $ workers $ slice_size $ worker_ckpt_every
+          $ retry_budget $ hb_timeout $ hb_interval $ failpoints $ cache $ max_schemas)
+
+let submit_cmd =
+  let max_schemas =
+    Arg.(value & opt int 100_000 & info [ "max-schemas" ] ~docv:"N"
+           ~doc:"Abort the job after this many schemas.")
+  in
+  let wait =
+    Arg.(value & flag & info [ "wait" ]
+           ~doc:"Block until every submitted job finishes and print one result row \
+                 (JSON line) per job, in completion order.")
+  in
+  let local =
+    Arg.(value & flag & info [ "local" ]
+           ~doc:"Bypass the daemon: run the sequential checker in-process and print \
+                 the identical result rows (the reference side of the daemon's \
+                 bit-identical soundness gate).")
+  in
+  let run model spec_name state max_schemas wait local =
+    if local then
+      let ta = automaton_of model in
+      let u = Holistic.Universe.build ta in
+      let limits = { Holistic.Checker.default_limits with max_schemas } in
+      List.iter
+        (fun spec ->
+          let r = Holistic.Checker.verify_with_universe ~limits u spec in
+          print_endline
+            (Jsonc.to_string (Service.Protocol.row_of_result ~model:(model_key model) r)))
+        (find_specs model spec_name)
+    else
+      match Service.Client.connect ~state_dir:state () with
+      | Error e ->
+        prerr_endline ("holistic submit: " ^ e);
+        exit 5
+      | Ok c -> (
+        match
+          Service.Client.submit c ~model:(model_key model) ?spec:spec_name ~max_schemas ()
+        with
+        | Error e ->
+          prerr_endline ("holistic submit: " ^ e);
+          Service.Client.close c;
+          exit 4
+        | Ok ids ->
+          (if wait then
+             match Service.Client.wait_jobs c ids with
+             | Error e ->
+               prerr_endline ("holistic submit: " ^ e);
+               Service.Client.close c;
+               exit 5
+             | Ok rows ->
+               List.iter (fun (_, row) -> print_endline (Jsonc.to_string row)) rows
+           else List.iter (fun id -> Printf.printf "%d\n" id) ids);
+          Service.Client.close c)
+  in
+  Cmd.v
+    (Cmd.info "submit"
+       ~doc:"Submit a verification job (one per property) to a running daemon and \
+             print the job ids — or, with --wait, the result rows.  With --local, \
+             run the sequential checker in-process instead and print byte-identical \
+             rows for the same jobs.")
+    Term.(const run $ model_arg $ spec_arg $ state_arg $ max_schemas $ wait $ local)
+
+let daemon_cmd =
+  let action =
+    Arg.(required & pos 0 (some (enum [ ("status", `Status); ("shutdown", `Shutdown);
+                                        ("cancel", `Cancel); ("ping", `Ping) ])) None
+         & info [] ~docv:"ACTION" ~doc:"status, shutdown, cancel or ping.")
+  in
+  let id =
+    Arg.(value & pos 1 (some int) None & info [] ~docv:"ID" ~doc:"Job id (cancel).")
+  in
+  let run action id state =
+    match Service.Client.connect ~retries:3 ~state_dir:state () with
+    | Error e ->
+      prerr_endline ("holistic daemon: " ^ e);
+      exit 5
+    | Ok c ->
+      let module J = Jsonc in
+      let finish r =
+        Service.Client.close c;
+        match r with
+        | Ok j ->
+          print_endline (J.to_string j)
+        | Error e ->
+          prerr_endline ("holistic daemon: " ^ e);
+          exit 4
+      in
+      (match action with
+      | `Ping -> finish (Service.Client.request c (J.Obj [ ("t", J.Str "ping") ]))
+      | `Status -> finish (Service.Client.request c (J.Obj [ ("t", J.Str "status") ]))
+      | `Shutdown ->
+        finish
+          (Result.map (fun () -> J.Obj [ ("ok", J.Bool true) ]) (Service.Client.shutdown c))
+      | `Cancel -> (
+        match id with
+        | None ->
+          prerr_endline "holistic daemon: cancel needs a job id";
+          exit 4
+        | Some id ->
+          finish
+            (Service.Client.request c (J.Obj [ ("t", J.Str "cancel"); ("id", J.Int id) ]))))
+  in
+  Cmd.v
+    (Cmd.info "daemon"
+       ~doc:"Control a running verification daemon: status (jobs, workers and their \
+             pids as JSON), cancel ID, shutdown (graceful drain), ping.")
+    Term.(const run $ action $ id $ state_arg)
 
 (* --- lint ----------------------------------------------------------- *)
 
@@ -813,4 +1083,5 @@ let () =
   let doc = "Holistic verification of the Red Belly blockchain consensus (reproduction)" in
   exit (Cmd.eval (Cmd.group (Cmd.info "holistic" ~doc)
                     [ info_cmd; lint_cmd; verify_cmd; check_cert_cmd; explicit_cmd;
-                      dot_cmd; simulate_cmd; fuzz_cmd; lemma7_cmd; table2_cmd ]))
+                      dot_cmd; simulate_cmd; fuzz_cmd; lemma7_cmd; table2_cmd;
+                      serve_cmd; submit_cmd; daemon_cmd ]))

@@ -97,7 +97,21 @@ let () =
           Format.printf "  %-26s refuted by a %d-step witness to %s@." m.Z.mutant_key
             (List.length w.Holistic.Witness.steps)
             spec.S.name
-        | _ -> fail "%s: checker did not produce a counterexample" m.Z.mutant_key))
+        | _ -> fail "%s: checker did not produce a counterexample" m.Z.mutant_key)
+      | Z.Fuzz { spec; n; t; f; value; sched_seed } -> (
+        (* Checker blind on the mutant, simulation not: the divergence
+           pair that motivates holistic (multi-layer) verification. *)
+        let r = Holistic.Checker.verify m.Z.mutant_automaton spec in
+        match (r.Holistic.Checker.outcome, Fuzz.Crossval.realize ~n ~t ~f ~value ~sched_seed) with
+        | Holistic.Checker.Holds, Some trace ->
+          Format.printf
+            "  %-26s checker-invisible (%s holds) but fuzz violates it in %d events@."
+            m.Z.mutant_key spec.S.name
+            (List.length trace.Fuzz.Trace.events)
+        | Holistic.Checker.Holds, None ->
+          fail "%s: fuzz oracle found no violation at n=%d t=%d f=%d" m.Z.mutant_key n
+            t f
+        | _, _ -> fail "%s: checker unexpectedly rejected the mutant" m.Z.mutant_key))
     Z.all_mutants;
 
   if !failures > 0 then begin

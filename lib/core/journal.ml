@@ -195,13 +195,42 @@ let of_json json =
    contents or a stray .tmp, never a torn file.  Shared with the
    persistent discharge cache ({!Cachefile}), which has the same
    crash-safety contract as the checkpoint journal. *)
+(* Test-only crash injection: called with the stage name ("written",
+   "synced", "renamed") as the write progresses, so a test can kill the
+   process between any two stages and assert the previous contents
+   survived intact. *)
+let atomic_write_failpoint : (string -> unit) option ref = ref None
+
+let fp stage = match !atomic_write_failpoint with Some f -> f stage | None -> ()
+
 let atomic_write ~path contents =
   let tmp = path ^ ".tmp" in
-  let oc = open_out tmp in
+  (* Durability, not just atomicity: fsync the temp file before the
+     rename (a rename can be durable before the data it points at) and
+     fsync the containing directory after it (the directory entry is
+     what makes the new file name itself survive a power cut). *)
+  let fd = Unix.openfile tmp [ Unix.O_WRONLY; Unix.O_CREAT; Unix.O_TRUNC ] 0o644 in
   Fun.protect
-    ~finally:(fun () -> close_out_noerr oc)
-    (fun () -> output_string oc contents);
-  Sys.rename tmp path
+    ~finally:(fun () -> try Unix.close fd with Unix.Unix_error _ -> ())
+    (fun () ->
+      let b = Bytes.unsafe_of_string contents in
+      let rec write off =
+        if off < Bytes.length b then
+          write (off + Unix.write fd b off (Bytes.length b - off))
+      in
+      write 0;
+      fp "written";
+      Unix.fsync fd);
+  fp "synced";
+  Sys.rename tmp path;
+  fp "renamed";
+  let dir = Filename.dirname path in
+  match Unix.openfile dir [ Unix.O_RDONLY ] 0 with
+  | exception Unix.Unix_error _ -> ()  (* e.g. a platform without O_RDONLY dirs *)
+  | dfd ->
+    Fun.protect
+      ~finally:(fun () -> try Unix.close dfd with Unix.Unix_error _ -> ())
+      (fun () -> try Unix.fsync dfd with Unix.Unix_error _ -> ())
 
 let save ~path j = atomic_write ~path (J.to_string (to_json j) ^ "\n")
 

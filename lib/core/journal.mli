@@ -82,11 +82,21 @@ val apply : t -> span:int -> delta -> t
 val to_json : t -> Jsonc.t
 val of_json : Jsonc.t -> t
 
-(** [atomic_write ~path contents] writes [contents] atomically (sibling
-    temp file + rename): a crash mid-write leaves the previous contents
-    intact, never a torn file.  The checkpoint journal and the
-    persistent discharge cache ({!Cachefile}) share this machinery. *)
+(** [atomic_write ~path contents] writes [contents] atomically and
+    durably: the sibling temp file is written and fsynced {e before}
+    the rename, and the containing directory is fsynced after it, so a
+    crash — or a power cut — at any point leaves either the previous
+    contents or the new ones, never a torn or vanished file.  The
+    checkpoint journal and the persistent discharge cache
+    ({!Cachefile}) share this machinery. *)
 val atomic_write : path:string -> string -> unit
+
+(** Test-only crash injection for {!atomic_write}: when set, called
+    with a stage name ("written" — data written, not yet synced;
+    "synced" — temp file fsynced; "renamed" — rename done, directory
+    not yet synced) so a crash can be simulated between any two stages.
+    Never set outside tests. *)
+val atomic_write_failpoint : (string -> unit) option ref
 
 (** [save ~path j] writes [j] atomically via {!atomic_write}. *)
 val save : path:string -> t -> unit

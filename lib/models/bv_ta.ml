@@ -94,3 +94,55 @@ let term =
 let table2_specs = [ just "0"; obl "0"; unif "0"; term ]
 
 let all_specs = [ just "0"; just "1"; obl "0"; obl "1"; unif "0"; unif "1"; term ]
+
+(* BV-Just0 by name, for consumers that pin one spec (Zoo, Crossval). *)
+let just0_spec = just "0"
+
+(* --- fuzz-divergence mutants --------------------------------------- *)
+
+(* Seeded modelling bugs the checker cannot catch: the shared counters
+   b0/b1 count messages from correct processes, so a sound model
+   discounts the up-to-f forged ones a threshold may absorb (t+1-f,
+   2t+1-f).  These mutants drop that discount on some or all guards
+   while the environment lets f <= 2t processes actually misbehave.
+   BV-Just0 then holds VACUOUSLY on the automaton: with no initial V0,
+   b0 can only be bumped through guards demanding b0 >= t+1 > 0, so
+   the checker proves every delivery of 0 unreachable — inside a model
+   that silently dropped the adversary.  The simulated network has the
+   adversary: f = t+1 flooders push the unproposed value past the real
+   t+1 / 2t+1 implementation thresholds and violate bv-justification.
+   Only the fuzz layer rejects these mutants (Zoo rejection [Fuzz]). *)
+let make_slack_mutant ~name ~echo ~delivery =
+  A.make ~name ~params:Params.names ~shared:[ "b0"; "b1" ] ~locations
+    ~initial:[ "V0"; "V1" ] ~resilience:Params.weak_resilience
+    ~population:Params.population
+    ~rules:
+      [
+        rule "r1" ~source:"V0" ~target:"B0" ~update:[ ("b0", 1) ];
+        rule "r2" ~source:"V1" ~target:"B1" ~update:[ ("b1", 1) ];
+        rule "r3" ~source:"B0" ~target:"C0" ~guard:(G.ge1 "b0" delivery);
+        rule "r4" ~source:"B0" ~target:"B01" ~guard:(G.ge1 "b1" echo)
+          ~update:[ ("b1", 1) ];
+        rule "r5" ~source:"B1" ~target:"B01" ~guard:(G.ge1 "b0" echo)
+          ~update:[ ("b0", 1) ];
+        rule "r6" ~source:"B1" ~target:"C1" ~guard:(G.ge1 "b1" delivery);
+        rule "r7" ~source:"C0" ~target:"CB0" ~guard:(G.ge1 "b1" echo)
+          ~update:[ ("b1", 1) ];
+        rule "r8" ~source:"B01" ~target:"CB0" ~guard:(G.ge1 "b0" delivery);
+        rule "r9" ~source:"CB0" ~target:"C01" ~guard:(G.ge1 "b1" delivery);
+        rule "r10" ~source:"C1" ~target:"CB1" ~guard:(G.ge1 "b0" echo)
+          ~update:[ ("b0", 1) ];
+        rule "r11" ~source:"B01" ~target:"CB1" ~guard:(G.ge1 "b1" delivery);
+        rule "r12" ~source:"CB1" ~target:"C01" ~guard:(G.ge1 "b0" delivery);
+      ]
+    ~self_loops:7 ()
+
+(* Every threshold unforged: guards t+1 / 2t+1 with no -f slack. *)
+let mutant_missing_slack =
+  make_slack_mutant ~name:"bv_missing_slack" ~echo:Params.t1 ~delivery:Params.t2
+
+(* Only the echo-relay thresholds unforged; delivery keeps the sound
+   2t+1-f.  Still checker-invisible: the unforgeable t+1 echo guard is
+   the one that keeps b0 pinned at 0. *)
+let mutant_unforged_echo =
+  make_slack_mutant ~name:"bv_unforged_echo" ~echo:Params.t1 ~delivery:Params.t2f

@@ -21,11 +21,25 @@ let ntf = Pexpr.of_terms [ ("n", 1); ("t", -1); ("f", -1) ] 0
 (* t + 1 (threshold on messages from correct processes only) *)
 let t1 = Pexpr.of_terms [ ("t", 1) ] 1
 
+(* 2t + 1 without the -f discount: a threshold a modeler writes when
+   forgetting that f of the counted messages may be forged. *)
+let t2 = Pexpr.of_terms [ ("t", 2) ] 1
+
 (* Resilience condition n > 3t /\ t >= f >= 0, as e >= 0 constraints. *)
 let resilience =
   [
     Pexpr.of_terms [ ("n", 1); ("t", -3) ] (-1);
     Pexpr.of_terms [ ("t", 1); ("f", -1) ] 0;
+    Pexpr.of_terms [ ("f", 1) ] 0;
+  ]
+
+(* Over-optimistic environment n > 3t /\ 0 <= f <= 2t: up to twice as
+   many processes may actually misbehave as the correct code assumes.
+   Used by the fuzz-divergence mutants (see Bv_ta). *)
+let weak_resilience =
+  [
+    Pexpr.of_terms [ ("n", 1); ("t", -3) ] (-1);
+    Pexpr.of_terms [ ("t", 2); ("f", -1) ] 0;
     Pexpr.of_terms [ ("f", 1) ] 0;
   ]
 

@@ -20,9 +20,17 @@ type verdict = Holds | Violated
 let verdict_to_string = function Holds -> "holds" | Violated -> "violated"
 
 (* How a seeded mutant must be rejected by the pipeline: a lint
-   diagnostic of the given code at Error severity, or a counterexample
-   witness refuting the given spec. *)
-type rejection = Lint of string | Checker of S.t
+   diagnostic of the given code at Error severity, a counterexample
+   witness refuting the given spec, or — when lint and checker are both
+   blind because the automaton itself dropped the adversary — a
+   fuzz-oracle counterexample: the checker proves [spec] Holds on the
+   mutant while the simulated network at the given concrete parameters
+   exhibits a real violating run (the holistic divergence the paper's
+   multi-layer methodology exists to catch). *)
+type rejection =
+  | Lint of string
+  | Checker of S.t
+  | Fuzz of { spec : S.t; n : int; t : int; f : int; value : int; sched_seed : int }
 
 type mutant = {
   mutant_key : string;
@@ -142,7 +150,45 @@ let entries =
       specs = [ (Dbft_rta.inv2_0, Holds); (Dbft_rta.good_0, Holds) ];
       justice_assumption = Params.resilience;
       fuzzable = true;
-      mutants = [];
+      (* The fuzz-divergence mutants ride on the fuzzable entry: their
+         automata model the bv-broadcast substrate the simulated DBFT
+         network executes, and only a consumer with fuzz access can
+         reject them (checker Holds, simulation violates). *)
+      mutants =
+        [
+          {
+            mutant_key = "bv-missing-slack";
+            mutant_desc =
+              "every guard forgets the -f forgery discount under f <= 2t faults";
+            mutant_automaton = Bv_ta.mutant_missing_slack;
+            rejection =
+              Fuzz
+                {
+                  spec = Bv_ta.just0_spec;
+                  n = 4;
+                  t = 1;
+                  f = 2;
+                  value = 0;
+                  sched_seed = 1;
+                };
+          };
+          {
+            mutant_key = "bv-unforged-echo";
+            mutant_desc =
+              "echo-relay thresholds forget the -f forgery discount under f <= 2t faults";
+            mutant_automaton = Bv_ta.mutant_unforged_echo;
+            rejection =
+              Fuzz
+                {
+                  spec = Bv_ta.just0_spec;
+                  n = 4;
+                  t = 1;
+                  f = 2;
+                  value = 0;
+                  sched_seed = 1;
+                };
+          };
+        ];
     };
   ]
 

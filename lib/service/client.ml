@@ -1,0 +1,108 @@
+module J = Jsonc
+
+type t = {
+  fd : Unix.file_descr;
+  reader : Lineio.reader;
+  mutable pending : J.t list;  (* received but not yet consumed, FIFO *)
+}
+
+let connect ?(retries = 50) ?(delay = 0.1) ~state_dir () =
+  let path = Coordinator.socket_path state_dir in
+  let rec go n =
+    let fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+    match Unix.connect fd (Unix.ADDR_UNIX path) with
+    | () -> Ok { fd; reader = Lineio.reader fd; pending = [] }
+    | exception Unix.Unix_error ((ECONNREFUSED | ENOENT | EAGAIN), _, _) ->
+      (try Unix.close fd with Unix.Unix_error _ -> ());
+      if n <= 0 then
+        Error (Printf.sprintf "no daemon listening at %s" path)
+      else begin
+        Unix.sleepf delay;
+        go (n - 1)
+      end
+    | exception Unix.Unix_error (e, _, _) ->
+      (try Unix.close fd with Unix.Unix_error _ -> ());
+      Error (Printf.sprintf "cannot connect to %s: %s" path (Unix.error_message e))
+  in
+  go retries
+
+let close t = try Unix.close t.fd with Unix.Unix_error _ -> ()
+
+(* Blocking read of the next line (the fd is blocking, so [poll] only
+   returns empty on EINTR). *)
+let rec next_msg t =
+  match t.pending with
+  | m :: rest ->
+    t.pending <- rest;
+    Ok m
+  | [] -> (
+    match Lineio.poll t.reader with
+    | `Eof -> Error "daemon closed the connection"
+    | `Lines lines -> (
+      match
+        List.filter_map
+          (fun l -> match J.of_string l with m -> Some m | exception J.Parse_error _ -> None)
+          lines
+      with
+      | [] -> next_msg t
+      | ms ->
+        t.pending <- ms;
+        next_msg t))
+
+let request t msg =
+  match Lineio.send t.fd msg with
+  | () -> next_msg t
+  | exception Unix.Unix_error (e, _, _) ->
+    Error (Printf.sprintf "send failed: %s" (Unix.error_message e))
+
+let check_ok = function
+  | Error _ as e -> e
+  | Ok reply -> (
+    match J.member_opt "ok" reply with
+    | Some (J.Bool true) -> Ok reply
+    | _ -> (
+      match J.member_opt "error" reply with
+      | Some (J.Str e) -> Error e
+      | _ -> Error ("daemon error: " ^ J.to_string reply)))
+
+let submit t ~model ?spec ?max_schemas () =
+  let msg =
+    J.Obj
+      ([ ("t", J.Str "submit"); ("model", J.Str model) ]
+      @ (match spec with Some s -> [ ("spec", J.Str s) ] | None -> [])
+      @
+      match max_schemas with
+      | Some n -> [ ("max_schemas", J.Int n) ]
+      | None -> [])
+  in
+  match check_ok (request t msg) with
+  | Error _ as e -> e
+  | Ok reply -> Ok (List.map J.to_int (J.to_list (J.member "ids" reply)))
+
+let wait_jobs t ids =
+  let send_all () =
+    List.iter
+      (fun id -> Lineio.send t.fd (J.Obj [ ("t", J.Str "wait"); ("id", J.Int id) ]))
+      ids
+  in
+  match send_all () with
+  | exception Unix.Unix_error (e, _, _) ->
+    Error (Printf.sprintf "send failed: %s" (Unix.error_message e))
+  | () ->
+    let rec collect acc n =
+      if n = 0 then Ok (List.rev acc)
+      else
+        match next_msg t with
+        | Error _ as e -> e
+        | Ok m -> (
+          match J.member_opt "t" m with
+          | Some (J.Str "job") ->
+            collect ((J.to_int (J.member "id" m), J.member "row" m) :: acc) (n - 1)
+          | _ -> collect acc n (* unrelated reply; skip *))
+    in
+    collect [] (List.length ids)
+
+let shutdown t =
+  match check_ok (request t (J.Obj [ ("t", J.Str "shutdown") ])) with
+  | Error _ as e -> e
+  | Ok _ -> Ok ()

@@ -1,0 +1,33 @@
+(** Blocking client for the verification daemon's Unix-domain socket.
+
+    One connection may pipeline requests: [submit]/[status]/[cancel]/
+    [shutdown]/[ping] are answered in order, while [wait] replies are
+    deferred until the job finishes and arrive tagged with the job id
+    ([t = "job"]), in completion order — {!wait_jobs} collects them. *)
+
+type t
+
+val connect :
+  ?retries:int -> ?delay:float -> state_dir:string -> unit -> (t, string) result
+(** Retries while the daemon is still binding its socket ([retries] x
+    [delay] seconds, default 50 x 0.1). *)
+
+val close : t -> unit
+
+val request : t -> Jsonc.t -> (Jsonc.t, string) result
+(** Send one request, read its (immediate) reply. *)
+
+val submit :
+  t ->
+  model:string ->
+  ?spec:string ->
+  ?max_schemas:int ->
+  unit ->
+  (int list, string) result
+(** Job ids, one per property. *)
+
+val wait_jobs : t -> int list -> ((int * Jsonc.t) list, string) result
+(** Send [wait] for every id, then collect the deferred replies; returns
+    [(id, row)] in completion order. *)
+
+val shutdown : t -> (unit, string) result

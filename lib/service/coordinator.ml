@@ -1,0 +1,957 @@
+module J = Jsonc
+
+type config = {
+  state_dir : string;
+  nworkers : int;
+  slice_size : int;
+  retry_budget : int;
+  hb_timeout : float;
+  default_cap : int;
+  worker : Worker.config;
+}
+
+let socket_path dir = Filename.concat dir "daemon.sock"
+let manifest_path dir = Filename.concat dir "jobs.json"
+let job_ckpt dir id = Filename.concat dir (Printf.sprintf "job-%d.ckpt.json" id)
+
+let slice_ckpt dir id start =
+  Filename.concat dir (Printf.sprintf "job-%d.slice-%d.ckpt.json" id start)
+
+(* ------------------------------------------------------------------- *)
+(* Job state. *)
+
+type decided = {
+  d_pos : int;
+  d_okind : string;  (* "violated" | "aborted" *)
+  d_witness : string option;
+  d_reason : string option;
+  d_schemas : int;
+}
+
+type slice_state = Queued of float (* not before *) | Running of int | Sdone
+
+type slice = {
+  sl_start : int;
+  sl_stop : int;
+  mutable sl_state : slice_state;
+  mutable sl_retries : int;
+  mutable sl_progress : int;  (* durable frontier high-water mark *)
+}
+
+type job = {
+  j_id : int;
+  j_model : string;
+  j_spec : string;
+  j_cap : int;
+  j_tracker : Holistic.Journal.Tracker.tracker option;  (* None: broken model *)
+  mutable j_slices : slice list;  (* ascending by start *)
+  mutable j_issued : int;  (* next position not yet cut into a slice *)
+  mutable j_end : int option;  (* min over completed slices' end hints *)
+  mutable j_decided : decided option;  (* earliest deciding position *)
+  mutable j_holes : (int * string) list;  (* ascending *)
+  mutable j_covered : (int * int) list;  (* merged, ascending intervals *)
+  mutable j_outcome : Protocol.outcome option;
+  mutable j_schemas : int;
+  mutable j_waiters : Unix.file_descr list;
+}
+
+(* Merged-interval bookkeeping: which absolute positions are accounted
+   for (noted spans plus quarantined holes).  The frontier the verdict
+   rules use is the covered prefix starting at 0. *)
+let add_interval ivs a b =
+  if b <= a then ivs
+  else
+    let rec go = function
+      | [] -> [ (a, b) ]
+      | (x, y) :: rest when b < x -> (a, b) :: (x, y) :: rest
+      | (x, y) :: rest when y < a -> (x, y) :: go rest
+      | (x, y) :: rest ->
+        (* overlap/adjacency: absorb and keep merging *)
+        let rec absorb a b = function
+          | (x, y) :: rest when x <= b -> absorb a (max b y) rest
+          | rest -> (a, b) :: rest
+        in
+        absorb (min a x) (max b y) rest
+    in
+    go ivs
+
+let covered_prefix job =
+  match job.j_covered with (0, e) :: _ -> e | _ -> 0
+
+let delta_of_journal (j : Holistic.Journal.t) : Holistic.Journal.delta =
+  {
+    d_checked = j.checked;
+    d_skipped = j.skipped;
+    d_pruned = j.pruned;
+    d_core_pruned = j.core_pruned;
+    d_static = j.static;
+    d_hits = j.hits;
+    d_slots = j.slots;
+    d_steps = j.steps;
+    d_encode_us = j.encode_us;
+    d_solve_us = j.solve_us;
+    d_cache_hits = j.cache_hits;
+    d_cache_misses = j.cache_misses;
+    d_cache_cross = j.cache_cross;
+    d_wins_interval = j.wins_interval;
+    d_wins_cooper = j.wins_cooper;
+    d_wins_simplex = j.wins_simplex;
+  }
+
+(* ------------------------------------------------------------------- *)
+(* Worker slots. *)
+
+type wslot = {
+  w_idx : int;
+  mutable w_pid : int;
+  mutable w_fd : Unix.file_descr;
+  mutable w_reader : Lineio.reader;
+  mutable w_task : (int * int * int) option;  (* job id, start, stop *)
+  mutable w_pos : int;
+  mutable w_advance : float;  (* last time w_pos changed *)
+  mutable w_alive : bool;
+}
+
+type client = {
+  c_fd : Unix.file_descr;
+  c_reader : Lineio.reader;
+  mutable c_open : bool;
+}
+
+type state = {
+  cfg : config;
+  listen_fd : Unix.file_descr;
+  workers : wslot option array;
+  mutable clients : client list;
+  jobs : (int, job) Hashtbl.t;
+  mutable order : int list;  (* job ids, submission order *)
+  mutable next_id : int;
+  mutable rr : int;  (* round-robin cursor over jobs for assignment *)
+  mutable draining : bool;
+  t0 : float;
+}
+
+let terminate = ref false
+
+(* ------------------------------------------------------------------- *)
+(* Manifest: terminal results survive restarts; unfinished jobs are
+   re-created and resumed from their job checkpoint journal. *)
+
+let manifest_json st =
+  let jobs =
+    List.rev_map
+      (fun id ->
+        let j = Hashtbl.find st.jobs id in
+        J.Obj
+          [
+            ("id", J.Int j.j_id);
+            ("model", J.Str j.j_model);
+            ("spec", J.Str j.j_spec);
+            ("cap", J.Int j.j_cap);
+            ( "outcome",
+              match j.j_outcome with
+              | None -> J.Null
+              | Some o -> Protocol.outcome_to_json o );
+            ("schemas", J.Int j.j_schemas);
+          ])
+      st.order
+  in
+  J.Obj
+    [ ("version", J.Int 1); ("next_id", J.Int st.next_id); ("jobs", J.List jobs) ]
+
+let save_manifest st =
+  Holistic.Journal.atomic_write ~path:(manifest_path st.cfg.state_dir)
+    (J.to_string (manifest_json st))
+
+(* ------------------------------------------------------------------- *)
+(* Job lifecycle. *)
+
+let make_tracker st ~id ~fingerprint ~resume =
+  let path = job_ckpt st.cfg.state_dir id in
+  let base =
+    if resume && Sys.file_exists path then
+      match Holistic.Journal.load ~path with
+      | Ok j when j.Holistic.Journal.fingerprint = fingerprint ->
+        (* Quarantined holes are re-attempted on restart, exactly like
+           the in-process resume path. *)
+        { j with Holistic.Journal.quarantined = [] }
+      | _ -> Holistic.Journal.fresh ~fingerprint
+    else Holistic.Journal.fresh ~fingerprint
+  in
+  let elapsed_us () =
+    base.Holistic.Journal.elapsed_us
+    + Holistic.Journal.us_of_s (Unix.gettimeofday () -. st.t0)
+  in
+  let tr =
+    Holistic.Journal.Tracker.create ~base ~path ~every:1 ~elapsed_us ()
+  in
+  (tr, base.Holistic.Journal.frontier)
+
+let create_job st ~id ~model ~spec_name ~cap ~resume =
+  match Registry.find_specs model (Some spec_name) with
+  | Error e ->
+    {
+      j_id = id;
+      j_model = model;
+      j_spec = spec_name;
+      j_cap = cap;
+      j_tracker = None;
+      j_slices = [];
+      j_issued = 0;
+      j_end = None;
+      j_decided = None;
+      j_holes = [];
+      j_covered = [];
+      j_outcome = Some (Protocol.Failed e);
+      j_schemas = 0;
+      j_waiters = [];
+    }
+  | Ok (ta, specs) ->
+    let spec = List.hd specs in
+    let fingerprint = Holistic.Journal.fingerprint ta spec in
+    let tracker, frontier = make_tracker st ~id ~fingerprint ~resume in
+    {
+      j_id = id;
+      j_model = model;
+      j_spec = spec_name;
+      j_cap = cap;
+      j_tracker = Some tracker;
+      j_slices = [];
+      j_issued = frontier;
+      j_end = None;
+      j_decided = None;
+      j_holes = [];
+      j_covered = add_interval [] 0 frontier;
+      j_outcome = None;
+      j_schemas = 0;
+      j_waiters = [];
+    }
+
+let job_row j =
+  let outcome = Option.value j.j_outcome ~default:(Protocol.Failed "incomplete") in
+  Protocol.row ~model:j.j_model ~spec:j.j_spec ~outcome ~schemas:j.j_schemas
+
+let notify_waiters j =
+  let reply =
+    J.Obj
+      [
+        ("t", J.Str "job");
+        ("ok", J.Bool true);
+        ("id", J.Int j.j_id);
+        ("row", job_row j);
+      ]
+  in
+  List.iter
+    (fun fd -> try Lineio.send fd reply with Unix.Unix_error _ -> ())
+    (List.rev j.j_waiters);
+  j.j_waiters <- []
+
+let cleanup_slices st j =
+  List.iter
+    (fun sl ->
+      (match sl.sl_state with Queued _ -> sl.sl_state <- Sdone | _ -> ());
+      let p = slice_ckpt st.cfg.state_dir j.j_id sl.sl_start in
+      if Sys.file_exists p then try Sys.remove p with Sys_error _ -> ())
+    j.j_slices
+
+let finish st j outcome schemas =
+  if j.j_outcome = None then begin
+    j.j_outcome <- Some outcome;
+    j.j_schemas <- schemas;
+    Option.iter Holistic.Journal.Tracker.flush j.j_tracker;
+    cleanup_slices st j;
+    notify_waiters j;
+    save_manifest st
+  end
+
+let budget_reason cap = Printf.sprintf "schema budget exceeded (> %d schemas)" cap
+
+(* Verdict composition, mirroring the in-process [Checker.partialize]
+   fail-soft rule: a decision preceding every hole decides normally;
+   otherwise the holes may hide the true first deciding schema and the
+   job degrades to [Partial]. *)
+let try_finalize st j =
+  if j.j_outcome = None then begin
+    let cp = covered_prefix j in
+    let holes = j.j_holes in
+    let q0 = match holes with (p, _) :: _ -> Some p | [] -> None in
+    let checked_below p =
+      p - List.length (List.filter (fun (h, _) -> h < p) holes)
+    in
+    match j.j_decided with
+    | Some d when cp >= d.d_pos ->
+      let normal =
+        match d.d_okind with
+        | "violated" -> Protocol.Violated (Option.value d.d_witness ~default:"")
+        | _ -> Protocol.Aborted (Option.value d.d_reason ~default:"aborted")
+      in
+      (match q0 with
+      | Some h when d.d_pos >= h ->
+        let reason =
+          match d.d_okind with
+          | "violated" ->
+            Printf.sprintf
+              "violation witness found at position %d, after quarantined position \
+               %d (an earlier violation is possible)"
+              d.d_pos h
+          | _ -> Option.value d.d_reason ~default:"aborted"
+        in
+        finish st j (Protocol.Partial (holes, reason)) (checked_below d.d_pos)
+      | _ -> finish st j normal d.d_schemas)
+    | _ -> (
+      match j.j_end with
+      | Some e when cp >= e -> (
+        match holes with
+        | [] -> finish st j Protocol.Holds e
+        | _ ->
+          finish st j
+            (Protocol.Partial (holes, "every non-quarantined schema is unsatisfiable"))
+            (checked_below e))
+      | _ ->
+        if j.j_end = None && cp >= j.j_cap then
+          match holes with
+          | [] -> finish st j (Protocol.Aborted (budget_reason j.j_cap)) j.j_cap
+          | _ ->
+            finish st j
+              (Protocol.Partial (holes, budget_reason j.j_cap))
+              (checked_below j.j_cap))
+  end
+
+(* ------------------------------------------------------------------- *)
+(* Slice issuance and result folding. *)
+
+let outstanding j =
+  List.length
+    (List.filter (fun sl -> sl.sl_state <> Sdone) j.j_slices)
+
+let effective_cap j =
+  let c = j.j_cap in
+  let c = match j.j_end with Some e -> min c e | None -> c in
+  match j.j_decided with Some d -> min c (d.d_pos + 1) | None -> c
+
+let ensure_issued st j =
+  if j.j_outcome = None then begin
+    let window = st.cfg.nworkers + 2 in
+    let cap = effective_cap j in
+    while outstanding j < window && j.j_issued < cap do
+      let stop = min (j.j_issued + st.cfg.slice_size) cap in
+      j.j_slices <-
+        j.j_slices
+        @ [
+            {
+              sl_start = j.j_issued;
+              sl_stop = stop;
+              sl_state = Queued 0.0;
+              sl_retries = 0;
+              sl_progress = j.j_issued;
+            };
+          ];
+      j.j_issued <- stop
+    done
+  end
+
+let note_span j ~start ~frontier delta =
+  if frontier > start then begin
+    Option.iter
+      (fun tr -> Holistic.Journal.Tracker.note tr ~start ~span:(frontier - start) delta)
+      j.j_tracker;
+    j.j_covered <- add_interval j.j_covered start frontier
+  end
+
+let quarantine_hole st j pos msg =
+  if not (List.mem_assoc pos j.j_holes) then begin
+    j.j_holes <- List.sort compare ((pos, msg) :: j.j_holes);
+    Option.iter (fun tr -> Holistic.Journal.Tracker.quarantine tr pos msg) j.j_tracker;
+    j.j_covered <- add_interval j.j_covered pos (pos + 1)
+  end;
+  ignore st
+
+let record_decided j (d : decided) =
+  match j.j_decided with
+  | Some prev when prev.d_pos <= d.d_pos -> ()
+  | _ -> j.j_decided <- Some d
+
+let find_slice j start stop =
+  List.find_opt (fun sl -> sl.sl_start = start && sl.sl_stop = stop) j.j_slices
+
+let handle_done st msg =
+  let id = J.to_int (J.member "job" msg) in
+  let start = J.to_int (J.member "start" msg) in
+  let stop = J.to_int (J.member "stop" msg) in
+  match Hashtbl.find_opt st.jobs id with
+  | None -> ()
+  | Some j -> (
+    match find_slice j start stop with
+    | None -> ()
+    | Some sl ->
+      sl.sl_state <- Sdone;
+      (let p = slice_ckpt st.cfg.state_dir id start in
+       if Sys.file_exists p then try Sys.remove p with Sys_error _ -> ());
+      if j.j_outcome = None then begin
+        let journal () =
+          Holistic.Journal.of_json (J.member "journal" msg)
+        in
+        (match J.to_str (J.member "status" msg) with
+        | "more" ->
+          let sj = journal () in
+          let frontier = J.to_int (J.member "frontier" msg) in
+          note_span j ~start ~frontier (delta_of_journal sj)
+        | "complete" ->
+          let sj = journal () in
+          let frontier = J.to_int (J.member "frontier" msg) in
+          note_span j ~start ~frontier (delta_of_journal sj);
+          j.j_end <-
+            Some
+              (match j.j_end with
+              | Some e -> min e frontier
+              | None -> frontier)
+        | "decided" ->
+          let sj = journal () in
+          let frontier = J.to_int (J.member "frontier" msg) in
+          note_span j ~start ~frontier (delta_of_journal sj);
+          record_decided j
+            {
+              d_pos = J.to_int (J.member "pos" msg);
+              d_okind = J.to_str (J.member "okind" msg);
+              d_witness = Option.map J.to_str (J.member_opt "witness" msg);
+              d_reason = Option.map J.to_str (J.member_opt "reason" msg);
+              d_schemas = J.to_int (J.member "schemas" msg);
+            }
+        | "partial" ->
+          (* The checker quarantined positions in-process (a raising
+             discharge crashed twice); adopt its holes verbatim. *)
+          let sj = journal () in
+          let frontier = J.to_int (J.member "frontier" msg) in
+          List.iter
+            (fun (pos, m) -> quarantine_hole st j pos m)
+            sj.Holistic.Journal.quarantined;
+          note_span j ~start ~frontier (delta_of_journal sj);
+          (* Positions past the first hole up to [stop] were walked by
+             the slice's own tracker but never folded; account them so
+             the covered prefix can pass the hole. *)
+          j.j_covered <- add_interval j.j_covered start stop
+        | "error" ->
+          finish st j (Protocol.Failed (J.to_str (J.member "error" msg))) 0
+        | _ -> ());
+        try_finalize st j
+      end)
+
+(* A worker died (or was SIGKILLed) while running [job, start, stop).
+   Durable progress resets the retry budget; an exhausted budget
+   quarantines one hole at the last durable frontier and re-queues the
+   remainder of the slice. *)
+let handle_lost_slice st (id, start, stop) =
+  match Hashtbl.find_opt st.jobs id with
+  | None -> ()
+  | Some j -> (
+    match find_slice j start stop with
+    | None -> ()
+    | Some sl ->
+      if j.j_outcome <> None then sl.sl_state <- Sdone
+      else begin
+        let path = slice_ckpt st.cfg.state_dir id start in
+        let frontier, delta =
+          match Holistic.Journal.load ~path with
+          | Ok sj -> (sj.Holistic.Journal.frontier, delta_of_journal sj)
+          | Error _ -> (start, Holistic.Journal.zero_delta)
+        in
+        if frontier > sl.sl_progress then begin
+          sl.sl_progress <- frontier;
+          sl.sl_retries <- 0
+        end
+        else sl.sl_retries <- sl.sl_retries + 1;
+        if sl.sl_retries > st.cfg.retry_budget then begin
+          let pos = sl.sl_progress in
+          sl.sl_state <- Sdone;
+          note_span j ~start ~frontier:pos delta;
+          quarantine_hole st j pos
+            (Printf.sprintf
+               "worker crashed repeatedly at position %d (retry budget of %d \
+                exhausted)"
+               pos st.cfg.retry_budget);
+          (if Sys.file_exists path then try Sys.remove path with Sys_error _ -> ());
+          if pos + 1 < stop then
+            j.j_slices <-
+              j.j_slices
+              @ [
+                  {
+                    sl_start = pos + 1;
+                    sl_stop = stop;
+                    sl_state = Queued 0.0;
+                    sl_retries = 0;
+                    sl_progress = pos + 1;
+                  };
+                ];
+          try_finalize st j
+        end
+        else
+          (* Churn that makes durable progress is re-queued immediately;
+             only attempts that burned a retry pay exponential backoff. *)
+          let backoff =
+            if sl.sl_retries = 0 then 0.0
+            else 0.25 *. (2.0 ** float_of_int (sl.sl_retries - 1))
+          in
+          sl.sl_state <- Queued (Unix.gettimeofday () +. backoff)
+      end)
+
+(* ------------------------------------------------------------------- *)
+(* Worker supervision. *)
+
+let spawn_worker st idx =
+  flush stdout;
+  flush stderr;
+  let parent_fd, child_fd =
+    Unix.socketpair Unix.PF_UNIX Unix.SOCK_STREAM 0
+  in
+  match Unix.fork () with
+  | 0 ->
+    (* Child: drop every coordinator fd, then become a worker. *)
+    (try Unix.close parent_fd with Unix.Unix_error _ -> ());
+    (try Unix.close st.listen_fd with Unix.Unix_error _ -> ());
+    List.iter
+      (fun c -> try Unix.close c.c_fd with Unix.Unix_error _ -> ())
+      st.clients;
+    Array.iter
+      (function
+        | Some w when w.w_alive -> (
+          try Unix.close w.w_fd with Unix.Unix_error _ -> ())
+        | _ -> ())
+      st.workers;
+    Worker.main st.cfg.worker child_fd
+  | pid ->
+    Unix.close child_fd;
+    Unix.set_nonblock parent_fd;
+    let slot =
+      {
+        w_idx = idx;
+        w_pid = pid;
+        w_fd = parent_fd;
+        w_reader = Lineio.reader parent_fd;
+        w_task = None;
+        w_pos = -1;
+        w_advance = Unix.gettimeofday ();
+        w_alive = true;
+      }
+    in
+    st.workers.(idx) <- Some slot;
+    slot
+
+let reap st =
+  let rec go () =
+    match Unix.waitpid [ Unix.WNOHANG ] (-1) with
+    | 0, _ -> ()
+    | pid, _ ->
+      Array.iter
+        (function
+          | Some w when w.w_alive && w.w_pid = pid ->
+            w.w_alive <- false;
+            (try Unix.close w.w_fd with Unix.Unix_error _ -> ());
+            Option.iter (handle_lost_slice st) w.w_task;
+            w.w_task <- None
+          | _ -> ())
+        st.workers;
+      go ()
+    | exception Unix.Unix_error (Unix.ECHILD, _, _) -> ()
+    | exception Unix.Unix_error (Unix.EINTR, _, _) -> go ()
+  in
+  go ()
+
+let check_stalls st =
+  let now = Unix.gettimeofday () in
+  Array.iter
+    (function
+      | Some w when w.w_alive && w.w_task <> None ->
+        if now -. w.w_advance > st.cfg.hb_timeout then begin
+          (* Hung discharge: SIGKILL; the reaper re-queues the slice. *)
+          try Unix.kill w.w_pid Sys.sigkill with Unix.Unix_error _ -> ()
+        end
+      | _ -> ())
+    st.workers
+
+let respawn st =
+  if not st.draining then
+    Array.iteri
+      (fun i slot ->
+        match slot with
+        | Some w when w.w_alive -> ()
+        | _ -> ignore (spawn_worker st i))
+      st.workers
+
+(* Pull the next runnable slice for an idle worker, round-robin over
+   jobs so one long job doesn't starve the rest of the queue. *)
+let next_slice st =
+  let ids = Array.of_list (List.rev st.order) in
+  let n = Array.length ids in
+  let now = Unix.gettimeofday () in
+  let rec go k =
+    if k >= n then None
+    else
+      let j = Hashtbl.find st.jobs ids.((st.rr + k) mod n) in
+      if j.j_outcome <> None then go (k + 1)
+      else
+        let candidates =
+          List.filter
+            (fun sl -> match sl.sl_state with Queued t -> t <= now | _ -> false)
+            j.j_slices
+        in
+        match
+          List.sort (fun a b -> compare a.sl_start b.sl_start) candidates
+        with
+        | sl :: _ ->
+          st.rr <- (st.rr + k + 1) mod n;
+          Some (j, sl)
+        | [] -> go (k + 1)
+  in
+  if n = 0 then None else go 0
+
+let assign st =
+  Array.iter
+    (function
+      | Some w when w.w_alive && w.w_task = None -> (
+        match next_slice st with
+        | None -> ()
+        | Some (j, sl) ->
+          let ckpt = slice_ckpt st.cfg.state_dir j.j_id sl.sl_start in
+          let msg =
+            J.Obj
+              [
+                ("t", J.Str "slice");
+                ("job", J.Int j.j_id);
+                ("model", J.Str j.j_model);
+                ("spec", J.Str j.j_spec);
+                ("start", J.Int sl.sl_start);
+                ("stop", J.Int sl.sl_stop);
+                ("ckpt", J.Str ckpt);
+              ]
+          in
+          (try
+             Lineio.send w.w_fd msg;
+             sl.sl_state <- Running w.w_idx;
+             w.w_task <- Some (j.j_id, sl.sl_start, sl.sl_stop);
+             w.w_pos <- -1;
+             w.w_advance <- Unix.gettimeofday ()
+           with Unix.Unix_error _ ->
+             (* Worker socket is gone; the reaper will requeue. *)
+             ()))
+      | _ -> ())
+    st.workers
+
+let handle_worker_line st w line =
+  match J.of_string line with
+  | exception J.Parse_error _ -> ()
+  | msg -> (
+    match J.to_str (J.member "t" msg) with
+    | "hb" ->
+      let pos = J.to_int (J.member "pos" msg) in
+      if pos <> w.w_pos then begin
+        w.w_pos <- pos;
+        w.w_advance <- Unix.gettimeofday ()
+      end
+    | "done" ->
+      w.w_task <- None;
+      w.w_pos <- -1;
+      w.w_advance <- Unix.gettimeofday ();
+      handle_done st msg
+    | _ -> ())
+
+(* ------------------------------------------------------------------- *)
+(* Client protocol. *)
+
+let job_status_json st j =
+  let frontier =
+    match j.j_tracker with
+    | Some tr -> (Holistic.Journal.Tracker.snapshot tr).Holistic.Journal.frontier
+    | None -> 0
+  in
+  ignore st;
+  J.Obj
+    [
+      ("id", J.Int j.j_id);
+      ("model", J.Str j.j_model);
+      ("spec", J.Str j.j_spec);
+      ("done", J.Bool (j.j_outcome <> None));
+      ("frontier", J.Int frontier);
+      ("row", if j.j_outcome <> None then job_row j else J.Null);
+    ]
+
+let status_json st =
+  let jobs = List.rev_map (fun id -> job_status_json st (Hashtbl.find st.jobs id)) st.order in
+  let workers =
+    Array.to_list st.workers
+    |> List.filter_map (function
+         | Some w when w.w_alive ->
+           Some
+             (J.Obj
+                [
+                  ("pid", J.Int w.w_pid);
+                  ( "task",
+                    match w.w_task with
+                    | None -> J.Null
+                    | Some (id, start, stop) ->
+                      J.Obj
+                        [
+                          ("job", J.Int id);
+                          ("start", J.Int start);
+                          ("stop", J.Int stop);
+                        ] );
+                ])
+         | _ -> None)
+  in
+  J.Obj
+    [ ("ok", J.Bool true); ("jobs", J.List jobs); ("workers", J.List workers) ]
+
+let submit st msg =
+  let model = J.to_str (J.member "model" msg) in
+  let spec_name = Option.map J.to_str (J.member_opt "spec" msg) in
+  let cap =
+    match J.member_opt "max_schemas" msg with
+    | Some v -> J.to_int v
+    | None -> st.cfg.default_cap
+  in
+  match Registry.find_specs model spec_name with
+  | Error e -> J.Obj [ ("ok", J.Bool false); ("error", J.Str e) ]
+  | Ok (_, specs) ->
+    let ids =
+      List.map
+        (fun (s : Ta.Spec.t) ->
+          let id = st.next_id in
+          st.next_id <- id + 1;
+          let j =
+            create_job st ~id ~model ~spec_name:s.Ta.Spec.name ~cap ~resume:false
+          in
+          Hashtbl.replace st.jobs id j;
+          st.order <- id :: st.order;
+          id)
+        specs
+    in
+    save_manifest st;
+    J.Obj [ ("ok", J.Bool true); ("ids", J.List (List.map (fun i -> J.Int i) ids)) ]
+
+let handle_client_line st c line =
+  match J.of_string line with
+  | exception J.Parse_error e ->
+    (try Lineio.send c.c_fd (J.Obj [ ("ok", J.Bool false); ("error", J.Str e) ])
+     with Unix.Unix_error _ -> ())
+  | msg -> (
+    let reply j = try Lineio.send c.c_fd j with Unix.Unix_error _ -> () in
+    let with_job k =
+      match Hashtbl.find_opt st.jobs (J.to_int (J.member "id" msg)) with
+      | None -> reply (J.Obj [ ("ok", J.Bool false); ("error", J.Str "unknown job id") ])
+      | Some j -> k j
+    in
+    match J.to_str (J.member "t" msg) with
+    | "ping" ->
+      reply
+        (J.Obj
+           [ ("ok", J.Bool true); ("t", J.Str "pong"); ("pid", J.Int (Unix.getpid ())) ])
+    | "submit" -> reply (submit st msg)
+    | "status" -> (
+      match J.member_opt "id" msg with
+      | None -> reply (status_json st)
+      | Some _ ->
+        with_job (fun j ->
+            reply (J.Obj [ ("ok", J.Bool true); ("job", job_status_json st j) ])))
+    | "wait" ->
+      with_job (fun j ->
+          if j.j_outcome <> None then
+            reply
+              (J.Obj
+                 [
+                   ("t", J.Str "job");
+                   ("ok", J.Bool true);
+                   ("id", J.Int j.j_id);
+                   ("row", job_row j);
+                 ])
+          else j.j_waiters <- c.c_fd :: j.j_waiters)
+    | "cancel" ->
+      with_job (fun j ->
+          if j.j_outcome = None then finish st j Protocol.Cancelled 0;
+          reply (J.Obj [ ("ok", J.Bool true) ]))
+    | "shutdown" ->
+      reply (J.Obj [ ("ok", J.Bool true) ]);
+      terminate := true
+    | other ->
+      reply
+        (J.Obj
+           [ ("ok", J.Bool false); ("error", J.Str ("unknown request " ^ other)) ]))
+
+(* ------------------------------------------------------------------- *)
+(* Startup, drain, main loop. *)
+
+let restore st =
+  let path = manifest_path st.cfg.state_dir in
+  if Sys.file_exists path then
+    match
+      (try Ok (J.of_string (In_channel.with_open_bin path In_channel.input_all))
+       with e -> Error (Printexc.to_string e))
+    with
+    | Error _ -> ()
+    | Ok m ->
+      st.next_id <- (try J.to_int (J.member "next_id" m) with J.Parse_error _ -> 0);
+      List.iter
+        (fun jm ->
+          let id = J.to_int (J.member "id" jm) in
+          let model = J.to_str (J.member "model" jm) in
+          let spec_name = J.to_str (J.member "spec" jm) in
+          let cap = J.to_int (J.member "cap" jm) in
+          let j =
+            match J.member "outcome" jm with
+            | J.Null ->
+              (* Unfinished: resume from the job checkpoint's frontier. *)
+              create_job st ~id ~model ~spec_name ~cap ~resume:true
+            | o ->
+              {
+                (create_job st ~id ~model ~spec_name ~cap ~resume:true) with
+                j_outcome = Some (Protocol.outcome_of_json o);
+                j_schemas = J.to_int (J.member "schemas" jm);
+              }
+          in
+          Hashtbl.replace st.jobs id j;
+          st.order <- id :: st.order)
+        (J.to_list (J.member "jobs" m));
+      (* Stale slice journals from the previous incarnation are dead:
+         issuance restarts from each job's frontier. *)
+      let contains_slice f =
+        let n = String.length f in
+        let needle = ".slice-" in
+        let k = String.length needle in
+        let rec go i = i + k <= n && (String.sub f i k = needle || go (i + 1)) in
+        go 0
+      in
+      Array.iter
+        (fun f ->
+          if
+            String.length f > 4
+            && String.sub f 0 4 = "job-"
+            && Filename.check_suffix f ".ckpt.json"
+            && contains_slice f
+          then try Sys.remove (Filename.concat st.cfg.state_dir f) with Sys_error _ -> ())
+        (Sys.readdir st.cfg.state_dir)
+
+let drain st =
+  st.draining <- true;
+  Array.iter
+    (function
+      | Some w when w.w_alive -> (
+        try Unix.kill w.w_pid Sys.sigkill with Unix.Unix_error _ -> ())
+      | _ -> ())
+    st.workers;
+  Array.iter
+    (function
+      | Some w when w.w_alive -> (
+        (try ignore (Unix.waitpid [] w.w_pid) with Unix.Unix_error _ -> ());
+        w.w_alive <- false;
+        try Unix.close w.w_fd with Unix.Unix_error _ -> ())
+      | _ -> ())
+    st.workers;
+  Hashtbl.iter
+    (fun _ j -> Option.iter Holistic.Journal.Tracker.flush j.j_tracker)
+    st.jobs;
+  save_manifest st;
+  List.iter
+    (fun c -> if c.c_open then try Unix.close c.c_fd with Unix.Unix_error _ -> ())
+    st.clients;
+  (try Unix.close st.listen_fd with Unix.Unix_error _ -> ());
+  try Sys.remove (socket_path st.cfg.state_dir) with Sys_error _ -> ()
+
+let rec mkdir_p dir =
+  if not (Sys.file_exists dir) then begin
+    mkdir_p (Filename.dirname dir);
+    try Unix.mkdir dir 0o755 with Unix.Unix_error (Unix.EEXIST, _, _) -> ()
+  end
+
+let serve cfg =
+  terminate := false;
+  mkdir_p cfg.state_dir;
+  let spath = socket_path cfg.state_dir in
+  (try Sys.remove spath with Sys_error _ -> ());
+  let listen_fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+  Unix.bind listen_fd (Unix.ADDR_UNIX spath);
+  Unix.listen listen_fd 64;
+  Unix.set_nonblock listen_fd;
+  Sys.set_signal Sys.sigpipe Sys.Signal_ignore;
+  Sys.set_signal Sys.sigterm (Sys.Signal_handle (fun _ -> terminate := true));
+  Sys.set_signal Sys.sigint (Sys.Signal_handle (fun _ -> terminate := true));
+  let st =
+    {
+      cfg;
+      listen_fd;
+      workers = Array.make (max 1 cfg.nworkers) None;
+      clients = [];
+      jobs = Hashtbl.create 64;
+      order = [];
+      next_id = 0;
+      rr = 0;
+      draining = false;
+      t0 = Unix.gettimeofday ();
+    }
+  in
+  restore st;
+  respawn st;
+  let tick () =
+    reap st;
+    check_stalls st;
+    respawn st;
+    List.iter
+      (fun id ->
+        let j = Hashtbl.find st.jobs id in
+        ensure_issued st j;
+        try_finalize st j)
+      (List.rev st.order);
+    assign st;
+    let worker_fds =
+      Array.to_list st.workers
+      |> List.filter_map (function Some w when w.w_alive -> Some w.w_fd | _ -> None)
+    in
+    let client_fds = List.filter_map (fun c -> if c.c_open then Some c.c_fd else None) st.clients in
+    let readable =
+      match Unix.select ((st.listen_fd :: client_fds) @ worker_fds) [] [] 0.05 with
+      | r, _, _ -> r
+      | exception Unix.Unix_error (Unix.EINTR, _, _) -> []
+      | exception Unix.Unix_error (Unix.EBADF, _, _) -> []
+    in
+    List.iter
+      (fun fd ->
+        if fd = st.listen_fd then begin
+          match Unix.accept st.listen_fd with
+          | cfd, _ ->
+            Unix.set_nonblock cfd;
+            st.clients <-
+              { c_fd = cfd; c_reader = Lineio.reader cfd; c_open = true } :: st.clients
+          | exception Unix.Unix_error ((Unix.EAGAIN | Unix.EWOULDBLOCK), _, _) -> ()
+        end
+        else
+          match
+            Array.to_list st.workers
+            |> List.find_opt (function
+                 | Some w -> w.w_alive && w.w_fd = fd
+                 | None -> false)
+          with
+          | Some (Some w) -> (
+            match Lineio.poll w.w_reader with
+            | `Eof -> ()  (* the reaper handles death *)
+            | `Lines lines -> List.iter (handle_worker_line st w) lines)
+          | _ -> (
+            match List.find_opt (fun c -> c.c_open && c.c_fd = fd) st.clients with
+            | None -> ()
+            | Some c -> (
+              match Lineio.poll c.c_reader with
+              | `Eof ->
+                c.c_open <- false;
+                (try Unix.close c.c_fd with Unix.Unix_error _ -> ());
+                Hashtbl.iter
+                  (fun _ j ->
+                    j.j_waiters <- List.filter (fun fd' -> fd' <> c.c_fd) j.j_waiters)
+                  st.jobs
+              | `Lines lines -> List.iter (handle_client_line st c) lines)))
+      readable;
+    st.clients <- List.filter (fun c -> c.c_open) st.clients
+  in
+  let rec loop () =
+    if !terminate then drain st
+    else begin
+      tick ();
+      loop ()
+    end
+  in
+  loop ()

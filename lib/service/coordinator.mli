@@ -1,0 +1,56 @@
+(** Coordinator process of the verification daemon ([holistic serve]).
+
+    The coordinator owns a state directory holding the Unix-domain
+    socket ([daemon.sock]), a job manifest ([jobs.json]), one
+    checkpoint journal per job ([job-<id>.ckpt.json], written through
+    {!Holistic.Journal.Tracker} on every folded span) and one
+    slice-local journal per in-flight slice
+    ([job-<id>.slice-<start>.ckpt.json]).
+
+    Each submitted (automaton, property) job's schema preorder is cut
+    into contiguous slices of [slice_size] positions, kept in a shared
+    queue that idle workers pull from — the work-stealing degenerate
+    case where the coordinator is the only queue owner, so no slice is
+    ever executed twice concurrently.  Supervision is fail-soft:
+
+    - a worker that dies (crash, SIGKILL from outside, or the
+      coordinator's own heartbeat deadline) has its in-flight slice
+      re-queued with exponential backoff; the retry counter {e resets}
+      whenever the attempt made durable progress (the slice journal's
+      frontier advanced), so crash-churn converges while a
+      deterministic poison pill exhausts the budget;
+    - a slice whose retry budget is truly exhausted is quarantined as a
+      single hole at its last durable frontier, the remainder of the
+      slice is re-queued, and the job degrades to the fail-soft
+      [Partial] verdict exactly as the in-process checker's
+      [partialize] would;
+    - SIGTERM drains gracefully: workers are reaped, every job's
+      checkpoint and the manifest are flushed, and a restarted daemon
+      resumes unfinished jobs from their frontiers to bit-identical
+      verdicts.
+
+    Verdict composition from slice reports is exact: a budget abort at
+    the slice boundary means "every position of the slice is UNSAT"
+    (the enumeration's budget check runs at every consumed position, so
+    there is no overshoot); [Holds] carries the end of the enumeration;
+    a decided slice carries the deciding position, rendered witness and
+    the sequential engine's schema count. *)
+
+type config = {
+  state_dir : string;
+  nworkers : int;
+  slice_size : int;
+  retry_budget : int;  (** per-slice crash budget before quarantine *)
+  hb_timeout : float;
+      (** seconds a busy worker's reported position may stall before it
+          is SIGKILLed *)
+  default_cap : int;  (** [max_schemas] for jobs that don't specify one *)
+  worker : Worker.config;
+}
+
+val socket_path : string -> string
+(** [socket_path state_dir] — where clients connect. *)
+
+val serve : config -> unit
+(** Runs the accept/supervise loop until [shutdown] or SIGTERM; returns
+    after a graceful drain. *)

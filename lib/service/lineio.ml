@@ -1,0 +1,51 @@
+type reader = {
+  fd : Unix.file_descr;
+  buf : Buffer.t;  (* bytes received but not yet terminated by \n *)
+  chunk : Bytes.t;
+}
+
+let reader fd = { fd; buf = Buffer.create 256; chunk = Bytes.create 65536 }
+let fd r = r.fd
+
+(* Split the buffer into complete lines, keeping the unterminated tail. *)
+let drain_lines r =
+  let s = Buffer.contents r.buf in
+  Buffer.clear r.buf;
+  let rec go acc from =
+    match String.index_from_opt s from '\n' with
+    | None ->
+      if from < String.length s then
+        Buffer.add_substring r.buf s from (String.length s - from);
+      List.rev acc
+    | Some nl ->
+      let line = String.sub s from (nl - from) in
+      go (if String.trim line = "" then acc else line :: acc) (nl + 1)
+  in
+  go [] 0
+
+let poll r =
+  match Unix.read r.fd r.chunk 0 (Bytes.length r.chunk) with
+  | 0 -> `Eof
+  | n ->
+    Buffer.add_subbytes r.buf r.chunk 0 n;
+    `Lines (drain_lines r)
+  | exception Unix.Unix_error ((EAGAIN | EWOULDBLOCK | EINTR), _, _) -> `Lines []
+  | exception Unix.Unix_error ((ECONNRESET | EPIPE), _, _) -> `Eof
+
+let send fd json =
+  let line = Jsonc.to_string json ^ "\n" in
+  let b = Bytes.unsafe_of_string line in
+  let rec go off =
+    if off < Bytes.length b then
+      match Unix.write fd b off (Bytes.length b - off) with
+      | n -> go (off + n)
+      | exception Unix.Unix_error ((EAGAIN | EWOULDBLOCK | EINTR), _, _) ->
+        (* Non-blocking peer with a full buffer: wait for writability. *)
+        ignore (Unix.select [] [ fd ] [] 1.0);
+        go off
+  in
+  go 0
+
+let send_locked mutex fd json =
+  Mutex.lock mutex;
+  Fun.protect ~finally:(fun () -> Mutex.unlock mutex) (fun () -> send fd json)

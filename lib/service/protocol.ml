@@ -1,0 +1,86 @@
+module J = Jsonc
+
+type outcome =
+  | Holds
+  | Violated of string
+  | Aborted of string
+  | Partial of (int * string) list * string
+  | Cancelled
+  | Failed of string
+
+let outcome_name = function
+  | Holds -> "holds"
+  | Violated _ -> "violated"
+  | Aborted _ -> "aborted"
+  | Partial _ -> "partial"
+  | Cancelled -> "cancelled"
+  | Failed _ -> "failed"
+
+let quarantined_json q =
+  J.List (List.map (fun (pos, msg) -> J.List [ J.Int pos; J.Str msg ]) q)
+
+let quarantined_of_json j =
+  List.map
+    (fun entry ->
+      match J.to_list entry with
+      | [ pos; msg ] -> (J.to_int pos, J.to_str msg)
+      | _ -> raise (J.Parse_error "malformed quarantine entry"))
+    (J.to_list j)
+
+let outcome_to_json o =
+  let base = [ ("kind", J.Str (outcome_name o)) ] in
+  J.Obj
+    (base
+    @
+    match o with
+    | Holds | Cancelled -> []
+    | Violated w -> [ ("witness", J.Str w) ]
+    | Aborted reason | Failed reason -> [ ("reason", J.Str reason) ]
+    | Partial (q, reason) ->
+      [ ("quarantined", quarantined_json q); ("reason", J.Str reason) ])
+
+let outcome_of_json j =
+  match J.to_str (J.member "kind" j) with
+  | "holds" -> Holds
+  | "cancelled" -> Cancelled
+  | "violated" -> Violated (J.to_str (J.member "witness" j))
+  | "aborted" -> Aborted (J.to_str (J.member "reason" j))
+  | "failed" -> Failed (J.to_str (J.member "reason" j))
+  | "partial" ->
+    Partial
+      ( quarantined_of_json (J.member "quarantined" j),
+        J.to_str (J.member "reason" j) )
+  | k -> raise (J.Parse_error ("unknown outcome kind " ^ k))
+
+(* The comparable row.  Key order is fixed so that two renderings of the
+   same logical row are byte-identical — the CI daemon job diffs sorted
+   row sets between the daemon and the sequential checker. *)
+let row ~model ~spec ~outcome ~schemas =
+  J.Obj
+    [
+      ("model", J.Str model);
+      ("spec", J.Str spec);
+      ("outcome", J.Str (outcome_name outcome));
+      ("schemas", J.Int schemas);
+      ( "witness",
+        match outcome with Violated w -> J.Str w | _ -> J.Null );
+      ( "reason",
+        match outcome with
+        | Aborted r | Failed r | Partial (_, r) -> J.Str r
+        | _ -> J.Null );
+      ( "quarantined",
+        match outcome with Partial (q, _) -> quarantined_json q | _ -> J.Null );
+    ]
+
+let row_of_result ~model (r : Holistic.Checker.result) =
+  let outcome =
+    match r.Holistic.Checker.outcome with
+    | Holistic.Checker.Holds -> Holds
+    | Holistic.Checker.Violated w ->
+      Violated (Format.asprintf "%a" Holistic.Witness.pp w)
+    | Holistic.Checker.Aborted reason -> Aborted reason
+    | Holistic.Checker.Partial { quarantined; reason } ->
+      Partial (quarantined, reason)
+  in
+  row ~model ~spec:r.Holistic.Checker.spec.Ta.Spec.name ~outcome
+    ~schemas:r.Holistic.Checker.stats.schemas_checked

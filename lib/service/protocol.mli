@@ -1,0 +1,49 @@
+(** Wire protocol of the verification daemon.
+
+    Two channels speak it, both as line-delimited canonical JSON
+    ({!Lineio}):
+
+    - {b client <-> coordinator} over the Unix-domain socket:
+      [submit] / [status] / [wait] / [cancel] / [shutdown] / [ping]
+      requests, each answered by one JSON object.  [wait] replies are
+      deferred until the job reaches a terminal state and are tagged
+      with the job [id], so a client may pipeline several waits on one
+      connection and match replies by id.
+
+    - {b coordinator <-> worker} over a per-worker socketpair: slice
+      task assignments downstream; heartbeats and slice results
+      upstream.
+
+    This module carries the vocabulary shared by the three parties:
+    the job outcome codec and the result row every consumer diffs
+    (daemon rows vs. the sequential checker's rows must be
+    byte-identical, which is the daemon's core soundness gate). *)
+
+type outcome =
+  | Holds
+  | Violated of string  (** rendered {!Holistic.Witness} *)
+  | Aborted of string
+  | Partial of (int * string) list * string
+      (** quarantined positions (fail-soft: the retry budget for those
+          slices is truly exhausted) and a summary reason *)
+  | Cancelled
+  | Failed of string  (** daemon-side error (bad model key, IO, ...) *)
+
+val outcome_name : outcome -> string
+
+(** Result row for one job: the comparable fields only — model, spec,
+    outcome, schema count, witness, reason, quarantined holes — in a
+    fixed key order, so [sort | diff] against the sequential checker's
+    rows is byte-exact. *)
+val row :
+  model:string -> spec:string -> outcome:outcome -> schemas:int -> Jsonc.t
+
+(** [row_of_result ~model r] renders a sequential {!Holistic.Checker}
+    result as the same row (the [--local] side of the diff). *)
+val row_of_result : model:string -> Holistic.Checker.result -> Jsonc.t
+
+(** Outcome codec used inside status/wait replies and the job
+    manifest. *)
+val outcome_to_json : outcome -> Jsonc.t
+
+val outcome_of_json : Jsonc.t -> outcome

@@ -1,0 +1,28 @@
+let resolve = function
+  | "bv" | "bv-broadcast" -> Ok (Models.Bv_ta.automaton, Models.Bv_ta.all_specs)
+  | "naive" -> Ok (Models.Naive_ta.automaton, Models.Naive_ta.table2_specs)
+  | "simplified" -> Ok (Models.Simplified_ta.automaton, Models.Simplified_ta.all_specs)
+  | "benor" | "ben-or" -> Ok (Models.Ben_or.automaton, Models.Ben_or.all_specs)
+  | key -> (
+    match Models.Zoo.find key with
+    | Some e -> Ok (e.Models.Zoo.automaton, List.map fst e.Models.Zoo.specs)
+    | None ->
+      Error
+        (Printf.sprintf "unknown model %S (expected bv|naive|simplified|benor or a zoo key: %s)"
+           key (String.concat "|" Models.Zoo.keys)))
+
+let find_specs key spec_name =
+  match resolve key with
+  | Error _ as e -> e
+  | Ok (ta, specs) -> (
+    match spec_name with
+    | None -> Ok (ta, specs)
+    | Some n -> (
+      match List.find_opt (fun (s : Ta.Spec.t) -> s.name = n) specs with
+      | Some s -> Ok (ta, [ s ])
+      | None ->
+        Error
+          (Printf.sprintf "unknown property %S for model %s; available: %s" n key
+             (String.concat ", " (List.map (fun (s : Ta.Spec.t) -> s.name) specs)))))
+
+let keys = [ "bv"; "naive"; "simplified"; "benor" ] @ Models.Zoo.keys

@@ -1,0 +1,15 @@
+(** Model registry of the verification daemon: resolves the wire-level
+    model key of a job to a threshold automaton and its properties.
+    The key space is the CLI's: [bv], [naive], [simplified], [benor],
+    or any {!Models.Zoo} key. *)
+
+(** [resolve key] is [Ok (automaton, specs)] or [Error message]. *)
+val resolve : string -> (Ta.Automaton.t * Ta.Spec.t list, string) result
+
+(** [find_spec key spec_name] resolves one property ([Error] names the
+    available ones); [None] spec name means all properties of the
+    model. *)
+val find_specs :
+  string -> string option -> (Ta.Automaton.t * Ta.Spec.t list, string) result
+
+val keys : string list

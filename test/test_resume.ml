@@ -396,6 +396,45 @@ let test_journal_save_load_atomic () =
       | Ok j' -> Alcotest.(check int) "second save read back" 5 j'.J.frontier
       | Error e -> Alcotest.fail e)
 
+(* Durability failpoints: a crash between writing the temp file and the
+   rename must leave the previous checkpoint intact, and a crash after
+   the rename must leave the new one — never a torn or missing file.
+   The hook fires at each stage of [atomic_write]; raising there models
+   the process dying at exactly that point. *)
+let test_atomic_write_crash_failpoints () =
+  let exception Killed in
+  let read path =
+    let ic = open_in_bin path in
+    Fun.protect
+      ~finally:(fun () -> close_in_noerr ic)
+      (fun () -> really_input_string ic (in_channel_length ic))
+  in
+  with_path (fun path ->
+      J.atomic_write ~path "old contents\n";
+      let crash_at stage =
+        J.atomic_write_failpoint :=
+          Some (fun s -> if s = stage then raise Killed);
+        let crashed =
+          match J.atomic_write ~path "new contents\n" with
+          | () -> false
+          | exception Killed -> true
+        in
+        J.atomic_write_failpoint := None;
+        Alcotest.(check bool) (stage ^ ": failpoint fired") true crashed;
+        read path
+      in
+      (* Killed after the data is written but before fsync/rename: the
+         reader still sees the old checkpoint, not a torn file. *)
+      Alcotest.(check string) "crash before sync keeps old" "old contents\n"
+        (crash_at "written");
+      Alcotest.(check string) "crash before rename keeps old" "old contents\n"
+        (crash_at "synced");
+      (* Killed after the rename but before the directory sync: the new
+         contents are what a reader sees. *)
+      Alcotest.(check string) "crash after rename has new" "new contents\n"
+        (crash_at "renamed");
+      if Sys.file_exists (path ^ ".tmp") then Sys.remove (path ^ ".tmp"))
+
 let test_journal_fingerprint_validation () =
   let j = sample_journal () in
   (match J.validate ~fingerprint:"f1" j with
@@ -477,6 +516,8 @@ let () =
         [
           Alcotest.test_case "canonical roundtrip" `Quick test_journal_roundtrip;
           Alcotest.test_case "atomic save/load" `Quick test_journal_save_load_atomic;
+          Alcotest.test_case "atomic_write crash failpoints" `Quick
+            test_atomic_write_crash_failpoints;
           Alcotest.test_case "fingerprint validation" `Quick
             test_journal_fingerprint_validation;
           Alcotest.test_case "foreign checkpoint refused" `Quick

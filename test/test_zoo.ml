@@ -153,7 +153,25 @@ let test_mutants_caught () =
             true (w.Holistic.Witness.steps <> [])
         | got ->
           Alcotest.failf "%s: expected a counterexample witness, got %s"
-            m.Z.mutant_key (outcome_repr got)))
+            m.Z.mutant_key (outcome_repr got))
+      | Z.Fuzz { spec; n; t; f; value; sched_seed } ->
+        (* The divergence pair: the checker must be blind (the mutant
+           automaton dropped the adversary, so the spec holds on it)... *)
+        let r = Ck.verify ~limits:(limits ()) m.Z.mutant_automaton spec in
+        Alcotest.(check string)
+          (m.Z.mutant_key ^ " is checker-invisible (" ^ spec.S.name ^ " holds)")
+          "holds" (outcome_repr r.Ck.outcome);
+        (* ...while the simulated network at the declared concrete
+           parameters exhibits a real violating run. *)
+        (match Fuzz.Crossval.realize ~n ~t ~f ~value ~sched_seed with
+        | Some trace ->
+          Alcotest.(check bool)
+            (m.Z.mutant_key ^ " fuzz counterexample has events")
+            true
+            (trace.Fuzz.Trace.events <> [])
+        | None ->
+          Alcotest.failf "%s: fuzz oracle found no violation at n=%d t=%d f=%d"
+            m.Z.mutant_key n t f))
     Z.all_mutants
 
 (* The healthy parents are not caught: the mutated spec holds on the
@@ -173,6 +191,14 @@ let test_mutant_parents_healthy () =
         let r = Ck.verify ~limits:(limits ()) e.Z.automaton spec in
         Alcotest.(check string)
           (e.Z.key ^ " parent satisfies " ^ spec.S.name)
+          "holds" (outcome_repr r.Ck.outcome)
+      | Z.Fuzz { spec; _ } ->
+        (* The sound model (with the -f discount, under f <= t) proves
+           the same property: the blind spot is the seeded edit, not a
+           property that was unverifiable to begin with. *)
+        let r = Ck.verify ~limits:(limits ()) Models.Bv_ta.automaton spec in
+        Alcotest.(check string)
+          ("bv parent satisfies " ^ spec.S.name)
           "holds" (outcome_repr r.Ck.outcome))
     Z.all_mutants
 
